@@ -1,0 +1,82 @@
+//! Criterion benches over the hot paths: one per table/figure family.
+//!
+//! These time the *simulators and algorithms themselves* (the tables'
+//! numbers are produced by the `src/bin` binaries); keeping them fast keeps
+//! full-table regeneration cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solo_core::experiments;
+use solo_hw::sensor::{synthetic_foveated_selection, Lighting, Sensor};
+use solo_hw::soc::{Backbone, Dataset, Pipeline, SocModel};
+use solo_sampler::{gaze_saliency, IndexMap, SamplerSpec};
+use solo_tensor::{seeded_rng, Tensor};
+
+/// Table 1 / Table 3 / Table 4 substrate: the GPU roofline + SoC pipeline.
+fn bench_e2e_pipeline(c: &mut Criterion) {
+    let soc = SocModel::default();
+    c.bench_function("soc_evaluate_solo_hr_lvis", |b| {
+        b.iter(|| soc.evaluate(Pipeline::Solo, Backbone::Hr, Dataset::Lvis))
+    });
+    c.bench_function("soc_fig13b_full_grid", |b| {
+        b.iter(experiments::fig13b)
+    });
+}
+
+/// Fig. 15 substrate: sensor readout scheduling.
+fn bench_sensor_readout(c: &mut Criterion) {
+    let sensor = Sensor::new(960, 960);
+    let sel = synthetic_foveated_selection(960, 120);
+    c.bench_function("sensor_full_readout_960", |b| {
+        b.iter(|| sensor.full_readout(Lighting::High))
+    });
+    c.bench_function("sensor_sbs_readout_960_to_120", |b| {
+        b.iter(|| sensor.sbs_readout(&sel, Lighting::High))
+    });
+}
+
+/// Table 2 / Fig. 12-13 substrate: the Eq. 2/3 sampler.
+fn bench_sampler(c: &mut Criterion) {
+    let spec = SamplerSpec::new(96, 96, 24, 24, 7.0);
+    let saliency = gaze_saliency(24, 24, (0.4, 0.6), 0.1, 0.02);
+    let map = IndexMap::from_saliency(&spec, &saliency);
+    let img = Tensor::ones(&[3, 96, 96]);
+    c.bench_function("index_map_from_saliency_24", |b| {
+        b.iter(|| IndexMap::from_saliency(&spec, &saliency))
+    });
+    c.bench_function("sample_bilinear_96_to_24", |b| b.iter(|| map.sample_bilinear(&img)));
+    c.bench_function("upsample_24_to_96", |b| {
+        let small = map.sample_bilinear(&img);
+        b.iter(|| map.upsample(&small))
+    });
+}
+
+/// GT-ViT inference with token pruning (the accelerator's functional side).
+fn bench_gtvit(c: &mut Criterion) {
+    use solo_core::esnet::{GtVit, GtVitConfig};
+    let mut rng = seeded_rng(1);
+    let mut vit = GtVit::new(&mut rng, GtVitConfig::tiny());
+    let eye = solo_tensor::uniform(&mut rng, &[1, 32, 32], 0.0, 1.0);
+    c.bench_function("gtvit_tiny_predict_pruned", |b| b.iter(|| vit.predict(&eye)));
+}
+
+/// The SSA decision path (per-frame streaming cost).
+fn bench_ssa(c: &mut Criterion) {
+    use solo_core::ssa::{Ssa, SsaConfig};
+    use solo_gaze::GazePoint;
+    let preview = Tensor::ones(&[3, 24, 24]);
+    c.bench_function("ssa_step", |b| {
+        let mut ssa = Ssa::new(SsaConfig::paper_default(960));
+        ssa.step(&preview, GazePoint::center(), false);
+        b.iter(|| ssa.step(&preview, GazePoint::center(), false))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_e2e_pipeline,
+    bench_sensor_readout,
+    bench_sampler,
+    bench_gtvit,
+    bench_ssa
+);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates the Section 6.1 accelerator area breakdown.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::area_report;
+
+fn main() {
+    let entries = area_report();
+    if maybe_json(&entries) {
+        return;
+    }
+    header("Section 6.1 — SOLO accelerator area at 22 nm");
+    for e in &entries {
+        println!("{:<22} {:>6.2} mm²  ({:>4.1}%)", e.component, e.area_mm2, e.fraction * 100.0);
+    }
+    let total: f64 = entries.iter().map(|e| e.area_mm2).sum();
+    println!("{:<22} {total:>6.2} mm²", "total");
+}

@@ -1,0 +1,34 @@
+//! Regenerates the Section 6.6 DAVIS-2016 robustness study.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::{davis_eval, Budget};
+
+fn main() {
+    let (budget, frames) = if std::env::args().any(|a| a == "--quick") {
+        (Budget::quick(), 120)
+    } else {
+        (Budget::full(), 600)
+    };
+    let r = davis_eval(&budget, frames, 8);
+    if maybe_json(&r) {
+        return;
+    }
+    header("Section 6.6 — DAVIS-like dynamic scenes");
+    println!(
+        "SOLO (HR)     : b-IoU {:.3}  c-IoU {:.3}   (paper: 0.56 / 0.49)",
+        r.solo_b_iou, r.solo_c_iou
+    );
+    println!(
+        "full-frame    : b-IoU {:.3}  c-IoU {:.3}   (paper M2F-S-L: 0.44 / 0.41)",
+        r.comparator_b_iou, r.comparator_c_iou
+    );
+    println!(
+        "SSA skip      : {:.1}%   (paper: 13%)   c-IoU with reuse: {:.3}",
+        r.skip_fraction * 100.0,
+        r.ssa_c_iou
+    );
+    println!(
+        "mean latency  : {:.1} ms (paper: 28.7 ms within the 50 ms budget)",
+        r.mean_latency_ms
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerates Fig. 12 (a): c-IoU vs GFLOPs for SOLO backbones and
+//! FLOPs-matched full-frame comparators (M2F/OF stand-ins).
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::{fig12a, Budget};
+
+fn main() {
+    let budget = if std::env::args().any(|a| a == "--quick") {
+        Budget::quick()
+    } else {
+        Budget::full()
+    };
+    let points = fig12a(&budget, 2);
+    if maybe_json(&points) {
+        return;
+    }
+    header("Fig. 12 (a) — c-IoU at matched FLOPs (LVIS-like)");
+    println!("{:<10} {:>6} {:>9} {:>7}", "method", "kind", "GFLOPs", "c-IoU");
+    for p in &points {
+        println!(
+            "{:<10} {:>6} {:>9.1} {:>7.3}",
+            p.label,
+            if p.is_solo { "SOLO" } else { "base" },
+            p.gflops,
+            p.c_iou
+        );
+    }
+}

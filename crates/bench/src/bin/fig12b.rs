@@ -1,0 +1,28 @@
+//! Regenerates Fig. 12 (b): SSA frame-skip fraction and c-IoU across
+//! (α, β) settings, with a freshly trained SOLO pipeline.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::{fig12b, Budget};
+
+fn main() {
+    let (budget, frames) = if std::env::args().any(|a| a == "--quick") {
+        (Budget::quick(), 120)
+    } else {
+        (Budget::full(), 600)
+    };
+    let points = fig12b(&budget, frames, 3);
+    if maybe_json(&points) {
+        return;
+    }
+    header("Fig. 12 (b) — SSA reuse: skip fraction vs c-IoU");
+    println!("{:>7} {:>7} {:>11} {:>7}", "alpha", "beta", "skipped", "c-IoU");
+    for p in &points {
+        println!(
+            "{:>7.2} {:>7.0} {:>10.1}% {:>7.3}",
+            p.alpha,
+            p.beta_px,
+            p.skip_fraction * 100.0,
+            p.c_iou
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 13 (a): SOLO IoU across downsampled image sizes.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::{fig13a, Budget};
+
+fn main() {
+    let budget = if std::env::args().any(|a| a == "--quick") {
+        Budget::quick()
+    } else {
+        Budget::full()
+    };
+    let points = fig13a(&budget, 4);
+    if maybe_json(&points) {
+        return;
+    }
+    header("Fig. 13 (a) — IoU vs downsample size (SOLO, HR backbone)");
+    println!(
+        "{:<6} {:>12} {:>11} {:>7} {:>7}",
+        "data", "paper size", "func size", "b-IoU", "c-IoU"
+    );
+    for p in &points {
+        println!(
+            "{:<6} {:>11}² {:>10}² {:>7.3} {:>7.3}",
+            p.dataset, p.paper_side, p.func_side, p.b_iou, p.c_iou
+        );
+    }
+}

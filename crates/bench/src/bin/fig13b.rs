@@ -1,0 +1,44 @@
+//! Regenerates Fig. 13 (b): speedup and energy saving of every pipeline
+//! configuration over FR+GPU.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::fig13b;
+
+fn main() {
+    let rows = fig13b();
+    if maybe_json(&rows) {
+        return;
+    }
+    header("Fig. 13 (b) — speedup (×) and energy saving (×) vs FR+GPU");
+    println!(
+        "{:<5} {:<6} {}",
+        "model",
+        "data",
+        rows[0]
+            .entries
+            .iter()
+            .map(|(n, _, _)| format!("{n:>16}"))
+            .collect::<String>()
+    );
+    for row in &rows {
+        print!("{:<5} {:<6}", row.backbone, row.dataset);
+        for (_, speedup, saving) in &row.entries {
+            print!("{:>16}", format!("{speedup:.1}x/{saving:.1}x"));
+        }
+        println!();
+    }
+    // Paper headline: SOLO averages 8.6× speedup, 9.1× energy saving.
+    let (mut s, mut e, mut n) = (0.0, 0.0, 0);
+    for row in &rows {
+        if let Some((_, sp, sv)) = row.entries.iter().find(|(name, _, _)| name == "SOLO") {
+            s += sp;
+            e += sv;
+            n += 1;
+        }
+    }
+    println!(
+        "\nSOLO mean: {:.1}x speedup, {:.1}x energy saving (paper: 8.6x / 9.1x)",
+        s / n as f64,
+        e / n as f64
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 14 (a): per-stage latency breakdowns.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::fig14a;
+
+fn main() {
+    let rows = fig14a();
+    if maybe_json(&rows) {
+        return;
+    }
+    header("Fig. 14 (a) — latency breakdown (ms)");
+    println!(
+        "{:<12} {:<10} {:>13} {:>8} {:>13} {:>8}",
+        "workload", "pipeline", "sensing+MIPI", "ESNet", "segmentation", "total"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<10} {:>13.1} {:>8.1} {:>13.1} {:>8.1}",
+            r.workload, r.pipeline, r.sensing_mipi_ms, r.esnet_ms, r.segmentation_ms, r.total_ms
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Fig. 15: sensor latency/energy split, conventional vs SBS.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::fig15;
+
+fn main() {
+    let rows = fig15();
+    if maybe_json(&rows) {
+        return;
+    }
+    header("Fig. 15 — sensing cost: exposure / ADC+readout / MIPI");
+    println!(
+        "{:<8} {:<4} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "case", "sns", "exp ms", "adc ms", "mipi ms", "exp mJ", "adc mJ", "mipi mJ"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:<4} {:>9.2} {:>9.2} {:>9.2} | {:>9.2} {:>9.2} {:>9.2}",
+            r.label,
+            r.sensor,
+            r.exposure_ms,
+            r.adc_readout_ms,
+            r.mipi_ms,
+            r.exposure_mj,
+            r.adc_mj,
+            r.mipi_mj
+        );
+    }
+}

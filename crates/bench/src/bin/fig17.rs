@@ -1,0 +1,20 @@
+//! Regenerates Fig. 17: the simulated 2IFC user study.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::fig17;
+
+fn main() {
+    let report = fig17(6);
+    if maybe_json(&report) {
+        return;
+    }
+    header("Fig. 17 — simulated user study (SOLO 42.6 ms vs FR+GPU 547 ms)");
+    for (i, p) in report.per_user_preference.iter().enumerate() {
+        println!("user {}: {:>5.1}% prefer SOLO", i + 1, p * 100.0);
+    }
+    println!(
+        "total : {:>5.1}% prefer SOLO (paper: 96% ± 6%), one-sided binomial p = {:.2e}",
+        report.total_preference * 100.0,
+        report.p_value
+    );
+}

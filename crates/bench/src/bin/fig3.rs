@@ -1,0 +1,22 @@
+//! Regenerates Fig. 3: the gaze/view statistics motivating result reuse.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::fig3;
+
+fn main() {
+    let stats = fig3(1800, 42); // one minute of 30 Hz video
+    if maybe_json(&stats) {
+        return;
+    }
+    header("Fig. 3 — user gaze study on an Aria-like synthetic video");
+    println!(
+        "frames below 5% view change : {:.1}%   (paper: 32%)",
+        stats.frames_below_view_threshold * 100.0
+    );
+    println!(
+        "gaze steps below 20 px      : {:.1}%   (paper: 87%)",
+        stats.gaze_below_threshold * 100.0
+    );
+    println!("video segments              : {}", stats.segment_count);
+    println!("mean segment length         : {:.1} frames", stats.mean_segment_len);
+}

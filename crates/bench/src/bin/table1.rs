@@ -1,0 +1,25 @@
+//! Regenerates Table 1: segmentation latency vs input size on the mobile
+//! GPU (anchored to the paper's Jetson Orin NX measurements).
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::table1;
+
+fn main() {
+    let rows = table1();
+    if maybe_json(&rows) {
+        return;
+    }
+    header("Table 1 — processing latency under different resolutions (ms)");
+    print!("{:<8}", "network");
+    for (side, _) in &rows[0].latencies {
+        print!("{:>12}", format!("{side}×{side}"));
+    }
+    println!();
+    for row in &rows {
+        print!("{:<8}", row.network);
+        for (_, ms) in &row.latencies {
+            print!("{ms:>12.0}");
+        }
+        println!();
+    }
+}

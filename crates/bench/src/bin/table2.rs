@@ -1,0 +1,41 @@
+//! Regenerates Table 2: IOI segmentation accuracy of AD / LTD / SOLO / FR
+//! across three backbones and three datasets. Trains every cell from
+//! scratch — takes tens of minutes at the full budget; pass `--quick` for
+//! a fast smoke run.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::{table2, Budget};
+
+fn main() {
+    let budget = if std::env::args().any(|a| a == "--quick") {
+        Budget::quick()
+    } else {
+        Budget::full()
+    };
+    let cells = table2(&budget, 1);
+    if maybe_json(&cells) {
+        return;
+    }
+    header("Table 2 — b-IoU / c-IoU per method (trained from scratch)");
+    println!(
+        "{:<5} {:<6} {:>13} {:>13} {:>13} {:>13} {:>9} {:>10}",
+        "model", "data", "AD", "LTD", "SOLO", "FR", "GFLOPs", "FR GFLOPs"
+    );
+    for c in &cells {
+        println!(
+            "{:<5} {:<6} {:>13} {:>13} {:>13} {:>13} {:>9.0} {:>10.0}",
+            c.backbone,
+            c.dataset,
+            fmt_pair(c.ad),
+            fmt_pair(c.ltd),
+            fmt_pair(c.solo),
+            fmt_pair(c.fr),
+            c.gflops,
+            c.fr_gflops,
+        );
+    }
+}
+
+fn fmt_pair((b, c): (f32, f32)) -> String {
+    format!("{b:.2}/{c:.2}")
+}

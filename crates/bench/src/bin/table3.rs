@@ -1,0 +1,23 @@
+//! Regenerates Table 3: absolute latency of FR+GPU vs SOLO.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::table3;
+
+fn main() {
+    let rows = table3();
+    if maybe_json(&rows) {
+        return;
+    }
+    header("Table 3 — end-to-end latency (ms)");
+    println!("{:<5} {:<6} {:>10} {:>8} {:>8}", "model", "data", "FR+GPU", "SOLO", "ratio");
+    for r in &rows {
+        println!(
+            "{:<5} {:<6} {:>10.1} {:>8.1} {:>7.1}x",
+            r.backbone,
+            r.dataset,
+            r.fr_gpu_ms,
+            r.solo_ms,
+            r.fr_gpu_ms / r.solo_ms
+        );
+    }
+}

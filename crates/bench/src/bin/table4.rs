@@ -1,0 +1,24 @@
+//! Regenerates Table 4: latency comparison including the XR2-class NPU.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::table4;
+
+fn main() {
+    let rows = table4();
+    if maybe_json(&rows) {
+        return;
+    }
+    header("Table 4 — latency (ms) across compute engines");
+    print!("{:<5} {:<6}", "model", "data");
+    for (name, _) in &rows[0].latencies_ms {
+        print!("{name:>9}");
+    }
+    println!();
+    for r in &rows {
+        print!("{:<5} {:<6}", r.backbone, r.dataset);
+        for (_, ms) in &r.latencies_ms {
+            print!("{ms:>9.1}");
+        }
+        println!();
+    }
+}

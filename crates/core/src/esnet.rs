@@ -1,0 +1,564 @@
+//! ESNet: gaze tracking, saccade detection and saliency generation
+//! (Section 3.2, Fig. 6 (b)).
+//!
+//! * [`GtVit`] — the Gaze-Tracking Vision Transformer: patch embedding +
+//!   CLS token + positional embedding + transformer blocks + a linear gaze
+//!   head. At inference, tokens are pruned between blocks by attention
+//!   importance (the accelerator's token selector); training runs without
+//!   pruning.
+//! * [`SaliencyNet`] — the small convolutional saliency head over the
+//!   preview frame `I_f^d` plus a gaze-prior channel; trained with the
+//!   Eq. 4 MSE regularizer toward the (downsampled) IOI mask.
+//! * [`EsNet`] — the assembly, including the RNN saccade detector, with
+//!   the streaming state (gaze history) the SSA consumes.
+
+use rand::Rng;
+use solo_gaze::{GazePoint, GazeSample, RnnSaccadeDetector};
+use solo_nn::{
+    loss, prune, Adam, Conv2d, Layer, Linear, Optimizer, Param, PositionalEmbedding, Relu,
+    Sigmoid, TransformerBlock, TransformerConfig,
+};
+use solo_sampler::{gaze_saliency, mix_saliency};
+use solo_scene::EyeSample;
+use solo_tensor::Tensor;
+
+/// GT-ViT geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GtVitConfig {
+    /// Eye-image side (square, monochrome).
+    pub eye_res: usize,
+    /// Patch side.
+    pub patch: usize,
+    /// Transformer stack configuration.
+    pub transformer: TransformerConfig,
+    /// Fraction of tokens kept across the whole stack (paper: 0.7).
+    pub keep_ratio: f32,
+}
+
+impl GtVitConfig {
+    /// A small functional configuration used by tests and the examples:
+    /// 32² eye images, 8-px patches (17 tokens), dim 32, 2 blocks.
+    pub fn tiny() -> Self {
+        Self {
+            eye_res: 32,
+            patch: 8,
+            transformer: TransformerConfig {
+                dim: 32,
+                heads: 2,
+                depth: 2,
+                mlp_dim: 64,
+            },
+            keep_ratio: 0.7,
+        }
+    }
+
+    /// The paper's configuration (dim 384, 6 heads, 8 blocks) — used by
+    /// the hardware models; too large to train in tests.
+    pub fn paper() -> Self {
+        Self {
+            eye_res: 128,
+            patch: 16,
+            transformer: TransformerConfig::gt_vit(),
+            keep_ratio: 0.7,
+        }
+    }
+
+    /// Token count including CLS.
+    pub fn tokens(&self) -> usize {
+        (self.eye_res / self.patch).pow(2) + 1
+    }
+}
+
+/// The Gaze-Tracking Vision Transformer.
+pub struct GtVit {
+    config: GtVitConfig,
+    patch_embed: Linear,
+    cls: Param,
+    pos: PositionalEmbedding,
+    blocks: Vec<TransformerBlock>,
+    head: Linear,
+    sigmoid: Sigmoid,
+    last_tokens: usize,
+}
+
+impl GtVit {
+    /// Builds an untrained GT-ViT.
+    pub fn new(rng: &mut impl Rng, config: GtVitConfig) -> Self {
+        let dim = config.transformer.dim;
+        let blocks = (0..config.transformer.depth)
+            .map(|_| TransformerBlock::new(rng, &config.transformer))
+            .collect();
+        Self {
+            patch_embed: Linear::new(rng, config.patch * config.patch, dim),
+            cls: Param::new(solo_tensor::normal(rng, &[1, dim], 0.0, 0.02)),
+            pos: PositionalEmbedding::new(rng, config.tokens(), dim),
+            blocks,
+            head: Linear::new(rng, dim, 2),
+            sigmoid: Sigmoid::new(),
+            config,
+            last_tokens: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GtVitConfig {
+        &self.config
+    }
+
+    /// Splits a `[1, res, res]` eye image into a `[T−1, patch²]` matrix of
+    /// flattened patches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not match the configured resolution.
+    pub fn tokenize(&self, eye: &Tensor) -> Tensor {
+        let r = self.config.eye_res;
+        let p = self.config.patch;
+        assert_eq!(
+            eye.shape().dims(),
+            &[1, r, r],
+            "eye image must be [1, {r}, {r}], got {}",
+            eye.shape()
+        );
+        let n = r / p;
+        let src = eye.as_slice();
+        let mut out = vec![0.0f32; n * n * p * p];
+        for ti in 0..n {
+            for tj in 0..n {
+                let t = ti * n + tj;
+                for pi in 0..p {
+                    for pj in 0..p {
+                        out[t * p * p + pi * p + pj] = src[(ti * p + pi) * r + tj * p + pj];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n * n, p * p])
+    }
+
+    fn embed(&mut self, eye: &Tensor, train: bool) -> Tensor {
+        let patches = self.tokenize(eye);
+        let embedded = if train {
+            self.patch_embed.forward(&patches)
+        } else {
+            self.patch_embed.infer(&patches)
+        };
+        let tokens = Tensor::concat_rows(&[self.cls.value().clone(), embedded]);
+        // PositionalEmbedding::forward is cache-free (its backward only
+        // accumulates the incoming gradient), so both paths share it.
+        self.pos.forward(&tokens)
+    }
+
+    /// Gaze prediction with between-block token pruning (the deployment
+    /// path; Section 3.2).
+    pub fn predict(&mut self, eye: &Tensor) -> GazePoint {
+        let mut x = self.embed(eye, false);
+        let per_block_keep = self
+            .config
+            .keep_ratio
+            .powf(1.0 / self.config.transformer.depth as f32);
+        for i in 0..self.blocks.len() {
+            x = self.blocks[i].infer(&x);
+            if per_block_keep < 1.0 {
+                let attn = self.blocks[i]
+                    .attention()
+                    .last_attention()
+                    .expect("attention recorded during infer");
+                let importance = prune::token_importance(attn);
+                let kept = prune::select_tokens(&importance, per_block_keep);
+                x = prune::gather_tokens(&x, &kept);
+            }
+        }
+        let cls = x.row(0);
+        let g = self.sigmoid.infer(&self.head.infer(&cls));
+        GazePoint::new(g.at(&[0]), g.at(&[1]))
+    }
+
+    /// Training forward (no pruning): returns the predicted gaze `[2]`.
+    pub fn forward_train(&mut self, eye: &Tensor) -> Tensor {
+        let mut x = self.embed(eye, true);
+        for block in &mut self.blocks {
+            x = block.forward(&x);
+        }
+        let cls = x.row(0);
+        self.last_tokens = x.shape().dim(0);
+        self.sigmoid.forward(&self.head.forward(&cls))
+    }
+
+    /// Training backward from the gaze-space gradient `[2]`.
+    pub fn backward_train(&mut self, grad: &Tensor) {
+        let g_cls = self.head.backward(&self.sigmoid.backward(grad));
+        let t = self.last_tokens;
+        let dim = self.config.transformer.dim;
+        let mut g_tokens = Tensor::zeros(&[t, dim]);
+        g_tokens.as_mut_slice()[..dim].copy_from_slice(g_cls.as_slice());
+        let mut g = g_tokens;
+        for block in self.blocks.iter_mut().rev() {
+            g = block.backward(&g);
+        }
+        let g = self.pos.backward(&g);
+        // Row 0 feeds the CLS parameter; the rest feed the patch embedding.
+        let dim_row = Tensor::from_vec(g.as_slice()[..dim].to_vec(), &[1, dim]);
+        self.cls.accumulate(&dim_row);
+        let rest = Tensor::from_vec(g.as_slice()[dim..].to_vec(), &[t - 1, dim]);
+        self.patch_embed.backward(&rest);
+    }
+
+    /// Pretrains on labelled eye images with MSE gaze loss (Section 3.4's
+    /// OpenEDS pretraining). Returns the mean loss of the final epoch.
+    pub fn pretrain(&mut self, samples: &[EyeSample], epochs: usize, lr: f32) -> f32 {
+        let mut opt = Adam::new(lr).with_grad_clip(5.0);
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..epochs {
+            let mut epoch = 0.0;
+            for s in samples {
+                let pred = self.forward_train(&s.image);
+                let target = Tensor::from_vec(vec![s.gaze.x, s.gaze.y], &[2]);
+                let (l, g) = loss::mse(&pred, &target);
+                epoch += l;
+                self.backward_train(&g);
+                opt.step(self);
+            }
+            final_loss = epoch / samples.len().max(1) as f32;
+        }
+        final_loss
+    }
+
+    /// Mean gaze error (normalized units) over labelled samples, using the
+    /// pruned deployment path.
+    pub fn gaze_error(&mut self, samples: &[EyeSample]) -> f32 {
+        let total: f32 = samples
+            .iter()
+            .map(|s| {
+                let p = self.predict(&s.image);
+                p.distance(&s.gaze)
+            })
+            .sum();
+        total / samples.len().max(1) as f32
+    }
+}
+
+impl Layer for GtVit {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.forward_train(input)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_train(grad_out);
+        // Input gradients of the eye image are never needed.
+        Tensor::zeros(&[1, self.config.eye_res, self.config.eye_res])
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.patch_embed.visit_params(f);
+        f(&mut self.cls);
+        self.pos.visit_params(f);
+        for b in &mut self.blocks {
+            b.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+}
+
+impl std::fmt::Debug for GtVit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GtVit(dim {}, {} blocks, {} tokens)",
+            self.config.transformer.dim,
+            self.config.transformer.depth,
+            self.config.tokens()
+        )
+    }
+}
+
+/// The convolutional saliency head: preview RGB + a gaze-prior channel in,
+/// saliency score map out.
+pub struct SaliencyNet {
+    c1: Conv2d,
+    r1: Relu,
+    c2: Conv2d,
+    r2: Relu,
+    c3: Conv2d,
+    sig: Sigmoid,
+    /// Whether the gaze channel is used (false reproduces the LTD
+    /// baseline's gaze-free saliency).
+    pub use_gaze: bool,
+}
+
+impl SaliencyNet {
+    /// Builds the head.
+    pub fn new(rng: &mut impl Rng, use_gaze: bool) -> Self {
+        Self {
+            c1: Conv2d::new(rng, 4, 8, 3),
+            r1: Relu::new(),
+            c2: Conv2d::new(rng, 8, 8, 3),
+            r2: Relu::new(),
+            c3: Conv2d::new(rng, 8, 1, 3),
+            sig: Sigmoid::new(),
+            use_gaze,
+        }
+    }
+
+    fn pack_input(&self, preview: &Tensor, gaze: GazePoint) -> Tensor {
+        assert_eq!(preview.shape().ndim(), 3, "preview must be [3,h,w]");
+        assert_eq!(preview.shape().dim(0), 3, "preview must have 3 channels");
+        let (h, w) = (preview.shape().dim(1), preview.shape().dim(2));
+        let prior = if self.use_gaze {
+            gaze_saliency(h, w, (gaze.x, gaze.y), 0.12, 0.0)
+        } else {
+            Tensor::zeros(&[h, w])
+        };
+        let mut data = preview.as_slice().to_vec();
+        data.extend_from_slice(prior.as_slice());
+        Tensor::from_vec(data, &[4, h, w])
+    }
+
+    /// Produces the saliency map `[h, w]` for a preview frame and gaze.
+    pub fn saliency(&mut self, preview: &Tensor, gaze: GazePoint) -> Tensor {
+        let x = self.pack_input(preview, gaze);
+        let (h, w) = (x.shape().dim(1), x.shape().dim(2));
+        let y = self.sig.infer(&self.c3.infer(&self.r2.infer(&self.c2.infer(
+            &self.r1.infer(&self.c1.infer(&x)),
+        ))));
+        let learned = y.into_reshaped(&[h, w]);
+        if self.use_gaze {
+            // Blend the learned content term with the hard gaze prior so an
+            // untrained head still foveates (and a trained one sharpens),
+            // then square the map: Eq. 2/3 are scale-invariant in S, so
+            // squaring raises the *contrast* between IOI and periphery,
+            // which is what controls the foveal zoom strength.
+            let prior = gaze_saliency(h, w, (gaze.x, gaze.y), 0.12, 0.02);
+            mix_saliency(&prior, &learned, 0.6).map(|v| v * v)
+        } else {
+            learned.add_scalar(0.02)
+        }
+    }
+
+    /// One Eq.-4 regularizer step: pull the learned map toward the
+    /// (downsampled) ground-truth IOI mask with MSE. Returns the loss.
+    pub fn train_step(
+        &mut self,
+        preview: &Tensor,
+        gaze: GazePoint,
+        target: &Tensor,
+        opt: &mut dyn Optimizer,
+    ) -> f32 {
+        let x = self.pack_input(preview, gaze);
+        let (h, w) = (x.shape().dim(1), x.shape().dim(2));
+        let y = self.sig.forward(&self.c3.forward(&self.r2.forward(&self.c2.forward(
+            &self.r1.forward(&self.c1.forward(&x)),
+        ))));
+        let pred = y.reshape(&[h, w]);
+        let (l, g) = loss::mse(&pred, target);
+        let g = g.into_reshaped(&[1, h, w]);
+        let g = self.c1.backward(&self.r1.backward(&self.c2.backward(&self.r2.backward(
+            &self.c3.backward(&self.sig.backward(&g)),
+        ))));
+        let _ = g;
+        opt.step(self);
+        l
+    }
+}
+
+impl Layer for SaliencyNet {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.sig.forward(&self.c3.forward(&self.r2.forward(&self.c2.forward(
+            &self.r1.forward(&self.c1.forward(input)),
+        ))))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.c1.backward(&self.r1.backward(&self.c2.backward(&self.r2.backward(
+            &self.c3.backward(&self.sig.backward(grad_out)),
+        ))))
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.c1.visit_params(f);
+        self.c2.visit_params(f);
+        self.c3.visit_params(f);
+    }
+}
+
+impl std::fmt::Debug for SaliencyNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SaliencyNet(use_gaze: {})", self.use_gaze)
+    }
+}
+
+/// ESNet output for one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EsnetOutput {
+    /// Predicted gaze.
+    pub gaze: GazePoint,
+    /// Whether a saccade is in progress.
+    pub saccade: bool,
+    /// The saliency score map over the preview grid.
+    pub saliency: Tensor,
+}
+
+/// The assembled ESNet.
+pub struct EsNet {
+    /// Gaze tracker.
+    pub vit: GtVit,
+    /// Saccade detector.
+    pub saccade: RnnSaccadeDetector,
+    /// Saliency head.
+    pub saliency: SaliencyNet,
+    history: Vec<GazeSample>,
+    history_cap: usize,
+}
+
+impl EsNet {
+    /// Builds an untrained ESNet with the tiny functional configuration.
+    pub fn new(rng: &mut impl Rng) -> Self {
+        Self {
+            vit: GtVit::new(rng, GtVitConfig::tiny()),
+            saccade: RnnSaccadeDetector::new(rng, 8),
+            saliency: SaliencyNet::new(rng, true),
+            history: Vec::new(),
+            history_cap: 16,
+        }
+    }
+
+    /// Processes one frame: eye image → gaze; gaze history → saccade flag;
+    /// preview + gaze → saliency map.
+    pub fn process(&mut self, eye: &Tensor, preview: &Tensor, t_ms: f64) -> EsnetOutput {
+        let gaze = self.vit.predict(eye);
+        self.history.push(GazeSample {
+            t_ms,
+            point: gaze,
+            phase: solo_gaze::EyePhase::Fixation, // unknown at runtime
+        });
+        if self.history.len() > self.history_cap {
+            self.history.remove(0);
+        }
+        let saccade = *self
+            .saccade
+            .detect(&self.history)
+            .last()
+            .unwrap_or(&false);
+        let saliency = self.saliency.saliency(preview, gaze);
+        EsnetOutput {
+            gaze,
+            saccade,
+            saliency,
+        }
+    }
+
+    /// Clears the gaze history (start of a new stream).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+impl std::fmt::Debug for EsNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EsNet({:?}, history {})", self.vit, self.history.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solo_scene::EyeDataset;
+    use solo_tensor::seeded_rng;
+
+    #[test]
+    fn tokenize_produces_expected_grid() {
+        let mut rng = seeded_rng(90);
+        let vit = GtVit::new(&mut rng, GtVitConfig::tiny());
+        let eye = Tensor::arange(32 * 32).reshape(&[1, 32, 32]);
+        let tokens = vit.tokenize(&eye);
+        assert_eq!(tokens.shape().dims(), &[16, 64]);
+        // First element of first patch is pixel (0,0).
+        assert_eq!(tokens.at(&[0, 0]), 0.0);
+        // First element of second patch is pixel (0,8).
+        assert_eq!(tokens.at(&[1, 0]), 8.0);
+    }
+
+    #[test]
+    fn predict_outputs_unit_square_gaze() {
+        let mut rng = seeded_rng(91);
+        let mut vit = GtVit::new(&mut rng, GtVitConfig::tiny());
+        let eye = solo_tensor::uniform(&mut rng, &[1, 32, 32], 0.0, 1.0);
+        let g = vit.predict(&eye);
+        assert!((0.0..=1.0).contains(&g.x) && (0.0..=1.0).contains(&g.y));
+    }
+
+    #[test]
+    fn pretraining_reduces_gaze_error() {
+        let mut rng = seeded_rng(92);
+        let ds = EyeDataset::default();
+        let train = ds.samples(60, &mut rng);
+        let test = ds.samples(20, &mut rng);
+        let mut vit = GtVit::new(&mut rng, GtVitConfig::tiny());
+        let before = vit.gaze_error(&test);
+        vit.pretrain(&train, 16, 2e-3);
+        let after = vit.gaze_error(&test);
+        assert!(
+            after < before * 0.8,
+            "gaze error {before} -> {after} did not improve"
+        );
+        // Should comfortably beat the ~0.38 error of always answering the
+        // image center for uniform targets.
+        assert!(after < 0.3, "gaze error {after}");
+    }
+
+    #[test]
+    fn pruned_prediction_stays_close_to_unpruned() {
+        let mut rng = seeded_rng(93);
+        let ds = EyeDataset::default();
+        let train = ds.samples(40, &mut rng);
+        let mut vit = GtVit::new(&mut rng, GtVitConfig::tiny());
+        vit.pretrain(&train, 8, 2e-3);
+        let eye = ds.sample(&mut rng).image;
+        let pruned = vit.predict(&eye);
+        vit.config.keep_ratio = 1.0;
+        let full = vit.predict(&eye);
+        assert!(
+            pruned.distance(&full) < 0.15,
+            "pruning moved gaze by {}",
+            pruned.distance(&full)
+        );
+    }
+
+    #[test]
+    fn saliency_net_learns_a_mask() {
+        let mut rng = seeded_rng(94);
+        let mut net = SaliencyNet::new(&mut rng, true);
+        let preview = solo_tensor::uniform(&mut rng, &[3, 16, 16], 0.0, 1.0);
+        let mut target = Tensor::zeros(&[16, 16]);
+        for i in 4..10 {
+            for j in 4..10 {
+                target.set(&[i, j], 1.0);
+            }
+        }
+        let gaze = GazePoint::new(0.45, 0.45);
+        let mut opt = Adam::new(5e-3);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..40 {
+            let l = net.train_step(&preview, gaze, &target, &mut opt);
+            if step == 0 {
+                first = l;
+            }
+            last = l;
+        }
+        assert!(last < first * 0.6, "saliency loss {first} -> {last}");
+    }
+
+    #[test]
+    fn esnet_process_emits_consistent_output() {
+        let mut rng = seeded_rng(95);
+        let mut esnet = EsNet::new(&mut rng);
+        let eye = solo_tensor::uniform(&mut rng, &[1, 32, 32], 0.0, 1.0);
+        let preview = solo_tensor::uniform(&mut rng, &[3, 16, 16], 0.0, 1.0);
+        let out = esnet.process(&eye, &preview, 0.0);
+        assert_eq!(out.saliency.shape().dims(), &[16, 16]);
+        assert!(out.saliency.min() >= 0.0);
+        // With a single (static) history sample there is no saccade.
+        assert!(!out.saccade);
+    }
+}

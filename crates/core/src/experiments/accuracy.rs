@@ -1,0 +1,416 @@
+//! Training-based accuracy experiments: Table 2, Fig. 12 (a), Fig. 13 (a).
+
+use crossbeam::thread;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use solo_scene::{DatasetConfig, Sample, SceneDataset};
+use solo_tensor::seeded_rng;
+
+use crate::backbones::BackboneKind;
+use crate::metrics::{binary_iou, class_map_iou};
+use crate::solonet::{Method, MethodPipeline, PipelineConfig};
+
+/// Training budget for the accuracy experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Functional full-resolution frame side.
+    pub full_res: usize,
+    /// Functional downsampled side.
+    pub down_res: usize,
+    /// Training samples per configuration.
+    pub train_samples: usize,
+    /// Test samples per configuration.
+    pub test_samples: usize,
+    /// Epochs over the training set.
+    pub epochs: usize,
+    /// Epochs for the (16× more expensive) FR baseline.
+    pub fr_epochs: usize,
+}
+
+impl Budget {
+    /// The full budget used by the bench binaries (≈2 min of single-core
+    /// training per method-cell; validated to separate the methods).
+    pub fn full() -> Self {
+        Self {
+            full_res: 64,
+            down_res: 16,
+            train_samples: 220,
+            test_samples: 60,
+            epochs: 14,
+            fr_epochs: 4,
+        }
+    }
+
+    /// A seconds-scale budget for tests.
+    pub fn quick() -> Self {
+        Self {
+            full_res: 48,
+            down_res: 16,
+            train_samples: 16,
+            test_samples: 8,
+            epochs: 2,
+            fr_epochs: 1,
+        }
+    }
+}
+
+/// One (backbone × dataset) cell of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Cell {
+    /// Backbone name ("HR"/"SF"/"DL").
+    pub backbone: String,
+    /// Dataset name ("LVIS"/"ADE"/"Aria").
+    pub dataset: String,
+    /// (b-IoU, c-IoU) for the AD baseline.
+    pub ad: (f32, f32),
+    /// (b-IoU, c-IoU) for the LTD baseline.
+    pub ltd: (f32, f32),
+    /// (b-IoU, c-IoU) for SOLO.
+    pub solo: (f32, f32),
+    /// (b-IoU, c-IoU) for the FR baseline.
+    pub fr: (f32, f32),
+    /// Paper-scale GFLOPs of the downsampled pipelines.
+    pub gflops: f64,
+    /// Paper-scale GFLOPs of the FR baseline.
+    pub fr_gflops: f64,
+}
+
+fn dataset_presets() -> Vec<(DatasetConfig, solo_hw::soc::Dataset)> {
+    vec![
+        (DatasetConfig::lvis_like(), solo_hw::soc::Dataset::Lvis),
+        (DatasetConfig::ade_like(), solo_hw::soc::Dataset::Ade),
+        (DatasetConfig::aria_like(), solo_hw::soc::Dataset::Aria),
+    ]
+}
+
+fn hw_backbone(kind: BackboneKind) -> solo_hw::soc::Backbone {
+    match kind {
+        BackboneKind::Hr => solo_hw::soc::Backbone::Hr,
+        BackboneKind::Sf => solo_hw::soc::Backbone::Sf,
+        BackboneKind::Dl => solo_hw::soc::Backbone::Dl,
+    }
+}
+
+/// Dataset display label (paper spelling).
+fn dataset_label(ds: &DatasetConfig) -> &'static str {
+    match ds.name.as_str() {
+        "lvis-like" => "LVIS",
+        "ade-like" => "ADE",
+        "aria-like" => "Aria",
+        _ => "DAVIS",
+    }
+}
+
+/// Trains and evaluates one method on one configuration.
+fn run_method(
+    method: Method,
+    kind: BackboneKind,
+    cfg: PipelineConfig,
+    train: &[Sample],
+    test: &[Sample],
+    epochs: usize,
+    rng: &mut impl Rng,
+) -> (f32, f32) {
+    let mut p = MethodPipeline::new(rng, method, kind, cfg, 5e-3);
+    p.train(train, epochs);
+    let scores = p.evaluate_all(test);
+    (scores.b_iou, scores.c_iou)
+}
+
+/// Regenerates Table 2: every (backbone × dataset) cell with all four
+/// methods, training from scratch. Cells run in parallel via crossbeam.
+pub fn table2(budget: &Budget, seed: u64) -> Vec<Table2Cell> {
+    let presets = dataset_presets();
+    let mut jobs = Vec::new();
+    for kind in BackboneKind::ALL {
+        for (ds, hw_ds) in &presets {
+            jobs.push((kind, ds.clone(), *hw_ds));
+        }
+    }
+    let budget = *budget;
+    let results: Vec<Table2Cell> = thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (kind, ds, hw_ds))| {
+                let budget = budget;
+                scope.spawn(move |_| table2_cell(*kind, ds, *hw_ds, &budget, seed + i as u64))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("cell thread")).collect()
+    })
+    .expect("table2 scope");
+    results
+}
+
+fn table2_cell(
+    kind: BackboneKind,
+    ds: &DatasetConfig,
+    hw_ds: solo_hw::soc::Dataset,
+    budget: &Budget,
+    seed: u64,
+) -> Table2Cell {
+    let ds_fn = ds.clone().with_resolution(budget.full_res);
+    let cfg = PipelineConfig::for_dataset(&ds_fn, budget.full_res, budget.down_res);
+    let data = SceneDataset::new(ds_fn);
+    let mut rng = seeded_rng(seed);
+    let train = data.samples(budget.train_samples, &mut rng);
+    let test = data.samples(budget.test_samples, &mut rng);
+    let run = |method: Method, rng: &mut rand_chacha::ChaCha8Rng| {
+        let epochs = if method == Method::Fr {
+            budget.fr_epochs
+        } else {
+            budget.epochs
+        };
+        run_method(method, kind, cfg, &train, &test, epochs, rng)
+    };
+    let ad = run(Method::Ad, &mut rng);
+    let ltd = run(Method::Ltd, &mut rng);
+    let solo = run(Method::Solo, &mut rng);
+    let fr = run(Method::Fr, &mut rng);
+    let hw_kind = hw_backbone(kind);
+    Table2Cell {
+        backbone: kind.name().to_string(),
+        dataset: dataset_label(ds).to_string(),
+        ad,
+        ltd,
+        solo,
+        fr,
+        gflops: hw_kind.gflops(hw_ds.down_side())
+            + solo_hw::accelerator::Workload::esnet(hw_ds.down_side(), hw_ds.down_side(), 0.7)
+                .gflops(&solo_hw::accelerator::SystolicArray::default()),
+        fr_gflops: hw_kind.gflops(hw_ds.full_side()),
+    }
+}
+
+/// One point of Fig. 13 (a): IoU vs downsample size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig13aPoint {
+    /// Dataset label.
+    pub dataset: String,
+    /// Paper-scale downsample side this point stands for.
+    pub paper_side: usize,
+    /// Functional downsample side actually trained.
+    pub func_side: usize,
+    /// b-IoU.
+    pub b_iou: f32,
+    /// c-IoU.
+    pub c_iou: f32,
+}
+
+/// Regenerates Fig. 13 (a): SOLO (HR backbone) trained at three downsample
+/// sizes on LVIS-like and Aria-like data.
+pub fn fig13a(budget: &Budget, seed: u64) -> Vec<Fig13aPoint> {
+    // Paper sweeps LVIS {120², 60², 40²} and Aria {150², 90², 60²}; the
+    // functional sweep keeps the same relative spread.
+    let sweeps: Vec<(DatasetConfig, Vec<(usize, usize)>)> = vec![
+        (
+            DatasetConfig::lvis_like(),
+            vec![(120, 24), (60, 16), (40, 8)],
+        ),
+        (
+            DatasetConfig::aria_like(),
+            vec![(150, 24), (90, 16), (60, 8)],
+        ),
+    ];
+    let mut out = Vec::new();
+    let cells: Vec<(DatasetConfig, usize, usize)> = sweeps
+        .iter()
+        .flat_map(|(ds, sizes)| sizes.iter().map(move |&(p, f)| (ds.clone(), p, f)))
+        .collect();
+    let results: Vec<Fig13aPoint> = thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, (ds, paper_side, func_side))| {
+                let budget = *budget;
+                scope.spawn(move |_| {
+                    let ds_fn = ds.clone().with_resolution(budget.full_res);
+                    let cfg = PipelineConfig::for_dataset(&ds_fn, budget.full_res, *func_side);
+                    let data = SceneDataset::new(ds_fn);
+                    let mut rng = seeded_rng(seed + 100 + i as u64);
+                    let train = data.samples(budget.train_samples, &mut rng);
+                    let test = data.samples(budget.test_samples, &mut rng);
+                    let (b, c) = run_method(
+                        Method::Solo,
+                        BackboneKind::Hr,
+                        cfg,
+                        &train,
+                        &test,
+                        budget.epochs,
+                        &mut rng,
+                    );
+                    Fig13aPoint {
+                        dataset: dataset_label(ds).to_string(),
+                        paper_side: *paper_side,
+                        func_side: *func_side,
+                        b_iou: b,
+                        c_iou: c,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("cell thread")).collect()
+    })
+    .expect("fig13a scope");
+    out.extend(results);
+    out
+}
+
+/// One point of Fig. 12 (a): a method's c-IoU at its FLOPs budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12aPoint {
+    /// Method label (e.g. "M2F-S-L", "HR").
+    pub label: String,
+    /// Whether this is a SOLO variant (true) or comparator (false).
+    pub is_solo: bool,
+    /// Paper-scale GFLOPs.
+    pub gflops: f64,
+    /// c-IoU on the LVIS-like test set.
+    pub c_iou: f32,
+}
+
+/// Regenerates Fig. 12 (a): SOLO with each backbone vs FLOPs-matched
+/// full-frame segmenters standing in for Mask2Former / OneFormer variants
+/// (the paper downsamples their inputs to 60² to equalize FLOPs).
+pub fn fig12a(budget: &Budget, seed: u64) -> Vec<Fig12aPoint> {
+    let ds = DatasetConfig::lvis_like().with_resolution(budget.full_res);
+    let data = SceneDataset::new(ds);
+    let mut rng = seeded_rng(seed + 200);
+    let train = data.samples(budget.train_samples, &mut rng);
+    let test = data.samples(budget.test_samples, &mut rng);
+    let mut points = Vec::new();
+    // SOLO variants.
+    for kind in BackboneKind::ALL {
+        let cfg = PipelineConfig::for_dataset(data.config(), budget.full_res, budget.down_res);
+        let mut p = MethodPipeline::new(&mut rng, Method::Solo, kind, cfg, 3e-3);
+        p.train(&train, budget.epochs);
+        let scores = p.evaluate_all(&test);
+        let hw_kind = hw_backbone(kind);
+        points.push(Fig12aPoint {
+            label: kind.name().to_string(),
+            is_solo: true,
+            gflops: hw_kind.gflops(80),
+            c_iou: scores.c_iou,
+        });
+    }
+    // Comparators: full-frame semantic segmentation on an AD-downsampled
+    // frame, capacity varied through the input side. Paper-scale FLOPs are
+    // those of the corresponding transformer at its 60² matched input.
+    let comparators: [(&str, BackboneKind, usize, f64); 6] = [
+        ("M2F-S-L", BackboneKind::Hr, 20, 18.0),
+        ("M2F-S-B", BackboneKind::Hr, 16, 13.0),
+        ("M2F-S-S", BackboneKind::Dl, 14, 9.0),
+        ("M2F-S-T", BackboneKind::Sf, 12, 6.0),
+        ("OF-S-L", BackboneKind::Hr, 20, 19.0),
+        ("OF-D-L", BackboneKind::Dl, 18, 17.0),
+    ];
+    for (i, (label, kind, side, gflops)) in comparators.iter().enumerate() {
+        let mut rng = seeded_rng(seed + 300 + i as u64);
+        let c_iou = comparator_ciou(*kind, *side, &train, &test, budget, &mut rng);
+        points.push(Fig12aPoint {
+            label: label.to_string(),
+            is_solo: false,
+            gflops: *gflops,
+            c_iou,
+        });
+    }
+    points
+}
+
+/// Trains a full-frame semantic segmenter on AD-downsampled frames and
+/// scores the IOI class-map IoU at full resolution.
+fn comparator_ciou(
+    kind: BackboneKind,
+    side: usize,
+    train: &[Sample],
+    test: &[Sample],
+    budget: &Budget,
+    rng: &mut impl Rng,
+) -> f32 {
+    use crate::segnet::SemanticSegNet;
+    use solo_nn::Adam;
+    use solo_sampler::average_downsample;
+    use solo_tensor::bilinear_resize;
+    let mut net = SemanticSegNet::new(rng, kind);
+    let mut opt = Adam::new(3e-3);
+    for _ in 0..budget.epochs {
+        for s in train {
+            let img = average_downsample(&s.image, side, side);
+            let target = down_map(&s.scene.semantic_map(&s.view, budget.full_res), side);
+            net.train_step(&img, &target, &mut opt);
+        }
+    }
+    let mut total = 0.0;
+    for s in test {
+        let img = average_downsample(&s.image, side, side);
+        let map = net.predict_map(&img);
+        // Upsample prediction to full res (nearest) and take the IOI-class
+        // IoU restricted by gaze component.
+        let up = bilinear_resize(
+            &map.reshape(&[1, side, side]),
+            budget.full_res,
+            budget.full_res,
+        )
+        .map(|v| v.round())
+        .into_reshaped(&[budget.full_res, budget.full_res]);
+        let gaze_px = s.gaze.to_pixel(budget.full_res, budget.full_res);
+        let class_at_gaze = up.at(&[gaze_px.0, gaze_px.1]) as usize;
+        let c = if class_at_gaze == s.ioi_class.id() {
+            let component = crate::segnet::connected_component(&up, gaze_px);
+            binary_iou(&component, &s.ioi_mask)
+        } else {
+            // Misclassified gaze pixel: count the class-map IoU, usually 0.
+            class_map_iou(&up, &gt_map(s, budget.full_res), s.ioi_class.id()) * 0.0
+        };
+        total += c;
+    }
+    total / test.len().max(1) as f32
+}
+
+fn gt_map(s: &Sample, n: usize) -> solo_tensor::Tensor {
+    s.scene.semantic_map(&s.view, n)
+}
+
+/// Downsamples a class-id map by nearest sampling.
+fn down_map(map: &solo_tensor::Tensor, side: usize) -> solo_tensor::Tensor {
+    let n = map.shape().dim(0);
+    let img = map.reshape(&[1, n, n]);
+    solo_sampler::uniform_subsample(&img, side, side).into_reshaped(&[side, side])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table2_cell_produces_sane_scores() {
+        let budget = Budget::quick();
+        let cell = table2_cell(
+            BackboneKind::Sf,
+            &DatasetConfig::lvis_like(),
+            solo_hw::soc::Dataset::Lvis,
+            &budget,
+            42,
+        );
+        for (b, c) in [cell.ad, cell.ltd, cell.solo, cell.fr] {
+            assert!((0.0..=1.0).contains(&b));
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c <= b + 1e-6);
+        }
+        assert!(cell.fr_gflops > cell.gflops * 10.0);
+    }
+
+    #[test]
+    fn fig13a_runs_at_quick_budget() {
+        let mut budget = Budget::quick();
+        budget.train_samples = 8;
+        budget.test_samples = 4;
+        budget.epochs = 1;
+        let points = fig13a(&budget, 7);
+        assert_eq!(points.len(), 6);
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.b_iou));
+        }
+    }
+}

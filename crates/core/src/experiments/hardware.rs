@@ -1,0 +1,364 @@
+//! Hardware-model experiments: Table 1/3/4, Fig. 13 (b), Fig. 14 (a),
+//! Fig. 15, and the accelerator area report. These need no training — they
+//! exercise the calibrated simulators in `solo-hw`.
+
+use serde::{Deserialize, Serialize};
+use solo_hw::area::{area_breakdown, AreaEntry};
+use solo_hw::gpu::{hrnet_gflops, GpuModel};
+use solo_hw::sensor::{synthetic_foveated_selection, Lighting, Sensor};
+use solo_hw::soc::{Backbone, Dataset, Pipeline, SocModel};
+use solo_hw::mipi::MipiLink;
+
+/// One row of Table 1: latency vs input size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Network name.
+    pub network: String,
+    /// (input side, latency ms) pairs.
+    pub latencies: Vec<(usize, f64)>,
+}
+
+/// Regenerates Table 1 from the anchored GPU model.
+pub fn table1() -> Vec<Table1Row> {
+    let sides = [160usize, 320, 640, 1440, 2880];
+    let hrnet = GpuModel::hrnet_anchored();
+    let vit = GpuModel::vit_anchored();
+    vec![
+        Table1Row {
+            network: "HRNet".into(),
+            latencies: sides
+                .iter()
+                .map(|&s| (s, hrnet.latency(hrnet_gflops(s)).ms()))
+                .collect(),
+        },
+        Table1Row {
+            network: "ViT-B".into(),
+            latencies: sides
+                .iter()
+                .map(|&s| {
+                    // The ViT model's anchors are parameterized by the same
+                    // area-scaled FLOPs mapping used at construction.
+                    let gflops = 516.0 * 0.9 * (s as f64 / 640.0).powi(2);
+                    (s, vit.latency(gflops).ms())
+                })
+                .collect(),
+        },
+    ]
+}
+
+/// One bar group of Fig. 13 (b): speedup and energy saving vs FR+GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig13bRow {
+    /// Backbone name.
+    pub backbone: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// (pipeline name, speedup, energy saving) per configuration.
+    pub entries: Vec<(String, f64, f64)>,
+}
+
+/// Regenerates Fig. 13 (b) for all backbones × datasets × configurations.
+pub fn fig13b() -> Vec<Fig13bRow> {
+    let soc = SocModel::default();
+    let mut rows = Vec::new();
+    for backbone in Backbone::ALL {
+        for dataset in Dataset::MAIN {
+            let entries = Pipeline::FIG13
+                .iter()
+                .map(|&p| {
+                    (
+                        p.name().to_string(),
+                        soc.speedup(p, backbone, dataset),
+                        soc.energy_saving(p, backbone, dataset),
+                    )
+                })
+                .collect();
+            rows.push(Fig13bRow {
+                backbone: backbone.name().to_string(),
+                dataset: dataset.name().to_string(),
+                entries,
+            });
+        }
+    }
+    rows
+}
+
+/// One cell of Table 3: FR+GPU vs SOLO absolute latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Backbone name.
+    pub backbone: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// FR+GPU latency, ms.
+    pub fr_gpu_ms: f64,
+    /// SOLO latency, ms.
+    pub solo_ms: f64,
+}
+
+/// Regenerates Table 3.
+pub fn table3() -> Vec<Table3Row> {
+    let soc = SocModel::default();
+    let mut rows = Vec::new();
+    for backbone in Backbone::ALL {
+        for dataset in Dataset::MAIN {
+            rows.push(Table3Row {
+                backbone: backbone.name().to_string(),
+                dataset: dataset.name().to_string(),
+                fr_gpu_ms: soc.evaluate(Pipeline::FrGpu, backbone, dataset).latency().ms(),
+                solo_ms: soc.evaluate(Pipeline::Solo, backbone, dataset).latency().ms(),
+            });
+        }
+    }
+    rows
+}
+
+/// One cell of Table 4: latency per pipeline (incl. NPU variants).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Backbone name.
+    pub backbone: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// (pipeline name, latency ms) in paper order.
+    pub latencies_ms: Vec<(String, f64)>,
+}
+
+/// Regenerates Table 4.
+pub fn table4() -> Vec<Table4Row> {
+    let soc = SocModel::default();
+    let mut rows = Vec::new();
+    for backbone in Backbone::ALL {
+        for dataset in Dataset::MAIN {
+            rows.push(Table4Row {
+                backbone: backbone.name().to_string(),
+                dataset: dataset.name().to_string(),
+                latencies_ms: Pipeline::TABLE4
+                    .iter()
+                    .map(|&p| {
+                        (
+                            p.name().to_string(),
+                            soc.evaluate(p, backbone, dataset).latency().ms(),
+                        )
+                    })
+                    .collect(),
+            });
+        }
+    }
+    rows
+}
+
+/// One stacked bar of Fig. 14 (a): the latency breakdown of a pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig14aRow {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Workload label ("HR on LVIS" / "DL on Aria").
+    pub workload: String,
+    /// Sensing + MIPI (+DRAM) ms.
+    pub sensing_mipi_ms: f64,
+    /// ESNet ms.
+    pub esnet_ms: f64,
+    /// Segmentation ms.
+    pub segmentation_ms: f64,
+    /// Total ms (incl. display).
+    pub total_ms: f64,
+}
+
+/// Regenerates Fig. 14 (a): breakdowns for HR-on-LVIS and DL-on-Aria.
+pub fn fig14a() -> Vec<Fig14aRow> {
+    let soc = SocModel::default();
+    let mut rows = Vec::new();
+    for (backbone, dataset, label) in [
+        (Backbone::Hr, Dataset::Lvis, "HR on LVIS"),
+        (Backbone::Dl, Dataset::Aria, "DL on Aria"),
+    ] {
+        for pipeline in Pipeline::FIG13 {
+            let cost = soc.evaluate(pipeline, backbone, dataset);
+            rows.push(Fig14aRow {
+                pipeline: pipeline.name().to_string(),
+                workload: label.to_string(),
+                sensing_mipi_ms: cost.sensing_mipi().0.ms(),
+                esnet_ms: cost.esnet.0.ms(),
+                segmentation_ms: cost.segmentation.0.ms(),
+                total_ms: cost.latency().ms(),
+            });
+        }
+    }
+    rows
+}
+
+/// One bar of Fig. 15: the sensor-side latency/energy split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig15Row {
+    /// Workload label ("LVIS-H" etc.: dataset + lighting).
+    pub label: String,
+    /// "BL" (conventional) or "SBS".
+    pub sensor: String,
+    /// Exposure ms.
+    pub exposure_ms: f64,
+    /// ADC + readout ms.
+    pub adc_readout_ms: f64,
+    /// MIPI ms.
+    pub mipi_ms: f64,
+    /// Exposure energy mJ.
+    pub exposure_mj: f64,
+    /// ADC + readout energy mJ.
+    pub adc_mj: f64,
+    /// MIPI energy mJ.
+    pub mipi_mj: f64,
+}
+
+/// Regenerates Fig. 15: BL vs SBS on LVIS/Aria under high/low light.
+pub fn fig15() -> Vec<Fig15Row> {
+    let link = MipiLink::default();
+    let mut rows = Vec::new();
+    for (dataset, dlabel) in [(Dataset::Lvis, "LVIS"), (Dataset::Aria, "Aria")] {
+        for (lighting, llabel) in [(Lighting::High, "H"), (Lighting::Low, "L")] {
+            let full = dataset.full_side();
+            let down = dataset.down_side();
+            let sensor = Sensor::new(full, full);
+            // Conventional baseline: full capture + full-frame MIPI.
+            let bl = sensor.full_readout(lighting);
+            let bl_mipi = link.transfer_frame(full, full, 3);
+            rows.push(Fig15Row {
+                label: format!("{dlabel}-{llabel}"),
+                sensor: "BL".into(),
+                exposure_ms: bl.exposure.ms(),
+                adc_readout_ms: bl.adc_readout.ms(),
+                mipi_ms: bl_mipi.latency.ms(),
+                exposure_mj: bl.exposure_energy.mj(),
+                adc_mj: bl.adc_energy.mj(),
+                mipi_mj: bl_mipi.energy.mj(),
+            });
+            // SBS: preview + saliency-selected re-read, two small MIPI
+            // transfers.
+            let preview = sensor.subsampled_readout(down, down, lighting);
+            let resense = sensor.sbs_readout(&synthetic_foveated_selection(full, down), lighting);
+            let sbs_mipi = link.transfer_frame(down, down, 3);
+            rows.push(Fig15Row {
+                label: format!("{dlabel}-{llabel}"),
+                sensor: "SBS".into(),
+                exposure_ms: preview.exposure.ms(), // single exposure
+                adc_readout_ms: preview.adc_readout.ms() + resense.adc_readout.ms(),
+                mipi_ms: sbs_mipi.latency.ms() * 2.0,
+                exposure_mj: preview.exposure_energy.mj(),
+                adc_mj: preview.adc_energy.mj() + resense.adc_energy.mj(),
+                mipi_mj: sbs_mipi.energy.mj() * 2.0,
+            });
+        }
+    }
+    rows
+}
+
+/// The accelerator area breakdown of Section 6.1.
+pub fn area_report() -> Vec<AreaEntry> {
+    area_breakdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_paper_numbers() {
+        let rows = table1();
+        let hrnet = &rows[0];
+        let expect = [42.0, 96.0, 423.0, 852.0, 3347.0];
+        for ((_, got), want) in hrnet.latencies.iter().zip(expect) {
+            assert!((got - want).abs() / want < 0.01, "{got} vs {want}");
+        }
+        let vit = &rows[1];
+        assert!((vit.latencies[4].1 - 3942.0).abs() < 40.0);
+    }
+
+    #[test]
+    fn fig13b_solo_wins_every_group() {
+        for row in fig13b() {
+            let solo = row
+                .entries
+                .iter()
+                .find(|(n, _, _)| n == "SOLO")
+                .expect("solo entry");
+            for (name, speedup, saving) in &row.entries {
+                if name != "SOLO" {
+                    assert!(solo.1 >= *speedup, "{}: {} vs SOLO", row.dataset, name);
+                    assert!(solo.2 >= *saving, "{}: {} vs SOLO", row.dataset, name);
+                }
+            }
+            assert!((solo.1 - 1.0).abs() > 1.0, "SOLO speedup should be large");
+        }
+    }
+
+    #[test]
+    fn table3_solo_is_an_order_of_magnitude_faster() {
+        for row in table3() {
+            assert!(
+                row.fr_gpu_ms / row.solo_ms > 4.0,
+                "{} {}: {} vs {}",
+                row.backbone,
+                row.dataset,
+                row.fr_gpu_ms,
+                row.solo_ms
+            );
+        }
+    }
+
+    #[test]
+    fn table4_preserves_engine_ordering() {
+        for row in table4() {
+            let get = |name: &str| {
+                row.latencies_ms
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .expect("entry")
+                    .1
+            };
+            assert!(get("Sub+GPU") > get("Sub+NPU"));
+            assert!(get("Sub+NPU") > get("Sub+Acc"));
+            assert!(get("SBS+GPU") > get("SBS+NPU"));
+            assert!(get("SBS+NPU") > get("SOLO"));
+        }
+    }
+
+    #[test]
+    fn fig14a_fr_is_segmentation_bound() {
+        let rows = fig14a();
+        let fr = rows
+            .iter()
+            .find(|r| r.pipeline == "FR+GPU" && r.workload == "HR on LVIS")
+            .expect("FR row");
+        assert!(fr.segmentation_ms / fr.total_ms > 0.6);
+        let solo = rows
+            .iter()
+            .find(|r| r.pipeline == "SOLO" && r.workload == "HR on LVIS")
+            .expect("SOLO row");
+        assert!(solo.total_ms < fr.total_ms / 4.0);
+    }
+
+    #[test]
+    fn fig15_sbs_slashes_readout_and_mipi_but_not_exposure() {
+        let rows = fig15();
+        let bl = rows
+            .iter()
+            .find(|r| r.label == "Aria-H" && r.sensor == "BL")
+            .expect("bl");
+        let sbs = rows
+            .iter()
+            .find(|r| r.label == "Aria-H" && r.sensor == "SBS")
+            .expect("sbs");
+        assert!((bl.exposure_ms - sbs.exposure_ms).abs() < 1e-9);
+        assert!(bl.adc_readout_ms / sbs.adc_readout_ms > 3.0);
+        assert!(bl.mipi_mj / sbs.mipi_mj > 10.0);
+        // Paper: BL 960² high light ≈ 5.8 ms ADC+readout, 10.5 ms MIPI.
+        assert!((bl.adc_readout_ms - 5.8).abs() < 0.3);
+        assert!((bl.mipi_ms - 10.5).abs() < 0.3);
+    }
+
+    #[test]
+    fn area_report_matches_section_6_1() {
+        let entries = area_report();
+        let total: f64 = entries.iter().map(|e| e.area_mm2).sum();
+        assert!((total - 4.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,20 @@
+//! One entry point per table and figure in the paper's evaluation.
+//!
+//! Every function here returns plain serializable result structs; the
+//! `solo-bench` binaries print them in the paper's row/series format and
+//! `EXPERIMENTS.md` records paper-vs-measured values. Training-based
+//! experiments accept a [`Budget`] so tests can run them in seconds while
+//! the bench binaries use the full budget.
+
+pub mod accuracy;
+pub mod hardware;
+pub mod streaming;
+pub mod study;
+
+pub use accuracy::{fig12a, fig13a, table2, Budget, Fig12aPoint, Fig13aPoint, Table2Cell};
+pub use hardware::{
+    area_report, fig13b, fig14a, fig15, table1, table3, table4, Fig13bRow, Fig14aRow, Fig15Row,
+    Table1Row, Table3Row, Table4Row,
+};
+pub use streaming::{davis_eval, fig12b, fig14b, fig3, DavisReport, Fig12bPoint, Fig14bPoint, Fig3Stats};
+pub use study::{fig17, Fig17Report};

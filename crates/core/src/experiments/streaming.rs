@@ -1,0 +1,272 @@
+//! Streaming experiments: Fig. 3, Fig. 12 (b), Fig. 14 (b), and the DAVIS
+//! evaluation of Section 6.6.
+
+use serde::{Deserialize, Serialize};
+use solo_gaze::{view_diff, GazeStudyStats};
+use solo_hw::soc::{Backbone as HwBackbone, Dataset as HwDataset};
+use solo_sampler::uniform_subsample;
+use solo_scene::{SceneDataset, VideoConfig, VideoSequence};
+use solo_tensor::seeded_rng;
+
+use crate::backbones::BackboneKind;
+use crate::experiments::accuracy::Budget;
+use crate::solonet::{FoveatedPipeline, Method, MethodPipeline, PipelineConfig};
+use crate::ssa::SsaConfig;
+use crate::system::StreamingEvaluator;
+
+/// The Fig. 3 gaze-study statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Stats {
+    /// Fraction of consecutive frames below the 5 % view-change threshold
+    /// (paper: 32 % on Aria Everyday).
+    pub frames_below_view_threshold: f32,
+    /// Fraction of consecutive gaze steps below 20 px (paper: 87 %).
+    pub gaze_below_threshold: f32,
+    /// Video segments found.
+    pub segment_count: usize,
+    /// Mean segment length in frames.
+    pub mean_segment_len: f32,
+}
+
+/// Regenerates the Fig. 3 study on a synthetic Aria-like video.
+pub fn fig3(frames: usize, seed: u64) -> Fig3Stats {
+    let mut cfg = VideoConfig::aria_like(frames);
+    cfg.dataset.resolution = 64;
+    let video = VideoSequence::generate(cfg, &mut seeded_rng(seed));
+    let down = 16;
+    let mut diffs = Vec::with_capacity(video.len().saturating_sub(1));
+    let mut prev = uniform_subsample(&video.frame(0).image, down, down);
+    for i in 1..video.len() {
+        let cur = uniform_subsample(&video.frame(i).image, down, down);
+        diffs.push(view_diff(&prev, &cur));
+        prev = cur;
+    }
+    let trace = video.gaze_trace();
+    let stats = GazeStudyStats::compute(&diffs, &trace, 960, 960, 0.05, 20.0);
+    Fig3Stats {
+        frames_below_view_threshold: stats.frames_below_view_threshold,
+        gaze_below_threshold: stats.gaze_below_threshold,
+        segment_count: stats.segment_count,
+        mean_segment_len: stats.mean_segment_len,
+    }
+}
+
+/// One point of Fig. 12 (b): the accuracy/skip trade-off at one (α, β).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12bPoint {
+    /// View threshold α.
+    pub alpha: f32,
+    /// Gaze threshold β (px).
+    pub beta_px: f32,
+    /// Fraction of frames skipped.
+    pub skip_fraction: f32,
+    /// Mean c-IoU across frames.
+    pub c_iou: f32,
+}
+
+/// Trains a SOLO pipeline on Aria-like data, then sweeps (α, β) over a
+/// streaming video, reporting skip fraction and c-IoU (Fig. 12 (b)).
+pub fn fig12b(budget: &Budget, frames: usize, seed: u64) -> Vec<Fig12bPoint> {
+    let settings: [(f32, f32); 5] = [
+        (0.0, 0.0),
+        (0.01, 10.0),
+        (0.03, 20.0),
+        (0.05, 20.0),
+        (0.08, 40.0),
+    ];
+    let mut video_cfg = VideoConfig::aria_like(frames);
+    video_cfg.dataset.resolution = budget.full_res;
+    let video = VideoSequence::generate(video_cfg, &mut seeded_rng(seed));
+    let mut out = Vec::new();
+    for (alpha, beta) in settings {
+        let pipeline = trained_solo(budget, seed, solo_scene::DatasetConfig::aria_like());
+        let ssa = SsaConfig {
+            alpha,
+            beta_px: beta,
+            use_saccade: true,
+            frame_side: 960,
+        };
+        let mut ev = StreamingEvaluator::new(ssa, HwBackbone::Hr, HwDataset::Aria, Some(pipeline));
+        let report = ev.run(&video);
+        out.push(Fig12bPoint {
+            alpha,
+            beta_px: beta,
+            skip_fraction: report.skip_fraction(),
+            c_iou: report.c_iou,
+        });
+    }
+    out
+}
+
+/// One point of Fig. 14 (b): average speedup from SSA reuse at a setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig14bPoint {
+    /// Setting label ("0/0", "0.05/20+Saccade", …).
+    pub setting: String,
+    /// Backbone name.
+    pub backbone: String,
+    /// Mean per-frame latency, ms.
+    pub mean_latency_ms: f64,
+    /// Speedup vs the no-reuse setting.
+    pub speedup: f64,
+}
+
+/// Regenerates Fig. 14 (b): the speedup from result reuse across SSA
+/// settings (cost-only; no training needed).
+pub fn fig14b(frames: usize, seed: u64) -> Vec<Fig14bPoint> {
+    let settings: [(&str, f32, f32, bool); 5] = [
+        ("0/0", 0.0, 0.0, false),
+        ("0.01/10", 0.01, 10.0, false),
+        ("0.03/20", 0.03, 20.0, false),
+        ("0.05/20", 0.05, 20.0, false),
+        ("0.05/20+Saccade", 0.05, 20.0, true),
+    ];
+    let mut video_cfg = VideoConfig::aria_like(frames);
+    video_cfg.dataset.resolution = 64;
+    let video = VideoSequence::generate(video_cfg, &mut seeded_rng(seed));
+    let mut out = Vec::new();
+    for backbone in [HwBackbone::Hr, HwBackbone::Sf, HwBackbone::Dl] {
+        let mut baseline = None;
+        for (label, alpha, beta, saccade) in settings {
+            let ssa = SsaConfig {
+                alpha,
+                beta_px: beta,
+                use_saccade: saccade,
+                frame_side: 960,
+            };
+            let mut ev = StreamingEvaluator::new(ssa, backbone, HwDataset::Aria, None);
+            let report = ev.run(&video);
+            let base = *baseline.get_or_insert(report.mean_latency_ms);
+            out.push(Fig14bPoint {
+                setting: label.to_string(),
+                backbone: hw_name(backbone).to_string(),
+                mean_latency_ms: report.mean_latency_ms,
+                speedup: base / report.mean_latency_ms,
+            });
+        }
+    }
+    out
+}
+
+/// The Section 6.6 DAVIS evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DavisReport {
+    /// SOLO b-IoU on held-out samples.
+    pub solo_b_iou: f32,
+    /// SOLO c-IoU.
+    pub solo_c_iou: f32,
+    /// Full-frame comparator b-IoU.
+    pub comparator_b_iou: f32,
+    /// Full-frame comparator c-IoU.
+    pub comparator_c_iou: f32,
+    /// SSA skip fraction on the dynamic video (paper: 13 %).
+    pub skip_fraction: f32,
+    /// c-IoU with SSA reuse applied.
+    pub ssa_c_iou: f32,
+    /// Mean per-frame latency with SSA, ms (paper: 28.7 ms).
+    pub mean_latency_ms: f64,
+}
+
+/// Regenerates the DAVIS-2016 robustness study: SOLO-HR vs a full-frame
+/// comparator on moving scenes, plus SSA streaming statistics.
+pub fn davis_eval(budget: &Budget, frames: usize, seed: u64) -> DavisReport {
+    let ds = solo_scene::DatasetConfig::davis_like().with_resolution(budget.full_res);
+    let data = SceneDataset::new(ds.clone());
+    let mut rng = seeded_rng(seed);
+    let train = data.samples(budget.train_samples, &mut rng);
+    let test = data.samples(budget.test_samples, &mut rng);
+    // SOLO with the HR backbone.
+    let cfg = PipelineConfig::for_dataset(&ds, budget.full_res, budget.down_res);
+    let mut solo = MethodPipeline::new(&mut rng, Method::Solo, BackboneKind::Hr, cfg, 3e-3);
+    solo.train(&train, budget.epochs);
+    let solo_scores = solo.evaluate_all(&test);
+    // Full-frame comparator (M2F-S-L stand-in): FR pipeline.
+    let mut fr = MethodPipeline::new(&mut rng, Method::Fr, BackboneKind::Hr, cfg, 3e-3);
+    fr.train(&train, budget.fr_epochs);
+    let fr_scores = fr.evaluate_all(&test);
+    // Streaming with SSA on a dynamic video.
+    let mut video_cfg = VideoConfig::davis_like(frames);
+    video_cfg.dataset.resolution = budget.full_res;
+    let video = VideoSequence::generate(video_cfg, &mut seeded_rng(seed + 1));
+    let pipeline = trained_solo(budget, seed + 2, solo_scene::DatasetConfig::davis_like());
+    let mut ev = StreamingEvaluator::new(
+        SsaConfig::paper_default(480),
+        HwBackbone::Hr,
+        HwDataset::Davis,
+        Some(pipeline),
+    );
+    let report = ev.run(&video);
+    DavisReport {
+        solo_b_iou: solo_scores.b_iou,
+        solo_c_iou: solo_scores.c_iou,
+        comparator_b_iou: fr_scores.b_iou,
+        comparator_c_iou: fr_scores.c_iou,
+        skip_fraction: report.skip_fraction(),
+        ssa_c_iou: report.c_iou,
+        mean_latency_ms: report.mean_latency_ms,
+    }
+}
+
+/// Trains a standalone SOLO [`FoveatedPipeline`] for streaming use.
+fn trained_solo(
+    budget: &Budget,
+    seed: u64,
+    ds: solo_scene::DatasetConfig,
+) -> FoveatedPipeline {
+    let ds = ds.with_resolution(budget.full_res);
+    let cfg = PipelineConfig::for_dataset(&ds, budget.full_res, budget.down_res);
+    let data = SceneDataset::new(ds);
+    let mut rng = seeded_rng(seed);
+    let train = data.samples(budget.train_samples, &mut rng);
+    let mut p = FoveatedPipeline::new(&mut rng, BackboneKind::Hr, cfg, true, 3e-3);
+    for _ in 0..budget.epochs {
+        for s in &train {
+            p.train_step(s);
+        }
+    }
+    p
+}
+
+fn hw_name(b: HwBackbone) -> &'static str {
+    b.name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shows_reuse_potential() {
+        let stats = fig3(400, 5);
+        // Dominant-dwell viewing: a large fraction of frames are static and
+        // most gaze steps are fixational.
+        assert!(stats.frames_below_view_threshold > 0.3);
+        assert!(stats.gaze_below_threshold > 0.5);
+        assert!(stats.segment_count >= 2);
+    }
+
+    #[test]
+    fn fig14b_reuse_speeds_up_monotonically() {
+        let points = fig14b(240, 6);
+        assert_eq!(points.len(), 15);
+        let hr: Vec<&Fig14bPoint> = points.iter().filter(|p| p.backbone == "HR").collect();
+        assert_eq!(hr[0].speedup, 1.0);
+        // The loosest setting must beat the tightest.
+        assert!(
+            hr.last().expect("points").speedup > 1.05,
+            "final speedup {}",
+            hr.last().expect("points").speedup
+        );
+    }
+
+    #[test]
+    fn fig12b_quick_smoke() {
+        let mut budget = Budget::quick();
+        budget.train_samples = 8;
+        budget.epochs = 1;
+        let points = fig12b(&budget, 60, 7);
+        assert_eq!(points.len(), 5);
+        // Skip fraction grows (weakly) with the thresholds.
+        assert!(points[0].skip_fraction <= points[4].skip_fraction + 0.05);
+    }
+}

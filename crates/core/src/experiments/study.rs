@@ -1,0 +1,54 @@
+//! The user-study experiment (Fig. 16/17, Section 6.6).
+
+use serde::{Deserialize, Serialize};
+use solo_tensor::seeded_rng;
+
+use crate::user_study::{run_study, StudyConfig};
+
+/// The Fig. 17 report: per-user and aggregate preference for SOLO.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig17Report {
+    /// Per-user preference fraction for the low-latency method.
+    pub per_user_preference: Vec<f64>,
+    /// Aggregate preference fraction (paper: 96 % ± 6 %).
+    pub total_preference: f64,
+    /// One-sided binomial p-value.
+    pub p_value: f64,
+    /// The latencies compared, ms.
+    pub latency_solo_ms: f64,
+    /// The baseline latency, ms.
+    pub latency_baseline_ms: f64,
+}
+
+/// Regenerates Fig. 17 with the paper's static-image study parameters.
+pub fn fig17(seed: u64) -> Fig17Report {
+    let cfg = StudyConfig::paper_static();
+    let result = run_study(&cfg, &mut seeded_rng(seed));
+    Fig17Report {
+        per_user_preference: result
+            .per_user_a
+            .iter()
+            .map(|&w| w as f64 / result.trials_per_user as f64)
+            .collect(),
+        total_preference: result.preference_a(),
+        p_value: result.p_value,
+        latency_solo_ms: cfg.latency_a_ms,
+        latency_baseline_ms: cfg.latency_b_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig17_prefers_solo_per_user() {
+        let report = fig17(9);
+        assert_eq!(report.per_user_preference.len(), 7);
+        assert!(report.total_preference > 0.85);
+        for (u, p) in report.per_user_preference.iter().enumerate() {
+            assert!(*p > 0.6, "user {u} preference {p}");
+        }
+        assert!(report.p_value < 1e-10);
+    }
+}

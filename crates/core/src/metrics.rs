@@ -1,0 +1,202 @@
+//! Segmentation quality metrics (Section 5).
+//!
+//! * **b-IoU** — intersection-over-union of the binary IOI mask `Y_bm`
+//!   against ground truth, ignoring the class label;
+//! * **c-IoU** — IoU of the *classified* label map `Y_cm`: a pixel counts
+//!   as correct only if it is both inside the mask and labelled with the
+//!   right class.
+
+use solo_tensor::Tensor;
+
+/// IoU of two binary masks (values thresholded at 0.5).
+///
+/// Returns 1.0 when both masks are empty (vacuous agreement).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn binary_iou(pred: &Tensor, gt: &Tensor) -> f32 {
+    assert_eq!(
+        pred.shape(),
+        gt.shape(),
+        "binary_iou shape mismatch: {} vs {}",
+        pred.shape(),
+        gt.shape()
+    );
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (&p, &t) in pred.as_slice().iter().zip(gt.as_slice()) {
+        let p = p > 0.5;
+        let t = t > 0.5;
+        inter += (p && t) as usize;
+        union += (p || t) as usize;
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+/// Classified IoU: the binary IoU gated by the class prediction.
+///
+/// Matches how the paper evaluates `Y_cm = Y_cls ⊗ Y_bm`: if the predicted
+/// IOI class differs from the ground truth, every predicted-IOI pixel is
+/// mislabelled and the intersection is empty, so the IoU collapses to 0
+/// (unless both masks are empty).
+///
+/// # Panics
+///
+/// Panics if the mask shapes differ.
+pub fn classified_iou(pred: &Tensor, pred_class: usize, gt: &Tensor, gt_class: usize) -> f32 {
+    if pred_class == gt_class {
+        binary_iou(pred, gt)
+    } else {
+        let pred_any = pred.as_slice().iter().any(|&v| v > 0.5);
+        let gt_any = gt.as_slice().iter().any(|&v| v > 0.5);
+        if !pred_any && !gt_any {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// IoU between per-pixel *class maps* (each pixel holds a class id), for a
+/// specific class of interest — used by the FR baseline where the network
+/// predicts a full semantic map.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn class_map_iou(pred_map: &Tensor, gt_map: &Tensor, class_id: usize) -> f32 {
+    assert_eq!(
+        pred_map.shape(),
+        gt_map.shape(),
+        "class_map_iou shape mismatch"
+    );
+    let c = class_id as f32;
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (&p, &t) in pred_map.as_slice().iter().zip(gt_map.as_slice()) {
+        let p = (p - c).abs() < 0.5;
+        let t = (t - c).abs() < 0.5;
+        inter += (p && t) as usize;
+        union += (p || t) as usize;
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+/// Running mean of paired (b-IoU, c-IoU) scores.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IouAccumulator {
+    b_sum: f64,
+    c_sum: f64,
+    n: usize,
+}
+
+impl IouAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample's scores.
+    pub fn push(&mut self, b_iou: f32, c_iou: f32) {
+        self.b_sum += b_iou as f64;
+        self.c_sum += c_iou as f64;
+        self.n += 1;
+    }
+
+    /// Mean b-IoU (0.0 when empty).
+    pub fn b_iou(&self) -> f32 {
+        if self.n == 0 { 0.0 } else { (self.b_sum / self.n as f64) as f32 }
+    }
+
+    /// Mean c-IoU (0.0 when empty).
+    pub fn c_iou(&self) -> f32 {
+        if self.n == 0 { 0.0 } else { (self.c_sum / self.n as f64) as f32 }
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether any samples were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(bits: &[f32]) -> Tensor {
+        Tensor::from_vec(bits.to_vec(), &[bits.len()])
+    }
+
+    #[test]
+    fn identical_masks_score_one() {
+        let m = mask(&[1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(binary_iou(&m, &m), 1.0);
+    }
+
+    #[test]
+    fn disjoint_masks_score_zero() {
+        let a = mask(&[1.0, 1.0, 0.0, 0.0]);
+        let b = mask(&[0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(binary_iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn half_overlap_scores_one_third() {
+        let a = mask(&[1.0, 1.0, 0.0]);
+        let b = mask(&[0.0, 1.0, 1.0]);
+        assert!((binary_iou(&a, &b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_masks_agree_vacuously() {
+        let e = mask(&[0.0, 0.0]);
+        assert_eq!(binary_iou(&e, &e), 1.0);
+    }
+
+    #[test]
+    fn soft_predictions_threshold_at_half() {
+        let p = mask(&[0.9, 0.4]);
+        let t = mask(&[1.0, 0.0]);
+        assert_eq!(binary_iou(&p, &t), 1.0);
+    }
+
+    #[test]
+    fn wrong_class_zeroes_ciou() {
+        let m = mask(&[1.0, 1.0, 0.0]);
+        assert_eq!(classified_iou(&m, 3, &m, 3), 1.0);
+        assert_eq!(classified_iou(&m, 2, &m, 3), 0.0);
+    }
+
+    #[test]
+    fn class_map_iou_selects_one_class() {
+        let pred = mask(&[0.0, 1.0, 1.0, 2.0]);
+        let gt = mask(&[0.0, 1.0, 2.0, 2.0]);
+        assert_eq!(class_map_iou(&pred, &gt, 0), 1.0);
+        assert!((class_map_iou(&pred, &gt, 1) - 0.5).abs() < 1e-6);
+        assert!((class_map_iou(&pred, &gt, 2) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = IouAccumulator::new();
+        acc.push(0.6, 0.4);
+        acc.push(0.8, 0.6);
+        assert_eq!(acc.len(), 2);
+        assert!((acc.b_iou() - 0.7).abs() < 1e-6);
+        assert!((acc.c_iou() - 0.5).abs() < 1e-6);
+    }
+}

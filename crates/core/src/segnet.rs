@@ -1,0 +1,553 @@
+//! The gaze-aware segmentation network (Section 3.3) and the FR baseline.
+//!
+//! [`GazeAwareSegNet`] attaches two heads to a backbone: `H_seg` produces
+//! the binary IOI map `Y_bm` and `H_cls` the class distribution `Y_cls`
+//! over `C + 1` classes (including background); their outer product forms
+//! the label map `Y_cm`. Only the gazed instance is segmented — the
+//! network never labels the rest of the frame, which is where the compute
+//! savings come from.
+//!
+//! [`SemanticSegNet`] is the conventional *Full Resolution* baseline: a
+//! per-pixel classifier over the whole frame, from which the IOI mask is
+//! extracted afterwards as the connected component of the predicted class
+//! under the gaze.
+
+use rand::Rng;
+use solo_nn::{loss, Conv2d, Layer, Linear, Optimizer, Param, Relu, Sigmoid};
+use solo_scene::NUM_CLASSES;
+use solo_tensor::Tensor;
+
+use crate::backbones::BackboneKind;
+
+/// Class count including the background class (`C + 1`, Section 3.3).
+pub const CLASSES_WITH_BG: usize = NUM_CLASSES + 1;
+
+/// The background class id.
+pub const BACKGROUND: usize = NUM_CLASSES;
+
+/// A backbone plus the `H_seg` / `H_cls` heads.
+pub struct GazeAwareSegNet {
+    backbone: Box<dyn Layer>,
+    kind: BackboneKind,
+    seg1: Conv2d,
+    seg_r1: Relu,
+    seg2: Conv2d,
+    seg_r2: Relu,
+    seg3: Conv2d,
+    seg_sig: Sigmoid,
+    cls_conv: Conv2d,
+    cls_r: Relu,
+    cls_fc: Linear,
+}
+
+impl GazeAwareSegNet {
+    /// Builds the network for a backbone family.
+    pub fn new(rng: &mut impl Rng, kind: BackboneKind) -> Self {
+        let f = kind.channels();
+        Self {
+            backbone: kind.build(rng),
+            kind,
+            seg1: Conv2d::new(rng, f, f, 3),
+            seg_r1: Relu::new(),
+            seg2: Conv2d::new(rng, f, f / 2, 3),
+            seg_r2: Relu::new(),
+            seg3: Conv2d::new(rng, f / 2, 1, 3),
+            seg_sig: Sigmoid::new(),
+            cls_conv: Conv2d::new(rng, f, f, 3),
+            cls_r: Relu::new(),
+            cls_fc: Linear::new(rng, f, CLASSES_WITH_BG),
+        }
+    }
+
+    /// The backbone family.
+    pub fn kind(&self) -> BackboneKind {
+        self.kind
+    }
+
+    /// Inference: IOI probability mask `[h, w]` and class logits `[C+1]`.
+    pub fn infer(&mut self, img: &Tensor) -> (Tensor, Tensor) {
+        let feat = self.backbone.infer(img);
+        let (h, w) = (feat.shape().dim(1), feat.shape().dim(2));
+        let mask = self
+            .seg_sig
+            .infer(&self.seg3.infer(&self.seg_r2.infer(&self.seg2.infer(
+                &self.seg_r1.infer(&self.seg1.infer(&feat)),
+            ))))
+            .into_reshaped(&[h, w]);
+        let cls_feat = self.cls_r.infer(&self.cls_conv.infer(&feat));
+        let pooled = masked_avg_pool(&cls_feat, &mask);
+        let logits = self.cls_fc.infer(&pooled);
+        (mask, logits)
+    }
+
+    /// Predicted class id (argmax over `C+1`).
+    pub fn predict_class(&mut self, img: &Tensor) -> usize {
+        self.infer(img).1.argmax()
+    }
+
+    /// The label map `Y_cm` as per-pixel class ids: IOI-class where the
+    /// mask fires, background elsewhere (the argmax of the outer product
+    /// construction of Section 3.3).
+    pub fn label_map(&mut self, img: &Tensor) -> (Tensor, usize) {
+        let (mask, logits) = self.infer(img);
+        let class = logits.argmax();
+        let map = mask.map(|m| if m > 0.5 { class as f32 } else { BACKGROUND as f32 });
+        (map, class)
+    }
+
+    /// One training step: Dice on the mask + cross-entropy on the class.
+    /// Returns `(dice_loss, ce_loss)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gt_mask` does not match the image's spatial size or
+    /// `gt_class >= C + 1`.
+    pub fn train_step(
+        &mut self,
+        img: &Tensor,
+        gt_mask: &Tensor,
+        gt_class: usize,
+        opt: &mut dyn Optimizer,
+    ) -> (f32, f32) {
+        assert!(gt_class < CLASSES_WITH_BG, "class id out of range");
+        let feat = self.backbone.forward(img);
+        let (h, w) = (feat.shape().dim(1), feat.shape().dim(2));
+        assert_eq!(
+            gt_mask.shape().dims(),
+            &[h, w],
+            "ground-truth mask must be [{h}, {w}]"
+        );
+        // Segmentation head.
+        let mask = self
+            .seg_sig
+            .forward(&self.seg3.forward(&self.seg_r2.forward(&self.seg2.forward(
+                &self.seg_r1.forward(&self.seg1.forward(&feat)),
+            ))))
+            .into_reshaped(&[h, w]);
+        let (dice_l, dice_g) = loss::dice(&mask, gt_mask);
+        // A small pixel-wise BCE keeps the sigmoid out of saturation: pure
+        // Dice initially pushes the (huge) background toward 0 so hard that
+        // the mask collapses to all-zero and the foreground gradient — a
+        // handful of pixels — can no longer recover it.
+        let (_, bce_g) = loss::bce(&mask, gt_mask);
+        let g_mask = dice_g.add(&bce_g.scale(0.5));
+        let g_seg = self.seg1.backward(&self.seg_r1.backward(&self.seg2.backward(
+            &self.seg_r2.backward(&self.seg3.backward(
+                &self.seg_sig.backward(&g_mask.reshape(&[1, h, w])),
+            )),
+        )));
+        // Classification head: features pooled over the *ground-truth*
+        // mask during training (over the predicted mask at inference) —
+        // the classifier describes the gazed instance, not the scene.
+        let cls_feat = self.cls_r.forward(&self.cls_conv.forward(&feat));
+        let pooled = masked_avg_pool(&cls_feat, gt_mask);
+        let logits = self.cls_fc.forward(&pooled);
+        let (ce_l, ce_g) = loss::cross_entropy(&logits, gt_class);
+        let g_pool = self.cls_fc.backward(&ce_g);
+        let g_cls_feat = broadcast_masked_pool_grad(&g_pool, gt_mask);
+        let g_cls = self.cls_conv.backward(&self.cls_r.backward(&g_cls_feat));
+        // Joint backbone gradient.
+        self.backbone.backward(&g_seg.add(&g_cls));
+        opt.step(self);
+        (dice_l, ce_l)
+    }
+}
+
+impl Layer for GazeAwareSegNet {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        // Layer-trait forward exposes the mask path only (used by generic
+        // tooling); training uses `train_step`.
+        let feat = self.backbone.forward(input);
+        self.seg_sig.forward(&self.seg3.forward(&self.seg_r2.forward(&self.seg2.forward(
+            &self.seg_r1.forward(&self.seg1.forward(&feat)),
+        ))))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.seg1.backward(&self.seg_r1.backward(&self.seg2.backward(
+            &self.seg_r2.backward(&self.seg3.backward(&self.seg_sig.backward(grad_out))),
+        )));
+        self.backbone.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.backbone.visit_params(f);
+        self.seg1.visit_params(f);
+        self.seg2.visit_params(f);
+        self.seg3.visit_params(f);
+        self.cls_conv.visit_params(f);
+        self.cls_fc.visit_params(f);
+    }
+}
+
+impl std::fmt::Debug for GazeAwareSegNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GazeAwareSegNet({})", self.kind.name())
+    }
+}
+
+/// `[C, H, W]` features pooled with spatial weights `[H, W]` (weights are
+/// treated as constants — no gradient flows into the mask through the
+/// pooling). Falls back to a uniform pool when the mask is all-zero.
+fn masked_avg_pool(x: &Tensor, weights: &Tensor) -> Tensor {
+    let (c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
+    let hw = h * w;
+    let src = x.as_slice();
+    let wsum: f32 = weights.sum();
+    if wsum < 1e-6 {
+        return Tensor::from_vec(
+            (0..c)
+                .map(|ch| src[ch * hw..(ch + 1) * hw].iter().sum::<f32>() / hw as f32)
+                .collect(),
+            &[c],
+        );
+    }
+    let wv = weights.as_slice();
+    Tensor::from_vec(
+        (0..c)
+            .map(|ch| {
+                src[ch * hw..(ch + 1) * hw]
+                    .iter()
+                    .zip(wv)
+                    .map(|(&f, &m)| f * m)
+                    .sum::<f32>()
+                    / wsum
+            })
+            .collect(),
+        &[c],
+    )
+}
+
+/// Adjoint of [`masked_avg_pool`] w.r.t. the features.
+fn broadcast_masked_pool_grad(g: &Tensor, weights: &Tensor) -> Tensor {
+    let (h, w) = (weights.shape().dim(0), weights.shape().dim(1));
+    let hw = h * w;
+    let c = g.len();
+    let wsum: f32 = weights.sum();
+    let mut out = vec![0.0f32; c * hw];
+    if wsum < 1e-6 {
+        for ch in 0..c {
+            let v = g.as_slice()[ch] / hw as f32;
+            for o in &mut out[ch * hw..(ch + 1) * hw] {
+                *o = v;
+            }
+        }
+    } else {
+        let wv = weights.as_slice();
+        for ch in 0..c {
+            let gv = g.as_slice()[ch] / wsum;
+            for (o, &m) in out[ch * hw..(ch + 1) * hw].iter_mut().zip(wv) {
+                *o = gv * m;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, h, w])
+}
+
+/// Per-pixel softmax cross-entropy for semantic segmentation:
+/// `logits [C+1, h, w]` against a class-id map `[h, w]`.
+/// Returns the mean loss and the gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a target id is out of range.
+pub fn pixel_cross_entropy(logits: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    let (c, h, w) = (
+        logits.shape().dim(0),
+        logits.shape().dim(1),
+        logits.shape().dim(2),
+    );
+    assert_eq!(target.shape().dims(), &[h, w], "target map shape mismatch");
+    let n = (h * w) as f32;
+    let src = logits.as_slice();
+    let mut grad = vec![0.0f32; c * h * w];
+    let mut total = 0.0f32;
+    for p in 0..h * w {
+        let t = target.as_slice()[p] as usize;
+        assert!(t < c, "target class {t} out of range for {c} channels");
+        // Per-pixel softmax over channels.
+        let mut maxv = f32::NEG_INFINITY;
+        for ch in 0..c {
+            maxv = maxv.max(src[ch * h * w + p]);
+        }
+        let mut denom = 0.0;
+        for ch in 0..c {
+            denom += (src[ch * h * w + p] - maxv).exp();
+        }
+        for ch in 0..c {
+            let prob = (src[ch * h * w + p] - maxv).exp() / denom;
+            grad[ch * h * w + p] = (prob - ((ch == t) as u8 as f32)) / n;
+            if ch == t {
+                total += -(prob.max(1e-12)).ln();
+            }
+        }
+    }
+    (total / n, Tensor::from_vec(grad, &[c, h, w]))
+}
+
+/// The conventional full-resolution semantic segmentation baseline.
+pub struct SemanticSegNet {
+    backbone: Box<dyn Layer>,
+    kind: BackboneKind,
+    head: Conv2d,
+}
+
+impl SemanticSegNet {
+    /// Builds the network. Input is plain RGB: the conventional pipeline
+    /// segments the whole frame with no knowledge of the gaze (the gaze
+    /// only selects the IOI mask afterwards).
+    pub fn new(rng: &mut impl Rng, kind: BackboneKind) -> Self {
+        Self {
+            backbone: kind.build_with_inputs(rng, 3),
+            kind,
+            head: Conv2d::new(rng, kind.channels(), CLASSES_WITH_BG, 3),
+        }
+    }
+
+    /// The backbone family.
+    pub fn kind(&self) -> BackboneKind {
+        self.kind
+    }
+
+    /// Per-pixel class-id map `[h, w]`.
+    pub fn predict_map(&mut self, img: &Tensor) -> Tensor {
+        let logits = self.head.infer(&self.backbone.infer(img));
+        argmax_channels(&logits)
+    }
+
+    /// One per-pixel cross-entropy training step; returns the loss.
+    pub fn train_step(&mut self, img: &Tensor, target_map: &Tensor, opt: &mut dyn Optimizer) -> f32 {
+        let logits = self.head.forward(&self.backbone.forward(img));
+        let (l, g) = pixel_cross_entropy(&logits, target_map);
+        self.backbone.backward(&self.head.backward(&g));
+        opt.step(self);
+        l
+    }
+
+    /// Extracts the IOI mask the way the paper's FR baseline does: take the
+    /// predicted class at the gaze pixel, then keep the 4-connected
+    /// component of that class containing the gaze. Returns the mask and
+    /// the predicted class.
+    pub fn ioi_mask(&mut self, img: &Tensor, gaze_px: (usize, usize)) -> (Tensor, usize) {
+        let map = self.predict_map(img);
+        let class = map.at(&[gaze_px.0, gaze_px.1]) as usize;
+        (connected_component(&map, gaze_px), class)
+    }
+}
+
+impl Layer for SemanticSegNet {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.head.forward(&self.backbone.forward(input))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backbone.backward(&self.head.backward(grad_out))
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.backbone.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+impl std::fmt::Debug for SemanticSegNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SemanticSegNet({})", self.kind.name())
+    }
+}
+
+/// Argmax over the channel axis of `[C, h, w]` → class-id map `[h, w]`.
+pub fn argmax_channels(logits: &Tensor) -> Tensor {
+    let (c, h, w) = (
+        logits.shape().dim(0),
+        logits.shape().dim(1),
+        logits.shape().dim(2),
+    );
+    let src = logits.as_slice();
+    let mut out = vec![0.0f32; h * w];
+    for (p, slot) in out.iter_mut().enumerate() {
+        let mut best = 0usize;
+        let mut bestv = f32::NEG_INFINITY;
+        for ch in 0..c {
+            let v = src[ch * h * w + p];
+            if v > bestv {
+                bestv = v;
+                best = ch;
+            }
+        }
+        *slot = best as f32;
+    }
+    Tensor::from_vec(out, &[h, w])
+}
+
+/// The 4-connected component of `map`'s value at `seed`, as a binary mask.
+///
+/// # Panics
+///
+/// Panics if `seed` is out of bounds.
+pub fn connected_component(map: &Tensor, seed: (usize, usize)) -> Tensor {
+    let (h, w) = (map.shape().dim(0), map.shape().dim(1));
+    assert!(seed.0 < h && seed.1 < w, "seed out of bounds");
+    let target = map.at(&[seed.0, seed.1]);
+    let mut mask = vec![0.0f32; h * w];
+    let mut stack = vec![seed];
+    mask[seed.0 * w + seed.1] = 1.0;
+    while let Some((r, c)) = stack.pop() {
+        let mut push = |rr: usize, cc: usize, stack: &mut Vec<(usize, usize)>| {
+            if (map.at(&[rr, cc]) - target).abs() < 0.5 && mask[rr * w + cc] == 0.0 {
+                mask[rr * w + cc] = 1.0;
+                stack.push((rr, cc));
+            }
+        };
+        if r > 0 {
+            push(r - 1, c, &mut stack);
+        }
+        if r + 1 < h {
+            push(r + 1, c, &mut stack);
+        }
+        if c > 0 {
+            push(r, c - 1, &mut stack);
+        }
+        if c + 1 < w {
+            push(r, c + 1, &mut stack);
+        }
+    }
+    Tensor::from_vec(mask, &[h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solo_nn::Adam;
+    use solo_tensor::{seeded_rng, uniform};
+
+    #[test]
+    fn infer_shapes_are_consistent() {
+        let mut rng = seeded_rng(100);
+        let mut net = GazeAwareSegNet::new(&mut rng, BackboneKind::Sf);
+        let img = uniform(&mut rng, &[4, 16, 16], 0.0, 1.0);
+        let (mask, logits) = net.infer(&img);
+        assert_eq!(mask.shape().dims(), &[16, 16]);
+        assert_eq!(logits.shape().dims(), &[CLASSES_WITH_BG]);
+        assert!(mask.min() >= 0.0 && mask.max() <= 1.0);
+    }
+
+    #[test]
+    fn training_reduces_both_losses() {
+        let mut rng = seeded_rng(101);
+        let mut net = GazeAwareSegNet::new(&mut rng, BackboneKind::Dl);
+        let img = uniform(&mut rng, &[4, 16, 16], 0.0, 1.0);
+        let mut gt = Tensor::zeros(&[16, 16]);
+        for i in 5..11 {
+            for j in 5..11 {
+                gt.set(&[i, j], 1.0);
+            }
+        }
+        let mut opt = Adam::new(3e-3);
+        let (d0, c0) = net.train_step(&img, &gt, 4, &mut opt);
+        let mut dn = d0;
+        let mut cn = c0;
+        for _ in 0..40 {
+            let (d, c) = net.train_step(&img, &gt, 4, &mut opt);
+            dn = d;
+            cn = c;
+        }
+        assert!(dn < d0 * 0.7, "dice {d0} -> {dn}");
+        assert!(cn < c0 * 0.5, "ce {c0} -> {cn}");
+        assert_eq!(net.predict_class(&img), 4);
+    }
+
+    #[test]
+    fn label_map_combines_mask_and_class() {
+        let mut rng = seeded_rng(102);
+        let mut net = GazeAwareSegNet::new(&mut rng, BackboneKind::Sf);
+        let img = uniform(&mut rng, &[4, 8, 8], 0.0, 1.0);
+        let (map, class) = net.label_map(&img);
+        for &v in map.as_slice() {
+            assert!(v as usize == class || v as usize == BACKGROUND);
+        }
+    }
+
+    #[test]
+    fn pixel_ce_gradient_matches_fd() {
+        let mut rng = seeded_rng(103);
+        let logits = uniform(&mut rng, &[3, 2, 2], -1.0, 1.0);
+        let target = Tensor::from_vec(vec![0.0, 1.0, 2.0, 1.0], &[2, 2]);
+        let (_, g) = pixel_cross_entropy(&logits, &target);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let fd = (pixel_cross_entropy(&lp, &target).0 - pixel_cross_entropy(&lm, &target).0)
+                / (2.0 * eps);
+            assert!(
+                (fd - g.as_slice()[i]).abs() < 1e-3,
+                "idx {i}: fd {fd} vs analytic {}",
+                g.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn semantic_net_learns_a_two_region_map() {
+        let mut rng = seeded_rng(104);
+        let mut net = SemanticSegNet::new(&mut rng, BackboneKind::Sf);
+        // Left half class 1, right half background.
+        let mut img = Tensor::zeros(&[3, 16, 16]);
+        for ch in 0..3 {
+            for i in 0..16 {
+                for j in 0..8 {
+                    img.set(&[ch, i, j], 1.0);
+                }
+            }
+        }
+        let target = Tensor::from_vec(
+            (0..256)
+                .map(|p| if p % 16 < 8 { 1.0 } else { BACKGROUND as f32 })
+                .collect(),
+            &[16, 16],
+        );
+        let mut opt = Adam::new(3e-3);
+        let first = net.train_step(&img, &target, &mut opt);
+        let mut last = first;
+        for _ in 0..40 {
+            last = net.train_step(&img, &target, &mut opt);
+        }
+        assert!(last < first * 0.5, "pixel CE {first} -> {last}");
+        let map = net.predict_map(&img);
+        // Majority of left half labelled 1.
+        let hits = (0..16)
+            .flat_map(|i| (0..8).map(move |j| (i, j)))
+            .filter(|&(i, j)| map.at(&[i, j]) == 1.0)
+            .count();
+        assert!(hits > 96, "only {hits}/128 left-half pixels classified");
+    }
+
+    #[test]
+    fn connected_component_respects_boundaries() {
+        // Two separate regions of class 1.
+        let map = Tensor::from_vec(
+            vec![
+                1.0, 1.0, 0.0, 1.0, //
+                1.0, 0.0, 0.0, 1.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0,
+            ],
+            &[4, 4],
+        );
+        let cc = connected_component(&map, (0, 0));
+        assert_eq!(cc.sum(), 3.0); // the left component only
+        assert_eq!(cc.at(&[0, 3]), 0.0);
+        let cc2 = connected_component(&map, (1, 3));
+        assert_eq!(cc2.sum(), 2.0);
+    }
+
+    #[test]
+    fn argmax_channels_picks_largest() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0, 0.5, 0.5, 0.0, 1.0], &[2, 2, 2]);
+        let map = argmax_channels(&logits);
+        assert_eq!(map.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+}

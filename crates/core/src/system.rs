@@ -1,0 +1,248 @@
+//! Streaming end-to-end evaluation: SSA decisions over a synthetic video,
+//! scored for accuracy (reused masks vs moving ground truth) and priced by
+//! the `solo-hw` pipeline models (Sections 5.3, 6.3, 6.6).
+
+use solo_hw::soc::{Backbone as HwBackbone, Dataset as HwDataset, Pipeline, SocModel};
+use solo_sampler::uniform_subsample;
+use solo_scene::VideoSequence;
+use solo_tensor::Tensor;
+
+use crate::metrics::{binary_iou, classified_iou};
+use crate::solonet::FoveatedPipeline;
+use crate::ssa::{Ssa, SsaConfig};
+
+/// Aggregate results of streaming a video through SOLO with the SSA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingReport {
+    /// Frames processed.
+    pub frames: usize,
+    /// Frames whose segmentation was skipped (result reused).
+    pub skipped: usize,
+    /// Mean b-IoU over frames with a ground-truth IOI (0 if untracked).
+    pub b_iou: f32,
+    /// Mean c-IoU over frames with a ground-truth IOI (0 if untracked).
+    pub c_iou: f32,
+    /// Mean per-frame latency in ms (full path on run frames, `T_skip` on
+    /// reused frames).
+    pub mean_latency_ms: f64,
+}
+
+impl StreamingReport {
+    /// Fraction of frames skipped.
+    pub fn skip_fraction(&self) -> f32 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.skipped as f32 / self.frames as f32
+        }
+    }
+}
+
+/// Streams a [`VideoSequence`] through the SSA.
+///
+/// With a trained [`FoveatedPipeline`] attached, frames are actually
+/// segmented and reused masks are scored against each frame's moving
+/// ground truth (the Fig. 12 (b) accuracy/skip trade-off). Without one,
+/// only the skip statistics and hardware costs are produced (the
+/// Fig. 14 (b) speedup sweep), which needs no training.
+pub struct StreamingEvaluator {
+    ssa: Ssa,
+    soc: SocModel,
+    hw_backbone: HwBackbone,
+    hw_dataset: HwDataset,
+    pipeline: Option<FoveatedPipeline>,
+}
+
+impl StreamingEvaluator {
+    /// Creates an evaluator. `pipeline` is the trained SOLO pipeline, or
+    /// `None` for cost-only sweeps.
+    pub fn new(
+        config: SsaConfig,
+        hw_backbone: HwBackbone,
+        hw_dataset: HwDataset,
+        pipeline: Option<FoveatedPipeline>,
+    ) -> Self {
+        Self {
+            ssa: Ssa::new(config),
+            soc: SocModel::default(),
+            hw_backbone,
+            hw_dataset,
+            pipeline,
+        }
+    }
+
+    /// Streams the whole video.
+    pub fn run(&mut self, video: &VideoSequence) -> StreamingReport {
+        self.ssa.reset();
+        let down = video.config().dataset.resolution / 4;
+        let run_cost = self
+            .soc
+            .evaluate(Pipeline::Solo, self.hw_backbone, self.hw_dataset)
+            .latency()
+            .ms();
+        let skip_cost = self.soc.skip_path(self.hw_dataset).latency().ms();
+        let mut skipped = 0usize;
+        let mut latency_total = 0.0f64;
+        let mut b_sum = 0.0f64;
+        let mut c_sum = 0.0f64;
+        let mut scored = 0usize;
+        let mut held: Option<(Tensor, usize)> = None; // (full-res mask, class)
+        for i in 0..video.len() {
+            let frame = video.frame(i);
+            let preview = uniform_subsample(&frame.image, down, down);
+            // The saccade flag comes from the generator's ground-truth
+            // phase — the upper bound an ideal RNN detector reaches.
+            let decision = self
+                .ssa
+                .step(&preview, frame.gaze.point, frame.gaze.phase.is_suppressed());
+            if decision.must_run() {
+                latency_total += run_cost;
+                if let Some(p) = self.pipeline.as_mut() {
+                    held = Some(segment_frame(p, &frame.image, frame.gaze.point));
+                }
+            } else {
+                skipped += 1;
+                latency_total += skip_cost;
+            }
+            // Score the currently-displayed mask against this frame's GT.
+            if let (Some((mask, class)), Some(gt_class)) = (&held, frame.ioi_class) {
+                b_sum += binary_iou(mask, &frame.ioi_mask) as f64;
+                c_sum +=
+                    classified_iou(mask, *class, &frame.ioi_mask, gt_class.id()) as f64;
+                scored += 1;
+            }
+        }
+        StreamingReport {
+            frames: video.len(),
+            skipped,
+            b_iou: if scored == 0 { 0.0 } else { (b_sum / scored as f64) as f32 },
+            c_iou: if scored == 0 { 0.0 } else { (c_sum / scored as f64) as f32 },
+            mean_latency_ms: latency_total / video.len().max(1) as f64,
+        }
+    }
+}
+
+/// Runs the foveated pipeline on a raw frame, returning the full-resolution
+/// binarized mask and the predicted class.
+fn segment_frame(
+    p: &mut FoveatedPipeline,
+    image: &Tensor,
+    gaze: solo_gaze::GazePoint,
+) -> (Tensor, usize) {
+    let full = p.config().full_res;
+    let d = p.config().down_res;
+    let pseudo = pseudo_sample(image, gaze, full);
+    let map = p.index_map(&pseudo);
+    let sampled = p.pack_sampled(&map, &pseudo);
+    let (mask, logits) = p.seg.infer(&sampled);
+    let up = map
+        .upsample(&mask.reshape(&[1, d, d]))
+        .into_reshaped(&[full, full])
+        .map(|v| if v > 0.5 { 1.0 } else { 0.0 });
+    (up, logits.argmax())
+}
+
+/// A minimal stand-in `Sample` so `FoveatedPipeline::index_map` can run on
+/// streaming frames (only `image` and `gaze` are consulted).
+fn pseudo_sample(image: &Tensor, gaze: solo_gaze::GazePoint, full: usize) -> solo_scene::Sample {
+    solo_scene::Sample {
+        image: image.clone(),
+        gaze,
+        ioi_mask: Tensor::zeros(&[full, full]),
+        ioi_class: solo_scene::ShapeClass::Circle,
+        scene: solo_scene::Scene {
+            objects: Vec::new(),
+            background: solo_scene::Background::default(),
+        },
+        view: solo_scene::ViewWindow::new(0.5, 0.5, 1.0),
+        ioi_index: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solo_scene::VideoConfig;
+    use solo_tensor::seeded_rng;
+
+    fn video(frames: usize, seed: u64) -> VideoSequence {
+        let mut cfg = VideoConfig::aria_like(frames);
+        cfg.dataset.resolution = 48;
+        VideoSequence::generate(cfg, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn paper_thresholds_skip_a_large_fraction() {
+        let v = video(400, 1);
+        let mut ev = StreamingEvaluator::new(
+            SsaConfig::paper_default(960),
+            HwBackbone::Hr,
+            HwDataset::Aria,
+            None,
+        );
+        let report = ev.run(&v);
+        // The Aria-like viewing structure (long dwells) gives substantial
+        // reuse — the paper's Fig. 12 (b) sweeps up to ≈60 %.
+        assert!(
+            report.skip_fraction() > 0.3,
+            "skip fraction {}",
+            report.skip_fraction()
+        );
+        assert!(report.skip_fraction() < 0.99);
+    }
+
+    #[test]
+    fn no_reuse_config_never_skips_on_dynamic_video() {
+        let v = video(200, 2);
+        let mut ev = StreamingEvaluator::new(
+            SsaConfig::no_reuse(960),
+            HwBackbone::Hr,
+            HwDataset::Aria,
+            None,
+        );
+        let report = ev.run(&v);
+        // α = β = 0: any gaze motion reruns; only frames with *zero* gaze
+        // movement (a handful at 30 Hz, e.g. during recovery holds) can be
+        // reused.
+        assert!(
+            report.skip_fraction() <= 0.08,
+            "skip fraction {}",
+            report.skip_fraction()
+        );
+    }
+
+    #[test]
+    fn skipping_lowers_mean_latency() {
+        let v = video(300, 3);
+        let run = |cfg: SsaConfig| {
+            StreamingEvaluator::new(cfg, HwBackbone::Hr, HwDataset::Aria, None)
+                .run(&v)
+                .mean_latency_ms
+        };
+        let without = run(SsaConfig::no_reuse(960));
+        let with = run(SsaConfig::paper_default(960));
+        assert!(
+            with < without * 0.9,
+            "reuse {with} ms vs no-reuse {without} ms"
+        );
+    }
+
+    #[test]
+    fn larger_thresholds_skip_more() {
+        let v = video(300, 4);
+        let skip_at = |alpha: f32, beta: f32| {
+            let cfg = SsaConfig {
+                alpha,
+                beta_px: beta,
+                use_saccade: false,
+                frame_side: 960,
+            };
+            StreamingEvaluator::new(cfg, HwBackbone::Hr, HwDataset::Aria, None)
+                .run(&v)
+                .skip_fraction()
+        };
+        let small = skip_at(0.01, 10.0);
+        let large = skip_at(0.05, 40.0);
+        assert!(large >= small, "{large} < {small}");
+    }
+}

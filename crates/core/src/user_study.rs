@@ -1,0 +1,227 @@
+//! Simulated two-interval forced-choice (2IFC) user study (Section 6.6).
+//!
+//! The paper's participants viewed the same scene segmented by two methods
+//! whose *latency* was artificially imposed, and chose the preferred
+//! rendering. The causal chain is: latency → the displayed mask lags the
+//! gaze → spatial misalignment between mask and the looked-at object →
+//! lower preference. This module models that chain: per trial, a gaze
+//! excursion is sampled from the eye-behaviour model, each method's
+//! misalignment is the distance the gaze travelled during its latency
+//! window, and a Bradley–Terry choice over exponential alignment utilities
+//! produces the decision. A one-sided exact binomial test (as in the
+//! paper) assesses significance.
+
+use rand::Rng;
+use solo_gaze::{EyeBehaviorConfig, EyeBehaviorModel};
+
+/// Configuration of a simulated study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyConfig {
+    /// End-to-end latency of method A (e.g. SOLO/HR: 42.6 ms).
+    pub latency_a_ms: f64,
+    /// End-to-end latency of method B (e.g. FR+GPU/M2F: 547 ms).
+    pub latency_b_ms: f64,
+    /// Participants.
+    pub users: usize,
+    /// 2IFC trials per participant.
+    pub trials_per_user: usize,
+    /// Frame side in pixels (misalignment is measured in pixels).
+    pub frame_side: usize,
+    /// Misalignment tolerance τ in pixels: preference utility is
+    /// `exp(−misalign/τ)`.
+    pub tolerance_px: f64,
+}
+
+impl StudyConfig {
+    /// The paper's static-image study: HR (42.6 ms) vs FR+GPU with
+    /// Mask2Former (547 ms), 7 users × 32 trials (Fig. 16/17).
+    pub fn paper_static() -> Self {
+        Self {
+            latency_a_ms: 42.6,
+            latency_b_ms: 547.0,
+            users: 7,
+            trials_per_user: 32,
+            frame_side: 960,
+            tolerance_px: 40.0,
+        }
+    }
+
+    /// The DAVIS dynamic-scene study: 33 ms vs 478 ms, 4 users × 32 trials
+    /// (Section 6.6).
+    pub fn paper_davis() -> Self {
+        Self {
+            latency_a_ms: 33.0,
+            latency_b_ms: 478.0,
+            users: 4,
+            trials_per_user: 32,
+            frame_side: 480,
+            tolerance_px: 40.0,
+        }
+    }
+}
+
+/// Results of a simulated study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyResult {
+    /// Trials in which each user preferred method A.
+    pub per_user_a: Vec<usize>,
+    /// Trials per user.
+    pub trials_per_user: usize,
+    /// Total A-preferences.
+    pub total_a: usize,
+    /// Total trials.
+    pub total: usize,
+    /// One-sided binomial p-value for the null "A and B equally likely".
+    pub p_value: f64,
+}
+
+impl StudyResult {
+    /// Overall preference fraction for method A.
+    pub fn preference_a(&self) -> f64 {
+        self.total_a as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Runs the simulated study.
+pub fn run_study(config: &StudyConfig, rng: &mut impl Rng) -> StudyResult {
+    let eye = EyeBehaviorModel::new(EyeBehaviorConfig::default());
+    let mut per_user_a = Vec::with_capacity(config.users);
+    let mut total_a = 0usize;
+    for _ in 0..config.users {
+        let mut wins = 0usize;
+        for _ in 0..config.trials_per_user {
+            // Sample a short viewing episode; misalignment for a method is
+            // how far the gaze moved over its latency window, worst-case
+            // over the episode (users notice the worst moment).
+            let trace = eye.generate(90, rng); // 3 s at 30 Hz
+            let ma = worst_misalignment_px(&trace, config.latency_a_ms, config.frame_side);
+            let mb = worst_misalignment_px(&trace, config.latency_b_ms, config.frame_side);
+            let ua = (-ma / config.tolerance_px).exp();
+            let ub = (-mb / config.tolerance_px).exp();
+            let p_a = ua / (ua + ub);
+            if rng.gen::<f64>() < p_a {
+                wins += 1;
+            }
+        }
+        total_a += wins;
+        per_user_a.push(wins);
+    }
+    let total = config.users * config.trials_per_user;
+    StudyResult {
+        per_user_a,
+        trials_per_user: config.trials_per_user,
+        total_a,
+        total,
+        p_value: binomial_p_one_sided(total_a, total),
+    }
+}
+
+/// The largest gaze displacement (px) over any window of `latency_ms`
+/// within the trace — the worst mask-to-gaze misalignment a user sees.
+fn worst_misalignment_px(
+    trace: &[solo_gaze::GazeSample],
+    latency_ms: f64,
+    frame_side: usize,
+) -> f64 {
+    let mut worst = 0.0f64;
+    for (i, s) in trace.iter().enumerate() {
+        // Find the sample `latency_ms` earlier; that is where the mask
+        // being displayed now was computed.
+        let cutoff = s.t_ms - latency_ms;
+        if cutoff < 0.0 {
+            continue;
+        }
+        let j = trace[..=i]
+            .iter()
+            .rposition(|p| p.t_ms <= cutoff)
+            .unwrap_or(0);
+        let d = s.point.distance_px(&trace[j].point, frame_side, frame_side) as f64;
+        worst = worst.max(d);
+    }
+    worst
+}
+
+/// Exact one-sided binomial test: `P(X ≥ k)` for `X ~ Binomial(n, 1/2)`,
+/// computed in log space (the paper reports `P < 1.67 × 10⁻²⁹` for 122 of
+/// 128 trials).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn binomial_p_one_sided(k: usize, n: usize) -> f64 {
+    assert!(k <= n, "k must not exceed n");
+    // log C(n, i) via cumulative log-factorials.
+    let mut log_fact = vec![0.0f64; n + 1];
+    for i in 1..=n {
+        log_fact[i] = log_fact[i - 1] + (i as f64).ln();
+    }
+    let ln_half_n = n as f64 * 0.5f64.ln();
+    let mut p = 0.0f64;
+    for i in k..=n {
+        let ln_term = log_fact[n] - log_fact[i] - log_fact[n - i] + ln_half_n;
+        p += ln_term.exp();
+    }
+    p.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solo_tensor::seeded_rng;
+
+    #[test]
+    fn binomial_test_matches_known_values() {
+        // P(X ≥ 5 | n = 10) ≈ 0.623; P(X ≥ 8 | n = 10) ≈ 0.0547.
+        assert!((binomial_p_one_sided(5, 10) - 0.623).abs() < 0.01);
+        assert!((binomial_p_one_sided(8, 10) - 0.0547).abs() < 0.002);
+        assert_eq!(binomial_p_one_sided(0, 10), 1.0);
+    }
+
+    #[test]
+    fn binomial_test_reproduces_papers_significance() {
+        // 122 of 128: the paper reports P < 1.67 × 10⁻²⁹.
+        let p = binomial_p_one_sided(122, 128);
+        assert!(p < 1.7e-29, "p = {p}");
+        assert!(p > 0.0);
+    }
+
+    #[test]
+    fn low_latency_method_is_strongly_preferred() {
+        let mut rng = seeded_rng(120);
+        let result = run_study(&StudyConfig::paper_static(), &mut rng);
+        // The paper finds 96 % ± 6 % preference for the low-latency method.
+        assert!(
+            result.preference_a() > 0.85,
+            "preference {}",
+            result.preference_a()
+        );
+        assert!(result.p_value < 1e-6, "p = {}", result.p_value);
+        assert_eq!(result.per_user_a.len(), 7);
+        assert_eq!(result.total, 224);
+    }
+
+    #[test]
+    fn equal_latencies_are_a_coin_flip() {
+        let mut rng = seeded_rng(121);
+        let cfg = StudyConfig {
+            latency_b_ms: 42.6,
+            ..StudyConfig::paper_static()
+        };
+        let result = run_study(&cfg, &mut rng);
+        assert!(
+            (result.preference_a() - 0.5).abs() < 0.15,
+            "preference {}",
+            result.preference_a()
+        );
+        assert!(result.p_value > 0.01);
+    }
+
+    #[test]
+    fn davis_study_is_significant() {
+        let mut rng = seeded_rng(122);
+        let result = run_study(&StudyConfig::paper_davis(), &mut rng);
+        assert!(result.preference_a() > 0.85);
+        assert!(result.p_value < 1e-6);
+        assert_eq!(result.total, 128);
+    }
+}

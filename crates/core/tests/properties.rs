@@ -1,0 +1,68 @@
+//! Property-based tests on metrics and SSA invariants.
+
+use proptest::prelude::*;
+use solo_core::metrics::{binary_iou, classified_iou};
+use solo_core::ssa::{average_latency_ms, skip_probability};
+use solo_tensor::Tensor;
+
+fn mask(bits: Vec<bool>) -> Tensor {
+    let n = bits.len();
+    Tensor::from_vec(bits.into_iter().map(|b| b as u8 as f32).collect(), &[n])
+}
+
+proptest! {
+    #[test]
+    fn iou_is_symmetric_and_bounded(
+        a in proptest::collection::vec(any::<bool>(), 1..64),
+        b_seed in any::<u64>(),
+    ) {
+        let n = a.len();
+        let b: Vec<bool> = (0..n).map(|i| (b_seed >> (i % 64)) & 1 == 1).collect();
+        let (ma, mb) = (mask(a), mask(b));
+        let ab = binary_iou(&ma, &mb);
+        let ba = binary_iou(&mb, &ma);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert_eq!(binary_iou(&ma, &ma), 1.0);
+    }
+
+    #[test]
+    fn classified_iou_never_exceeds_binary(
+        a in proptest::collection::vec(any::<bool>(), 1..64),
+        pc in 0usize..11,
+        gc in 0usize..11,
+    ) {
+        let m = mask(a);
+        let c = classified_iou(&m, pc, &m, gc);
+        let b = binary_iou(&m, &m);
+        prop_assert!(c <= b + 1e-6);
+        if pc == gc {
+            prop_assert_eq!(c, b);
+        }
+    }
+
+    #[test]
+    fn skip_probability_is_a_probability(
+        p_nv in 0.0f64..1.0,
+        p_sac in 0.0f64..1.0,
+        p_ng in 0.0f64..1.0,
+    ) {
+        let p = skip_probability(p_nv, p_sac, p_ng);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // More view changes can only reduce skipping.
+        let p_more_views = skip_probability((p_nv + 0.1).min(1.0), p_sac, p_ng);
+        prop_assert!(p_more_views <= p + 1e-12);
+    }
+
+    #[test]
+    fn average_latency_is_between_the_extremes(
+        t_std in 1.0f64..1000.0,
+        t_skip_frac in 0.0f64..1.0,
+        p in 0.0f64..1.0,
+    ) {
+        let t_skip = t_std * t_skip_frac;
+        let avg = average_latency_ms(t_std, t_skip, p);
+        prop_assert!(avg <= t_std + 1e-9);
+        prop_assert!(avg >= t_skip - 1e-9);
+    }
+}

@@ -1,0 +1,272 @@
+//! Generative model of AR-user gaze behaviour.
+
+use rand::Rng;
+
+use crate::{EyePhase, GazePoint, GazeSample};
+
+/// Parameters of the oculomotor state machine.
+///
+/// Defaults reflect the paper's Section 2.1/2.2 numbers and the Aria
+/// Everyday statistics it reports: fixations of a few hundred ms to seconds,
+/// saccade durations 30–250 ms following the main sequence (duration grows
+/// with amplitude), a 50 ms post-saccadic recovery window, and rare smooth
+/// pursuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EyeBehaviorConfig {
+    /// Gaze samples per second (AR eye trackers commonly run 30–120 Hz).
+    pub sample_rate_hz: f32,
+    /// Fixation duration range in ms.
+    pub fixation_ms: (f32, f32),
+    /// Saccade amplitude range in normalized view units.
+    pub saccade_amplitude: (f32, f32),
+    /// Probability that a gaze shift is a smooth pursuit instead of a
+    /// saccade.
+    pub smooth_pursuit_prob: f32,
+    /// Smooth-pursuit duration range in ms.
+    pub pursuit_ms: (f32, f32),
+    /// Std-dev of fixational jitter (tremor/microsaccades), normalized.
+    pub fixation_jitter: f32,
+    /// Post-saccadic sensitivity recovery window in ms (the paper cites
+    /// 50 ms).
+    pub recovery_ms: f32,
+}
+
+impl Default for EyeBehaviorConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate_hz: 30.0,
+            fixation_ms: (300.0, 2500.0),
+            saccade_amplitude: (0.08, 0.55),
+            smooth_pursuit_prob: 0.08,
+            pursuit_ms: (400.0, 1200.0),
+            fixation_jitter: 0.003,
+            recovery_ms: 50.0,
+        }
+    }
+}
+
+impl EyeBehaviorConfig {
+    /// Saccade duration from the main sequence: ≈30 ms for the smallest
+    /// shifts, growing roughly linearly to 250 ms for cross-view jumps
+    /// (Baloh et al. 1975, as cited by the paper).
+    pub fn saccade_duration_ms(&self, amplitude: f32) -> f32 {
+        (30.0 + 320.0 * amplitude).clamp(30.0, 250.0)
+    }
+}
+
+/// The gaze-trace generator: a fixation → saccade → (recovery) → fixation
+/// state machine with occasional smooth pursuit.
+#[derive(Debug, Clone, Default)]
+pub struct EyeBehaviorModel {
+    config: EyeBehaviorConfig,
+}
+
+impl EyeBehaviorModel {
+    /// Creates a model from a config.
+    pub fn new(config: EyeBehaviorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EyeBehaviorConfig {
+        &self.config
+    }
+
+    /// Generates `n` gaze samples at the configured sample rate.
+    pub fn generate(&self, n: usize, rng: &mut impl Rng) -> Vec<GazeSample> {
+        let dt_ms = 1000.0 / self.config.sample_rate_hz as f64;
+        let mut samples = Vec::with_capacity(n);
+        let mut t_ms = 0.0f64;
+        let mut current = GazePoint::new(rng.gen_range(0.2..0.8), rng.gen_range(0.2..0.8));
+        let mut state = State::Fixation {
+            remaining_ms: rng.gen_range(self.config.fixation_ms.0..self.config.fixation_ms.1),
+            target: current,
+        };
+        while samples.len() < n {
+            let (point, phase) = match &mut state {
+                State::Fixation { remaining_ms, target } => {
+                    let jittered = GazePoint::new(
+                        target.x + sample_normal(rng, self.config.fixation_jitter),
+                        target.y + sample_normal(rng, self.config.fixation_jitter),
+                    );
+                    *remaining_ms -= dt_ms as f32;
+                    (jittered, EyePhase::Fixation)
+                }
+                State::Saccade { from, to, elapsed_ms, duration_ms } => {
+                    *elapsed_ms += dt_ms as f32;
+                    let frac = (*elapsed_ms / *duration_ms).min(1.0);
+                    // Ballistic velocity profile: smooth-step position curve.
+                    let s = frac * frac * (3.0 - 2.0 * frac);
+                    let p = GazePoint::new(
+                        from.x + (to.x - from.x) * s,
+                        from.y + (to.y - from.y) * s,
+                    );
+                    (p, EyePhase::Saccade)
+                }
+                State::Recovery { remaining_ms, at } => {
+                    *remaining_ms -= dt_ms as f32;
+                    (*at, EyePhase::Recovery)
+                }
+                State::Pursuit { remaining_ms, pos, velocity } => {
+                    pos.x = (pos.x + velocity.0 * dt_ms as f32 / 1000.0).clamp(0.05, 0.95);
+                    pos.y = (pos.y + velocity.1 * dt_ms as f32 / 1000.0).clamp(0.05, 0.95);
+                    *remaining_ms -= dt_ms as f32;
+                    (*pos, EyePhase::SmoothPursuit)
+                }
+            };
+            current = point;
+            samples.push(GazeSample {
+                t_ms,
+                point,
+                phase,
+            });
+            t_ms += dt_ms;
+            state = self.advance(state, current, rng);
+        }
+        samples
+    }
+
+    fn advance(&self, state: State, current: GazePoint, rng: &mut impl Rng) -> State {
+        let cfg = &self.config;
+        match state {
+            State::Fixation { remaining_ms, target } if remaining_ms <= 0.0 => {
+                if rng.gen::<f32>() < cfg.smooth_pursuit_prob {
+                    let speed = rng.gen_range(0.05..0.25); // view-units per second
+                    let angle = rng.gen_range(0.0..std::f32::consts::TAU);
+                    State::Pursuit {
+                        remaining_ms: rng.gen_range(cfg.pursuit_ms.0..cfg.pursuit_ms.1),
+                        pos: target,
+                        velocity: (speed * angle.cos(), speed * angle.sin()),
+                    }
+                } else {
+                    let amplitude = rng.gen_range(cfg.saccade_amplitude.0..cfg.saccade_amplitude.1);
+                    let angle = rng.gen_range(0.0..std::f32::consts::TAU);
+                    let to = GazePoint::new(
+                        (target.x + amplitude * angle.cos()).clamp(0.05, 0.95),
+                        (target.y + amplitude * angle.sin()).clamp(0.05, 0.95),
+                    );
+                    State::Saccade {
+                        from: target,
+                        to,
+                        elapsed_ms: 0.0,
+                        duration_ms: cfg.saccade_duration_ms(amplitude),
+                    }
+                }
+            }
+            State::Saccade { to, elapsed_ms, duration_ms, .. } if elapsed_ms >= duration_ms => {
+                State::Recovery {
+                    remaining_ms: cfg.recovery_ms,
+                    at: to,
+                }
+            }
+            State::Recovery { remaining_ms, at } if remaining_ms <= 0.0 => State::Fixation {
+                remaining_ms: rng.gen_range(cfg.fixation_ms.0..cfg.fixation_ms.1),
+                target: at,
+            },
+            State::Pursuit { remaining_ms, .. } if remaining_ms <= 0.0 => State::Fixation {
+                remaining_ms: rng.gen_range(cfg.fixation_ms.0..cfg.fixation_ms.1),
+                target: current,
+            },
+            other => other,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    Fixation { remaining_ms: f32, target: GazePoint },
+    Saccade { from: GazePoint, to: GazePoint, elapsed_ms: f32, duration_ms: f32 },
+    Recovery { remaining_ms: f32, at: GazePoint },
+    Pursuit { remaining_ms: f32, pos: GazePoint, velocity: (f32, f32) },
+}
+
+fn sample_normal(rng: &mut impl Rng, std: f32) -> f32 {
+    // Box–Muller, single draw.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    std * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solo_tensor::seeded_rng;
+
+    fn trace(n: usize, seed: u64) -> Vec<GazeSample> {
+        EyeBehaviorModel::new(EyeBehaviorConfig::default()).generate(n, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn generates_requested_length_with_monotone_time() {
+        let t = trace(500, 1);
+        assert_eq!(t.len(), 500);
+        for w in t.windows(2) {
+            assert!(w[1].t_ms > w[0].t_ms);
+        }
+    }
+
+    #[test]
+    fn fixations_dominate() {
+        let t = trace(3000, 2);
+        let fix = t.iter().filter(|s| s.phase.is_fixation()).count();
+        let sac = t.iter().filter(|s| s.phase == EyePhase::Saccade).count();
+        let pur = t.iter().filter(|s| s.phase == EyePhase::SmoothPursuit).count();
+        assert!(fix > t.len() / 2, "fixation fraction {}", fix as f32 / t.len() as f32);
+        assert!(sac > 0, "no saccades generated");
+        // Smooth pursuit is less common than either fixation or saccade time
+        // in the aggregate of many traces.
+        assert!(pur < fix);
+    }
+
+    #[test]
+    fn gaze_is_stable_within_fixations() {
+        let t = trace(2000, 3);
+        for w in t.windows(2) {
+            if w[0].phase.is_fixation() && w[1].phase.is_fixation() {
+                // 20 px at 960² ≈ 0.0208 normalized — the paper's Fig 3(c)
+                // finding that fixation-phase inter-frame gaze distance is
+                // below β.
+                assert!(
+                    w[0].point.distance(&w[1].point) < 0.03,
+                    "fixation jitter too large: {}",
+                    w[0].point.distance(&w[1].point)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saccades_move_fast() {
+        let t = trace(5000, 4);
+        let mut max_sacc_step = 0.0f32;
+        for w in t.windows(2) {
+            if w[1].phase == EyePhase::Saccade {
+                max_sacc_step = max_sacc_step.max(w[0].point.distance(&w[1].point));
+            }
+        }
+        assert!(max_sacc_step > 0.05, "saccade peak step {max_sacc_step}");
+    }
+
+    #[test]
+    fn saccade_duration_follows_main_sequence() {
+        let cfg = EyeBehaviorConfig::default();
+        assert!(cfg.saccade_duration_ms(0.0) >= 30.0);
+        assert!(cfg.saccade_duration_ms(1.0) <= 250.0);
+        assert!(cfg.saccade_duration_ms(0.5) > cfg.saccade_duration_ms(0.1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = trace(100, 9);
+        let b = trace(100, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gaze_stays_in_unit_square() {
+        for s in trace(3000, 5) {
+            assert!((0.0..=1.0).contains(&s.point.x));
+            assert!((0.0..=1.0).contains(&s.point.y));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Synthetic near-eye image rendering.
+//!
+//! The AR device's inward-facing eye-tracking camera captures monochrome
+//! eye images whose pupil position encodes the gaze direction (Section 2.4).
+//! Lacking the OpenEDS2020 dataset, this renderer produces a parametric eye
+//! (sclera, iris, pupil, eyelids) whose appearance is a deterministic
+//! function of gaze plus sensor noise — exactly the mapping GT-ViT must
+//! learn to invert.
+
+use rand::Rng;
+
+use crate::GazePoint;
+use solo_tensor::Tensor;
+
+/// Rendering parameters for the synthetic eye.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EyeImageConfig {
+    /// Image side (images are square, monochrome `[1, res, res]`).
+    pub resolution: usize,
+    /// Iris radius as a fraction of the image side.
+    pub iris_radius: f32,
+    /// Pupil radius as a fraction of the image side.
+    pub pupil_radius: f32,
+    /// Maximum pupil-center excursion from image center, as a fraction of
+    /// the side (how far the eyeball rotates for gaze at the view edge).
+    pub excursion: f32,
+    /// Additive Gaussian sensor-noise std (on a 0–1 intensity scale).
+    pub noise_std: f32,
+}
+
+impl Default for EyeImageConfig {
+    fn default() -> Self {
+        Self {
+            resolution: 32,
+            iris_radius: 0.28,
+            pupil_radius: 0.12,
+            excursion: 0.22,
+            noise_std: 0.02,
+        }
+    }
+}
+
+/// Renders a monochrome `[1, res, res]` eye image for a gaze direction.
+///
+/// Intensity layout: bright sclera (≈0.9), mid-gray iris (≈0.45), dark
+/// pupil (≈0.05), with eyelid vignetting at top and bottom. The pupil
+/// center translates linearly with gaze; `(0.5, 0.5)` gaze centers it.
+pub fn render_eye(config: &EyeImageConfig, gaze: GazePoint, rng: &mut impl Rng) -> Tensor {
+    let n = config.resolution;
+    assert!(n >= 8, "eye image resolution must be at least 8");
+    let cx = 0.5 + (gaze.x - 0.5) * 2.0 * config.excursion;
+    let cy = 0.5 + (gaze.y - 0.5) * 2.0 * config.excursion;
+    let mut data = vec![0.0f32; n * n];
+    for i in 0..n {
+        let y = (i as f32 + 0.5) / n as f32;
+        for j in 0..n {
+            let x = (j as f32 + 0.5) / n as f32;
+            let d = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
+            let mut v = if d < config.pupil_radius {
+                0.05
+            } else if d < config.iris_radius {
+                // Radial iris texture.
+                0.45 + 0.08 * ((d * 40.0).sin() * 0.5)
+            } else {
+                0.9
+            };
+            // Eyelid vignetting: darken toward top/bottom edges.
+            let lid = (1.0 - ((y - 0.5).abs() * 2.0).powi(4)).clamp(0.0, 1.0);
+            v *= 0.3 + 0.7 * lid;
+            // Sensor noise.
+            if config.noise_std > 0.0 {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                v += config.noise_std
+                    * (-2.0 * u1.ln()).sqrt()
+                    * (std::f32::consts::TAU * u2).cos();
+            }
+            data[i * n + j] = v.clamp(0.0, 1.0);
+        }
+    }
+    Tensor::from_vec(data, &[1, n, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solo_tensor::seeded_rng;
+
+    fn noiseless() -> EyeImageConfig {
+        EyeImageConfig {
+            noise_std: 0.0,
+            ..EyeImageConfig::default()
+        }
+    }
+
+    /// Centroid of dark (pupil) pixels — robust to the eyelid vignette,
+    /// which darkens the pupil's upper/lower rim asymmetrically.
+    fn darkest_pixel(img: &Tensor) -> (usize, usize) {
+        let n = img.shape().dim(1);
+        let (mut si, mut sj, mut count) = (0.0f32, 0.0f32, 0.0f32);
+        for i in 0..n {
+            for j in 0..n {
+                if img.at(&[0, i, j]) < 0.1 {
+                    si += i as f32;
+                    sj += j as f32;
+                    count += 1.0;
+                }
+            }
+        }
+        assert!(count > 0.0, "no pupil pixels found");
+        ((si / count).round() as usize, (sj / count).round() as usize)
+    }
+
+    #[test]
+    fn pupil_centered_for_central_gaze() {
+        let img = render_eye(&noiseless(), GazePoint::center(), &mut seeded_rng(0));
+        let (i, j) = darkest_pixel(&img);
+        assert!((i as i32 - 16).abs() <= 1, "row {i}");
+        assert!((j as i32 - 16).abs() <= 1, "col {j}");
+    }
+
+    #[test]
+    fn pupil_tracks_gaze_direction() {
+        let left = render_eye(&noiseless(), GazePoint::new(0.1, 0.5), &mut seeded_rng(0));
+        let right = render_eye(&noiseless(), GazePoint::new(0.9, 0.5), &mut seeded_rng(0));
+        let (_, jl) = darkest_pixel(&left);
+        let (_, jr) = darkest_pixel(&right);
+        assert!(jr > jl + 4, "pupil cols {jl} vs {jr}");
+    }
+
+    #[test]
+    fn intensities_stay_in_unit_range() {
+        let img = render_eye(
+            &EyeImageConfig::default(),
+            GazePoint::new(0.8, 0.2),
+            &mut seeded_rng(1),
+        );
+        assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn different_gazes_give_different_images() {
+        let a = render_eye(&noiseless(), GazePoint::new(0.3, 0.3), &mut seeded_rng(0));
+        let b = render_eye(&noiseless(), GazePoint::new(0.7, 0.7), &mut seeded_rng(0));
+        assert!(a.sub(&b).norm_sq() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn rejects_tiny_resolution() {
+        let cfg = EyeImageConfig {
+            resolution: 4,
+            ..EyeImageConfig::default()
+        };
+        render_eye(&cfg, GazePoint::center(), &mut seeded_rng(0));
+    }
+}

@@ -1,0 +1,191 @@
+//! Dispersion-based fixation analysis (I-DT).
+//!
+//! A second, complementary classical baseline next to the velocity
+//! threshold in [`crate::ThresholdSaccadeDetector`]: the I-DT algorithm
+//! groups consecutive samples whose spatial *dispersion* stays under a
+//! threshold for at least a minimum duration into fixations. The SSA's
+//! gaze condition (β) is a per-step test; fixation extents are what the
+//! paper's Figure 3 (a) visualizes as stable gaze clusters inside a video
+//! segment.
+
+use crate::{GazePoint, GazeSample};
+
+/// One detected fixation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fixation {
+    /// Index of the first sample.
+    pub start: usize,
+    /// One past the last sample.
+    pub end: usize,
+    /// Centroid of the fixation's gaze samples.
+    pub centroid: GazePoint,
+    /// Duration in milliseconds.
+    pub duration_ms: f64,
+}
+
+impl Fixation {
+    /// Number of samples in the fixation.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the fixation covers no samples.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// I-DT parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdtConfig {
+    /// Maximum dispersion (max-x-extent + max-y-extent, normalized view
+    /// units) for a window to count as a fixation.
+    pub dispersion: f32,
+    /// Minimum fixation duration in milliseconds (≈100 ms is the
+    /// physiological floor).
+    pub min_duration_ms: f64,
+}
+
+impl Default for IdtConfig {
+    fn default() -> Self {
+        Self {
+            dispersion: 0.03,
+            min_duration_ms: 100.0,
+        }
+    }
+}
+
+/// Runs I-DT over a gaze trace, returning fixations in temporal order.
+///
+/// # Panics
+///
+/// Panics if the config's dispersion is not positive.
+pub fn detect_fixations(trace: &[GazeSample], config: &IdtConfig) -> Vec<Fixation> {
+    assert!(config.dispersion > 0.0, "dispersion must be positive");
+    let mut fixations = Vec::new();
+    let mut start = 0usize;
+    while start < trace.len() {
+        // Grow the window while dispersion stays under the threshold.
+        let mut end = start + 1;
+        let mut min_x = trace[start].point.x;
+        let mut max_x = min_x;
+        let mut min_y = trace[start].point.y;
+        let mut max_y = min_y;
+        while end < trace.len() {
+            let p = trace[end].point;
+            let nmin_x = min_x.min(p.x);
+            let nmax_x = max_x.max(p.x);
+            let nmin_y = min_y.min(p.y);
+            let nmax_y = max_y.max(p.y);
+            if (nmax_x - nmin_x) + (nmax_y - nmin_y) > config.dispersion {
+                break;
+            }
+            min_x = nmin_x;
+            max_x = nmax_x;
+            min_y = nmin_y;
+            max_y = nmax_y;
+            end += 1;
+        }
+        let duration = trace[end - 1].t_ms - trace[start].t_ms;
+        if duration >= config.min_duration_ms && end - start >= 2 {
+            let (mut cx, mut cy) = (0.0f32, 0.0f32);
+            for s in &trace[start..end] {
+                cx += s.point.x;
+                cy += s.point.y;
+            }
+            let n = (end - start) as f32;
+            fixations.push(Fixation {
+                start,
+                end,
+                centroid: GazePoint::new(cx / n, cy / n),
+                duration_ms: duration,
+            });
+            start = end;
+        } else {
+            start += 1;
+        }
+    }
+    fixations
+}
+
+/// Mean fixation duration over a trace in ms (0 when none found).
+pub fn mean_fixation_duration_ms(trace: &[GazeSample], config: &IdtConfig) -> f64 {
+    let fixations = detect_fixations(trace, config);
+    if fixations.is_empty() {
+        0.0
+    } else {
+        fixations.iter().map(|f| f.duration_ms).sum::<f64>() / fixations.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EyeBehaviorConfig, EyeBehaviorModel, EyePhase};
+    use solo_tensor::seeded_rng;
+
+    fn synthetic_trace() -> Vec<GazeSample> {
+        // 20 samples at point A, 3 in transit, 20 at point B (30 Hz).
+        let mut t = Vec::new();
+        let mut push = |i: usize, x: f32, y: f32| {
+            t.push(GazeSample {
+                t_ms: i as f64 * 33.0,
+                point: GazePoint::new(x, y),
+                phase: EyePhase::Fixation,
+            })
+        };
+        for i in 0..20 {
+            push(i, 0.3 + 0.001 * (i % 3) as f32, 0.3);
+        }
+        for i in 20..23 {
+            push(i, 0.3 + 0.1 * (i - 19) as f32, 0.3);
+        }
+        for i in 23..43 {
+            push(i, 0.6, 0.3 + 0.001 * (i % 2) as f32);
+        }
+        t
+    }
+
+    #[test]
+    fn finds_two_fixations_around_a_jump() {
+        let f = detect_fixations(&synthetic_trace(), &IdtConfig::default());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!((f[0].centroid.x - 0.3).abs() < 0.01);
+        assert!((f[1].centroid.x - 0.6).abs() < 0.01);
+        assert!(f[0].duration_ms >= 100.0);
+        // Fixations don't overlap and are ordered.
+        assert!(f[0].end <= f[1].start);
+    }
+
+    #[test]
+    fn fixations_cover_most_of_a_natural_trace() {
+        let model = EyeBehaviorModel::new(EyeBehaviorConfig::default());
+        let trace = model.generate(600, &mut seeded_rng(8));
+        let fixations = detect_fixations(&trace, &IdtConfig::default());
+        let covered: usize = fixations.iter().map(Fixation::len).sum();
+        assert!(
+            covered as f32 / trace.len() as f32 > 0.5,
+            "fixations cover only {covered}/{} samples",
+            trace.len()
+        );
+        // Mean duration in the physiological range.
+        let mean = mean_fixation_duration_ms(&trace, &IdtConfig::default());
+        assert!(mean > 100.0 && mean < 5000.0, "mean duration {mean} ms");
+    }
+
+    #[test]
+    fn tight_dispersion_finds_nothing_on_a_moving_trace() {
+        let trace: Vec<GazeSample> = (0..50)
+            .map(|i| GazeSample {
+                t_ms: i as f64 * 33.0,
+                point: GazePoint::new(0.01 * i as f32, 0.5),
+                phase: EyePhase::SmoothPursuit,
+            })
+            .collect();
+        let cfg = IdtConfig {
+            dispersion: 0.005,
+            min_duration_ms: 100.0,
+        };
+        assert!(detect_fixations(&trace, &cfg).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Gaze trace primitives.
+
+use serde::{Deserialize, Serialize};
+
+/// A normalized gaze location in the front-camera frame: `x` is the column
+/// fraction and `y` the row fraction, both in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GazePoint {
+    /// Column fraction in `[0, 1]`.
+    pub x: f32,
+    /// Row fraction in `[0, 1]`.
+    pub y: f32,
+}
+
+impl GazePoint {
+    /// Creates a gaze point, clamping into `[0, 1]²`.
+    pub fn new(x: f32, y: f32) -> Self {
+        Self {
+            x: x.clamp(0.0, 1.0),
+            y: y.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The frame center.
+    pub fn center() -> Self {
+        Self { x: 0.5, y: 0.5 }
+    }
+
+    /// Euclidean distance in normalized units.
+    pub fn distance(&self, other: &GazePoint) -> f32 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Euclidean distance in pixels for a `width × height` frame — the
+    /// quantity the paper thresholds at β = 20 px (Section 3.5).
+    pub fn distance_px(&self, other: &GazePoint, width: usize, height: usize) -> f32 {
+        (((self.x - other.x) * width as f32).powi(2)
+            + ((self.y - other.y) * height as f32).powi(2))
+        .sqrt()
+    }
+
+    /// Converts to integer pixel coordinates `(row, col)` in an `h × w`
+    /// frame.
+    pub fn to_pixel(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            ((self.y * h as f32) as usize).min(h.saturating_sub(1)),
+            ((self.x * w as f32) as usize).min(w.saturating_sub(1)),
+        )
+    }
+}
+
+/// The mode the oculomotor system is in (Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EyePhase {
+    /// Eye still, gaze held on one point; visual acuity concentrated there.
+    Fixation,
+    /// Rapid ballistic jump between targets; visual sensitivity suppressed.
+    Saccade,
+    /// Eye smoothly tracking a moving object (rare in everyday viewing).
+    SmoothPursuit,
+    /// The ≈50 ms window after a saccade while sensitivity recovers.
+    Recovery,
+}
+
+impl EyePhase {
+    /// Whether this sample belongs to a fixation.
+    pub fn is_fixation(&self) -> bool {
+        matches!(self, EyePhase::Fixation)
+    }
+
+    /// Whether visual sensitivity is suppressed (saccade or recovery) — the
+    /// window in which SSA may reuse stale segmentation results unnoticed.
+    pub fn is_suppressed(&self) -> bool {
+        matches!(self, EyePhase::Saccade | EyePhase::Recovery)
+    }
+}
+
+/// One timestamped gaze observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GazeSample {
+    /// Time since trace start, in milliseconds.
+    pub t_ms: f64,
+    /// Gaze location.
+    pub point: GazePoint,
+    /// Ground-truth oculomotor phase (the label saccade detectors train on).
+    pub phase: EyePhase,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clamps_into_unit_square() {
+        let p = GazePoint::new(-0.5, 1.5);
+        assert_eq!(p, GazePoint { x: 0.0, y: 1.0 });
+    }
+
+    #[test]
+    fn distance_px_scales_with_resolution() {
+        let a = GazePoint::new(0.0, 0.0);
+        let b = GazePoint::new(0.1, 0.0);
+        let d = a.distance_px(&b, 1000, 1000);
+        assert!((d - 100.0).abs() < 1e-3);
+        assert!((a.distance(&b) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn to_pixel_stays_in_bounds() {
+        let p = GazePoint::new(1.0, 1.0);
+        assert_eq!(p.to_pixel(10, 20), (9, 19));
+        assert_eq!(GazePoint::center().to_pixel(10, 10), (5, 5));
+    }
+
+    #[test]
+    fn suppression_covers_saccade_and_recovery() {
+        assert!(EyePhase::Saccade.is_suppressed());
+        assert!(EyePhase::Recovery.is_suppressed());
+        assert!(!EyePhase::Fixation.is_suppressed());
+        assert!(!EyePhase::SmoothPursuit.is_suppressed());
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests on gaze behaviour and video-segment invariants.
+
+use proptest::prelude::*;
+use solo_gaze::{segment_video, EyeBehaviorConfig, EyeBehaviorModel, GazePoint, VideoSegment};
+use solo_tensor::seeded_rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn traces_stay_in_unit_square_and_ordered(seed in 0u64..500, n in 10usize..400) {
+        let trace = EyeBehaviorModel::new(EyeBehaviorConfig::default())
+            .generate(n, &mut seeded_rng(seed));
+        prop_assert_eq!(trace.len(), n);
+        for w in trace.windows(2) {
+            prop_assert!(w[1].t_ms > w[0].t_ms);
+        }
+        for s in &trace {
+            prop_assert!((0.0..=1.0).contains(&s.point.x));
+            prop_assert!((0.0..=1.0).contains(&s.point.y));
+        }
+    }
+
+    #[test]
+    fn segments_partition_all_frames(
+        diffs in proptest::collection::vec(0.0f32..1.0, 0..200),
+        alpha in 0.0f32..1.0,
+    ) {
+        let segments = segment_video(&diffs, alpha);
+        // Segments tile [0, n_frames) without gaps or overlaps.
+        prop_assert_eq!(segments[0].start, 0);
+        for w in segments.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        prop_assert_eq!(segments.last().expect("nonempty").end, diffs.len() + 1);
+        let total: usize = segments.iter().map(VideoSegment::len).sum();
+        prop_assert_eq!(total, diffs.len() + 1);
+    }
+
+    #[test]
+    fn gaze_distance_is_a_metric(
+        ax in 0.0f32..1.0, ay in 0.0f32..1.0,
+        bx in 0.0f32..1.0, by in 0.0f32..1.0,
+        cx in 0.0f32..1.0, cy in 0.0f32..1.0,
+    ) {
+        let a = GazePoint::new(ax, ay);
+        let b = GazePoint::new(bx, by);
+        let c = GazePoint::new(cx, cy);
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-6);
+        prop_assert!(a.distance(&a) < 1e-6);
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-5);
+    }
+
+    #[test]
+    fn saccade_durations_respect_physiology(amplitude in 0.0f32..2.0) {
+        let d = EyeBehaviorConfig::default().saccade_duration_ms(amplitude);
+        prop_assert!((30.0..=250.0).contains(&d));
+    }
+}

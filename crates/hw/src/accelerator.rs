@@ -1,0 +1,336 @@
+//! The SOLO accelerator: cycle/energy model (Section 4.2).
+//!
+//! Components: a 16×16 weight-stationary systolic array of 8-bit MACs, a
+//! special-function unit (SFU) for softmax/GELU/normalization/quantization
+//! and index-map generation, a token selector that prunes GT-ViT tokens by
+//! attention importance, and an input pre-processor that evaluates the SSA
+//! reuse conditions. The functional behaviour of each block lives in
+//! `solo-nn`/`solo-core`; this module prices it in cycles and joules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib::{accelerator as cal, esnet};
+use crate::{Energy, Latency};
+
+/// The 16×16 weight-stationary systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystolicArray {
+    /// Array side (PEs per row/column).
+    pub size: usize,
+    /// Clock in GHz.
+    pub freq_ghz: f64,
+}
+
+impl Default for SystolicArray {
+    fn default() -> Self {
+        Self {
+            size: cal::ARRAY_SIZE,
+            freq_ghz: cal::FREQ_GHZ,
+        }
+    }
+}
+
+impl SystolicArray {
+    /// Cycles for a `[m,k] × [k,n]` GEMM.
+    ///
+    /// Weight-stationary tiling: the `k × n` weight matrix is cut into
+    /// `⌈k/s⌉ × ⌈n/s⌉` tiles. Per tile: `s` cycles to pre-load weights
+    /// (double-buffered with the previous tile's drain), `m` cycles to
+    /// stream the activations, and `2s` cycles of skew/drain.
+    pub fn gemm_cycles(&self, m: usize, k: usize, n: usize) -> u64 {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let s = self.size as u64;
+        let tiles = (k.div_ceil(self.size) * n.div_ceil(self.size)) as u64;
+        tiles * (m as u64 + 2 * s)
+    }
+
+    /// Multiply–accumulate count of a GEMM (for energy).
+    pub fn gemm_macs(&self, m: usize, k: usize, n: usize) -> u64 {
+        (m * k * n) as u64
+    }
+
+    /// Peak MACs per cycle.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        (self.size * self.size) as u64
+    }
+}
+
+/// One GEMM in a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gemm {
+    /// Rows of the activation matrix.
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output features.
+    pub n: usize,
+}
+
+/// A priced workload: GEMMs plus element counts for the non-GEMM engines.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Workload {
+    /// Dense GEMMs executed on the systolic array.
+    pub gemms: Vec<Gemm>,
+    /// Elements processed by the SFU (softmax, GELU, norms, quantization).
+    pub sfu_elems: u64,
+    /// Attention entries summed by the token selector's adder array.
+    pub selector_elems: u64,
+    /// Pixels diffed by the input pre-processor (SSA Condition 1).
+    pub preproc_pixels: u64,
+    /// Bytes staged through on-chip SRAM.
+    pub sram_bytes: u64,
+    /// Bytes exchanged with DRAM.
+    pub dram_bytes: u64,
+}
+
+impl Workload {
+    /// The ESNet workload (Section 3.2) for the paper's configuration:
+    /// GT-ViT (8 blocks, 6 heads, dim 384) over a tokenized eye image with
+    /// progressive attention-score token pruning, the saccade RNN, the
+    /// saliency head over the preview frame, and index-map generation for
+    /// an `out × out` sampling grid.
+    ///
+    /// `keep_ratio` is the fraction of tokens retained across the whole
+    /// ViT (paper: 0.7); pruning is applied geometrically per block.
+    pub fn esnet(preview_side: usize, out_side: usize, keep_ratio: f64) -> Self {
+        assert!(keep_ratio > 0.0 && keep_ratio <= 1.0, "keep_ratio in (0,1]");
+        let dim = esnet::DIM;
+        let heads = esnet::HEADS;
+        let depth = esnet::DEPTH;
+        let tokens0 = (esnet::EYE_RES / esnet::PATCH).pow(2) + 1; // +CLS
+        let per_block_keep = keep_ratio.powf(1.0 / depth as f64);
+        let mut gemms = Vec::new();
+        let mut sfu = 0u64;
+        let mut selector = 0u64;
+        let mut sram = 0u64;
+        // Patch embedding.
+        gemms.push(Gemm {
+            m: tokens0,
+            k: esnet::PATCH * esnet::PATCH,
+            n: dim,
+        });
+        let mut t = tokens0 as f64;
+        for _ in 0..depth {
+            let tk = t.round() as usize;
+            let hd = dim / heads;
+            gemms.push(Gemm { m: tk, k: dim, n: 3 * dim }); // qkv
+            for _ in 0..heads {
+                gemms.push(Gemm { m: tk, k: hd, n: tk }); // scores
+                gemms.push(Gemm { m: tk, k: tk, n: hd }); // attn·V
+            }
+            gemms.push(Gemm { m: tk, k: dim, n: dim }); // proj
+            gemms.push(Gemm { m: tk, k: dim, n: 4 * dim }); // mlp up
+            gemms.push(Gemm { m: tk, k: 4 * dim, n: dim }); // mlp down
+            // SFU: 2 layernorms + softmax + GELU per block.
+            sfu += (2 * tk * dim + heads * tk * tk + tk * 4 * dim) as u64;
+            // Token selector: sum the attention received per token.
+            selector += (heads * tk * tk) as u64;
+            sram += (tk * dim * 4) as u64;
+            t *= per_block_keep;
+        }
+        // Gaze head + saccade RNN (hidden 32 over the gaze stream step).
+        gemms.push(Gemm { m: 1, k: dim, n: 2 });
+        gemms.push(Gemm {
+            m: 1,
+            k: 2 + esnet::RNN_HIDDEN,
+            n: esnet::RNN_HIDDEN,
+        });
+        // Saliency head over the preview frame: two 3×3 convs at preview
+        // resolution, expressed as GEMMs over im2col patches.
+        let pv = preview_side * preview_side;
+        gemms.push(Gemm { m: pv, k: 9 * 3, n: 8 });
+        gemms.push(Gemm { m: pv, k: 9 * 8, n: 1 });
+        // Index-map generation (Eq. 2/3): a Gaussian-kernel weighted
+        // reduction per output cell. The kernel's 3σ support covers far
+        // fewer grid cells than the whole saliency map, so the reduction
+        // width is the truncated support, not the full grid.
+        let grid = preview_side * preview_side;
+        let kernel_support = grid.min(1024); // ≈ (6σ)² cells at the paper's σ
+        gemms.push(Gemm {
+            m: out_side * out_side,
+            k: kernel_support,
+            n: 2,
+        });
+        sfu += (out_side * out_side) as u64; // normalization divides
+        let dram = (tokens0 * dim + pv * 3 + out_side * out_side * 4) as u64;
+        Self {
+            gemms,
+            sfu_elems: sfu,
+            selector_elems: selector,
+            preproc_pixels: 0,
+            sram_bytes: sram + dram,
+            dram_bytes: dram,
+        }
+    }
+
+    /// The gaze-detection-only workload run on *skipped* frames: GT-ViT +
+    /// the saccade RNN, without the saliency head or index-map generation
+    /// (the SSA still needs gaze and the saccade flag to validate the reuse
+    /// conditions; Section 4.3's `T_skip` path).
+    pub fn gaze_only(keep_ratio: f64) -> Self {
+        let mut w = Self::esnet(1, 1, keep_ratio);
+        // Drop the saliency/index-map GEMMs appended after the gaze head:
+        // keep patch embed + per-block GEMMs + gaze head + RNN.
+        w.gemms.truncate(w.gemms.len() - 3);
+        w
+    }
+
+    /// The input pre-processor workload for one SSA reuse check over an
+    /// `side × side` preview pair (Condition 1–3 of Fig. 6 (c)).
+    pub fn ssa_check(side: usize) -> Self {
+        Self {
+            preproc_pixels: (side * side) as u64,
+            sram_bytes: (side * side * 2) as u64,
+            ..Self::default()
+        }
+    }
+
+    /// Total MAC count.
+    pub fn macs(&self, array: &SystolicArray) -> u64 {
+        self.gemms.iter().map(|g| array.gemm_macs(g.m, g.k, g.n)).sum()
+    }
+
+    /// Number of distinct kernels (used by the GPU dispatch-overhead model
+    /// when the same workload runs on GPU/NPU).
+    pub fn kernel_count(&self) -> usize {
+        self.gemms.len() + 4 // + fused SFU/selector/preproc passes
+    }
+
+    /// Total GFLOPs (2 ops per MAC).
+    pub fn gflops(&self, array: &SystolicArray) -> f64 {
+        2.0 * self.macs(array) as f64 / 1e9
+    }
+}
+
+/// Cost summary from the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AcceleratorCost {
+    /// End-to-end latency.
+    pub latency: Latency,
+    /// Total energy.
+    pub energy: Energy,
+    /// Systolic-array cycles.
+    pub array_cycles: u64,
+    /// SFU cycles.
+    pub sfu_cycles: u64,
+    /// Token-selector cycles.
+    pub selector_cycles: u64,
+    /// Input pre-processor cycles.
+    pub preproc_cycles: u64,
+}
+
+/// The assembled accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// The compute core.
+    pub array: SystolicArray,
+}
+
+impl Accelerator {
+    /// Prices a workload. The SFU and token selector are pipelined with the
+    /// array (they consume its output stream), so latency is the maximum of
+    /// the array and post-processing streams plus the pre-processor, while
+    /// energy sums every block.
+    pub fn run(&self, w: &Workload) -> AcceleratorCost {
+        let array_cycles: u64 = w
+            .gemms
+            .iter()
+            .map(|g| self.array.gemm_cycles(g.m, g.k, g.n))
+            .sum();
+        let sfu_cycles = w.sfu_elems.div_ceil(cal::SFU_ELEMS_PER_CYCLE as u64);
+        // Token selector: an adder array folds `size` attention entries per
+        // cycle.
+        let selector_cycles = w.selector_elems.div_ceil(self.array.size as u64);
+        // Pre-processor: adder tree over pixel diffs, `size` pixels/cycle.
+        let preproc_cycles = w.preproc_pixels.div_ceil(self.array.size as u64);
+        let pipeline_cycles = array_cycles.max(sfu_cycles).max(selector_cycles);
+        let total_cycles = pipeline_cycles + preproc_cycles;
+        let latency = Latency::from_cycles(total_cycles, self.array.freq_ghz);
+        let compute_energy = Energy::from_pj(w.macs(&self.array) as f64 * cal::MAC_PJ)
+            + Energy::from_pj((w.sfu_elems + w.selector_elems + w.preproc_pixels) as f64 * 2.0 * cal::MAC_PJ);
+        let memory_energy = Energy::from_pj(w.sram_bytes as f64 * cal::SRAM_PJ_PER_BYTE)
+            + Energy::from_pj(w.dram_bytes as f64 * cal::DRAM_PJ_PER_BYTE);
+        let static_energy = Energy::from_power(cal::STATIC_POWER_W, latency);
+        AcceleratorCost {
+            latency,
+            energy: compute_energy + memory_energy + static_energy,
+            array_cycles,
+            sfu_cycles,
+            selector_cycles,
+            preproc_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_cycles_scale_with_tiles() {
+        let a = SystolicArray::default();
+        // Single tile: m + 2·16.
+        assert_eq!(a.gemm_cycles(10, 16, 16), 42);
+        // Four tiles (k and n doubled).
+        assert_eq!(a.gemm_cycles(10, 32, 32), 4 * 42);
+        assert_eq!(a.gemm_cycles(0, 16, 16), 0);
+    }
+
+    #[test]
+    fn esnet_latency_lands_in_low_milliseconds() {
+        // The decomposed Table 4 numbers imply ESNet-on-accelerator of a
+        // few ms (vs ≈20 ms on GPU).
+        let acc = Accelerator::default();
+        let w = Workload::esnet(64, 80, 0.7);
+        let cost = acc.run(&w);
+        assert!(
+            cost.latency.ms() > 0.5 && cost.latency.ms() < 8.0,
+            "ESNet on accelerator: {} ms",
+            cost.latency.ms()
+        );
+    }
+
+    #[test]
+    fn token_pruning_reduces_cycles_and_energy() {
+        let acc = Accelerator::default();
+        let pruned = acc.run(&Workload::esnet(64, 80, 0.7));
+        let unpruned = acc.run(&Workload::esnet(64, 80, 1.0));
+        assert!(pruned.array_cycles < unpruned.array_cycles);
+        assert!(pruned.energy.uj() < unpruned.energy.uj());
+    }
+
+    #[test]
+    fn ssa_check_is_microseconds() {
+        // Reuse checks must be practically free next to any DNN work.
+        let acc = Accelerator::default();
+        let cost = acc.run(&Workload::ssa_check(120));
+        assert!(cost.latency.us() < 10.0, "SSA check {}", cost.latency);
+    }
+
+    #[test]
+    fn utilization_is_physical() {
+        let acc = Accelerator::default();
+        let w = Workload::esnet(64, 80, 0.7);
+        let cost = acc.run(&w);
+        let util = w.macs(&acc.array) as f64
+            / (cost.array_cycles as f64 * acc.array.peak_macs_per_cycle() as f64);
+        assert!(util > 0.1 && util <= 1.0, "utilization {util}");
+    }
+
+    #[test]
+    fn esnet_gflops_are_plausible() {
+        // GT-ViT + heads ≈ a couple of GFLOPs — small enough to make GPU
+        // dispatch overhead the bottleneck, which is the paper's point.
+        let w = Workload::esnet(64, 80, 0.7);
+        let gf = w.gflops(&SystolicArray::default());
+        assert!(gf > 0.5 && gf < 6.0, "ESNet GFLOPs {gf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_ratio")]
+    fn rejects_zero_keep_ratio() {
+        Workload::esnet(64, 80, 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Accelerator area accounting (Section 6.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib::accelerator as cal;
+
+/// One component's share of the die.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaEntry {
+    /// Component name.
+    pub component: String,
+    /// Absolute area in mm².
+    pub area_mm2: f64,
+    /// Fraction of the total.
+    pub fraction: f64,
+}
+
+/// The paper's synthesized area breakdown at 22 nm: 4.7 mm² total, with
+/// on-chip buffers 69 %, computational engine 24 %, input pre-processor
+/// 6 %, sensor controller 1 %.
+pub fn area_breakdown() -> Vec<AreaEntry> {
+    cal::AREA_FRACTIONS
+        .iter()
+        .map(|&(name, frac)| AreaEntry {
+            component: name.to_string(),
+            area_mm2: cal::AREA_MM2 * frac,
+            fraction: frac,
+        })
+        .collect()
+}
+
+/// Total accelerator area in mm².
+pub fn total_area_mm2() -> f64 {
+    cal::AREA_MM2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let entries = area_breakdown();
+        let sum: f64 = entries.iter().map(|e| e.area_mm2).sum();
+        assert!((sum - total_area_mm2()).abs() < 1e-9);
+        assert_eq!(entries.len(), 4);
+    }
+
+    #[test]
+    fn buffers_dominate() {
+        let entries = area_breakdown();
+        let buffers = entries
+            .iter()
+            .find(|e| e.component.contains("buffers"))
+            .expect("buffers entry");
+        assert!(entries.iter().all(|e| e.area_mm2 <= buffers.area_mm2));
+        assert!((buffers.fraction - 0.69).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! The AR display model (Section 6.1: 2 ms latency, 50 mW).
+
+use crate::calib::display as cal;
+use crate::{Energy, Latency};
+
+/// The near-eye display pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Display;
+
+impl Display {
+    /// Latency to present one overlay frame.
+    pub fn latency(&self) -> Latency {
+        Latency::from_ms(cal::LATENCY_MS)
+    }
+
+    /// Energy to present one overlay frame (power × latency).
+    pub fn energy(&self) -> Energy {
+        Energy::from_power(cal::POWER_MW / 1e3, self.latency())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_constants() {
+        let d = Display;
+        assert!((d.latency().ms() - 2.0).abs() < 1e-9);
+        // 50 mW × 2 ms = 100 µJ.
+        assert!((d.energy().uj() - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,54 @@
+//! DRAM traffic costs (LPDDR-class).
+//!
+//! Frames land in DRAM after MIPI transfer (Step 3/6 of Fig. 8) and are
+//! re-read by the GPU/accelerator. The energy per byte dwarfs on-chip SRAM
+//! but is small next to ADC+readout and MIPI for whole frames; it is
+//! accounted so the SoC totals add up.
+
+use crate::calib::accelerator::DRAM_PJ_PER_BYTE;
+use crate::{Energy, Latency};
+
+/// LPDDR DRAM interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dram {
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl Default for Dram {
+    fn default() -> Self {
+        // LPDDR5-class mobile bandwidth share available to the vision path.
+        Self { bandwidth_gbs: 12.0 }
+    }
+}
+
+impl Dram {
+    /// Cost of moving `bytes` through DRAM once (one read or one write).
+    pub fn access(&self, bytes: usize) -> (Latency, Energy) {
+        (
+            Latency::from_us(bytes as f64 / (self.bandwidth_gbs * 1e3)),
+            Energy::from_pj(bytes as f64 * DRAM_PJ_PER_BYTE),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_megabyte_costs_microseconds() {
+        let (t, e) = Dram::default().access(1 << 20);
+        assert!(t.us() > 50.0 && t.us() < 200.0, "latency {t}");
+        assert!(e.uj() > 10.0 && e.uj() < 50.0, "energy {e}");
+    }
+
+    #[test]
+    fn cost_scales_with_bytes() {
+        let d = Dram::default();
+        let (t1, e1) = d.access(1000);
+        let (t2, e2) = d.access(2000);
+        assert!((t2.us() / t1.us() - 2.0).abs() < 1e-9);
+        assert!((e2.uj() / e1.uj() - 2.0).abs() < 1e-9);
+    }
+}

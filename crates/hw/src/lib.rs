@@ -1,0 +1,44 @@
+//! # solo-hw
+//!
+//! Analytic + event-driven models of every hardware component in the SOLO
+//! system (Section 4 and 6 of the paper):
+//!
+//! * [`sensor`] — the 3D-stacked image sensor: pixel sub-arrays (PS), the
+//!   interleaved column-parallel ADC sub-groups, rolling-shutter readout
+//!   rounds, exposure under different lighting, and *saliency-based sensing*
+//!   (SBS) that reads out only the pixels an index map selects;
+//! * [`mipi`] — the CSI-2-style serial link between sensor and SoC, with
+//!   packet framing overhead, bandwidth-limited latency and pJ/bit energy;
+//! * [`gpu`] / [`npu`] — roofline latency/energy models of the Jetson-Orin-
+//!   class mobile GPU and the XR2-class NPU, anchored to the paper's own
+//!   Table 1 measurements;
+//! * [`accelerator`] — the SOLO accelerator: a 16×16 weight-stationary
+//!   systolic array, SFU, token selector and input pre-processor, with
+//!   cycle-level GEMM timing and per-op energy at 22 nm;
+//! * [`display`], [`dram`] — the AR display (2 ms, 50 mW) and DRAM traffic;
+//! * [`soc`] — the end-to-end pipeline (Fig. 8/11) assembling the above
+//!   into each evaluated configuration: FR+GPU, Sub+GPU, Sub+Acc, SBS+GPU,
+//!   Sub+NPU, SBS+NPU and full SOLO;
+//! * [`area`] — the accelerator's synthesized-area breakdown (4.7 mm²);
+//! * [`scaling`] — DeepScaleTool-style technology-node scaling factors.
+//!
+//! All calibration constants live in [`calib`] with the paper/source each
+//! number came from.
+
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod area;
+pub mod calib;
+pub mod display;
+pub mod dram;
+pub mod gpu;
+pub mod mipi;
+pub mod npu;
+pub mod scaling;
+pub mod sensor;
+pub mod soc;
+pub mod timing;
+mod units;
+
+pub use units::{Energy, Latency};

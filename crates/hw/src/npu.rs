@@ -1,0 +1,67 @@
+//! XR2-class NPU model (Section 6.4).
+//!
+//! The NPU runs small dense networks with fused kernels, avoiding the
+//! GPU's dispatch overhead, but lacks the SOLO accelerator's direct sensor
+//! path and SBS-tailored dataflow — hence Table 4's ordering
+//! `GPU > NPU > SOLO accelerator` for ESNet latency.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib::npu as cal;
+use crate::gpu::GpuModel;
+use crate::{Energy, Latency};
+
+/// An NPU derived from a GPU model by a fixed throughput advantage on
+/// ESNet-class workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NpuModel {
+    gpu: GpuModel,
+    speedup: f64,
+    power_w: f64,
+}
+
+impl Default for NpuModel {
+    fn default() -> Self {
+        Self {
+            gpu: GpuModel::hrnet_anchored(),
+            speedup: cal::SPEEDUP_OVER_GPU,
+            power_w: cal::POWER_W,
+        }
+    }
+}
+
+impl NpuModel {
+    /// ESNet-class latency: the GPU's small-network cost divided by the
+    /// calibrated speedup (kernel fusion removes most dispatch overhead).
+    pub fn small_network_latency(&self, gflops: f64, kernels: usize) -> Latency {
+        self.gpu.small_network_latency(gflops, kernels) * (1.0 / self.speedup)
+    }
+
+    /// Energy at NPU power.
+    pub fn energy(&self, latency: Latency) -> Energy {
+        Energy::from_power(self.power_w, latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn npu_sits_between_gpu_and_accelerator() {
+        let gpu = GpuModel::hrnet_anchored();
+        let npu = NpuModel::default();
+        let g = gpu.small_network_latency(2.0, 80);
+        let n = npu.small_network_latency(2.0, 80);
+        assert!(n < g, "NPU must beat GPU: {n} vs {g}");
+        assert!(n.ms() > 3.0, "NPU should still trail the SOLO accelerator");
+    }
+
+    #[test]
+    fn npu_energy_uses_lower_power() {
+        let npu = NpuModel::default();
+        // 5 W × 10 ms = 50 mJ.
+        let t = Latency::from_ms(10.0);
+        assert!((npu.energy(t).mj() - cal::POWER_W * 10.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,95 @@
+//! DeepScaleTool-style technology scaling (Section 6.1).
+//!
+//! The paper synthesizes the accelerator at 45 nm and scales the results to
+//! 22 nm "for alignment with current ARVR technology". These factors follow
+//! the DeepScaleTool methodology (Sarangi & Baas, 2021): capacitance-based
+//! energy scaling and layout-density area scaling across planar nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// A fabrication node supported by the scaling table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TechNode {
+    /// 45 nm planar (the NanGate PDK the paper synthesizes with).
+    N45,
+    /// 32 nm planar.
+    N32,
+    /// 22 nm planar (the paper's deployment target).
+    N22,
+    /// 16 nm FinFET (for headroom studies).
+    N16,
+}
+
+impl TechNode {
+    /// Relative area of a fixed design at this node (45 nm = 1.0).
+    pub fn area_factor(&self) -> f64 {
+        match self {
+            TechNode::N45 => 1.0,
+            TechNode::N32 => 0.53,
+            TechNode::N22 => 0.27,
+            TechNode::N16 => 0.16,
+        }
+    }
+
+    /// Relative dynamic energy at this node (45 nm = 1.0).
+    pub fn energy_factor(&self) -> f64 {
+        match self {
+            TechNode::N45 => 1.0,
+            TechNode::N32 => 0.62,
+            TechNode::N22 => 0.39,
+            TechNode::N16 => 0.28,
+        }
+    }
+
+    /// Relative achievable clock (45 nm = 1.0).
+    pub fn frequency_factor(&self) -> f64 {
+        match self {
+            TechNode::N45 => 1.0,
+            TechNode::N32 => 1.25,
+            TechNode::N22 => 1.55,
+            TechNode::N16 => 1.9,
+        }
+    }
+}
+
+/// Scales a 45 nm synthesis result to another node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaledDesign {
+    /// Area in mm² at the target node.
+    pub area_mm2: f64,
+    /// Per-op energy multiplier vs 45 nm.
+    pub energy_scale: f64,
+    /// Clock in GHz at the target node.
+    pub freq_ghz: f64,
+}
+
+/// Applies DeepScale-style factors to 45 nm synthesis numbers.
+pub fn scale_from_45nm(area_mm2_45: f64, freq_ghz_45: f64, target: TechNode) -> ScaledDesign {
+    ScaledDesign {
+        area_mm2: area_mm2_45 * target.area_factor(),
+        energy_scale: target.energy_factor(),
+        freq_ghz: freq_ghz_45 * target.frequency_factor(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_shrink_monotonically() {
+        let nodes = [TechNode::N45, TechNode::N32, TechNode::N22, TechNode::N16];
+        for w in nodes.windows(2) {
+            assert!(w[1].area_factor() < w[0].area_factor());
+            assert!(w[1].energy_factor() < w[0].energy_factor());
+            assert!(w[1].frequency_factor() > w[0].frequency_factor());
+        }
+    }
+
+    #[test]
+    fn paper_area_is_consistent_with_45nm_synthesis() {
+        // 4.7 mm² at 22 nm ↔ ≈17.4 mm² at 45 nm.
+        let d = scale_from_45nm(4.7 / TechNode::N22.area_factor(), 1.0, TechNode::N22);
+        assert!((d.area_mm2 - 4.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,402 @@
+//! The 3D-stacked image sensor with saliency-based sensing (SBS).
+//!
+//! Geometry follows Section 4.1: the pixel array is grouped into 2×2-pixel
+//! *pixel sub-arrays* (PS); each PS column is served by four interleaved
+//! ADC sub-groups, so four PS rows (one per sub-group) can convert in
+//! parallel per sensing round, and pixels within one PS serialize on their
+//! shared ADC. A conventional rolling-shutter readout therefore needs
+//! `pixel_rows/2` rounds; SBS activates only the PSs the index map selects,
+//! skipping empty rows and partial PSs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib::sensor as cal;
+use crate::{Energy, Latency};
+
+/// Scene lighting, which sets the exposure time (Section 6.5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Lighting {
+    /// Bright scene: 2 ms exposure.
+    High,
+    /// Normal indoor lighting: 5 ms (Section 6.1 default).
+    Normal,
+    /// Low light: 10 ms — exposure dominates sensing latency.
+    Low,
+}
+
+impl Lighting {
+    /// Exposure time for this lighting.
+    pub fn exposure(&self) -> Latency {
+        Latency::from_ms(match self {
+            Lighting::High => cal::EXPOSURE_HIGH_MS,
+            Lighting::Normal => cal::EXPOSURE_NORMAL_MS,
+            Lighting::Low => cal::EXPOSURE_LOW_MS,
+        })
+    }
+}
+
+/// Cost breakdown of one sensor capture (exposure + ADC/readout + TSV).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SensorCost {
+    /// Exposure latency.
+    pub exposure: Latency,
+    /// ADC conversion + readout latency.
+    pub adc_readout: Latency,
+    /// Exposure energy (whole array integrates light regardless of what is
+    /// read out).
+    pub exposure_energy: Energy,
+    /// ADC + readout + TSV energy.
+    pub adc_energy: Energy,
+    /// Number of sensing rounds used.
+    pub rounds: usize,
+    /// Number of pixels converted.
+    pub pixels_read: usize,
+}
+
+impl SensorCost {
+    /// Total capture latency (exposure then readout, per the Fig. 11
+    /// timing diagram).
+    pub fn latency(&self) -> Latency {
+        self.exposure + self.adc_readout
+    }
+
+    /// Total capture energy.
+    pub fn energy(&self) -> Energy {
+        self.exposure_energy + self.adc_energy
+    }
+}
+
+/// An image sensor sized to the frames it captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sensor {
+    width: usize,
+    height: usize,
+    groups: usize,
+}
+
+impl Sensor {
+    /// Creates a sensor with a `width × height` pixel array and the
+    /// paper's four interleaved ADC sub-groups per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or odd (PSs are 2×2).
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::with_groups(width, height, cal::ADC_GROUPS_PER_COL)
+    }
+
+    /// Creates a sensor with an explicit number of interleaved ADC
+    /// sub-groups per PS column (1–8 in published 3D designs) — the knob
+    /// the ADC-parallelism ablation sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero/odd or `groups == 0`.
+    pub fn with_groups(width: usize, height: usize, groups: usize) -> Self {
+        assert!(width > 0 && height > 0, "sensor dimensions must be nonzero");
+        assert!(groups > 0, "ADC sub-group count must be nonzero");
+        assert!(
+            width % cal::PS_SIDE == 0 && height % cal::PS_SIDE == 0,
+            "sensor dimensions must be multiples of the PS side ({})",
+            cal::PS_SIDE
+        );
+        Self { width, height, groups }
+    }
+
+    /// Pixel array width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pixel array height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// PS rows (`height / 2`).
+    pub fn ps_rows(&self) -> usize {
+        self.height / cal::PS_SIDE
+    }
+
+    /// Number of ADCs: one per PS column per interleaved sub-group
+    /// (`4 × width/2`; the paper's 1440² sensor has 2880).
+    pub fn adc_count(&self) -> usize {
+        self.groups * self.width / cal::PS_SIDE
+    }
+
+    /// Conventional full-frame capture: every pixel converted.
+    pub fn full_readout(&self, lighting: Lighting) -> SensorCost {
+        // Every PS row needs PS_SIDE² = 4 serialized conversions; the four
+        // sub-groups run disjoint row sets in parallel.
+        let slots_per_row = cal::PS_SIDE * cal::PS_SIDE;
+        let rows_per_group = self.ps_rows().div_ceil(self.groups);
+        let rounds = rows_per_group * slots_per_row;
+        self.cost(rounds, self.width * self.height, lighting)
+    }
+
+    /// Evenly-subsampled capture of an `out_h × out_w` preview (`I_f^d`):
+    /// one pixel per selected grid location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output exceeds the array.
+    pub fn subsampled_readout(&self, out_h: usize, out_w: usize, lighting: Lighting) -> SensorCost {
+        assert!(
+            out_h <= self.height && out_w <= self.width,
+            "subsample output exceeds sensor array"
+        );
+        // The sensor controller staggers preview rows across the four ADC
+        // sub-groups: a naive uniform grid with row spacing divisible by
+        // 4 PS rows would land every selected row in the *same* sub-group
+        // and quarter the readout parallelism.
+        let pixels = staggered_grid_for(self.height, self.width, out_h, out_w, self.groups);
+        self.sbs_readout(&pixels, lighting)
+    }
+
+    /// Saliency-based sensing: converts exactly the listed pixels
+    /// (duplicates collapse — a pixel is read once).
+    ///
+    /// Scheduling: pixels within one PS serialize on the PS's ADC; PSs in
+    /// one row convert in parallel (per-column ADCs); the four interleaved
+    /// sub-groups process disjoint PS-row sets in parallel, so total rounds
+    /// are the maximum over sub-groups of the per-row slot sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pixel is out of bounds.
+    pub fn sbs_readout(&self, pixels: &[(usize, usize)], lighting: Lighting) -> SensorCost {
+        let ps_cols = self.width / cal::PS_SIDE;
+        // slots[ps_row][ps_col] = pixels selected in that PS.
+        let mut unique: Vec<(usize, usize)> = pixels.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        let mut slots = vec![vec![0u8; ps_cols]; self.ps_rows()];
+        for &(r, c) in &unique {
+            assert!(
+                r < self.height && c < self.width,
+                "pixel ({r},{c}) outside {}×{} array",
+                self.height,
+                self.width
+            );
+            slots[r / cal::PS_SIDE][c / cal::PS_SIDE] += 1;
+        }
+        // Per PS row: serialized conversions = max selected count over PSs
+        // in the row (columns are parallel).
+        let mut group_rounds = vec![0usize; self.groups];
+        for (ps_row, row) in slots.iter().enumerate() {
+            let need = row.iter().copied().max().unwrap_or(0) as usize;
+            group_rounds[ps_row % self.groups] += need;
+        }
+        let rounds = group_rounds.into_iter().max().unwrap_or(0);
+        self.cost(rounds, unique.len(), lighting)
+    }
+
+    fn cost(&self, rounds: usize, pixels_read: usize, lighting: Lighting) -> SensorCost {
+        let exposure = lighting.exposure();
+        let adc_readout = Latency::from_us(rounds as f64 * cal::ROUND_US)
+            // TSV hop for each converted value (3D stack, Section 6.1).
+            + Latency::from_ns(pixels_read as f64 * cal::TSV_NS_PER_ACCESS);
+        let exposure_energy = Energy::from_nj(
+            (self.width * self.height) as f64 * cal::EXPOSURE_NJ_PER_PIXEL_MS * exposure.ms(),
+        );
+        let adc_energy = Energy::from_nj(pixels_read as f64 * cal::ADC_NJ_PER_PIXEL)
+            + Energy::from_pj(pixels_read as f64 * 8.0 * cal::TSV_FJ_PER_BIT / 1e3);
+        SensorCost {
+            exposure,
+            adc_readout,
+            exposure_energy,
+            adc_energy,
+            rounds,
+            pixels_read,
+        }
+    }
+}
+
+/// The even-grid pixel set for an `out_h × out_w` preview of an
+/// `h × w` array (same grid the software `uniform_subsample` reads).
+pub fn even_grid(h: usize, w: usize, out_h: usize, out_w: usize) -> Vec<(usize, usize)> {
+    let mut px = Vec::with_capacity(out_h * out_w);
+    for oi in 0..out_h {
+        let r = (((oi as f32 + 0.5) / out_h as f32 * h as f32 - 0.5)
+            .round()
+            .max(0.0) as usize)
+            .min(h - 1);
+        for oj in 0..out_w {
+            let c = (((oj as f32 + 0.5) / out_w as f32 * w as f32 - 0.5)
+                .round()
+                .max(0.0) as usize)
+                .min(w - 1);
+            px.push((r, c));
+        }
+    }
+    px
+}
+
+/// The preview grid actually scheduled by the sensor controller: the even
+/// grid with each selected row nudged (±≤4 px) to a PS row in the ADC
+/// sub-group `i mod 4`, so consecutive preview rows convert in parallel.
+pub fn staggered_grid(h: usize, w: usize, out_h: usize, out_w: usize) -> Vec<(usize, usize)> {
+    staggered_grid_for(h, w, out_h, out_w, cal::ADC_GROUPS_PER_COL)
+}
+
+/// [`staggered_grid`] with an explicit sub-group count.
+pub fn staggered_grid_for(
+    h: usize,
+    w: usize,
+    out_h: usize,
+    out_w: usize,
+    groups: usize,
+) -> Vec<(usize, usize)> {
+    even_grid(h, w, out_h, out_w)
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (r, c))| {
+            let i = idx / out_w; // output row
+            let want = i % groups;
+            let ps_row = r / cal::PS_SIDE;
+            let ps_rows = h / cal::PS_SIDE;
+            // Nearest PS row with the desired residue.
+            let base = ps_row - (ps_row % groups);
+            let candidates = [base + want, (base + groups + want).min(ps_rows - 1)];
+            let target = *candidates
+                .iter()
+                .min_by_key(|&&p| p.abs_diff(ps_row))
+                .expect("nonempty");
+            ((target * cal::PS_SIDE + r % cal::PS_SIDE).min(h - 1), c)
+        })
+        .collect()
+}
+
+/// A deterministic foveated pixel selection used by the SoC pipeline model
+/// when no real index map is supplied: half the `out²` samples pack a dense
+/// central fovea, the rest spread evenly — the typical shape Eq. 2/3
+/// produce for a centered gaze.
+pub fn synthetic_foveated_selection(src: usize, out: usize) -> Vec<(usize, usize)> {
+    assert!(out <= src, "selection larger than array");
+    let fovea_out = (out as f32 / 2f32.sqrt()) as usize; // half the samples
+    let fovea_src = (src / 3).max(fovea_out.min(src));
+    let origin = (src - fovea_src) / 2;
+    let mut px = Vec::new();
+    // Dense fovea.
+    for (r, c) in even_grid(fovea_src, fovea_src, fovea_out, fovea_out) {
+        px.push((origin + r, origin + c));
+    }
+    // Peripheral even grid with the remaining budget.
+    let peri_out = ((out * out - fovea_out * fovea_out) as f32).sqrt() as usize;
+    px.extend(even_grid(src, src, peri_out.max(1), peri_out.max(1)));
+    px.sort_unstable();
+    px.dedup();
+    px
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sensor_has_2880_adcs() {
+        let s = Sensor::new(1440, 1440);
+        assert_eq!(s.adc_count(), 2880);
+        assert_eq!(s.ps_rows(), 720);
+    }
+
+    #[test]
+    fn full_readout_of_960_matches_calibration() {
+        // Section 6.5.2: ≈5.8 ms ADC+readout for a 960² frame.
+        let cost = Sensor::new(960, 960).full_readout(Lighting::High);
+        // 480 rounds × 12 µs plus the per-pixel TSV hop (≈0.12 ms).
+        assert!(
+            (cost.adc_readout.ms() - 5.76).abs() < 0.2,
+            "got {} ms",
+            cost.adc_readout.ms()
+        );
+        assert_eq!(cost.pixels_read, 960 * 960);
+        assert!((cost.exposure.ms() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sbs_reads_fewer_rounds_than_full() {
+        let s = Sensor::new(960, 960);
+        let full = s.full_readout(Lighting::High);
+        let sel = synthetic_foveated_selection(960, 120);
+        let sbs = s.sbs_readout(&sel, Lighting::High);
+        assert!(sbs.rounds * 4 < full.rounds, "{} vs {}", sbs.rounds, full.rounds);
+        assert!(sbs.adc_energy.uj() * 10.0 < full.adc_energy.uj());
+        // Paper: SBS lowers 960² ADC+readout from 5.8 ms to ≈0.7 ms.
+        assert!(
+            sbs.adc_readout.ms() < 1.5,
+            "SBS readout {} ms",
+            sbs.adc_readout.ms()
+        );
+    }
+
+    #[test]
+    fn exposure_is_unchanged_by_sbs() {
+        // The whole array integrates light regardless of readout, so SBS
+        // saves nothing on exposure (Fig. 15: exposure bars identical).
+        let s = Sensor::new(480, 480);
+        let full = s.full_readout(Lighting::Low);
+        let sbs = s.sbs_readout(&even_grid(480, 480, 60, 60), Lighting::Low);
+        assert_eq!(full.exposure, sbs.exposure);
+        assert_eq!(full.exposure_energy, sbs.exposure_energy);
+        assert!((full.exposure.ms() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_pixels_are_read_once() {
+        let s = Sensor::new(16, 16);
+        let once = s.sbs_readout(&[(3, 3)], Lighting::High);
+        let twice = s.sbs_readout(&[(3, 3), (3, 3)], Lighting::High);
+        assert_eq!(once.pixels_read, 1);
+        assert_eq!(twice.pixels_read, 1);
+        assert_eq!(once.rounds, twice.rounds);
+    }
+
+    #[test]
+    fn pixels_in_same_ps_serialize() {
+        let s = Sensor::new(16, 16);
+        // Two pixels in the same 2×2 PS: 2 rounds.
+        let same_ps = s.sbs_readout(&[(0, 0), (0, 1)], Lighting::High);
+        assert_eq!(same_ps.rounds, 2);
+        // Two pixels in different columns, same PS row: 1 round.
+        let same_row = s.sbs_readout(&[(0, 0), (0, 4)], Lighting::High);
+        assert_eq!(same_row.rounds, 1);
+        // Two pixels in PS rows of different sub-groups: parallel, 1 round.
+        let diff_group = s.sbs_readout(&[(0, 0), (2, 0)], Lighting::High);
+        assert_eq!(diff_group.rounds, 1);
+        // Same sub-group (PS rows 0 and 4, both ≡ 0 mod 4): serialize,
+        // 2 rounds. Pixel row 8 lies in PS row 4.
+        let same_group = s.sbs_readout(&[(0, 0), (8, 0)], Lighting::High);
+        assert_eq!(same_group.rounds, 2);
+    }
+
+    #[test]
+    fn full_frame_equals_all_pixels_sbs() {
+        // Reading every pixel through the SBS path must cost the same
+        // rounds as the conventional schedule.
+        let s = Sensor::new(32, 32);
+        let all: Vec<(usize, usize)> = (0..32)
+            .flat_map(|r| (0..32).map(move |c| (r, c)))
+            .collect();
+        assert_eq!(s.sbs_readout(&all, Lighting::High).rounds, s.full_readout(Lighting::High).rounds);
+    }
+
+    #[test]
+    fn even_grid_counts() {
+        let g = even_grid(64, 64, 16, 16);
+        assert_eq!(g.len(), 256);
+        assert!(g.iter().all(|&(r, c)| r < 64 && c < 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_bounds_pixels() {
+        Sensor::new(16, 16).sbs_readout(&[(16, 0)], Lighting::High);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples")]
+    fn rejects_odd_dimensions() {
+        Sensor::new(15, 16);
+    }
+}

@@ -1,0 +1,610 @@
+//! End-to-end AR-SoC pipeline assembly (Figures 8 and 11).
+//!
+//! Composes the sensor, MIPI link, DRAM, compute engines and display into
+//! each system configuration the paper evaluates (Section 6.2/6.4):
+//!
+//! | name      | sensing            | ESNet runs on | segmentation input |
+//! |-----------|--------------------|---------------|--------------------|
+//! | `FrGpu`   | full frame         | GPU           | full resolution    |
+//! | `SubGpu`  | full frame         | GPU           | downsampled        |
+//! | `SubAcc`  | full frame         | accelerator   | downsampled        |
+//! | `SubNpu`  | full frame         | NPU           | downsampled        |
+//! | `SbsGpu`  | preview + SBS      | GPU           | downsampled        |
+//! | `SbsNpu`  | preview + SBS      | NPU           | downsampled        |
+//! | `Solo`    | preview + SBS      | accelerator   | downsampled        |
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::accelerator::{Accelerator, Workload};
+use crate::display::Display;
+use crate::dram::Dram;
+use crate::gpu::GpuModel;
+use crate::mipi::MipiLink;
+use crate::npu::NpuModel;
+use crate::sensor::{synthetic_foveated_selection, Lighting, Sensor, SensorCost};
+use crate::{Energy, Latency};
+
+/// Segmentation backbone family (Section 5: HRNet-W32 / SegFormer-B1 /
+/// DeepLabV3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backbone {
+    /// HRNet-W32 — the largest and most accurate.
+    Hr,
+    /// SegFormer-B1 — the lightest.
+    Sf,
+    /// DeepLabV3-ResNet101 — in between.
+    Dl,
+}
+
+impl Backbone {
+    /// All backbones in paper order.
+    pub const ALL: [Backbone; 3] = [Backbone::Hr, Backbone::Sf, Backbone::Dl];
+
+    /// GFLOPs pinned at 640² input (Table 2, FR column on LVIS:
+    /// 516 / 368 / 405).
+    pub fn gflops_at_640(&self) -> f64 {
+        match self {
+            Backbone::Hr => 516.0,
+            Backbone::Sf => 368.0,
+            Backbone::Dl => 405.0,
+        }
+    }
+
+    /// GFLOPs at an arbitrary square input side (area scaling — all three
+    /// are fully-convolutional).
+    pub fn gflops(&self, side: usize) -> f64 {
+        self.gflops_at_640() * (side as f64 / 640.0).powi(2)
+    }
+
+    /// Display name used in the tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backbone::Hr => "HR",
+            Backbone::Sf => "SF",
+            Backbone::Dl => "DL",
+        }
+    }
+}
+
+/// Evaluation corpus, fixing the frame geometry (Section 5/6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// ADE20K: 512² frames, downsampled to 64².
+    Ade,
+    /// LVIS: 640² frames, downsampled to 80².
+    Lvis,
+    /// Aria Everyday: 960² frames, downsampled to 120².
+    Aria,
+    /// DAVIS 2016: 480² frames, downsampled to 60².
+    Davis,
+}
+
+impl Dataset {
+    /// The three Table-2/Fig-13 datasets in paper order.
+    pub const MAIN: [Dataset; 3] = [Dataset::Ade, Dataset::Lvis, Dataset::Aria];
+
+    /// Full frame side.
+    pub fn full_side(&self) -> usize {
+        match self {
+            Dataset::Ade => 512,
+            Dataset::Lvis => 640,
+            Dataset::Aria => 960,
+            Dataset::Davis => 480,
+        }
+    }
+
+    /// Downsampled side for the SOLO/LTD pipelines.
+    pub fn down_side(&self) -> usize {
+        match self {
+            Dataset::Ade => 64,
+            Dataset::Lvis => 80,
+            Dataset::Aria => 120,
+            Dataset::Davis => 60,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Ade => "ADE",
+            Dataset::Lvis => "LVIS",
+            Dataset::Aria => "Aria",
+            Dataset::Davis => "DAVIS",
+        }
+    }
+}
+
+/// A system configuration under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pipeline {
+    /// Conventional sensor + everything on the GPU at full resolution.
+    FrGpu,
+    /// Conventional sensor; SOLONet (incl. SBS resampling) on the GPU.
+    SubGpu,
+    /// Conventional sensor; ESNet on the SOLO accelerator.
+    SubAcc,
+    /// Conventional sensor; ESNet on the XR2-class NPU.
+    SubNpu,
+    /// Saliency-based sensor; ESNet on the GPU.
+    SbsGpu,
+    /// Saliency-based sensor; ESNet on the NPU.
+    SbsNpu,
+    /// The full SOLO system: SBS sensor + accelerator + GPU segmentation.
+    Solo,
+}
+
+impl Pipeline {
+    /// The five Fig-13(b) configurations in paper order.
+    pub const FIG13: [Pipeline; 5] = [
+        Pipeline::FrGpu,
+        Pipeline::SubGpu,
+        Pipeline::SubAcc,
+        Pipeline::SbsGpu,
+        Pipeline::Solo,
+    ];
+
+    /// The Table-4 configurations in paper order.
+    pub const TABLE4: [Pipeline; 6] = [
+        Pipeline::SubGpu,
+        Pipeline::SubNpu,
+        Pipeline::SubAcc,
+        Pipeline::SbsGpu,
+        Pipeline::SbsNpu,
+        Pipeline::Solo,
+    ];
+
+    /// Display name used in the tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pipeline::FrGpu => "FR+GPU",
+            Pipeline::SubGpu => "Sub+GPU",
+            Pipeline::SubAcc => "Sub+Acc",
+            Pipeline::SubNpu => "Sub+NPU",
+            Pipeline::SbsGpu => "SBS+GPU",
+            Pipeline::SbsNpu => "SBS+NPU",
+            Pipeline::Solo => "SOLO",
+        }
+    }
+
+    /// Whether the configuration uses the saliency-based sensor.
+    pub fn uses_sbs(&self) -> bool {
+        matches!(self, Pipeline::SbsGpu | Pipeline::SbsNpu | Pipeline::Solo)
+    }
+
+    /// Whether segmentation runs on the full-resolution frame.
+    pub fn full_resolution(&self) -> bool {
+        matches!(self, Pipeline::FrGpu)
+    }
+}
+
+/// Where ESNet executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EsnetEngine {
+    Gpu,
+    Npu,
+    Accelerator,
+}
+
+impl Pipeline {
+    fn esnet_engine(&self) -> EsnetEngine {
+        match self {
+            Pipeline::FrGpu | Pipeline::SubGpu | Pipeline::SbsGpu => EsnetEngine::Gpu,
+            Pipeline::SubNpu | Pipeline::SbsNpu => EsnetEngine::Npu,
+            Pipeline::SubAcc | Pipeline::Solo => EsnetEngine::Accelerator,
+        }
+    }
+}
+
+/// Per-stage latency/energy of one frame through a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Outer-camera sensing (exposure + ADC/readout, both phases for SBS).
+    pub sensing: (Latency, Energy),
+    /// MIPI transfers (preview + resampled frame, or the full frame).
+    pub mipi: (Latency, Energy),
+    /// DRAM staging.
+    pub dram: (Latency, Energy),
+    /// ESNet (gaze + saliency + saccade + index map).
+    pub esnet: (Latency, Energy),
+    /// The segmentation network.
+    pub segmentation: (Latency, Energy),
+    /// Display presentation.
+    pub display: (Latency, Energy),
+    /// Platform base power drawn over the whole frame (latency part is 0).
+    pub platform: (Latency, Energy),
+}
+
+impl CostBreakdown {
+    /// Total end-to-end latency.
+    pub fn latency(&self) -> Latency {
+        self.sensing.0 + self.mipi.0 + self.dram.0 + self.esnet.0 + self.segmentation.0
+            + self.display.0 + self.platform.0
+    }
+
+    /// Total energy.
+    pub fn energy(&self) -> Energy {
+        self.sensing.1 + self.mipi.1 + self.dram.1 + self.esnet.1 + self.segmentation.1
+            + self.display.1 + self.platform.1
+    }
+
+    /// Combined sensing + MIPI (+DRAM) stage, as grouped in Fig. 14 (a).
+    pub fn sensing_mipi(&self) -> (Latency, Energy) {
+        (
+            self.sensing.0 + self.mipi.0 + self.dram.0,
+            self.sensing.1 + self.mipi.1 + self.dram.1,
+        )
+    }
+}
+
+/// An event in a traced pipeline evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageEvent {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Stage label.
+    pub stage: String,
+    /// Stage start, µs from frame start.
+    pub start_us: f64,
+    /// Stage duration.
+    pub duration: Latency,
+}
+
+/// A thread-safe event log for pipeline traces (bench sweeps evaluate
+/// configurations from multiple threads).
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Mutex<Vec<StageEvent>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&self, event: StageEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Snapshot of all events.
+    pub fn events(&self) -> Vec<StageEvent> {
+        self.events.lock().clone()
+    }
+}
+
+/// The assembled SoC model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocModel {
+    gpu: GpuModel,
+    npu: NpuModel,
+    accelerator: Accelerator,
+    mipi: MipiLink,
+    dram: Dram,
+    display: Display,
+    /// Scene lighting (sets exposure).
+    pub lighting: Lighting,
+    /// Token keep ratio for GT-ViT (paper: 0.7).
+    pub keep_ratio: f64,
+}
+
+impl Default for SocModel {
+    fn default() -> Self {
+        Self {
+            gpu: GpuModel::hrnet_anchored(),
+            npu: NpuModel::default(),
+            accelerator: Accelerator::default(),
+            mipi: MipiLink::default(),
+            dram: Dram::default(),
+            display: Display,
+            lighting: Lighting::Normal,
+            keep_ratio: 0.7,
+        }
+    }
+}
+
+impl SocModel {
+    /// A model with explicit lighting.
+    pub fn with_lighting(lighting: Lighting) -> Self {
+        Self {
+            lighting,
+            ..Self::default()
+        }
+    }
+
+    /// Evaluates one frame through a pipeline (no SSA reuse; Section 6.2
+    /// sets α = β = 0 so every frame runs the full path).
+    pub fn evaluate(&self, pipeline: Pipeline, backbone: Backbone, dataset: Dataset) -> CostBreakdown {
+        let full = dataset.full_side();
+        let down = dataset.down_side();
+        let sensor = Sensor::new(full, full);
+        let mut cost = CostBreakdown::default();
+
+        // --- Sensing + MIPI ---------------------------------------------
+        if pipeline.uses_sbs() {
+            // Phase 1: expose once, read the even-subsampled preview I_d.
+            let preview = sensor.subsampled_readout(down, down, self.lighting);
+            add_sensor(&mut cost, &preview);
+            let m1 = self.mipi.transfer_frame(down, down, 3);
+            cost.mipi.0 += m1.latency;
+            cost.mipi.1 += m1.energy;
+            // Phase 2: SBS re-read of the saliency-selected pixels from the
+            // already-exposed array (no second exposure).
+            let selection = synthetic_foveated_selection(full, down);
+            let resense = sensor.sbs_readout(&selection, self.lighting);
+            cost.sensing.0 += resense.adc_readout;
+            cost.sensing.1 += resense.adc_energy;
+            let m2 = self.mipi.transfer_frame(down, down, 3);
+            cost.mipi.0 += m2.latency;
+            cost.mipi.1 += m2.energy;
+            stage_dram(&mut cost, &self.dram, 2 * down * down * 3);
+        } else {
+            let capture = sensor.full_readout(self.lighting);
+            add_sensor(&mut cost, &capture);
+            let m = self.mipi.transfer_frame(full, full, 3);
+            cost.mipi.0 += m.latency;
+            cost.mipi.1 += m.energy;
+            stage_dram(&mut cost, &self.dram, full * full * 3);
+        }
+        // The eye-tracking camera senses in parallel with the outer camera
+        // (Fig. 11): it only extends the critical path if slower, which a
+        // 128² monochrome capture never is; its energy is accounted.
+        let et = Sensor::new(128, 128).full_readout(self.lighting);
+        cost.sensing.1 += et.energy();
+
+        // --- ESNet --------------------------------------------------------
+        let esnet = Workload::esnet(down, down, self.keep_ratio);
+        let (es_lat, es_en) = match pipeline.esnet_engine() {
+            EsnetEngine::Gpu => {
+                let t = self
+                    .gpu
+                    .small_network_latency(esnet.gflops(&self.accelerator.array), esnet.kernel_count());
+                (t, self.gpu.energy(t))
+            }
+            EsnetEngine::Npu => {
+                let t = self
+                    .npu
+                    .small_network_latency(esnet.gflops(&self.accelerator.array), esnet.kernel_count());
+                (t, self.npu.energy(t))
+            }
+            EsnetEngine::Accelerator => {
+                let c = self.accelerator.run(&esnet);
+                (c.latency, c.energy)
+            }
+        };
+        cost.esnet = (es_lat, es_en);
+
+        // --- Segmentation --------------------------------------------------
+        let seg_side = if pipeline.full_resolution() { full } else { down };
+        let seg_t = self.gpu.latency(backbone.gflops(seg_side));
+        cost.segmentation = (seg_t, self.gpu.energy(seg_t));
+
+        // --- Display --------------------------------------------------------
+        cost.display = (self.display.latency(), self.display.energy());
+        // --- Platform base power over the whole frame -----------------------
+        cost.platform = (
+            Latency::ZERO,
+            Energy::from_power(crate::calib::PLATFORM_POWER_W, cost.latency()),
+        );
+        cost
+    }
+
+    /// Evaluates and logs per-stage events into `trace`.
+    pub fn evaluate_traced(
+        &self,
+        pipeline: Pipeline,
+        backbone: Backbone,
+        dataset: Dataset,
+        trace: &Trace,
+    ) -> CostBreakdown {
+        let cost = self.evaluate(pipeline, backbone, dataset);
+        let mut t = 0.0;
+        for (stage, (lat, _)) in [
+            ("sensing", cost.sensing),
+            ("mipi", cost.mipi),
+            ("dram", cost.dram),
+            ("esnet", cost.esnet),
+            ("segmentation", cost.segmentation),
+            ("display", cost.display),
+        ] {
+            trace.record(StageEvent {
+                pipeline: pipeline.name().to_string(),
+                stage: stage.to_string(),
+                start_us: t,
+                duration: lat,
+            });
+            t += lat.us();
+        }
+        cost
+    }
+
+    /// The cost of a *skipped* frame under the SSA (Section 4.3's
+    /// `T_skip = T_c + T_m`): sense and transfer the preview `I_f^d`, run
+    /// gaze detection + the reuse checks on the accelerator, and reuse the
+    /// previous label map (no SBS re-sense, no segmentation, no new
+    /// display push).
+    pub fn skip_path(&self, dataset: Dataset) -> CostBreakdown {
+        let full = dataset.full_side();
+        let down = dataset.down_side();
+        let sensor = Sensor::new(full, full);
+        let mut cost = CostBreakdown::default();
+        let preview = sensor.subsampled_readout(down, down, self.lighting);
+        add_sensor(&mut cost, &preview);
+        let m = self.mipi.transfer_frame(down, down, 3);
+        cost.mipi.0 += m.latency;
+        cost.mipi.1 += m.energy;
+        stage_dram(&mut cost, &self.dram, down * down * 3);
+        let et = Sensor::new(128, 128).full_readout(self.lighting);
+        cost.sensing.1 += et.energy();
+        let mut gaze = Workload::gaze_only(self.keep_ratio);
+        gaze.preproc_pixels = (down * down) as u64;
+        let c = self.accelerator.run(&gaze);
+        cost.esnet = (c.latency, c.energy);
+        cost.platform = (
+            Latency::ZERO,
+            Energy::from_power(crate::calib::PLATFORM_POWER_W, cost.latency()),
+        );
+        cost
+    }
+
+    /// Speedup of `pipeline` over the FR+GPU reference (Fig. 13 (b) top).
+    pub fn speedup(&self, pipeline: Pipeline, backbone: Backbone, dataset: Dataset) -> f64 {
+        let reference = self.evaluate(Pipeline::FrGpu, backbone, dataset).latency();
+        let ours = self.evaluate(pipeline, backbone, dataset).latency();
+        reference / ours
+    }
+
+    /// Energy saving of `pipeline` over FR+GPU (Fig. 13 (b) bottom).
+    pub fn energy_saving(&self, pipeline: Pipeline, backbone: Backbone, dataset: Dataset) -> f64 {
+        let reference = self.evaluate(Pipeline::FrGpu, backbone, dataset).energy();
+        let ours = self.evaluate(pipeline, backbone, dataset).energy();
+        reference / ours
+    }
+}
+
+fn add_sensor(cost: &mut CostBreakdown, s: &SensorCost) {
+    cost.sensing.0 += s.latency();
+    cost.sensing.1 += s.energy();
+}
+
+fn stage_dram(cost: &mut CostBreakdown, dram: &Dram, bytes: usize) {
+    // Write after MIPI, read by the compute engine.
+    let (t, e) = dram.access(2 * bytes);
+    cost.dram.0 += t;
+    cost.dram.1 += e;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soc() -> SocModel {
+        SocModel::default()
+    }
+
+    #[test]
+    fn solo_is_fastest_everywhere() {
+        for backbone in Backbone::ALL {
+            for dataset in Dataset::MAIN {
+                let solo = soc().evaluate(Pipeline::Solo, backbone, dataset).latency();
+                for p in Pipeline::FIG13 {
+                    let other = soc().evaluate(p, backbone, dataset).latency();
+                    assert!(
+                        solo <= other,
+                        "{} {} {}: SOLO {} vs {} {}",
+                        backbone.name(),
+                        dataset.name(),
+                        p.name(),
+                        solo,
+                        p.name(),
+                        other
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_matches_table_4() {
+        // Sub+GPU > Sub+NPU > Sub+Acc and SBS+GPU > SBS+NPU > SOLO.
+        let b = Backbone::Hr;
+        let d = Dataset::Ade;
+        let t = |p| soc().evaluate(p, b, d).latency();
+        assert!(t(Pipeline::SubGpu) > t(Pipeline::SubNpu));
+        assert!(t(Pipeline::SubNpu) > t(Pipeline::SubAcc));
+        assert!(t(Pipeline::SbsGpu) > t(Pipeline::SbsNpu));
+        assert!(t(Pipeline::SbsNpu) > t(Pipeline::Solo));
+        // SBS beats its Sub counterpart (sensing+MIPI savings).
+        assert!(t(Pipeline::SbsGpu) < t(Pipeline::SubGpu));
+        assert!(t(Pipeline::Solo) < t(Pipeline::SubAcc));
+    }
+
+    #[test]
+    fn speedups_have_paper_magnitude() {
+        // Paper: SOLO averages 8.6× speedup and 9.1× energy saving over
+        // FR+GPU (Section 6.2). Require the same order of magnitude.
+        let mut speedups = Vec::new();
+        let mut savings = Vec::new();
+        for backbone in Backbone::ALL {
+            for dataset in Dataset::MAIN {
+                speedups.push(soc().speedup(Pipeline::Solo, backbone, dataset));
+                savings.push(soc().energy_saving(Pipeline::Solo, backbone, dataset));
+            }
+        }
+        let mean_speedup: f64 = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        let mean_saving: f64 = savings.iter().sum::<f64>() / savings.len() as f64;
+        assert!(
+            mean_speedup > 4.0 && mean_speedup < 20.0,
+            "mean speedup {mean_speedup}"
+        );
+        assert!(
+            mean_saving > 4.0 && mean_saving < 30.0,
+            "mean energy saving {mean_saving}"
+        );
+    }
+
+    #[test]
+    fn solo_latency_is_tens_of_milliseconds() {
+        // Table 3: SOLO spans ≈36–49 ms across backbones/datasets.
+        for backbone in Backbone::ALL {
+            for dataset in Dataset::MAIN {
+                let ms = soc().evaluate(Pipeline::Solo, backbone, dataset).latency().ms();
+                assert!(
+                    ms > 10.0 && ms < 80.0,
+                    "{} {}: {ms} ms",
+                    backbone.name(),
+                    dataset.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fr_gpu_latency_has_paper_magnitude() {
+        // Table 3: FR+GPU spans ≈237–598 ms.
+        let ms = soc()
+            .evaluate(Pipeline::FrGpu, Backbone::Hr, Dataset::Aria)
+            .latency()
+            .ms();
+        assert!(ms > 200.0 && ms < 900.0, "FR+GPU HR Aria {ms} ms");
+    }
+
+    #[test]
+    fn segmentation_dominates_fr_but_not_solo() {
+        // Fig 14 (a): FR+GPU is segmentation-bound; SOLO is balanced.
+        let fr = soc().evaluate(Pipeline::FrGpu, Backbone::Hr, Dataset::Lvis);
+        assert!(fr.segmentation.0 / fr.latency() > 0.6);
+        let solo = soc().evaluate(Pipeline::Solo, Backbone::Hr, Dataset::Lvis);
+        assert!(solo.segmentation.0 / solo.latency() < 0.8);
+    }
+
+    #[test]
+    fn low_light_shrinks_sbs_advantage() {
+        // Section 6.5.2: exposure dominates in low light, so SBS's relative
+        // sensing gain drops (4.3× high-light vs 1.9× low-light).
+        let gain = |l: Lighting| {
+            let m = SocModel::with_lighting(l);
+            let sub = m.evaluate(Pipeline::SubGpu, Backbone::Hr, Dataset::Aria);
+            let sbs = m.evaluate(Pipeline::SbsGpu, Backbone::Hr, Dataset::Aria);
+            sub.sensing_mipi().0 / sbs.sensing_mipi().0
+        };
+        let high = gain(Lighting::High);
+        let low = gain(Lighting::Low);
+        assert!(high > low, "high {high} vs low {low}");
+        assert!(high > 2.0, "high-light sensing gain {high}");
+        assert!(low > 1.2, "low-light sensing gain {low}");
+    }
+
+    #[test]
+    fn traced_evaluation_logs_all_stages() {
+        let trace = Trace::new();
+        soc().evaluate_traced(Pipeline::Solo, Backbone::Hr, Dataset::Ade, &trace);
+        let events = trace.events();
+        assert_eq!(events.len(), 6);
+        // Events are sequential.
+        for w in events.windows(2) {
+            assert!(w[1].start_us >= w[0].start_us);
+        }
+    }
+}

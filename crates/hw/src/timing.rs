@@ -1,0 +1,100 @@
+//! ASCII timing diagrams from pipeline traces — the Fig. 11 view of a
+//! frame's life through the SoC.
+
+use crate::soc::StageEvent;
+
+/// Renders trace events as an ASCII Gantt chart, one row per stage, with a
+/// time axis in milliseconds. `width` is the chart width in characters.
+///
+/// ```
+/// use solo_hw::soc::{Backbone, Dataset, Pipeline, SocModel, Trace};
+/// use solo_hw::timing::render_gantt;
+///
+/// let trace = Trace::new();
+/// SocModel::default().evaluate_traced(Pipeline::Solo, Backbone::Hr, Dataset::Lvis, &trace);
+/// let chart = render_gantt(&trace.events(), 60);
+/// assert!(chart.contains("segmentation"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width < 10`.
+pub fn render_gantt(events: &[StageEvent], width: usize) -> String {
+    assert!(width >= 10, "chart width must be at least 10");
+    if events.is_empty() {
+        return String::from("(no events)\n");
+    }
+    let total_us: f64 = events
+        .iter()
+        .map(|e| e.start_us + e.duration.us())
+        .fold(0.0, f64::max)
+        .max(1e-9);
+    let label_width = events
+        .iter()
+        .map(|e| e.stage.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let mut out = String::new();
+    for e in events {
+        let start = ((e.start_us / total_us) * width as f64).round() as usize;
+        let len = (((e.duration.us()) / total_us) * width as f64).ceil() as usize;
+        let len = len.max(if e.duration.us() > 0.0 { 1 } else { 0 });
+        let start = start.min(width);
+        let len = len.min(width - start);
+        out.push_str(&format!("{:<label_width$} |", e.stage));
+        out.push_str(&" ".repeat(start));
+        out.push_str(&"█".repeat(len));
+        out.push_str(&" ".repeat(width - start - len));
+        out.push_str(&format!("| {:>8.2} ms\n", e.duration.ms()));
+    }
+    out.push_str(&format!(
+        "{:<label_width$} |{}| total {:.2} ms\n",
+        "",
+        "-".repeat(width),
+        total_us / 1e3
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soc::{Backbone, Dataset, Pipeline, SocModel, Trace};
+
+    fn chart(pipeline: Pipeline) -> String {
+        let trace = Trace::new();
+        SocModel::default().evaluate_traced(pipeline, Backbone::Hr, Dataset::Lvis, &trace);
+        render_gantt(&trace.events(), 50)
+    }
+
+    #[test]
+    fn chart_contains_every_stage() {
+        let c = chart(Pipeline::Solo);
+        for stage in ["sensing", "mipi", "esnet", "segmentation", "display"] {
+            assert!(c.contains(stage), "missing {stage} in:\n{c}");
+        }
+    }
+
+    #[test]
+    fn fr_gpu_chart_is_dominated_by_segmentation() {
+        let c = chart(Pipeline::FrGpu);
+        // The segmentation row should hold the longest bar.
+        let seg_bar = c
+            .lines()
+            .find(|l| l.starts_with("segmentation"))
+            .expect("segmentation row")
+            .matches('█')
+            .count();
+        for line in c.lines() {
+            if !line.starts_with("segmentation") {
+                assert!(line.matches('█').count() <= seg_bar);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert_eq!(render_gantt(&[], 40), "(no events)\n");
+    }
+}

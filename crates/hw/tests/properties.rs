@@ -1,0 +1,70 @@
+//! Property-based tests on the hardware models' physical invariants.
+
+use proptest::prelude::*;
+use solo_hw::accelerator::{Accelerator, SystolicArray, Workload};
+use solo_hw::mipi::MipiLink;
+use solo_hw::sensor::{even_grid, Lighting, Sensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sbs_never_costs_more_than_full_readout(
+        out in 2usize..32,
+        groups in 1usize..8,
+    ) {
+        let sensor = Sensor::with_groups(64, 64, groups);
+        let sel = even_grid(64, 64, out, out);
+        let sbs = sensor.sbs_readout(&sel, Lighting::High);
+        let full = sensor.full_readout(Lighting::High);
+        prop_assert!(sbs.rounds <= full.rounds);
+        prop_assert!(sbs.pixels_read <= full.pixels_read);
+        prop_assert!(sbs.adc_energy <= full.adc_energy);
+    }
+
+    #[test]
+    fn readout_rounds_decrease_with_more_adc_groups(out in 4usize..32) {
+        let sel = even_grid(64, 64, out, out);
+        let mut prev = usize::MAX;
+        for groups in [1usize, 2, 4, 8] {
+            let rounds = Sensor::with_groups(64, 64, groups)
+                .sbs_readout(&sel, Lighting::High)
+                .rounds;
+            prop_assert!(rounds <= prev, "groups {groups}: {rounds} > {prev}");
+            prev = rounds;
+        }
+    }
+
+    #[test]
+    fn mipi_cost_is_monotone_in_payload(a in 1usize..100_000, b in 1usize..100_000) {
+        let link = MipiLink::default();
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(link.transfer(small).latency <= link.transfer(large).latency);
+        prop_assert!(link.transfer(small).energy <= link.transfer(large).energy);
+        prop_assert!(link.wire_bytes(small) > small); // framing overhead exists
+    }
+
+    #[test]
+    fn gemm_cycles_bound_macs_by_peak(
+        m in 1usize..64,
+        k in 1usize..128,
+        n in 1usize..128,
+    ) {
+        let array = SystolicArray::default();
+        let cycles = array.gemm_cycles(m, k, n);
+        let macs = array.gemm_macs(m, k, n);
+        // Cycles can never beat the peak MAC rate.
+        prop_assert!(cycles * array.peak_macs_per_cycle() >= macs);
+    }
+
+    #[test]
+    fn more_tokens_kept_never_reduces_accelerator_work(
+        preview in 8usize..64,
+    ) {
+        let acc = Accelerator::default();
+        let pruned = acc.run(&Workload::esnet(preview, preview, 0.5));
+        let full = acc.run(&Workload::esnet(preview, preview, 1.0));
+        prop_assert!(pruned.array_cycles <= full.array_cycles);
+        prop_assert!(pruned.energy <= full.energy);
+    }
+}

@@ -1,0 +1,169 @@
+//! Parameter-free activation layers.
+
+use solo_tensor::Tensor;
+
+use crate::{Layer, Param};
+
+macro_rules! activation {
+    ($(#[$doc:meta])* $name:ident, $fwd:expr, $deriv:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Default)]
+        pub struct $name {
+            cache: Option<Tensor>,
+        }
+
+        impl $name {
+            /// Creates the activation layer.
+            pub fn new() -> Self {
+                Self { cache: None }
+            }
+
+            /// Applies the activation to a scalar.
+            pub fn apply(x: f32) -> f32 {
+                ($fwd)(x)
+            }
+        }
+
+        impl Layer for $name {
+            fn forward(&mut self, input: &Tensor) -> Tensor {
+                self.cache = Some(input.clone());
+                input.map($fwd)
+            }
+
+            fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+                let input = self
+                    .cache
+                    .take()
+                    .expect(concat!(stringify!($name), "::backward called before forward"));
+                grad_out.zip(&input, |g, x| g * ($deriv)(x))
+            }
+
+            fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+            fn infer(&mut self, input: &Tensor) -> Tensor {
+                input.map($fwd)
+            }
+        }
+    };
+}
+
+activation!(
+    /// Rectified linear unit: `max(x, 0)`.
+    Relu,
+    |x: f32| x.max(0.0),
+    |x: f32| if x > 0.0 { 1.0 } else { 0.0 }
+);
+
+activation!(
+    /// Leaky ReLU with fixed negative slope 0.01.
+    LeakyRelu,
+    |x: f32| if x > 0.0 { x } else { 0.01 * x },
+    |x: f32| if x > 0.0 { 1.0 } else { 0.01 }
+);
+
+activation!(
+    /// Logistic sigmoid `1 / (1 + e^{−x})`.
+    Sigmoid,
+    sigmoid,
+    |x: f32| {
+        let s = sigmoid(x);
+        s * (1.0 - s)
+    }
+);
+
+activation!(
+    /// Hyperbolic tangent.
+    Tanh,
+    |x: f32| x.tanh(),
+    |x: f32| 1.0 - x.tanh().powi(2)
+);
+
+activation!(
+    /// Gaussian error linear unit (tanh approximation), the activation the
+    /// paper's SFU implements for GT-ViT.
+    Gelu,
+    gelu,
+    gelu_deriv
+);
+
+/// Scalar sigmoid, exposed because the saccade-detector head and several
+/// hardware models need it outside a layer context.
+pub(crate) fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_deriv(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let inner = SQRT_2_OVER_PI * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use solo_tensor::{normal, seeded_rng};
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        assert_eq!(y.as_slice(), &[0.0, 2.0]);
+        let g = r.backward(&Tensor::ones(&[2]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        let mut g = Gelu::new();
+        let y = g.infer(&Tensor::from_vec(vec![0.0, 1.0, -1.0], &[3]));
+        assert!((y.at(&[0])).abs() < 1e-6);
+        assert!((y.at(&[1]) - 0.8412).abs() < 1e-3);
+        assert!((y.at(&[2]) + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn activations_pass_gradcheck() {
+        let mut rng = seeded_rng(11);
+        let x = normal(&mut rng, &[12], 0.0, 1.0);
+        assert!(gradcheck::check_input_grad(&mut Gelu::new(), &x, 1e-2) < 1e-2);
+        assert!(gradcheck::check_input_grad(&mut Sigmoid::new(), &x, 1e-2) < 1e-2);
+        assert!(gradcheck::check_input_grad(&mut Tanh::new(), &x, 1e-2) < 1e-2);
+        assert!(gradcheck::check_input_grad(&mut LeakyRelu::new(), &x, 1e-2) < 1e-2);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded() {
+        let mut s = Sigmoid::new();
+        let y = s.infer(&Tensor::from_vec(vec![-100.0, 0.0, 100.0], &[3]));
+        assert!(y.at(&[0]) >= 0.0 && y.at(&[0]) < 1e-6);
+        assert!((y.at(&[1]) - 0.5).abs() < 1e-6);
+        assert!(y.at(&[2]) <= 1.0 && y.at(&[2]) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        Relu::new().backward(&Tensor::ones(&[1]));
+    }
+
+    #[test]
+    fn two_instances_have_independent_caches() {
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[2]);
+        let mut a = Relu::new();
+        let mut b = Relu::new();
+        a.forward(&x);
+        b.forward(&x.scale(-1.0));
+        let gb = b.backward(&Tensor::ones(&[2]));
+        let ga = a.backward(&Tensor::ones(&[2]));
+        assert_eq!(ga.as_slice(), &[1.0, 0.0]);
+        assert_eq!(gb.as_slice(), &[0.0, 1.0]);
+    }
+}

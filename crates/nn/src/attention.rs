@@ -1,0 +1,285 @@
+//! Multi-head self-attention with full manual backward.
+
+use rand::Rng;
+use solo_tensor::Tensor;
+
+use crate::{Layer, Linear, Param};
+
+/// Multi-head self-attention over a `[tokens, dim]` sequence.
+///
+/// Implements the standard scaled dot-product attention used by GT-ViT.
+/// After every [`Layer::forward`] / [`Layer::infer`] the per-head attention
+/// matrices are retained and exposed through
+/// [`MultiHeadAttention::last_attention`], which the token selector
+/// ([`crate::prune`]) uses to score token importance exactly as the paper's
+/// accelerator does (summing attention received per token).
+#[derive(Debug)]
+pub struct MultiHeadAttention {
+    qkv: Linear,
+    proj: Linear,
+    dim: usize,
+    heads: usize,
+    head_dim: usize,
+    cache: Option<AttnCache>,
+    last_attention: Option<Vec<Tensor>>, // per head: [T, T]
+}
+
+#[derive(Debug)]
+struct AttnCache {
+    q: Vec<Tensor>,     // per head [T, hd]
+    k: Vec<Tensor>,     // per head [T, hd]
+    v: Vec<Tensor>,     // per head [T, hd]
+    attn: Vec<Tensor>,  // per head [T, T] (post-softmax)
+    tokens: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads` or either is zero.
+    pub fn new(rng: &mut impl Rng, dim: usize, heads: usize) -> Self {
+        assert!(dim > 0 && heads > 0, "dim and heads must be nonzero");
+        assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
+        Self {
+            qkv: Linear::new(rng, dim, 3 * dim),
+            proj: Linear::new(rng, dim, dim),
+            dim,
+            heads,
+            head_dim: dim / heads,
+            cache: None,
+            last_attention: None,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Post-softmax attention matrices (`heads × [T, T]`) from the most
+    /// recent forward/infer pass, or `None` before the first pass.
+    pub fn last_attention(&self) -> Option<&[Tensor]> {
+        self.last_attention.as_deref()
+    }
+
+    /// Splits the fused `[T, 3·dim]` qkv output into per-head q/k/v
+    /// `[T, head_dim]` matrices.
+    fn split_heads(&self, qkv: &Tensor) -> (Vec<Tensor>, Vec<Tensor>, Vec<Tensor>) {
+        let t = qkv.shape().dim(0);
+        let d = self.dim;
+        let hd = self.head_dim;
+        let src = qkv.as_slice();
+        let mut qs = Vec::with_capacity(self.heads);
+        let mut ks = Vec::with_capacity(self.heads);
+        let mut vs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let mut q = vec![0.0f32; t * hd];
+            let mut k = vec![0.0f32; t * hd];
+            let mut v = vec![0.0f32; t * hd];
+            for i in 0..t {
+                let row = &src[i * 3 * d..(i + 1) * 3 * d];
+                q[i * hd..(i + 1) * hd].copy_from_slice(&row[h * hd..(h + 1) * hd]);
+                k[i * hd..(i + 1) * hd].copy_from_slice(&row[d + h * hd..d + (h + 1) * hd]);
+                v[i * hd..(i + 1) * hd]
+                    .copy_from_slice(&row[2 * d + h * hd..2 * d + (h + 1) * hd]);
+            }
+            qs.push(Tensor::from_vec(q, &[t, hd]));
+            ks.push(Tensor::from_vec(k, &[t, hd]));
+            vs.push(Tensor::from_vec(v, &[t, hd]));
+        }
+        (qs, ks, vs)
+    }
+
+    /// Inverse of [`Self::split_heads`] for gradients: packs per-head
+    /// dq/dk/dv back into the fused `[T, 3·dim]` layout.
+    fn merge_heads_grad(&self, dq: &[Tensor], dk: &[Tensor], dv: &[Tensor], t: usize) -> Tensor {
+        let d = self.dim;
+        let hd = self.head_dim;
+        let mut out = vec![0.0f32; t * 3 * d];
+        for h in 0..self.heads {
+            for i in 0..t {
+                let row = &mut out[i * 3 * d..(i + 1) * 3 * d];
+                row[h * hd..(h + 1) * hd].copy_from_slice(&dq[h].as_slice()[i * hd..(i + 1) * hd]);
+                row[d + h * hd..d + (h + 1) * hd]
+                    .copy_from_slice(&dk[h].as_slice()[i * hd..(i + 1) * hd]);
+                row[2 * d + h * hd..2 * d + (h + 1) * hd]
+                    .copy_from_slice(&dv[h].as_slice()[i * hd..(i + 1) * hd]);
+            }
+        }
+        Tensor::from_vec(out, &[t, 3 * d])
+    }
+
+    fn attend(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().ndim(), 2, "attention input must be [T, dim]");
+        assert_eq!(
+            input.shape().dim(1),
+            self.dim,
+            "attention expects dim {}, got {}",
+            self.dim,
+            input.shape()
+        );
+        let t = input.shape().dim(0);
+        let qkv = if train {
+            self.qkv.forward(input)
+        } else {
+            self.qkv.infer(input)
+        };
+        let (qs, ks, vs) = self.split_heads(&qkv);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut heads_out = Vec::with_capacity(self.heads);
+        let mut attns = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let scores = qs[h].matmul(&ks[h].transpose()).scale(scale);
+            let attn = scores.softmax_rows();
+            heads_out.push(attn.matmul(&vs[h]));
+            attns.push(attn);
+        }
+        // Concatenate heads back to [T, dim].
+        let mut merged = vec![0.0f32; t * self.dim];
+        for h in 0..self.heads {
+            let ho = heads_out[h].as_slice();
+            for i in 0..t {
+                merged[i * self.dim + h * self.head_dim..i * self.dim + (h + 1) * self.head_dim]
+                    .copy_from_slice(&ho[i * self.head_dim..(i + 1) * self.head_dim]);
+            }
+        }
+        let merged = Tensor::from_vec(merged, &[t, self.dim]);
+        let out = if train {
+            self.proj.forward(&merged)
+        } else {
+            self.proj.infer(&merged)
+        };
+        if train {
+            self.cache = Some(AttnCache {
+                q: qs,
+                k: ks,
+                v: vs,
+                attn: attns.clone(),
+                tokens: t,
+            });
+        }
+        self.last_attention = Some(attns);
+        out
+    }
+}
+
+impl Layer for MultiHeadAttention {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.attend(input, true)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("MultiHeadAttention::backward called before forward");
+        let t = cache.tokens;
+        let hd = self.head_dim;
+        let scale = 1.0 / (hd as f32).sqrt();
+        // Through the output projection.
+        let dmerged = self.proj.backward(grad_out);
+        // Split per head.
+        let mut dq = Vec::with_capacity(self.heads);
+        let mut dk = Vec::with_capacity(self.heads);
+        let mut dv = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let mut dho = vec![0.0f32; t * hd];
+            for i in 0..t {
+                dho[i * hd..(i + 1) * hd].copy_from_slice(
+                    &dmerged.as_slice()[i * self.dim + h * hd..i * self.dim + (h + 1) * hd],
+                );
+            }
+            let dho = Tensor::from_vec(dho, &[t, hd]);
+            let attn = &cache.attn[h];
+            // dV = Aᵀ · dho ; dA = dho · Vᵀ
+            dv.push(attn.transpose().matmul(&dho));
+            let da = dho.matmul(&cache.v[h].transpose());
+            // Softmax backward per row: dS = A ∘ (dA − rowsum(dA ∘ A))
+            let mut ds = vec![0.0f32; t * t];
+            let a = attn.as_slice();
+            let dav = da.as_slice();
+            for i in 0..t {
+                let row_a = &a[i * t..(i + 1) * t];
+                let row_da = &dav[i * t..(i + 1) * t];
+                let dot: f32 = row_a.iter().zip(row_da).map(|(&x, &y)| x * y).sum();
+                for j in 0..t {
+                    ds[i * t + j] = row_a[j] * (row_da[j] - dot);
+                }
+            }
+            let ds = Tensor::from_vec(ds, &[t, t]).scale(scale);
+            // dQ = dS · K ; dK = dSᵀ · Q
+            dq.push(ds.matmul(&cache.k[h]));
+            dk.push(ds.transpose().matmul(&cache.q[h]));
+        }
+        let dqkv = self.merge_heads_grad(&dq, &dk, &dv, t);
+        self.qkv.backward(&dqkv)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.qkv.visit_params(f);
+        self.proj.visit_params(f);
+    }
+
+    fn infer(&mut self, input: &Tensor) -> Tensor {
+        self.attend(input, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use solo_tensor::{normal, seeded_rng};
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = seeded_rng(20);
+        let mut mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = normal(&mut rng, &[5, 8], 0.0, 1.0);
+        let y = mha.forward(&x);
+        assert_eq!(y.shape().dims(), &[5, 8]);
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one() {
+        let mut rng = seeded_rng(21);
+        let mut mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = normal(&mut rng, &[4, 8], 0.0, 1.0);
+        mha.infer(&x);
+        let attn = mha.last_attention().expect("attention recorded");
+        assert_eq!(attn.len(), 2);
+        for a in attn {
+            for i in 0..4 {
+                let s: f32 = a.as_slice()[i * 4..(i + 1) * 4].iter().sum();
+                assert!((s - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(22);
+        let mut mha = MultiHeadAttention::new(&mut rng, 6, 2);
+        let x = normal(&mut rng, &[3, 6], 0.0, 0.8);
+        let worst = gradcheck::check_input_grad(&mut mha, &x, 1e-2);
+        assert!(worst < 3e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn param_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(23);
+        let mut mha = MultiHeadAttention::new(&mut rng, 4, 2);
+        let x = normal(&mut rng, &[2, 4], 0.0, 0.8);
+        let worst = gradcheck::check_param_grad(&mut mha, &x, 1e-2);
+        assert!(worst < 3e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_indivisible_heads() {
+        let mut rng = seeded_rng(24);
+        MultiHeadAttention::new(&mut rng, 7, 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! 2-D convolution lowered to GEMM via `im2col`.
+
+use rand::Rng;
+use solo_tensor::{col2im, im2col, kaiming_uniform, Im2ColSpec, Tensor};
+
+use crate::{Layer, Param};
+
+/// A 2-D convolution over a single `[C, H, W]` image.
+///
+/// The kernel is square; stride, padding and dilation apply to both axes.
+/// Dilation > 1 gives the atrous convolutions used by the DeepLab-style
+/// backbone. The spatial size is inferred from the input at `forward` time,
+/// so the same layer can be applied to different resolutions (needed by the
+/// multi-resolution HRNet-style backbone).
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param, // [out_c, in_c * k * k]
+    bias: Param,   // [out_c]
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    dilation: usize,
+    cache: Option<(Tensor, Im2ColSpec)>, // (im2col matrix, spec)
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-uniform weights, "same"-style
+    /// padding `k/2`, stride 1 and no dilation.
+    pub fn new(rng: &mut impl Rng, in_channels: usize, out_channels: usize, kernel: usize) -> Self {
+        Self::with_options(rng, in_channels, out_channels, kernel, 1, kernel / 2, 1)
+    }
+
+    /// Creates a convolution with explicit stride, padding and dilation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_channels`, `out_channels`, `kernel`, `stride`
+    /// or `dilation` is zero.
+    pub fn with_options(
+        rng: &mut impl Rng,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        dilation: usize,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be nonzero");
+        assert!(kernel > 0 && stride > 0 && dilation > 0, "kernel/stride/dilation must be nonzero");
+        let fan_in = in_channels * kernel * kernel;
+        let weight = kaiming_uniform(rng, &[out_channels, fan_in], fan_in);
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            dilation,
+            cache: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// FLOPs for one forward pass over an `h×w` input (multiply–accumulate
+    /// counted as 2 ops), used by the hardware latency models.
+    pub fn flops(&self, h: usize, w: usize) -> u64 {
+        let spec = self.spec(h, w);
+        let taps = (self.in_channels * self.kernel * self.kernel) as u64;
+        2 * taps * self.out_channels as u64 * (spec.out_height() * spec.out_width()) as u64
+    }
+
+    fn spec(&self, h: usize, w: usize) -> Im2ColSpec {
+        Im2ColSpec {
+            channels: self.in_channels,
+            height: h,
+            width: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            dilation: self.dilation,
+        }
+    }
+
+    fn run(&self, input: &Tensor) -> (Tensor, Tensor, Im2ColSpec) {
+        assert_eq!(input.shape().ndim(), 3, "conv input must be [C,H,W]");
+        assert_eq!(
+            input.shape().dim(0),
+            self.in_channels,
+            "conv expects {} input channels, got {}",
+            self.in_channels,
+            input.shape().dim(0)
+        );
+        let spec = self.spec(input.shape().dim(1), input.shape().dim(2));
+        let (oh, ow) = (spec.out_height(), spec.out_width());
+        assert!(oh > 0 && ow > 0, "conv output collapsed to zero for input {}", input.shape());
+        let cols = im2col(input, &spec);
+        let mut y = self.weight.value().matmul(&cols);
+        let b = self.bias.value().as_slice();
+        let data = y.as_mut_slice();
+        let l = oh * ow;
+        for (oc, &bv) in b.iter().enumerate() {
+            for v in &mut data[oc * l..(oc + 1) * l] {
+                *v += bv;
+            }
+        }
+        (y.into_reshaped(&[self.out_channels, oh, ow]), cols, spec)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (y, cols, spec) = self.run(input);
+        self.cache = Some((cols, spec));
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (cols, spec) = self
+            .cache
+            .take()
+            .expect("Conv2d::backward called before forward");
+        let (oh, ow) = (spec.out_height(), spec.out_width());
+        assert_eq!(
+            grad_out.shape().dims(),
+            &[self.out_channels, oh, ow],
+            "grad_out shape mismatch in Conv2d::backward"
+        );
+        let g = grad_out.reshape(&[self.out_channels, oh * ow]);
+        // dW = g · colsᵀ ; db = row sums ; dcols = Wᵀ · g ; dx = col2im(dcols)
+        self.weight.accumulate(&g.matmul(&cols.transpose()));
+        let mut db = vec![0.0f32; self.out_channels];
+        for (oc, acc) in db.iter_mut().enumerate() {
+            *acc = g.as_slice()[oc * oh * ow..(oc + 1) * oh * ow].iter().sum();
+        }
+        self.bias.accumulate(&Tensor::from_vec(db, &[self.out_channels]));
+        let dcols = self.weight.value().transpose().matmul(&g);
+        col2im(&dcols, &spec)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn infer(&mut self, input: &Tensor) -> Tensor {
+        self.run(input).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use solo_tensor::{normal, seeded_rng};
+
+    #[test]
+    fn identity_1x1_kernel_passes_through() {
+        let mut rng = seeded_rng(0);
+        let mut c = Conv2d::with_options(&mut rng, 1, 1, 1, 1, 0, 1);
+        c.visit_params(&mut |p| {
+            if p.len() == 1 {
+                p.value_mut().as_mut_slice()[0] = if p.value().shape().ndim() == 2 { 1.0 } else { 0.0 };
+            }
+        });
+        // weight [1,1] = 1, bias [1] = 0: identity.
+        let x = Tensor::arange(9).reshape(&[1, 3, 3]);
+        let y = c.infer(&x);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial_size() {
+        let mut rng = seeded_rng(1);
+        let mut c = Conv2d::new(&mut rng, 3, 8, 3);
+        let y = c.infer(&Tensor::ones(&[3, 7, 5]));
+        assert_eq!(y.shape().dims(), &[8, 7, 5]);
+    }
+
+    #[test]
+    fn stride_two_halves_dims() {
+        let mut rng = seeded_rng(2);
+        let mut c = Conv2d::with_options(&mut rng, 1, 4, 3, 2, 1, 1);
+        let y = c.infer(&Tensor::ones(&[1, 8, 8]));
+        assert_eq!(y.shape().dims(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn dilation_expands_receptive_field_same_output() {
+        let mut rng = seeded_rng(3);
+        let mut c = Conv2d::with_options(&mut rng, 1, 2, 3, 1, 2, 2);
+        let y = c.infer(&Tensor::ones(&[1, 6, 6]));
+        assert_eq!(y.shape().dims(), &[2, 6, 6]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(4);
+        let mut c = Conv2d::new(&mut rng, 2, 3, 3);
+        let x = normal(&mut rng, &[2, 4, 4], 0.0, 1.0);
+        let worst = gradcheck::check_input_grad(&mut c, &x, 1e-2);
+        assert!(worst < 2e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn param_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(5);
+        let mut c = Conv2d::new(&mut rng, 1, 2, 3);
+        let x = normal(&mut rng, &[1, 4, 4], 0.0, 1.0);
+        let worst = gradcheck::check_param_grad(&mut c, &x, 1e-2);
+        assert!(worst < 2e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn flops_scale_with_area() {
+        let mut rng = seeded_rng(6);
+        let c = Conv2d::new(&mut rng, 4, 8, 3);
+        assert_eq!(c.flops(16, 16) * 4, c.flops(32, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn rejects_wrong_channel_count() {
+        let mut rng = seeded_rng(7);
+        Conv2d::new(&mut rng, 3, 4, 3).infer(&Tensor::ones(&[1, 4, 4]));
+    }
+}

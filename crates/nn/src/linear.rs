@@ -1,0 +1,235 @@
+//! Fully-connected layer.
+
+use rand::Rng;
+use solo_tensor::{xavier_uniform, Tensor};
+
+use crate::{Layer, Param};
+
+/// An affine map `y = x·Wᵀ + b` over rank-2 inputs `[n, in] → [n, out]`.
+///
+/// Rank-1 inputs of length `in` are accepted as a convenience and treated as
+/// a single row (the output is then rank-1 of length `out`).
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+    input_was_vec: bool,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new(rng: &mut impl Rng, in_features: usize, out_features: usize) -> Self {
+        let weight = xavier_uniform(rng, &[out_features, in_features], in_features, out_features);
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+            input_was_vec: false,
+        }
+    }
+
+    /// Creates a layer from explicit weight `[out, in]` and bias `[out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.shape().ndim(), 2, "weight must be [out, in]");
+        let (out_features, in_features) = (weight.shape().dim(0), weight.shape().dim(1));
+        assert_eq!(bias.shape().dims(), &[out_features], "bias must be [out]");
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            in_features,
+            out_features,
+            cached_input: None,
+            input_was_vec: false,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight matrix `[out, in]`.
+    pub fn weight(&self) -> &Tensor {
+        self.weight.value()
+    }
+
+    fn as_matrix(&self, input: &Tensor) -> (Tensor, bool) {
+        match input.shape().ndim() {
+            1 => {
+                assert_eq!(
+                    input.len(),
+                    self.in_features,
+                    "linear expects {} features, got {}",
+                    self.in_features,
+                    input.len()
+                );
+                (input.reshape(&[1, self.in_features]), true)
+            }
+            2 => {
+                assert_eq!(
+                    input.shape().dim(1),
+                    self.in_features,
+                    "linear expects [n, {}], got {}",
+                    self.in_features,
+                    input.shape()
+                );
+                (input.clone(), false)
+            }
+            _ => panic!("linear input must be rank-1 or rank-2, got {}", input.shape()),
+        }
+    }
+
+    fn apply(&self, x: &Tensor) -> Tensor {
+        let mut y = x.matmul(&self.weight.value().transpose());
+        let n = y.shape().dim(0);
+        let b = self.bias.value().as_slice();
+        let data = y.as_mut_slice();
+        for r in 0..n {
+            for (o, &bv) in data[r * self.out_features..(r + 1) * self.out_features]
+                .iter_mut()
+                .zip(b)
+            {
+                *o += bv;
+            }
+        }
+        y
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (x, was_vec) = self.as_matrix(input);
+        let y = self.apply(&x);
+        self.cached_input = Some(x);
+        self.input_was_vec = was_vec;
+        if was_vec {
+            y.into_reshaped(&[self.out_features])
+        } else {
+            y
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("Linear::backward called before forward");
+        let g = if self.input_was_vec {
+            grad_out.reshape(&[1, self.out_features])
+        } else {
+            grad_out.clone()
+        };
+        assert_eq!(
+            g.shape().dims(),
+            &[x.shape().dim(0), self.out_features],
+            "grad_out shape mismatch in Linear::backward"
+        );
+        // dW = gᵀ·x ; db = column sums of g ; dx = g·W
+        self.weight.accumulate(&g.transpose().matmul(&x));
+        let n = g.shape().dim(0);
+        let mut db = vec![0.0f32; self.out_features];
+        for r in 0..n {
+            for (acc, &gv) in db
+                .iter_mut()
+                .zip(&g.as_slice()[r * self.out_features..(r + 1) * self.out_features])
+            {
+                *acc += gv;
+            }
+        }
+        self.bias.accumulate(&Tensor::from_vec(db, &[self.out_features]));
+        let gx = g.matmul(self.weight.value());
+        if self.input_was_vec {
+            gx.into_reshaped(&[self.in_features])
+        } else {
+            gx
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn infer(&mut self, input: &Tensor) -> Tensor {
+        let (x, was_vec) = self.as_matrix(input);
+        let y = self.apply(&x);
+        if was_vec {
+            y.into_reshaped(&[self.out_features])
+        } else {
+            y
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use solo_tensor::{normal, seeded_rng};
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let mut l = Linear::from_parts(w, b);
+        let y = l.forward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]));
+        assert_eq!(y.as_slice(), &[6.5, 14.5]);
+    }
+
+    #[test]
+    fn rank1_and_rank2_agree() {
+        let mut rng = seeded_rng(3);
+        let mut l = Linear::new(&mut rng, 4, 3);
+        let v = normal(&mut rng, &[4], 0.0, 1.0);
+        let y1 = l.forward(&v);
+        let y2 = l.forward(&v.reshape(&[1, 4]));
+        assert_eq!(y1.as_slice(), y2.as_slice());
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(4);
+        let mut l = Linear::new(&mut rng, 5, 3);
+        let x = normal(&mut rng, &[2, 5], 0.0, 1.0);
+        let worst = gradcheck::check_input_grad(&mut l, &x, 1e-2);
+        assert!(worst < 1e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn param_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(5);
+        let mut l = Linear::new(&mut rng, 3, 2);
+        let x = normal(&mut rng, &[2, 3], 0.0, 1.0);
+        let worst = gradcheck::check_param_grad(&mut l, &x, 1e-2);
+        assert!(worst < 1e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        let mut rng = seeded_rng(6);
+        Linear::new(&mut rng, 2, 2).backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn infer_does_not_populate_cache() {
+        let mut rng = seeded_rng(7);
+        let mut l = Linear::new(&mut rng, 2, 2);
+        l.infer(&Tensor::ones(&[1, 2]));
+        assert!(l.cached_input.is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! Loss functions.
+//!
+//! Each loss returns `(value, gradient_w.r.t._input)` so training loops can
+//! feed the gradient straight into [`crate::Layer::backward`]. The SOLO
+//! training objective (Eq. 4 of the paper) combines [`dice`] on the sampled
+//! label map with an l2 ([`mse`]) regularizer pulling the saliency map
+//! toward the ground-truth IOI mask:
+//!
+//! `L_tot = L_Dice(Y_cm, Y_cm^{s,gt}) + λ·L_mse(Y_bm^{s,gt}, S)`.
+
+use solo_tensor::Tensor;
+
+/// Mean-squared-error loss: `mean((x − t)²)`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    let diff = pred.sub(target);
+    let n = pred.len().max(1) as f32;
+    let loss = diff.norm_sq() / n;
+    (loss, diff.scale(2.0 / n))
+}
+
+/// Soft Dice loss over probability maps in `[0, 1]`.
+///
+/// `1 − (2·Σ p·t + ε) / (Σ p + Σ t + ε)`. The paper uses Dice to counter
+/// the extreme foreground/background imbalance of IOI masks (Section 3.4):
+/// unlike pixel-wise MSE it weights the (small) instance region equally with
+/// the (huge) background.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn dice(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "dice shape mismatch: {} vs {}",
+        pred.shape(),
+        target.shape()
+    );
+    const EPS: f32 = 1.0;
+    let inter: f32 = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| p * t)
+        .sum();
+    let psum = pred.sum();
+    let tsum = target.sum();
+    let num = 2.0 * inter + EPS;
+    let den = psum + tsum + EPS;
+    let loss = 1.0 - num / den;
+    // d/dp_i [1 − (2Σpt+ε)/(Σp+Σt+ε)] = −(2 t_i · den − num) / den²
+    let grad = pred.zip(target, |_, t| -(2.0 * t * den - num) / (den * den));
+    (loss, grad)
+}
+
+/// Softmax cross-entropy from raw logits against a class index.
+///
+/// Returns the loss and the gradient w.r.t. the logits (`softmax − onehot`).
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-1 or `target >= logits.len()`.
+pub fn cross_entropy(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    assert_eq!(logits.shape().ndim(), 1, "cross_entropy expects rank-1 logits");
+    let c = logits.len();
+    assert!(target < c, "target {target} out of range for {c} classes");
+    let probs = logits.reshape(&[1, c]).softmax_rows().into_reshaped(&[c]);
+    let loss = -(probs.at(&[target]).max(1e-12)).ln();
+    let mut grad = probs;
+    grad.as_mut_slice()[target] -= 1.0;
+    (loss, grad)
+}
+
+/// Binary cross-entropy on probabilities in `(0, 1)` against targets in
+/// `[0, 1]`, averaged over elements.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn bce(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "bce shape mismatch: {} vs {}",
+        pred.shape(),
+        target.shape()
+    );
+    let n = pred.len().max(1) as f32;
+    let loss: f32 = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| {
+            let p = p.clamp(1e-6, 1.0 - 1e-6);
+            -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+        })
+        .sum::<f32>()
+        / n;
+    let grad = pred.zip(target, |p, t| {
+        let p = p.clamp(1e-6, 1.0 - 1e-6);
+        ((p - t) / (p * (1.0 - p))) / n
+    });
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(f: impl Fn(&Tensor) -> (f32, Tensor), x: &Tensor, eps: f32) -> f32 {
+        let (_, g) = f(x);
+        let mut worst = 0.0f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fd = (f(&xp).0 - f(&xm).0) / (2.0 * eps);
+            worst = worst.max((fd - g.as_slice()[i]).abs());
+        }
+        worst
+    }
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let t = Tensor::arange(4);
+        let (l, g) = mse(&t, &t);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.norm_sq(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_fd() {
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[3]);
+        let t = Tensor::from_vec(vec![0.0, 0.5, 1.0], &[3]);
+        let worst = fd_check(|p| mse(p, &t), &x, 1e-3);
+        assert!(worst < 1e-2, "worst {worst}");
+    }
+
+    #[test]
+    fn dice_perfect_overlap_is_near_zero() {
+        let m = Tensor::from_vec(vec![1.0, 1.0, 0.0, 0.0], &[4]);
+        let (l, _) = dice(&m, &m);
+        assert!(l < 0.2, "dice {l}"); // ε smoothing keeps it slightly > 0
+    }
+
+    #[test]
+    fn dice_disjoint_is_high() {
+        let a = Tensor::from_vec(vec![1.0, 1.0, 0.0, 0.0], &[4]);
+        let b = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[4]);
+        let (l, _) = dice(&a, &b);
+        assert!(l > 0.7, "dice {l}");
+    }
+
+    #[test]
+    fn dice_gradient_matches_fd() {
+        let x = Tensor::from_vec(vec![0.8, 0.2, 0.6, 0.1], &[4]);
+        let t = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[4]);
+        let worst = fd_check(|p| dice(p, &t), &x, 1e-3);
+        assert!(worst < 1e-2, "worst {worst}");
+    }
+
+    #[test]
+    fn dice_prefers_foreground_recovery_over_background() {
+        // The gradient on a missed foreground pixel must exceed the gradient
+        // on an equally-wrong background pixel when foreground is rare —
+        // the imbalance-robustness property the paper cites.
+        let pred = Tensor::from_vec(vec![0.5; 100], &[100]);
+        let mut tgt = vec![0.0; 100];
+        tgt[0] = 1.0; // 1% foreground
+        let t = Tensor::from_vec(tgt, &[100]);
+        let (_, g) = dice(&pred, &t);
+        assert!(
+            g.as_slice()[0].abs() > g.as_slice()[1].abs() * 5.0,
+            "fg grad {} vs bg grad {}",
+            g.as_slice()[0],
+            g.as_slice()[1]
+        );
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5], &[3]);
+        let (l, g) = cross_entropy(&logits, 1);
+        assert!(l > 0.0);
+        assert!((g.sum()).abs() < 1e-5); // softmax − onehot sums to 0
+        assert!(g.at(&[1]) < 0.0); // target logit pushed up
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_fd() {
+        let x = Tensor::from_vec(vec![0.2, -0.4, 0.9, 0.0], &[4]);
+        let worst = fd_check(|p| cross_entropy(p, 2), &x, 1e-3);
+        assert!(worst < 1e-2, "worst {worst}");
+    }
+
+    #[test]
+    fn bce_gradient_matches_fd() {
+        let x = Tensor::from_vec(vec![0.3, 0.6, 0.9], &[3]);
+        let t = Tensor::from_vec(vec![0.0, 1.0, 1.0], &[3]);
+        let worst = fd_check(|p| bce(p, &t), &x, 1e-4);
+        assert!(worst < 1e-2, "worst {worst}");
+    }
+}

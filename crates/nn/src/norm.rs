@@ -1,0 +1,351 @@
+//! Normalization layers.
+
+use solo_tensor::Tensor;
+
+use crate::{Layer, Param};
+
+/// Layer normalization over the last axis of a `[n, d]` tensor, with
+/// learnable per-feature scale γ and shift β.
+///
+/// This is the normalization used inside [`crate::TransformerBlock`].
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    dim: usize,
+    eps: f32,
+    cache: Option<NormCache>,
+}
+
+#[derive(Debug)]
+struct NormCache {
+    normalized: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over feature dimension `dim` (γ=1, β=0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "layernorm dim must be nonzero");
+        Self {
+            gamma: Param::new(Tensor::ones(&[dim])),
+            beta: Param::new(Tensor::zeros(&[dim])),
+            dim,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    fn stats(&self, input: &Tensor) -> (Tensor, Vec<f32>) {
+        assert_eq!(input.shape().ndim(), 2, "layernorm input must be [n, d]");
+        assert_eq!(
+            input.shape().dim(1),
+            self.dim,
+            "layernorm expects d={}, got {}",
+            self.dim,
+            input.shape()
+        );
+        let rows = input.shape().dim(0);
+        let d = self.dim;
+        let mut normalized = vec![0.0f32; rows * d];
+        let mut inv_std = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &input.as_slice()[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            inv_std[r] = inv;
+            for (o, &v) in normalized[r * d..(r + 1) * d].iter_mut().zip(row) {
+                *o = (v - mean) * inv;
+            }
+        }
+        (Tensor::from_vec(normalized, &[rows, d]), inv_std)
+    }
+
+    fn affine(&self, normalized: &Tensor) -> Tensor {
+        let rows = normalized.shape().dim(0);
+        let d = self.dim;
+        let g = self.gamma.value().as_slice();
+        let b = self.beta.value().as_slice();
+        let mut out = normalized.as_slice().to_vec();
+        for r in 0..rows {
+            for (j, v) in out[r * d..(r + 1) * d].iter_mut().enumerate() {
+                *v = *v * g[j] + b[j];
+            }
+        }
+        Tensor::from_vec(out, &[rows, d])
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (normalized, inv_std) = self.stats(input);
+        let y = self.affine(&normalized);
+        self.cache = Some(NormCache { normalized, inv_std });
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let NormCache { normalized, inv_std } = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward called before forward");
+        let rows = normalized.shape().dim(0);
+        let d = self.dim;
+        assert_eq!(
+            grad_out.shape().dims(),
+            &[rows, d],
+            "grad_out shape mismatch in LayerNorm::backward"
+        );
+        let g = self.gamma.value().as_slice().to_vec();
+        let dy = grad_out.as_slice();
+        let xn = normalized.as_slice();
+        // Parameter grads.
+        let mut dgamma = vec![0.0f32; d];
+        let mut dbeta = vec![0.0f32; d];
+        for r in 0..rows {
+            for j in 0..d {
+                dgamma[j] += dy[r * d + j] * xn[r * d + j];
+                dbeta[j] += dy[r * d + j];
+            }
+        }
+        self.gamma.accumulate(&Tensor::from_vec(dgamma, &[d]));
+        self.beta.accumulate(&Tensor::from_vec(dbeta, &[d]));
+        // Input grad: dx = inv_std · (dxh − mean(dxh) − x̂·mean(dxh∘x̂))
+        let mut dx = vec![0.0f32; rows * d];
+        for r in 0..rows {
+            let mut mean_dxh = 0.0f32;
+            let mut mean_dxh_xn = 0.0f32;
+            for j in 0..d {
+                let dxh = dy[r * d + j] * g[j];
+                mean_dxh += dxh;
+                mean_dxh_xn += dxh * xn[r * d + j];
+            }
+            mean_dxh /= d as f32;
+            mean_dxh_xn /= d as f32;
+            for j in 0..d {
+                let dxh = dy[r * d + j] * g[j];
+                dx[r * d + j] = inv_std[r] * (dxh - mean_dxh - xn[r * d + j] * mean_dxh_xn);
+            }
+        }
+        Tensor::from_vec(dx, &[rows, d])
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn infer(&mut self, input: &Tensor) -> Tensor {
+        let (normalized, _) = self.stats(input);
+        self.affine(&normalized)
+    }
+}
+
+/// Per-channel normalization over the spatial axes of a `[C, H, W]` image,
+/// with learnable per-channel scale and shift.
+///
+/// A batch-free stand-in for BatchNorm2d: statistics are computed per sample
+/// over `H×W`, so training and inference behave identically and no running
+/// averages are needed. Used by the segmentation backbones.
+#[derive(Debug)]
+pub struct ChannelNorm {
+    gamma: Param,
+    beta: Param,
+    channels: usize,
+    eps: f32,
+    cache: Option<ChannelCache>,
+}
+
+#[derive(Debug)]
+struct ChannelCache {
+    normalized: Tensor, // [C, H, W]
+    inv_std: Vec<f32>,  // per channel
+}
+
+impl ChannelNorm {
+    /// Creates a channel norm for `channels`-channel images (γ=1, β=0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channelnorm channels must be nonzero");
+        Self {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            channels,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    fn stats(&self, input: &Tensor) -> (Tensor, Vec<f32>) {
+        assert_eq!(input.shape().ndim(), 3, "channelnorm input must be [C,H,W]");
+        assert_eq!(
+            input.shape().dim(0),
+            self.channels,
+            "channelnorm expects {} channels, got {}",
+            self.channels,
+            input.shape()
+        );
+        let hw = input.shape().dim(1) * input.shape().dim(2);
+        let mut normalized = vec![0.0f32; self.channels * hw];
+        let mut inv_std = vec![0.0f32; self.channels];
+        for c in 0..self.channels {
+            let row = &input.as_slice()[c * hw..(c + 1) * hw];
+            let mean = row.iter().sum::<f32>() / hw as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / hw as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            inv_std[c] = inv;
+            for (o, &v) in normalized[c * hw..(c + 1) * hw].iter_mut().zip(row) {
+                *o = (v - mean) * inv;
+            }
+        }
+        (
+            Tensor::from_vec(normalized, input.shape().dims()),
+            inv_std,
+        )
+    }
+
+    fn affine(&self, normalized: &Tensor) -> Tensor {
+        let hw = normalized.shape().dim(1) * normalized.shape().dim(2);
+        let g = self.gamma.value().as_slice();
+        let b = self.beta.value().as_slice();
+        let mut out = normalized.as_slice().to_vec();
+        for c in 0..self.channels {
+            for v in &mut out[c * hw..(c + 1) * hw] {
+                *v = *v * g[c] + b[c];
+            }
+        }
+        Tensor::from_vec(out, normalized.shape().dims())
+    }
+}
+
+impl Layer for ChannelNorm {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (normalized, inv_std) = self.stats(input);
+        let y = self.affine(&normalized);
+        self.cache = Some(ChannelCache { normalized, inv_std });
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let ChannelCache { normalized, inv_std } = self
+            .cache
+            .take()
+            .expect("ChannelNorm::backward called before forward");
+        assert_eq!(
+            grad_out.shape(),
+            normalized.shape(),
+            "grad_out shape mismatch in ChannelNorm::backward"
+        );
+        let hw = normalized.shape().dim(1) * normalized.shape().dim(2);
+        let g = self.gamma.value().as_slice();
+        let dy = grad_out.as_slice();
+        let xn = normalized.as_slice();
+        let mut dgamma = vec![0.0f32; self.channels];
+        let mut dbeta = vec![0.0f32; self.channels];
+        let mut dx = vec![0.0f32; self.channels * hw];
+        for c in 0..self.channels {
+            let mut mean_dxh = 0.0f32;
+            let mut mean_dxh_xn = 0.0f32;
+            for j in 0..hw {
+                let i = c * hw + j;
+                dgamma[c] += dy[i] * xn[i];
+                dbeta[c] += dy[i];
+                let dxh = dy[i] * g[c];
+                mean_dxh += dxh;
+                mean_dxh_xn += dxh * xn[i];
+            }
+            mean_dxh /= hw as f32;
+            mean_dxh_xn /= hw as f32;
+            for j in 0..hw {
+                let i = c * hw + j;
+                let dxh = dy[i] * g[c];
+                dx[i] = inv_std[c] * (dxh - mean_dxh - xn[i] * mean_dxh_xn);
+            }
+        }
+        self.gamma.accumulate(&Tensor::from_vec(dgamma, &[self.channels]));
+        self.beta.accumulate(&Tensor::from_vec(dbeta, &[self.channels]));
+        Tensor::from_vec(dx, normalized.shape().dims())
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn infer(&mut self, input: &Tensor) -> Tensor {
+        let (normalized, _) = self.stats(input);
+        self.affine(&normalized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use solo_tensor::{normal, seeded_rng};
+
+    #[test]
+    fn forward_normalizes_rows() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let y = ln.forward(&x);
+        assert!(y.mean().abs() < 1e-5);
+        assert!((y.norm_sq() / 4.0 - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut ln = LayerNorm::new(6);
+        let mut rng = seeded_rng(8);
+        let x = normal(&mut rng, &[3, 6], 0.0, 2.0);
+        let worst = gradcheck::check_input_grad(&mut ln, &x, 1e-2);
+        assert!(worst < 2e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn param_gradient_matches_finite_difference() {
+        let mut ln = LayerNorm::new(4);
+        let mut rng = seeded_rng(9);
+        let x = normal(&mut rng, &[2, 4], 0.0, 1.0);
+        let worst = gradcheck::check_param_grad(&mut ln, &x, 1e-2);
+        assert!(worst < 2e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn channelnorm_normalizes_each_channel() {
+        let mut cn = ChannelNorm::new(2);
+        let mut rng = seeded_rng(10);
+        let x = normal(&mut rng, &[2, 4, 4], 3.0, 2.0);
+        let y = cn.forward(&x);
+        for c in 0..2 {
+            let ch: f32 = y.as_slice()[c * 16..(c + 1) * 16].iter().sum::<f32>() / 16.0;
+            assert!(ch.abs() < 1e-4, "channel {c} mean {ch}");
+        }
+    }
+
+    #[test]
+    fn channelnorm_input_gradcheck() {
+        let mut cn = ChannelNorm::new(2);
+        let mut rng = seeded_rng(11);
+        let x = normal(&mut rng, &[2, 3, 3], 0.0, 1.5);
+        let worst = gradcheck::check_input_grad(&mut cn, &x, 1e-2);
+        assert!(worst < 2e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn channelnorm_param_gradcheck() {
+        let mut cn = ChannelNorm::new(2);
+        let mut rng = seeded_rng(12);
+        let x = normal(&mut rng, &[2, 3, 3], 0.0, 1.0);
+        let worst = gradcheck::check_param_grad(&mut cn, &x, 1e-2);
+        assert!(worst < 2e-2, "worst deviation {worst}");
+    }
+}

@@ -1,0 +1,255 @@
+//! First-order optimizers.
+
+use crate::{Layer, Param};
+
+/// An optimizer that updates a layer's parameters from accumulated gradients.
+pub trait Optimizer {
+    /// Applies one update step to every parameter of `layer`, then zeroes
+    /// the gradients.
+    fn step(&mut self, layer: &mut dyn Layer);
+}
+
+/// Stochastic gradient descent with optional momentum and gradient clipping.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    clip: Option<f32>,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            momentum: 0.0,
+            clip: None,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Clips each parameter's gradient to the given global L2 norm.
+    pub fn with_grad_clip(mut self, max_norm: f32) -> Self {
+        self.clip = Some(max_norm);
+        self
+    }
+
+    /// Sets a new learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, layer: &mut dyn Layer) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let clip = self.clip;
+        let velocity = &mut self.velocity;
+        layer.visit_params(&mut |p: &mut Param| {
+            if velocity.len() <= idx {
+                velocity.push(vec![0.0; p.len()]);
+            }
+            let vel = &mut velocity[idx];
+            assert_eq!(vel.len(), p.len(), "parameter set changed between steps");
+            let scale = clip_scale(p, clip);
+            let g: Vec<f32> = p.grad().as_slice().iter().map(|&g| g * scale).collect();
+            let data = p.value_mut().as_mut_slice();
+            for ((w, v), g) in data.iter_mut().zip(vel.iter_mut()).zip(&g) {
+                *v = momentum * *v + g;
+                *w -= lr * *v;
+            }
+            p.zero_grad();
+            idx += 1;
+        });
+    }
+}
+
+/// Adam with bias correction (Kingma & Ba).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    clip: Option<f32>,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the conventional β₁=0.9, β₂=0.999.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: None,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Clips each parameter's gradient to the given global L2 norm.
+    pub fn with_grad_clip(mut self, max_norm: f32) -> Self {
+        self.clip = Some(max_norm);
+        self
+    }
+
+    /// Sets a new learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, layer: &mut dyn Layer) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (lr, b1, b2, eps, clip) = (self.lr, self.beta1, self.beta2, self.eps, self.clip);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0;
+        layer.visit_params(&mut |p: &mut Param| {
+            if ms.len() <= idx {
+                ms.push(vec![0.0; p.len()]);
+                vs.push(vec![0.0; p.len()]);
+            }
+            assert_eq!(ms[idx].len(), p.len(), "parameter set changed between steps");
+            let scale = clip_scale(p, clip);
+            let g: Vec<f32> = p.grad().as_slice().iter().map(|&g| g * scale).collect();
+            let data = p.value_mut().as_mut_slice();
+            for i in 0..data.len() {
+                ms[idx][i] = b1 * ms[idx][i] + (1.0 - b1) * g[i];
+                vs[idx][i] = b2 * vs[idx][i] + (1.0 - b2) * g[i] * g[i];
+                let mhat = ms[idx][i] / bc1;
+                let vhat = vs[idx][i] / bc2;
+                data[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            p.zero_grad();
+            idx += 1;
+        });
+    }
+}
+
+fn clip_scale(p: &Param, clip: Option<f32>) -> f32 {
+    match clip {
+        Some(max) => {
+            let norm = p.grad().norm_sq().sqrt();
+            if norm > max {
+                max / norm
+            } else {
+                1.0
+            }
+        }
+        None => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{loss, Linear};
+    use solo_tensor::{normal, seeded_rng, Tensor};
+
+    fn quadratic_progress(opt: &mut dyn Optimizer, steps: usize) -> (f32, f32) {
+        // Minimize ‖W·x − t‖² for fixed x, t.
+        let mut rng = seeded_rng(50);
+        let mut layer = Linear::new(&mut rng, 4, 4);
+        let x = normal(&mut rng, &[2, 4], 0.0, 1.0);
+        let target = normal(&mut rng, &[2, 4], 0.0, 1.0);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for s in 0..steps {
+            let y = layer.forward(&x);
+            let (l, g) = loss::mse(&y, &target);
+            if s == 0 {
+                first = l;
+            }
+            last = l;
+            layer.backward(&g);
+            opt.step(&mut layer);
+        }
+        (first, last)
+    }
+
+    #[test]
+    fn sgd_reduces_quadratic_loss() {
+        let (first, last) = quadratic_progress(&mut Sgd::new(0.1), 50);
+        assert!(last < first * 0.1, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let (first, last) = quadratic_progress(&mut Sgd::new(0.05).with_momentum(0.9), 50);
+        assert!(last < first * 0.1, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_reduces_quadratic_loss() {
+        let (first, last) = quadratic_progress(&mut Adam::new(0.05), 100);
+        assert!(last < first * 0.1, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut rng = seeded_rng(51);
+        let mut layer = Linear::new(&mut rng, 2, 2);
+        let x = Tensor::ones(&[1, 2]);
+        let y = layer.forward(&x);
+        layer.backward(&y);
+        Sgd::new(0.1).step(&mut layer);
+        let mut all_zero = true;
+        layer.visit_params(&mut |p| all_zero &= p.grad().norm_sq() == 0.0);
+        assert!(all_zero);
+    }
+
+    #[test]
+    fn grad_clip_limits_update_magnitude() {
+        let mut rng = seeded_rng(52);
+        let mut layer = Linear::new(&mut rng, 2, 2);
+        let before: Vec<f32> = {
+            let mut v = Vec::new();
+            layer.visit_params(&mut |p| v.extend_from_slice(p.value().as_slice()));
+            v
+        };
+        let x = Tensor::full(&[1, 2], 1e3);
+        let y = layer.forward(&x);
+        layer.backward(&y.scale(1e3));
+        Sgd::new(0.01).with_grad_clip(1.0).step(&mut layer);
+        let mut after = Vec::new();
+        layer.visit_params(&mut |p| after.extend_from_slice(p.value().as_slice()));
+        let delta: f32 = before
+            .iter()
+            .zip(&after)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            .sqrt();
+        // With clip=1 and lr=0.01 the total step is at most ~0.02 (two params).
+        assert!(delta < 0.05, "update magnitude {delta}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Learnable parameters.
+
+use solo_tensor::Tensor;
+
+/// A learnable tensor together with its accumulated gradient.
+///
+/// Layers own their `Param`s; optimizers reach them through
+/// [`crate::Layer::visit_params`]. Gradients accumulate across
+/// `backward` calls (enabling minibatch accumulation) until
+/// [`Param::zero_grad`] resets them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().dims());
+        Self { value, grad }
+    }
+
+    /// The current parameter value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable access to the parameter value (used by optimizers).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// The accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Mutable access to the accumulated gradient.
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different shape from the parameter.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        self.grad.add_scaled_inplace(g, 1.0);
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_gradients() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.accumulate(&Tensor::ones(&[2]));
+        p.accumulate(&Tensor::ones(&[2]));
+        assert_eq!(p.grad().as_slice(), &[2.0, 2.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn accumulate_rejects_wrong_shape() {
+        Param::new(Tensor::zeros(&[2])).accumulate(&Tensor::ones(&[3]));
+    }
+}

@@ -1,0 +1,206 @@
+//! Spatial pooling / upsampling layers with exact adjoints.
+//!
+//! The multi-resolution backbones (HRNet-style branches, SegFormer-style
+//! token mixing) move between resolutions; these layers provide the 2×
+//! down/up moves with gradients that are exact adjoints of the forward
+//! maps, so gradient checking stays tight.
+
+use solo_tensor::Tensor;
+
+use crate::{Layer, Param};
+
+/// 2× average pooling over `[C, H, W]` (H and W must be even).
+#[derive(Debug, Clone, Default)]
+pub struct AvgPool2 {
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2 {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for AvgPool2 {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cache_shape = Some(input.shape().dims().to_vec());
+        pool_avg2(input)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .cache_shape
+            .take()
+            .expect("AvgPool2::backward called before forward");
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        assert_eq!(
+            grad_out.shape().dims(),
+            &[c, h / 2, w / 2],
+            "grad_out shape mismatch in AvgPool2::backward"
+        );
+        // Adjoint of averaging: distribute g/4 to each source pixel.
+        let g = grad_out.as_slice();
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; c * h * w];
+        for ch in 0..c {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let v = g[(ch * oh + oi) * ow + oj] / 4.0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            out[(ch * h + 2 * oi + dy) * w + 2 * oj + dx] = v;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &dims)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn infer(&mut self, input: &Tensor) -> Tensor {
+        pool_avg2(input)
+    }
+}
+
+fn pool_avg2(input: &Tensor) -> Tensor {
+    assert_eq!(input.shape().ndim(), 3, "AvgPool2 input must be [C,H,W]");
+    let (c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+    );
+    assert!(h % 2 == 0 && w % 2 == 0, "AvgPool2 needs even spatial dims, got {h}×{w}");
+    solo_tensor::avg_pool2d(input, 2)
+        .into_reshaped(&[c, h / 2, w / 2])
+}
+
+/// 2× nearest-neighbour upsampling over `[C, H, W]`.
+#[derive(Debug, Clone, Default)]
+pub struct Upsample2 {
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl Upsample2 {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Upsample2 {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cache_shape = Some(input.shape().dims().to_vec());
+        upsample2(input)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .cache_shape
+            .take()
+            .expect("Upsample2::backward called before forward");
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        assert_eq!(
+            grad_out.shape().dims(),
+            &[c, 2 * h, 2 * w],
+            "grad_out shape mismatch in Upsample2::backward"
+        );
+        // Adjoint of replication: sum the 2×2 block gradients.
+        let g = grad_out.as_slice();
+        let mut out = vec![0.0f32; c * h * w];
+        let (gh, gw) = (2 * h, 2 * w);
+        for ch in 0..c {
+            for i in 0..h {
+                for j in 0..w {
+                    let mut acc = 0.0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            acc += g[(ch * gh + 2 * i + dy) * gw + 2 * j + dx];
+                        }
+                    }
+                    out[(ch * h + i) * w + j] = acc;
+                }
+            }
+        }
+        Tensor::from_vec(out, &dims)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn infer(&mut self, input: &Tensor) -> Tensor {
+        upsample2(input)
+    }
+}
+
+fn upsample2(input: &Tensor) -> Tensor {
+    assert_eq!(input.shape().ndim(), 3, "Upsample2 input must be [C,H,W]");
+    let (c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+    );
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; c * 4 * h * w];
+    let (oh, ow) = (2 * h, 2 * w);
+    for ch in 0..c {
+        for i in 0..h {
+            for j in 0..w {
+                let v = src[(ch * h + i) * w + j];
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        out[(ch * oh + 2 * i + dy) * ow + 2 * j + dx] = v;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use solo_tensor::{normal, seeded_rng};
+
+    #[test]
+    fn pool_then_upsample_preserves_constants() {
+        let x = Tensor::full(&[2, 4, 4], 0.7);
+        let mut p = AvgPool2::new();
+        let mut u = Upsample2::new();
+        let y = u.infer(&p.infer(&x));
+        assert_eq!(y.shape().dims(), &[2, 4, 4]);
+        assert!(y.as_slice().iter().all(|&v| (v - 0.7).abs() < 1e-6));
+    }
+
+    #[test]
+    fn avgpool_gradcheck() {
+        let mut rng = seeded_rng(70);
+        let x = normal(&mut rng, &[2, 4, 4], 0.0, 1.0);
+        assert!(gradcheck::check_input_grad(&mut AvgPool2::new(), &x, 1e-2) < 1e-2);
+    }
+
+    #[test]
+    fn upsample_gradcheck() {
+        let mut rng = seeded_rng(71);
+        let x = normal(&mut rng, &[2, 3, 3], 0.0, 1.0);
+        assert!(gradcheck::check_input_grad(&mut Upsample2::new(), &x, 1e-2) < 1e-2);
+    }
+
+    #[test]
+    fn upsample_replicates_pixels() {
+        let x = Tensor::arange(4).reshape(&[1, 2, 2]);
+        let y = Upsample2::new().infer(&x);
+        assert_eq!(y.at(&[0, 0, 0]), 0.0);
+        assert_eq!(y.at(&[0, 0, 1]), 0.0);
+        assert_eq!(y.at(&[0, 3, 3]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even spatial dims")]
+    fn pool_rejects_odd_dims() {
+        AvgPool2::new().infer(&Tensor::zeros(&[1, 3, 4]));
+    }
+}

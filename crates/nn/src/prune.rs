@@ -1,0 +1,148 @@
+//! Attention-score token pruning.
+//!
+//! GT-ViT prunes unimportant tokens between blocks (Section 3.2): *"tokens
+//! with an attention score below a predefined threshold are removed"*. The
+//! SOLO accelerator's token selector computes a per-token importance by
+//! summing the attention each token *receives* across heads and queries
+//! (Section 4.2) and drops the weakest tokens from subsequent blocks.
+
+use solo_tensor::Tensor;
+
+/// Per-token importance: `importance[j] = Σ_heads Σ_i A_h[i, j]`.
+///
+/// `attn` holds one post-softmax `[T, T]` matrix per head.
+///
+/// # Panics
+///
+/// Panics if `attn` is empty or the matrices are not square/equal-sized.
+pub fn token_importance(attn: &[Tensor]) -> Vec<f32> {
+    assert!(!attn.is_empty(), "token_importance needs at least one head");
+    let t = attn[0].shape().dim(0);
+    for a in attn {
+        assert_eq!(a.shape().dims(), &[t, t], "attention matrices must be [T,T]");
+    }
+    let mut importance = vec![0.0f32; t];
+    for a in attn {
+        let s = a.as_slice();
+        for i in 0..t {
+            for (j, imp) in importance.iter_mut().enumerate() {
+                *imp += s[i * t + j];
+            }
+        }
+    }
+    importance
+}
+
+/// Selects the tokens to keep: everything with importance at or above the
+/// quantile implied by `keep_ratio`, with token 0 (the CLS/readout token)
+/// always retained.
+///
+/// Returns sorted indices into the original sequence. `keep_ratio = 1.0`
+/// keeps all tokens; the paper prunes 30 % (`keep_ratio = 0.7`).
+///
+/// # Panics
+///
+/// Panics if `keep_ratio` is not in `(0, 1]` or `importance` is empty.
+pub fn select_tokens(importance: &[f32], keep_ratio: f32) -> Vec<usize> {
+    assert!(
+        keep_ratio > 0.0 && keep_ratio <= 1.0,
+        "keep_ratio must be in (0, 1], got {keep_ratio}"
+    );
+    assert!(!importance.is_empty(), "importance must be nonempty");
+    let t = importance.len();
+    let keep = ((t as f32 * keep_ratio).ceil() as usize).clamp(1, t);
+    let mut order: Vec<usize> = (0..t).collect();
+    order.sort_by(|&a, &b| importance[b].total_cmp(&importance[a]));
+    let mut kept: Vec<usize> = order.into_iter().take(keep).collect();
+    if !kept.contains(&0) {
+        // Guarantee the readout token survives; drop the weakest kept token.
+        kept.pop();
+        kept.push(0);
+    }
+    kept.sort_unstable();
+    kept
+}
+
+/// Gathers the selected rows of a `[T, D]` token matrix into a
+/// `[kept, D]` matrix.
+///
+/// # Panics
+///
+/// Panics if `tokens` is not rank-2 or any index is out of bounds.
+pub fn gather_tokens(tokens: &Tensor, kept: &[usize]) -> Tensor {
+    assert_eq!(tokens.shape().ndim(), 2, "gather_tokens expects [T, D]");
+    let (t, d) = (tokens.shape().dim(0), tokens.shape().dim(1));
+    let mut out = Vec::with_capacity(kept.len() * d);
+    for &i in kept {
+        assert!(i < t, "token index {i} out of bounds for {t} tokens");
+        out.extend_from_slice(&tokens.as_slice()[i * d..(i + 1) * d]);
+    }
+    Tensor::from_vec(out, &[kept.len(), d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_attention(t: usize) -> Tensor {
+        Tensor::full(&[t, t], 1.0 / t as f32)
+    }
+
+    #[test]
+    fn importance_sums_attention_received() {
+        // Head where everyone attends to token 2.
+        let mut a = Tensor::zeros(&[3, 3]);
+        for i in 0..3 {
+            a.set(&[i, 2], 1.0);
+        }
+        let imp = token_importance(&[a]);
+        assert_eq!(imp, vec![0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn importance_accumulates_across_heads() {
+        let imp = token_importance(&[uniform_attention(4), uniform_attention(4)]);
+        for v in imp {
+            assert!((v - 2.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn select_keeps_requested_fraction() {
+        let imp = vec![5.0, 1.0, 4.0, 3.0, 2.0, 0.5, 6.0, 0.1, 0.2, 0.3];
+        let kept = select_tokens(&imp, 0.5);
+        assert_eq!(kept.len(), 5);
+        assert!(kept.contains(&0));
+        assert!(kept.contains(&6)); // highest importance
+        assert!(!kept.contains(&7)); // lowest importance
+    }
+
+    #[test]
+    fn cls_token_always_survives() {
+        // Token 0 has the lowest importance but must be kept.
+        let imp = vec![0.0, 10.0, 9.0, 8.0];
+        let kept = select_tokens(&imp, 0.5);
+        assert!(kept.contains(&0));
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn keep_ratio_one_is_identity() {
+        let imp = vec![1.0, 2.0, 3.0];
+        assert_eq!(select_tokens(&imp, 1.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn gather_extracts_rows_in_order() {
+        let t = Tensor::arange(8).reshape(&[4, 2]);
+        let g = gather_tokens(&t, &[0, 2]);
+        assert_eq!(g.shape().dims(), &[2, 2]);
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_ratio")]
+    fn select_rejects_zero_ratio() {
+        select_tokens(&[1.0], 0.0);
+    }
+}

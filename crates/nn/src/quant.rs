@@ -1,0 +1,177 @@
+//! Int8 symmetric quantization and quantized GEMM.
+//!
+//! Section 3.2 of the paper: *"all elements within the activation and weight
+//! matrices are quantized to 8 bits"* for GT-ViT, executed by the 8-bit MACs
+//! of the SOLO accelerator's systolic array. This module provides the
+//! numerical counterpart used both to validate the accuracy impact and to
+//! drive the accelerator's functional model.
+
+use solo_tensor::Tensor;
+
+/// An int8 tensor with a single symmetric scale: `value ≈ scale · q`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    data: Vec<i8>,
+    scale: f32,
+    shape: Vec<usize>,
+}
+
+impl QTensor {
+    /// Quantizes a float tensor with a symmetric per-tensor scale
+    /// `max|x| / 127` (scale 1.0 for an all-zero tensor).
+    pub fn quantize(t: &Tensor) -> Self {
+        let max_abs = t.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let data = t
+            .as_slice()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Self {
+            data,
+            scale,
+            shape: t.shape().dims().to_vec(),
+        }
+    }
+
+    /// Reconstructs the float tensor.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            self.data.iter().map(|&q| q as f32 * self.scale).collect(),
+            &self.shape,
+        )
+    }
+
+    /// The quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The raw int8 values.
+    pub fn as_i8(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Int8 GEMM with i32 accumulation, dequantized through the product of the
+/// two scales: `[m,k] × [k,n] → [m,n]` in f32.
+///
+/// This mirrors the accelerator datapath: 8-bit multipliers feeding a wide
+/// accumulator, with a single rescale at the output.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank-2 or the inner dimensions differ.
+pub fn qmatmul(a: &QTensor, b: &QTensor) -> Tensor {
+    assert_eq!(a.shape.len(), 2, "qmatmul lhs must be rank-2");
+    assert_eq!(b.shape.len(), 2, "qmatmul rhs must be rank-2");
+    let (m, k) = (a.shape[0], a.shape[1]);
+    let (k2, n) = (b.shape[0], b.shape[1]);
+    assert_eq!(k, k2, "qmatmul inner dimension mismatch: {k} vs {k2}");
+    let rescale = a.scale * b.scale;
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.data[i * k + p] as i32;
+            if av == 0 {
+                continue;
+            }
+            for j in 0..n {
+                // i32 accumulation; converted at the end of the k loop
+                // iteration to keep the inner loop simple. Max |a·b| per
+                // term is 127² = 16129, and k ≤ ~4096 in our models, so an
+                // f32 accumulator of the i32 products is exact enough; we
+                // still do the multiply in integer domain as hardware does.
+                out[i * n + j] += (av * b.data[p * n + j] as i32) as f32;
+            }
+        }
+    }
+    for v in &mut out {
+        *v *= rescale;
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Quantizes both operands, multiplies with [`qmatmul`] and returns the
+/// float result — the "fake-quant" path used to measure accuracy impact.
+pub fn fake_quant_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    qmatmul(&QTensor::quantize(a), &QTensor::quantize(b))
+}
+
+/// Mean relative error introduced by int8 quantization of `t`.
+pub fn quantization_error(t: &Tensor) -> f32 {
+    let dq = QTensor::quantize(t).dequantize();
+    let denom = t.as_slice().iter().map(|v| v.abs()).sum::<f32>().max(1e-12);
+    t.sub(&dq).as_slice().iter().map(|v| v.abs()).sum::<f32>() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solo_tensor::{normal, seeded_rng};
+
+    #[test]
+    fn quantize_dequantize_round_trip_error_is_small() {
+        let mut rng = seeded_rng(60);
+        let t = normal(&mut rng, &[256], 0.0, 1.0);
+        assert!(quantization_error(&t) < 0.01);
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero() {
+        let q = QTensor::quantize(&Tensor::zeros(&[4]));
+        assert_eq!(q.dequantize().as_slice(), &[0.0; 4]);
+        assert_eq!(q.scale(), 1.0);
+    }
+
+    #[test]
+    fn extremes_map_to_plus_minus_127() {
+        let q = QTensor::quantize(&Tensor::from_vec(vec![-2.0, 2.0, 1.0], &[3]));
+        assert_eq!(q.as_i8(), &[-127, 127, 64]);
+    }
+
+    #[test]
+    fn qmatmul_approximates_float_matmul() {
+        let mut rng = seeded_rng(61);
+        let a = normal(&mut rng, &[8, 16], 0.0, 1.0);
+        let b = normal(&mut rng, &[16, 8], 0.0, 1.0);
+        let exact = a.matmul(&b);
+        let quant = fake_quant_matmul(&a, &b);
+        let rel = exact.sub(&quant).norm_sq().sqrt() / exact.norm_sq().sqrt();
+        assert!(rel < 0.02, "relative error {rel}");
+    }
+
+    #[test]
+    fn qmatmul_exact_for_small_integers() {
+        let a = QTensor::quantize(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = QTensor::quantize(&Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]));
+        let c = qmatmul(&a, &b);
+        let want = [1.0, 2.0, 3.0, 4.0];
+        for (g, w) in c.as_slice().iter().zip(&want) {
+            assert!((g - w).abs() < 0.05, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn qmatmul_rejects_bad_dims() {
+        let a = QTensor::quantize(&Tensor::zeros(&[2, 3]));
+        let b = QTensor::quantize(&Tensor::zeros(&[2, 3]));
+        qmatmul(&a, &b);
+    }
+}

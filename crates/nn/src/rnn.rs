@@ -1,0 +1,222 @@
+//! Recurrent cells for the saccade detector.
+
+use rand::Rng;
+use solo_tensor::{xavier_uniform, Tensor};
+
+use crate::{Layer, Param};
+
+/// A single Elman RNN cell: `h' = tanh(W·x + U·h + b)`.
+///
+/// The paper's saccade detection module is "a single-layer recurrent neural
+/// network" fed the predicted gaze sequence (Section 3.2); [`Rnn`] unrolls
+/// this cell over a sequence with truncated BPTT.
+#[derive(Debug)]
+pub struct RnnCell {
+    w: Param, // [hidden, input]
+    u: Param, // [hidden, hidden]
+    b: Param, // [hidden]
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl RnnCell {
+    /// Creates a cell with Xavier-uniform weights.
+    pub fn new(rng: &mut impl Rng, input_dim: usize, hidden_dim: usize) -> Self {
+        Self {
+            w: Param::new(xavier_uniform(rng, &[hidden_dim, input_dim], input_dim, hidden_dim)),
+            u: Param::new(xavier_uniform(rng, &[hidden_dim, hidden_dim], hidden_dim, hidden_dim)),
+            b: Param::new(Tensor::zeros(&[hidden_dim])),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// One step: returns the next hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `h` have the wrong lengths.
+    pub fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        assert_eq!(x.len(), self.input_dim, "rnn input width mismatch");
+        assert_eq!(h.len(), self.hidden_dim, "rnn hidden width mismatch");
+        let pre = self
+            .w
+            .value()
+            .matvec(x)
+            .add(&self.u.value().matvec(h))
+            .add(self.b.value());
+        pre.map(f32::tanh)
+    }
+}
+
+/// An [`RnnCell`] unrolled over a `[T, input_dim]` sequence.
+///
+/// `forward` returns the stacked hidden states `[T, hidden_dim]`; `backward`
+/// runs full backpropagation through time.
+#[derive(Debug)]
+pub struct Rnn {
+    cell: RnnCell,
+    cache: Option<RnnCache>,
+}
+
+#[derive(Debug)]
+struct RnnCache {
+    xs: Tensor,        // [T, in]
+    hs: Vec<Tensor>,   // h_0 .. h_T (h_0 = zeros)
+}
+
+impl Rnn {
+    /// Creates an RNN from a fresh cell.
+    pub fn new(rng: &mut impl Rng, input_dim: usize, hidden_dim: usize) -> Self {
+        Self {
+            cell: RnnCell::new(rng, input_dim, hidden_dim),
+            cache: None,
+        }
+    }
+
+    /// The underlying cell.
+    pub fn cell(&self) -> &RnnCell {
+        &self.cell
+    }
+}
+
+impl Layer for Rnn {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().ndim(), 2, "rnn input must be [T, input_dim]");
+        let t = input.shape().dim(0);
+        let mut hs = Vec::with_capacity(t + 1);
+        hs.push(Tensor::zeros(&[self.cell.hidden_dim]));
+        for i in 0..t {
+            let x = input.row(i);
+            let h = self.cell.step(&x, hs.last().expect("nonempty"));
+            hs.push(h);
+        }
+        let out = Tensor::stack(&hs[1..]);
+        self.cache = Some(RnnCache {
+            xs: input.clone(),
+            hs,
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let RnnCache { xs, hs } = self.cache.take().expect("Rnn::backward called before forward");
+        let t = xs.shape().dim(0);
+        let hd = self.cell.hidden_dim;
+        let id = self.cell.input_dim;
+        assert_eq!(
+            grad_out.shape().dims(),
+            &[t, hd],
+            "grad_out shape mismatch in Rnn::backward"
+        );
+        let mut dw = Tensor::zeros(&[hd, id]);
+        let mut du = Tensor::zeros(&[hd, hd]);
+        let mut db = Tensor::zeros(&[hd]);
+        let mut dxs = vec![0.0f32; t * id];
+        let mut dh_next = Tensor::zeros(&[hd]); // gradient flowing from step t+1
+        for i in (0..t).rev() {
+            let h = &hs[i + 1];
+            let h_prev = &hs[i];
+            let x = xs.row(i);
+            // Total gradient on h_i: from output + from recurrence.
+            let dh = grad_out.row(i).add(&dh_next);
+            // Through tanh: dpre = dh ∘ (1 − h²)
+            let dpre = dh.zip(h, |g, hv| g * (1.0 - hv * hv));
+            // dW += dpre ⊗ x ; dU += dpre ⊗ h_prev ; db += dpre
+            for r in 0..hd {
+                let dp = dpre.as_slice()[r];
+                for c in 0..id {
+                    dw.as_mut_slice()[r * id + c] += dp * x.as_slice()[c];
+                }
+                for c in 0..hd {
+                    du.as_mut_slice()[r * hd + c] += dp * h_prev.as_slice()[c];
+                }
+                db.as_mut_slice()[r] += dp;
+            }
+            // dx = Wᵀ·dpre ; dh_prev = Uᵀ·dpre
+            let dx = self.cell.w.value().transpose().matvec(&dpre);
+            dxs[i * id..(i + 1) * id].copy_from_slice(dx.as_slice());
+            dh_next = self.cell.u.value().transpose().matvec(&dpre);
+        }
+        self.cell.w.accumulate(&dw);
+        self.cell.u.accumulate(&du);
+        self.cell.b.accumulate(&db);
+        Tensor::from_vec(dxs, &[t, id])
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.cell.w);
+        f(&mut self.cell.u);
+        f(&mut self.cell.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use solo_tensor::{normal, seeded_rng};
+
+    #[test]
+    fn hidden_states_are_bounded_by_tanh() {
+        let mut rng = seeded_rng(40);
+        let mut rnn = Rnn::new(&mut rng, 2, 4);
+        let x = normal(&mut rng, &[10, 2], 0.0, 5.0);
+        let h = rnn.forward(&x);
+        assert_eq!(h.shape().dims(), &[10, 4]);
+        assert!(h.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn state_carries_information_forward() {
+        let mut rng = seeded_rng(41);
+        let mut rnn = Rnn::new(&mut rng, 1, 4);
+        // Two sequences differing only in the first element must differ in
+        // the last hidden state (memory).
+        let mut a = Tensor::zeros(&[6, 1]);
+        a.set(&[0, 0], 3.0);
+        let b = Tensor::zeros(&[6, 1]);
+        let ha = rnn.forward(&a);
+        let hb = rnn.forward(&b);
+        let last_a = ha.row(5);
+        let last_b = hb.row(5);
+        assert!(last_a.sub(&last_b).norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(42);
+        let mut rnn = Rnn::new(&mut rng, 2, 3);
+        let x = normal(&mut rng, &[4, 2], 0.0, 1.0);
+        let worst = gradcheck::check_input_grad(&mut rnn, &x, 1e-2);
+        assert!(worst < 2e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn param_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(43);
+        let mut rnn = Rnn::new(&mut rng, 2, 3);
+        let x = normal(&mut rng, &[3, 2], 0.0, 1.0);
+        let worst = gradcheck::check_param_grad(&mut rnn, &x, 1e-2);
+        assert!(worst < 2e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn step_is_deterministic() {
+        let mut rng = seeded_rng(44);
+        let cell = RnnCell::new(&mut rng, 2, 3);
+        let x = Tensor::ones(&[2]);
+        let h = Tensor::zeros(&[3]);
+        assert_eq!(cell.step(&x, &h), cell.step(&x, &h));
+    }
+}

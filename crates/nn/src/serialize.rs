@@ -1,0 +1,152 @@
+//! Parameter checkpointing.
+//!
+//! Layers expose their parameters through [`crate::Layer::visit_params`];
+//! this module flattens them into a serializable [`Checkpoint`] and loads
+//! them back, so examples and experiments can persist trained models
+//! without a framework-specific format.
+
+use serde::{Deserialize, Serialize};
+use solo_tensor::Tensor;
+
+use crate::Layer;
+
+/// A flat snapshot of every parameter in a layer tree, in visitation
+/// order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    tensors: Vec<(Vec<usize>, Vec<f32>)>,
+}
+
+impl Checkpoint {
+    /// Captures the current parameters of `layer`.
+    pub fn capture(layer: &mut dyn Layer) -> Self {
+        let mut tensors = Vec::new();
+        layer.visit_params(&mut |p| {
+            tensors.push((
+                p.value().shape().dims().to_vec(),
+                p.value().as_slice().to_vec(),
+            ));
+        });
+        Self { tensors }
+    }
+
+    /// Restores the snapshot into `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's parameter count or any shape differs from the
+    /// checkpoint (a structural mismatch — wrong architecture).
+    pub fn restore(&self, layer: &mut dyn Layer) {
+        let mut idx = 0usize;
+        layer.visit_params(&mut |p| {
+            let (dims, data) = self
+                .tensors
+                .get(idx)
+                .unwrap_or_else(|| panic!("checkpoint too short at parameter {idx}"));
+            assert_eq!(
+                p.value().shape().dims(),
+                &dims[..],
+                "parameter {idx} shape mismatch"
+            );
+            *p.value_mut() = Tensor::from_vec(data.clone(), dims);
+            idx += 1;
+        });
+        assert_eq!(
+            idx,
+            self.tensors.len(),
+            "checkpoint has {} parameters, layer consumed {idx}",
+            self.tensors.len()
+        );
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the checkpoint is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total scalar count.
+    pub fn scalar_count(&self) -> usize {
+        self.tensors.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying serializer error.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying parser error.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu, Sequential};
+    use solo_tensor::{seeded_rng, Tensor};
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        Sequential::new()
+            .push(Linear::new(&mut rng, 4, 8))
+            .push(Relu::new())
+            .push(Linear::new(&mut rng, 8, 2))
+    }
+
+    #[test]
+    fn capture_restore_round_trips_outputs() {
+        let mut a = net(1);
+        let mut b = net(2);
+        let x = Tensor::ones(&[1, 4]);
+        let ya = a.forward(&x);
+        assert_ne!(ya.as_slice(), b.forward(&x).as_slice());
+        let ckpt = Checkpoint::capture(&mut a);
+        ckpt.restore(&mut b);
+        assert_eq!(b.forward(&x).as_slice(), ya.as_slice());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut a = net(3);
+        let ckpt = Checkpoint::capture(&mut a);
+        let json = ckpt.to_json().expect("serialize");
+        let back = Checkpoint::from_json(&json).expect("parse");
+        assert_eq!(ckpt, back);
+        assert_eq!(ckpt.scalar_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn restore_rejects_wrong_architecture() {
+        let mut a = net(4);
+        let ckpt = Checkpoint::capture(&mut a);
+        let mut rng = seeded_rng(5);
+        let mut wrong = Sequential::new().push(Linear::new(&mut rng, 5, 8));
+        ckpt.restore(&mut wrong);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint has")]
+    fn restore_rejects_extra_parameters() {
+        let mut small = net(6);
+        let ckpt = Checkpoint::capture(&mut small);
+        // A longer checkpoint must be rejected.
+        let mut rng = seeded_rng(7);
+        let mut shorter = Sequential::new().push(Linear::new(&mut rng, 4, 8));
+        ckpt.restore(&mut shorter);
+    }
+}

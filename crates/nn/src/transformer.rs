@@ -1,0 +1,255 @@
+//! Transformer blocks and positional embeddings (the GT-ViT building blocks).
+
+use rand::Rng;
+use solo_tensor::{normal, Tensor};
+
+use crate::{Gelu, Layer, LayerNorm, Linear, MultiHeadAttention, Param};
+
+/// Hyper-parameters of a transformer stack.
+///
+/// The paper's GT-ViT uses `depth = 8`, `heads = 6`, `dim = 384`
+/// (Section 3.2); the functional tests use a scaled-down configuration and
+/// the hardware model consumes the full-size one analytically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Number of transformer blocks.
+    pub depth: usize,
+    /// Hidden width of the MLP, conventionally `4 × dim`.
+    pub mlp_dim: usize,
+}
+
+impl TransformerConfig {
+    /// The paper's GT-ViT configuration (8 blocks, 6 heads, dim 384).
+    pub fn gt_vit() -> Self {
+        Self {
+            dim: 384,
+            heads: 6,
+            depth: 8,
+            mlp_dim: 4 * 384,
+        }
+    }
+
+    /// A small configuration for functional tests and fast training.
+    pub fn tiny() -> Self {
+        Self {
+            dim: 32,
+            heads: 2,
+            depth: 2,
+            mlp_dim: 64,
+        }
+    }
+}
+
+/// The two-layer GELU MLP inside a transformer block.
+#[derive(Debug)]
+pub struct Mlp {
+    fc1: Linear,
+    act: Gelu,
+    fc2: Linear,
+}
+
+impl Mlp {
+    /// Creates an MLP `dim → hidden → dim`.
+    pub fn new(rng: &mut impl Rng, dim: usize, hidden: usize) -> Self {
+        Self {
+            fc1: Linear::new(rng, dim, hidden),
+            act: Gelu::new(),
+            fc2: Linear::new(rng, hidden, dim),
+        }
+    }
+}
+
+impl Layer for Mlp {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let h = self.fc1.forward(input);
+        let h = self.act.forward(&h);
+        self.fc2.forward(&h)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.fc2.backward(grad_out);
+        let g = self.act.backward(&g);
+        self.fc1.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+
+    fn infer(&mut self, input: &Tensor) -> Tensor {
+        let h = self.fc1.infer(input);
+        let h = self.act.infer(&h);
+        self.fc2.infer(&h)
+    }
+}
+
+/// A pre-norm transformer block: `x + MHA(LN(x))` then `x + MLP(LN(x))`.
+#[derive(Debug)]
+pub struct TransformerBlock {
+    norm1: LayerNorm,
+    attn: MultiHeadAttention,
+    norm2: LayerNorm,
+    mlp: Mlp,
+}
+
+impl TransformerBlock {
+    /// Creates a block from a [`TransformerConfig`].
+    pub fn new(rng: &mut impl Rng, config: &TransformerConfig) -> Self {
+        Self {
+            norm1: LayerNorm::new(config.dim),
+            attn: MultiHeadAttention::new(rng, config.dim, config.heads),
+            norm2: LayerNorm::new(config.dim),
+            mlp: Mlp::new(rng, config.dim, config.mlp_dim),
+        }
+    }
+
+    /// The attention submodule (exposed so the token selector can read the
+    /// attention matrices after a pass).
+    pub fn attention(&self) -> &MultiHeadAttention {
+        &self.attn
+    }
+}
+
+impl Layer for TransformerBlock {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let a = self.attn.forward(&self.norm1.forward(input));
+        let x1 = input.add(&a);
+        let m = self.mlp.forward(&self.norm2.forward(&x1));
+        x1.add(&m)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // y = x1 + mlp(norm2(x1)); x1 = x + attn(norm1(x))
+        let g_m = self.norm2.backward(&self.mlp.backward(grad_out));
+        let g_x1 = grad_out.add(&g_m);
+        let g_a = self.norm1.backward(&self.attn.backward(&g_x1));
+        g_x1.add(&g_a)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.norm1.visit_params(f);
+        self.attn.visit_params(f);
+        self.norm2.visit_params(f);
+        self.mlp.visit_params(f);
+    }
+
+    fn infer(&mut self, input: &Tensor) -> Tensor {
+        let a = self.attn.infer(&self.norm1.infer(input));
+        let x1 = input.add(&a);
+        let m = self.mlp.infer(&self.norm2.infer(&x1));
+        x1.add(&m)
+    }
+}
+
+/// Learnable additive positional embedding for a fixed token count.
+#[derive(Debug)]
+pub struct PositionalEmbedding {
+    emb: Param,
+    tokens: usize,
+    dim: usize,
+}
+
+impl PositionalEmbedding {
+    /// Creates a positional embedding for `tokens × dim` sequences,
+    /// initialized from N(0, 0.02) as is conventional for ViTs.
+    pub fn new(rng: &mut impl Rng, tokens: usize, dim: usize) -> Self {
+        Self {
+            emb: Param::new(normal(rng, &[tokens, dim], 0.0, 0.02)),
+            tokens,
+            dim,
+        }
+    }
+}
+
+impl Layer for PositionalEmbedding {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.shape().dims(),
+            &[self.tokens, self.dim],
+            "positional embedding expects [{}, {}], got {}",
+            self.tokens,
+            self.dim,
+            input.shape()
+        );
+        input.add(self.emb.value())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.emb.accumulate(grad_out);
+        grad_out.clone()
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.emb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use solo_tensor::{normal as rnormal, seeded_rng};
+
+    #[test]
+    fn block_preserves_shape() {
+        let mut rng = seeded_rng(30);
+        let cfg = TransformerConfig::tiny();
+        let mut block = TransformerBlock::new(&mut rng, &cfg);
+        let x = rnormal(&mut rng, &[5, cfg.dim], 0.0, 1.0);
+        assert_eq!(block.forward(&x).shape().dims(), &[5, cfg.dim]);
+    }
+
+    #[test]
+    fn block_input_gradcheck() {
+        let mut rng = seeded_rng(31);
+        let cfg = TransformerConfig {
+            dim: 6,
+            heads: 2,
+            depth: 1,
+            mlp_dim: 8,
+        };
+        let mut block = TransformerBlock::new(&mut rng, &cfg);
+        let x = rnormal(&mut rng, &[3, 6], 0.0, 0.5);
+        let worst = gradcheck::check_input_grad(&mut block, &x, 1e-2);
+        assert!(worst < 5e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn mlp_gradcheck() {
+        let mut rng = seeded_rng(32);
+        let mut mlp = Mlp::new(&mut rng, 4, 8);
+        let x = rnormal(&mut rng, &[2, 4], 0.0, 1.0);
+        assert!(gradcheck::check_input_grad(&mut mlp, &x, 1e-2) < 2e-2);
+        assert!(gradcheck::check_param_grad(&mut mlp, &x, 1e-2) < 2e-2);
+    }
+
+    #[test]
+    fn positional_embedding_adds_and_learns() {
+        let mut rng = seeded_rng(33);
+        let mut pe = PositionalEmbedding::new(&mut rng, 3, 4);
+        let x = Tensor::zeros(&[3, 4]);
+        let y = pe.forward(&x);
+        // Output equals the embedding itself for zero input.
+        let mut emb_norm = 0.0;
+        pe.visit_params(&mut |p| emb_norm = p.value().norm_sq());
+        assert!((y.norm_sq() - emb_norm).abs() < 1e-6);
+        let g = pe.backward(&Tensor::ones(&[3, 4]));
+        assert_eq!(g.as_slice(), Tensor::ones(&[3, 4]).as_slice());
+        let mut grad_sum = 0.0;
+        pe.visit_params(&mut |p| grad_sum = p.grad().sum());
+        assert_eq!(grad_sum, 12.0);
+    }
+
+    #[test]
+    fn gt_vit_config_matches_paper() {
+        let cfg = TransformerConfig::gt_vit();
+        assert_eq!(cfg.depth, 8);
+        assert_eq!(cfg.heads, 6);
+        assert_eq!(cfg.dim, 384);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests on quantization and loss invariants.
+
+use proptest::prelude::*;
+use solo_nn::{loss, prune, quant::QTensor};
+use solo_tensor::Tensor;
+
+proptest! {
+    #[test]
+    fn quantization_error_is_bounded_by_half_step(
+        data in proptest::collection::vec(-100.0f32..100.0, 1..128)
+    ) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]);
+        let q = QTensor::quantize(&t);
+        let back = q.dequantize();
+        let half_step = q.scale() / 2.0 + 1e-6;
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!((a - b).abs() <= half_step, "{a} vs {b} (step {half_step})");
+        }
+    }
+
+    #[test]
+    fn dice_loss_is_in_unit_range(
+        p in proptest::collection::vec(0.0f32..1.0, 16),
+        t in proptest::collection::vec(0.0f32..1.0, 16),
+    ) {
+        let pred = Tensor::from_vec(p, &[16]);
+        let target = Tensor::from_vec(t.iter().map(|&v| (v > 0.5) as u8 as f32).collect(), &[16]);
+        let (l, _) = loss::dice(&pred, &target);
+        prop_assert!((0.0..=1.0).contains(&l), "dice {l}");
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero(
+        logits in proptest::collection::vec(-5.0f32..5.0, 2..12),
+        pick in 0usize..12,
+    ) {
+        let c = logits.len();
+        let target = pick % c;
+        let t = Tensor::from_vec(logits, &[c]);
+        let (l, g) = loss::cross_entropy(&t, target);
+        prop_assert!(l >= 0.0);
+        prop_assert!(g.sum().abs() < 1e-4);
+    }
+
+    #[test]
+    fn token_selection_is_sorted_unique_and_sized(
+        importance in proptest::collection::vec(0.0f32..10.0, 1..64),
+        keep in 0.01f32..1.0,
+    ) {
+        let kept = prune::select_tokens(&importance, keep);
+        prop_assert!(kept.contains(&0), "CLS token must survive");
+        prop_assert!(kept.len() <= importance.len());
+        prop_assert!(kept.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        let expected = ((importance.len() as f32 * keep).ceil() as usize)
+            .clamp(1, importance.len());
+        prop_assert_eq!(kept.len(), expected);
+    }
+}

@@ -1,0 +1,113 @@
+//! The downsampling baselines SOLO is compared against (Section 5).
+
+use solo_tensor::{avg_pool2d, bilinear_resize, Tensor};
+
+/// *Average Downsampling (AD)*: plain average-pooling resize of the whole
+/// frame, the paper's first accuracy baseline. The IOI shrinks with
+/// everything else, which is exactly why AD loses.
+///
+/// Implemented as average pooling when the ratio is integral, bilinear
+/// resize otherwise.
+///
+/// # Panics
+///
+/// Panics if `img` is not rank-3 or the output is larger than the input.
+pub fn average_downsample(img: &Tensor, out_h: usize, out_w: usize) -> Tensor {
+    assert_eq!(img.shape().ndim(), 3, "average_downsample input must be [C,H,W]");
+    let (h, w) = (img.shape().dim(1), img.shape().dim(2));
+    assert!(out_h <= h && out_w <= w, "output must not exceed input");
+    if h % out_h == 0 && w % out_w == 0 && h / out_h == w / out_w {
+        avg_pool2d(img, h / out_h)
+    } else {
+        bilinear_resize(img, out_h, out_w)
+    }
+}
+
+/// Even subsampling: picks every k-th pixel (nearest sample at uniform grid
+/// positions). This is how the camera produces the preview frame `I_f^d`
+/// that feeds ESNet and the SSA view-change test — cheaper on the sensor
+/// than averaging because no pixel aggregation is needed.
+///
+/// # Panics
+///
+/// Panics if `img` is not rank-3 or the output is larger than the input.
+pub fn uniform_subsample(img: &Tensor, out_h: usize, out_w: usize) -> Tensor {
+    assert_eq!(img.shape().ndim(), 3, "uniform_subsample input must be [C,H,W]");
+    let (c, h, w) = (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2));
+    assert!(out_h <= h && out_w <= w, "output must not exceed input");
+    let src = img.as_slice();
+    let mut out = vec![0.0f32; c * out_h * out_w];
+    for oi in 0..out_h {
+        let y = ((oi as f32 + 0.5) / out_h as f32 * h as f32 - 0.5)
+            .round()
+            .clamp(0.0, (h - 1) as f32) as usize;
+        for oj in 0..out_w {
+            let x = ((oj as f32 + 0.5) / out_w as f32 * w as f32 - 0.5)
+                .round()
+                .clamp(0.0, (w - 1) as f32) as usize;
+            for ch in 0..c {
+                out[(ch * out_h + oi) * out_w + oj] = src[(ch * h + y) * w + x];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, out_h, out_w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_downsample_integral_ratio_uses_pooling() {
+        let img = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 4, 4]);
+        let out = average_downsample(&img, 2, 2);
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        // Top-left 2×2 block mean: (0+1+4+5)/4.
+        assert_eq!(out.at(&[0, 0, 0]), 2.5);
+    }
+
+    #[test]
+    fn average_downsample_non_integral_falls_back_to_bilinear() {
+        let img = Tensor::ones(&[2, 7, 5]);
+        let out = average_downsample(&img, 3, 2);
+        assert_eq!(out.shape().dims(), &[2, 3, 2]);
+        assert!(out.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn uniform_subsample_picks_exact_pixels() {
+        let img = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 4, 4]);
+        let out = uniform_subsample(&img, 2, 2);
+        // Samples at rows/cols {0.5, 2.5} → rounded to {0 or 1, 2 or 3}:
+        // every output value must be one of the source values.
+        for &v in out.as_slice() {
+            assert!(img.as_slice().contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_subsample_identity_at_same_size() {
+        let img = Tensor::arange(12).reshape(&[1, 3, 4]);
+        let out = uniform_subsample(&img, 3, 4);
+        assert_eq!(out.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn subsample_loses_detail_that_averaging_keeps() {
+        // A checkerboard: averaging preserves the mean (0.5); subsampling
+        // collapses to whichever phase it lands on. This is the fidelity /
+        // sensor-cost trade the paper exploits for I_f^d.
+        let mut img = Tensor::zeros(&[1, 8, 8]);
+        for y in 0..8 {
+            for x in 0..8 {
+                if (x + y) % 2 == 0 {
+                    img.set(&[0, y, x], 1.0);
+                }
+            }
+        }
+        let avg = average_downsample(&img, 4, 4);
+        let sub = uniform_subsample(&img, 4, 4);
+        assert!((avg.mean() - 0.5).abs() < 1e-5);
+        assert!(sub.mean() == 0.0 || sub.mean() == 1.0);
+    }
+}

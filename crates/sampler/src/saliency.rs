@@ -1,0 +1,129 @@
+//! Saliency score map construction.
+
+use solo_tensor::Tensor;
+
+/// A gaze-centered Gaussian saliency prior on a `[gh, gw]` grid.
+///
+/// `gaze` is the normalized `(x, y)` gaze location in `[0, 1]²` (x = column
+/// fraction, matching the gaze-tracker convention); `sigma_frac` is the
+/// Gaussian width as a fraction of the grid extent; `floor` is a uniform
+/// pedestal ensuring peripheral regions keep nonzero sampling density (the
+/// paper's sampler compresses but never discards the periphery).
+///
+/// # Panics
+///
+/// Panics if dimensions are zero, `sigma_frac <= 0`, or `floor < 0`.
+pub fn gaze_saliency(gh: usize, gw: usize, gaze: (f32, f32), sigma_frac: f32, floor: f32) -> Tensor {
+    assert!(gh > 0 && gw > 0, "grid dimensions must be nonzero");
+    assert!(sigma_frac > 0.0, "sigma_frac must be positive");
+    assert!(floor >= 0.0, "floor must be non-negative");
+    let (gx, gy) = gaze;
+    let mut out = vec![0.0f32; gh * gw];
+    for i in 0..gh {
+        let y = (i as f32 + 0.5) / gh as f32;
+        for j in 0..gw {
+            let x = (j as f32 + 0.5) / gw as f32;
+            let d2 = (x - gx) * (x - gx) + (y - gy) * (y - gy);
+            out[i * gw + j] = floor + (-d2 / (2.0 * sigma_frac * sigma_frac)).exp();
+        }
+    }
+    Tensor::from_vec(out, &[gh, gw])
+}
+
+/// Content saliency from local gradient magnitude — the gaze-free signal the
+/// LTD (learn-to-downsample) baseline uses.
+///
+/// Computes the mean absolute Sobel response over channels of a `[C, h, w]`
+/// image, normalized to peak 1, plus a small pedestal.
+///
+/// # Panics
+///
+/// Panics if `img` is not rank-3 or smaller than 3×3.
+pub fn content_saliency(img: &Tensor) -> Tensor {
+    assert_eq!(img.shape().ndim(), 3, "content_saliency input must be [C,h,w]");
+    let (c, h, w) = (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2));
+    assert!(h >= 3 && w >= 3, "image must be at least 3×3");
+    let src = img.as_slice();
+    let mut out = vec![0.0f32; h * w];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let mut mag = 0.0f32;
+            for ch in 0..c {
+                let at = |yy: usize, xx: usize| src[(ch * h + yy) * w + xx];
+                let gx = (at(y - 1, x + 1) + 2.0 * at(y, x + 1) + at(y + 1, x + 1))
+                    - (at(y - 1, x - 1) + 2.0 * at(y, x - 1) + at(y + 1, x - 1));
+                let gy = (at(y + 1, x - 1) + 2.0 * at(y + 1, x) + at(y + 1, x + 1))
+                    - (at(y - 1, x - 1) + 2.0 * at(y - 1, x) + at(y - 1, x + 1));
+                mag += gx.abs() + gy.abs();
+            }
+            out[y * w + x] = mag / c as f32;
+        }
+    }
+    let peak = out.iter().copied().fold(0.0f32, f32::max).max(1e-6);
+    for v in &mut out {
+        *v = *v / peak + 0.05;
+    }
+    Tensor::from_vec(out, &[h, w])
+}
+
+/// Blends two saliency maps of identical shape: `a·w + b·(1−w)`.
+///
+/// SOLO's ESNet effectively combines the gaze prior with content saliency of
+/// the preview frame `I_f^d`; this is the fusion primitive.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `w` is outside `[0, 1]`.
+pub fn mix_saliency(a: &Tensor, b: &Tensor, w: f32) -> Tensor {
+    assert!((0.0..=1.0).contains(&w), "mix weight must be in [0,1]");
+    a.zip(b, |av, bv| av * w + bv * (1.0 - w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaze_saliency_peaks_at_gaze() {
+        let s = gaze_saliency(16, 16, (0.25, 0.75), 0.1, 0.0);
+        let peak = s.argmax();
+        let (i, j) = (peak / 16, peak % 16);
+        // gaze (x=0.25, y=0.75) → row ~12, col ~4
+        assert!((i as i32 - 12).abs() <= 1, "row {i}");
+        assert!((j as i32 - 4).abs() <= 1, "col {j}");
+    }
+
+    #[test]
+    fn floor_keeps_periphery_nonzero() {
+        let s = gaze_saliency(8, 8, (0.0, 0.0), 0.05, 0.1);
+        assert!(s.min() >= 0.1);
+    }
+
+    #[test]
+    fn content_saliency_highlights_edges() {
+        // Vertical step edge in the middle.
+        let mut img = Tensor::zeros(&[1, 8, 8]);
+        for y in 0..8 {
+            for x in 4..8 {
+                img.set(&[0, y, x], 1.0);
+            }
+        }
+        let s = content_saliency(&img);
+        // Saliency at the edge column exceeds flat regions.
+        assert!(s.at(&[4, 4]) > s.at(&[4, 1]) + 0.5);
+    }
+
+    #[test]
+    fn mix_is_convex_combination() {
+        let a = Tensor::full(&[2, 2], 1.0);
+        let b = Tensor::full(&[2, 2], 0.0);
+        let m = mix_saliency(&a, &b, 0.25);
+        assert!(m.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma_frac")]
+    fn rejects_zero_sigma() {
+        gaze_saliency(4, 4, (0.5, 0.5), 0.0, 0.0);
+    }
+}

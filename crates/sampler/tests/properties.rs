@@ -1,0 +1,87 @@
+//! Property-based tests on the Eq. 2/3 sampler invariants.
+
+use proptest::prelude::*;
+use solo_sampler::{gaze_saliency, uniform_subsample, IndexMap, SamplerSpec};
+use solo_tensor::Tensor;
+
+fn gaze() -> impl Strategy<Value = (f32, f32)> {
+    (0.05f32..0.95, 0.05f32..0.95)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coordinates_always_in_bounds(g in gaze(), sigma in 2.0f32..20.0) {
+        let spec = SamplerSpec::new(64, 64, 16, 16, sigma);
+        let s = gaze_saliency(16, 16, g, 0.1, 0.02);
+        let map = IndexMap::from_saliency(&spec, &s);
+        for (r, c) in map.pixel_indices() {
+            prop_assert!(r < 64 && c < 64);
+        }
+    }
+
+    #[test]
+    fn mapping_is_monotone(g in gaze()) {
+        let spec = SamplerSpec::new(64, 64, 12, 12, 8.0);
+        let s = gaze_saliency(12, 12, g, 0.12, 0.02);
+        let map = IndexMap::from_saliency(&spec, &s);
+        for i in 0..12 {
+            for j in 1..12 {
+                let (_, x0) = map.source_coord(i, j - 1);
+                let (_, x1) = map.source_coord(i, j);
+                prop_assert!(x1 >= x0 - 1e-3, "row {i} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_constant_images_is_exact(
+        g in gaze(),
+        value in 0.0f32..1.0,
+    ) {
+        let spec = SamplerSpec::new(32, 32, 8, 8, 5.0);
+        let s = gaze_saliency(8, 8, g, 0.1, 0.05);
+        let map = IndexMap::from_saliency(&spec, &s);
+        let img = Tensor::full(&[3, 32, 32], value);
+        for &v in map.sample_bilinear(&img).as_slice() {
+            prop_assert!((v - value).abs() < 1e-5);
+        }
+        for &v in map.sample_nearest(&img).as_slice() {
+            prop_assert!(v == value);
+        }
+    }
+
+    #[test]
+    fn upsample_output_values_come_from_input(g in gaze()) {
+        let spec = SamplerSpec::new(32, 32, 8, 8, 6.0);
+        let s = gaze_saliency(8, 8, g, 0.1, 0.02);
+        let map = IndexMap::from_saliency(&spec, &s);
+        let small = Tensor::arange(64).reshape(&[1, 8, 8]);
+        let up = map.upsample(&small);
+        for &v in up.as_slice() {
+            prop_assert!(small.as_slice().contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_subsample_values_come_from_input(
+        data in proptest::collection::vec(0.0f32..1.0, 24 * 24),
+        oh in 1usize..24,
+    ) {
+        let img = Tensor::from_vec(data, &[1, 24, 24]);
+        let out = uniform_subsample(&img, oh, oh);
+        for &v in out.as_slice() {
+            prop_assert!(img.as_slice().contains(&v));
+        }
+    }
+
+    #[test]
+    fn warp_source_point_is_in_output_range(g in gaze(), r in 0usize..64, c in 0usize..64) {
+        let spec = SamplerSpec::new(64, 64, 16, 16, 8.0);
+        let s = gaze_saliency(16, 16, g, 0.1, 0.02);
+        let map = IndexMap::from_saliency(&spec, &s);
+        let (i, j) = map.warp_source_point(r, c);
+        prop_assert!(i < 16 && j < 16);
+    }
+}

@@ -1,0 +1,116 @@
+//! Image export (binary PPM/PGM) for visual inspection of frames, masks
+//! and saliency maps — no image-crate dependency needed.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use solo_tensor::Tensor;
+
+/// Writes a `[3, h, w]` RGB tensor (values in `[0, 1]`) as a binary PPM.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+///
+/// # Panics
+///
+/// Panics if `img` is not a rank-3 tensor with 3 channels.
+pub fn write_ppm(img: &Tensor, path: impl AsRef<Path>) -> io::Result<()> {
+    assert_eq!(img.shape().ndim(), 3, "write_ppm expects [3,h,w]");
+    assert_eq!(img.shape().dim(0), 3, "write_ppm expects 3 channels");
+    let (h, w) = (img.shape().dim(1), img.shape().dim(2));
+    let mut file = std::fs::File::create(path)?;
+    write!(file, "P6\n{w} {h}\n255\n")?;
+    let src = img.as_slice();
+    let mut bytes = Vec::with_capacity(3 * h * w);
+    for p in 0..h * w {
+        for ch in 0..3 {
+            bytes.push((src[ch * h * w + p].clamp(0.0, 1.0) * 255.0) as u8);
+        }
+    }
+    file.write_all(&bytes)
+}
+
+/// Writes a `[h, w]` grayscale tensor (values in `[0, 1]`) as a binary PGM.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+///
+/// # Panics
+///
+/// Panics if `map` is not rank-2.
+pub fn write_pgm(map: &Tensor, path: impl AsRef<Path>) -> io::Result<()> {
+    assert_eq!(map.shape().ndim(), 2, "write_pgm expects [h,w]");
+    let (h, w) = (map.shape().dim(0), map.shape().dim(1));
+    let mut file = std::fs::File::create(path)?;
+    write!(file, "P5\n{w} {h}\n255\n")?;
+    let peak = map.max().max(1e-6);
+    let bytes: Vec<u8> = map
+        .as_slice()
+        .iter()
+        .map(|&v| ((v / peak).clamp(0.0, 1.0) * 255.0) as u8)
+        .collect();
+    file.write_all(&bytes)
+}
+
+/// Overlays a binary mask onto an RGB frame (mask pixels tinted red) and
+/// returns the composited `[3, h, w]` image — how the AR display shows the
+/// segmented IOI (Fig. 1 of the paper).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn overlay_mask(img: &Tensor, mask: &Tensor, strength: f32) -> Tensor {
+    assert_eq!(img.shape().ndim(), 3, "overlay expects [3,h,w]");
+    let (h, w) = (img.shape().dim(1), img.shape().dim(2));
+    assert_eq!(mask.shape().dims(), &[h, w], "mask shape mismatch");
+    let mut out = img.as_slice().to_vec();
+    let m = mask.as_slice();
+    for p in 0..h * w {
+        if m[p] > 0.5 {
+            out[p] = (out[p] + strength).min(1.0); // red channel up
+            out[h * w + p] *= 1.0 - strength * 0.5; // green down
+            out[2 * h * w + p] *= 1.0 - strength * 0.5; // blue down
+        }
+    }
+    Tensor::from_vec(out, img.shape().dims())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_has_correct_header_and_size() {
+        let img = Tensor::full(&[3, 4, 6], 0.5);
+        let path = std::env::temp_dir().join("solo_test.ppm");
+        write_ppm(&img, &path).expect("write");
+        let bytes = std::fs::read(&path).expect("read");
+        assert!(bytes.starts_with(b"P6\n6 4\n255\n"));
+        assert_eq!(bytes.len(), 11 + 3 * 4 * 6);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pgm_normalizes_to_peak() {
+        let mut map = Tensor::zeros(&[2, 2]);
+        map.set(&[0, 0], 0.5);
+        let path = std::env::temp_dir().join("solo_test.pgm");
+        write_pgm(&map, &path).expect("write");
+        let bytes = std::fs::read(&path).expect("read");
+        // Peak value maps to 255.
+        assert_eq!(bytes[bytes.len() - 4], 255);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn overlay_tints_only_masked_pixels() {
+        let img = Tensor::full(&[3, 2, 2], 0.4);
+        let mut mask = Tensor::zeros(&[2, 2]);
+        mask.set(&[0, 0], 1.0);
+        let out = overlay_mask(&img, &mask, 0.5);
+        assert!(out.at(&[0, 0, 0]) > 0.8); // tinted red
+        assert_eq!(out.at(&[0, 1, 1]), 0.4); // untouched
+    }
+}

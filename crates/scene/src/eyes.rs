@@ -1,0 +1,100 @@
+//! OpenEDS-like synthetic eye-image dataset for GT-ViT pretraining.
+//!
+//! The paper pretrains the gaze ViT on a gaze-tracking dataset
+//! (OpenEDS2020) before joint SOLONet training (Section 3.4). This dataset
+//! pairs rendered eye images with their ground-truth 2-D gaze directions.
+
+use rand::Rng;
+use solo_gaze::{render_eye, EyeImageConfig, GazePoint};
+use solo_tensor::Tensor;
+
+/// One labelled eye image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EyeSample {
+    /// Monochrome eye image `[1, res, res]`.
+    pub image: Tensor,
+    /// Ground-truth gaze.
+    pub gaze: GazePoint,
+}
+
+/// A generator of labelled eye images.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EyeDataset {
+    config: EyeImageConfig,
+}
+
+impl Default for EyeDataset {
+    fn default() -> Self {
+        Self {
+            config: EyeImageConfig::default(),
+        }
+    }
+}
+
+impl EyeDataset {
+    /// Creates a dataset with a given renderer configuration.
+    pub fn new(config: EyeImageConfig) -> Self {
+        Self { config }
+    }
+
+    /// The renderer configuration.
+    pub fn config(&self) -> &EyeImageConfig {
+        &self.config
+    }
+
+    /// Draws one sample with gaze uniform over the usable range.
+    pub fn sample(&self, rng: &mut impl Rng) -> EyeSample {
+        let gaze = GazePoint::new(rng.gen_range(0.05..0.95), rng.gen_range(0.05..0.95));
+        EyeSample {
+            image: render_eye(&self.config, gaze, rng),
+            gaze,
+        }
+    }
+
+    /// Draws `n` samples.
+    pub fn samples(&self, n: usize, rng: &mut impl Rng) -> Vec<EyeSample> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Renders an eye image for a *given* gaze (used when pairing eye
+    /// images with scene gaze traces).
+    pub fn render(&self, gaze: GazePoint, rng: &mut impl Rng) -> Tensor {
+        render_eye(&self.config, gaze, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solo_tensor::seeded_rng;
+
+    #[test]
+    fn samples_have_matching_shapes() {
+        let ds = EyeDataset::default();
+        let mut rng = seeded_rng(1);
+        let s = ds.sample(&mut rng);
+        let r = ds.config().resolution;
+        assert_eq!(s.image.shape().dims(), &[1, r, r]);
+        assert!((0.0..=1.0).contains(&s.gaze.x));
+    }
+
+    #[test]
+    fn gaze_labels_cover_the_range() {
+        let ds = EyeDataset::default();
+        let mut rng = seeded_rng(2);
+        let samples = ds.samples(200, &mut rng);
+        let xs: Vec<f32> = samples.iter().map(|s| s.gaze.x).collect();
+        let min = xs.iter().copied().fold(1.0f32, f32::min);
+        let max = xs.iter().copied().fold(0.0f32, f32::max);
+        assert!(min < 0.2 && max > 0.8, "gaze range [{min}, {max}] too narrow");
+    }
+
+    #[test]
+    fn images_differ_across_gazes() {
+        let ds = EyeDataset::default();
+        let mut rng = seeded_rng(3);
+        let a = ds.render(GazePoint::new(0.1, 0.5), &mut rng);
+        let b = ds.render(GazePoint::new(0.9, 0.5), &mut rng);
+        assert!(a.sub(&b).norm_sq() > 0.5);
+    }
+}

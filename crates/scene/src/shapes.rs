@@ -1,0 +1,191 @@
+//! The object vocabulary: ten parametric shape classes.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of object classes in the synthetic vocabulary (the segmentation
+/// classifier additionally learns a background class, giving `C + 1`
+/// outputs as in Section 3.3).
+pub const NUM_CLASSES: usize = 10;
+
+/// The class of a scene object. Each class has a distinct silhouette so the
+/// classification head has real work to do at low resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeClass {
+    /// Filled disc.
+    Circle,
+    /// Axis-aligned square (before rotation).
+    Square,
+    /// 2:1 rectangle.
+    Rectangle,
+    /// Upward triangle.
+    Triangle,
+    /// 2:1 ellipse.
+    Ellipse,
+    /// Annulus with half-radius hole.
+    Ring,
+    /// Plus-sign cross.
+    Cross,
+    /// 45°-rotated square.
+    Diamond,
+    /// Five-pointed star (approximated by a spiky polar curve).
+    Star,
+    /// Regular hexagon.
+    Hexagon,
+}
+
+impl ShapeClass {
+    /// All classes, indexable by id.
+    pub const ALL: [ShapeClass; NUM_CLASSES] = [
+        ShapeClass::Circle,
+        ShapeClass::Square,
+        ShapeClass::Rectangle,
+        ShapeClass::Triangle,
+        ShapeClass::Ellipse,
+        ShapeClass::Ring,
+        ShapeClass::Cross,
+        ShapeClass::Diamond,
+        ShapeClass::Star,
+        ShapeClass::Hexagon,
+    ];
+
+    /// The integer class id in `0..NUM_CLASSES`.
+    pub fn id(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("class in ALL")
+    }
+
+    /// Class from id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= NUM_CLASSES`.
+    pub fn from_id(id: usize) -> Self {
+        Self::ALL[id]
+    }
+
+    /// Whether the point `(dx, dy)` — offset from the shape center in units
+    /// of the shape's half-size, already de-rotated — lies inside the
+    /// silhouette.
+    pub fn contains_unit(&self, dx: f32, dy: f32) -> bool {
+        let r2 = dx * dx + dy * dy;
+        match self {
+            ShapeClass::Circle => r2 <= 1.0,
+            ShapeClass::Square => dx.abs() <= 1.0 && dy.abs() <= 1.0,
+            ShapeClass::Rectangle => dx.abs() <= 1.0 && dy.abs() <= 0.5,
+            ShapeClass::Triangle => {
+                // Upward triangle with apex at (0,−1), base y = +1.
+                dy <= 1.0 && dy >= -1.0 && dx.abs() <= (dy + 1.0) * 0.5
+            }
+            ShapeClass::Ellipse => dx * dx + 4.0 * dy * dy <= 1.0,
+            ShapeClass::Ring => r2 <= 1.0 && r2 >= 0.25,
+            ShapeClass::Cross => {
+                (dx.abs() <= 0.33 && dy.abs() <= 1.0) || (dy.abs() <= 0.33 && dx.abs() <= 1.0)
+            }
+            ShapeClass::Diamond => dx.abs() + dy.abs() <= 1.0,
+            ShapeClass::Star => {
+                if r2 > 1.0 {
+                    return false;
+                }
+                let theta = dy.atan2(dx);
+                let spikes = 0.55 + 0.45 * (5.0 * theta).cos().abs();
+                r2.sqrt() <= spikes
+            }
+            ShapeClass::Hexagon => {
+                let q2x = dx.abs();
+                let q2y = dy.abs();
+                q2y <= 0.866 && 0.866 * q2x + 0.5 * q2y <= 0.866
+            }
+        }
+    }
+
+    /// Approximate area of the unit-size silhouette (used for balanced
+    /// object-size sampling across classes).
+    pub fn unit_area(&self) -> f32 {
+        match self {
+            ShapeClass::Circle => std::f32::consts::PI,
+            ShapeClass::Square => 4.0,
+            ShapeClass::Rectangle => 2.0,
+            ShapeClass::Triangle => 2.0,
+            ShapeClass::Ellipse => std::f32::consts::PI / 2.0,
+            ShapeClass::Ring => std::f32::consts::PI * 0.75,
+            ShapeClass::Cross => 2.2,
+            ShapeClass::Diamond => 2.0,
+            ShapeClass::Star => 1.9,
+            ShapeClass::Hexagon => 2.6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for (i, c) in ShapeClass::ALL.iter().enumerate() {
+            assert_eq!(c.id(), i);
+            assert_eq!(ShapeClass::from_id(i), *c);
+        }
+    }
+
+    #[test]
+    fn all_shapes_contain_near_origin_except_ring() {
+        for c in ShapeClass::ALL {
+            let inside = c.contains_unit(0.0, 0.01);
+            if c == ShapeClass::Ring {
+                assert!(!inside, "{c:?} should have a hole");
+                assert!(c.contains_unit(0.7, 0.0));
+            } else {
+                assert!(inside, "{c:?} must contain its center");
+            }
+        }
+    }
+
+    #[test]
+    fn no_shape_extends_beyond_unit_box() {
+        for c in ShapeClass::ALL {
+            for &(dx, dy) in &[(1.6f32, 0.0f32), (0.0, 1.6), (1.2, 1.2), (-1.6, -1.6)] {
+                assert!(!c.contains_unit(dx, dy), "{c:?} leaks outside at ({dx},{dy})");
+            }
+        }
+    }
+
+    #[test]
+    fn silhouettes_are_pairwise_distinct() {
+        // Sample a grid; every pair of classes must disagree somewhere —
+        // otherwise the classification task would be degenerate.
+        let grid: Vec<(f32, f32)> = (-10..=10)
+            .flat_map(|i| (-10..=10).map(move |j| (i as f32 / 10.0, j as f32 / 10.0)))
+            .collect();
+        for (a_idx, a) in ShapeClass::ALL.iter().enumerate() {
+            for b in &ShapeClass::ALL[a_idx + 1..] {
+                let differs = grid
+                    .iter()
+                    .any(|&(x, y)| a.contains_unit(x, y) != b.contains_unit(x, y));
+                assert!(differs, "{a:?} and {b:?} have identical silhouettes");
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_area_matches_unit_area() {
+        use rand::Rng;
+        let mut rng = solo_tensor::seeded_rng(1);
+        for c in ShapeClass::ALL {
+            let mut hits = 0u32;
+            const N: u32 = 20000;
+            for _ in 0..N {
+                let x = rng.gen_range(-1.0f32..1.0);
+                let y = rng.gen_range(-1.0f32..1.0);
+                if c.contains_unit(x, y) {
+                    hits += 1;
+                }
+            }
+            let est = hits as f32 / N as f32 * 4.0;
+            assert!(
+                (est - c.unit_area()).abs() < 0.4,
+                "{c:?}: MC area {est} vs declared {}",
+                c.unit_area()
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Image-shaped tensor utilities: resampling and pooling over `[C, H, W]`.
+
+use crate::Tensor;
+
+/// Bilinearly resizes a `[C, H, W]` tensor to `[C, out_h, out_w]`.
+///
+/// Uses the align-corners=false convention (pixel centers at `i + 0.5`),
+/// matching the evenly-subsampled `I_f^d` the paper feeds to ESNet and the
+/// reverse-sampler interpolation used to upscale label maps.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-3 or either output dimension is zero.
+pub fn bilinear_resize(input: &Tensor, out_h: usize, out_w: usize) -> Tensor {
+    assert_eq!(input.shape().ndim(), 3, "bilinear_resize input must be [C,H,W]");
+    assert!(out_h > 0 && out_w > 0, "output dimensions must be nonzero");
+    let (c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+    );
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; c * out_h * out_w];
+    let sy = h as f32 / out_h as f32;
+    let sx = w as f32 / out_w as f32;
+    for oi in 0..out_h {
+        let fy = ((oi as f32 + 0.5) * sy - 0.5).clamp(0.0, (h - 1) as f32);
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(h - 1);
+        let wy = fy - y0 as f32;
+        for oj in 0..out_w {
+            let fx = ((oj as f32 + 0.5) * sx - 0.5).clamp(0.0, (w - 1) as f32);
+            let x0 = fx.floor() as usize;
+            let x1 = (x0 + 1).min(w - 1);
+            let wx = fx - x0 as f32;
+            for ch in 0..c {
+                let base = ch * h * w;
+                let v00 = src[base + y0 * w + x0];
+                let v01 = src[base + y0 * w + x1];
+                let v10 = src[base + y1 * w + x0];
+                let v11 = src[base + y1 * w + x1];
+                let top = v00 + (v01 - v00) * wx;
+                let bot = v10 + (v11 - v10) * wx;
+                out[(ch * out_h + oi) * out_w + oj] = top + (bot - top) * wy;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, out_h, out_w])
+}
+
+/// Average-pools a `[C, H, W]` tensor with a square window and equal stride.
+///
+/// This is the *Average Downsampling (AD)* primitive from the paper's
+/// baseline comparison. Partial windows at the right/bottom edges average
+/// over the pixels actually covered.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-3 or `window == 0`.
+pub fn avg_pool2d(input: &Tensor, window: usize) -> Tensor {
+    pool2d(input, window, Mode::Avg)
+}
+
+/// Max-pools a `[C, H, W]` tensor with a square window and equal stride.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-3 or `window == 0`.
+pub fn max_pool2d(input: &Tensor, window: usize) -> Tensor {
+    pool2d(input, window, Mode::Max)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Avg,
+    Max,
+}
+
+fn pool2d(input: &Tensor, window: usize, mode: Mode) -> Tensor {
+    assert_eq!(input.shape().ndim(), 3, "pool input must be [C,H,W]");
+    assert!(window > 0, "pool window must be nonzero");
+    let (c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+    );
+    let oh = h.div_ceil(window);
+    let ow = w.div_ceil(window);
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; c * oh * ow];
+    for ch in 0..c {
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let y0 = oi * window;
+                let x0 = oj * window;
+                let y1 = (y0 + window).min(h);
+                let x1 = (x0 + window).min(w);
+                let mut acc = match mode {
+                    Mode::Avg => 0.0,
+                    Mode::Max => f32::NEG_INFINITY,
+                };
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        let v = src[(ch * h + y) * w + x];
+                        match mode {
+                            Mode::Avg => acc += v,
+                            Mode::Max => acc = acc.max(v),
+                        }
+                    }
+                }
+                if let Mode::Avg = mode {
+                    acc /= ((y1 - y0) * (x1 - x0)) as f32;
+                }
+                out[(ch * oh + oi) * ow + oj] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resize_identity_when_same_size() {
+        let img = Tensor::arange(12).reshape(&[1, 3, 4]);
+        let out = bilinear_resize(&img, 3, 4);
+        for (a, b) in img.as_slice().iter().zip(out.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn resize_constant_image_stays_constant() {
+        let img = Tensor::full(&[3, 8, 8], 0.7);
+        let out = bilinear_resize(&img, 3, 5);
+        for &v in out.as_slice() {
+            assert!((v - 0.7).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resize_preserves_mean_approximately() {
+        let img = Tensor::arange(64).reshape(&[1, 8, 8]);
+        let out = bilinear_resize(&img, 4, 4);
+        assert!((img.mean() - out.mean()).abs() < 1.0);
+    }
+
+    #[test]
+    fn avg_pool_halves_dims() {
+        let img = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        let out = avg_pool2d(&img, 2);
+        assert_eq!(out.shape().dims(), &[1, 1, 1]);
+        assert_eq!(out.at(&[0, 0, 0]), 2.5);
+    }
+
+    #[test]
+    fn avg_pool_partial_window_at_edge() {
+        let img = Tensor::arange(6).reshape(&[1, 2, 3]);
+        let out = avg_pool2d(&img, 2);
+        assert_eq!(out.shape().dims(), &[1, 1, 2]);
+        // Right window covers columns {2} only: (2 + 5) / 2.
+        assert_eq!(out.at(&[0, 0, 1]), 3.5);
+    }
+
+    #[test]
+    fn max_pool_takes_maximum() {
+        let img = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[1, 2, 2]);
+        assert_eq!(max_pool2d(&img, 2).at(&[0, 0, 0]), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn resize_rejects_zero_output() {
+        bilinear_resize(&Tensor::zeros(&[1, 2, 2]), 0, 2);
+    }
+}

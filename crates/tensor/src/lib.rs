@@ -1,0 +1,38 @@
+//! # solo-tensor
+//!
+//! A small, dependency-light dense tensor library used by every other crate
+//! in the SOLO workspace. It provides exactly the numerical substrate the
+//! paper's algorithms need — row-major `f32` tensors, GEMM, `im2col`
+//! convolution lowering, bilinear resampling, reductions and the softmax /
+//! layer-norm kernels used by the transformer blocks — without pulling in a
+//! full deep-learning framework (the reproduction notes flag Rust DL crates
+//! as immature, so the substrate is built from scratch).
+//!
+//! The central type is [`Tensor`]: an owned, contiguous, row-major buffer of
+//! `f32` values plus a [`Shape`]. Operations that combine tensors validate
+//! shapes eagerly and panic with a descriptive message on mismatch, in the
+//! spirit of `ndarray`; all panics are documented on the individual methods.
+//!
+//! ```
+//! use solo_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod image;
+mod linalg;
+mod ops;
+mod random;
+mod shape;
+mod tensor;
+
+pub use image::{avg_pool2d, bilinear_resize, max_pool2d};
+pub use linalg::{col2im, im2col, Im2ColSpec};
+pub use random::{kaiming_uniform, normal, seeded_rng, uniform, xavier_uniform};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,359 @@
+//! GEMM, transpose and the `im2col` lowering used for convolutions.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix multiplication of two rank-2 tensors: `[m,k] × [k,n] → [m,n]`.
+    ///
+    /// Implemented as a cache-friendly i-k-j loop; this is the hot kernel for
+    /// both the neural networks and the systolic-array functional model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank-2 or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.shape().ndim(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        let (k2, n) = (other.shape().dim(0), other.shape().dim(1));
+        assert_eq!(
+            k, k2,
+            "matmul inner dimension mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "transpose requires rank-2");
+        let (r, c) = (self.shape().dim(0), self.shape().dim(1));
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = src[i * c + j];
+            }
+        }
+        Tensor::from_vec(out, &[c, r])
+    }
+
+    /// Matrix–vector product: `[m,k] × [k] → [m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank-2, `v` is not rank-1, or dimensions
+    /// disagree.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matvec lhs must be rank-2");
+        assert_eq!(v.shape().ndim(), 1, "matvec rhs must be rank-1");
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        assert_eq!(k, v.len(), "matvec dimension mismatch");
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            out[i] = a[i * k..(i + 1) * k]
+                .iter()
+                .zip(x)
+                .map(|(&av, &xv)| av * xv)
+                .sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Dot product of two rank-1 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank-1 or lengths differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape().ndim(), 1, "dot lhs must be rank-1");
+        assert_eq!(other.shape().ndim(), 1, "dot rhs must be rank-1");
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+}
+
+/// Geometry of an `im2col` lowering for a 2-D convolution over a `[C, H, W]`
+/// input.
+///
+/// The same spec is reused by [`im2col`] (forward) and [`col2im`] (gradient
+/// scatter in the backward pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Im2ColSpec {
+    /// Input channel count.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+    /// Zero padding in both directions.
+    pub padding: usize,
+    /// Dilation in both directions (1 = dense kernel).
+    pub dilation: usize,
+}
+
+impl Im2ColSpec {
+    /// Output height of the convolution this spec describes.
+    pub fn out_height(&self) -> usize {
+        conv_out(self.height, self.kernel, self.stride, self.padding, self.dilation)
+    }
+
+    /// Output width of the convolution this spec describes.
+    pub fn out_width(&self) -> usize {
+        conv_out(self.width, self.kernel, self.stride, self.padding, self.dilation)
+    }
+}
+
+fn conv_out(dim: usize, kernel: usize, stride: usize, padding: usize, dilation: usize) -> usize {
+    let eff = dilation * (kernel - 1) + 1;
+    (dim + 2 * padding).saturating_sub(eff) / stride + 1
+}
+
+/// Lowers a `[C, H, W]` image into the `[C·k·k, outH·outW]` patch matrix so a
+/// convolution becomes a single GEMM with the `[outC, C·k·k]` weight matrix.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-3 or does not match `spec`.
+pub fn im2col(input: &Tensor, spec: &Im2ColSpec) -> Tensor {
+    assert_eq!(input.shape().ndim(), 3, "im2col input must be [C,H,W]");
+    assert_eq!(
+        input.shape().dims(),
+        &[spec.channels, spec.height, spec.width],
+        "im2col input does not match spec"
+    );
+    let (oh, ow) = (spec.out_height(), spec.out_width());
+    let k = spec.kernel;
+    let rows = spec.channels * k * k;
+    let cols = oh * ow;
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; rows * cols];
+    for c in 0..spec.channels {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (c * k + ki) * k + kj;
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
+                    if ii < 0 || ii >= spec.height as isize {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj =
+                            (oj * spec.stride + kj * spec.dilation) as isize - spec.padding as isize;
+                        if jj < 0 || jj >= spec.width as isize {
+                            continue;
+                        }
+                        out[row * cols + oi * ow + oj] =
+                            src[(c * spec.height + ii as usize) * spec.width + jj as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Scatters a `[C·k·k, outH·outW]` patch-gradient matrix back onto the
+/// `[C, H, W]` input layout — the adjoint of [`im2col`], used by the
+/// convolution backward pass.
+///
+/// # Panics
+///
+/// Panics if `cols` is not rank-2 or its shape disagrees with `spec`.
+pub fn col2im(cols: &Tensor, spec: &Im2ColSpec) -> Tensor {
+    let (oh, ow) = (spec.out_height(), spec.out_width());
+    let k = spec.kernel;
+    assert_eq!(cols.shape().ndim(), 2, "col2im input must be rank-2");
+    assert_eq!(
+        cols.shape().dims(),
+        &[spec.channels * k * k, oh * ow],
+        "col2im input does not match spec"
+    );
+    let src = cols.as_slice();
+    let ncols = oh * ow;
+    let mut out = vec![0.0f32; spec.channels * spec.height * spec.width];
+    for c in 0..spec.channels {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (c * k + ki) * k + kj;
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
+                    if ii < 0 || ii >= spec.height as isize {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj =
+                            (oj * spec.stride + kj * spec.dilation) as isize - spec.padding as isize;
+                        if jj < 0 || jj >= spec.width as isize {
+                            continue;
+                        }
+                        out[(c * spec.height + ii as usize) * spec.width + jj as usize] +=
+                            src[row * ncols + oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[spec.channels, spec.height, spec.width])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        assert_eq!(a.matmul(&b).as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_bad_dims() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t.transpose(), a);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let v = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[3]);
+        let got = a.matvec(&v);
+        let want = a.matmul(&v.reshape(&[3, 1]));
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn dot_of_orthogonal_is_zero() {
+        let a = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        let b = Tensor::from_vec(vec![0.0, 3.0], &[2]);
+        assert_eq!(a.dot(&b), 0.0);
+    }
+
+    #[test]
+    fn conv_out_dims() {
+        let spec = Im2ColSpec {
+            channels: 1,
+            height: 5,
+            width: 5,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+        };
+        assert_eq!(spec.out_height(), 5);
+        assert_eq!(spec.out_width(), 5);
+        let strided = Im2ColSpec { stride: 2, ..spec };
+        assert_eq!(strided.out_height(), 3);
+        let dilated = Im2ColSpec { dilation: 2, padding: 2, ..spec };
+        assert_eq!(dilated.out_height(), 5);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // A 1x1 kernel with stride 1 should reproduce the image as one row
+        // per channel.
+        let img = Tensor::arange(8).reshape(&[2, 2, 2]);
+        let spec = Im2ColSpec {
+            channels: 2,
+            height: 2,
+            width: 2,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            dilation: 1,
+        };
+        let cols = im2col(&img, &spec);
+        assert_eq!(cols.shape().dims(), &[2, 4]);
+        assert_eq!(cols.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn im2col_padding_inserts_zeros() {
+        let img = Tensor::ones(&[1, 2, 2]);
+        let spec = Im2ColSpec {
+            channels: 1,
+            height: 2,
+            width: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+        };
+        let cols = im2col(&img, &spec);
+        assert_eq!(cols.shape().dims(), &[9, 4]);
+        // Top-left kernel tap over output (0,0) reads padded zero.
+        assert_eq!(cols.at(&[0, 0]), 0.0);
+        // Center tap always reads real pixels.
+        assert_eq!(cols.at(&[4, 0]), 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y: the defining
+        // property of the adjoint, which the conv backward pass relies on.
+        let spec = Im2ColSpec {
+            channels: 2,
+            height: 4,
+            width: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+        };
+        let x = Tensor::arange(32).reshape(&[2, 4, 4]);
+        let fwd = im2col(&x, &spec);
+        let y = fwd.map(|v| (v * 0.37).sin()); // arbitrary cotangent
+        let lhs: f32 = fwd.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, &spec);
+        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint identity violated: {lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Elementwise operations, reductions and normalization kernels.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.as_slice().iter().map(|&v| f(v)).collect(), self.shape().dims())
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.as_mut_slice() {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two tensors elementwise with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        Tensor::from_vec(
+            self.as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            self.shape().dims(),
+        )
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Adds `other` into `self` in place, optionally scaled: `self += k·other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled_inplace(&mut self, other: &Tensor, k: f32) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += k * b;
+        }
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|v| v * k)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, k: f32) -> Tensor {
+        self.map(|v| v + k)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element. Returns `f32::NEG_INFINITY` for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element. Returns `f32::INFINITY` for an empty tensor.
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in flattened order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of empty tensor");
+        self.as_slice()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty tensor")
+    }
+
+    /// Squared Euclidean (Frobenius) norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    /// Mean squared difference against `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mse(&self, other: &Tensor) -> f32 {
+        self.sub(other).norm_sq() / self.len().max(1) as f32
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|v| v.clamp(lo, hi))
+    }
+
+    /// Softmax along the last axis of a rank-2 tensor, numerically stabilised
+    /// by subtracting the row max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "softmax_rows requires rank-2");
+        let (rows, cols) = (self.shape().dim(0), self.shape().dim(1));
+        let mut out = vec![0.0; rows * cols];
+        for r in 0..rows {
+            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for (o, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+                let e = (v - m).exp();
+                *o = e;
+                denom += e;
+            }
+            for o in &mut out[r * cols..(r + 1) * cols] {
+                *o /= denom;
+            }
+        }
+        Tensor::from_vec(out, self.shape().dims())
+    }
+
+    /// Layer normalization along the last axis of a rank-2 tensor.
+    ///
+    /// Normalizes each row to zero mean and unit variance:
+    /// `(x − μ) / √(σ² + eps)`. Scale and shift are applied by the caller
+    /// (the `nn` crate owns the learnable γ/β).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn layernorm_rows(&self, eps: f32) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "layernorm_rows requires rank-2");
+        let (rows, cols) = (self.shape().dim(0), self.shape().dim(1));
+        let mut out = vec![0.0; rows * cols];
+        for r in 0..rows {
+            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (o, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+                *o = (v - mean) * inv;
+            }
+        }
+        Tensor::from_vec(out, self.shape().dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn add_sub_mul_are_elementwise() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]);
+        assert_eq!(a.add(&b).as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_rejects_mismatched_shapes() {
+        Tensor::zeros(&[2]).add(&Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        assert!(close(t.sum(), 2.0));
+        assert!(close(t.mean(), 2.0 / 3.0));
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 2);
+        assert!(close(t.norm_sq(), 14.0));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1e4, 1e4, 1e4], &[2, 3]);
+        let s = t.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!(close(sum, 1.0), "row {r} sums to {sum}");
+        }
+        // Monotone in the logits.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 0]));
+        // Large equal logits do not overflow.
+        assert!(close(s.at(&[1, 0]), 1.0 / 3.0));
+    }
+
+    #[test]
+    fn layernorm_rows_zero_mean_unit_var() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let n = t.layernorm_rows(1e-5);
+        assert!(close(n.mean(), 0.0));
+        let var = n.norm_sq() / 4.0;
+        assert!((var - 1.0).abs() < 1e-3, "var {var}");
+    }
+
+    #[test]
+    fn add_scaled_inplace_accumulates() {
+        let mut a = Tensor::ones(&[2]);
+        let g = Tensor::from_vec(vec![2.0, 4.0], &[2]);
+        a.add_scaled_inplace(&g, -0.5);
+        assert_eq!(a.as_slice(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let t = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]);
+        assert_eq!(t.clamp(0.0, 1.0).as_slice(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let t = Tensor::arange(4);
+        assert_eq!(t.mse(&t), 0.0);
+    }
+}

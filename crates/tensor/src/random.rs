@@ -1,0 +1,116 @@
+//! Seeded random tensor initialization.
+//!
+//! Every stochastic component in the workspace draws from a
+//! [`rand_chacha::ChaCha8Rng`] seeded explicitly, so each table and figure in
+//! `EXPERIMENTS.md` is regenerated bit-for-bit by its bench binary.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::Tensor;
+
+/// Creates the workspace-standard seeded RNG.
+///
+/// ```
+/// let mut rng = solo_tensor::seeded_rng(42);
+/// let t = solo_tensor::uniform(&mut rng, &[4], -1.0, 1.0);
+/// assert!(t.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+/// ```
+pub fn seeded_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Samples a tensor with entries uniform in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(rng: &mut impl Rng, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+    assert!(lo < hi, "uniform requires lo < hi (got {lo} >= {hi})");
+    let n: usize = shape.iter().product();
+    Tensor::from_vec((0..n).map(|_| rng.gen_range(lo..hi)).collect(), shape)
+}
+
+/// Samples a tensor with Gaussian entries via Box–Muller.
+pub fn normal(rng: &mut impl Rng, shape: &[usize], mean: f32, std: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform initialization for a weight tensor.
+///
+/// `fan_in`/`fan_out` are passed explicitly because convolution weights fold
+/// kernel taps into the fan.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform(rng: &mut impl Rng, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    assert!(fan_in + fan_out > 0, "xavier fan sum must be nonzero");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, shape, -bound, bound)
+}
+
+/// Kaiming/He uniform initialization (for ReLU-family networks).
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_uniform(rng: &mut impl Rng, shape: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "kaiming fan_in must be nonzero");
+    let bound = (3.0f32).sqrt() * (2.0 / fan_in as f32).sqrt();
+    uniform(rng, shape, -bound, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = uniform(&mut seeded_rng(7), &[16], 0.0, 1.0);
+        let b = uniform(&mut seeded_rng(7), &[16], 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = uniform(&mut seeded_rng(8), &[16], 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform(&mut seeded_rng(1), &[1000], -2.0, 3.0);
+        assert!(t.as_slice().iter().all(|&v| (-2.0..3.0).contains(&v)));
+    }
+
+    #[test]
+    fn normal_has_requested_moments() {
+        let t = normal(&mut seeded_rng(2), &[20000], 1.5, 0.5);
+        assert!((t.mean() - 1.5).abs() < 0.02, "mean {}", t.mean());
+        let var = t.map(|v| (v - 1.5).powi(2)).mean();
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan() {
+        let small = xavier_uniform(&mut seeded_rng(3), &[64], 4, 4);
+        let large = xavier_uniform(&mut seeded_rng(3), &[64], 4000, 4000);
+        assert!(small.max().abs() > large.max().abs());
+    }
+
+    #[test]
+    fn kaiming_bound_is_finite() {
+        let t = kaiming_uniform(&mut seeded_rng(4), &[128], 256);
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,179 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`], stored outermost-first.
+///
+/// A `Shape` is an immutable list of dimension sizes. The element count of a
+/// tensor is the product of its dimensions; a zero-dimensional shape denotes
+/// a scalar with one element.
+///
+/// ```
+/// use solo_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.ndim(), 3);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Self { dims: dims.to_vec() }
+    }
+
+    /// The number of dimensions (rank) of the shape.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The total number of elements implied by this shape.
+    ///
+    /// The empty (rank-0) shape has one element, matching the convention for
+    /// scalars.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements (i.e. some dimension is 0).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.ndim()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        assert!(
+            axis < self.dims.len(),
+            "axis {axis} out of range for shape {self}"
+        );
+        self.dims[axis]
+    }
+
+    /// All dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row-major strides for this shape (innermost stride is 1).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape {self}",
+            index.len()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(&self.dims).enumerate() {
+            assert!(i < d, "index {i} out of bounds for axis {axis} of {self}");
+            off += i * strides[axis];
+        }
+        off
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape({:?})", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).len(), 24);
+        assert_eq!(Shape::new(&[]).len(), 1);
+        assert_eq!(Shape::new(&[5, 0, 2]).len(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let off = s.offset(&[i, j, k]);
+                    assert!(off < s.len());
+                    assert!(seen.insert(off), "duplicate offset {off}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_rejects_out_of_range() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_rejects_wrong_rank() {
+        Shape::new(&[2, 2]).offset(&[0]);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2×3]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+}

@@ -1,0 +1,323 @@
+//! The core dense tensor type.
+
+use std::fmt;
+
+use crate::Shape;
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` is the workhorse of the SOLO workspace: images are `[C, H, W]`
+/// tensors, batches are `[N, C, H, W]`, transformer activations are
+/// `[tokens, dim]`, and saliency maps are `[H, W]`. The type is deliberately
+/// simple — owned storage, no views, no lazy evaluation — so numerical code
+/// stays easy to audit against the paper's equations.
+///
+/// ```
+/// use solo_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from existing data and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the number of elements implied
+    /// by `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let shape = Shape::new(shape);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Self { data, shape }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let shape = Shape::new(shape);
+        Self {
+            data: vec![value; shape.len()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a square identity matrix of side `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a rank-1 tensor holding `0.0, 1.0, …, n-1`.
+    pub fn arange(n: usize) -> Self {
+        Self::from_vec((0..n).map(|i| i as f32).collect(), &[n])
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index has the wrong rank or is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index has the wrong rank or is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a copy with a new shape holding the same number of elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape implies a different element count.
+    pub fn reshape(&self, shape: &[usize]) -> Self {
+        let new = Shape::new(shape);
+        assert_eq!(
+            new.len(),
+            self.len(),
+            "cannot reshape {} elements into {new}",
+            self.len()
+        );
+        Self {
+            data: self.data.clone(),
+            shape: new,
+        }
+    }
+
+    /// Consuming variant of [`Tensor::reshape`]; avoids copying the storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape implies a different element count.
+    pub fn into_reshaped(self, shape: &[usize]) -> Self {
+        let new = Shape::new(shape);
+        assert_eq!(
+            new.len(),
+            self.len(),
+            "cannot reshape {} elements into {new}",
+            self.len()
+        );
+        Self {
+            data: self.data,
+            shape: new,
+        }
+    }
+
+    /// Extracts row `i` of a rank-2 tensor as a new rank-1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or `i` is out of bounds.
+    pub fn row(&self, i: usize) -> Tensor {
+        assert_eq!(self.shape.ndim(), 2, "row() requires a rank-2 tensor");
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        assert!(i < r, "row {i} out of bounds for {}", self.shape);
+        Tensor::from_vec(self.data[i * c..(i + 1) * c].to_vec(), &[c])
+    }
+
+    /// Stacks rank-`k` tensors of identical shape into a rank-`k+1` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or the shapes differ.
+    pub fn stack(items: &[Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "cannot stack zero tensors");
+        let inner = items[0].shape().clone();
+        let mut data = Vec::with_capacity(items.len() * inner.len());
+        for (i, t) in items.iter().enumerate() {
+            assert_eq!(
+                t.shape(),
+                &inner,
+                "tensor {i} has shape {} but expected {inner}",
+                t.shape()
+            );
+            data.extend_from_slice(t.as_slice());
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(inner.dims());
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Concatenates rank-2 tensors along axis 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty, a tensor is not rank-2, or column counts
+    /// differ.
+    pub fn concat_rows(items: &[Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "cannot concat zero tensors");
+        let cols = items[0].shape().dim(1);
+        let mut rows = 0;
+        let mut data = Vec::new();
+        for t in items {
+            assert_eq!(t.shape().ndim(), 2, "concat_rows requires rank-2 tensors");
+            assert_eq!(t.shape().dim(1), cols, "column count mismatch in concat_rows");
+            rows += t.shape().dim(0);
+            data.extend_from_slice(t.as_slice());
+        }
+        Tensor::from_vec(data, &[rows, cols])
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor{} [", self.shape)?;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for Tensor {
+    /// A rank-0 scalar tensor holding `0.0`.
+    fn default() -> Self {
+        Tensor::zeros(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(t.at(&[1]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_length() {
+        Tensor::from_vec(vec![1.0], &[2]);
+    }
+
+    #[test]
+    fn eye_has_unit_diagonal() {
+        let t = Tensor::eye(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(t.at(&[i, j]), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn set_then_at_round_trips() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 0], 7.5);
+        assert_eq!(t.at(&[1, 0]), 7.5);
+        assert_eq!(t.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(t.at(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_rejects_bad_count() {
+        Tensor::arange(6).reshape(&[4]);
+    }
+
+    #[test]
+    fn stack_adds_leading_axis() {
+        let a = Tensor::arange(3);
+        let b = Tensor::full(&[3], 9.0);
+        let s = Tensor::stack(&[a, b]);
+        assert_eq!(s.shape().dims(), &[2, 3]);
+        assert_eq!(s.at(&[1, 0]), 9.0);
+    }
+
+    #[test]
+    fn concat_rows_stacks_matrices() {
+        let a = Tensor::ones(&[1, 2]);
+        let b = Tensor::zeros(&[2, 2]);
+        let c = Tensor::concat_rows(&[a, b]);
+        assert_eq!(c.shape().dims(), &[3, 2]);
+        assert_eq!(c.at(&[0, 1]), 1.0);
+        assert_eq!(c.at(&[2, 1]), 0.0);
+    }
+
+    #[test]
+    fn row_extracts_copy() {
+        let m = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(m.row(1).as_slice(), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let s = format!("{:?}", Tensor::default());
+        assert!(!s.is_empty());
+        assert!(s.contains("Tensor"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests on the tensor substrate's algebraic invariants.
+
+use proptest::prelude::*;
+use solo_tensor::{avg_pool2d, bilinear_resize, Tensor};
+
+fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |v| (r, c, v))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_left_and_right((r, c, data) in small_matrix()) {
+        let m = Tensor::from_vec(data, &[r, c]);
+        let left = Tensor::eye(r).matmul(&m);
+        let right = m.matmul(&Tensor::eye(c));
+        for (a, b) in m.as_slice().iter().zip(left.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        for (a, b) in m.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive((r, c, data) in small_matrix()) {
+        let m = Tensor::from_vec(data, &[r, c]);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (r, k, a) in small_matrix(),
+        extra in proptest::collection::vec(-10.0f32..10.0, 36),
+    ) {
+        let a = Tensor::from_vec(a, &[r, k]);
+        let b = Tensor::from_vec(extra[..k * 3].to_vec(), &[k, 3]);
+        let c = Tensor::from_vec(extra[k * 3..k * 6].to_vec(), &[k, 3]);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions((r, c, data) in small_matrix()) {
+        let s = Tensor::from_vec(data, &[r, c]).softmax_rows();
+        for row in 0..r {
+            let sum: f32 = s.as_slice()[row * c..(row + 1) * c].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+        prop_assert!(s.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn avg_pool_preserves_mean_for_even_dims(
+        data in proptest::collection::vec(0.0f32..1.0, 2 * 4 * 4)
+    ) {
+        let img = Tensor::from_vec(data, &[2, 4, 4]);
+        let pooled = avg_pool2d(&img, 2);
+        prop_assert!((img.mean() - pooled.mean()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bilinear_resize_respects_value_range(
+        data in proptest::collection::vec(0.0f32..1.0, 3 * 6 * 6),
+        oh in 1usize..12,
+        ow in 1usize..12,
+    ) {
+        let img = Tensor::from_vec(data, &[3, 6, 6]);
+        let out = bilinear_resize(&img, oh, ow);
+        // Interpolation never extrapolates outside the input range.
+        prop_assert!(out.min() >= img.min() - 1e-5);
+        prop_assert!(out.max() <= img.max() + 1e-5);
+    }
+}

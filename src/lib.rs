@@ -1,0 +1,34 @@
+//! # solo
+//!
+//! *Segment Only Where You Look* — a full Rust reproduction of the
+//! ASPLOS '26 paper's algorithm/hardware co-design for gaze-driven
+//! foveated instance segmentation in AR.
+//!
+//! This facade crate re-exports the workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`tensor`] — the dense-tensor substrate;
+//! * [`nn`] — layers, manual autograd, optimizers, int8 quantization;
+//! * [`gaze`] — eye-movement behaviour, saccade detection, eye rendering;
+//! * [`scene`] — procedural datasets standing in for LVIS/ADE/Aria/DAVIS;
+//! * [`sampler`] — the Eq. 2/3 saliency-guided sampler and baselines;
+//! * [`hw`] — sensor/MIPI/GPU/NPU/accelerator/SoC simulators;
+//! * [`core`] — SOLONet, ESNet, the streaming algorithm and every
+//!   experiment entry point.
+//!
+//! ```
+//! use solo::core::ssa::{skip_probability, average_latency_ms};
+//!
+//! // Eq. 5/6: with a static view, no saccade and a steady gaze, every
+//! // frame is skipped and the average latency collapses to the skip path.
+//! let p = skip_probability(0.0, 0.0, 0.0);
+//! assert_eq!(average_latency_ms(40.0, 8.0, p), 8.0);
+//! ```
+
+pub use solo_core as core;
+pub use solo_gaze as gaze;
+pub use solo_hw as hw;
+pub use solo_nn as nn;
+pub use solo_sampler as sampler;
+pub use solo_scene as scene;
+pub use solo_tensor as tensor;

@@ -1,0 +1,27 @@
+//! Every experiment must be bit-for-bit reproducible from its seed — the
+//! property that lets EXPERIMENTS.md numbers be regenerated.
+
+use solo_core::experiments::{fig3, fig17, table1, table3};
+use solo_scene::{DatasetConfig, SceneDataset};
+use solo_tensor::seeded_rng;
+
+#[test]
+fn dataset_generation_is_deterministic() {
+    let ds = SceneDataset::new(DatasetConfig::lvis_like().with_resolution(48));
+    let a = ds.samples(5, &mut seeded_rng(99));
+    let b = ds.samples(5, &mut seeded_rng(99));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn analytic_experiments_are_deterministic() {
+    assert_eq!(table1(), table1());
+    assert_eq!(table3(), table3());
+    assert_eq!(fig3(200, 11), fig3(200, 11));
+    assert_eq!(fig17(5), fig17(5));
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(fig3(200, 11), fig3(200, 12));
+}

@@ -1,0 +1,83 @@
+//! Cross-crate integration: the full SOLO path from scene to sensor.
+//!
+//! These tests exercise seams the per-crate unit tests cannot: the index
+//! map produced by the algorithm side driving the hardware sensor model,
+//! ESNet's functional outputs feeding the SSA, and the trained pipeline's
+//! mask landing back in full-resolution frame coordinates.
+
+use solo_core::esnet::EsNet;
+use solo_core::solonet::{FoveatedPipeline, PipelineConfig};
+use solo_hw::sensor::{Lighting, Sensor};
+use solo_sampler::uniform_subsample;
+use solo_scene::{DatasetConfig, EyeDataset, SceneDataset};
+use solo_tensor::seeded_rng;
+
+#[test]
+fn index_map_drives_the_sbs_sensor() {
+    // The exact pixel set the algorithm's index map selects must be
+    // readable by the sensor model, and must cost far less than a full
+    // readout.
+    let ds = DatasetConfig::aria_like().with_resolution(64);
+    let cfg = PipelineConfig::for_dataset(&ds, 64, 16);
+    let data = SceneDataset::new(ds);
+    let mut rng = seeded_rng(1);
+    let sample = data.sample(&mut rng);
+    let mut pipeline = FoveatedPipeline::new(&mut rng, solo_core::backbones::BackboneKind::Sf, cfg, true, 1e-3);
+    let map = pipeline.index_map(&sample);
+
+    let sensor = Sensor::new(64, 64);
+    let sbs = sensor.sbs_readout(&map.pixel_indices(), Lighting::High);
+    let full = sensor.full_readout(Lighting::High);
+    assert_eq!(sbs.pixels_read, map.unique_pixel_count());
+    assert!(sbs.rounds < full.rounds / 2, "{} vs {}", sbs.rounds, full.rounds);
+    assert!(sbs.adc_energy < full.adc_energy);
+}
+
+#[test]
+fn esnet_output_is_consistent_with_scene_gaze() {
+    // Pretrain GT-ViT briefly; the full ESNet must then place its gaze
+    // close enough to the true gaze that the saliency peak lands on the
+    // right side of the frame.
+    let mut rng = seeded_rng(2);
+    let mut esnet = EsNet::new(&mut rng);
+    let eyes = EyeDataset::default();
+    let train = eyes.samples(80, &mut rng);
+    esnet.vit.pretrain(&train, 10, 2e-3);
+
+    let ds = SceneDataset::new(DatasetConfig::aria_like().with_resolution(64));
+    let sample = ds.sample(&mut rng);
+    let eye = eyes.render(sample.gaze, &mut rng);
+    let preview = uniform_subsample(&sample.image, 16, 16);
+    let out = esnet.process(&eye, &preview, 0.0);
+    assert!(
+        out.gaze.distance(&sample.gaze) < 0.25,
+        "gaze error {}",
+        out.gaze.distance(&sample.gaze)
+    );
+    assert_eq!(out.saliency.shape().dims(), &[16, 16]);
+    // The saliency peak should fall within the gaze half of the frame.
+    let peak = out.saliency.argmax();
+    let (pr, pc) = (peak / 16, peak % 16);
+    let (gr, gc) = sample.gaze.to_pixel(16, 16);
+    let d = (((pr as f32 - gr as f32).powi(2) + (pc as f32 - gc as f32).powi(2)) as f32).sqrt();
+    assert!(d < 8.0, "saliency peak {d} cells from gaze");
+}
+
+#[test]
+fn trained_pipeline_beats_untrained_end_to_end() {
+    let ds = DatasetConfig::lvis_like().with_resolution(48);
+    let cfg = PipelineConfig::for_dataset(&ds, 48, 16);
+    let data = SceneDataset::new(ds);
+    let mut rng = seeded_rng(3);
+    let train = data.samples(40, &mut rng);
+    let test = data.samples(12, &mut rng);
+    let mut p = FoveatedPipeline::new(&mut rng, solo_core::backbones::BackboneKind::Hr, cfg, true, 5e-3);
+    let before: f32 = test.iter().map(|s| p.evaluate(s).b_iou).sum::<f32>() / 12.0;
+    for _ in 0..4 {
+        for s in &train {
+            p.train_step(s);
+        }
+    }
+    let after: f32 = test.iter().map(|s| p.evaluate(s).b_iou).sum::<f32>() / 12.0;
+    assert!(after > before + 0.05, "b-IoU {before} -> {after}");
+}
