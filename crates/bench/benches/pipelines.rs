@@ -17,9 +17,7 @@ fn bench_e2e_pipeline(c: &mut Criterion) {
     c.bench_function("soc_evaluate_solo_hr_lvis", |b| {
         b.iter(|| soc.evaluate(Pipeline::Solo, Backbone::Hr, Dataset::Lvis))
     });
-    c.bench_function("soc_fig13b_full_grid", |b| {
-        b.iter(experiments::fig13b)
-    });
+    c.bench_function("soc_fig13b_full_grid", |b| b.iter(experiments::fig13b));
 }
 
 /// Fig. 15 substrate: sensor readout scheduling.
@@ -43,7 +41,9 @@ fn bench_sampler(c: &mut Criterion) {
     c.bench_function("index_map_from_saliency_24", |b| {
         b.iter(|| IndexMap::from_saliency(&spec, &saliency))
     });
-    c.bench_function("sample_bilinear_96_to_24", |b| b.iter(|| map.sample_bilinear(&img)));
+    c.bench_function("sample_bilinear_96_to_24", |b| {
+        b.iter(|| map.sample_bilinear(&img))
+    });
     c.bench_function("upsample_24_to_96", |b| {
         let small = map.sample_bilinear(&img);
         b.iter(|| map.upsample(&small))
@@ -56,7 +56,9 @@ fn bench_gtvit(c: &mut Criterion) {
     let mut rng = seeded_rng(1);
     let mut vit = GtVit::new(&mut rng, GtVitConfig::tiny());
     let eye = solo_tensor::uniform(&mut rng, &[1, 32, 32], 0.0, 1.0);
-    c.bench_function("gtvit_tiny_predict_pruned", |b| b.iter(|| vit.predict(&eye)));
+    c.bench_function("gtvit_tiny_predict_pruned", |b| {
+        b.iter(|| vit.predict(&eye))
+    });
 }
 
 /// The SSA decision path (per-frame streaming cost).

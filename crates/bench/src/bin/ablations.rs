@@ -25,7 +25,10 @@ fn main() {
 fn pruning() {
     header("Ablation 1 — token pruning ratio (GT-ViT on the accelerator)");
     let acc = Accelerator::default();
-    println!("{:>6} {:>12} {:>12} {:>10}", "keep", "cycles", "energy µJ", "latency");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "keep", "cycles", "energy µJ", "latency"
+    );
     for keep in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5] {
         let cost = acc.run(&Workload::esnet(80, 80, keep));
         println!(
@@ -58,13 +61,21 @@ fn quantization() {
 
 fn adc_groups() {
     header("Ablation 3 — ADC sub-groups per column (960² frame, SBS 120²)");
-    println!("{:>7} {:>8} {:>12} {:>12}", "groups", "ADCs", "full rounds", "SBS rounds");
+    println!(
+        "{:>7} {:>8} {:>12} {:>12}",
+        "groups", "ADCs", "full rounds", "SBS rounds"
+    );
     let sel = synthetic_foveated_selection(960, 120);
     for groups in [1usize, 2, 4, 8] {
         let s = Sensor::with_groups(960, 960, groups);
         let full = s.full_readout(Lighting::High);
         let sbs = s.sbs_readout(&sel, Lighting::High);
-        println!("{groups:>7} {:>8} {:>12} {:>12}", s.adc_count(), full.rounds, sbs.rounds);
+        println!(
+            "{groups:>7} {:>8} {:>12} {:>12}",
+            s.adc_count(),
+            full.rounds,
+            sbs.rounds
+        );
     }
 }
 
@@ -78,9 +89,7 @@ fn sigma_sweep() {
         let near = map
             .pixel_indices()
             .iter()
-            .filter(|&&(r, c)| {
-                ((r as f32 - 32.0).powi(2) + (c as f32 - 32.0).powi(2)).sqrt() < 8.0
-            })
+            .filter(|&&(r, c)| ((r as f32 - 32.0).powi(2) + (c as f32 - 32.0).powi(2)).sqrt() < 8.0)
             .count();
         println!("{sigma:>8.1} {near:>22}");
     }

@@ -10,7 +10,12 @@ fn main() {
     }
     header("Section 6.1 — SOLO accelerator area at 22 nm");
     for e in &entries {
-        println!("{:<22} {:>6.2} mm²  ({:>4.1}%)", e.component, e.area_mm2, e.fraction * 100.0);
+        println!(
+            "{:<22} {:>6.2} mm²  ({:>4.1}%)",
+            e.component,
+            e.area_mm2,
+            e.fraction * 100.0
+        );
     }
     let total: f64 = entries.iter().map(|e| e.area_mm2).sum();
     println!("{:<22} {total:>6.2} mm²", "total");

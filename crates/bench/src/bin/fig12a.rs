@@ -15,7 +15,10 @@ fn main() {
         return;
     }
     header("Fig. 12 (a) — c-IoU at matched FLOPs (LVIS-like)");
-    println!("{:<10} {:>6} {:>9} {:>7}", "method", "kind", "GFLOPs", "c-IoU");
+    println!(
+        "{:<10} {:>6} {:>9} {:>7}",
+        "method", "kind", "GFLOPs", "c-IoU"
+    );
     for p in &points {
         println!(
             "{:<10} {:>6} {:>9.1} {:>7.3}",

@@ -15,7 +15,10 @@ fn main() {
         return;
     }
     header("Fig. 12 (b) — SSA reuse: skip fraction vs c-IoU");
-    println!("{:>7} {:>7} {:>11} {:>7}", "alpha", "beta", "skipped", "c-IoU");
+    println!(
+        "{:>7} {:>7} {:>11} {:>7}",
+        "alpha", "beta", "skipped", "c-IoU"
+    );
     for p in &points {
         println!(
             "{:>7.2} {:>7.0} {:>10.1}% {:>7.3}",

@@ -4,13 +4,20 @@ use solo_bench::{header, maybe_json};
 use solo_core::experiments::fig14b;
 
 fn main() {
-    let frames = if std::env::args().any(|a| a == "--quick") { 300 } else { 1800 };
+    let frames = if std::env::args().any(|a| a == "--quick") {
+        300
+    } else {
+        1800
+    };
     let points = fig14b(frames, 5);
     if maybe_json(&points) {
         return;
     }
     header("Fig. 14 (b) — SSA speedup across (alpha/beta) settings");
-    println!("{:<18} {:<6} {:>13} {:>9}", "setting", "model", "latency (ms)", "speedup");
+    println!(
+        "{:<18} {:<6} {:>13} {:>9}",
+        "setting", "model", "latency (ms)", "speedup"
+    );
     for p in &points {
         println!(
             "{:<18} {:<6} {:>13.1} {:>8.2}x",

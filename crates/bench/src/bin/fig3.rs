@@ -18,5 +18,8 @@ fn main() {
         stats.gaze_below_threshold * 100.0
     );
     println!("video segments              : {}", stats.segment_count);
-    println!("mean segment length         : {:.1} frames", stats.mean_segment_len);
+    println!(
+        "mean segment length         : {:.1} frames",
+        stats.mean_segment_len
+    );
 }

@@ -9,7 +9,10 @@ fn main() {
         return;
     }
     header("Table 3 — end-to-end latency (ms)");
-    println!("{:<5} {:<6} {:>10} {:>8} {:>8}", "model", "data", "FR+GPU", "SOLO", "ratio");
+    println!(
+        "{:<5} {:<6} {:>10} {:>8} {:>8}",
+        "model", "data", "FR+GPU", "SOLO", "ratio"
+    );
     for r in &rows {
         println!(
             "{:<5} {:<6} {:>10.1} {:>8.1} {:>7.1}x",

@@ -88,7 +88,11 @@ fn split_channels(g: &Tensor, c1: usize) -> (Tensor, Tensor) {
 
 /// Concatenates two `[Ci, H, W]` maps along channels.
 fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().dims()[1..], b.shape().dims()[1..], "spatial mismatch");
+    assert_eq!(
+        a.shape().dims()[1..],
+        b.shape().dims()[1..],
+        "spatial mismatch"
+    );
     let mut data = a.as_slice().to_vec();
     data.extend_from_slice(b.as_slice());
     Tensor::from_vec(
@@ -140,19 +144,28 @@ impl HrBackbone {
 
 impl Layer for HrBackbone {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        let x = self.stem_act.forward(&self.stem_norm.forward(&self.stem.forward(input)));
+        let x = self
+            .stem_act
+            .forward(&self.stem_norm.forward(&self.stem.forward(input)));
         let hi = self.hi_act.forward(&self.hi.forward(&x));
-        let lo = self.up.forward(&self.lo_act.forward(&self.lo.forward(&self.pool.forward(&x))));
-        self.fuse_act.forward(&self.fuse.forward(&concat_channels(&hi, &lo)))
+        let lo = self.up.forward(
+            &self
+                .lo_act
+                .forward(&self.lo.forward(&self.pool.forward(&x))),
+        );
+        self.fuse_act
+            .forward(&self.fuse.forward(&concat_channels(&hi, &lo)))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let g = self.fuse.backward(&self.fuse_act.backward(grad_out));
         let (g_hi, g_lo) = split_channels(&g, self.channels);
         let gx_hi = self.hi.backward(&self.hi_act.backward(&g_hi));
-        let gx_lo = self
-            .pool
-            .backward(&self.lo.backward(&self.lo_act.backward(&self.up.backward(&g_lo))));
+        let gx_lo = self.pool.backward(
+            &self
+                .lo
+                .backward(&self.lo_act.backward(&self.up.backward(&g_lo))),
+        );
         let gx = gx_hi.add(&gx_lo);
         self.stem
             .backward(&self.stem_norm.backward(&self.stem_act.backward(&gx)))
@@ -167,10 +180,15 @@ impl Layer for HrBackbone {
     }
 
     fn infer(&mut self, input: &Tensor) -> Tensor {
-        let x = self.stem_act.infer(&self.stem_norm.infer(&self.stem.infer(input)));
+        let x = self
+            .stem_act
+            .infer(&self.stem_norm.infer(&self.stem.infer(input)));
         let hi = self.hi_act.infer(&self.hi.infer(&x));
-        let lo = self.up.infer(&self.lo_act.infer(&self.lo.infer(&self.pool.infer(&x))));
-        self.fuse_act.infer(&self.fuse.infer(&concat_channels(&hi, &lo)))
+        let lo = self
+            .up
+            .infer(&self.lo_act.infer(&self.lo.infer(&self.pool.infer(&x))));
+        self.fuse_act
+            .infer(&self.fuse.infer(&concat_channels(&hi, &lo)))
     }
 }
 
@@ -252,7 +270,9 @@ impl SfBackbone {
 
 impl Layer for SfBackbone {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        let x = self.stem_act.forward(&self.stem_norm.forward(&self.stem.forward(input)));
+        let x = self
+            .stem_act
+            .forward(&self.stem_norm.forward(&self.stem.forward(input)));
         let down = self.pool2.forward(&self.pool1.forward(&x));
         let (h, w) = (down.shape().dim(1), down.shape().dim(2));
         self.token_hw = Some((h, w));
@@ -285,7 +305,9 @@ impl Layer for SfBackbone {
     }
 
     fn infer(&mut self, input: &Tensor) -> Tensor {
-        let x = self.stem_act.infer(&self.stem_norm.infer(&self.stem.infer(input)));
+        let x = self
+            .stem_act
+            .infer(&self.stem_norm.infer(&self.stem.infer(input)));
         let down = self.pool2.infer(&self.pool1.infer(&x));
         let (h, w) = (down.shape().dim(1), down.shape().dim(2));
         let mixed = Self::from_tokens(&self.mixer.infer(&Self::to_tokens(&down)), h, w);
@@ -342,12 +364,17 @@ impl DlBackbone {
 
 impl Layer for DlBackbone {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        let x = self.stem_act.forward(&self.stem_norm.forward(&self.stem.forward(input)));
+        let x = self
+            .stem_act
+            .forward(&self.stem_norm.forward(&self.stem.forward(input)));
         let a = self.act1.forward(&self.branch1.forward(&x));
         let b = self.act2.forward(&self.branch2.forward(&x));
         let c = self.act3.forward(&self.branch3.forward(&x));
-        self.fuse_act
-            .forward(&self.fuse.forward(&concat_channels(&concat_channels(&a, &b), &c)))
+        self.fuse_act.forward(
+            &self
+                .fuse
+                .forward(&concat_channels(&concat_channels(&a, &b), &c)),
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -373,12 +400,17 @@ impl Layer for DlBackbone {
     }
 
     fn infer(&mut self, input: &Tensor) -> Tensor {
-        let x = self.stem_act.infer(&self.stem_norm.infer(&self.stem.infer(input)));
+        let x = self
+            .stem_act
+            .infer(&self.stem_norm.infer(&self.stem.infer(input)));
         let a = self.act1.infer(&self.branch1.infer(&x));
         let b = self.act2.infer(&self.branch2.infer(&x));
         let c = self.act3.infer(&self.branch3.infer(&x));
-        self.fuse_act
-            .infer(&self.fuse.infer(&concat_channels(&concat_channels(&a, &b), &c)))
+        self.fuse_act.infer(
+            &self
+                .fuse
+                .infer(&concat_channels(&concat_channels(&a, &b), &c)),
+        )
     }
 }
 

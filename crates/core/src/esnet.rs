@@ -15,8 +15,8 @@
 use rand::Rng;
 use solo_gaze::{GazePoint, GazeSample, RnnSaccadeDetector};
 use solo_nn::{
-    loss, prune, Adam, Conv2d, Layer, Linear, Optimizer, Param, PositionalEmbedding, Relu,
-    Sigmoid, TransformerBlock, TransformerConfig,
+    loss, prune, Adam, Conv2d, Layer, Linear, Optimizer, Param, PositionalEmbedding, Relu, Sigmoid,
+    TransformerBlock, TransformerConfig,
 };
 use solo_sampler::{gaze_saliency, mix_saliency};
 use solo_scene::EyeSample;
@@ -318,9 +318,13 @@ impl SaliencyNet {
     pub fn saliency(&mut self, preview: &Tensor, gaze: GazePoint) -> Tensor {
         let x = self.pack_input(preview, gaze);
         let (h, w) = (x.shape().dim(1), x.shape().dim(2));
-        let y = self.sig.infer(&self.c3.infer(&self.r2.infer(&self.c2.infer(
-            &self.r1.infer(&self.c1.infer(&x)),
-        ))));
+        let y = self.sig.infer(
+            &self.c3.infer(
+                &self
+                    .r2
+                    .infer(&self.c2.infer(&self.r1.infer(&self.c1.infer(&x)))),
+            ),
+        );
         let learned = y.into_reshaped(&[h, w]);
         if self.use_gaze {
             // Blend the learned content term with the hard gaze prior so an
@@ -346,15 +350,23 @@ impl SaliencyNet {
     ) -> f32 {
         let x = self.pack_input(preview, gaze);
         let (h, w) = (x.shape().dim(1), x.shape().dim(2));
-        let y = self.sig.forward(&self.c3.forward(&self.r2.forward(&self.c2.forward(
-            &self.r1.forward(&self.c1.forward(&x)),
-        ))));
+        let y = self.sig.forward(
+            &self.c3.forward(
+                &self
+                    .r2
+                    .forward(&self.c2.forward(&self.r1.forward(&self.c1.forward(&x)))),
+            ),
+        );
         let pred = y.reshape(&[h, w]);
         let (l, g) = loss::mse(&pred, target);
         let g = g.into_reshaped(&[1, h, w]);
-        let g = self.c1.backward(&self.r1.backward(&self.c2.backward(&self.r2.backward(
-            &self.c3.backward(&self.sig.backward(&g)),
-        ))));
+        let g = self.c1.backward(
+            &self.r1.backward(
+                &self
+                    .c2
+                    .backward(&self.r2.backward(&self.c3.backward(&self.sig.backward(&g)))),
+            ),
+        );
         let _ = g;
         opt.step(self);
         l
@@ -363,15 +375,25 @@ impl SaliencyNet {
 
 impl Layer for SaliencyNet {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.sig.forward(&self.c3.forward(&self.r2.forward(&self.c2.forward(
-            &self.r1.forward(&self.c1.forward(input)),
-        ))))
+        self.sig.forward(
+            &self.c3.forward(
+                &self
+                    .r2
+                    .forward(&self.c2.forward(&self.r1.forward(&self.c1.forward(input)))),
+            ),
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        self.c1.backward(&self.r1.backward(&self.c2.backward(&self.r2.backward(
-            &self.c3.backward(&self.sig.backward(grad_out)),
-        ))))
+        self.c1.backward(
+            &self.r1.backward(
+                &self.c2.backward(
+                    &self
+                        .r2
+                        .backward(&self.c3.backward(&self.sig.backward(grad_out))),
+                ),
+            ),
+        )
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -434,11 +456,7 @@ impl EsNet {
         if self.history.len() > self.history_cap {
             self.history.remove(0);
         }
-        let saccade = *self
-            .saccade
-            .detect(&self.history)
-            .last()
-            .unwrap_or(&false);
+        let saccade = *self.saccade.detect(&self.history).last().unwrap_or(&false);
         let saliency = self.saliency.saliency(preview, gaze);
         EsnetOutput {
             gaze,

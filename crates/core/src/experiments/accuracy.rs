@@ -137,7 +137,10 @@ pub fn table2(budget: &Budget, seed: u64) -> Vec<Table2Cell> {
                 scope.spawn(move |_| table2_cell(*kind, ds, *hw_ds, &budget, seed + i as u64))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("cell thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cell thread"))
+            .collect()
     })
     .expect("table2 scope");
     results
@@ -250,7 +253,10 @@ pub fn fig13a(budget: &Budget, seed: u64) -> Vec<Fig13aPoint> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("cell thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cell thread"))
+            .collect()
     })
     .expect("fig13a scope");
     out.extend(results);

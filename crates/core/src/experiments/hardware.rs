@@ -5,9 +5,9 @@
 use serde::{Deserialize, Serialize};
 use solo_hw::area::{area_breakdown, AreaEntry};
 use solo_hw::gpu::{hrnet_gflops, GpuModel};
+use solo_hw::mipi::MipiLink;
 use solo_hw::sensor::{synthetic_foveated_selection, Lighting, Sensor};
 use solo_hw::soc::{Backbone, Dataset, Pipeline, SocModel};
-use solo_hw::mipi::MipiLink;
 
 /// One row of Table 1: latency vs input size.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -105,8 +105,14 @@ pub fn table3() -> Vec<Table3Row> {
             rows.push(Table3Row {
                 backbone: backbone.name().to_string(),
                 dataset: dataset.name().to_string(),
-                fr_gpu_ms: soc.evaluate(Pipeline::FrGpu, backbone, dataset).latency().ms(),
-                solo_ms: soc.evaluate(Pipeline::Solo, backbone, dataset).latency().ms(),
+                fr_gpu_ms: soc
+                    .evaluate(Pipeline::FrGpu, backbone, dataset)
+                    .latency()
+                    .ms(),
+                solo_ms: soc
+                    .evaluate(Pipeline::Solo, backbone, dataset)
+                    .latency()
+                    .ms(),
             });
         }
     }

@@ -16,5 +16,7 @@ pub use hardware::{
     area_report, fig13b, fig14a, fig15, table1, table3, table4, Fig13bRow, Fig14aRow, Fig15Row,
     Table1Row, Table3Row, Table4Row,
 };
-pub use streaming::{davis_eval, fig12b, fig14b, fig3, DavisReport, Fig12bPoint, Fig14bPoint, Fig3Stats};
+pub use streaming::{
+    davis_eval, fig12b, fig14b, fig3, DavisReport, Fig12bPoint, Fig14bPoint, Fig3Stats,
+};
 pub use study::{fig17, Fig17Report};

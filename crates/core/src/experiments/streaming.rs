@@ -208,11 +208,7 @@ pub fn davis_eval(budget: &Budget, frames: usize, seed: u64) -> DavisReport {
 }
 
 /// Trains a standalone SOLO [`FoveatedPipeline`] for streaming use.
-fn trained_solo(
-    budget: &Budget,
-    seed: u64,
-    ds: solo_scene::DatasetConfig,
-) -> FoveatedPipeline {
+fn trained_solo(budget: &Budget, seed: u64, ds: solo_scene::DatasetConfig) -> FoveatedPipeline {
     let ds = ds.with_resolution(budget.full_res);
     let cfg = PipelineConfig::for_dataset(&ds, budget.full_res, budget.down_res);
     let data = SceneDataset::new(ds);

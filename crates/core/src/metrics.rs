@@ -114,12 +114,20 @@ impl IouAccumulator {
 
     /// Mean b-IoU (0.0 when empty).
     pub fn b_iou(&self) -> f32 {
-        if self.n == 0 { 0.0 } else { (self.b_sum / self.n as f64) as f32 }
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.b_sum / self.n as f64) as f32
+        }
     }
 
     /// Mean c-IoU (0.0 when empty).
     pub fn c_iou(&self) -> f32 {
-        if self.n == 0 { 0.0 } else { (self.c_sum / self.n as f64) as f32 }
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.c_sum / self.n as f64) as f32
+        }
     }
 
     /// Sample count.

@@ -70,9 +70,13 @@ impl GazeAwareSegNet {
         let (h, w) = (feat.shape().dim(1), feat.shape().dim(2));
         let mask = self
             .seg_sig
-            .infer(&self.seg3.infer(&self.seg_r2.infer(&self.seg2.infer(
-                &self.seg_r1.infer(&self.seg1.infer(&feat)),
-            ))))
+            .infer(
+                &self.seg3.infer(
+                    &self
+                        .seg_r2
+                        .infer(&self.seg2.infer(&self.seg_r1.infer(&self.seg1.infer(&feat)))),
+                ),
+            )
             .into_reshaped(&[h, w]);
         let cls_feat = self.cls_r.infer(&self.cls_conv.infer(&feat));
         let pooled = masked_avg_pool(&cls_feat, &mask);
@@ -91,7 +95,13 @@ impl GazeAwareSegNet {
     pub fn label_map(&mut self, img: &Tensor) -> (Tensor, usize) {
         let (mask, logits) = self.infer(img);
         let class = logits.argmax();
-        let map = mask.map(|m| if m > 0.5 { class as f32 } else { BACKGROUND as f32 });
+        let map = mask.map(|m| {
+            if m > 0.5 {
+                class as f32
+            } else {
+                BACKGROUND as f32
+            }
+        });
         (map, class)
     }
 
@@ -120,9 +130,15 @@ impl GazeAwareSegNet {
         // Segmentation head.
         let mask = self
             .seg_sig
-            .forward(&self.seg3.forward(&self.seg_r2.forward(&self.seg2.forward(
-                &self.seg_r1.forward(&self.seg1.forward(&feat)),
-            ))))
+            .forward(
+                &self.seg3.forward(
+                    &self.seg_r2.forward(
+                        &self
+                            .seg2
+                            .forward(&self.seg_r1.forward(&self.seg1.forward(&feat))),
+                    ),
+                ),
+            )
             .into_reshaped(&[h, w]);
         let (dice_l, dice_g) = loss::dice(&mask, gt_mask);
         // A small pixel-wise BCE keeps the sigmoid out of saturation: pure
@@ -131,11 +147,17 @@ impl GazeAwareSegNet {
         // handful of pixels — can no longer recover it.
         let (_, bce_g) = loss::bce(&mask, gt_mask);
         let g_mask = dice_g.add(&bce_g.scale(0.5));
-        let g_seg = self.seg1.backward(&self.seg_r1.backward(&self.seg2.backward(
-            &self.seg_r2.backward(&self.seg3.backward(
-                &self.seg_sig.backward(&g_mask.reshape(&[1, h, w])),
-            )),
-        )));
+        let g_seg = self.seg1.backward(
+            &self.seg_r1.backward(
+                &self.seg2.backward(
+                    &self.seg_r2.backward(
+                        &self
+                            .seg3
+                            .backward(&self.seg_sig.backward(&g_mask.reshape(&[1, h, w]))),
+                    ),
+                ),
+            ),
+        );
         // Classification head: features pooled over the *ground-truth*
         // mask during training (over the predicted mask at inference) —
         // the classifier describes the gazed instance, not the scene.
@@ -158,15 +180,27 @@ impl Layer for GazeAwareSegNet {
         // Layer-trait forward exposes the mask path only (used by generic
         // tooling); training uses `train_step`.
         let feat = self.backbone.forward(input);
-        self.seg_sig.forward(&self.seg3.forward(&self.seg_r2.forward(&self.seg2.forward(
-            &self.seg_r1.forward(&self.seg1.forward(&feat)),
-        ))))
+        self.seg_sig.forward(
+            &self.seg3.forward(
+                &self.seg_r2.forward(
+                    &self
+                        .seg2
+                        .forward(&self.seg_r1.forward(&self.seg1.forward(&feat))),
+                ),
+            ),
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let g = self.seg1.backward(&self.seg_r1.backward(&self.seg2.backward(
-            &self.seg_r2.backward(&self.seg3.backward(&self.seg_sig.backward(grad_out))),
-        )));
+        let g = self.seg1.backward(
+            &self.seg_r1.backward(
+                &self.seg2.backward(
+                    &self
+                        .seg_r2
+                        .backward(&self.seg3.backward(&self.seg_sig.backward(grad_out))),
+                ),
+            ),
+        );
         self.backbone.backward(&g)
     }
 
@@ -316,7 +350,12 @@ impl SemanticSegNet {
     }
 
     /// One per-pixel cross-entropy training step; returns the loss.
-    pub fn train_step(&mut self, img: &Tensor, target_map: &Tensor, opt: &mut dyn Optimizer) -> f32 {
+    pub fn train_step(
+        &mut self,
+        img: &Tensor,
+        target_map: &Tensor,
+        opt: &mut dyn Optimizer,
+    ) -> f32 {
         let logits = self.head.forward(&self.backbone.forward(img));
         let (l, g) = pixel_cross_entropy(&logits, target_map);
         self.backbone.backward(&self.head.backward(&g));

@@ -101,7 +101,13 @@ impl PipelineConfig {
 
     /// Sampler spec for this geometry.
     pub fn spec(&self) -> SamplerSpec {
-        SamplerSpec::new(self.full_res, self.full_res, self.down_res, self.down_res, self.sigma)
+        SamplerSpec::new(
+            self.full_res,
+            self.full_res,
+            self.down_res,
+            self.down_res,
+            self.sigma,
+        )
     }
 }
 
@@ -168,7 +174,9 @@ impl FoveatedPipeline {
         let full_target = if self.saliency.use_gaze {
             sample.ioi_mask.clone()
         } else {
-            sample.scene.foreground_mask(&sample.view, self.cfg.full_res)
+            sample
+                .scene
+                .foreground_mask(&sample.view, self.cfg.full_res)
         };
         let target = pool_mask(&full_target, d);
         let sal_loss = self
@@ -211,7 +219,12 @@ impl FoveatedPipeline {
         let up = up.map(|v| if v > 0.5 { 1.0 } else { 0.0 });
         EvalScores {
             b_iou: binary_iou(&up, &sample.ioi_mask),
-            c_iou: classified_iou(&up, logits.argmax(), &sample.ioi_mask, sample.ioi_class.id()),
+            c_iou: classified_iou(
+                &up,
+                logits.argmax(),
+                &sample.ioi_mask,
+                sample.ioi_class.id(),
+            ),
         }
     }
 }
@@ -259,12 +272,21 @@ impl AdPipeline {
         let d = self.cfg.down_res;
         let img = with_gaze_channel(&average_downsample(&sample.image, d, d), sample.gaze);
         let (mask, logits) = self.seg.infer(&img);
-        let up = bilinear_resize(&mask.reshape(&[1, d, d]), self.cfg.full_res, self.cfg.full_res)
-            .map(|v| if v > 0.5 { 1.0 } else { 0.0 })
-            .into_reshaped(&[self.cfg.full_res, self.cfg.full_res]);
+        let up = bilinear_resize(
+            &mask.reshape(&[1, d, d]),
+            self.cfg.full_res,
+            self.cfg.full_res,
+        )
+        .map(|v| if v > 0.5 { 1.0 } else { 0.0 })
+        .into_reshaped(&[self.cfg.full_res, self.cfg.full_res]);
         EvalScores {
             b_iou: binary_iou(&up, &sample.ioi_mask),
-            c_iou: classified_iou(&up, logits.argmax(), &sample.ioi_mask, sample.ioi_class.id()),
+            c_iou: classified_iou(
+                &up,
+                logits.argmax(),
+                &sample.ioi_mask,
+                sample.ioi_class.id(),
+            ),
         }
     }
 }
@@ -300,7 +322,10 @@ impl FrPipeline {
         let (mask, class) = self.seg.ioi_mask(&sample.image, gaze_px);
         let (mask, class) = if class == BACKGROUND {
             // Gaze pixel misclassified as background: empty prediction.
-            (Tensor::zeros(&[self.cfg.full_res, self.cfg.full_res]), class)
+            (
+                Tensor::zeros(&[self.cfg.full_res, self.cfg.full_res]),
+                class,
+            )
         } else {
             (mask, class)
         };

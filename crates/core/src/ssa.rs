@@ -231,10 +231,16 @@ mod tests {
         // (vs the last *processed* gaze) must eventually rerun.
         let mut ssa = Ssa::new(SsaConfig::paper_default(960));
         ssa.step(&preview(0.5), GazePoint::new(0.5, 0.5), false);
-        assert!(!ssa.step(&preview(0.5), GazePoint::new(0.51, 0.5), false).must_run());
-        assert!(!ssa.step(&preview(0.5), GazePoint::new(0.52, 0.5), false).must_run());
+        assert!(!ssa
+            .step(&preview(0.5), GazePoint::new(0.51, 0.5), false)
+            .must_run());
+        assert!(!ssa
+            .step(&preview(0.5), GazePoint::new(0.52, 0.5), false)
+            .must_run());
         // Now 0.53 vs the reference 0.50: 28.8 px > 20 px.
-        assert!(ssa.step(&preview(0.5), GazePoint::new(0.53, 0.5), false).must_run());
+        assert!(ssa
+            .step(&preview(0.5), GazePoint::new(0.53, 0.5), false)
+            .must_run());
     }
 
     #[test]

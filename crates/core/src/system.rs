@@ -92,9 +92,9 @@ impl StreamingEvaluator {
             let preview = uniform_subsample(&frame.image, down, down);
             // The saccade flag comes from the generator's ground-truth
             // phase — the upper bound an ideal RNN detector reaches.
-            let decision = self
-                .ssa
-                .step(&preview, frame.gaze.point, frame.gaze.phase.is_suppressed());
+            let decision =
+                self.ssa
+                    .step(&preview, frame.gaze.point, frame.gaze.phase.is_suppressed());
             if decision.must_run() {
                 latency_total += run_cost;
                 if let Some(p) = self.pipeline.as_mut() {
@@ -107,16 +107,23 @@ impl StreamingEvaluator {
             // Score the currently-displayed mask against this frame's GT.
             if let (Some((mask, class)), Some(gt_class)) = (&held, frame.ioi_class) {
                 b_sum += binary_iou(mask, &frame.ioi_mask) as f64;
-                c_sum +=
-                    classified_iou(mask, *class, &frame.ioi_mask, gt_class.id()) as f64;
+                c_sum += classified_iou(mask, *class, &frame.ioi_mask, gt_class.id()) as f64;
                 scored += 1;
             }
         }
         StreamingReport {
             frames: video.len(),
             skipped,
-            b_iou: if scored == 0 { 0.0 } else { (b_sum / scored as f64) as f32 },
-            c_iou: if scored == 0 { 0.0 } else { (c_sum / scored as f64) as f32 },
+            b_iou: if scored == 0 {
+                0.0
+            } else {
+                (b_sum / scored as f64) as f32
+            },
+            c_iou: if scored == 0 {
+                0.0
+            } else {
+                (c_sum / scored as f64) as f32
+            },
             mean_latency_ms: latency_total / video.len().max(1) as f64,
         }
     }

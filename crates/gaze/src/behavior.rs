@@ -84,7 +84,10 @@ impl EyeBehaviorModel {
         };
         while samples.len() < n {
             let (point, phase) = match &mut state {
-                State::Fixation { remaining_ms, target } => {
+                State::Fixation {
+                    remaining_ms,
+                    target,
+                } => {
                     let jittered = GazePoint::new(
                         target.x + sample_normal(rng, self.config.fixation_jitter),
                         target.y + sample_normal(rng, self.config.fixation_jitter),
@@ -92,22 +95,29 @@ impl EyeBehaviorModel {
                     *remaining_ms -= dt_ms as f32;
                     (jittered, EyePhase::Fixation)
                 }
-                State::Saccade { from, to, elapsed_ms, duration_ms } => {
+                State::Saccade {
+                    from,
+                    to,
+                    elapsed_ms,
+                    duration_ms,
+                } => {
                     *elapsed_ms += dt_ms as f32;
                     let frac = (*elapsed_ms / *duration_ms).min(1.0);
                     // Ballistic velocity profile: smooth-step position curve.
                     let s = frac * frac * (3.0 - 2.0 * frac);
-                    let p = GazePoint::new(
-                        from.x + (to.x - from.x) * s,
-                        from.y + (to.y - from.y) * s,
-                    );
+                    let p =
+                        GazePoint::new(from.x + (to.x - from.x) * s, from.y + (to.y - from.y) * s);
                     (p, EyePhase::Saccade)
                 }
                 State::Recovery { remaining_ms, at } => {
                     *remaining_ms -= dt_ms as f32;
                     (*at, EyePhase::Recovery)
                 }
-                State::Pursuit { remaining_ms, pos, velocity } => {
+                State::Pursuit {
+                    remaining_ms,
+                    pos,
+                    velocity,
+                } => {
                     pos.x = (pos.x + velocity.0 * dt_ms as f32 / 1000.0).clamp(0.05, 0.95);
                     pos.y = (pos.y + velocity.1 * dt_ms as f32 / 1000.0).clamp(0.05, 0.95);
                     *remaining_ms -= dt_ms as f32;
@@ -115,11 +125,7 @@ impl EyeBehaviorModel {
                 }
             };
             current = point;
-            samples.push(GazeSample {
-                t_ms,
-                point,
-                phase,
-            });
+            samples.push(GazeSample { t_ms, point, phase });
             t_ms += dt_ms;
             state = self.advance(state, current, rng);
         }
@@ -129,7 +135,10 @@ impl EyeBehaviorModel {
     fn advance(&self, state: State, current: GazePoint, rng: &mut impl Rng) -> State {
         let cfg = &self.config;
         match state {
-            State::Fixation { remaining_ms, target } if remaining_ms <= 0.0 => {
+            State::Fixation {
+                remaining_ms,
+                target,
+            } if remaining_ms <= 0.0 => {
                 if rng.gen::<f32>() < cfg.smooth_pursuit_prob {
                     let speed = rng.gen_range(0.05..0.25); // view-units per second
                     let angle = rng.gen_range(0.0..std::f32::consts::TAU);
@@ -153,12 +162,15 @@ impl EyeBehaviorModel {
                     }
                 }
             }
-            State::Saccade { to, elapsed_ms, duration_ms, .. } if elapsed_ms >= duration_ms => {
-                State::Recovery {
-                    remaining_ms: cfg.recovery_ms,
-                    at: to,
-                }
-            }
+            State::Saccade {
+                to,
+                elapsed_ms,
+                duration_ms,
+                ..
+            } if elapsed_ms >= duration_ms => State::Recovery {
+                remaining_ms: cfg.recovery_ms,
+                at: to,
+            },
             State::Recovery { remaining_ms, at } if remaining_ms <= 0.0 => State::Fixation {
                 remaining_ms: rng.gen_range(cfg.fixation_ms.0..cfg.fixation_ms.1),
                 target: at,
@@ -174,10 +186,25 @@ impl EyeBehaviorModel {
 
 #[derive(Debug, Clone)]
 enum State {
-    Fixation { remaining_ms: f32, target: GazePoint },
-    Saccade { from: GazePoint, to: GazePoint, elapsed_ms: f32, duration_ms: f32 },
-    Recovery { remaining_ms: f32, at: GazePoint },
-    Pursuit { remaining_ms: f32, pos: GazePoint, velocity: (f32, f32) },
+    Fixation {
+        remaining_ms: f32,
+        target: GazePoint,
+    },
+    Saccade {
+        from: GazePoint,
+        to: GazePoint,
+        elapsed_ms: f32,
+        duration_ms: f32,
+    },
+    Recovery {
+        remaining_ms: f32,
+        at: GazePoint,
+    },
+    Pursuit {
+        remaining_ms: f32,
+        pos: GazePoint,
+        velocity: (f32, f32),
+    },
 }
 
 fn sample_normal(rng: &mut impl Rng, std: f32) -> f32 {
@@ -210,8 +237,15 @@ mod tests {
         let t = trace(3000, 2);
         let fix = t.iter().filter(|s| s.phase.is_fixation()).count();
         let sac = t.iter().filter(|s| s.phase == EyePhase::Saccade).count();
-        let pur = t.iter().filter(|s| s.phase == EyePhase::SmoothPursuit).count();
-        assert!(fix > t.len() / 2, "fixation fraction {}", fix as f32 / t.len() as f32);
+        let pur = t
+            .iter()
+            .filter(|s| s.phase == EyePhase::SmoothPursuit)
+            .count();
+        assert!(
+            fix > t.len() / 2,
+            "fixation fraction {}",
+            fix as f32 / t.len() as f32
+        );
         assert!(sac > 0, "no saccades generated");
         // Smooth pursuit is less common than either fixation or saccade time
         // in the aggregate of many traces.

@@ -26,7 +26,9 @@ impl Default for ThresholdSaccadeDetector {
     fn default() -> Self {
         // A 0.1-amplitude saccade lasting ~60 ms moves ≈1.7 units/s; slow
         // pursuit and fixation jitter stay well below 0.5 units/s.
-        Self { speed_threshold: 0.8 }
+        Self {
+            speed_threshold: 0.8,
+        }
     }
 }
 
@@ -88,7 +90,10 @@ impl RnnSaccadeDetector {
 
     /// Binary detection at probability 0.5.
     pub fn detect(&mut self, trace: &[GazeSample]) -> Vec<bool> {
-        self.probabilities(trace).into_iter().map(|p| p > 0.5).collect()
+        self.probabilities(trace)
+            .into_iter()
+            .map(|p| p > 0.5)
+            .collect()
     }
 
     /// Trains on labeled traces with BPTT + SGD; returns the mean loss of
@@ -96,12 +101,7 @@ impl RnnSaccadeDetector {
     ///
     /// Labels come from the generator's ground-truth phases
     /// ([`crate::EyePhase::is_suppressed`] marks saccade + recovery).
-    pub fn train(
-        &mut self,
-        traces: &[Vec<GazeSample>],
-        epochs: usize,
-        lr: f32,
-    ) -> f32 {
+    pub fn train(&mut self, traces: &[Vec<GazeSample>], epochs: usize, lr: f32) -> f32 {
         // Separate optimizer state per module: Sgd tracks per-parameter
         // momentum by visitation order, so each module gets its own.
         let mut opt_rnn = Sgd::new(lr).with_momentum(0.9).with_grad_clip(5.0);
@@ -208,7 +208,10 @@ mod tests {
         assert!(final_loss.is_finite());
         // Suppressed samples are a minority; the detector must beat both
         // its untrained self (unless init was lucky) and 80% majority-class.
-        assert!(after >= before - 0.02, "accuracy regressed {before} -> {after}");
+        assert!(
+            after >= before - 0.02,
+            "accuracy regressed {before} -> {after}"
+        );
         assert!(after > 0.8, "accuracy {after}");
     }
 

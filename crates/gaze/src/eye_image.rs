@@ -71,9 +71,8 @@ pub fn render_eye(config: &EyeImageConfig, gaze: GazePoint, rng: &mut impl Rng) 
             if config.noise_std > 0.0 {
                 let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                 let u2: f32 = rng.gen_range(0.0..1.0);
-                v += config.noise_std
-                    * (-2.0 * u1.ln()).sqrt()
-                    * (std::f32::consts::TAU * u2).cos();
+                v +=
+                    config.noise_std * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
             }
             data[i * n + j] = v.clamp(0.0, 1.0);
         }

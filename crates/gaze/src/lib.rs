@@ -29,8 +29,8 @@
 
 mod behavior;
 mod detector;
-pub mod fixation;
 mod eye_image;
+pub mod fixation;
 mod study;
 mod types;
 

@@ -34,9 +34,8 @@ impl GazePoint {
     /// Euclidean distance in pixels for a `width × height` frame — the
     /// quantity the paper thresholds at β = 20 px (Section 3.5).
     pub fn distance_px(&self, other: &GazePoint, width: usize, height: usize) -> f32 {
-        (((self.x - other.x) * width as f32).powi(2)
-            + ((self.y - other.y) * height as f32).powi(2))
-        .sqrt()
+        (((self.x - other.x) * width as f32).powi(2) + ((self.y - other.y) * height as f32).powi(2))
+            .sqrt()
     }
 
     /// Converts to integer pixel coordinates `(row, col)` in an `h × w`

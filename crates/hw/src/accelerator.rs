@@ -115,15 +115,39 @@ impl Workload {
         for _ in 0..depth {
             let tk = t.round() as usize;
             let hd = dim / heads;
-            gemms.push(Gemm { m: tk, k: dim, n: 3 * dim }); // qkv
+            gemms.push(Gemm {
+                m: tk,
+                k: dim,
+                n: 3 * dim,
+            }); // qkv
             for _ in 0..heads {
-                gemms.push(Gemm { m: tk, k: hd, n: tk }); // scores
-                gemms.push(Gemm { m: tk, k: tk, n: hd }); // attn·V
+                gemms.push(Gemm {
+                    m: tk,
+                    k: hd,
+                    n: tk,
+                }); // scores
+                gemms.push(Gemm {
+                    m: tk,
+                    k: tk,
+                    n: hd,
+                }); // attn·V
             }
-            gemms.push(Gemm { m: tk, k: dim, n: dim }); // proj
-            gemms.push(Gemm { m: tk, k: dim, n: 4 * dim }); // mlp up
-            gemms.push(Gemm { m: tk, k: 4 * dim, n: dim }); // mlp down
-            // SFU: 2 layernorms + softmax + GELU per block.
+            gemms.push(Gemm {
+                m: tk,
+                k: dim,
+                n: dim,
+            }); // proj
+            gemms.push(Gemm {
+                m: tk,
+                k: dim,
+                n: 4 * dim,
+            }); // mlp up
+            gemms.push(Gemm {
+                m: tk,
+                k: 4 * dim,
+                n: dim,
+            }); // mlp down
+                // SFU: 2 layernorms + softmax + GELU per block.
             sfu += (2 * tk * dim + heads * tk * tk + tk * 4 * dim) as u64;
             // Token selector: sum the attention received per token.
             selector += (heads * tk * tk) as u64;
@@ -140,8 +164,16 @@ impl Workload {
         // Saliency head over the preview frame: two 3×3 convs at preview
         // resolution, expressed as GEMMs over im2col patches.
         let pv = preview_side * preview_side;
-        gemms.push(Gemm { m: pv, k: 9 * 3, n: 8 });
-        gemms.push(Gemm { m: pv, k: 9 * 8, n: 1 });
+        gemms.push(Gemm {
+            m: pv,
+            k: 9 * 3,
+            n: 8,
+        });
+        gemms.push(Gemm {
+            m: pv,
+            k: 9 * 8,
+            n: 1,
+        });
         // Index-map generation (Eq. 2/3): a Gaussian-kernel weighted
         // reduction per output cell. The kernel's 3σ support covers far
         // fewer grid cells than the whole saliency map, so the reduction
@@ -189,7 +221,10 @@ impl Workload {
 
     /// Total MAC count.
     pub fn macs(&self, array: &SystolicArray) -> u64 {
-        self.gemms.iter().map(|g| array.gemm_macs(g.m, g.k, g.n)).sum()
+        self.gemms
+            .iter()
+            .map(|g| array.gemm_macs(g.m, g.k, g.n))
+            .sum()
     }
 
     /// Number of distinct kernels (used by the GPU dispatch-overhead model
@@ -249,7 +284,9 @@ impl Accelerator {
         let total_cycles = pipeline_cycles + preproc_cycles;
         let latency = Latency::from_cycles(total_cycles, self.array.freq_ghz);
         let compute_energy = Energy::from_pj(w.macs(&self.array) as f64 * cal::MAC_PJ)
-            + Energy::from_pj((w.sfu_elems + w.selector_elems + w.preproc_pixels) as f64 * 2.0 * cal::MAC_PJ);
+            + Energy::from_pj(
+                (w.sfu_elems + w.selector_elems + w.preproc_pixels) as f64 * 2.0 * cal::MAC_PJ,
+            );
         let memory_energy = Energy::from_pj(w.sram_bytes as f64 * cal::SRAM_PJ_PER_BYTE)
             + Energy::from_pj(w.dram_bytes as f64 * cal::DRAM_PJ_PER_BYTE);
         let static_energy = Energy::from_power(cal::STATIC_POWER_W, latency);

@@ -199,7 +199,10 @@ mod tests {
 
     #[test]
     fn area_fractions_sum_to_one() {
-        let total: f64 = super::accelerator::AREA_FRACTIONS.iter().map(|(_, f)| f).sum();
+        let total: f64 = super::accelerator::AREA_FRACTIONS
+            .iter()
+            .map(|(_, f)| f)
+            .sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 

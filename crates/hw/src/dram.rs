@@ -18,7 +18,9 @@ pub struct Dram {
 impl Default for Dram {
     fn default() -> Self {
         // LPDDR5-class mobile bandwidth share available to the vision path.
-        Self { bandwidth_gbs: 12.0 }
+        Self {
+            bandwidth_gbs: 12.0,
+        }
     }
 }
 

@@ -97,7 +97,13 @@ impl GpuModel {
             // Dispatch-bound regime: extrapolate with a shallow slope.
             ly[0] + SMALL_WORKLOAD_SLOPE * (x - lx[0])
         } else if x >= lx[lx.len() - 1] {
-            segment(x, lx[lx.len() - 2], lx[lx.len() - 1], ly[ly.len() - 2], ly[ly.len() - 1])
+            segment(
+                x,
+                lx[lx.len() - 2],
+                lx[lx.len() - 1],
+                ly[ly.len() - 2],
+                ly[ly.len() - 1],
+            )
         } else {
             let i = lx.iter().position(|&a| a > x).expect("inside range") - 1;
             segment(x, lx[i], lx[i + 1], ly[i], ly[i + 1])

@@ -100,7 +100,11 @@ impl Sensor {
             "sensor dimensions must be multiples of the PS side ({})",
             cal::PS_SIDE
         );
-        Self { width, height, groups }
+        Self {
+            width,
+            height,
+            groups,
+        }
     }
 
     /// Pixel array width.
@@ -320,7 +324,12 @@ mod tests {
         let full = s.full_readout(Lighting::High);
         let sel = synthetic_foveated_selection(960, 120);
         let sbs = s.sbs_readout(&sel, Lighting::High);
-        assert!(sbs.rounds * 4 < full.rounds, "{} vs {}", sbs.rounds, full.rounds);
+        assert!(
+            sbs.rounds * 4 < full.rounds,
+            "{} vs {}",
+            sbs.rounds,
+            full.rounds
+        );
         assert!(sbs.adc_energy.uj() * 10.0 < full.adc_energy.uj());
         // Paper: SBS lowers 960² ADC+readout from 5.8 ms to ≈0.7 ms.
         assert!(
@@ -375,10 +384,11 @@ mod tests {
         // Reading every pixel through the SBS path must cost the same
         // rounds as the conventional schedule.
         let s = Sensor::new(32, 32);
-        let all: Vec<(usize, usize)> = (0..32)
-            .flat_map(|r| (0..32).map(move |c| (r, c)))
-            .collect();
-        assert_eq!(s.sbs_readout(&all, Lighting::High).rounds, s.full_readout(Lighting::High).rounds);
+        let all: Vec<(usize, usize)> = (0..32).flat_map(|r| (0..32).map(move |c| (r, c))).collect();
+        assert_eq!(
+            s.sbs_readout(&all, Lighting::High).rounds,
+            s.full_readout(Lighting::High).rounds
+        );
     }
 
     #[test]

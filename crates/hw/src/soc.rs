@@ -218,14 +218,24 @@ pub struct CostBreakdown {
 impl CostBreakdown {
     /// Total end-to-end latency.
     pub fn latency(&self) -> Latency {
-        self.sensing.0 + self.mipi.0 + self.dram.0 + self.esnet.0 + self.segmentation.0
-            + self.display.0 + self.platform.0
+        self.sensing.0
+            + self.mipi.0
+            + self.dram.0
+            + self.esnet.0
+            + self.segmentation.0
+            + self.display.0
+            + self.platform.0
     }
 
     /// Total energy.
     pub fn energy(&self) -> Energy {
-        self.sensing.1 + self.mipi.1 + self.dram.1 + self.esnet.1 + self.segmentation.1
-            + self.display.1 + self.platform.1
+        self.sensing.1
+            + self.mipi.1
+            + self.dram.1
+            + self.esnet.1
+            + self.segmentation.1
+            + self.display.1
+            + self.platform.1
     }
 
     /// Combined sensing + MIPI (+DRAM) stage, as grouped in Fig. 14 (a).
@@ -315,7 +325,12 @@ impl SocModel {
 
     /// Evaluates one frame through a pipeline (no SSA reuse; Section 6.2
     /// sets α = β = 0 so every frame runs the full path).
-    pub fn evaluate(&self, pipeline: Pipeline, backbone: Backbone, dataset: Dataset) -> CostBreakdown {
+    pub fn evaluate(
+        &self,
+        pipeline: Pipeline,
+        backbone: Backbone,
+        dataset: Dataset,
+    ) -> CostBreakdown {
         let full = dataset.full_side();
         let down = dataset.down_side();
         let sensor = Sensor::new(full, full);
@@ -357,15 +372,17 @@ impl SocModel {
         let esnet = Workload::esnet(down, down, self.keep_ratio);
         let (es_lat, es_en) = match pipeline.esnet_engine() {
             EsnetEngine::Gpu => {
-                let t = self
-                    .gpu
-                    .small_network_latency(esnet.gflops(&self.accelerator.array), esnet.kernel_count());
+                let t = self.gpu.small_network_latency(
+                    esnet.gflops(&self.accelerator.array),
+                    esnet.kernel_count(),
+                );
                 (t, self.gpu.energy(t))
             }
             EsnetEngine::Npu => {
-                let t = self
-                    .npu
-                    .small_network_latency(esnet.gflops(&self.accelerator.array), esnet.kernel_count());
+                let t = self.npu.small_network_latency(
+                    esnet.gflops(&self.accelerator.array),
+                    esnet.kernel_count(),
+                );
                 (t, self.npu.energy(t))
             }
             EsnetEngine::Accelerator => {
@@ -376,7 +393,11 @@ impl SocModel {
         cost.esnet = (es_lat, es_en);
 
         // --- Segmentation --------------------------------------------------
-        let seg_side = if pipeline.full_resolution() { full } else { down };
+        let seg_side = if pipeline.full_resolution() {
+            full
+        } else {
+            down
+        };
         let seg_t = self.gpu.latency(backbone.gflops(seg_side));
         cost.segmentation = (seg_t, self.gpu.energy(seg_t));
 
@@ -549,7 +570,10 @@ mod tests {
         // Table 3: SOLO spans ≈36–49 ms across backbones/datasets.
         for backbone in Backbone::ALL {
             for dataset in Dataset::MAIN {
-                let ms = soc().evaluate(Pipeline::Solo, backbone, dataset).latency().ms();
+                let ms = soc()
+                    .evaluate(Pipeline::Solo, backbone, dataset)
+                    .latency()
+                    .ms();
                 assert!(
                     ms > 10.0 && ms < 80.0,
                     "{} {}: {ms} ms",

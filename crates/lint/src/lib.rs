@@ -1,0 +1,243 @@
+//! # solo-lint
+//!
+//! In-repo static analysis for invariants the compiler can't check:
+//!
+//! * **D1 — determinism**: library code takes no ambient entropy, wall
+//!   clocks, or environment reads; all RNG flows through explicit seeds.
+//!   The figures this repo regenerates (Fig. 12–17, Tables 1–4) are only
+//!   trustworthy if every run is bit-reproducible from its seed.
+//! * **U1 — unit safety** (`crates/hw`): public APIs move time/energy in
+//!   the `Latency`/`Energy` newtypes, never raw unit-suffixed `f64`s, and
+//!   never unwrap-then-rewrap a quantity.
+//! * **P1 — panic policy**: `panic!`/`unwrap()`/`expect(`/`todo!`/
+//!   `unimplemented!` in library code needs an inline waiver with a reason.
+//! * **C1 — cast safety**: no truncating casts on arithmetic expressions
+//!   in the hardware models or the sampler's index-map hot path.
+//! * **W1 — workspace hygiene**: manifests declare only dependencies the
+//!   crate actually references.
+//!
+//! Violations are diffed against a committed [`Baseline`] ratchet
+//! (`lint-baseline.json`): grandfathered debt passes, new debt fails, and
+//! the baseline can only shrink. Waive a true positive inline with
+//! `// lint:allow(RULE): reason` (`# lint:allow(W1): reason` in TOML).
+//!
+//! Run as `cargo run -p solo-lint -- check`; the same scan runs in tier-1
+//! via `tests/lint.rs`.
+
+pub mod baseline;
+pub mod manifests;
+pub mod rules;
+pub mod source;
+
+pub use baseline::Baseline;
+pub use rules::{classify, Violation};
+pub use source::SourceFile;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Source roots scanned for the token rules, relative to the repo root.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests"];
+
+/// The outcome of diffing a scan against the baseline.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every violation found, sorted.
+    pub violations: Vec<Violation>,
+    /// Violations in `(file, rule)` groups whose count exceeds the
+    /// baseline — these fail the check.
+    pub new: Vec<Violation>,
+    /// `(file, rule, baseline, current)` where current < baseline: fixed
+    /// debt the ratchet can absorb via `--update-baseline`.
+    pub improved: Vec<(String, String, usize, usize)>,
+}
+
+impl Report {
+    /// Whether the check passes (no counts above baseline).
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty()
+    }
+
+    /// Human-readable summary of failures and ratchet opportunities.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.new.is_empty() {
+            out.push_str("new lint violations (not in baseline):\n");
+            for v in &self.new {
+                out.push_str(&format!(
+                    "  {}:{} [{}] {}\n",
+                    v.file, v.line, v.rule, v.message
+                ));
+            }
+        }
+        if !self.improved.is_empty() {
+            out.push_str("baseline shrinkage available (run with --update-baseline):\n");
+            for (file, rule, old, new) in &self.improved {
+                out.push_str(&format!("  {file}: {rule} {old} -> {new}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{} violation(s) total, {} new, {} grandfathered key(s) improvable\n",
+            self.violations.len(),
+            self.new.len(),
+            self.improved.len(),
+        ));
+        out
+    }
+}
+
+/// Scans the repository at `root` and returns every violation, sorted by
+/// file, line, and rule. Waivers are already applied; the baseline is not.
+///
+/// # Errors
+///
+/// Fails only on I/O errors walking the tree; unreadable UTF-8 is skipped.
+pub fn scan_repo(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+
+    // Token rules over the Rust sources.
+    for rel in rust_sources(root)? {
+        let Some(kind) = rules::classify(&rel) else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let file = SourceFile::parse(&rel, &text);
+        violations.extend(rules::check_file(&file, kind));
+    }
+
+    // W1 over the manifests.
+    for manifest_rel in manifests::manifest_paths(root) {
+        let Ok(text) = std::fs::read_to_string(root.join(&manifest_rel)) else {
+            continue;
+        };
+        let crate_dir = Path::new(&manifest_rel)
+            .parent()
+            .unwrap_or(Path::new(""))
+            .to_path_buf();
+        let sources = crate_sources(root, &crate_dir)?;
+        violations.extend(manifests::check_manifest(&manifest_rel, &text, &sources));
+    }
+
+    violations.sort();
+    Ok(violations)
+}
+
+/// Diffs `violations` against `baseline` into a [`Report`].
+pub fn check_against(violations: Vec<Violation>, baseline: &Baseline) -> Report {
+    let current = Baseline::from_violations(&violations);
+    let mut new = Vec::new();
+    for v in &violations {
+        if current.count(&v.file, v.rule) > baseline.count(&v.file, v.rule) {
+            new.push(v.clone());
+        }
+    }
+    let mut improved: Vec<(String, String, usize, usize)> = baseline
+        .iter()
+        .filter(|(file, rule, count)| current.count(file, rule) < *count)
+        .map(|(file, rule, count)| {
+            (
+                file.to_string(),
+                rule.to_string(),
+                count,
+                current.count(file, rule),
+            )
+        })
+        .collect();
+    improved.sort();
+    Report {
+        violations,
+        new,
+        improved,
+    }
+}
+
+/// Convenience: scan + baseline load + diff, as `tests/lint.rs` and the
+/// CLI both run it. A missing baseline file means an empty baseline.
+///
+/// # Errors
+///
+/// Fails on I/O errors or a malformed baseline file.
+pub fn check_repo(root: &Path, baseline_path: &Path) -> Result<Report, String> {
+    let violations = scan_repo(root).map_err(|e| format!("scan failed: {e}"))?;
+    let baseline = load_baseline(baseline_path)?;
+    Ok(check_against(violations, &baseline))
+}
+
+/// Loads a baseline file; missing file -> empty baseline.
+///
+/// # Errors
+///
+/// Fails on unreadable files or malformed JSON.
+pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    if !path.exists() {
+        return Ok(Baseline::default());
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Baseline::from_json(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// All `.rs` files under the scan roots, repo-relative with `/` separators.
+fn rust_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    for scan_root in SCAN_ROOTS {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, &mut |p| {
+                if p.extension().is_some_and(|e| e == "rs") {
+                    files.push(relative(root, p));
+                }
+            })?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// All `.rs` files in one crate's directory tree (for W1 reference
+/// search). For the workspace root (`crate_dir` empty), scans `src`,
+/// `tests`, `examples`, and `benches` only — not the member crates.
+fn crate_sources(root: &Path, crate_dir: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut sources = Vec::new();
+    let subdirs: &[&str] = &["src", "tests", "examples", "benches"];
+    for sub in subdirs {
+        let dir = root.join(crate_dir).join(sub);
+        if dir.is_dir() {
+            walk(&dir, &mut |p| {
+                if p.extension().is_some_and(|e| e == "rs") {
+                    if let Ok(text) = std::fs::read_to_string(p) {
+                        sources.push(SourceFile::parse(&relative(root, p), &text));
+                    }
+                }
+            })?;
+        }
+    }
+    Ok(sources)
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn walk(dir: &Path, visit: &mut impl FnMut(&PathBuf)) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.filter_map(|e| e.ok()).collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        if name == "target" || name == ".git" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, visit)?;
+        } else {
+            visit(&path);
+        }
+    }
+    Ok(())
+}

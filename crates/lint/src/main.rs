@@ -1,0 +1,119 @@
+//! CLI for the in-repo lint: `cargo run -p solo-lint -- check`.
+//!
+//! Exit codes: `0` clean, `1` violations beyond the baseline, a refused
+//! baseline growth, or an I/O / parse failure, `2` usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use solo_lint::{check_against, load_baseline, scan_repo, Baseline};
+
+const USAGE: &str = "\
+usage: solo-lint check [--baseline <path>] [--update-baseline] [--root <path>]
+
+  check              scan the repo and diff violations against the baseline
+  --baseline <path>  baseline file (default: <root>/lint-baseline.json)
+  --update-baseline  rewrite the baseline to current counts (shrink-only)
+  --root <path>      repository root (default: the workspace root)
+";
+
+/// How a run can fail: bad invocation (print usage) vs. a failure while
+/// doing the work (refused growth, unreadable baseline, I/O).
+enum Failure {
+    Usage(String),
+    Op(String),
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(Failure::Usage(msg)) => {
+            eprintln!("solo-lint: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(Failure::Op(msg)) => {
+            eprintln!("solo-lint: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<bool, Failure> {
+    // lint:allow(D1): CLI argument parsing is inherently environmental
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update = false;
+    let mut command: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| Failure::Usage("--baseline needs a path".to_string()))?;
+                baseline_path = Some(PathBuf::from(path));
+            }
+            "--root" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| Failure::Usage("--root needs a path".to_string()))?;
+                root = Some(PathBuf::from(path));
+            }
+            "--update-baseline" => update = true,
+            "check" if command.is_none() => command = Some(arg),
+            _ => return Err(Failure::Usage(format!("unrecognized argument `{arg}`"))),
+        }
+    }
+    if command.as_deref() != Some("check") {
+        return Err(Failure::Usage(
+            "expected the `check` subcommand".to_string(),
+        ));
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    let violations = scan_repo(&root).map_err(|e| Failure::Op(format!("scan failed: {e}")))?;
+    let bootstrap = !baseline_path.exists();
+    let baseline = load_baseline(&baseline_path).map_err(Failure::Op)?;
+
+    if update {
+        let current = Baseline::from_violations(&violations);
+        // A missing baseline is the bootstrap case; once the file exists,
+        // updates may only shrink it.
+        let shrunk = if bootstrap {
+            current
+        } else {
+            baseline.shrunk_to(&current).map_err(Failure::Op)?
+        };
+        std::fs::write(&baseline_path, shrunk.to_json())
+            .map_err(|e| Failure::Op(format!("write {}: {e}", baseline_path.display())))?;
+        println!(
+            "baseline updated: {} grandfathered violation(s) across {} key(s)",
+            shrunk.total(),
+            shrunk.iter().count()
+        );
+        return Ok(true);
+    }
+
+    let report = check_against(violations, &baseline);
+    print!("{}", report.render());
+    Ok(report.is_clean())
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/lint`, so two up.
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}

@@ -1,0 +1,220 @@
+//! W1 — workspace hygiene: every dependency declared in a crate manifest
+//! must be referenced somewhere in that crate's sources. Declared-but-
+//! unused dependencies bloat offline resolution and hide the real
+//! dependency graph.
+//!
+//! The parser is a deliberately small line-oriented TOML subset: it only
+//! needs section headers (`[dependencies]`, `[dev-dependencies]`, and
+//! their `target.*` variants) and `name = …` / `name.workspace = true`
+//! keys, which is the entire grammar this workspace's manifests use.
+//! Waive with a trailing `# lint:allow(W1): reason` comment.
+
+use std::path::Path;
+
+use crate::rules::Violation;
+use crate::source::SourceFile;
+
+/// A dependency declaration found in a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepDecl {
+    /// Dependency name as declared (dashes included).
+    pub name: String,
+    /// 1-indexed line in the manifest.
+    pub line: usize,
+    /// Whether the declaration line carries a W1 waiver comment.
+    pub waived: bool,
+}
+
+/// Extracts dependency declarations from manifest text.
+pub fn parse_deps(manifest: &str) -> Vec<DepDecl> {
+    let mut deps = Vec::new();
+    let mut in_deps_section = false;
+    for (idx, raw) in manifest.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            let section = line.trim_matches(['[', ']']);
+            // `[workspace.dependencies]` is a version catalog, not a
+            // dependency edge — member crates opt in with `.workspace =
+            // true`, and those opt-ins are what W1 checks.
+            in_deps_section = !section.starts_with("workspace.")
+                && (section == "dependencies"
+                    || section == "dev-dependencies"
+                    || section == "build-dependencies"
+                    || section.ends_with(".dependencies")
+                    || section.ends_with(".dev-dependencies"));
+            continue;
+        }
+        if !in_deps_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(key) = line.split('=').next() else {
+            continue;
+        };
+        // `name`, `name.workspace`, or a quoted name.
+        let name = key
+            .trim()
+            .split('.')
+            .next()
+            .unwrap_or("")
+            .trim_matches('"')
+            .to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '-' || c == '_')
+        {
+            continue;
+        }
+        let waived = raw.split('#').nth(1).is_some_and(|c| is_w1_waiver(c));
+        deps.push(DepDecl {
+            name,
+            line: idx + 1,
+            waived,
+        });
+    }
+    deps
+}
+
+fn is_w1_waiver(comment: &str) -> bool {
+    let comment = comment.trim();
+    let Some(rest) = comment
+        .find("lint:allow(W1)")
+        .map(|i| &comment[i + "lint:allow(W1)".len()..])
+    else {
+        return false;
+    };
+    let rest = rest.trim_start();
+    rest.starts_with(':') && !rest[1..].trim().is_empty()
+}
+
+/// Whether any source line references the crate `name` (dashes already
+/// mapped to underscores by the caller): `name::…`, `use name…`, or
+/// `extern crate name`.
+pub fn references_crate(files: &[SourceFile], ident: &str) -> bool {
+    files
+        .iter()
+        .any(|f| f.lines.iter().any(|l| line_references(&l.code, ident)))
+}
+
+fn line_references(code: &str, ident: &str) -> bool {
+    for (pos, _) in code.match_indices(ident) {
+        let before_ok = !code[..pos]
+            .chars()
+            .last()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':');
+        let after = &code[pos + ident.len()..];
+        let after_first = after.chars().next();
+        let boundary_ok = !after_first.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !(before_ok && boundary_ok) {
+            continue;
+        }
+        // Path reference `ident::…`.
+        if after.trim_start().starts_with("::") {
+            return true;
+        }
+        // Import forms: `use ident;`, `use ident as x;`, `pub use ident…`,
+        // `extern crate ident`.
+        let head = code.trim_start();
+        if (head.starts_with("use ")
+            || head.starts_with("pub use ")
+            || head.contains("extern crate "))
+            && matches!(after_first, None | Some(';' | ',' | ' ' | '}' | ':'))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs W1 over one crate: `manifest_rel` is the repo-relative manifest
+/// path, `manifest` its text, and `sources` every preprocessed `.rs` file
+/// in the crate's directory tree.
+pub fn check_manifest(
+    manifest_rel: &str,
+    manifest: &str,
+    sources: &[SourceFile],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for dep in parse_deps(manifest) {
+        if dep.waived {
+            continue;
+        }
+        let ident = dep.name.replace('-', "_");
+        if !references_crate(sources, &ident) {
+            violations.push(Violation {
+                file: manifest_rel.to_string(),
+                line: dep.line,
+                rule: "W1",
+                message: format!(
+                    "dependency `{}` is declared but never referenced in this crate's sources",
+                    dep.name
+                ),
+            });
+        }
+    }
+    violations
+}
+
+/// Lists the repo-relative manifest paths W1 checks under `root`.
+pub fn manifest_paths(root: &Path) -> Vec<String> {
+    let mut paths = vec!["Cargo.toml".to_string()];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().join("Cargo.toml").is_file())
+            .map(|e| format!("crates/{}/Cargo.toml", e.file_name().to_string_lossy()))
+            .collect();
+        dirs.sort();
+        paths.extend(dirs);
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MANIFEST: &str = "\
+[package]
+name = \"demo\"
+
+[dependencies]
+serde.workspace = true
+parking_lot.workspace = true
+left-pad = \"1\" # lint:allow(W1): kept for the meme
+
+[dev-dependencies]
+proptest = { path = \"../proptest\" }
+";
+
+    #[test]
+    fn parses_workspace_inline_and_waived_deps() {
+        let deps = parse_deps(MANIFEST);
+        let names: Vec<&str> = deps.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["serde", "parking_lot", "left-pad", "proptest"]);
+        assert!(deps[2].waived);
+        assert!(!deps[0].waived);
+    }
+
+    #[test]
+    fn flags_unreferenced_deps_only() {
+        let src = SourceFile::parse(
+            "crates/demo/src/lib.rs",
+            "use serde::{Serialize};\nfn t() { let x = proptest::prelude::any::<bool>(); }",
+        );
+        let v = check_manifest("crates/demo/Cargo.toml", MANIFEST, &[src]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("parking_lot"));
+        assert_eq!(v[0].rule, "W1");
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn ident_matching_is_word_bounded() {
+        // `rand_chacha::` must not count as a reference to `rand`.
+        let src = SourceFile::parse("crates/demo/src/lib.rs", "use rand_chacha::ChaCha8Rng;");
+        assert!(!references_crate(&[src], "rand"));
+        let src = SourceFile::parse("crates/demo/src/lib.rs", "use rand::Rng;");
+        assert!(references_crate(&[src], "rand"));
+    }
+}

@@ -1,0 +1,478 @@
+//! The rule catalog.
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `D1` | library code (non-bench)        | no ambient entropy, clocks, or env reads |
+//! | `U1` | `crates/hw`                     | no raw-`f64` unit-suffixed params; no unwrap-rewrap |
+//! | `P1` | library code (non-bench)        | panics need an inline waiver |
+//! | `C1` | `crates/hw`, sampler `index_map`| no truncating casts on arithmetic |
+//! | `W1` | every `Cargo.toml`              | declared deps must be referenced |
+//!
+//! `D1`/`U1`/`P1`/`C1` are line/token rules over [`SourceFile`]s; `W1` is a
+//! manifest cross-check handled in [`crate::manifests`]. Every rule honors
+//! `// lint:allow(RULE): reason` waivers (checked by the caller via
+//! [`SourceFile::waived`]).
+
+use crate::source::SourceFile;
+
+/// One rule violation at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// Rule id (`D1`, `U1`, `P1`, `C1`, `W1`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// File classification for rule scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Shipping library code: `crates/*/src` (except `crates/bench`) and
+    /// the root `src/`.
+    Library,
+    /// Benchmark/binary harness code: `crates/bench/src`.
+    Bench,
+    /// Integration tests: `tests/` and `crates/*/tests`.
+    Test,
+}
+
+/// Classifies a repo-relative path, or `None` if no rule scans it.
+pub fn classify(rel: &str) -> Option<FileKind> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    if rel.starts_with("crates/bench/src/") {
+        return Some(FileKind::Bench);
+    }
+    if rel.starts_with("crates/lint/tests/fixtures/") {
+        // Fixture snippets deliberately violate rules.
+        return None;
+    }
+    if rel.starts_with("src/") {
+        return Some(FileKind::Library);
+    }
+    if rel.starts_with("tests/") {
+        return Some(FileKind::Test);
+    }
+    if let Some(tail) = rel.strip_prefix("crates/") {
+        let mut parts = tail.splitn(2, '/');
+        let _crate_dir = parts.next()?;
+        let rest = parts.next()?;
+        if rest.starts_with("src/") {
+            return Some(FileKind::Library);
+        }
+        if rest.starts_with("tests/") {
+            return Some(FileKind::Test);
+        }
+    }
+    None
+}
+
+/// Runs every token rule applicable to `file`, waivers already applied.
+pub fn check_file(file: &SourceFile, kind: FileKind) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if kind == FileKind::Library {
+        determinism(file, &mut violations);
+        panic_policy(file, &mut violations);
+    }
+    if file.rel.starts_with("crates/hw/src/") {
+        unit_safety(file, &mut violations);
+    }
+    if file.rel.starts_with("crates/hw/src/") || file.rel == "crates/sampler/src/index_map.rs" {
+        cast_safety(file, &mut violations);
+    }
+    violations.retain(|v| !file.waived(v.rule, v.line));
+    violations
+}
+
+/// D1 — determinism: library code must not read ambient entropy, wall
+/// clocks, or the process environment. All randomness flows through
+/// explicitly seeded generators (`solo_tensor::seeded_rng`).
+fn determinism(file: &SourceFile, out: &mut Vec<Violation>) {
+    const FORBIDDEN: &[(&str, &str)] = &[
+        ("thread_rng", "ambient RNG breaks seed reproducibility"),
+        (
+            "from_entropy",
+            "entropy-seeded RNG breaks seed reproducibility",
+        ),
+        (
+            "Instant::now",
+            "wall-clock reads make runs non-reproducible",
+        ),
+        ("SystemTime", "wall-clock reads make runs non-reproducible"),
+        (
+            "std::env::",
+            "environment reads make runs machine-dependent",
+        ),
+        ("env::var", "environment reads make runs machine-dependent"),
+        (
+            "env::args",
+            "CLI parsing belongs in bench binaries, not libraries",
+        ),
+    ];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (needle, why) in FORBIDDEN {
+            if let Some(col) = line.code.find(needle) {
+                // `env::var`/`env::args` would double-report lines already
+                // caught by the broader `std::env::` pattern.
+                if needle.starts_with("env::") && line.code[..col].ends_with("std::") {
+                    continue;
+                }
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: idx + 1,
+                    rule: "D1",
+                    message: format!("`{needle}` in library code: {why}"),
+                });
+            }
+        }
+    }
+}
+
+/// P1 — panic policy: `panic!`/`unwrap()`/`expect(`/`todo!`/
+/// `unimplemented!` in library code requires a waiver with a reason.
+fn panic_policy(file: &SourceFile, out: &mut Vec<Violation>) {
+    const NEEDLES: &[&str] = &["panic!", ".unwrap()", ".expect(", "todo!", "unimplemented!"];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for needle in NEEDLES {
+            for (col, _) in line.code.match_indices(needle) {
+                // `debug_assert!`-style macros contain no `panic!` token;
+                // but guard `.expect(` against `.expect_err(` just in case
+                // of future edits, and `panic!` against `should_panic`.
+                if *needle == "panic!" {
+                    let before = &line.code[..col];
+                    if before.ends_with("should_") {
+                        continue;
+                    }
+                }
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: idx + 1,
+                    rule: "P1",
+                    message: format!(
+                        "`{}` in library code needs `// lint:allow(P1): <reason>` or a Result",
+                        needle.trim_start_matches('.')
+                    ),
+                });
+                break; // one violation per needle per line
+            }
+        }
+    }
+}
+
+/// U1 — unit safety (`crates/hw` only): public functions must not take
+/// raw `f64` parameters with unit-suffixed names (use the `Latency`/
+/// `Energy` newtypes), and quantities must not be unwrapped to `f64` just
+/// to be rewrapped.
+fn unit_safety(file: &SourceFile, out: &mut Vec<Violation>) {
+    // units.rs defines the newtypes; its constructors must take raw f64
+    // and its operator impls legitimately unwrap and rewrap.
+    if file.rel == "crates/hw/src/units.rs" {
+        return;
+    }
+    const SUFFIXES: &[&str] = &["_us", "_ms", "_ns", "_uj", "_mj", "_cycles"];
+    const REWRAP: &[(&str, &str)] = &[
+        (".us()", "Latency::from_us("),
+        (".ms()", "Latency::from_ms("),
+        (".uj()", "Energy::from_uj("),
+        (".mj()", "Energy::from_mj("),
+    ];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (unwrap, rewrap) in REWRAP {
+            if line.code.contains(unwrap) && line.code.contains(rewrap) {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: idx + 1,
+                    rule: "U1",
+                    message: format!(
+                        "unwrap-rewrap `{unwrap}` → `{rewrap}…)`: keep the quantity in its newtype"
+                    ),
+                });
+            }
+        }
+        // Public fn signature with a raw unit-suffixed f64 parameter.
+        // Signatures are assumed to fit on one line (rustfmt keeps them
+        // under 100 columns here); multi-line signatures are caught by the
+        // per-parameter scan below matching the continuation lines too.
+        let code = line.code.trim_start();
+        let is_pub_fn_context = code.starts_with("pub fn")
+            || code.starts_with("pub(crate) fn")
+            || in_signature_continuation(file, idx);
+        if !is_pub_fn_context {
+            continue;
+        }
+        for suffix in SUFFIXES {
+            for (pos, _) in line.code.match_indices(&format!("{suffix}: f64")) {
+                // Make sure the suffix terminates an identifier.
+                let before = &line.code[..pos];
+                if before
+                    .chars()
+                    .last()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    out.push(Violation {
+                        file: file.rel.clone(),
+                        line: idx + 1,
+                        rule: "U1",
+                        message: format!(
+                            "public fn takes raw `f64` parameter `…{suffix}`: use the unit newtypes from units.rs"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Whether line `idx` continues a `pub fn` signature opened above (no `{`
+/// or `;` seen yet since the `pub fn` line).
+fn in_signature_continuation(file: &SourceFile, idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let code = file.lines[i].code.trim();
+        if code.contains('{') || code.contains(';') {
+            return false;
+        }
+        if code.starts_with("pub fn") || code.starts_with("pub(crate) fn") {
+            return true;
+        }
+        if code.is_empty() {
+            return false;
+        }
+    }
+    false
+}
+
+/// C1 — cast safety: in the hardware models and the sampler's index-map
+/// hot path, truncating casts (`as usize`/`as u32`/`as u64`) directly on
+/// arithmetic expressions are flagged — round or clamp explicitly first.
+fn cast_safety(file: &SourceFile, out: &mut Vec<Violation>) {
+    const CASTS: &[&str] = &[" as usize", " as u32", " as u64"];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for cast in CASTS {
+            for (pos, _) in line.code.match_indices(cast) {
+                if !operand_is_sanctioned(&line.code[..pos])
+                    && operand_has_arithmetic(&line.code[..pos])
+                {
+                    out.push(Violation {
+                        file: file.rel.clone(),
+                        line: idx + 1,
+                        rule: "C1",
+                        message: format!(
+                            "truncating `{}` on an arithmetic expression: round/clamp explicitly",
+                            cast.trim_start()
+                        ),
+                    });
+                    break; // one per cast kind per line
+                }
+            }
+        }
+    }
+}
+
+/// Whether the cast operand already ends in an explicit rounding/clamping
+/// call — `(a * b).round() as u64` is the sanctioned form C1 asks for.
+fn operand_is_sanctioned(before: &str) -> bool {
+    const SANCTIONED: &[&str] = &["round", "floor", "ceil", "trunc", "clamp", "min", "max"];
+    let t = before.trim_end();
+    if !t.ends_with(')') {
+        return false;
+    }
+    // Find the matching open paren of the trailing call.
+    let chars: Vec<char> = t.chars().collect();
+    let mut depth = 0i32;
+    let mut open = None;
+    for i in (0..chars.len()).rev() {
+        match chars[i] {
+            ')' | ']' => depth += 1,
+            '(' | '[' => {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else {
+        return false;
+    };
+    // Read the identifier immediately before the open paren.
+    let ident: String = chars[..open]
+        .iter()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || **c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    SANCTIONED.contains(&ident.as_str())
+}
+
+/// Scans the cast operand (the expression just before ` as `) backwards
+/// for arithmetic operators at paren depth ≥ 0 relative to the operand.
+fn operand_has_arithmetic(before: &str) -> bool {
+    let chars: Vec<char> = before.chars().collect();
+    let mut depth = 0i32;
+    let mut seen_arith = false;
+    for i in (0..chars.len()).rev() {
+        let c = chars[i];
+        match c {
+            ')' | ']' => depth += 1,
+            '(' | '[' => {
+                depth -= 1;
+                if depth < 0 {
+                    break; // left the operand's enclosing group
+                }
+            }
+            // Operand boundary tokens at depth 0.
+            ',' | ';' | '=' | '{' | '}' | '&' | '|' if depth == 0 => break,
+            '+' | '*' | '/' | '%' => seen_arith = true,
+            '-' => {
+                // `->` is not arithmetic; `-` followed by `>` .
+                if chars.get(i + 1) != Some(&'>') {
+                    seen_arith = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    seen_arith
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/core/src/x.rs", src)
+    }
+
+    #[test]
+    fn classify_scopes_paths() {
+        assert_eq!(classify("crates/hw/src/soc.rs"), Some(FileKind::Library));
+        assert_eq!(classify("src/lib.rs"), Some(FileKind::Library));
+        assert_eq!(classify("crates/bench/src/lib.rs"), Some(FileKind::Bench));
+        assert_eq!(classify("tests/determinism.rs"), Some(FileKind::Test));
+        assert_eq!(
+            classify("crates/hw/tests/properties.rs"),
+            Some(FileKind::Test)
+        );
+        assert_eq!(classify("examples/quickstart.rs"), None);
+        assert_eq!(classify("crates/hw/src/soc.txt"), None);
+        assert_eq!(classify("crates/lint/tests/fixtures/bad.rs"), None);
+    }
+
+    #[test]
+    fn d1_flags_entropy_and_clocks() {
+        let f = lib_file("let r = thread_rng();\nlet t = Instant::now();");
+        let v = check_file(&f, FileKind::Library);
+        assert_eq!(v.iter().filter(|v| v.rule == "D1").count(), 2);
+    }
+
+    #[test]
+    fn d1_ignores_tests_and_comments() {
+        let f = lib_file("// thread_rng in a comment\n#[cfg(test)]\nmod tests {\n fn t() { let r = thread_rng(); }\n}");
+        assert!(check_file(&f, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn d1_reports_std_env_once() {
+        let f = lib_file("let v = std::env::var(\"X\");");
+        let v = check_file(&f, FileKind::Library);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn p1_requires_waiver() {
+        let f = lib_file("let x = map.get(k).unwrap();");
+        assert_eq!(check_file(&f, FileKind::Library)[0].rule, "P1");
+        let f = lib_file("let x = map.get(k).unwrap(); // lint:allow(P1): key inserted above");
+        assert!(check_file(&f, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn p1_skips_unwrap_or_variants() {
+        let f = lib_file("let x = v.unwrap_or_else(|| 3).max(v.unwrap_or(2));");
+        assert!(check_file(&f, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn u1_flags_raw_unit_params_in_hw_only() {
+        let src = "pub fn set_budget(&mut self, budget_us: f64) {}";
+        let hw = SourceFile::parse("crates/hw/src/gpu.rs", src);
+        let v = check_file(&hw, FileKind::Library);
+        assert!(v.iter().any(|v| v.rule == "U1"), "{v:?}");
+        let core = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(check_file(&core, FileKind::Library)
+            .iter()
+            .all(|v| v.rule != "U1"));
+    }
+
+    #[test]
+    fn u1_allows_units_rs_constructors_and_private_fns() {
+        let units = SourceFile::parse(
+            "crates/hw/src/units.rs",
+            "pub fn from_us(raw_us: f64) -> Self {}",
+        );
+        assert!(check_file(&units, FileKind::Library).is_empty());
+        let private = SourceFile::parse("crates/hw/src/gpu.rs", "fn helper(t_us: f64) {}");
+        assert!(check_file(&private, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn u1_flags_unwrap_rewrap() {
+        let f = SourceFile::parse(
+            "crates/hw/src/soc.rs",
+            "let t = Latency::from_us(a.us() + b.us());",
+        );
+        let v = check_file(&f, FileKind::Library);
+        assert!(v.iter().any(|v| v.rule == "U1"), "{v:?}");
+    }
+
+    #[test]
+    fn c1_flags_arithmetic_casts() {
+        let f = SourceFile::parse("crates/hw/src/sensor.rs", "let n = (w * h / 4) as usize;");
+        let v = check_file(&f, FileKind::Library);
+        assert!(v.iter().any(|v| v.rule == "C1"), "{v:?}");
+    }
+
+    #[test]
+    fn c1_ignores_plain_casts_and_other_crates() {
+        let f = SourceFile::parse("crates/hw/src/sensor.rs", "let n = width as usize;");
+        assert!(check_file(&f, FileKind::Library)
+            .iter()
+            .all(|v| v.rule != "C1"));
+        let f = SourceFile::parse("crates/core/src/x.rs", "let n = (w * h) as usize;");
+        assert!(check_file(&f, FileKind::Library)
+            .iter()
+            .all(|v| v.rule != "C1"));
+    }
+
+    #[test]
+    fn bench_code_is_exempt_from_d1_and_p1() {
+        let f = SourceFile::parse(
+            "crates/bench/src/lib.rs",
+            "let q = std::env::args().next().unwrap();",
+        );
+        assert!(check_file(&f, FileKind::Bench).is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! Source-file model for the token-level rules.
+//!
+//! Rules never see raw file text. Each file is preprocessed into per-line
+//! [`Line`] records with three views:
+//!
+//! * `code` — the line with comments stripped and string/char literal
+//!   *contents* blanked out (delimiters kept), so token searches can't
+//!   match inside literals or docs;
+//! * `comment` — the comment text of the line, where `lint:allow` waivers
+//!   live;
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item, which
+//!   exempts it from the library-code rules.
+
+/// One preprocessed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code view: literals blanked, comments removed.
+    pub code: String,
+    /// Comment text on this line (without `//` / `/* */` delimiters).
+    pub comment: String,
+    /// Whether this line is inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A preprocessed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the repository root, with `/` separators.
+    pub rel: String,
+    /// Preprocessed lines, 0-indexed (line numbers are index + 1).
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Preprocesses `text` into lines. `rel` is the repo-relative path.
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let stripped = strip(text);
+        let in_test = mark_test_regions(&stripped);
+        let lines = stripped
+            .into_iter()
+            .zip(in_test)
+            .map(|((code, comment), in_test)| Line {
+                code,
+                comment,
+                in_test,
+            })
+            .collect();
+        SourceFile {
+            rel: rel.to_string(),
+            lines,
+        }
+    }
+
+    /// Whether rule `rule` is waived on 1-indexed line `lineno`.
+    ///
+    /// A waiver comment `// lint:allow(RULE): reason` applies to its own
+    /// line (trailing comment) and, when the line holds nothing else, to
+    /// the next code line.
+    pub fn waived(&self, rule: &str, lineno: usize) -> bool {
+        let idx = lineno - 1;
+        if line_waives(&self.lines[idx], rule) {
+            return true;
+        }
+        // Walk upward over pure-comment/blank lines.
+        let mut i = idx;
+        while i > 0 {
+            i -= 1;
+            let line = &self.lines[i];
+            let code_empty = line.code.trim().is_empty();
+            if !code_empty {
+                return false;
+            }
+            if line_waives(line, rule) {
+                return true;
+            }
+            if line.comment.trim().is_empty() {
+                // A truly blank line breaks the attachment.
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// Whether `line`'s comment carries a well-formed waiver for `rule`.
+fn line_waives(line: &Line, rule: &str) -> bool {
+    let comment = line.comment.trim();
+    let Some(rest) = comment
+        .find("lint:allow(")
+        .map(|i| &comment[i + "lint:allow(".len()..])
+    else {
+        return false;
+    };
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    if rest[..close].trim() != rule {
+        return false;
+    }
+    // Require a non-empty reason after "): ".
+    let tail = rest[close + 1..].trim_start();
+    tail.starts_with(':') && !tail[1..].trim().is_empty()
+}
+
+/// Strips comments and blanks literal contents, line by line.
+///
+/// Handles line comments, nested block comments, string literals with
+/// escapes, raw strings (`r"…"`, `r#"…"#`), byte strings, and char
+/// literals (distinguished from lifetimes by the closing quote).
+fn strip(text: &str) -> Vec<(String, String)> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        Block(usize),  // nested block comment depth
+        Str,           // inside "…"
+        RawStr(usize), // inside r#…#"…"#…# with N hashes
+    }
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for line in text.lines() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            match state {
+                State::Block(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if chars[i] == '\\' {
+                        i += 2; // skip the escaped char (may run past EOL)
+                    } else if chars[i] == '"' {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if chars[i] == '"'
+                        && chars[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&c| c == '#')
+                            .count()
+                            == hashes
+                        && chars[i + 1..].len() >= hashes
+                    {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        comment.push_str(&chars[i + 2..].iter().collect::<String>());
+                        i = chars.len();
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    } else if c == 'r'
+                        && !prev_is_ident(&code)
+                        && matches!(chars.get(i + 1), Some('"' | '#'))
+                    {
+                        // Raw string: count hashes, find the opening quote.
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            code.push('r');
+                            code.push('"');
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a literal closes with a
+                        // quote one or two (escaped) chars later.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: find the closing quote.
+                            let mut j = i + 2;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            code.push_str("'c'");
+                            i = (j + 1).min(chars.len());
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            code.push_str("'c'");
+                            i += 3;
+                        } else {
+                            // Lifetime: keep as-is.
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push((code, comment));
+    }
+    out
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Marks lines inside `#[cfg(test)]` items by brace tracking on the
+/// stripped code view.
+fn mark_test_regions(stripped: &[(String, String)]) -> Vec<bool> {
+    let mut in_test = vec![false; stripped.len()];
+    let mut depth: i64 = 0;
+    // Brace depths at which the active test regions started.
+    let mut regions: Vec<i64> = Vec::new();
+    let mut pending = false;
+    for (idx, (code, _)) in stripped.iter().enumerate() {
+        if !regions.is_empty() || pending {
+            in_test[idx] = true;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending = true;
+            in_test[idx] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        regions.push(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = \"panic!\"; // but panic! here is comment\nlet b = 1; /* panic! */ let c;",
+        );
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].comment.contains("panic!"));
+        assert!(!f.lines[1].code.contains("panic!"));
+        assert!(f.lines[1].code.contains("let c;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = SourceFile::parse("x.rs", "a /* x /* y */ still */ b\n/* open\nclose */ tail");
+        assert_eq!(f.lines[0].code.trim().replace("  ", " "), "a b");
+        assert_eq!(f.lines[1].code.trim(), "");
+        assert_eq!(f.lines[2].code.trim(), "tail");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = SourceFile::parse("x.rs", "fn f<'a>(x: &'a str) { let q = '\"'; }");
+        assert!(f.lines[0].code.contains("'a>"));
+        assert!(f.lines[0].code.contains("'c'"));
+        // The quote char literal must not open a string state.
+        assert!(f.lines[0].code.contains('}'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = SourceFile::parse("x.rs", "let s = r#\"unwrap() \"inner\" panic!\"#; done();");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("done();"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}";
+        let f = SourceFile::parse("x.rs", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn waiver_matches_same_and_next_line() {
+        let src = "a.unwrap(); // lint:allow(P1): startup config is mandatory\n\
+                   // lint:allow(P1): next-line form\n\
+                   b.unwrap();\n\
+                   c.unwrap();";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.waived("P1", 1));
+        assert!(f.waived("P1", 3));
+        assert!(!f.waived("P1", 4));
+        assert!(!f.waived("D1", 1));
+    }
+
+    #[test]
+    fn waiver_requires_reason() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "a.unwrap(); // lint:allow(P1)\nb.unwrap(); // lint:allow(P1):   ",
+        );
+        assert!(!f.waived("P1", 1));
+        assert!(!f.waived("P1", 2));
+    }
+}

@@ -1,0 +1,272 @@
+//! Fixture tests: each rule gets a positive (violation found), a negative
+//! (clean code passes), and a waiver case, exercised through the public
+//! `scan_repo` API against a synthetic repository tree; plus end-to-end
+//! CLI runs proving the exit-code contract and the shrink-only ratchet.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use solo_lint::{check_against, scan_repo, Baseline};
+
+/// A scratch repository tree, deleted on drop.
+struct FixtureRepo {
+    root: PathBuf,
+}
+
+impl FixtureRepo {
+    fn new(tag: &str) -> FixtureRepo {
+        let root =
+            std::env::temp_dir().join(format!("solo-lint-fixture-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        FixtureRepo { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("create fixture dirs");
+        fs::write(path, content).expect("write fixture file");
+    }
+
+    fn rules_at(&self, rel: &str) -> Vec<&'static str> {
+        let violations = scan_repo(&self.root).expect("scan fixture repo");
+        violations
+            .iter()
+            .filter(|v| v.file == rel)
+            .map(|v| v.rule)
+            .collect()
+    }
+}
+
+impl Drop for FixtureRepo {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn d1_flags_entropy_and_clocks_in_library_code_only() {
+    let repo = FixtureRepo::new("d1");
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn bad() { let t = std::time::Instant::now(); let r = rand::thread_rng(); }\n\
+         fn env_read() { let v = std::env::var(\"SEED\"); }\n",
+    );
+    assert_eq!(repo.rules_at("crates/demo/src/lib.rs"), ["D1", "D1", "D1"]);
+
+    // Negative: seeded RNG and passed-in timestamps are the sanctioned style.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn good(seed: u64) { let rng = ChaCha8Rng::seed_from_u64(seed); }\n",
+    );
+    assert!(repo.rules_at("crates/demo/src/lib.rs").is_empty());
+
+    // Tests and the bench crate are out of scope.
+    repo.write(
+        "crates/demo/tests/t.rs",
+        "fn t() { let t = std::time::Instant::now(); }\n",
+    );
+    repo.write(
+        "crates/bench/src/lib.rs",
+        "fn b() { let t = std::time::Instant::now(); }\n",
+    );
+    assert!(repo.rules_at("crates/demo/tests/t.rs").is_empty());
+    assert!(repo.rules_at("crates/bench/src/lib.rs").is_empty());
+
+    // Waiver silences it.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "// lint:allow(D1): wall-clock only feeds a log line\n\
+         fn good() { let t = std::time::Instant::now(); }\n",
+    );
+    assert!(repo.rules_at("crates/demo/src/lib.rs").is_empty());
+}
+
+#[test]
+fn p1_flags_panics_unless_waived_or_in_tests() {
+    let repo = FixtureRepo::new("p1");
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn bad(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         fn worse() { todo!() }\n",
+    );
+    assert_eq!(repo.rules_at("crates/demo/src/lib.rs"), ["P1", "P1"]);
+
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn ok(x: Option<u32>) -> Option<u32> { x }\n\
+         #[cfg(test)]\nmod tests { fn t(x: Option<u32>) { x.unwrap(); } }\n",
+    );
+    assert!(repo.rules_at("crates/demo/src/lib.rs").is_empty());
+
+    // Trailing waiver with a reason passes; a reasonless one does not.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn ok(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(P1): checked by caller\n",
+    );
+    assert!(repo.rules_at("crates/demo/src/lib.rs").is_empty());
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn bad(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(P1)\n",
+    );
+    assert_eq!(repo.rules_at("crates/demo/src/lib.rs"), ["P1"]);
+}
+
+#[test]
+fn u1_flags_raw_unit_params_and_rewraps_in_hw_only() {
+    let repo = FixtureRepo::new("u1");
+    let src = "pub fn run(latency_us: f64) {}\n\
+               fn rewrap(l: Latency) -> Latency { Latency::from_us(l.us() * 2.0) }\n";
+    repo.write("crates/hw/src/soc.rs", src);
+    repo.write("crates/demo/src/lib.rs", src);
+    assert_eq!(repo.rules_at("crates/hw/src/soc.rs"), ["U1", "U1"]);
+    // Outside crates/hw the rule does not apply.
+    assert!(repo.rules_at("crates/demo/src/lib.rs").is_empty());
+
+    // Newtype params are the sanctioned style; units.rs itself is exempt.
+    repo.write("crates/hw/src/soc.rs", "pub fn run(latency: Latency) {}\n");
+    assert!(repo.rules_at("crates/hw/src/soc.rs").is_empty());
+    repo.write("crates/hw/src/units.rs", src);
+    assert!(repo.rules_at("crates/hw/src/units.rs").is_empty());
+}
+
+#[test]
+fn c1_flags_truncating_casts_on_arithmetic() {
+    let repo = FixtureRepo::new("c1");
+    repo.write(
+        "crates/hw/src/soc.rs",
+        "fn bad(a: f64, b: f64) -> u64 { (a * b) as u64 }\n\
+         fn ok(a: f64, b: f64) -> u64 { (a * b).round() as u64 }\n\
+         fn plain(a: f64) -> u64 { a as u64 }\n",
+    );
+    assert_eq!(repo.rules_at("crates/hw/src/soc.rs"), ["C1"]);
+
+    // Scoped to crates/hw and the sampler index map.
+    repo.write(
+        "crates/sampler/src/index_map.rs",
+        "fn bad(a: f32, b: f32) -> usize { (a + b) as usize }\n",
+    );
+    repo.write(
+        "crates/sampler/src/lib.rs",
+        "fn elsewhere(a: f32, b: f32) -> usize { (a + b) as usize }\n",
+    );
+    assert_eq!(repo.rules_at("crates/sampler/src/index_map.rs"), ["C1"]);
+    assert!(repo.rules_at("crates/sampler/src/lib.rs").is_empty());
+}
+
+#[test]
+fn w1_flags_unreferenced_deps_with_toml_waiver() {
+    let repo = FixtureRepo::new("w1");
+    repo.write("Cargo.toml", "[workspace]\nmembers = [\"crates/demo\"]\n");
+    repo.write(
+        "crates/demo/Cargo.toml",
+        "[package]\nname = \"demo\"\n\n[dependencies]\n\
+         serde.workspace = true\n\
+         rand.workspace = true\n\
+         bytes.workspace = true # lint:allow(W1): re-exported for downstream users\n",
+    );
+    repo.write("crates/demo/src/lib.rs", "use serde::Serialize;\n");
+    let rules = repo.rules_at("crates/demo/Cargo.toml");
+    // `rand` unused -> flagged; `serde` used and `bytes` waived -> not.
+    assert_eq!(rules, ["W1"]);
+}
+
+#[test]
+fn baseline_grandfathers_existing_debt_but_fails_new() {
+    let repo = FixtureRepo::new("ratchet");
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn a(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let violations = scan_repo(&repo.root).expect("scan");
+    let baseline = Baseline::from_violations(&violations);
+
+    // Same debt: clean.
+    assert!(check_against(violations, &baseline).is_clean());
+
+    // One more violation in the same file: fails with exactly the new ones.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn a(x: Option<u32>) -> u32 { x.unwrap() }\nfn b() { panic!() }\n",
+    );
+    let report = check_against(scan_repo(&repo.root).expect("scan"), &baseline);
+    assert!(!report.is_clean());
+    assert_eq!(report.new.len(), 2, "whole (file, rule) group is reported");
+
+    // Debt fixed: clean, and reported as improvable.
+    repo.write("crates/demo/src/lib.rs", "fn a() {}\n");
+    let report = check_against(scan_repo(&repo.root).expect("scan"), &baseline);
+    assert!(report.is_clean());
+    assert_eq!(report.improved.len(), 1);
+}
+
+#[test]
+fn baseline_can_only_shrink() {
+    let repo = FixtureRepo::new("shrink");
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn a(x: Option<u32>) -> u32 { x.unwrap() }\nfn b() { panic!() }\n",
+    );
+    let two = Baseline::from_violations(&scan_repo(&repo.root).expect("scan"));
+
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn a(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let one = Baseline::from_violations(&scan_repo(&repo.root).expect("scan"));
+
+    assert_eq!(two.shrunk_to(&one).expect("shrinking is allowed"), one);
+    assert!(one.shrunk_to(&two).is_err(), "growing must be refused");
+}
+
+/// End-to-end exit-code contract, driving the real binary.
+#[test]
+fn cli_exits_nonzero_on_injected_violation() {
+    let repo = FixtureRepo::new("cli");
+    repo.write("crates/demo/src/lib.rs", "fn clean() {}\n");
+
+    let run = |args: &[&str]| -> std::process::Output {
+        Command::new(env!("CARGO_BIN_EXE_solo-lint"))
+            .args(args)
+            .arg("--root")
+            .arg(&repo.root)
+            .arg("--baseline")
+            .arg(repo.root.join("lint-baseline.json"))
+            .output()
+            .expect("run solo-lint")
+    };
+
+    // Clean tree, empty baseline: exit 0.
+    assert!(run(&["check"]).status.success());
+
+    // Inject a violation: exit 1.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn dirty() { let t = std::time::Instant::now(); }\n",
+    );
+    let out = run(&["check"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("[D1]"));
+
+    // Bootstrap the baseline: subsequent checks pass.
+    assert!(run(&["check", "--update-baseline"]).status.success());
+    assert!(run(&["check"]).status.success());
+
+    // A second, different violation still fails against that baseline.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn dirty() { let t = std::time::Instant::now(); }\nfn p() { panic!() }\n",
+    );
+    let out = run(&["check"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("[P1]"));
+
+    // And --update-baseline refuses to absorb it (exit 2: refused).
+    let out = run(&["check", "--update-baseline"]);
+    assert!(!out.status.success());
+
+    // Usage errors exit 2.
+    assert_eq!(run(&["frobnicate"]).status.code(), Some(2));
+}

@@ -26,10 +26,10 @@ pub struct MultiHeadAttention {
 
 #[derive(Debug)]
 struct AttnCache {
-    q: Vec<Tensor>,     // per head [T, hd]
-    k: Vec<Tensor>,     // per head [T, hd]
-    v: Vec<Tensor>,     // per head [T, hd]
-    attn: Vec<Tensor>,  // per head [T, T] (post-softmax)
+    q: Vec<Tensor>,    // per head [T, hd]
+    k: Vec<Tensor>,    // per head [T, hd]
+    v: Vec<Tensor>,    // per head [T, hd]
+    attn: Vec<Tensor>, // per head [T, T] (post-softmax)
     tokens: usize,
 }
 
@@ -82,8 +82,7 @@ impl MultiHeadAttention {
                 let row = &src[i * 3 * d..(i + 1) * 3 * d];
                 q[i * hd..(i + 1) * hd].copy_from_slice(&row[h * hd..(h + 1) * hd]);
                 k[i * hd..(i + 1) * hd].copy_from_slice(&row[d + h * hd..d + (h + 1) * hd]);
-                v[i * hd..(i + 1) * hd]
-                    .copy_from_slice(&row[2 * d + h * hd..2 * d + (h + 1) * hd]);
+                v[i * hd..(i + 1) * hd].copy_from_slice(&row[2 * d + h * hd..2 * d + (h + 1) * hd]);
             }
             qs.push(Tensor::from_vec(q, &[t, hd]));
             ks.push(Tensor::from_vec(k, &[t, hd]));

@@ -47,8 +47,14 @@ impl Conv2d {
         padding: usize,
         dilation: usize,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0, "channel counts must be nonzero");
-        assert!(kernel > 0 && stride > 0 && dilation > 0, "kernel/stride/dilation must be nonzero");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channel counts must be nonzero"
+        );
+        assert!(
+            kernel > 0 && stride > 0 && dilation > 0,
+            "kernel/stride/dilation must be nonzero"
+        );
         let fan_in = in_channels * kernel * kernel;
         let weight = kaiming_uniform(rng, &[out_channels, fan_in], fan_in);
         Self {
@@ -105,7 +111,11 @@ impl Conv2d {
         );
         let spec = self.spec(input.shape().dim(1), input.shape().dim(2));
         let (oh, ow) = (spec.out_height(), spec.out_width());
-        assert!(oh > 0 && ow > 0, "conv output collapsed to zero for input {}", input.shape());
+        assert!(
+            oh > 0 && ow > 0,
+            "conv output collapsed to zero for input {}",
+            input.shape()
+        );
         let cols = im2col(input, &spec);
         let mut y = self.weight.value().matmul(&cols);
         let b = self.bias.value().as_slice();
@@ -145,7 +155,8 @@ impl Layer for Conv2d {
         for (oc, acc) in db.iter_mut().enumerate() {
             *acc = g.as_slice()[oc * oh * ow..(oc + 1) * oh * ow].iter().sum();
         }
-        self.bias.accumulate(&Tensor::from_vec(db, &[self.out_channels]));
+        self.bias
+            .accumulate(&Tensor::from_vec(db, &[self.out_channels]));
         let dcols = self.weight.value().transpose().matmul(&g);
         col2im(&dcols, &spec)
     }
@@ -172,7 +183,11 @@ mod tests {
         let mut c = Conv2d::with_options(&mut rng, 1, 1, 1, 1, 0, 1);
         c.visit_params(&mut |p| {
             if p.len() == 1 {
-                p.value_mut().as_mut_slice()[0] = if p.value().shape().ndim() == 2 { 1.0 } else { 0.0 };
+                p.value_mut().as_mut_slice()[0] = if p.value().shape().ndim() == 2 {
+                    1.0
+                } else {
+                    0.0
+                };
             }
         });
         // weight [1,1] = 1, bias [1] = 0: identity.

@@ -89,7 +89,10 @@ impl Linear {
                 );
                 (input.clone(), false)
             }
-            _ => panic!("linear input must be rank-1 or rank-2, got {}", input.shape()),
+            _ => panic!(
+                "linear input must be rank-1 or rank-2, got {}",
+                input.shape()
+            ),
         }
     }
 
@@ -150,7 +153,8 @@ impl Layer for Linear {
                 *acc += gv;
             }
         }
-        self.bias.accumulate(&Tensor::from_vec(db, &[self.out_features]));
+        self.bias
+            .accumulate(&Tensor::from_vec(db, &[self.out_features]));
         let gx = g.matmul(self.weight.value());
         if self.input_was_vec {
             gx.into_reshaped(&[self.in_features])

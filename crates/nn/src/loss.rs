@@ -65,7 +65,11 @@ pub fn dice(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
 ///
 /// Panics if `logits` is not rank-1 or `target >= logits.len()`.
 pub fn cross_entropy(logits: &Tensor, target: usize) -> (f32, Tensor) {
-    assert_eq!(logits.shape().ndim(), 1, "cross_entropy expects rank-1 logits");
+    assert_eq!(
+        logits.shape().ndim(),
+        1,
+        "cross_entropy expects rank-1 logits"
+    );
     let c = logits.len();
     assert!(target < c, "target {target} out of range for {c} classes");
     let probs = logits.reshape(&[1, c]).softmax_rows().into_reshaped(&[c]);

@@ -85,12 +85,18 @@ impl Layer for LayerNorm {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let (normalized, inv_std) = self.stats(input);
         let y = self.affine(&normalized);
-        self.cache = Some(NormCache { normalized, inv_std });
+        self.cache = Some(NormCache {
+            normalized,
+            inv_std,
+        });
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let NormCache { normalized, inv_std } = self
+        let NormCache {
+            normalized,
+            inv_std,
+        } = self
             .cache
             .take()
             .expect("LayerNorm::backward called before forward");
@@ -206,10 +212,7 @@ impl ChannelNorm {
                 *o = (v - mean) * inv;
             }
         }
-        (
-            Tensor::from_vec(normalized, input.shape().dims()),
-            inv_std,
-        )
+        (Tensor::from_vec(normalized, input.shape().dims()), inv_std)
     }
 
     fn affine(&self, normalized: &Tensor) -> Tensor {
@@ -230,12 +233,18 @@ impl Layer for ChannelNorm {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let (normalized, inv_std) = self.stats(input);
         let y = self.affine(&normalized);
-        self.cache = Some(ChannelCache { normalized, inv_std });
+        self.cache = Some(ChannelCache {
+            normalized,
+            inv_std,
+        });
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let ChannelCache { normalized, inv_std } = self
+        let ChannelCache {
+            normalized,
+            inv_std,
+        } = self
             .cache
             .take()
             .expect("ChannelNorm::backward called before forward");
@@ -270,8 +279,10 @@ impl Layer for ChannelNorm {
                 dx[i] = inv_std[c] * (dxh - mean_dxh - xn[i] * mean_dxh_xn);
             }
         }
-        self.gamma.accumulate(&Tensor::from_vec(dgamma, &[self.channels]));
-        self.beta.accumulate(&Tensor::from_vec(dbeta, &[self.channels]));
+        self.gamma
+            .accumulate(&Tensor::from_vec(dgamma, &[self.channels]));
+        self.beta
+            .accumulate(&Tensor::from_vec(dbeta, &[self.channels]));
         Tensor::from_vec(dx, normalized.shape().dims())
     }
 

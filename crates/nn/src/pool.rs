@@ -72,9 +72,11 @@ fn pool_avg2(input: &Tensor) -> Tensor {
         input.shape().dim(1),
         input.shape().dim(2),
     );
-    assert!(h % 2 == 0 && w % 2 == 0, "AvgPool2 needs even spatial dims, got {h}×{w}");
-    solo_tensor::avg_pool2d(input, 2)
-        .into_reshaped(&[c, h / 2, w / 2])
+    assert!(
+        h % 2 == 0 && w % 2 == 0,
+        "AvgPool2 needs even spatial dims, got {h}×{w}"
+    );
+    solo_tensor::avg_pool2d(input, 2).into_reshaped(&[c, h / 2, w / 2])
 }
 
 /// 2× nearest-neighbour upsampling over `[C, H, W]`.

@@ -19,7 +19,11 @@ pub fn token_importance(attn: &[Tensor]) -> Vec<f32> {
     assert!(!attn.is_empty(), "token_importance needs at least one head");
     let t = attn[0].shape().dim(0);
     for a in attn {
-        assert_eq!(a.shape().dims(), &[t, t], "attention matrices must be [T,T]");
+        assert_eq!(
+            a.shape().dims(),
+            &[t, t],
+            "attention matrices must be [T,T]"
+        );
     }
     let mut importance = vec![0.0f32; t];
     for a in attn {

@@ -23,8 +23,18 @@ impl RnnCell {
     /// Creates a cell with Xavier-uniform weights.
     pub fn new(rng: &mut impl Rng, input_dim: usize, hidden_dim: usize) -> Self {
         Self {
-            w: Param::new(xavier_uniform(rng, &[hidden_dim, input_dim], input_dim, hidden_dim)),
-            u: Param::new(xavier_uniform(rng, &[hidden_dim, hidden_dim], hidden_dim, hidden_dim)),
+            w: Param::new(xavier_uniform(
+                rng,
+                &[hidden_dim, input_dim],
+                input_dim,
+                hidden_dim,
+            )),
+            u: Param::new(xavier_uniform(
+                rng,
+                &[hidden_dim, hidden_dim],
+                hidden_dim,
+                hidden_dim,
+            )),
             b: Param::new(Tensor::zeros(&[hidden_dim])),
             input_dim,
             hidden_dim,
@@ -71,8 +81,8 @@ pub struct Rnn {
 
 #[derive(Debug)]
 struct RnnCache {
-    xs: Tensor,        // [T, in]
-    hs: Vec<Tensor>,   // h_0 .. h_T (h_0 = zeros)
+    xs: Tensor,      // [T, in]
+    hs: Vec<Tensor>, // h_0 .. h_T (h_0 = zeros)
 }
 
 impl Rnn {
@@ -110,7 +120,10 @@ impl Layer for Rnn {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let RnnCache { xs, hs } = self.cache.take().expect("Rnn::backward called before forward");
+        let RnnCache { xs, hs } = self
+            .cache
+            .take()
+            .expect("Rnn::backward called before forward");
         let t = xs.shape().dim(0);
         let hd = self.cell.hidden_dim;
         let id = self.cell.input_dim;

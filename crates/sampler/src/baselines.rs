@@ -13,7 +13,11 @@ use solo_tensor::{avg_pool2d, bilinear_resize, Tensor};
 ///
 /// Panics if `img` is not rank-3 or the output is larger than the input.
 pub fn average_downsample(img: &Tensor, out_h: usize, out_w: usize) -> Tensor {
-    assert_eq!(img.shape().ndim(), 3, "average_downsample input must be [C,H,W]");
+    assert_eq!(
+        img.shape().ndim(),
+        3,
+        "average_downsample input must be [C,H,W]"
+    );
     let (h, w) = (img.shape().dim(1), img.shape().dim(2));
     assert!(out_h <= h && out_w <= w, "output must not exceed input");
     if h % out_h == 0 && w % out_w == 0 && h / out_h == w / out_w {
@@ -32,7 +36,11 @@ pub fn average_downsample(img: &Tensor, out_h: usize, out_w: usize) -> Tensor {
 ///
 /// Panics if `img` is not rank-3 or the output is larger than the input.
 pub fn uniform_subsample(img: &Tensor, out_h: usize, out_w: usize) -> Tensor {
-    assert_eq!(img.shape().ndim(), 3, "uniform_subsample input must be [C,H,W]");
+    assert_eq!(
+        img.shape().ndim(),
+        3,
+        "uniform_subsample input must be [C,H,W]"
+    );
     let (c, h, w) = (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2));
     assert!(out_h <= h && out_w <= w, "output must not exceed input");
     let src = img.as_slice();

@@ -26,10 +26,22 @@ impl SamplerSpec {
     /// Panics if any dimension is zero, the output exceeds the source, or
     /// `sigma` is not positive.
     pub fn new(src_h: usize, src_w: usize, out_h: usize, out_w: usize, sigma: f32) -> Self {
-        assert!(src_h > 0 && src_w > 0 && out_h > 0 && out_w > 0, "dimensions must be nonzero");
-        assert!(out_h <= src_h && out_w <= src_w, "output must not exceed source");
+        assert!(
+            src_h > 0 && src_w > 0 && out_h > 0 && out_w > 0,
+            "dimensions must be nonzero"
+        );
+        assert!(
+            out_h <= src_h && out_w <= src_w,
+            "output must not exceed source"
+        );
         assert!(sigma > 0.0, "sigma must be positive");
-        Self { src_h, src_w, out_h, out_w, sigma }
+        Self {
+            src_h,
+            src_w,
+            out_h,
+            out_w,
+            sigma,
+        }
     }
 
     /// Downsampling ratio in pixel count (`H·W / h·w`).
@@ -112,11 +124,17 @@ impl IndexMap {
                 } else {
                     (cy, cx) // degenerate saliency → uniform
                 };
-                ys[oi * out_w + oj] = (ny * spec.src_h as f32 - 0.5).clamp(0.0, (spec.src_h - 1) as f32);
-                xs[oi * out_w + oj] = (nx * spec.src_w as f32 - 0.5).clamp(0.0, (spec.src_w - 1) as f32);
+                ys[oi * out_w + oj] =
+                    (ny * spec.src_h as f32 - 0.5).clamp(0.0, (spec.src_h - 1) as f32);
+                xs[oi * out_w + oj] =
+                    (nx * spec.src_w as f32 - 0.5).clamp(0.0, (spec.src_w - 1) as f32);
             }
         }
-        Self { ys, xs, spec: *spec }
+        Self {
+            ys,
+            xs,
+            spec: *spec,
+        }
     }
 
     /// The uniform (evenly-subsampled) map — what the camera uses to produce
@@ -135,7 +153,11 @@ impl IndexMap {
                 xs[oi * out_w + oj] = x;
             }
         }
-        Self { ys, xs, spec: *spec }
+        Self {
+            ys,
+            xs,
+            spec: *spec,
+        }
     }
 
     /// The spec this map was built for.
@@ -150,7 +172,10 @@ impl IndexMap {
     ///
     /// Panics if `(i, j)` is out of range.
     pub fn source_coord(&self, i: usize, j: usize) -> (f32, f32) {
-        assert!(i < self.spec.out_h && j < self.spec.out_w, "index out of range");
+        assert!(
+            i < self.spec.out_h && j < self.spec.out_w,
+            "index out of range"
+        );
         let off = i * self.spec.out_w + j;
         (self.ys[off], self.xs[off])
     }
@@ -392,9 +417,7 @@ fn nearest_assignment(centers: &[f32], n: usize) -> Vec<usize> {
     let mut k = 0usize;
     for (y, slot) in out.iter_mut().enumerate() {
         let yf = y as f32;
-        while k + 1 < centers.len()
-            && (centers[k + 1] - yf).abs() <= (centers[k] - yf).abs()
-        {
+        while k + 1 < centers.len() && (centers[k + 1] - yf).abs() <= (centers[k] - yf).abs() {
             k += 1;
         }
         *slot = k;

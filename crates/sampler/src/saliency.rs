@@ -13,7 +13,13 @@ use solo_tensor::Tensor;
 /// # Panics
 ///
 /// Panics if dimensions are zero, `sigma_frac <= 0`, or `floor < 0`.
-pub fn gaze_saliency(gh: usize, gw: usize, gaze: (f32, f32), sigma_frac: f32, floor: f32) -> Tensor {
+pub fn gaze_saliency(
+    gh: usize,
+    gw: usize,
+    gaze: (f32, f32),
+    sigma_frac: f32,
+    floor: f32,
+) -> Tensor {
     assert!(gh > 0 && gw > 0, "grid dimensions must be nonzero");
     assert!(sigma_frac > 0.0, "sigma_frac must be positive");
     assert!(floor >= 0.0, "floor must be non-negative");
@@ -40,7 +46,11 @@ pub fn gaze_saliency(gh: usize, gw: usize, gaze: (f32, f32), sigma_frac: f32, fl
 ///
 /// Panics if `img` is not rank-3 or smaller than 3×3.
 pub fn content_saliency(img: &Tensor) -> Tensor {
-    assert_eq!(img.shape().ndim(), 3, "content_saliency input must be [C,h,w]");
+    assert_eq!(
+        img.shape().ndim(),
+        3,
+        "content_saliency input must be [C,h,w]"
+    );
     let (c, h, w) = (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2));
     assert!(h >= 3 && w >= 3, "image must be at least 3×3");
     let src = img.as_slice();

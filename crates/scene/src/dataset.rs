@@ -232,7 +232,10 @@ mod tests {
         assert_eq!(s.ioi_mask.at(&[row, col]), 1.0, "gaze must be on the IOI");
         // Gaze resolves to the IOI instance (or an object drawn above it at
         // that exact pixel — excluded by the unoccluded-mask construction).
-        assert_eq!(s.scene.object_at(&s.view, s.gaze.x, s.gaze.y), Some(s.ioi_index));
+        assert_eq!(
+            s.scene.object_at(&s.view, s.gaze.x, s.gaze.y),
+            Some(s.ioi_index)
+        );
     }
 
     #[test]
@@ -263,9 +266,16 @@ mod tests {
     fn samples_cover_multiple_classes() {
         let ds = SceneDataset::new(DatasetConfig::lvis_like().with_resolution(48));
         let mut rng = seeded_rng(10);
-        let classes: std::collections::HashSet<_> =
-            ds.samples(20, &mut rng).iter().map(|s| s.ioi_class).collect();
-        assert!(classes.len() >= 4, "only {} classes in 20 samples", classes.len());
+        let classes: std::collections::HashSet<_> = ds
+            .samples(20, &mut rng)
+            .iter()
+            .map(|s| s.ioi_class)
+            .collect();
+        assert!(
+            classes.len() >= 4,
+            "only {} classes in 20 samples",
+            classes.len()
+        );
     }
 
     #[test]

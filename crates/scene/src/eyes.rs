@@ -86,7 +86,10 @@ mod tests {
         let xs: Vec<f32> = samples.iter().map(|s| s.gaze.x).collect();
         let min = xs.iter().copied().fold(1.0f32, f32::min);
         let max = xs.iter().copied().fold(0.0f32, f32::max);
-        assert!(min < 0.2 && max > 0.8, "gaze range [{min}, {max}] too narrow");
+        assert!(
+            min < 0.2 && max > 0.8,
+            "gaze range [{min}, {max}] too narrow"
+        );
     }
 
     #[test]

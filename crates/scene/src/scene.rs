@@ -298,8 +298,13 @@ impl Scene {
     ///
     /// Panics if `n == 0`.
     pub fn foreground_mask(&self, view: &ViewWindow, n: usize) -> Tensor {
-        self.semantic_map(view, n)
-            .map(|v| if (v as usize) < crate::NUM_CLASSES { 1.0 } else { 0.0 })
+        self.semantic_map(view, n).map(|v| {
+            if (v as usize) < crate::NUM_CLASSES {
+                1.0
+            } else {
+                0.0
+            }
+        })
     }
 
     /// The index of the topmost object visible at a normalized view
@@ -378,7 +383,11 @@ mod tests {
         scene.objects.push(top);
         let view = ViewWindow::new(0.5, 0.5, 1.0);
         let bottom_mask = scene.instance_mask(0, &view, 32);
-        assert_eq!(bottom_mask.sum(), 0.0, "fully occluded object must have empty mask");
+        assert_eq!(
+            bottom_mask.sum(),
+            0.0,
+            "fully occluded object must have empty mask"
+        );
         let top_mask = scene.instance_mask(1, &view, 32);
         assert!(top_mask.sum() > 0.0);
     }
@@ -388,7 +397,10 @@ mod tests {
         let scene = one_circle();
         let left = scene.render(&ViewWindow::new(0.4, 0.5, 0.5), 32);
         let right = scene.render(&ViewWindow::new(0.6, 0.5, 0.5), 32);
-        assert!(left.sub(&right).norm_sq() > 0.1, "head turn must change the frame");
+        assert!(
+            left.sub(&right).norm_sq() > 0.1,
+            "head turn must change the frame"
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@ use crate::Tensor;
 ///
 /// Panics if `input` is not rank-3 or either output dimension is zero.
 pub fn bilinear_resize(input: &Tensor, out_h: usize, out_w: usize) -> Tensor {
-    assert_eq!(input.shape().ndim(), 3, "bilinear_resize input must be [C,H,W]");
+    assert_eq!(
+        input.shape().ndim(),
+        3,
+        "bilinear_resize input must be [C,H,W]"
+    );
     assert!(out_h > 0 && out_w > 0, "output dimensions must be nonzero");
     let (c, h, w) = (
         input.shape().dim(0),

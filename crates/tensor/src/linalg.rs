@@ -17,7 +17,8 @@ impl Tensor {
         let (m, k) = (self.shape().dim(0), self.shape().dim(1));
         let (k2, n) = (other.shape().dim(0), other.shape().dim(1));
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul inner dimension mismatch: {} vs {}",
             self.shape(),
             other.shape()
@@ -126,12 +127,24 @@ pub struct Im2ColSpec {
 impl Im2ColSpec {
     /// Output height of the convolution this spec describes.
     pub fn out_height(&self) -> usize {
-        conv_out(self.height, self.kernel, self.stride, self.padding, self.dilation)
+        conv_out(
+            self.height,
+            self.kernel,
+            self.stride,
+            self.padding,
+            self.dilation,
+        )
     }
 
     /// Output width of the convolution this spec describes.
     pub fn out_width(&self) -> usize {
-        conv_out(self.width, self.kernel, self.stride, self.padding, self.dilation)
+        conv_out(
+            self.width,
+            self.kernel,
+            self.stride,
+            self.padding,
+            self.dilation,
+        )
     }
 }
 
@@ -164,13 +177,14 @@ pub fn im2col(input: &Tensor, spec: &Im2ColSpec) -> Tensor {
             for kj in 0..k {
                 let row = (c * k + ki) * k + kj;
                 for oi in 0..oh {
-                    let ii = (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
+                    let ii =
+                        (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
                     if ii < 0 || ii >= spec.height as isize {
                         continue;
                     }
                     for oj in 0..ow {
-                        let jj =
-                            (oj * spec.stride + kj * spec.dilation) as isize - spec.padding as isize;
+                        let jj = (oj * spec.stride + kj * spec.dilation) as isize
+                            - spec.padding as isize;
                         if jj < 0 || jj >= spec.width as isize {
                             continue;
                         }
@@ -208,13 +222,14 @@ pub fn col2im(cols: &Tensor, spec: &Im2ColSpec) -> Tensor {
             for kj in 0..k {
                 let row = (c * k + ki) * k + kj;
                 for oi in 0..oh {
-                    let ii = (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
+                    let ii =
+                        (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
                     if ii < 0 || ii >= spec.height as isize {
                         continue;
                     }
                     for oj in 0..ow {
-                        let jj =
-                            (oj * spec.stride + kj * spec.dilation) as isize - spec.padding as isize;
+                        let jj = (oj * spec.stride + kj * spec.dilation) as isize
+                            - spec.padding as isize;
                         if jj < 0 || jj >= spec.width as isize {
                             continue;
                         }
@@ -292,7 +307,11 @@ mod tests {
         assert_eq!(spec.out_width(), 5);
         let strided = Im2ColSpec { stride: 2, ..spec };
         assert_eq!(strided.out_height(), 3);
-        let dilated = Im2ColSpec { dilation: 2, padding: 2, ..spec };
+        let dilated = Im2ColSpec {
+            dilation: 2,
+            padding: 2,
+            ..spec
+        };
         assert_eq!(dilated.out_height(), 5);
     }
 
@@ -351,9 +370,22 @@ mod tests {
         let x = Tensor::arange(32).reshape(&[2, 4, 4]);
         let fwd = im2col(&x, &spec);
         let y = fwd.map(|v| (v * 0.37).sin()); // arbitrary cotangent
-        let lhs: f32 = fwd.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = fwd
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         let back = col2im(&y, &spec);
-        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3, "adjoint identity violated: {lhs} vs {rhs}");
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3,
+            "adjoint identity violated: {lhs} vs {rhs}"
+        );
     }
 }

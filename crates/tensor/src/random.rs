@@ -57,7 +57,12 @@ pub fn normal(rng: &mut impl Rng, shape: &[usize], mean: f32, std: f32) -> Tenso
 /// # Panics
 ///
 /// Panics if `fan_in + fan_out == 0`.
-pub fn xavier_uniform(rng: &mut impl Rng, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+pub fn xavier_uniform(
+    rng: &mut impl Rng,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
     assert!(fan_in + fan_out > 0, "xavier fan sum must be nonzero");
     let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform(rng, shape, -bound, bound)

@@ -211,7 +211,11 @@ impl Tensor {
         let mut data = Vec::new();
         for t in items {
             assert_eq!(t.shape().ndim(), 2, "concat_rows requires rank-2 tensors");
-            assert_eq!(t.shape().dim(1), cols, "column count mismatch in concat_rows");
+            assert_eq!(
+                t.shape().dim(1),
+                cols,
+                "column count mismatch in concat_rows"
+            );
             rows += t.shape().dim(0);
             data.extend_from_slice(t.as_slice());
         }

@@ -14,28 +14,66 @@ fn main() {
     let sensor = Sensor::new(full, full);
     let link = MipiLink::default();
 
-    println!("sensor: {}×{} pixels, {} ADCs in 4 interleaved sub-groups\n", full, full, sensor.adc_count());
+    println!(
+        "sensor: {}×{} pixels, {} ADCs in 4 interleaved sub-groups\n",
+        full,
+        full,
+        sensor.adc_count()
+    );
 
     let conventional = sensor.full_readout(Lighting::High);
     let conv_mipi = link.transfer_frame(full, full, 3);
     println!("conventional capture of the full frame:");
-    println!("  exposure     {:>10}   {:>10}", format!("{}", conventional.exposure), format!("{}", conventional.exposure_energy));
-    println!("  ADC+readout  {:>10}   {:>10}   ({} rounds, {} px)", format!("{}", conventional.adc_readout), format!("{}", conventional.adc_energy), conventional.rounds, conventional.pixels_read);
-    println!("  MIPI         {:>10}   {:>10}\n", format!("{}", conv_mipi.latency), format!("{}", conv_mipi.energy));
+    println!(
+        "  exposure     {:>10}   {:>10}",
+        format!("{}", conventional.exposure),
+        format!("{}", conventional.exposure_energy)
+    );
+    println!(
+        "  ADC+readout  {:>10}   {:>10}   ({} rounds, {} px)",
+        format!("{}", conventional.adc_readout),
+        format!("{}", conventional.adc_energy),
+        conventional.rounds,
+        conventional.pixels_read
+    );
+    println!(
+        "  MIPI         {:>10}   {:>10}\n",
+        format!("{}", conv_mipi.latency),
+        format!("{}", conv_mipi.energy)
+    );
 
     let preview = sensor.subsampled_readout(down, down, Lighting::High);
     let selection = synthetic_foveated_selection(full, down);
     let resense = sensor.sbs_readout(&selection, Lighting::High);
     let sbs_mipi = link.transfer_frame(down, down, 3);
     println!("saliency-based sensing (preview + foveated re-read):");
-    println!("  exposure     {:>10}   (single exposure, shared)", format!("{}", preview.exposure));
-    println!("  preview ADC  {:>10}   ({} rounds, {} px)", format!("{}", preview.adc_readout), preview.rounds, preview.pixels_read);
-    println!("  SBS ADC      {:>10}   ({} rounds, {} px)", format!("{}", resense.adc_readout), resense.rounds, resense.pixels_read);
-    println!("  MIPI ×2      {:>10}   {:>10}\n", format!("{}", sbs_mipi.latency * 2.0), format!("{}", sbs_mipi.energy * 2.0));
+    println!(
+        "  exposure     {:>10}   (single exposure, shared)",
+        format!("{}", preview.exposure)
+    );
+    println!(
+        "  preview ADC  {:>10}   ({} rounds, {} px)",
+        format!("{}", preview.adc_readout),
+        preview.rounds,
+        preview.pixels_read
+    );
+    println!(
+        "  SBS ADC      {:>10}   ({} rounds, {} px)",
+        format!("{}", resense.adc_readout),
+        resense.rounds,
+        resense.pixels_read
+    );
+    println!(
+        "  MIPI ×2      {:>10}   {:>10}\n",
+        format!("{}", sbs_mipi.latency * 2.0),
+        format!("{}", sbs_mipi.energy * 2.0)
+    );
 
     let ratio = (conventional.exposure + conventional.adc_readout + conv_mipi.latency)
         / (preview.exposure + preview.adc_readout + resense.adc_readout + sbs_mipi.latency * 2.0);
-    println!("total sensing latency reduction from SBS: {ratio:.1}x (paper: ~4.3x avg in high light)\n");
+    println!(
+        "total sensing latency reduction from SBS: {ratio:.1}x (paper: ~4.3x avg in high light)\n"
+    );
 
     println!("end-to-end pipelines (HR backbone, Aria geometry):");
     let soc = SocModel::default();

@@ -17,7 +17,10 @@ fn main() {
     let test = eyes.samples(40, &mut rng);
 
     let mut vit = GtVit::new(&mut rng, GtVitConfig::tiny());
-    println!("pretraining GT-ViT on {} synthetic eye images…", train.len());
+    println!(
+        "pretraining GT-ViT on {} synthetic eye images…",
+        train.len()
+    );
     let loss = vit.pretrain(&train, 20, 2e-3);
     println!("final epoch MSE: {loss:.5}");
 

@@ -26,7 +26,12 @@ fn main() {
     solo.train(&train, 8);
 
     let scores = solo.evaluate_all(&test);
-    println!("test b-IoU {:.3}, c-IoU {:.3} over {} samples\n", scores.b_iou, scores.c_iou, test.len());
+    println!(
+        "test b-IoU {:.3}, c-IoU {:.3} over {} samples\n",
+        scores.b_iou,
+        scores.c_iou,
+        test.len()
+    );
 
     // Segment one sample and draw it.
     let sample = &test[0];

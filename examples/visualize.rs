@@ -53,7 +53,10 @@ fn main() -> std::io::Result<()> {
         .upsample(&mask.reshape(&[1, 24, 24]))
         .into_reshaped(&[96, 96])
         .map(|v| if v > 0.5 { 1.0 } else { 0.0 });
-    write_ppm(&overlay_mask(&sample.image, &up, 0.5), out.join("overlay.ppm"))?;
+    write_ppm(
+        &overlay_mask(&sample.image, &up, 0.5),
+        out.join("overlay.ppm"),
+    )?;
     println!(
         "wrote 5 images to {}; predicted class {} (truth {})",
         out.display(),

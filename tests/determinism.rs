@@ -1,7 +1,7 @@
 //! Every experiment must be bit-for-bit reproducible from its seed — the
 //! property that lets EXPERIMENTS.md numbers be regenerated.
 
-use solo_core::experiments::{fig3, fig17, table1, table3};
+use solo_core::experiments::{fig17, fig3, table1, table3};
 use solo_scene::{DatasetConfig, SceneDataset};
 use solo_tensor::seeded_rng;
 

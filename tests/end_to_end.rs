@@ -22,14 +22,25 @@ fn index_map_drives_the_sbs_sensor() {
     let data = SceneDataset::new(ds);
     let mut rng = seeded_rng(1);
     let sample = data.sample(&mut rng);
-    let mut pipeline = FoveatedPipeline::new(&mut rng, solo_core::backbones::BackboneKind::Sf, cfg, true, 1e-3);
+    let mut pipeline = FoveatedPipeline::new(
+        &mut rng,
+        solo_core::backbones::BackboneKind::Sf,
+        cfg,
+        true,
+        1e-3,
+    );
     let map = pipeline.index_map(&sample);
 
     let sensor = Sensor::new(64, 64);
     let sbs = sensor.sbs_readout(&map.pixel_indices(), Lighting::High);
     let full = sensor.full_readout(Lighting::High);
     assert_eq!(sbs.pixels_read, map.unique_pixel_count());
-    assert!(sbs.rounds < full.rounds / 2, "{} vs {}", sbs.rounds, full.rounds);
+    assert!(
+        sbs.rounds < full.rounds / 2,
+        "{} vs {}",
+        sbs.rounds,
+        full.rounds
+    );
     assert!(sbs.adc_energy < full.adc_energy);
 }
 
@@ -71,7 +82,13 @@ fn trained_pipeline_beats_untrained_end_to_end() {
     let mut rng = seeded_rng(3);
     let train = data.samples(40, &mut rng);
     let test = data.samples(12, &mut rng);
-    let mut p = FoveatedPipeline::new(&mut rng, solo_core::backbones::BackboneKind::Hr, cfg, true, 5e-3);
+    let mut p = FoveatedPipeline::new(
+        &mut rng,
+        solo_core::backbones::BackboneKind::Hr,
+        cfg,
+        true,
+        5e-3,
+    );
     let before: f32 = test.iter().map(|s| p.evaluate(s).b_iou).sum::<f32>() / 12.0;
     for _ in 0..4 {
         for s in &train {

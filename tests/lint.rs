@@ -1,0 +1,17 @@
+//! Tier-1 gate: the repo must be clean under `solo-lint` relative to the
+//! committed `lint-baseline.json`. Equivalent to
+//! `cargo run -p solo-lint -- check` but runs inside `cargo test -q`.
+
+use std::path::Path;
+
+#[test]
+fn repo_is_lint_clean_against_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let baseline = root.join("lint-baseline.json");
+    let report = solo_lint::check_repo(root, &baseline).expect("lint scan must succeed");
+    assert!(
+        report.is_clean(),
+        "lint violations beyond baseline:\n{}",
+        report.render()
+    );
+}

@@ -20,8 +20,8 @@ fn measured_skip_rate_is_consistent_with_eq5() {
 
     // Empirical condition probabilities from the trace.
     let trace = video.gaze_trace();
-    let p_sac = trace.iter().filter(|s| s.phase.is_suppressed()).count() as f64
-        / trace.len() as f64;
+    let p_sac =
+        trace.iter().filter(|s| s.phase.is_suppressed()).count() as f64 / trace.len() as f64;
     // Head turns = saccadic phases with large view motion; approximate
     // p_nv from the same fraction (turns dominate view changes).
     let p_nv = p_sac * 0.8;

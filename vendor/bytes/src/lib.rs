@@ -1,0 +1,130 @@
+//! Offline stand-in for `bytes`.
+//!
+//! `Bytes`/`BytesMut`/`BufMut` backed by plain `Vec<u8>` — no ref-counted
+//! zero-copy slicing, which the workspace's MIPI packetizer doesn't need.
+//! Network byte order (big-endian) is preserved for the multi-byte `put_*`
+//! writers, matching upstream.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+impl Bytes {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::new(data.to_vec()))
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A growable byte buffer with big-endian writers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::new(self.0))
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Byte-sink trait: the `put_*` writer surface.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writers_are_big_endian() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u8(0xAB);
+        buf.put_u16(0x0102);
+        buf.put_u32(0x03040506);
+        let frozen = buf.freeze();
+        assert_eq!(&frozen[..], &[0xAB, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06]);
+        assert_eq!(frozen.len(), 7);
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!`/`bench_function`
+//! surface the workspace's benches use, timing each closure with plain
+//! wall-clock sampling (no statistics, plots, or baselines). Good enough
+//! to spot order-of-magnitude regressions offline; swap in real criterion
+//! when a registry is reachable.
+
+use std::time::{Duration, Instant};
+
+/// Warm-up iterations before timing.
+const WARMUP: usize = 3;
+/// Timed iterations (or until [`TIME_CAP`]).
+const SAMPLES: usize = 30;
+/// Per-benchmark time cap.
+const TIME_CAP: Duration = Duration::from_secs(3);
+
+/// Passed to each benchmark closure; `iter` runs the body under timing.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        for done in 0..SAMPLES {
+            std::hint::black_box(f());
+            self.iters = done as u64 + 1;
+            if start.elapsed() > TIME_CAP {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// Entry point handed to each group function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total / bencher.iters as u32
+        };
+        println!(
+            "bench {name:<40} {per_iter:>12.2?}/iter ({} iters)",
+            bencher.iters
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; a smoke-run
+            // under the test runner should not spin the full sampling loop.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

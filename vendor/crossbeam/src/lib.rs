@@ -1,0 +1,86 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is vendored, delegated to
+//! `std::thread::scope` (std has supported scoped threads since 1.63).
+//! Crossbeam's closure signature — `spawn(|scope| ...)` — and its
+//! `Result`-returning `scope` are preserved so call sites don't change.
+
+/// Scoped threads (`crossbeam::thread::scope`).
+pub mod thread {
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// Error payload of a panicked scope (crossbeam returns the panic
+    /// value; with std's join-on-drop the panic propagates before `scope`
+    /// returns, so this is only a type-level stand-in).
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A handle for spawning scoped threads.
+    ///
+    /// Wraps `&std::thread::Scope`, which is `Copy`, so nested spawns can
+    /// rebuild the wrapper inside each spawned thread.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std_thread::Scope<'scope, 'env>);
+
+    /// A join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std_thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope again (crossbeam's signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads can borrow from the caller.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors crossbeam's signature; with std scoped threads underneath,
+    /// an unjoined panicking child propagates its panic instead of
+    /// surfacing here, so in practice this is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let n: u64 = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21u64).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,289 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde::{Serialize, Deserialize}` value-tree traits
+//! without `syn`/`quote` (unavailable offline): the input item is parsed
+//! with a small hand-rolled token walker and the impls are emitted as
+//! source strings. Supported shapes — the only ones the workspace uses:
+//!
+//! * structs with named fields  -> `Value::Map` keyed by field name
+//! * tuple structs with 1 field -> transparent newtype
+//! * tuple structs with N > 1   -> `Value::Seq`
+//! * fieldless enums            -> `Value::Str` of the variant name
+//!
+//! Generics, data-carrying enums, and `#[serde(...)]` attributes are
+//! rejected with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the item being derived.
+enum Shape {
+    /// Named-field struct: type name + field names in declaration order.
+    Struct(String, Vec<String>),
+    /// Tuple struct: type name + field count.
+    Tuple(String, usize),
+    /// Fieldless enum: type name + variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Derives `serde::Serialize` for a supported item shape.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse(input) {
+        Ok(Shape::Struct(name, fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Ok(Shape::Tuple(name, 1)) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::to_value(&self.0)\n}}\n}}"
+        ),
+        Ok(Shape::Tuple(name, n)) => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Seq(vec![{}])\n}}\n}}",
+                items.join(", ")
+            )
+        }
+        Ok(Shape::Enum(name, variants)) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Self::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Str(match self {{ {} }}.to_string())\n}}\n}}",
+                arms.join(", ")
+            )
+        }
+        Err(msg) => format!("compile_error!(\"derive(Serialize): {msg}\");"),
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a supported item shape.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse(input) {
+        Ok(Shape::Struct(name, fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get_field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 Ok(Self {{ {} }})\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Ok(Shape::Tuple(name, 1)) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+             Ok(Self(::serde::Deserialize::from_value(v)?))\n}}\n}}"
+        ),
+        Ok(Shape::Tuple(name, n)) => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 let seq = v.as_seq()?;\n\
+                 if seq.len() != {n} {{\n\
+                 return Err(::serde::Error(format!(\"expected {n} elements, got {{}}\", seq.len())));\n\
+                 }}\n\
+                 Ok(Self({}))\n}}\n}}",
+                items.join(", ")
+            )
+        }
+        Ok(Shape::Enum(name, variants)) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok(Self::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {},\n\
+                 other => Err(::serde::Error(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 _ => Err(::serde::Error(\"expected variant name string\".to_string())),\n\
+                 }}\n}}\n}}",
+                arms.join(",\n")
+            )
+        }
+        Err(msg) => format!("compile_error!(\"derive(Deserialize): {msg}\");"),
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+/// Parses the derive input into one of the supported [`Shape`]s.
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match ident_at(&tokens, i).as_deref() {
+        Some(k @ ("struct" | "enum")) => k.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = ident_at(&tokens, i)
+        .ok_or_else(|| "expected type name".to_string())?
+        .to_string();
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` is not supported"));
+    }
+    if kind == "enum" {
+        let Some(TokenTree::Group(g)) = tokens.get(i) else {
+            return Err("expected enum body".to_string());
+        };
+        return Ok(Shape::Enum(name, parse_variants(g.stream())?));
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::Struct(name, parse_named_fields(g.stream())?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Shape::Tuple(name, count_tuple_fields(g.stream())))
+        }
+        _ => Err("unit structs are not supported".to_string()),
+    }
+}
+
+/// Advances `i` past leading `#[...]` attributes and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = ident_at(&tokens, i).ok_or_else(|| "expected field name".to_string())?;
+        fields.push(field);
+        // Skip `: Type` up to the next comma outside <...> and groups.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && angle > 0 => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0;
+    let mut in_field = false;
+    let mut angle = 0i32;
+    for token in body {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle > 0 => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    count += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Extracts variant names from an enum body, rejecting data variants.
+fn parse_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = ident_at(&tokens, i).ok_or_else(|| "expected variant name".to_string())?;
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(variant);
+                i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the expression.
+                variants.push(variant);
+                while i < tokens.len() {
+                    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!("variant `{variant}` carries data (unsupported)"));
+            }
+            Some(other) => {
+                return Err(format!(
+                    "unexpected token `{other}` after variant `{variant}`"
+                ));
+            }
+        }
+    }
+    Ok(variants)
+}
