@@ -287,6 +287,7 @@ impl Layer for SfBackbone {
         let g = self.refine.backward(&self.refine_act.backward(grad_out));
         // y = x + up
         let g_up = self.up1.backward(&self.up2.backward(&g));
+        // lint:allow(P1): training-loop contract — backward is only reachable after forward caches token_hw
         let (h, w) = self.token_hw.expect("forward before backward");
         let g_mixed = Self::to_tokens(&g_up);
         let g_tokens = self.mixer.backward(&g_mixed);

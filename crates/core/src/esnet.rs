@@ -163,6 +163,7 @@ impl GtVit {
                 let attn = self.blocks[i]
                     .attention()
                     .last_attention()
+                    // lint:allow(P1): infer() on the line above always records attention before pruning reads it
                     .expect("attention recorded during infer");
                 let importance = prune::token_importance(attn);
                 let kept = prune::select_tokens(&importance, per_block_keep);

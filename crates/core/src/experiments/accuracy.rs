@@ -139,9 +139,11 @@ pub fn table2(budget: &Budget, seed: u64) -> Vec<Table2Cell> {
             .collect();
         handles
             .into_iter()
+            // lint:allow(P1): a join error means a worker panicked; re-raising is the only sound option
             .map(|h| h.join().expect("cell thread"))
             .collect()
     })
+    // lint:allow(P1): crossbeam scope only errs when a child panicked; propagate it
     .expect("table2 scope");
     results
 }
@@ -255,9 +257,11 @@ pub fn fig13a(budget: &Budget, seed: u64) -> Vec<Fig13aPoint> {
             .collect();
         handles
             .into_iter()
+            // lint:allow(P1): a join error means a worker panicked; re-raising is the only sound option
             .map(|h| h.join().expect("cell thread"))
             .collect()
     })
+    // lint:allow(P1): crossbeam scope only errs when a child panicked; propagate it
     .expect("fig13a scope");
     out.extend(results);
     out

@@ -100,6 +100,7 @@ impl Ssa {
     ///
     /// Panics if constructed via `Default` without a configuration.
     pub fn config(&self) -> &SsaConfig {
+        // lint:allow(P1): documented panic contract (see # Panics above) — misconfiguration is a programmer error
         self.config.as_ref().expect("Ssa requires a configuration")
     }
 

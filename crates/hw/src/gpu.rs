@@ -105,7 +105,13 @@ impl GpuModel {
                 ly[ly.len() - 1],
             )
         } else {
-            let i = lx.iter().position(|&a| a > x).expect("inside range") - 1;
+            // The branch guards guarantee lx[0] < x < lx[last], so a
+            // bracketing segment always exists; clamp to the last interior
+            // segment rather than panicking if that ever changes.
+            let i = lx
+                .iter()
+                .position(|&a| a > x)
+                .map_or(lx.len() - 2, |p| p - 1);
             segment(x, lx[i], lx[i + 1], ly[i], ly[i + 1])
         };
         Latency::from_ms(ms.exp())

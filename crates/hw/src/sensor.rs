@@ -261,11 +261,13 @@ pub fn staggered_grid_for(
             let ps_rows = h / cal::PS_SIDE;
             // Nearest PS row with the desired residue.
             let base = ps_row - (ps_row % groups);
-            let candidates = [base + want, (base + groups + want).min(ps_rows - 1)];
-            let target = *candidates
-                .iter()
-                .min_by_key(|&&p| p.abs_diff(ps_row))
-                .expect("nonempty");
+            let below = base + want;
+            let above = (base + groups + want).min(ps_rows - 1);
+            let target = if below.abs_diff(ps_row) <= above.abs_diff(ps_row) {
+                below
+            } else {
+                above
+            };
             ((target * cal::PS_SIDE + r % cal::PS_SIDE).min(h - 1), c)
         })
         .collect()

@@ -89,6 +89,7 @@ impl Linear {
                 );
                 (input.clone(), false)
             }
+            // lint:allow(P1): shape validation, same contract as the assert! above it
             _ => panic!(
                 "linear input must be rank-1 or rank-2, got {}",
                 input.shape()

@@ -42,6 +42,7 @@ impl Checkpoint {
             let (dims, data) = self
                 .tensors
                 .get(idx)
+                // lint:allow(P1): documented panic contract — wrong-architecture checkpoints are unrecoverable
                 .unwrap_or_else(|| panic!("checkpoint too short at parameter {idx}"));
             assert_eq!(
                 p.value().shape().dims(),

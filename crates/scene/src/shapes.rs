@@ -50,7 +50,8 @@ impl ShapeClass {
 
     /// The integer class id in `0..NUM_CLASSES`.
     pub fn id(&self) -> usize {
-        Self::ALL.iter().position(|c| c == self).expect("class in ALL")
+        // ALL is in declaration order, so the discriminant is the id.
+        *self as usize
     }
 
     /// Class from id.
@@ -144,7 +145,10 @@ mod tests {
     fn no_shape_extends_beyond_unit_box() {
         for c in ShapeClass::ALL {
             for &(dx, dy) in &[(1.6f32, 0.0f32), (0.0, 1.6), (1.2, 1.2), (-1.6, -1.6)] {
-                assert!(!c.contains_unit(dx, dy), "{c:?} leaks outside at ({dx},{dy})");
+                assert!(
+                    !c.contains_unit(dx, dy),
+                    "{c:?} leaks outside at ({dx},{dy})"
+                );
             }
         }
     }

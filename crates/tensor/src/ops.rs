@@ -5,7 +5,10 @@ use crate::Tensor;
 impl Tensor {
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.as_slice().iter().map(|&v| f(v)).collect(), self.shape().dims())
+        Tensor::from_vec(
+            self.as_slice().iter().map(|&v| f(v)).collect(),
+            self.shape().dims(),
+        )
     }
 
     /// Applies `f` to every element in place.
@@ -109,12 +112,18 @@ impl Tensor {
 
     /// Maximum element. Returns `f32::NEG_INFINITY` for an empty tensor.
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element. Returns `f32::INFINITY` for an empty tensor.
     pub fn min(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Index of the maximum element in flattened order.
@@ -129,6 +138,7 @@ impl Tensor {
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
+            // lint:allow(P1): unreachable — guarded by the is_empty assert above
             .expect("non-empty tensor")
     }
 
