@@ -1,0 +1,122 @@
+//! Records the execution-layer kernel baseline archived in
+//! `BENCH_kernels.json`: matmul and conv forward/backward wall times at
+//! pool widths 1/2/4, plus the host parallelism the numbers were taken
+//! under. Regenerate with
+//! `cargo run --release -p solo-bench --bin kernels -- --json`.
+//!
+//! Widths are forced through [`exec::with_threads`] so the measurements
+//! do not depend on `SOLO_THREADS`; on a single-core host the wide
+//! variants measure dispatch overhead rather than speedup, which is why
+//! `host_threads` is part of the record.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use solo_bench::{header, maybe_json};
+use solo_nn::{Conv2d, Layer};
+use solo_tensor::{exec, normal, seeded_rng, Tensor};
+
+const WIDTHS: [usize; 3] = [1, 2, 4];
+const ITERS: usize = 12;
+
+/// One kernel timed at one pool width.
+#[derive(Serialize)]
+struct Measurement {
+    kernel: String,
+    width: usize,
+    median_us: f64,
+    speedup_vs_serial: f64,
+}
+
+/// The whole baseline: host context plus every measurement.
+#[derive(Serialize)]
+struct Baseline {
+    host_threads: usize,
+    pool_width_default: usize,
+    iterations: usize,
+    measurements: Vec<Measurement>,
+}
+
+/// Median wall time of `f` over [`ITERS`] runs, in microseconds.
+fn median_us(mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Times `f` at each width in [`WIDTHS`], deriving speedups vs width 1.
+fn sweep(kernel: &str, out: &mut Vec<Measurement>, mut f: impl FnMut()) {
+    let mut serial = 0.0;
+    for w in WIDTHS {
+        let us = median_us(|| exec::with_threads(w, &mut f));
+        if w == 1 {
+            serial = us;
+        }
+        out.push(Measurement {
+            kernel: kernel.to_string(),
+            width: w,
+            median_us: us,
+            speedup_vs_serial: if us > 0.0 { serial / us } else { 0.0 },
+        });
+    }
+}
+
+fn main() {
+    let mut measurements = Vec::new();
+
+    let a = normal(&mut seeded_rng(1), &[128, 128], 0.0, 1.0);
+    let b = normal(&mut seeded_rng(2), &[128, 128], 0.0, 1.0);
+    sweep("matmul_systolic_128", &mut measurements, || {
+        a.matmul(&b).recycle();
+    });
+
+    let a = normal(&mut seeded_rng(1), &[64, 288], 0.0, 1.0);
+    let b = normal(&mut seeded_rng(2), &[288, 576], 0.0, 1.0);
+    sweep("matmul_backbone_gemm", &mut measurements, || {
+        a.matmul(&b).recycle();
+    });
+
+    let x = normal(&mut seeded_rng(3), &[8, 48, 48], 0.0, 1.0);
+    let mut conv = Conv2d::new(&mut seeded_rng(4), 8, 16, 3);
+    sweep("conv_fwd_8x16_k3_48", &mut measurements, || {
+        conv.forward(&x).recycle();
+    });
+
+    let mut conv = Conv2d::new(&mut seeded_rng(5), 8, 16, 3);
+    let g = Tensor::ones(conv.forward(&x).shape().dims());
+    sweep("conv_bwd_8x16_k3_48", &mut measurements, || {
+        conv.forward(&x).recycle();
+        conv.backward(&g).recycle();
+    });
+
+    let baseline = Baseline {
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        pool_width_default: exec::pool().width(),
+        iterations: ITERS,
+        measurements,
+    };
+    if maybe_json(&baseline) {
+        return;
+    }
+    header("Execution-layer kernel baseline");
+    println!(
+        "host threads: {}   pool width: {}",
+        baseline.host_threads, baseline.pool_width_default
+    );
+    println!(
+        "{:<24}{:>7}{:>14}{:>10}",
+        "kernel", "width", "median (µs)", "speedup"
+    );
+    for m in &baseline.measurements {
+        println!(
+            "{:<24}{:>7}{:>14.1}{:>10.2}",
+            m.kernel, m.width, m.median_us, m.speedup_vs_serial
+        );
+    }
+}

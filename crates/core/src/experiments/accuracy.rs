@@ -1,10 +1,9 @@
 //! Training-based accuracy experiments: Table 2, Fig. 12 (a), Fig. 13 (a).
 
-use crossbeam::thread;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use solo_scene::{DatasetConfig, Sample, SceneDataset};
-use solo_tensor::seeded_rng;
+use solo_tensor::{exec, seeded_rng};
 
 use crate::backbones::BackboneKind;
 use crate::metrics::{binary_iou, class_map_iou};
@@ -118,7 +117,9 @@ fn run_method(
 }
 
 /// Regenerates Table 2: every (backbone × dataset) cell with all four
-/// methods, training from scratch. Cells run in parallel via crossbeam.
+/// methods, training from scratch. Cells fan out across the shared
+/// execution pool; each cell seeds its own RNG so results are independent
+/// of scheduling and of `SOLO_THREADS`.
 pub fn table2(budget: &Budget, seed: u64) -> Vec<Table2Cell> {
     let presets = dataset_presets();
     let mut jobs = Vec::new();
@@ -128,24 +129,10 @@ pub fn table2(budget: &Budget, seed: u64) -> Vec<Table2Cell> {
         }
     }
     let budget = *budget;
-    let results: Vec<Table2Cell> = thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, (kind, ds, hw_ds))| {
-                let budget = budget;
-                scope.spawn(move |_| table2_cell(*kind, ds, *hw_ds, &budget, seed + i as u64))
-            })
-            .collect();
-        handles
-            .into_iter()
-            // lint:allow(P1): a join error means a worker panicked; re-raising is the only sound option
-            .map(|h| h.join().expect("cell thread"))
-            .collect()
+    exec::pool().par_tasks(jobs.len(), |i| {
+        let (kind, ds, hw_ds) = &jobs[i];
+        table2_cell(*kind, ds, *hw_ds, &budget, seed + i as u64)
     })
-    // lint:allow(P1): crossbeam scope only errs when a child panicked; propagate it
-    .expect("table2 scope");
-    results
 }
 
 fn table2_cell(
@@ -218,53 +205,36 @@ pub fn fig13a(budget: &Budget, seed: u64) -> Vec<Fig13aPoint> {
             vec![(150, 24), (90, 16), (60, 8)],
         ),
     ];
-    let mut out = Vec::new();
     let cells: Vec<(DatasetConfig, usize, usize)> = sweeps
         .iter()
         .flat_map(|(ds, sizes)| sizes.iter().map(move |&(p, f)| (ds.clone(), p, f)))
         .collect();
-    let results: Vec<Fig13aPoint> = thread::scope(|scope| {
-        let handles: Vec<_> = cells
-            .iter()
-            .enumerate()
-            .map(|(i, (ds, paper_side, func_side))| {
-                let budget = *budget;
-                scope.spawn(move |_| {
-                    let ds_fn = ds.clone().with_resolution(budget.full_res);
-                    let cfg = PipelineConfig::for_dataset(&ds_fn, budget.full_res, *func_side);
-                    let data = SceneDataset::new(ds_fn);
-                    let mut rng = seeded_rng(seed + 100 + i as u64);
-                    let train = data.samples(budget.train_samples, &mut rng);
-                    let test = data.samples(budget.test_samples, &mut rng);
-                    let (b, c) = run_method(
-                        Method::Solo,
-                        BackboneKind::Hr,
-                        cfg,
-                        &train,
-                        &test,
-                        budget.epochs,
-                        &mut rng,
-                    );
-                    Fig13aPoint {
-                        dataset: dataset_label(ds).to_string(),
-                        paper_side: *paper_side,
-                        func_side: *func_side,
-                        b_iou: b,
-                        c_iou: c,
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            // lint:allow(P1): a join error means a worker panicked; re-raising is the only sound option
-            .map(|h| h.join().expect("cell thread"))
-            .collect()
+    let budget = *budget;
+    exec::pool().par_tasks(cells.len(), |i| {
+        let (ds, paper_side, func_side) = &cells[i];
+        let ds_fn = ds.clone().with_resolution(budget.full_res);
+        let cfg = PipelineConfig::for_dataset(&ds_fn, budget.full_res, *func_side);
+        let data = SceneDataset::new(ds_fn);
+        let mut rng = seeded_rng(seed + 100 + i as u64);
+        let train = data.samples(budget.train_samples, &mut rng);
+        let test = data.samples(budget.test_samples, &mut rng);
+        let (b, c) = run_method(
+            Method::Solo,
+            BackboneKind::Hr,
+            cfg,
+            &train,
+            &test,
+            budget.epochs,
+            &mut rng,
+        );
+        Fig13aPoint {
+            dataset: dataset_label(ds).to_string(),
+            paper_side: *paper_side,
+            func_side: *func_side,
+            b_iou: b,
+            c_iou: c,
+        }
     })
-    // lint:allow(P1): crossbeam scope only errs when a child panicked; propagate it
-    .expect("fig13a scope");
-    out.extend(results);
-    out
 }
 
 /// One point of Fig. 12 (a): a method's c-IoU at its FLOPs budget.

@@ -159,9 +159,15 @@ impl FoveatedPipeline {
 
     /// The index map for a frame: preview → saliency → Eq. 2/3.
     pub fn index_map(&mut self, sample: &Sample) -> IndexMap {
+        self.index_map_at(&sample.image, sample.gaze)
+    }
+
+    /// The index map for a raw frame given only the image and the gaze —
+    /// the streaming entry point, where no dataset `Sample` exists.
+    pub fn index_map_at(&mut self, image: &Tensor, gaze: GazePoint) -> IndexMap {
         let d = self.cfg.down_res;
-        let preview = uniform_subsample(&sample.image, d, d);
-        let s = self.saliency.saliency(&preview, sample.gaze);
+        let preview = uniform_subsample(image, d, d);
+        let s = self.saliency.saliency(&preview, gaze);
         IndexMap::from_saliency(&self.cfg.spec(), &s)
     }
 
@@ -196,8 +202,19 @@ impl FoveatedPipeline {
     /// Samples the frame with the index map and stacks the gaze channel at
     /// its *warped* location (where the sampler put the gazed pixel).
     pub fn pack_sampled(&self, map: &solo_sampler::IndexMap, sample: &Sample) -> Tensor {
-        let sampled = map.sample_bilinear(&sample.image);
-        let (gr, gc) = sample.gaze.to_pixel(self.cfg.full_res, self.cfg.full_res);
+        self.pack_sampled_at(map, &sample.image, sample.gaze)
+    }
+
+    /// [`Self::pack_sampled`] for a raw frame: image and gaze only, no
+    /// dataset `Sample` required.
+    pub fn pack_sampled_at(
+        &self,
+        map: &solo_sampler::IndexMap,
+        image: &Tensor,
+        gaze: GazePoint,
+    ) -> Tensor {
+        let sampled = map.sample_bilinear(image);
+        let (gr, gc) = gaze.to_pixel(self.cfg.full_res, self.cfg.full_res);
         let (wi, wj) = map.warp_source_point(gr, gc);
         let d = self.cfg.down_res as f32;
         with_gaze_channel(

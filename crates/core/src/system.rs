@@ -138,32 +138,14 @@ fn segment_frame(
 ) -> (Tensor, usize) {
     let full = p.config().full_res;
     let d = p.config().down_res;
-    let pseudo = pseudo_sample(image, gaze, full);
-    let map = p.index_map(&pseudo);
-    let sampled = p.pack_sampled(&map, &pseudo);
+    let map = p.index_map_at(image, gaze);
+    let sampled = p.pack_sampled_at(&map, image, gaze);
     let (mask, logits) = p.seg.infer(&sampled);
     let up = map
         .upsample(&mask.reshape(&[1, d, d]))
         .into_reshaped(&[full, full])
         .map(|v| if v > 0.5 { 1.0 } else { 0.0 });
     (up, logits.argmax())
-}
-
-/// A minimal stand-in `Sample` so `FoveatedPipeline::index_map` can run on
-/// streaming frames (only `image` and `gaze` are consulted).
-fn pseudo_sample(image: &Tensor, gaze: solo_gaze::GazePoint, full: usize) -> solo_scene::Sample {
-    solo_scene::Sample {
-        image: image.clone(),
-        gaze,
-        ioi_mask: Tensor::zeros(&[full, full]),
-        ioi_class: solo_scene::ShapeClass::Circle,
-        scene: solo_scene::Scene {
-            objects: Vec::new(),
-            background: solo_scene::Background::default(),
-        },
-        view: solo_scene::ViewWindow::new(0.5, 0.5, 1.0),
-        ioi_index: 0,
-    }
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
 //! | `D1` | library code (non-bench)        | no ambient entropy, clocks, or env reads |
+//! | `D2` | library + bench code            | no raw thread spawns/scopes outside `solo-tensor::exec` |
 //! | `U1` | `crates/hw`                     | no raw-`f64` unit-suffixed params; no unwrap-rewrap |
 //! | `P1` | library code (non-bench)        | panics need an inline waiver |
 //! | `C1` | `crates/hw`, sampler `index_map`| no truncating casts on arithmetic |
@@ -22,7 +23,7 @@ pub struct Violation {
     pub file: String,
     /// 1-indexed line number.
     pub line: usize,
-    /// Rule id (`D1`, `U1`, `P1`, `C1`, `W1`).
+    /// Rule id (`D1`, `D2`, `U1`, `P1`, `C1`, `W1`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -79,6 +80,9 @@ pub fn check_file(file: &SourceFile, kind: FileKind) -> Vec<Violation> {
         determinism(file, &mut violations);
         panic_policy(file, &mut violations);
     }
+    if matches!(kind, FileKind::Library | FileKind::Bench) {
+        thread_discipline(file, &mut violations);
+    }
     if file.rel.starts_with("crates/hw/src/") {
         unit_safety(file, &mut violations);
     }
@@ -132,6 +136,35 @@ fn determinism(file: &SourceFile, out: &mut Vec<Violation>) {
                     message: format!("`{needle}` in library code: {why}"),
                 });
             }
+        }
+    }
+}
+
+/// D2 — thread discipline: all parallelism is funneled through the shared
+/// execution pool. Raw `std::thread::spawn` or `crossbeam::thread::scope`
+/// anywhere outside `crates/tensor/src/exec.rs` (the pool's own dispatch
+/// plumbing) requires a waiver.
+fn thread_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.rel == "crates/tensor/src/exec.rs" {
+        return;
+    }
+    const NEEDLES: &[&str] = &["thread::spawn", "thread::scope", "crossbeam::thread"];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        // At most one D2 per line: `crossbeam::thread::scope(...)` matches
+        // several needles but is a single violation.
+        if let Some(needle) = NEEDLES.iter().find(|n| line.code.contains(**n)) {
+            out.push(Violation {
+                file: file.rel.clone(),
+                line: idx + 1,
+                rule: "D2",
+                message: format!(
+                    "`{needle}` outside solo-tensor::exec: route parallelism through the \
+                     shared pool (`exec::pool()`), or waive with `// lint:allow(D2): <reason>`"
+                ),
+            });
         }
     }
 }
@@ -399,6 +432,51 @@ mod tests {
         let f = lib_file("let v = std::env::var(\"X\");");
         let v = check_file(&f, FileKind::Library);
         assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn d2_flags_raw_threads_outside_exec() {
+        let f = lib_file("crossbeam::thread::scope(|s| { s.spawn(|_| work()); });");
+        let v = check_file(&f, FileKind::Library);
+        // One violation even though the line matches several needles.
+        assert_eq!(v.iter().filter(|v| v.rule == "D2").count(), 1, "{v:?}");
+        let f = lib_file("let h = std::thread::spawn(work);");
+        assert_eq!(check_file(&f, FileKind::Library)[0].rule, "D2");
+    }
+
+    #[test]
+    fn d2_exempts_exec_and_tests_and_accepts_waivers() {
+        let exec = SourceFile::parse(
+            "crates/tensor/src/exec.rs",
+            "crossbeam::thread::scope(|s| {});",
+        );
+        assert!(check_file(&exec, FileKind::Library)
+            .iter()
+            .all(|v| v.rule != "D2"));
+        let f = lib_file("#[cfg(test)]\nmod tests {\n fn t() { std::thread::spawn(w); }\n}");
+        assert!(check_file(&f, FileKind::Library).is_empty());
+        let f = lib_file(
+            "// lint:allow(D2): bounded one-off helper thread, joined below\nlet h = std::thread::spawn(work);",
+        );
+        assert!(check_file(&f, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn d2_applies_to_bench_code() {
+        let f = SourceFile::parse(
+            "crates/bench/src/lib.rs",
+            "let h = std::thread::spawn(work);",
+        );
+        let v = check_file(&f, FileKind::Bench);
+        assert_eq!(v.iter().filter(|v| v.rule == "D2").count(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn d2_ignores_unrelated_thread_apis() {
+        let f = lib_file("let n = std::thread::available_parallelism();");
+        assert!(check_file(&f, FileKind::Library)
+            .iter()
+            .all(|v| v.rule != "D2"));
     }
 
     #[test]

@@ -85,6 +85,44 @@ fn d1_flags_entropy_and_clocks_in_library_code_only() {
 }
 
 #[test]
+fn d2_funnels_threads_through_the_exec_pool() {
+    let repo = FixtureRepo::new("d2");
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn fan_out() { crossbeam::thread::scope(|s| { s.spawn(|_| work()); }); }\n\
+         fn raw() { let h = std::thread::spawn(work); }\n",
+    );
+    assert_eq!(repo.rules_at("crates/demo/src/lib.rs"), ["D2", "D2"]);
+
+    // The pool's own dispatch plumbing is the one sanctioned home.
+    repo.write(
+        "crates/tensor/src/exec.rs",
+        "fn dispatch() { crossbeam::thread::scope(|s| {}); }\n",
+    );
+    assert!(repo.rules_at("crates/tensor/src/exec.rs").is_empty());
+
+    // Bench code is in scope for D2 (unlike D1/P1); tests are not.
+    repo.write(
+        "crates/bench/src/lib.rs",
+        "fn b() { let h = std::thread::spawn(work); }\n",
+    );
+    assert_eq!(repo.rules_at("crates/bench/src/lib.rs"), ["D2"]);
+    repo.write(
+        "crates/demo/tests/t.rs",
+        "fn t() { let h = std::thread::spawn(work); }\n",
+    );
+    assert!(repo.rules_at("crates/demo/tests/t.rs").is_empty());
+
+    // Waiver with a reason silences it.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "// lint:allow(D2): bounded one-off watchdog, joined on drop\n\
+         fn ok() { let h = std::thread::spawn(work); }\n",
+    );
+    assert!(repo.rules_at("crates/demo/src/lib.rs").is_empty());
+}
+
+#[test]
 fn p1_flags_panics_unless_waived_or_in_tests() {
     let repo = FixtureRepo::new("p1");
     repo.write(

@@ -1,7 +1,7 @@
 //! Multi-head self-attention with full manual backward.
 
 use rand::Rng;
-use solo_tensor::Tensor;
+use solo_tensor::{exec, Tensor};
 
 use crate::{Layer, Linear, Param};
 
@@ -75,9 +75,9 @@ impl MultiHeadAttention {
         let mut ks = Vec::with_capacity(self.heads);
         let mut vs = Vec::with_capacity(self.heads);
         for h in 0..self.heads {
-            let mut q = vec![0.0f32; t * hd];
-            let mut k = vec![0.0f32; t * hd];
-            let mut v = vec![0.0f32; t * hd];
+            let mut q = exec::take_buf(t * hd);
+            let mut k = exec::take_buf(t * hd);
+            let mut v = exec::take_buf(t * hd);
             for i in 0..t {
                 let row = &src[i * 3 * d..(i + 1) * 3 * d];
                 q[i * hd..(i + 1) * hd].copy_from_slice(&row[h * hd..(h + 1) * hd]);
@@ -96,7 +96,7 @@ impl MultiHeadAttention {
     fn merge_heads_grad(&self, dq: &[Tensor], dk: &[Tensor], dv: &[Tensor], t: usize) -> Tensor {
         let d = self.dim;
         let hd = self.head_dim;
-        let mut out = vec![0.0f32; t * 3 * d];
+        let mut out = exec::take_buf(t * 3 * d);
         for h in 0..self.heads {
             for i in 0..t {
                 let row = &mut out[i * 3 * d..(i + 1) * 3 * d];
@@ -130,13 +130,17 @@ impl MultiHeadAttention {
         let mut heads_out = Vec::with_capacity(self.heads);
         let mut attns = Vec::with_capacity(self.heads);
         for h in 0..self.heads {
-            let scores = qs[h].matmul(&ks[h].transpose()).scale(scale);
+            let k_t = ks[h].transpose();
+            let mut scores = qs[h].matmul(&k_t);
+            k_t.recycle();
+            scores.map_inplace(|v| v * scale);
             let attn = scores.softmax_rows();
+            scores.recycle();
             heads_out.push(attn.matmul(&vs[h]));
             attns.push(attn);
         }
         // Concatenate heads back to [T, dim].
-        let mut merged = vec![0.0f32; t * self.dim];
+        let mut merged = exec::take_buf(t * self.dim);
         for h in 0..self.heads {
             let ho = heads_out[h].as_slice();
             for i in 0..t {
@@ -184,7 +188,7 @@ impl Layer for MultiHeadAttention {
         let mut dk = Vec::with_capacity(self.heads);
         let mut dv = Vec::with_capacity(self.heads);
         for h in 0..self.heads {
-            let mut dho = vec![0.0f32; t * hd];
+            let mut dho = exec::take_buf(t * hd);
             for i in 0..t {
                 dho[i * hd..(i + 1) * hd].copy_from_slice(
                     &dmerged.as_slice()[i * self.dim + h * hd..i * self.dim + (h + 1) * hd],
@@ -193,10 +197,15 @@ impl Layer for MultiHeadAttention {
             let dho = Tensor::from_vec(dho, &[t, hd]);
             let attn = &cache.attn[h];
             // dV = Aᵀ · dho ; dA = dho · Vᵀ
-            dv.push(attn.transpose().matmul(&dho));
-            let da = dho.matmul(&cache.v[h].transpose());
+            let attn_t = attn.transpose();
+            dv.push(attn_t.matmul(&dho));
+            attn_t.recycle();
+            let v_t = cache.v[h].transpose();
+            let da = dho.matmul(&v_t);
+            v_t.recycle();
+            dho.recycle();
             // Softmax backward per row: dS = A ∘ (dA − rowsum(dA ∘ A))
-            let mut ds = vec![0.0f32; t * t];
+            let mut ds = exec::take_buf(t * t);
             let a = attn.as_slice();
             let dav = da.as_slice();
             for i in 0..t {
@@ -207,10 +216,15 @@ impl Layer for MultiHeadAttention {
                     ds[i * t + j] = row_a[j] * (row_da[j] - dot);
                 }
             }
-            let ds = Tensor::from_vec(ds, &[t, t]).scale(scale);
+            da.recycle();
+            let mut ds = Tensor::from_vec(ds, &[t, t]);
+            ds.map_inplace(|v| v * scale);
             // dQ = dS · K ; dK = dSᵀ · Q
             dq.push(ds.matmul(&cache.k[h]));
-            dk.push(ds.transpose().matmul(&cache.q[h]));
+            let ds_t = ds.transpose();
+            dk.push(ds_t.matmul(&cache.q[h]));
+            ds_t.recycle();
+            ds.recycle();
         }
         let dqkv = self.merge_heads_grad(&dq, &dk, &dv, t);
         self.qkv.backward(&dqkv)

@@ -1,7 +1,7 @@
 //! 2-D convolution lowered to GEMM via `im2col`.
 
 use rand::Rng;
-use solo_tensor::{col2im, im2col, kaiming_uniform, Im2ColSpec, Tensor};
+use solo_tensor::{col2im, exec, im2col, kaiming_uniform, Im2ColSpec, Tensor};
 
 use crate::{Layer, Param};
 
@@ -150,15 +150,25 @@ impl Layer for Conv2d {
         );
         let g = grad_out.reshape(&[self.out_channels, oh * ow]);
         // dW = g · colsᵀ ; db = row sums ; dcols = Wᵀ · g ; dx = col2im(dcols)
-        self.weight.accumulate(&g.matmul(&cols.transpose()));
-        let mut db = vec![0.0f32; self.out_channels];
+        let cols_t = cols.transpose();
+        let dw = g.matmul(&cols_t);
+        cols_t.recycle();
+        cols.recycle();
+        self.weight.accumulate(&dw);
+        dw.recycle();
+        let mut db = exec::take_buf(self.out_channels);
         for (oc, acc) in db.iter_mut().enumerate() {
             *acc = g.as_slice()[oc * oh * ow..(oc + 1) * oh * ow].iter().sum();
         }
-        self.bias
-            .accumulate(&Tensor::from_vec(db, &[self.out_channels]));
-        let dcols = self.weight.value().transpose().matmul(&g);
-        col2im(&dcols, &spec)
+        let db = Tensor::from_vec(db, &[self.out_channels]);
+        self.bias.accumulate(&db);
+        db.recycle();
+        let w_t = self.weight.value().transpose();
+        let dcols = w_t.matmul(&g);
+        w_t.recycle();
+        let dx = col2im(&dcols, &spec);
+        dcols.recycle();
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -167,7 +177,9 @@ impl Layer for Conv2d {
     }
 
     fn infer(&mut self, input: &Tensor) -> Tensor {
-        self.run(input).0
+        let (y, cols, _) = self.run(input);
+        cols.recycle();
+        y
     }
 }
 

@@ -1,7 +1,7 @@
 //! Fully-connected layer.
 
 use rand::Rng;
-use solo_tensor::{xavier_uniform, Tensor};
+use solo_tensor::{exec, xavier_uniform, Tensor};
 
 use crate::{Layer, Param};
 
@@ -98,7 +98,9 @@ impl Linear {
     }
 
     fn apply(&self, x: &Tensor) -> Tensor {
-        let mut y = x.matmul(&self.weight.value().transpose());
+        let w_t = self.weight.value().transpose();
+        let mut y = x.matmul(&w_t);
+        w_t.recycle();
         let n = y.shape().dim(0);
         let b = self.bias.value().as_slice();
         let data = y.as_mut_slice();
@@ -143,9 +145,13 @@ impl Layer for Linear {
             "grad_out shape mismatch in Linear::backward"
         );
         // dW = gᵀ·x ; db = column sums of g ; dx = g·W
-        self.weight.accumulate(&g.transpose().matmul(&x));
+        let g_t = g.transpose();
+        let dw = g_t.matmul(&x);
+        g_t.recycle();
+        self.weight.accumulate(&dw);
+        dw.recycle();
         let n = g.shape().dim(0);
-        let mut db = vec![0.0f32; self.out_features];
+        let mut db = exec::take_buf(self.out_features);
         for r in 0..n {
             for (acc, &gv) in db
                 .iter_mut()
@@ -154,9 +160,12 @@ impl Layer for Linear {
                 *acc += gv;
             }
         }
-        self.bias
-            .accumulate(&Tensor::from_vec(db, &[self.out_features]));
+        let db = Tensor::from_vec(db, &[self.out_features]);
+        self.bias.accumulate(&db);
+        db.recycle();
+        x.recycle();
         let gx = g.matmul(self.weight.value());
+        g.recycle();
         if self.input_was_vec {
             gx.into_reshaped(&[self.in_features])
         } else {

@@ -1,6 +1,6 @@
 //! Normalization layers.
 
-use solo_tensor::Tensor;
+use solo_tensor::{exec, Tensor};
 
 use crate::{Layer, Param};
 
@@ -51,7 +51,7 @@ impl LayerNorm {
         );
         let rows = input.shape().dim(0);
         let d = self.dim;
-        let mut normalized = vec![0.0f32; rows * d];
+        let mut normalized = exec::take_buf(rows * d);
         let mut inv_std = vec![0.0f32; rows];
         for r in 0..rows {
             let row = &input.as_slice()[r * d..(r + 1) * d];
@@ -122,7 +122,7 @@ impl Layer for LayerNorm {
         self.gamma.accumulate(&Tensor::from_vec(dgamma, &[d]));
         self.beta.accumulate(&Tensor::from_vec(dbeta, &[d]));
         // Input grad: dx = inv_std · (dxh − mean(dxh) − x̂·mean(dxh∘x̂))
-        let mut dx = vec![0.0f32; rows * d];
+        let mut dx = exec::take_buf(rows * d);
         for r in 0..rows {
             let mut mean_dxh = 0.0f32;
             let mut mean_dxh_xn = 0.0f32;
@@ -138,6 +138,7 @@ impl Layer for LayerNorm {
                 dx[r * d + j] = inv_std[r] * (dxh - mean_dxh - xn[r * d + j] * mean_dxh_xn);
             }
         }
+        normalized.recycle();
         Tensor::from_vec(dx, &[rows, d])
     }
 
@@ -200,7 +201,7 @@ impl ChannelNorm {
             input.shape()
         );
         let hw = input.shape().dim(1) * input.shape().dim(2);
-        let mut normalized = vec![0.0f32; self.channels * hw];
+        let mut normalized = exec::take_buf(self.channels * hw);
         let mut inv_std = vec![0.0f32; self.channels];
         for c in 0..self.channels {
             let row = &input.as_slice()[c * hw..(c + 1) * hw];
@@ -259,7 +260,7 @@ impl Layer for ChannelNorm {
         let xn = normalized.as_slice();
         let mut dgamma = vec![0.0f32; self.channels];
         let mut dbeta = vec![0.0f32; self.channels];
-        let mut dx = vec![0.0f32; self.channels * hw];
+        let mut dx = exec::take_buf(self.channels * hw);
         for c in 0..self.channels {
             let mut mean_dxh = 0.0f32;
             let mut mean_dxh_xn = 0.0f32;
@@ -283,7 +284,9 @@ impl Layer for ChannelNorm {
             .accumulate(&Tensor::from_vec(dgamma, &[self.channels]));
         self.beta
             .accumulate(&Tensor::from_vec(dbeta, &[self.channels]));
-        Tensor::from_vec(dx, normalized.shape().dims())
+        let dims = normalized.shape().dims().to_vec();
+        normalized.recycle();
+        Tensor::from_vec(dx, &dims)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -5,7 +5,7 @@
 //! down/up moves with gradients that are exact adjoints of the forward
 //! maps, so gradient checking stays tight.
 
-use solo_tensor::Tensor;
+use solo_tensor::{exec, Tensor};
 
 use crate::{Layer, Param};
 
@@ -42,7 +42,7 @@ impl Layer for AvgPool2 {
         // Adjoint of averaging: distribute g/4 to each source pixel.
         let g = grad_out.as_slice();
         let (oh, ow) = (h / 2, w / 2);
-        let mut out = vec![0.0f32; c * h * w];
+        let mut out = exec::take_buf(c * h * w);
         for ch in 0..c {
             for oi in 0..oh {
                 for oj in 0..ow {
@@ -111,7 +111,7 @@ impl Layer for Upsample2 {
         );
         // Adjoint of replication: sum the 2×2 block gradients.
         let g = grad_out.as_slice();
-        let mut out = vec![0.0f32; c * h * w];
+        let mut out = exec::take_buf(c * h * w);
         let (gh, gw) = (2 * h, 2 * w);
         for ch in 0..c {
             for i in 0..h {
@@ -144,7 +144,7 @@ fn upsample2(input: &Tensor) -> Tensor {
         input.shape().dim(2),
     );
     let src = input.as_slice();
-    let mut out = vec![0.0f32; c * 4 * h * w];
+    let mut out = exec::take_buf(c * 4 * h * w);
     let (oh, ow) = (2 * h, 2 * w);
     for ch in 0..c {
         for i in 0..h {

@@ -1,6 +1,9 @@
 //! Image-shaped tensor utilities: resampling and pooling over `[C, H, W]`.
+//!
+//! Both kernels dispatch through [`crate::exec`], partitioned over whole
+//! output scanlines so results are bit-identical at any pool width.
 
-use crate::Tensor;
+use crate::{exec, Tensor};
 
 /// Bilinearly resizes a `[C, H, W]` tensor to `[C, out_h, out_w]`.
 ///
@@ -24,31 +27,32 @@ pub fn bilinear_resize(input: &Tensor, out_h: usize, out_w: usize) -> Tensor {
         input.shape().dim(2),
     );
     let src = input.as_slice();
-    let mut out = vec![0.0f32; c * out_h * out_w];
+    let mut out = exec::take_buf(c * out_h * out_w);
     let sy = h as f32 / out_h as f32;
     let sx = w as f32 / out_w as f32;
-    for oi in 0..out_h {
+    // One output scanline (channel ch, output row oi) per task.
+    exec::pool().par_rows(&mut out, out_w, 12 * out_w, |r, orow| {
+        let ch = r / out_h;
+        let oi = r % out_h;
+        let base = ch * h * w;
         let fy = ((oi as f32 + 0.5) * sy - 0.5).clamp(0.0, (h - 1) as f32);
         let y0 = fy.floor() as usize;
         let y1 = (y0 + 1).min(h - 1);
         let wy = fy - y0 as f32;
-        for oj in 0..out_w {
+        for (oj, o) in orow.iter_mut().enumerate() {
             let fx = ((oj as f32 + 0.5) * sx - 0.5).clamp(0.0, (w - 1) as f32);
             let x0 = fx.floor() as usize;
             let x1 = (x0 + 1).min(w - 1);
             let wx = fx - x0 as f32;
-            for ch in 0..c {
-                let base = ch * h * w;
-                let v00 = src[base + y0 * w + x0];
-                let v01 = src[base + y0 * w + x1];
-                let v10 = src[base + y1 * w + x0];
-                let v11 = src[base + y1 * w + x1];
-                let top = v00 + (v01 - v00) * wx;
-                let bot = v10 + (v11 - v10) * wx;
-                out[(ch * out_h + oi) * out_w + oj] = top + (bot - top) * wy;
-            }
+            let v00 = src[base + y0 * w + x0];
+            let v01 = src[base + y0 * w + x1];
+            let v10 = src[base + y1 * w + x0];
+            let v11 = src[base + y1 * w + x1];
+            let top = v00 + (v01 - v00) * wx;
+            let bot = v10 + (v11 - v10) * wx;
+            *o = top + (bot - top) * wy;
         }
-    }
+    });
     Tensor::from_vec(out, &[c, out_h, out_w])
 }
 
@@ -91,34 +95,35 @@ fn pool2d(input: &Tensor, window: usize, mode: Mode) -> Tensor {
     let oh = h.div_ceil(window);
     let ow = w.div_ceil(window);
     let src = input.as_slice();
-    let mut out = vec![0.0f32; c * oh * ow];
-    for ch in 0..c {
-        for oi in 0..oh {
-            for oj in 0..ow {
-                let y0 = oi * window;
-                let x0 = oj * window;
-                let y1 = (y0 + window).min(h);
-                let x1 = (x0 + window).min(w);
-                let mut acc = match mode {
-                    Mode::Avg => 0.0,
-                    Mode::Max => f32::NEG_INFINITY,
-                };
-                for y in y0..y1 {
-                    for x in x0..x1 {
-                        let v = src[(ch * h + y) * w + x];
-                        match mode {
-                            Mode::Avg => acc += v,
-                            Mode::Max => acc = acc.max(v),
-                        }
+    let mut out = exec::take_buf(c * oh * ow);
+    // One output scanline (channel ch, output row oi) per task.
+    exec::pool().par_rows(&mut out, ow.max(1), 2 * ow * window * window, |r, orow| {
+        let ch = r / oh;
+        let oi = r % oh;
+        for (oj, o) in orow.iter_mut().enumerate() {
+            let y0 = oi * window;
+            let x0 = oj * window;
+            let y1 = (y0 + window).min(h);
+            let x1 = (x0 + window).min(w);
+            let mut acc = match mode {
+                Mode::Avg => 0.0,
+                Mode::Max => f32::NEG_INFINITY,
+            };
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let v = src[(ch * h + y) * w + x];
+                    match mode {
+                        Mode::Avg => acc += v,
+                        Mode::Max => acc = acc.max(v),
                     }
                 }
-                if let Mode::Avg = mode {
-                    acc /= ((y1 - y0) * (x1 - x0)) as f32;
-                }
-                out[(ch * oh + oi) * ow + oj] = acc;
             }
+            if let Mode::Avg = mode {
+                acc /= ((y1 - y0) * (x1 - x0)) as f32;
+            }
+            *o = acc;
         }
-    }
+    });
     Tensor::from_vec(out, &[c, oh, ow])
 }
 

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 mod image;
 mod linalg;
 mod ops;

@@ -1,12 +1,20 @@
 //! GEMM, transpose and the `im2col` lowering used for convolutions.
+//!
+//! All the kernels here dispatch through [`crate::exec`]: outputs are
+//! partitioned by whole rows (or, for [`col2im`], whole channels) so that
+//! each element is written by exactly one worker and the result is
+//! bit-identical at any pool width.
 
-use crate::Tensor;
+use crate::{exec, Tensor};
 
 impl Tensor {
     /// Matrix multiplication of two rank-2 tensors: `[m,k] × [k,n] → [m,n]`.
     ///
-    /// Implemented as a cache-friendly i-k-j loop; this is the hot kernel for
-    /// both the neural networks and the systolic-array functional model.
+    /// Implemented as a cache-friendly i-k-j loop, row-partitioned across the
+    /// execution pool; this is the hot kernel for both the neural networks
+    /// and the systolic-array functional model. Each output row is produced
+    /// by the same serial loop regardless of the worker count, so results
+    /// are bit-identical under any `SOLO_THREADS`.
     ///
     /// # Panics
     ///
@@ -25,10 +33,9 @@ impl Tensor {
         );
         let a = self.as_slice();
         let b = other.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
+        let mut out = exec::take_buf(m * n);
+        exec::pool().par_rows(&mut out, n.max(1), 2 * k * n, |i, orow| {
             let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
             for (p, &av) in arow.iter().enumerate() {
                 if av == 0.0 {
                     continue;
@@ -38,7 +45,7 @@ impl Tensor {
                     *o += av * bv;
                 }
             }
-        }
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -51,12 +58,13 @@ impl Tensor {
         assert_eq!(self.shape().ndim(), 2, "transpose requires rank-2");
         let (r, c) = (self.shape().dim(0), self.shape().dim(1));
         let src = self.as_slice();
-        let mut out = vec![0.0f32; r * c];
-        for i in 0..r {
-            for j in 0..c {
-                out[j * r + i] = src[i * c + j];
+        let mut out = exec::take_buf(r * c);
+        // Row j of the output gathers column j of the input.
+        exec::pool().par_rows(&mut out, r.max(1), 2 * r, |j, orow| {
+            for (i, o) in orow.iter_mut().enumerate() {
+                *o = src[i * c + j];
             }
-        }
+        });
         Tensor::from_vec(out, &[c, r])
     }
 
@@ -73,14 +81,14 @@ impl Tensor {
         assert_eq!(k, v.len(), "matvec dimension mismatch");
         let a = self.as_slice();
         let x = v.as_slice();
-        let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            out[i] = a[i * k..(i + 1) * k]
+        let mut out = exec::take_buf(m);
+        exec::pool().par_rows(&mut out, 1, 2 * k, |i, orow| {
+            orow[0] = a[i * k..(i + 1) * k]
                 .iter()
                 .zip(x)
                 .map(|(&av, &xv)| av * xv)
                 .sum();
-        }
+        });
         Tensor::from_vec(out, &[m])
     }
 
@@ -171,30 +179,27 @@ pub fn im2col(input: &Tensor, spec: &Im2ColSpec) -> Tensor {
     let rows = spec.channels * k * k;
     let cols = oh * ow;
     let src = input.as_slice();
-    let mut out = vec![0.0f32; rows * cols];
-    for c in 0..spec.channels {
-        for ki in 0..k {
-            for kj in 0..k {
-                let row = (c * k + ki) * k + kj;
-                for oi in 0..oh {
-                    let ii =
-                        (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
-                    if ii < 0 || ii >= spec.height as isize {
-                        continue;
-                    }
-                    for oj in 0..ow {
-                        let jj = (oj * spec.stride + kj * spec.dilation) as isize
-                            - spec.padding as isize;
-                        if jj < 0 || jj >= spec.width as isize {
-                            continue;
-                        }
-                        out[row * cols + oi * ow + oj] =
-                            src[(c * spec.height + ii as usize) * spec.width + jj as usize];
-                    }
+    let mut out = exec::take_buf(rows * cols);
+    // One patch row per (channel, ki, kj) kernel tap; rows are independent.
+    exec::pool().par_rows(&mut out, cols.max(1), 4 * cols, |row, orow| {
+        let c = row / (k * k);
+        let ki = (row / k) % k;
+        let kj = row % k;
+        for oi in 0..oh {
+            let ii = (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
+            if ii < 0 || ii >= spec.height as isize {
+                continue;
+            }
+            for oj in 0..ow {
+                let jj = (oj * spec.stride + kj * spec.dilation) as isize - spec.padding as isize;
+                if jj < 0 || jj >= spec.width as isize {
+                    continue;
                 }
+                orow[oi * ow + oj] =
+                    src[(c * spec.height + ii as usize) * spec.width + jj as usize];
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[rows, cols])
 }
 
@@ -216,8 +221,12 @@ pub fn col2im(cols: &Tensor, spec: &Im2ColSpec) -> Tensor {
     );
     let src = cols.as_slice();
     let ncols = oh * ow;
-    let mut out = vec![0.0f32; spec.channels * spec.height * spec.width];
-    for c in 0..spec.channels {
+    let plane = spec.height * spec.width;
+    let mut out = exec::take_buf(spec.channels * plane);
+    // Kernel taps of the same channel scatter-add into overlapping pixels,
+    // so the finest safe partition is one whole channel plane per task; the
+    // per-channel accumulation order is the same as the serial kernel's.
+    exec::pool().par_rows(&mut out, plane.max(1), 4 * k * k * ncols, |c, chunk| {
         for ki in 0..k {
             for kj in 0..k {
                 let row = (c * k + ki) * k + kj;
@@ -233,13 +242,13 @@ pub fn col2im(cols: &Tensor, spec: &Im2ColSpec) -> Tensor {
                         if jj < 0 || jj >= spec.width as isize {
                             continue;
                         }
-                        out[(c * spec.height + ii as usize) * spec.width + jj as usize] +=
+                        chunk[ii as usize * spec.width + jj as usize] +=
                             src[row * ncols + oi * ow + oj];
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[spec.channels, spec.height, spec.width])
 }
 

@@ -1,6 +1,12 @@
 //! Elementwise operations, reductions and normalization kernels.
 
-use crate::Tensor;
+use crate::{exec, Tensor};
+
+/// Fixed chunk length for parallel reductions. Chunk boundaries depend only
+/// on the tensor length — never on the worker count — so the folded result
+/// is bit-identical at any pool width, and tensors at or below one chunk
+/// reduce exactly like the original serial kernel.
+const REDUCE_CHUNK: usize = 32_768;
 
 impl Tensor {
     /// Applies `f` to every element, returning a new tensor.
@@ -97,8 +103,21 @@ impl Tensor {
     }
 
     /// Sum of all elements.
+    ///
+    /// Large tensors reduce in fixed [`REDUCE_CHUNK`]-element chunks whose
+    /// partials are folded in order, so the result does not depend on the
+    /// pool width.
     pub fn sum(&self) -> f32 {
-        self.as_slice().iter().sum()
+        let data = self.as_slice();
+        if data.len() <= REDUCE_CHUNK {
+            return data.iter().sum();
+        }
+        exec::pool()
+            .par_partials(data.len(), REDUCE_CHUNK, |a, b| {
+                data[a..b].iter().sum::<f32>()
+            })
+            .iter()
+            .sum()
     }
 
     /// Mean of all elements (0.0 for an empty tensor).
@@ -143,8 +162,20 @@ impl Tensor {
     }
 
     /// Squared Euclidean (Frobenius) norm.
+    ///
+    /// Chunked like [`Tensor::sum`] so the result is independent of the pool
+    /// width.
     pub fn norm_sq(&self) -> f32 {
-        self.as_slice().iter().map(|v| v * v).sum()
+        let data = self.as_slice();
+        if data.len() <= REDUCE_CHUNK {
+            return data.iter().map(|v| v * v).sum();
+        }
+        exec::pool()
+            .par_partials(data.len(), REDUCE_CHUNK, |a, b| {
+                data[a..b].iter().map(|v| v * v).sum::<f32>()
+            })
+            .iter()
+            .sum()
     }
 
     /// Mean squared difference against `other`.
@@ -170,20 +201,21 @@ impl Tensor {
     pub fn softmax_rows(&self) -> Tensor {
         assert_eq!(self.shape().ndim(), 2, "softmax_rows requires rank-2");
         let (rows, cols) = (self.shape().dim(0), self.shape().dim(1));
-        let mut out = vec![0.0; rows * cols];
-        for r in 0..rows {
-            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+        let src = self.as_slice();
+        let mut out = exec::take_buf(rows * cols);
+        exec::pool().par_rows(&mut out, cols.max(1), 6 * cols, |r, orow| {
+            let row = &src[r * cols..(r + 1) * cols];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0;
-            for (o, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            for (o, &v) in orow.iter_mut().zip(row) {
                 let e = (v - m).exp();
                 *o = e;
                 denom += e;
             }
-            for o in &mut out[r * cols..(r + 1) * cols] {
+            for o in orow {
                 *o /= denom;
             }
-        }
+        });
         Tensor::from_vec(out, self.shape().dims())
     }
 
@@ -199,16 +231,17 @@ impl Tensor {
     pub fn layernorm_rows(&self, eps: f32) -> Tensor {
         assert_eq!(self.shape().ndim(), 2, "layernorm_rows requires rank-2");
         let (rows, cols) = (self.shape().dim(0), self.shape().dim(1));
-        let mut out = vec![0.0; rows * cols];
-        for r in 0..rows {
-            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+        let src = self.as_slice();
+        let mut out = exec::take_buf(rows * cols);
+        exec::pool().par_rows(&mut out, cols.max(1), 6 * cols, |r, orow| {
+            let row = &src[r * cols..(r + 1) * cols];
             let mean = row.iter().sum::<f32>() / cols as f32;
             let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols as f32;
             let inv = 1.0 / (var + eps).sqrt();
-            for (o, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            for (o, &v) in orow.iter_mut().zip(row) {
                 *o = (v - mean) * inv;
             }
-        }
+        });
         Tensor::from_vec(out, self.shape().dims())
     }
 }

@@ -106,6 +106,16 @@ impl Tensor {
         self.data
     }
 
+    /// Consumes the tensor, returning its storage to the execution layer's
+    /// scratch pool so a later kernel can reuse the allocation.
+    ///
+    /// Use this for short-lived intermediates on hot paths (layer caches,
+    /// transposed copies); dropping a tensor normally is always correct,
+    /// just less frugal.
+    pub fn recycle(self) {
+        crate::exec::recycle_buf(self.data);
+    }
+
     /// Reads the element at a multi-dimensional index.
     ///
     /// # Panics

@@ -2,8 +2,10 @@
 //! property that lets EXPERIMENTS.md numbers be regenerated.
 
 use solo_core::experiments::{fig17, fig3, table1, table3};
+use solo_core::solonet::{FoveatedPipeline, PipelineConfig};
+use solo_nn::{Conv2d, Layer};
 use solo_scene::{DatasetConfig, SceneDataset};
-use solo_tensor::seeded_rng;
+use solo_tensor::{exec, normal, seeded_rng, Tensor};
 
 #[test]
 fn dataset_generation_is_deterministic() {
@@ -24,4 +26,60 @@ fn analytic_experiments_are_deterministic() {
 #[test]
 fn different_seeds_differ() {
     assert_ne!(fig3(200, 11), fig3(200, 12));
+}
+
+/// Runs `f` once with a single worker and once with eight, asserting both
+/// produce the exact same result. The shapes used below are large enough
+/// to clear the pool's minimum-work threshold, so the width-8 run really
+/// exercises the partitioned dispatch paths.
+fn assert_width_invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let serial = exec::with_threads(1, &f);
+    let wide = exec::with_threads(8, &f);
+    assert_eq!(serial, wide);
+}
+
+#[test]
+fn matmul_is_bit_identical_across_pool_widths() {
+    let a = normal(&mut seeded_rng(21), &[96, 128], 0.0, 1.0);
+    let b = normal(&mut seeded_rng(22), &[128, 160], 0.0, 1.0);
+    assert_width_invariant(|| a.matmul(&b).into_vec());
+}
+
+#[test]
+fn conv_forward_and_backward_are_bit_identical_across_pool_widths() {
+    let x = normal(&mut seeded_rng(31), &[8, 48, 48], 0.0, 1.0);
+    assert_width_invariant(|| {
+        let mut conv = Conv2d::new(&mut seeded_rng(32), 8, 16, 3);
+        let y = conv.forward(&x);
+        let g = Tensor::ones(y.shape().dims());
+        let dx = conv.backward(&g);
+        (y.into_vec(), dx.into_vec())
+    });
+}
+
+#[test]
+fn training_step_is_bit_identical_across_pool_widths() {
+    let ds_cfg = DatasetConfig::lvis_like().with_resolution(48);
+    let cfg = PipelineConfig::for_dataset(&ds_cfg, 48, 16);
+    let data = SceneDataset::new(ds_cfg);
+    assert_width_invariant(|| {
+        let mut rng = seeded_rng(41);
+        let samples = data.samples(3, &mut rng);
+        let mut p = FoveatedPipeline::new(
+            &mut rng,
+            solo_core::backbones::BackboneKind::Hr,
+            cfg,
+            true,
+            5e-3,
+        );
+        let losses: Vec<(u32, u32, u32)> = samples
+            .iter()
+            .map(|s| {
+                let (a, b, c) = p.train_step(s);
+                (a.to_bits(), b.to_bits(), c.to_bits())
+            })
+            .collect();
+        let scores = p.evaluate(&samples[0]);
+        (losses, scores.b_iou.to_bits(), scores.c_iou.to_bits())
+    });
 }
