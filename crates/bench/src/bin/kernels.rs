@@ -1,19 +1,22 @@
 //! Records the execution-layer kernel baseline archived in
-//! `BENCH_kernels.json`: matmul and conv forward/backward wall times at
-//! pool widths 1/2/4, plus the host parallelism the numbers were taken
-//! under. Regenerate with
+//! `BENCH_kernels.json`: the GEMM family (blocked and naive reference),
+//! conv forward/backward, elementwise/reduction kernels, attention and
+//! the foveated samplers, at pool widths 1/2/4, plus the host
+//! parallelism the numbers were taken under. Regenerate with
 //! `cargo run --release -p solo-bench --bin kernels -- --json`.
 //!
 //! Widths are forced through [`exec::with_threads`] so the measurements
 //! do not depend on `SOLO_THREADS`; on a single-core host the wide
 //! variants measure dispatch overhead rather than speedup, which is why
-//! `host_threads` is part of the record.
+//! `host_threads` (and the derived `degraded_host` flag) is part of the
+//! record.
 
 use std::time::Instant;
 
 use serde::Serialize;
 use solo_bench::{header, maybe_json};
-use solo_nn::{Conv2d, Layer};
+use solo_nn::{Conv2d, Layer, MultiHeadAttention};
+use solo_sampler::{gaze_saliency, IndexMap, SamplerSpec};
 use solo_tensor::{exec, normal, seeded_rng, Tensor};
 
 const WIDTHS: [usize; 3] = [1, 2, 4];
@@ -32,6 +35,10 @@ struct Measurement {
 #[derive(Serialize)]
 struct Baseline {
     host_threads: usize,
+    /// True when the host exposes a single hardware thread: every width
+    /// above 1 then measures dispatch overhead, not parallel speedup, and
+    /// the record must not be compared against multi-core baselines.
+    degraded_host: bool,
     pool_width_default: usize,
     iterations: usize,
     measurements: Vec<Measurement>,
@@ -81,6 +88,11 @@ fn main() {
     sweep("matmul_backbone_gemm", &mut measurements, || {
         a.matmul(&b).recycle();
     });
+    // The retained i-k-j reference kernel: the before/after yardstick for
+    // the blocked GEMM above.
+    sweep("matmul_backbone_gemm_naive", &mut measurements, || {
+        a.matmul_reference(&b).recycle();
+    });
 
     let x = normal(&mut seeded_rng(3), &[8, 48, 48], 0.0, 1.0);
     let mut conv = Conv2d::new(&mut seeded_rng(4), 8, 16, 3);
@@ -95,27 +107,78 @@ fn main() {
         conv.backward(&g).recycle();
     });
 
+    // Elementwise map over a backbone-activation-sized tensor.
+    let t = normal(&mut seeded_rng(6), &[512, 512], 0.0, 1.0);
+    sweep("map_gelu_512x512", &mut measurements, || {
+        t.map(|v| 0.5 * v * (1.0 + (0.797_884_6 * (v + 0.044_715 * v * v * v)).tanh()))
+            .recycle();
+    });
+
+    // Reductions: in-order chunked dot and argmax over 1M elements.
+    let u = normal(&mut seeded_rng(7), &[1 << 20], 0.0, 1.0);
+    let v = normal(&mut seeded_rng(8), &[1 << 20], 0.0, 1.0);
+    sweep("dot_1m", &mut measurements, || {
+        std::hint::black_box(u.dot(&v));
+    });
+    sweep("argmax_1m", &mut measurements, || {
+        std::hint::black_box(u.argmax());
+    });
+
+    // Attention at a GT-ViT-ish token count (per-head loop fan-out).
+    let mut mha = MultiHeadAttention::new(&mut seeded_rng(9), 64, 4);
+    let seq = normal(&mut seeded_rng(10), &[64, 64], 0.0, 1.0);
+    sweep("attention_fwd_t64_d64h4", &mut measurements, || {
+        mha.infer(&seq).recycle();
+    });
+    let gseq = Tensor::ones(&[64, 64]);
+    sweep("attention_bwd_t64_d64h4", &mut measurements, || {
+        mha.forward(&seq).recycle();
+        mha.backward(&gseq).recycle();
+    });
+
+    // Foveated samplers: bilinear downsample and the Voronoi upsample.
+    let spec = SamplerSpec::new(128, 128, 32, 32, 16.0);
+    let map = IndexMap::from_saliency(&spec, &gaze_saliency(32, 32, (0.5, 0.5), 0.12, 0.02));
+    let img = normal(&mut seeded_rng(11), &[3, 128, 128], 0.0, 1.0);
+    sweep("sampler_bilinear_128_to_32", &mut measurements, || {
+        map.sample_bilinear(&img).recycle();
+    });
+    let small = normal(&mut seeded_rng(12), &[3, 32, 32], 0.0, 1.0);
+    sweep("sampler_upsample_32_to_128", &mut measurements, || {
+        map.upsample(&small).recycle();
+    });
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let baseline = Baseline {
-        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_threads,
+        degraded_host: host_threads == 1,
         pool_width_default: exec::pool().width(),
         iterations: ITERS,
         measurements,
     };
+    if baseline.degraded_host {
+        eprintln!(
+            "WARNING: single-threaded host ({} hardware thread) — widths > 1 measure \
+             dispatch overhead, not parallel speedup; do not compare this record \
+             against multi-core baselines (degraded_host=true in the JSON).",
+            baseline.host_threads
+        );
+    }
     if maybe_json(&baseline) {
         return;
     }
     header("Execution-layer kernel baseline");
     println!(
-        "host threads: {}   pool width: {}",
-        baseline.host_threads, baseline.pool_width_default
+        "host threads: {}   pool width: {}   degraded host: {}",
+        baseline.host_threads, baseline.pool_width_default, baseline.degraded_host
     );
     println!(
-        "{:<24}{:>7}{:>14}{:>10}",
+        "{:<28}{:>7}{:>14}{:>10}",
         "kernel", "width", "median (µs)", "speedup"
     );
     for m in &baseline.measurements {
         println!(
-            "{:<24}{:>7}{:>14.1}{:>10.2}",
+            "{:<28}{:>7}{:>14.1}{:>10.2}",
             m.kernel, m.width, m.median_us, m.speedup_vs_serial
         );
     }

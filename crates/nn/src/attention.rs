@@ -127,16 +127,23 @@ impl MultiHeadAttention {
         };
         let (qs, ks, vs) = self.split_heads(&qkv);
         let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let mut heads_out = Vec::with_capacity(self.heads);
-        let mut attns = Vec::with_capacity(self.heads);
-        for h in 0..self.heads {
+        // Heads are independent; fan them out as whole tasks (collected in
+        // head order, so the result is bit-identical at any pool width).
+        // Kernels inside a worker run serially per the pool's depth-1 rule.
+        let head_cost = t * t * (4 * self.head_dim + 6);
+        let per_head = exec::pool().par_tasks_costed(self.heads, head_cost, |h| {
             let k_t = ks[h].transpose();
             let mut scores = qs[h].matmul(&k_t);
             k_t.recycle();
             scores.map_inplace(|v| v * scale);
             let attn = scores.softmax_rows();
             scores.recycle();
-            heads_out.push(attn.matmul(&vs[h]));
+            (attn.matmul(&vs[h]), attn)
+        });
+        let mut heads_out = Vec::with_capacity(self.heads);
+        let mut attns = Vec::with_capacity(self.heads);
+        for (out, attn) in per_head {
+            heads_out.push(out);
             attns.push(attn);
         }
         // Concatenate heads back to [T, dim].
@@ -183,22 +190,22 @@ impl Layer for MultiHeadAttention {
         let scale = 1.0 / (hd as f32).sqrt();
         // Through the output projection.
         let dmerged = self.proj.backward(grad_out);
-        // Split per head.
-        let mut dq = Vec::with_capacity(self.heads);
-        let mut dk = Vec::with_capacity(self.heads);
-        let mut dv = Vec::with_capacity(self.heads);
-        for h in 0..self.heads {
+        // Per-head backward fans out like the forward pass: heads are
+        // independent and collected in head order, so the fold is
+        // bit-identical at any pool width.
+        let dim = self.dim;
+        let head_cost = t * t * (8 * hd + 8);
+        let grads = exec::pool().par_tasks_costed(self.heads, head_cost, |h| {
             let mut dho = exec::take_buf(t * hd);
             for i in 0..t {
-                dho[i * hd..(i + 1) * hd].copy_from_slice(
-                    &dmerged.as_slice()[i * self.dim + h * hd..i * self.dim + (h + 1) * hd],
-                );
+                dho[i * hd..(i + 1) * hd]
+                    .copy_from_slice(&dmerged.as_slice()[i * dim + h * hd..i * dim + (h + 1) * hd]);
             }
             let dho = Tensor::from_vec(dho, &[t, hd]);
             let attn = &cache.attn[h];
             // dV = Aᵀ · dho ; dA = dho · Vᵀ
             let attn_t = attn.transpose();
-            dv.push(attn_t.matmul(&dho));
+            let dvh = attn_t.matmul(&dho);
             attn_t.recycle();
             let v_t = cache.v[h].transpose();
             let da = dho.matmul(&v_t);
@@ -220,11 +227,20 @@ impl Layer for MultiHeadAttention {
             let mut ds = Tensor::from_vec(ds, &[t, t]);
             ds.map_inplace(|v| v * scale);
             // dQ = dS · K ; dK = dSᵀ · Q
-            dq.push(ds.matmul(&cache.k[h]));
+            let dqh = ds.matmul(&cache.k[h]);
             let ds_t = ds.transpose();
-            dk.push(ds_t.matmul(&cache.q[h]));
+            let dkh = ds_t.matmul(&cache.q[h]);
             ds_t.recycle();
             ds.recycle();
+            (dqh, dkh, dvh)
+        });
+        let mut dq = Vec::with_capacity(self.heads);
+        let mut dk = Vec::with_capacity(self.heads);
+        let mut dv = Vec::with_capacity(self.heads);
+        for (dqh, dkh, dvh) in grads {
+            dq.push(dqh);
+            dk.push(dkh);
+            dv.push(dvh);
         }
         let dqkv = self.merge_heads_grad(&dq, &dk, &dv, t);
         self.qkv.backward(&dqkv)

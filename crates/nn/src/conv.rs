@@ -1,7 +1,9 @@
 //! 2-D convolution lowered to GEMM via `im2col`.
 
 use rand::Rng;
-use solo_tensor::{col2im, exec, im2col, kaiming_uniform, Im2ColSpec, Tensor};
+use solo_tensor::{
+    col2im, exec, im2col, kaiming_uniform, Im2ColSpec, PackedCache, PackedMatrix, Tensor,
+};
 
 use crate::{Layer, Param};
 
@@ -12,10 +14,15 @@ use crate::{Layer, Param};
 /// backbone. The spatial size is inferred from the input at `forward` time,
 /// so the same layer can be applied to different resolutions (needed by the
 /// multi-resolution HRNet-style backbone).
+///
+/// The im2col GEMM's constant left operand — the `[outC, inC·k·k]` weight —
+/// is served from a [`PackedCache`] keyed on the weight's
+/// [`Param::version`], so the panels are packed once per weight update.
 #[derive(Debug)]
 pub struct Conv2d {
     weight: Param, // [out_c, in_c * k * k]
     bias: Param,   // [out_c]
+    packed_weight: PackedCache,
     in_channels: usize,
     out_channels: usize,
     kernel: usize,
@@ -60,6 +67,7 @@ impl Conv2d {
         Self {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_channels])),
+            packed_weight: PackedCache::new(),
             in_channels,
             out_channels,
             kernel,
@@ -100,7 +108,7 @@ impl Conv2d {
         }
     }
 
-    fn run(&self, input: &Tensor) -> (Tensor, Tensor, Im2ColSpec) {
+    fn run(&mut self, input: &Tensor) -> (Tensor, Tensor, Im2ColSpec) {
         assert_eq!(input.shape().ndim(), 3, "conv input must be [C,H,W]");
         assert_eq!(
             input.shape().dim(0),
@@ -117,7 +125,11 @@ impl Conv2d {
             input.shape()
         );
         let cols = im2col(input, &spec);
-        let mut y = self.weight.value().matmul(&cols);
+        let weight = &self.weight;
+        let packed = self
+            .packed_weight
+            .get_or_pack(weight.version(), || PackedMatrix::pack_lhs(weight.value()));
+        let mut y = packed.matmul(&cols);
         let b = self.bias.value().as_slice();
         let data = y.as_mut_slice();
         let l = oh * ow;
@@ -248,6 +260,27 @@ mod tests {
         let x = normal(&mut rng, &[1, 4, 4], 0.0, 1.0);
         let worst = gradcheck::check_param_grad(&mut c, &x, 1e-2);
         assert!(worst < 2e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn packed_weight_repacks_after_training_step() {
+        let step = |c: &mut Conv2d| {
+            c.visit_params(&mut |p| {
+                let n = p.len() as f32;
+                p.value_mut()
+                    .map_inplace(move |v| v * 0.9 + 0.01 * n.recip());
+            });
+        };
+        let x = normal(&mut seeded_rng(9), &[2, 5, 5], 0.0, 1.0);
+        // `a` packs its weights at the initial version, then trains.
+        let mut a = Conv2d::new(&mut seeded_rng(8), 2, 3, 3);
+        a.infer(&x);
+        step(&mut a);
+        // `b` is identical (same seed) but receives the update before ever
+        // packing, so it can never serve stale panels.
+        let mut b = Conv2d::new(&mut seeded_rng(8), 2, 3, 3);
+        step(&mut b);
+        assert_eq!(a.infer(&x).as_slice(), b.infer(&x).as_slice());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Fully-connected layer.
 
 use rand::Rng;
-use solo_tensor::{exec, xavier_uniform, Tensor};
+use solo_tensor::{exec, xavier_uniform, PackedCache, PackedMatrix, Tensor};
 
 use crate::{Layer, Param};
 
@@ -9,10 +9,16 @@ use crate::{Layer, Param};
 ///
 /// Rank-1 inputs of length `in` are accepted as a convenience and treated as
 /// a single row (the output is then rank-1 of length `out`).
+///
+/// The forward/inference GEMM runs against a [`PackedCache`] of `Wᵀ`
+/// panels keyed on the weight's [`Param::version`]: the transpose-and-pack
+/// happens once per weight update instead of once per call, and inference
+/// between updates reuses the packing outright.
 #[derive(Debug)]
 pub struct Linear {
     weight: Param,
     bias: Param,
+    packed_weight: PackedCache,
     in_features: usize,
     out_features: usize,
     cached_input: Option<Tensor>,
@@ -26,6 +32,7 @@ impl Linear {
         Self {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_features])),
+            packed_weight: PackedCache::new(),
             in_features,
             out_features,
             cached_input: None,
@@ -45,6 +52,7 @@ impl Linear {
         Self {
             weight: Param::new(weight),
             bias: Param::new(bias),
+            packed_weight: PackedCache::new(),
             in_features,
             out_features,
             cached_input: None,
@@ -97,10 +105,12 @@ impl Linear {
         }
     }
 
-    fn apply(&self, x: &Tensor) -> Tensor {
-        let w_t = self.weight.value().transpose();
-        let mut y = x.matmul(&w_t);
-        w_t.recycle();
+    fn apply(&mut self, x: &Tensor) -> Tensor {
+        let weight = &self.weight;
+        let packed = self.packed_weight.get_or_pack(weight.version(), || {
+            PackedMatrix::pack_rhs_transposed(weight.value())
+        });
+        let mut y = x.matmul_packed(packed);
         let n = y.shape().dim(0);
         let b = self.bias.value().as_slice();
         let data = y.as_mut_slice();
@@ -237,6 +247,29 @@ mod tests {
     fn backward_requires_forward() {
         let mut rng = seeded_rng(6);
         Linear::new(&mut rng, 2, 2).backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn packed_weight_repacks_after_training_step() {
+        let mut rng = seeded_rng(8);
+        let mut l = Linear::new(&mut rng, 6, 4);
+        let x = normal(&mut rng, &[3, 6], 0.0, 1.0);
+        // Populate the packed-weight cache at the initial version.
+        l.forward(&x);
+        // A training step: accumulate gradients, then update the weights the
+        // way the optimizers do (through value_mut, which bumps the version).
+        l.backward(&Tensor::ones(&[3, 4]));
+        l.visit_params(&mut |p| {
+            let g = p.grad().clone();
+            p.value_mut().add_scaled_inplace(&g, -0.1);
+        });
+        let y = l.infer(&x);
+        // A freshly constructed layer with the post-step parameters has never
+        // seen the stale weights; any cache staleness would show up here.
+        let mut params = Vec::new();
+        l.visit_params(&mut |p| params.push(p.value().clone()));
+        let mut fresh = Linear::from_parts(params[0].clone(), params[1].clone());
+        assert_eq!(y.as_slice(), fresh.infer(&x).as_slice());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The index map `H(i,j) = [g1(i,j), g2(i,j)]` (Eq. 2/3) and its samplers.
 
-use solo_tensor::Tensor;
+use solo_tensor::{exec, Tensor};
 
 /// Geometry and kernel width of a saliency-guided sampling operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -233,14 +233,22 @@ impl IndexMap {
         let (c, h, w) = (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2));
         let (oh, ow) = (self.spec.out_h, self.spec.out_w);
         let src = img.as_slice();
-        let mut out = vec![0.0f32; c * oh * ow];
-        for (off, (&y, &x)) in self.ys.iter().zip(&self.xs).enumerate() {
-            let yi = (y.round() as usize).min(h - 1);
-            let xi = (x.round() as usize).min(w - 1);
-            for ch in 0..c {
-                out[ch * oh * ow + off] = src[(ch * h + yi) * w + xi];
+        let (ys, xs) = (&self.ys, &self.xs);
+        // One task per (channel, output row): every output element is
+        // written by exactly one worker, so the gather is bit-identical at
+        // any pool width.
+        let mut out = exec::take_buf(c * oh * ow);
+        exec::pool().par_rows(&mut out, ow.max(1), 8 * ow, |r, orow| {
+            let ch = r / oh;
+            let oi = r % oh;
+            let base = ch * h * w;
+            for (oj, o) in orow.iter_mut().enumerate() {
+                let off = oi * ow + oj;
+                let yi = (ys[off].round() as usize).min(h - 1);
+                let xi = (xs[off].round() as usize).min(w - 1);
+                *o = src[base + yi * w + xi];
             }
-        }
+        });
         Tensor::from_vec(out, &[c, oh, ow])
     }
 
@@ -256,25 +264,32 @@ impl IndexMap {
         let (c, h, w) = (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2));
         let (oh, ow) = (self.spec.out_h, self.spec.out_w);
         let src = img.as_slice();
-        let mut out = vec![0.0f32; c * oh * ow];
-        for (off, (&y, &x)) in self.ys.iter().zip(&self.xs).enumerate() {
-            let y0 = y.floor() as usize;
-            let x0 = x.floor() as usize;
-            let y1 = (y0 + 1).min(h - 1);
-            let x1 = (x0 + 1).min(w - 1);
-            let wy = y - y0 as f32;
-            let wx = x - x0 as f32;
-            for ch in 0..c {
-                let base = ch * h * w;
+        let (ys, xs) = (&self.ys, &self.xs);
+        // Partitioned like `sample_nearest`: one (channel, output-row) task
+        // per row, each element's interpolation computed by a single worker.
+        let mut out = exec::take_buf(c * oh * ow);
+        exec::pool().par_rows(&mut out, ow.max(1), 16 * ow, |r, orow| {
+            let ch = r / oh;
+            let oi = r % oh;
+            let base = ch * h * w;
+            for (oj, o) in orow.iter_mut().enumerate() {
+                let off = oi * ow + oj;
+                let (y, x) = (ys[off], xs[off]);
+                let y0 = y.floor() as usize;
+                let x0 = x.floor() as usize;
+                let y1 = (y0 + 1).min(h - 1);
+                let x1 = (x0 + 1).min(w - 1);
+                let wy = y - y0 as f32;
+                let wx = x - x0 as f32;
                 let v00 = src[base + y0 * w + x0];
                 let v01 = src[base + y0 * w + x1];
                 let v10 = src[base + y1 * w + x0];
                 let v11 = src[base + y1 * w + x1];
                 let top = v00 + (v01 - v00) * wx;
                 let bot = v10 + (v11 - v10) * wx;
-                out[ch * oh * ow + off] = top + (bot - top) * wy;
+                *o = top + (bot - top) * wy;
             }
-        }
+        });
         Tensor::from_vec(out, &[c, oh, ow])
     }
 
@@ -358,12 +373,20 @@ impl IndexMap {
         }
         let row_of = nearest_assignment(&row_centers, h);
         let col_of = nearest_assignment(&col_centers, w);
-        let src = map.as_slice();
-        let mut out = vec![0.0f32; c * h * w];
+        let (ys, xs) = (&self.ys, &self.xs);
+        // Pass 1 — per source pixel, the winning output cell; the search
+        // runs once per pixel and is shared by every channel. Cell ids are
+        // stored as f32 so the pass rides the pooled f32 row dispatch
+        // (exact as long as they fit the f32 mantissa, asserted here).
+        assert!(
+            oh * ow < (1 << 24),
+            "upsample: output cell ids must be f32-exact"
+        );
         const R: isize = 2; // refinement radius in output cells
-        for y in 0..h {
+        let mut cells = exec::take_buf(h * w);
+        exec::pool().par_rows(&mut cells, w.max(1), 130 * w, |y, orow| {
             let i0 = row_of[y] as isize;
-            for x in 0..w {
+            for (x, o) in orow.iter_mut().enumerate() {
                 let j0 = col_of[x] as isize;
                 // Refine: nearest sample in the (2R+1)² neighbourhood.
                 let mut best = (row_of[y], col_of[x]);
@@ -379,8 +402,8 @@ impl IndexMap {
                             continue;
                         }
                         let off = i as usize * ow + j as usize;
-                        let dy = self.ys[off] - y as f32;
-                        let dx = self.xs[off] - x as f32;
+                        let dy = ys[off] - y as f32;
+                        let dx = xs[off] - x as f32;
                         let d = dy * dy + dx * dx;
                         if d < best_d {
                             best_d = d;
@@ -388,11 +411,22 @@ impl IndexMap {
                         }
                     }
                 }
-                for ch in 0..c {
-                    out[(ch * h + y) * w + x] = src[(ch * oh + best.0) * ow + best.1];
-                }
+                *o = (best.0 * ow + best.1) as f32;
             }
-        }
+        });
+        // Pass 2 — nearest-neighbour copy per (channel, source row).
+        let src = map.as_slice();
+        let mut out = exec::take_buf(c * h * w);
+        exec::pool().par_rows(&mut out, w.max(1), 4 * w, |r, orow| {
+            let ch = r / h;
+            let y = r % h;
+            let crow = &cells[y * w..(y + 1) * w];
+            for (o, &cell) in orow.iter_mut().zip(crow) {
+                let off = cell as usize;
+                *o = src[ch * oh * ow + off];
+            }
+        });
+        exec::recycle_buf(cells);
         Tensor::from_vec(out, &[c, h, w])
     }
 

@@ -168,47 +168,102 @@ impl Pool {
     where
         F: Fn(usize, &mut [f32]) + Send + Sync,
     {
+        self.par_row_spans(out, row_len, 1, work_per_row, |start, span| {
+            for (i, row) in span.chunks_mut(row_len).enumerate() {
+                f(start + i, row);
+            }
+        });
+    }
+
+    /// Deterministic span-partitioned dispatch: like [`Pool::par_rows`], but
+    /// `f(first_row, span)` receives a whole contiguous *span* of rows per
+    /// worker instead of one row at a time, and span boundaries are aligned
+    /// to multiples of `block_rows` (except the final span, which may end
+    /// ragged at the buffer's last row).
+    ///
+    /// This is the dispatch shape for kernels that tile across rows — the
+    /// blocked GEMM processes `MR`-row register tiles, so its spans must
+    /// start on an `MR` boundary for the packed-A panels to line up. The
+    /// determinism contract is the caller's: `f` must compute each row
+    /// identically whatever span it lands in (true for any kernel whose
+    /// per-element work does not depend on neighbouring rows), in which
+    /// case the result is bit-identical at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is non-empty and `out.len()` is not a multiple of
+    /// `row_len`, if `block_rows` is zero, or if a span task panics (the
+    /// panic is propagated).
+    pub fn par_row_spans<F>(
+        &self,
+        out: &mut [f32],
+        row_len: usize,
+        block_rows: usize,
+        work_per_row: usize,
+        f: F,
+    ) where
+        F: Fn(usize, &mut [f32]) + Send + Sync,
+    {
         if out.is_empty() {
             return;
         }
-        assert!(row_len > 0, "par_rows row_len must be nonzero");
+        assert!(row_len > 0, "par_row_spans row_len must be nonzero");
+        assert!(block_rows > 0, "par_row_spans block_rows must be nonzero");
         assert_eq!(
             out.len() % row_len,
             0,
-            "par_rows buffer is not a whole number of rows"
+            "par_row_spans buffer is not a whole number of rows"
         );
         let rows = out.len() / row_len;
-        let workers = self.effective_width().min(rows);
+        let blocks = rows.div_ceil(block_rows);
+        let workers = self.effective_width().min(blocks);
         if workers <= 1 || rows.saturating_mul(work_per_row) < MIN_PAR_WORK {
-            for (r, row) in out.chunks_mut(row_len).enumerate() {
-                f(r, row);
-            }
+            f(0, out);
             return;
         }
-        let base = rows / workers;
-        let extra = rows % workers;
+        let base = blocks / workers;
+        let extra = blocks % workers;
         let result = crossbeam::thread::scope(|s| {
             let f = &f;
             let mut rest = out;
             let mut row0 = 0usize;
             for w in 0..workers {
-                let span = base + usize::from(w < extra);
-                let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(span * row_len);
+                let span_blocks = base + usize::from(w < extra);
+                let span_rows = (span_blocks * block_rows).min(rows - row0);
+                let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(span_rows * row_len);
                 rest = tail;
                 let start = row0;
-                row0 += span;
+                row0 += span_rows;
                 if w + 1 == workers {
                     // The caller works the last span instead of idling at
                     // the join.
-                    run_as_worker(|| run_rows(chunk, row_len, start, f));
+                    run_as_worker(|| f(start, chunk));
                 } else {
-                    s.spawn(move |_| run_as_worker(|| run_rows(chunk, row_len, start, f)));
+                    s.spawn(move |_| run_as_worker(|| f(start, chunk)));
                 }
             }
         });
-        // lint:allow(P1): the scope only errs when a row task panicked;
+        // lint:allow(P1): the scope only errs when a span task panicked;
         // re-raising the panic is the only sound continuation.
-        result.expect("exec pool row task panicked");
+        result.expect("exec pool span task panicked");
+    }
+
+    /// Cost-gated variant of [`Pool::par_tasks`]: stays on the serial path
+    /// when `n × work_per_task` estimated scalar ops are too small to
+    /// amortize thread spawn/join, exactly like the row dispatchers.
+    ///
+    /// Use this for fan-outs that appear on latency-sensitive paths with
+    /// wildly varying task sizes (e.g. the per-head attention loop, where a
+    /// unit-test layer has 2 tokens and a backbone layer has hundreds).
+    pub fn par_tasks_costed<T, F>(&self, n: usize, work_per_task: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Send + Sync,
+    {
+        if n.saturating_mul(work_per_task) < MIN_PAR_WORK {
+            return (0..n).map(f).collect();
+        }
+        self.par_tasks(n, f)
     }
 
     /// Deterministic indexed task fan-out: runs `f(0..n)` across up to
@@ -268,12 +323,6 @@ impl Pool {
             let start = c * chunk;
             f(start, (start + chunk).min(len))
         })
-    }
-}
-
-fn run_rows<F: Fn(usize, &mut [f32])>(chunk: &mut [f32], row_len: usize, start: usize, f: &F) {
-    for (i, row) in chunk.chunks_mut(row_len).enumerate() {
-        f(start + i, row);
     }
 }
 
@@ -395,6 +444,68 @@ mod tests {
     fn par_rows_empty_output_is_a_noop() {
         let mut out: Vec<f32> = Vec::new();
         pool().par_rows(&mut out, 0, 0, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn par_row_spans_aligns_spans_to_blocks() {
+        // 37 rows in blocks of 4: at width 8 every span but the last must
+        // start on a multiple of 4, and every row is visited exactly once.
+        let rows = 37;
+        let cols = 3;
+        let starts = Mutex::new(Vec::new());
+        let mut out = vec![0.0f32; rows * cols];
+        with_threads(8, || {
+            pool().par_row_spans(&mut out, cols, 4, MIN_PAR_WORK, |start, span| {
+                lock(&starts).push((start, span.len() / cols));
+                for (i, row) in span.chunks_mut(cols).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (start + i) as f32;
+                    }
+                }
+            });
+        });
+        let mut starts = starts.into_inner().unwrap_or_else(|e| e.into_inner());
+        starts.sort_unstable();
+        let mut next = 0;
+        for (start, len) in &starts {
+            assert_eq!(*start, next, "span not contiguous");
+            assert_eq!(start % 4, 0, "span start {start} not block-aligned");
+            next = start + len;
+        }
+        assert_eq!(next, rows);
+        for (r, row) in out.chunks(cols).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f32), "row {r} wrong");
+        }
+    }
+
+    #[test]
+    fn par_row_spans_serial_path_sees_whole_buffer() {
+        let mut out = vec![0.0f32; 12];
+        pool().par_row_spans(&mut out, 3, 2, 1, |start, span| {
+            assert_eq!(start, 0);
+            assert_eq!(span.len(), 12);
+            span[0] = 5.0;
+        });
+        assert_eq!(out[0], 5.0);
+    }
+
+    #[test]
+    fn par_tasks_costed_gates_on_work() {
+        // Tiny work stays serial (observable via effective_width inside).
+        let widths = with_threads(4, || {
+            pool().par_tasks_costed(4, 1, |_| pool().effective_width())
+        });
+        assert!(
+            widths.iter().all(|&w| w == 4),
+            "small work should stay on the caller thread: {widths:?}"
+        );
+        let widths = with_threads(4, || {
+            pool().par_tasks_costed(4, MIN_PAR_WORK, |_| pool().effective_width())
+        });
+        assert!(
+            widths.iter().all(|&w| w == 1),
+            "large work should fan out: {widths:?}"
+        );
     }
 
     #[test]

@@ -28,12 +28,14 @@ pub mod exec;
 mod image;
 mod linalg;
 mod ops;
+mod packed;
 mod random;
 mod shape;
 mod tensor;
 
 pub use image::{avg_pool2d, bilinear_resize, max_pool2d};
 pub use linalg::{col2im, im2col, Im2ColSpec};
+pub use packed::{PackedCache, PackedMatrix, PanelKind};
 pub use random::{kaiming_uniform, normal, seeded_rng, uniform, xavier_uniform};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -5,21 +5,62 @@
 //! each element is written by exactly one worker and the result is
 //! bit-identical at any pool width.
 
-use crate::{exec, Tensor};
+use crate::{exec, packed, Tensor};
+use packed::NR;
+
+/// Multiply–add volume (`m·k·n`) below which [`Tensor::matmul`] runs the
+/// naive reference kernel instead of packing panels. Packing costs two
+/// passes over the operands, which only pays for itself once the product
+/// re-reads them a few times over; both paths are bit-identical, so the
+/// threshold is purely a performance knob.
+const BLOCKED_MIN_MULADDS: usize = 16 * 16 * 16;
 
 impl Tensor {
     /// Matrix multiplication of two rank-2 tensors: `[m,k] × [k,n] → [m,n]`.
     ///
-    /// Implemented as a cache-friendly i-k-j loop, row-partitioned across the
-    /// execution pool; this is the hot kernel for both the neural networks
-    /// and the systolic-array functional model. Each output row is produced
-    /// by the same serial loop regardless of the worker count, so results
-    /// are bit-identical under any `SOLO_THREADS`.
+    /// Above a fixed multiply–add volume this runs the cache-blocked,
+    /// panel-packed GEMM (register-tiled micro-kernel over p-major column
+    /// and row panels); small products fall back to
+    /// [`Tensor::matmul_reference`]. Both paths accumulate each output
+    /// element over ascending `k` with the same zero-skip, so the result is
+    /// bit-identical between them and under any `SOLO_THREADS` width.
     ///
     /// # Panics
     ///
     /// Panics if either operand is not rank-2 or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.shape().ndim(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        let (k2, n) = (other.shape().dim(0), other.shape().dim(1));
+        assert_eq!(
+            k,
+            k2,
+            "matmul inner dimension mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        if m * k * n < BLOCKED_MIN_MULADDS {
+            return self.matmul_reference(other);
+        }
+        let mut b_panels = exec::take_buf(n.div_ceil(NR).max(1) * k * NR);
+        packed::pack_rhs_into(&mut b_panels, other.as_slice(), k, n);
+        let out = packed::gemm_pack_lhs(self.as_slice(), &b_panels, m, k, n);
+        exec::recycle_buf(b_panels);
+        out
+    }
+
+    /// The unblocked i-k-j reference GEMM the blocked kernel is verified
+    /// against: row-partitioned across the execution pool, ascending-`k`
+    /// accumulation per output element, `a == 0.0` terms skipped.
+    ///
+    /// [`Tensor::matmul`] uses this directly for small products; tests and
+    /// benches call it to pin the blocked kernel's bit-identity and speedup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank-2 or the inner dimensions differ.
+    pub fn matmul_reference(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape().ndim(), 2, "matmul lhs must be rank-2");
         assert_eq!(other.shape().ndim(), 2, "matmul rhs must be rank-2");
         let (m, k) = (self.shape().dim(0), self.shape().dim(1));
@@ -59,8 +100,11 @@ impl Tensor {
         let (r, c) = (self.shape().dim(0), self.shape().dim(1));
         let src = self.as_slice();
         let mut out = exec::take_buf(r * c);
-        // Row j of the output gathers column j of the input.
-        exec::pool().par_rows(&mut out, r.max(1), 2 * r, |j, orow| {
+        // Row j of the output gathers column j of the input with stride c:
+        // once the stride exceeds a cache line (16 f32), every gather touches
+        // a fresh line, so the per-row cost scales with the line-miss count,
+        // not the element count — hence the `c.min(16)` factor.
+        exec::pool().par_rows(&mut out, r.max(1), 2 * r * c.min(16), |j, orow| {
             for (i, o) in orow.iter_mut().enumerate() {
                 *o = src[i * c + j];
             }
@@ -94,6 +138,11 @@ impl Tensor {
 
     /// Dot product of two rank-1 tensors.
     ///
+    /// Long vectors reduce in the same fixed-length chunks as
+    /// [`Tensor::sum`], with partials folded in order, so the result does
+    /// not depend on the pool width; vectors at or below one chunk reduce
+    /// exactly like the original serial kernel.
+    ///
     /// # Panics
     ///
     /// Panics if either operand is not rank-1 or lengths differ.
@@ -101,10 +150,20 @@ impl Tensor {
         assert_eq!(self.shape().ndim(), 1, "dot lhs must be rank-1");
         assert_eq!(other.shape().ndim(), 1, "dot rhs must be rank-1");
         assert_eq!(self.len(), other.len(), "dot length mismatch");
-        self.as_slice()
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let chunk = crate::ops::REDUCE_CHUNK;
+        if a.len() <= chunk {
+            return a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+        }
+        exec::pool()
+            .par_partials(a.len(), chunk, |s, e| {
+                a[s..e]
+                    .iter()
+                    .zip(&b[s..e])
+                    .map(|(&x, &y)| x * y)
+                    .sum::<f32>()
+            })
             .iter()
-            .zip(other.as_slice())
-            .map(|(&a, &b)| a * b)
             .sum()
     }
 }

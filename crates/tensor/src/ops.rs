@@ -6,30 +6,47 @@ use crate::{exec, Tensor};
 /// on the tensor length — never on the worker count — so the folded result
 /// is bit-identical at any pool width, and tensors at or below one chunk
 /// reduce exactly like the original serial kernel.
-const REDUCE_CHUNK: usize = 32_768;
+pub(crate) const REDUCE_CHUNK: usize = 32_768;
+
+/// Nominal per-element cost hint for the pooled elementwise kernels; with
+/// the pool's work floor this keeps small tensors on the serial path.
+const MAP_COST: usize = 4;
 
 impl Tensor {
     /// Applies `f` to every element, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(
-            self.as_slice().iter().map(|&v| f(v)).collect(),
-            self.shape().dims(),
-        )
+    ///
+    /// Element `i` of the output depends only on element `i` of the input,
+    /// so the pool partitions the buffer into contiguous spans and the
+    /// result is bit-identical at any width.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Send + Sync) -> Tensor {
+        let src = self.as_slice();
+        let mut out = exec::take_buf(src.len());
+        exec::pool().par_row_spans(&mut out, 1, 1, MAP_COST, |start, span| {
+            let end = start + span.len();
+            for (o, &v) in span.iter_mut().zip(&src[start..end]) {
+                *o = f(v);
+            }
+        });
+        Tensor::from_vec(out, self.shape().dims())
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in self.as_mut_slice() {
-            *v = f(*v);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Send + Sync) {
+        exec::pool().par_row_spans(self.as_mut_slice(), 1, 1, MAP_COST, |_, span| {
+            for v in span {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Combines two tensors elementwise with `f`.
     ///
+    /// Partitioned like [`Tensor::map`]; bit-identical at any pool width.
+    ///
     /// # Panics
     ///
     /// Panics if the shapes differ.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Send + Sync) -> Tensor {
         assert_eq!(
             self.shape(),
             other.shape(),
@@ -37,14 +54,15 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        Tensor::from_vec(
-            self.as_slice()
-                .iter()
-                .zip(other.as_slice())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            self.shape().dims(),
-        )
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut out = exec::take_buf(a.len());
+        exec::pool().par_row_spans(&mut out, 1, 1, MAP_COST, |start, span| {
+            let end = start + span.len();
+            for ((o, &x), &y) in span.iter_mut().zip(&a[start..end]).zip(&b[start..end]) {
+                *o = f(x, y);
+            }
+        });
+        Tensor::from_vec(out, self.shape().dims())
     }
 
     /// Elementwise addition.
@@ -130,35 +148,68 @@ impl Tensor {
     }
 
     /// Maximum element. Returns `f32::NEG_INFINITY` for an empty tensor.
+    ///
+    /// Chunked like [`Tensor::sum`]; `max` is associative and
+    /// `NEG_INFINITY` is its identity, so folding the per-chunk partials in
+    /// chunk order reproduces the serial fold exactly at any pool width.
     pub fn max(&self) -> f32 {
-        self.as_slice()
-            .iter()
-            .copied()
+        let data = self.as_slice();
+        if data.len() <= REDUCE_CHUNK {
+            return data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        }
+        exec::pool()
+            .par_partials(data.len(), REDUCE_CHUNK, |a, b| {
+                data[a..b].iter().copied().fold(f32::NEG_INFINITY, f32::max)
+            })
+            .into_iter()
             .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element. Returns `f32::INFINITY` for an empty tensor.
+    ///
+    /// Chunked like [`Tensor::max`].
     pub fn min(&self) -> f32 {
-        self.as_slice()
-            .iter()
-            .copied()
+        let data = self.as_slice();
+        if data.len() <= REDUCE_CHUNK {
+            return data.iter().copied().fold(f32::INFINITY, f32::min);
+        }
+        exec::pool()
+            .par_partials(data.len(), REDUCE_CHUNK, |a, b| {
+                data[a..b].iter().copied().fold(f32::INFINITY, f32::min)
+            })
+            .into_iter()
             .fold(f32::INFINITY, f32::min)
     }
 
-    /// Index of the maximum element in flattened order.
+    /// Index of the maximum element in flattened order. Ties resolve to the
+    /// **last** maximal element under `total_cmp`, matching the serial
+    /// `max_by` kernel; per-chunk winners are folded in chunk order with the
+    /// same later-wins rule, so the chunked result is identical.
     ///
     /// # Panics
     ///
     /// Panics if the tensor is empty.
     pub fn argmax(&self) -> usize {
         assert!(!self.is_empty(), "argmax of empty tensor");
-        self.as_slice()
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
+        let data = self.as_slice();
+        if data.len() <= REDUCE_CHUNK {
+            return argmax_span(data, 0);
+        }
+        exec::pool()
+            .par_partials(data.len(), REDUCE_CHUNK, |a, b| {
+                let i = argmax_span(&data[a..b], a);
+                (i, data[i])
+            })
+            .into_iter()
+            .reduce(|best, cand| {
+                if cand.1.total_cmp(&best.1).is_ge() {
+                    cand
+                } else {
+                    best
+                }
+            })
             .map(|(i, _)| i)
-            // lint:allow(P1): unreachable — guarded by the is_empty assert above
-            .expect("non-empty tensor")
+            .unwrap_or(0)
     }
 
     /// Squared Euclidean (Frobenius) norm.
@@ -244,6 +295,16 @@ impl Tensor {
         });
         Tensor::from_vec(out, self.shape().dims())
     }
+}
+
+/// Index of the last maximal element of `span` (under `total_cmp`), offset
+/// by `base` into the parent slice. Returns `base` for an empty span.
+fn argmax_span(span: &[f32], base: usize) -> usize {
+    span.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i + base)
+        .unwrap_or(base)
 }
 
 #[cfg(test)]

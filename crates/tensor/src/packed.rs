@@ -1,0 +1,599 @@
+//! Panel packing for the blocked GEMM, and the packed-weight cache.
+//!
+//! The blocked kernel behind [`Tensor::matmul`] never walks the operand
+//! matrices in their row-major layout. Instead both sides are repacked
+//! into *panels* whose element order matches the micro-kernel's access
+//! pattern exactly, so the hot loop reads nothing but forward-contiguous
+//! memory:
+//!
+//! * the right-hand side `[k, n]` becomes `⌈n/NR⌉` **column panels**, each
+//!   holding `k × NR` values p-major (`b[p][j0..j0+NR]` for ascending
+//!   `p`), zero-padded in the last panel;
+//! * the left-hand side `[m, k]` becomes `⌈m/MR⌉` **row panels**, each
+//!   holding `k × MR` values p-major (`a[i0..i0+MR][p]` for ascending
+//!   `p`), zero-padded in the last panel.
+//!
+//! The micro-kernel then keeps an `MR × NR` block of accumulators in
+//! registers and streams both panels once, accumulating over the *entire*
+//! `k` extent in ascending order. Because every output element's
+//! floating-point accumulation chain is exactly the chain the naive
+//! i-k-j kernel produces (same terms, same order, same zero-skip on the
+//! left operand), the blocked kernel is bit-identical to the reference
+//! kernel — and therefore to itself at any pool width, since row spans
+//! only change *which worker* owns a chain, never the chain itself.
+//!
+//! [`PackedMatrix`] makes the packing reusable across calls: inference
+//! constants (`Linear`/`Conv` weights, attention projections) are packed
+//! once per parameter version through [`PackedCache`], which repacks only
+//! when the owner reports a new version (invalidation-on-write).
+
+use crate::{exec, Tensor};
+
+/// Register-tile rows of the micro-kernel (rows of A per panel).
+pub const MR: usize = 4;
+
+/// Register-tile columns of the micro-kernel (columns of B per panel).
+pub const NR: usize = 16;
+
+/// Which operand a [`PackedMatrix`] was packed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanelKind {
+    /// Left operand of a GEMM: row panels of `MR` rows, p-major.
+    Lhs,
+    /// Right operand of a GEMM: column panels of `NR` columns, p-major.
+    Rhs,
+}
+
+/// A matrix repacked into micro-kernel panels (see the module docs).
+///
+/// Packing preserves values exactly — it is a permutation plus zero
+/// padding that the kernel never lets escape into the output — so a GEMM
+/// over packed operands is bit-identical to the same GEMM packed on the
+/// fly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMatrix {
+    data: Vec<f32>,
+    /// Logical row count of the packed matrix (`m` for Lhs, `k` for Rhs).
+    rows: usize,
+    /// Logical column count (`k` for Lhs, `n` for Rhs).
+    cols: usize,
+    kind: PanelKind,
+}
+
+impl PackedMatrix {
+    /// Packs a `[k, n]` right-hand operand into column panels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not rank-2.
+    pub fn pack_rhs(b: &Tensor) -> Self {
+        assert_eq!(b.shape().ndim(), 2, "pack_rhs requires rank-2");
+        let (k, n) = (b.shape().dim(0), b.shape().dim(1));
+        let mut data = vec![0.0f32; n.div_ceil(NR).max(1) * k * NR];
+        pack_rhs_into(&mut data, b.as_slice(), k, n);
+        Self {
+            data,
+            rows: k,
+            cols: n,
+            kind: PanelKind::Rhs,
+        }
+    }
+
+    /// Packs the *transpose* of an `[n, k]` matrix into column panels —
+    /// equivalent to `pack_rhs(&w.transpose())` without materializing the
+    /// transpose. This is the shape `Linear` wants: its weight is stored
+    /// `[out, in]` but multiplies as `x · Wᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank-2.
+    pub fn pack_rhs_transposed(w: &Tensor) -> Self {
+        assert_eq!(w.shape().ndim(), 2, "pack_rhs_transposed requires rank-2");
+        let (n, k) = (w.shape().dim(0), w.shape().dim(1));
+        let src = w.as_slice();
+        let panels = n.div_ceil(NR).max(1);
+        let mut data = vec![0.0f32; panels * k * NR];
+        for jp in 0..panels {
+            let j0 = jp * NR;
+            let width = NR.min(n - j0);
+            let panel = &mut data[jp * k * NR..(jp + 1) * k * NR];
+            for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                // Column j of Wᵀ is row j of W: dst[s] = w[j0+s][p].
+                for (s, v) in dst[..width].iter_mut().enumerate() {
+                    *v = src[(j0 + s) * k + p];
+                }
+            }
+        }
+        Self {
+            data,
+            rows: k,
+            cols: n,
+            kind: PanelKind::Rhs,
+        }
+    }
+
+    /// Packs an `[m, k]` left-hand operand into row panels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not rank-2.
+    pub fn pack_lhs(a: &Tensor) -> Self {
+        assert_eq!(a.shape().ndim(), 2, "pack_lhs requires rank-2");
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let mut data = vec![0.0f32; m.div_ceil(MR).max(1) * k * MR];
+        pack_lhs_into(&mut data, a.as_slice(), m, k);
+        Self {
+            data,
+            rows: m,
+            cols: k,
+            kind: PanelKind::Lhs,
+        }
+    }
+
+    /// Logical row count (`m` for Lhs panels, `k` for Rhs panels).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count (`k` for Lhs panels, `n` for Rhs panels).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Which GEMM operand the panels were laid out for.
+    pub fn kind(&self) -> PanelKind {
+        self.kind
+    }
+
+    /// The packed panel storage (p-major; see the module docs).
+    pub(crate) fn panels(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// A one-slot packed-weight cache keyed by a parameter version.
+///
+/// Owners (e.g. `solo-nn` layers) bump their version counter on every
+/// mutable access to the parameter value; `get_or_pack` repacks only when
+/// the version it sees differs from the one it cached — so inference-time
+/// constants are packed once per training step instead of once per frame,
+/// and a weight update can never be served from a stale packing.
+#[derive(Debug, Clone, Default)]
+pub struct PackedCache {
+    slot: Option<(u64, PackedMatrix)>,
+}
+
+impl PackedCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached packing for `version`, invoking `pack` to build
+    /// (or rebuild) it when the cache is empty or holds a different
+    /// version.
+    pub fn get_or_pack(
+        &mut self,
+        version: u64,
+        pack: impl FnOnce() -> PackedMatrix,
+    ) -> &PackedMatrix {
+        if !matches!(&self.slot, Some((v, _)) if *v == version) {
+            self.slot = Some((version, pack()));
+        }
+        match &self.slot {
+            Some((_, p)) => p,
+            // Unreachable: the slot was populated just above.
+            None => unreachable!("PackedCache slot populated above"),
+        }
+    }
+
+    /// Drops the cached packing (the next `get_or_pack` repacks).
+    pub fn invalidate(&mut self) {
+        self.slot = None;
+    }
+
+    /// The version of the packing currently held, if any. Exposed so tests
+    /// can assert the repack-on-update contract.
+    pub fn cached_version(&self) -> Option<u64> {
+        self.slot.as_ref().map(|(v, _)| *v)
+    }
+}
+
+/// Packs row-major `b` (`k × n`) into `⌈n/NR⌉` p-major column panels.
+/// `data` must be zeroed and sized `⌈n/NR⌉·k·NR` (padding lanes stay zero).
+pub(crate) fn pack_rhs_into(data: &mut [f32], src: &[f32], k: usize, n: usize) {
+    for jp in 0..n / NR {
+        // Full panels: each source row contributes NR contiguous values.
+        let panel = &mut data[jp * k * NR..(jp + 1) * k * NR];
+        for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+            dst.copy_from_slice(&src[p * n + jp * NR..p * n + jp * NR + NR]);
+        }
+    }
+    if n % NR != 0 {
+        let jp = n / NR;
+        let width = n - jp * NR;
+        let panel = &mut data[jp * k * NR..(jp + 1) * k * NR];
+        for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+            dst[..width].copy_from_slice(&src[p * n + jp * NR..p * n + n]);
+        }
+    }
+}
+
+/// Packs row-major `a` (`m × k`) into `⌈m/MR⌉` p-major row panels.
+fn pack_lhs_into(data: &mut [f32], src: &[f32], m: usize, k: usize) {
+    for ip in 0..m.div_ceil(MR) {
+        let i0 = ip * MR;
+        let height = MR.min(m - i0);
+        let panel = &mut data[ip * k * MR..(ip + 1) * k * MR];
+        for (p, dst) in panel.chunks_exact_mut(MR).enumerate() {
+            for (r, v) in dst[..height].iter_mut().enumerate() {
+                *v = src[(i0 + r) * k + p];
+            }
+        }
+    }
+}
+
+/// Lane-parallel AVX2 variant of the scalar micro-kernel.
+///
+/// The vectorization is purely over the `NR` lane dimension: each output
+/// element's accumulation chain is still the scalar chain (one mul, one
+/// add per non-zero `p`, ascending `p`), just computed for eight `j` lanes
+/// at once with `vmulps`/`vaddps`. No FMA is emitted — multiply and add
+/// stay separate instructions with separate roundings — so the result is
+/// bit-identical to the scalar micro-kernel, and the runtime dispatch
+/// between the two can never change an output. `unsafe` here is the
+/// workspace's sanctioned exception: it is confined to this module and
+/// consists only of the `target_feature` call contract plus unaligned
+/// loads/stores whose bounds are pinned by `chunks_exact`/array types.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    #![allow(unsafe_code)]
+
+    use super::{MR, NR};
+    use core::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_storeu_ps,
+    };
+
+    /// Whether the AVX2 micro-kernel may be dispatched (detected once).
+    pub fn available() -> bool {
+        static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+
+    /// AVX2 micro-kernel; see the module docs for the bit-identity
+    /// argument.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified [`available`] returns true. The slice
+    /// geometry (`a_panel.len() == k·MR`, `b_panel.len() == k·NR`) is
+    /// enforced by `chunks_exact`, and every load/store is the unaligned
+    /// variant, so no further alignment or bounds contract is needed.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn microkernel(a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+        const { assert!(NR == 16, "AVX2 kernel assumes two 8-lane registers per row") };
+        const { assert!(MR == 4, "AVX2 kernel unrolls exactly four rows") };
+        let mut a0l = _mm256_loadu_ps(acc[0].as_ptr());
+        let mut a0h = _mm256_loadu_ps(acc[0][8..].as_ptr());
+        let mut a1l = _mm256_loadu_ps(acc[1].as_ptr());
+        let mut a1h = _mm256_loadu_ps(acc[1][8..].as_ptr());
+        let mut a2l = _mm256_loadu_ps(acc[2].as_ptr());
+        let mut a2h = _mm256_loadu_ps(acc[2][8..].as_ptr());
+        let mut a3l = _mm256_loadu_ps(acc[3].as_ptr());
+        let mut a3h = _mm256_loadu_ps(acc[3][8..].as_ptr());
+        for (ap, bp) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+            let bl = _mm256_loadu_ps(bp.as_ptr());
+            let bh = _mm256_loadu_ps(bp[8..].as_ptr());
+            // Same `== 0.0` skip (and NaN semantics) as the scalar kernel.
+            if ap[0] != 0.0 {
+                let av = _mm256_set1_ps(ap[0]);
+                a0l = _mm256_add_ps(a0l, _mm256_mul_ps(av, bl));
+                a0h = _mm256_add_ps(a0h, _mm256_mul_ps(av, bh));
+            }
+            if ap[1] != 0.0 {
+                let av = _mm256_set1_ps(ap[1]);
+                a1l = _mm256_add_ps(a1l, _mm256_mul_ps(av, bl));
+                a1h = _mm256_add_ps(a1h, _mm256_mul_ps(av, bh));
+            }
+            if ap[2] != 0.0 {
+                let av = _mm256_set1_ps(ap[2]);
+                a2l = _mm256_add_ps(a2l, _mm256_mul_ps(av, bl));
+                a2h = _mm256_add_ps(a2h, _mm256_mul_ps(av, bh));
+            }
+            if ap[3] != 0.0 {
+                let av = _mm256_set1_ps(ap[3]);
+                a3l = _mm256_add_ps(a3l, _mm256_mul_ps(av, bl));
+                a3h = _mm256_add_ps(a3h, _mm256_mul_ps(av, bh));
+            }
+        }
+        _mm256_storeu_ps(acc[0].as_mut_ptr(), a0l);
+        _mm256_storeu_ps(acc[0][8..].as_mut_ptr(), a0h);
+        _mm256_storeu_ps(acc[1].as_mut_ptr(), a1l);
+        _mm256_storeu_ps(acc[1][8..].as_mut_ptr(), a1h);
+        _mm256_storeu_ps(acc[2].as_mut_ptr(), a2l);
+        _mm256_storeu_ps(acc[2][8..].as_mut_ptr(), a2h);
+        _mm256_storeu_ps(acc[3].as_mut_ptr(), a3l);
+        _mm256_storeu_ps(acc[3][8..].as_mut_ptr(), a3h);
+    }
+}
+
+/// The register-tiled micro-kernel: accumulates the full-`k` product of
+/// one `MR`-row A panel and one `NR`-column B panel into `acc`.
+///
+/// The accumulation runs over ascending `p` with the same
+/// skip-zero-left-operand rule as the reference kernel, so each
+/// accumulator's floating-point chain is exactly the reference chain for
+/// its output element. `chunks_exact` pins the panel stride for the
+/// compiler: the inner loop is bounds-check-free and vectorizes over the
+/// `NR` lane dimension.
+#[inline]
+fn microkernel(a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (ap, bp) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+        let bp: &[f32; NR] = bp.try_into().unwrap_or(&[0.0; NR]);
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = ap[r];
+            // Same sparsity skip as the reference kernel (and the same
+            // NaN/∞ semantics: only exact ±0.0 left operands are skipped).
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in accr.iter_mut().zip(bp) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Runs the blocked GEMM over one span of output rows.
+///
+/// `span` holds rows `[row0, row0 + span.len()/n)` of the `m × n` output;
+/// `row0` is always a multiple of [`MR`] (the span dispatch aligns blocks)
+/// so A panels line up with the span. Loop order is column-panel outer /
+/// row-panel inner: the `k × NR` B panel stays resident in L1 across the
+/// whole row sweep while C lives entirely in registers until write-back.
+fn gemm_span(
+    span: &mut [f32],
+    row0: usize,
+    a_panels: &[f32],
+    b_panels: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let span_rows = if n == 0 { 0 } else { span.len() / n };
+    if span_rows == 0 || n == 0 {
+        return;
+    }
+    debug_assert_eq!(row0 % MR, 0, "span must start on an MR boundary");
+    #[cfg(target_arch = "x86_64")]
+    let use_simd = simd::available();
+    let panel_b_len = k * NR;
+    let panel_a_len = k * MR;
+    for jp in 0..n.div_ceil(NR) {
+        let b_panel = &b_panels[jp * panel_b_len..(jp + 1) * panel_b_len];
+        let j0 = jp * NR;
+        let width = NR.min(n - j0);
+        let mut i0 = 0usize;
+        while i0 < span_rows {
+            let ip = (row0 + i0) / MR;
+            let a_panel = &a_panels[ip * panel_a_len..(ip + 1) * panel_a_len];
+            let height = MR.min(span_rows - i0).min(m - (row0 + i0));
+            let mut acc = [[0.0f32; NR]; MR];
+            #[cfg(target_arch = "x86_64")]
+            if use_simd {
+                // SAFETY: `use_simd` witnessed AVX2 support; the panel
+                // slices carry exactly k·MR / k·NR elements by construction.
+                #[allow(unsafe_code)]
+                unsafe {
+                    simd::microkernel(a_panel, b_panel, &mut acc)
+                };
+            } else {
+                microkernel(a_panel, b_panel, &mut acc);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            microkernel(a_panel, b_panel, &mut acc);
+            for (r, accr) in acc.iter().take(height).enumerate() {
+                let orow = &mut span[(i0 + r) * n + j0..(i0 + r) * n + j0 + width];
+                orow.copy_from_slice(&accr[..width]);
+            }
+            i0 += MR;
+        }
+    }
+}
+
+/// Blocked GEMM into a fresh output tensor: `a_panels · b_panels → [m, n]`,
+/// row-span partitioned across the execution pool.
+pub(crate) fn gemm_packed(
+    a_panels: &[f32],
+    b_panels: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Tensor {
+    let mut out = exec::take_buf(m * n);
+    exec::pool().par_row_spans(&mut out, n.max(1), MR, 2 * k * n, |row0, span| {
+        gemm_span(span, row0, a_panels, b_panels, m, k, n);
+    });
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Packs `a` on the fly (recycling the scratch through the buffer pool)
+/// and runs the blocked GEMM against pre-packed B panels.
+pub(crate) fn gemm_pack_lhs(a: &[f32], b_panels: &[f32], m: usize, k: usize, n: usize) -> Tensor {
+    let mut a_panels = exec::take_buf(m.div_ceil(MR).max(1) * k * MR);
+    pack_lhs_into(&mut a_panels, a, m, k);
+    let out = gemm_packed(&a_panels, b_panels, m, k, n);
+    exec::recycle_buf(a_panels);
+    out
+}
+
+impl Tensor {
+    /// Matrix product against a pre-packed right-hand operand:
+    /// `[m,k] × packed([k,n]) → [m,n]`.
+    ///
+    /// Bit-identical to `self.matmul(&b)` for the `b` the panels were
+    /// packed from; use with [`PackedCache`] to pack inference constants
+    /// once per parameter version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank-2, `rhs` was not packed with a
+    /// `pack_rhs*` constructor, or the inner dimensions differ.
+    pub fn matmul_packed(&self, rhs: &PackedMatrix) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul_packed lhs must be rank-2");
+        assert_eq!(
+            rhs.kind(),
+            PanelKind::Rhs,
+            "matmul_packed needs Rhs panels (got {:?})",
+            rhs.kind()
+        );
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        assert_eq!(
+            k,
+            rhs.rows(),
+            "matmul_packed inner dimension mismatch: {} vs packed {}×{}",
+            self.shape(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        gemm_pack_lhs(self.as_slice(), rhs.panels(), m, k, rhs.cols())
+    }
+}
+
+impl PackedMatrix {
+    /// Matrix product with `self` as a pre-packed *left* operand:
+    /// `packed([m,k]) × [k,n] → [m,n]`.
+    ///
+    /// This is the convolution shape: the `[outC, C·k·k]` weight is the
+    /// constant left operand of the im2col GEMM. Bit-identical to
+    /// `w.matmul(&rhs)` for the `w` the panels were packed from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` was not packed with [`PackedMatrix::pack_lhs`],
+    /// `rhs` is not rank-2, or the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.kind(),
+            PanelKind::Lhs,
+            "PackedMatrix::matmul needs Lhs panels (got {:?})",
+            self.kind()
+        );
+        assert_eq!(rhs.shape().ndim(), 2, "matmul rhs must be rank-2");
+        let (k, n) = (rhs.shape().dim(0), rhs.shape().dim(1));
+        assert_eq!(
+            self.cols(),
+            k,
+            "matmul inner dimension mismatch: packed {}×{} vs {}",
+            self.rows(),
+            self.cols(),
+            rhs.shape()
+        );
+        let mut b_panels = exec::take_buf(n.div_ceil(NR).max(1) * k * NR);
+        pack_rhs_into(&mut b_panels, rhs.as_slice(), k, n);
+        let out = gemm_packed(self.panels(), &b_panels, self.rows(), k, n);
+        exec::recycle_buf(b_panels);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_rhs_round_trips_values() {
+        let b = Tensor::arange(6).reshape(&[2, 3]); // k=2, n=3 (< NR: one padded panel)
+        let p = PackedMatrix::pack_rhs(&b);
+        assert_eq!(p.rows(), 2);
+        assert_eq!(p.cols(), 3);
+        // Panel is p-major: row 0 then row 1, each padded to NR.
+        assert_eq!(&p.panels()[..3], &[0.0, 1.0, 2.0]);
+        assert_eq!(&p.panels()[NR..NR + 3], &[3.0, 4.0, 5.0]);
+        assert!(p.panels()[3..NR].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pack_rhs_transposed_matches_pack_of_transpose() {
+        let w = Tensor::arange(12).reshape(&[4, 3]);
+        let direct = PackedMatrix::pack_rhs_transposed(&w);
+        let via_transpose = PackedMatrix::pack_rhs(&w.transpose());
+        assert_eq!(direct, via_transpose);
+    }
+
+    #[test]
+    fn pack_lhs_is_p_major() {
+        let a = Tensor::arange(8).reshape(&[2, 4]); // m=2 (< MR: padded), k=4
+        let p = PackedMatrix::pack_lhs(&a);
+        // For each p: a[0][p], a[1][p], pad, pad.
+        assert_eq!(&p.panels()[..MR], &[0.0, 4.0, 0.0, 0.0]);
+        assert_eq!(&p.panels()[MR..2 * MR], &[1.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn blocked_gemm_bit_identical_to_reference_on_ragged_shapes() {
+        use crate::{normal, seeded_rng};
+        // Shapes straddle every tile boundary: exact multiples of MR/NR,
+        // off-by-one raggedness in each dimension, degenerate 1×1, and k=0.
+        let shapes = [
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 8, 8),
+            (5, 7, 9),
+            (7, 3, 17),
+            (13, 29, 31),
+            (64, 1, 1),
+            (1, 64, 1),
+            (5, 0, 7),
+            (33, 17, 40),
+        ];
+        for (i, &(m, k, n)) in shapes.iter().enumerate() {
+            let mut rng = seeded_rng(100 + i as u64);
+            // Exact zeros in A exercise the sparsity skip, whose per-element
+            // ordering the bit-identity contract depends on.
+            let a =
+                normal(&mut rng, &[m, k], 0.0, 1.0).map(|v| if v.abs() < 0.3 { 0.0 } else { v });
+            let b = normal(&mut rng, &[k, n], 0.0, 1.0);
+            let want = a.matmul_reference(&b);
+            let rhs_packed = a.matmul_packed(&PackedMatrix::pack_rhs(&b));
+            assert_eq!(rhs_packed.shape().dims(), &[m, n]);
+            assert_eq!(
+                rhs_packed.as_slice(),
+                want.as_slice(),
+                "rhs-packed {m}x{k}x{n} diverged from reference"
+            );
+            let lhs_packed = PackedMatrix::pack_lhs(&a).matmul(&b);
+            assert_eq!(
+                lhs_packed.as_slice(),
+                want.as_slice(),
+                "lhs-packed {m}x{k}x{n} diverged from reference"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_auto_path_matches_reference_above_threshold() {
+        use crate::{normal, seeded_rng};
+        let mut rng = seeded_rng(7);
+        let a = normal(&mut rng, &[24, 40], 0.0, 1.0);
+        let b = normal(&mut rng, &[40, 32], 0.0, 1.0);
+        assert_eq!(a.matmul(&b).as_slice(), a.matmul_reference(&b).as_slice());
+    }
+
+    #[test]
+    fn cache_repacks_only_on_version_change() {
+        let w = Tensor::arange(6).reshape(&[2, 3]);
+        let mut cache = PackedCache::new();
+        let mut packs = 0;
+        for version in [0u64, 0, 0, 1, 1, 2] {
+            cache.get_or_pack(version, || {
+                packs += 1;
+                PackedMatrix::pack_rhs(&w)
+            });
+        }
+        assert_eq!(packs, 3, "one pack per distinct version");
+        assert_eq!(cache.cached_version(), Some(2));
+        cache.invalidate();
+        assert_eq!(cache.cached_version(), None);
+    }
+}

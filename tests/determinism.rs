@@ -3,7 +3,8 @@
 
 use solo_core::experiments::{fig17, fig3, table1, table3};
 use solo_core::solonet::{FoveatedPipeline, PipelineConfig};
-use solo_nn::{Conv2d, Layer};
+use solo_nn::{Conv2d, Layer, MultiHeadAttention};
+use solo_sampler::{gaze_saliency, IndexMap, SamplerSpec};
 use solo_scene::{DatasetConfig, SceneDataset};
 use solo_tensor::{exec, normal, seeded_rng, Tensor};
 
@@ -55,6 +56,59 @@ fn conv_forward_and_backward_are_bit_identical_across_pool_widths() {
         let dx = conv.backward(&g);
         (y.into_vec(), dx.into_vec())
     });
+}
+
+#[test]
+fn elementwise_kernels_are_bit_identical_across_pool_widths() {
+    let a = normal(&mut seeded_rng(51), &[384, 384], 0.0, 1.0);
+    let b = normal(&mut seeded_rng(52), &[384, 384], 0.0, 1.0);
+    assert_width_invariant(|| a.map(|v| v.tanh() * 0.5 + v).into_vec());
+    assert_width_invariant(|| a.zip(&b, |x, y| x * y + x.max(y)).into_vec());
+    assert_width_invariant(|| {
+        let mut t = a.clone();
+        t.map_inplace(|v| v.exp().min(10.0));
+        t.into_vec()
+    });
+}
+
+#[test]
+fn reduction_kernels_are_bit_identical_across_pool_widths() {
+    let a = normal(&mut seeded_rng(53), &[1 << 18], 0.0, 1.0);
+    let b = normal(&mut seeded_rng(54), &[1 << 18], 0.0, 1.0);
+    assert_width_invariant(|| a.dot(&b).to_bits());
+    assert_width_invariant(|| (a.max().to_bits(), a.min().to_bits()));
+    assert_width_invariant(|| a.argmax());
+    // Duplicated maxima: the parallel fold must keep the serial kernel's
+    // last-max-wins tie-break regardless of how chunks are assigned.
+    let mut dup = a.clone().into_vec();
+    let hi = 1e6;
+    let last = dup.len() - 100;
+    dup[100] = hi;
+    dup[last] = hi;
+    let dup = Tensor::from_vec(dup, &[1 << 18]);
+    assert_width_invariant(|| dup.argmax());
+}
+
+#[test]
+fn attention_is_bit_identical_across_pool_widths() {
+    let seq = normal(&mut seeded_rng(55), &[48, 64], 0.0, 1.0);
+    assert_width_invariant(|| {
+        let mut mha = MultiHeadAttention::new(&mut seeded_rng(56), 64, 4);
+        let y = mha.forward(&seq);
+        let dx = mha.backward(&Tensor::ones(&[48, 64]));
+        (y.into_vec(), dx.into_vec())
+    });
+}
+
+#[test]
+fn samplers_are_bit_identical_across_pool_widths() {
+    let spec = SamplerSpec::new(96, 96, 32, 32, 12.0);
+    let map = IndexMap::from_saliency(&spec, &gaze_saliency(32, 32, (0.4, 0.6), 0.15, 0.02));
+    let img = normal(&mut seeded_rng(57), &[3, 96, 96], 0.0, 1.0);
+    let small = normal(&mut seeded_rng(58), &[3, 32, 32], 0.0, 1.0);
+    assert_width_invariant(|| map.sample_nearest(&img).into_vec());
+    assert_width_invariant(|| map.sample_bilinear(&img).into_vec());
+    assert_width_invariant(|| map.upsample(&small).into_vec());
 }
 
 #[test]
