@@ -1,9 +1,18 @@
 //! Records the execution-layer kernel baseline archived in
-//! `BENCH_kernels.json`: the GEMM family (blocked and naive reference),
-//! conv forward/backward, elementwise/reduction kernels, attention and
-//! the foveated samplers, at pool widths 1/2/4, plus the host
-//! parallelism the numbers were taken under. Regenerate with
+//! `BENCH_kernels.json`: the GEMM family (blocked, naive reference, and
+//! the transposed-operand entry points), conv forward/backward on both
+//! the implicit-GEMM and materialized-im2col paths, elementwise/reduction
+//! kernels, attention and the foveated samplers, at pool widths 1/2/4,
+//! plus the host parallelism the numbers were taken under and the
+//! buffer-pool scratch accounting per allocation site. Regenerate with
 //! `cargo run --release -p solo-bench --bin kernels -- --json`.
+//!
+//! With `--baseline <path>` the binary instead diffs a fresh run against
+//! an archived record (e.g. `BENCH_kernels.json`), printing the per-kernel
+//! deltas and flagging regressions. When either record carries
+//! `degraded_host` (a single-hardware-thread host), widths above 1 measure
+//! dispatch overhead rather than speedup, so only width-1 rows count as
+//! authoritative regressions; wider rows are reported as informational.
 //!
 //! Widths are forced through [`exec::with_threads`] so the measurements
 //! do not depend on `SOLO_THREADS`; on a single-core host the wide
@@ -13,17 +22,19 @@
 
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use solo_bench::{header, maybe_json};
 use solo_nn::{Conv2d, Layer, MultiHeadAttention};
 use solo_sampler::{gaze_saliency, IndexMap, SamplerSpec};
-use solo_tensor::{exec, normal, seeded_rng, Tensor};
+use solo_tensor::{exec, im2col, normal, seeded_rng, Im2ColSpec, PackedMatrix, Tensor};
 
 const WIDTHS: [usize; 3] = [1, 2, 4];
 const ITERS: usize = 12;
+/// A fresh median this much slower than the archived one is a regression.
+const REGRESSION_PCT: f64 = 20.0;
 
 /// One kernel timed at one pool width.
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Measurement {
     kernel: String,
     width: usize,
@@ -31,8 +42,18 @@ struct Measurement {
     speedup_vs_serial: f64,
 }
 
+/// One buffer-pool allocation site's scratch accounting, snapshotted from
+/// [`exec::site_stats`] after the sweeps.
+#[derive(Serialize, Deserialize)]
+struct ScratchSite {
+    site: String,
+    takes: u64,
+    total_bytes: u64,
+    peak_bytes: u64,
+}
+
 /// The whole baseline: host context plus every measurement.
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Baseline {
     host_threads: usize,
     /// True when the host exposes a single hardware thread: every width
@@ -42,6 +63,10 @@ struct Baseline {
     pool_width_default: usize,
     iterations: usize,
     measurements: Vec<Measurement>,
+    /// Per-site pooled-scratch accounting accumulated over the whole run —
+    /// `gemm.pack_im2col` vs `linalg.im2col` shows the implicit-GEMM path
+    /// displacing materialized column matrices.
+    scratch_sites: Vec<ScratchSite>,
 }
 
 /// Median wall time of `f` over [`ITERS`] runs, in microseconds.
@@ -74,7 +99,8 @@ fn sweep(kernel: &str, out: &mut Vec<Measurement>, mut f: impl FnMut()) {
     }
 }
 
-fn main() {
+/// Runs every kernel sweep, returning the full record for this host.
+fn measure() -> Baseline {
     let mut measurements = Vec::new();
 
     let a = normal(&mut seeded_rng(1), &[128, 128], 0.0, 1.0);
@@ -93,12 +119,47 @@ fn main() {
     sweep("matmul_backbone_gemm_naive", &mut measurements, || {
         a.matmul_reference(&b).recycle();
     });
+    // Transposed-operand entry points at the same GEMM volume: these pack
+    // the transposed operand straight from its source rows, so their cost
+    // against `matmul_backbone_gemm` is the price of killing the explicit
+    // backward-pass transposes.
+    let bt = normal(&mut seeded_rng(2), &[576, 288], 0.0, 1.0);
+    sweep("matmul_at_backbone_gemm", &mut measurements, || {
+        a.matmul_at(&bt).recycle();
+    });
+    let at = normal(&mut seeded_rng(1), &[288, 64], 0.0, 1.0);
+    sweep("matmul_ta_backbone_gemm", &mut measurements, || {
+        at.matmul_ta(&b).recycle();
+    });
 
     let x = normal(&mut seeded_rng(3), &[8, 48, 48], 0.0, 1.0);
     let mut conv = Conv2d::new(&mut seeded_rng(4), 8, 16, 3);
     sweep("conv_fwd_8x16_k3_48", &mut measurements, || {
         conv.forward(&x).recycle();
     });
+    // The materialized-im2col yardstick at the same shape: what the conv
+    // forward cost before the implicit-GEMM path, and what it still costs
+    // below the blocked threshold.
+    let spec = Im2ColSpec {
+        channels: 8,
+        height: 48,
+        width: 48,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+        dilation: 1,
+    };
+    let w = normal(&mut seeded_rng(4), &[16, spec.patch_rows()], 0.0, 1.0);
+    let packed = PackedMatrix::pack_lhs(&w);
+    sweep(
+        "conv_fwd_materialized_8x16_k3_48",
+        &mut measurements,
+        || {
+            let cols = im2col(&x, &spec);
+            packed.matmul(&cols).recycle();
+            cols.recycle();
+        },
+    );
 
     let mut conv = Conv2d::new(&mut seeded_rng(5), 8, 16, 3);
     let g = Tensor::ones(conv.forward(&x).shape().dims());
@@ -149,13 +210,102 @@ fn main() {
     });
 
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let baseline = Baseline {
+    Baseline {
         host_threads,
         degraded_host: host_threads == 1,
         pool_width_default: exec::pool().width(),
         iterations: ITERS,
         measurements,
-    };
+        scratch_sites: exec::site_stats()
+            .into_iter()
+            .map(|s| ScratchSite {
+                site: s.site.to_string(),
+                takes: s.takes,
+                total_bytes: s.total_bytes,
+                peak_bytes: s.peak_bytes,
+            })
+            .collect(),
+    }
+}
+
+/// Diffs `fresh` against the archived `old` record, printing per-kernel
+/// deltas and returning the number of authoritative regressions.
+fn diff(old: &Baseline, fresh: &Baseline) -> usize {
+    header("Kernel baseline diff (fresh vs archived)");
+    let degraded = old.degraded_host || fresh.degraded_host;
+    if degraded {
+        println!(
+            "note: degraded host in at least one record — widths > 1 measure \
+             dispatch overhead, so only width-1 rows count as regressions"
+        );
+    }
+    println!(
+        "{:<34}{:>7}{:>12}{:>12}{:>9}  {}",
+        "kernel", "width", "old (µs)", "new (µs)", "delta", "verdict"
+    );
+    let mut regressions = 0;
+    for m in &fresh.measurements {
+        let Some(prev) = old
+            .measurements
+            .iter()
+            .find(|p| p.kernel == m.kernel && p.width == m.width)
+        else {
+            println!(
+                "{:<34}{:>7}{:>12}{:>12.1}{:>9}  new kernel",
+                m.kernel, m.width, "-", m.median_us, "-"
+            );
+            continue;
+        };
+        let pct = if prev.median_us > 0.0 {
+            (m.median_us - prev.median_us) / prev.median_us * 100.0
+        } else {
+            0.0
+        };
+        let authoritative = !degraded || m.width == 1;
+        let verdict = if pct > REGRESSION_PCT && authoritative {
+            regressions += 1;
+            "REGRESSION"
+        } else if pct > REGRESSION_PCT {
+            "slower (informational)"
+        } else if pct < -REGRESSION_PCT {
+            "faster"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<34}{:>7}{:>12.1}{:>12.1}{:>+8.1}%  {}",
+            m.kernel, m.width, prev.median_us, m.median_us, pct, verdict
+        );
+    }
+    for prev in &old.measurements {
+        if !fresh
+            .measurements
+            .iter()
+            .any(|m| m.kernel == prev.kernel && m.width == prev.width)
+        {
+            println!(
+                "{:<34}{:>7}{:>12.1}{:>12}{:>9}  removed kernel",
+                prev.kernel, prev.width, prev.median_us, "-", "-"
+            );
+        }
+    }
+    println!(
+        "{} authoritative regression{} (> {REGRESSION_PCT:.0}% slower)",
+        regressions,
+        if regressions == 1 { "" } else { "s" }
+    );
+    regressions
+}
+
+fn main() {
+    // `--baseline <path>` switches to diff mode against an archived record.
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .map(|i| args.get(i + 1).expect("--baseline requires a path").clone());
+
+    let baseline = measure();
     if baseline.degraded_host {
         eprintln!(
             "WARNING: single-threaded host ({} hardware thread) — widths > 1 measure \
@@ -164,6 +314,18 @@ fn main() {
             baseline.host_threads
         );
     }
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let old: Baseline = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        if diff(&old, &baseline) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if maybe_json(&baseline) {
         return;
     }
@@ -173,13 +335,25 @@ fn main() {
         baseline.host_threads, baseline.pool_width_default, baseline.degraded_host
     );
     println!(
-        "{:<28}{:>7}{:>14}{:>10}",
+        "{:<34}{:>7}{:>14}{:>10}",
         "kernel", "width", "median (µs)", "speedup"
     );
     for m in &baseline.measurements {
         println!(
-            "{:<28}{:>7}{:>14.1}{:>10.2}",
+            "{:<34}{:>7}{:>14.1}{:>10.2}",
             m.kernel, m.width, m.median_us, m.speedup_vs_serial
+        );
+    }
+    println!();
+    println!("pooled scratch by site (whole run):");
+    println!(
+        "{:<24}{:>10}{:>16}{:>14}",
+        "site", "takes", "total (B)", "peak (B)"
+    );
+    for s in &baseline.scratch_sites {
+        println!(
+            "{:<24}{:>10}{:>16}{:>14}",
+            s.site, s.takes, s.total_bytes, s.peak_bytes
         );
     }
 }

@@ -132,9 +132,8 @@ impl MultiHeadAttention {
         // Kernels inside a worker run serially per the pool's depth-1 rule.
         let head_cost = t * t * (4 * self.head_dim + 6);
         let per_head = exec::pool().par_tasks_costed(self.heads, head_cost, |h| {
-            let k_t = ks[h].transpose();
-            let mut scores = qs[h].matmul(&k_t);
-            k_t.recycle();
+            // scores = Q · Kᵀ, with Kᵀ packed straight from K's rows.
+            let mut scores = qs[h].matmul_at(&ks[h]);
             scores.map_inplace(|v| v * scale);
             let attn = scores.softmax_rows();
             scores.recycle();
@@ -203,13 +202,9 @@ impl Layer for MultiHeadAttention {
             }
             let dho = Tensor::from_vec(dho, &[t, hd]);
             let attn = &cache.attn[h];
-            // dV = Aᵀ · dho ; dA = dho · Vᵀ
-            let attn_t = attn.transpose();
-            let dvh = attn_t.matmul(&dho);
-            attn_t.recycle();
-            let v_t = cache.v[h].transpose();
-            let da = dho.matmul(&v_t);
-            v_t.recycle();
+            // dV = Aᵀ · dho ; dA = dho · Vᵀ — both transpose-free.
+            let dvh = attn.matmul_ta(&dho);
+            let da = dho.matmul_at(&cache.v[h]);
             dho.recycle();
             // Softmax backward per row: dS = A ∘ (dA − rowsum(dA ∘ A))
             let mut ds = exec::take_buf(t * t);
@@ -226,11 +221,9 @@ impl Layer for MultiHeadAttention {
             da.recycle();
             let mut ds = Tensor::from_vec(ds, &[t, t]);
             ds.map_inplace(|v| v * scale);
-            // dQ = dS · K ; dK = dSᵀ · Q
+            // dQ = dS · K ; dK = dSᵀ · Q — transpose-free.
             let dqh = ds.matmul(&cache.k[h]);
-            let ds_t = ds.transpose();
-            let dkh = ds_t.matmul(&cache.q[h]);
-            ds_t.recycle();
+            let dkh = ds.matmul_ta(&cache.q[h]);
             ds.recycle();
             (dqh, dkh, dvh)
         });

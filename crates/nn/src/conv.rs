@@ -3,6 +3,7 @@
 use rand::Rng;
 use solo_tensor::{
     col2im, exec, im2col, kaiming_uniform, Im2ColSpec, PackedCache, PackedMatrix, Tensor,
+    BLOCKED_MIN_MULADDS,
 };
 
 use crate::{Layer, Param};
@@ -17,19 +18,30 @@ use crate::{Layer, Param};
 ///
 /// The im2col GEMM's constant left operand — the `[outC, inC·k·k]` weight —
 /// is served from a [`PackedCache`] keyed on the weight's
-/// [`Param::version`], so the panels are packed once per weight update.
+/// [`Param::version`], so the panels are packed once per weight update; a
+/// second cache holds the `Wᵀ` row panels the backward pass multiplies by.
+///
+/// Above the [`BLOCKED_MIN_MULADDS`] GEMM volume the forward and the weight
+/// gradient run *implicit-GEMM*: the im2col column panels are packed
+/// straight from the `[C, H, W]` image, so the `[inC·k·k, outH·outW]` patch
+/// matrix is never materialized. Below the threshold the materialized
+/// im2col path is retained as the small-shape fallback (and as the
+/// verification yardstick the tests compare against); both paths are
+/// bit-identical. The backward pass computes `dW`, `dcols` and `dx` with
+/// zero explicit `transpose()` calls.
 #[derive(Debug)]
 pub struct Conv2d {
     weight: Param, // [out_c, in_c * k * k]
     bias: Param,   // [out_c]
     packed_weight: PackedCache,
+    packed_weight_t: PackedCache,
     in_channels: usize,
     out_channels: usize,
     kernel: usize,
     stride: usize,
     padding: usize,
     dilation: usize,
-    cache: Option<(Tensor, Im2ColSpec)>, // (im2col matrix, spec)
+    cached_input: Option<(Tensor, Im2ColSpec)>,
 }
 
 impl Conv2d {
@@ -68,13 +80,14 @@ impl Conv2d {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_channels])),
             packed_weight: PackedCache::new(),
+            packed_weight_t: PackedCache::new(),
             in_channels,
             out_channels,
             kernel,
             stride,
             padding,
             dilation,
-            cache: None,
+            cached_input: None,
         }
     }
 
@@ -108,7 +121,14 @@ impl Conv2d {
         }
     }
 
-    fn run(&mut self, input: &Tensor) -> (Tensor, Tensor, Im2ColSpec) {
+    /// Whether the GEMM volume at `spec` clears the blocked-path threshold;
+    /// below it the materialized-im2col fallback is cheaper than packing
+    /// panels from the image.
+    fn use_implicit(&self, spec: &Im2ColSpec) -> bool {
+        self.out_channels * spec.patch_rows() * spec.patch_cols() >= BLOCKED_MIN_MULADDS
+    }
+
+    fn run(&mut self, input: &Tensor) -> (Tensor, Im2ColSpec) {
         assert_eq!(input.shape().ndim(), 3, "conv input must be [C,H,W]");
         assert_eq!(
             input.shape().dim(0),
@@ -124,12 +144,23 @@ impl Conv2d {
             "conv output collapsed to zero for input {}",
             input.shape()
         );
-        let cols = im2col(input, &spec);
+        let implicit = self.use_implicit(&spec);
         let weight = &self.weight;
         let packed = self
             .packed_weight
             .get_or_pack(weight.version(), || PackedMatrix::pack_lhs(weight.value()));
-        let mut y = packed.matmul(&cols);
+        let mut y = if implicit {
+            // Implicit GEMM: the column panels are packed straight from
+            // the image, so no im2col-sized scratch is ever taken.
+            packed.matmul_im2col(input, &spec)
+        } else {
+            // Small-shape fallback: the materialized path, retained as the
+            // verification yardstick.
+            let cols = im2col(input, &spec);
+            let y = packed.matmul(&cols);
+            cols.recycle();
+            y
+        };
         let b = self.bias.value().as_slice();
         let data = y.as_mut_slice();
         let l = oh * ow;
@@ -138,20 +169,23 @@ impl Conv2d {
                 *v += bv;
             }
         }
-        (y.into_reshaped(&[self.out_channels, oh, ow]), cols, spec)
+        (y.into_reshaped(&[self.out_channels, oh, ow]), spec)
     }
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        let (y, cols, spec) = self.run(input);
-        self.cache = Some((cols, spec));
+        let (y, spec) = self.run(input);
+        // The backward pass re-derives patch values from the raw image, so
+        // only the [C, H, W] input is cached — a k² smaller footprint than
+        // the im2col matrix the pre-implicit-GEMM layer used to hold.
+        self.cached_input = Some((input.clone(), spec));
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (cols, spec) = self
-            .cache
+        let (x, spec) = self
+            .cached_input
             .take()
             .expect("Conv2d::backward called before forward");
         let (oh, ow) = (spec.out_height(), spec.out_width());
@@ -162,10 +196,17 @@ impl Layer for Conv2d {
         );
         let g = grad_out.reshape(&[self.out_channels, oh * ow]);
         // dW = g · colsᵀ ; db = row sums ; dcols = Wᵀ · g ; dx = col2im(dcols)
-        let cols_t = cols.transpose();
-        let dw = g.matmul(&cols_t);
-        cols_t.recycle();
-        cols.recycle();
+        // — all four without a single explicit transpose (or, above the
+        // threshold, a materialized im2col).
+        let dw = if self.use_implicit(&spec) {
+            g.matmul_at_im2col(&x, &spec)
+        } else {
+            let cols = im2col(&x, &spec);
+            let dw = g.matmul_at(&cols);
+            cols.recycle();
+            dw
+        };
+        x.recycle();
         self.weight.accumulate(&dw);
         dw.recycle();
         let mut db = exec::take_buf(self.out_channels);
@@ -175,9 +216,11 @@ impl Layer for Conv2d {
         let db = Tensor::from_vec(db, &[self.out_channels]);
         self.bias.accumulate(&db);
         db.recycle();
-        let w_t = self.weight.value().transpose();
-        let dcols = w_t.matmul(&g);
-        w_t.recycle();
+        let weight = &self.weight;
+        let packed_t = self.packed_weight_t.get_or_pack(weight.version(), || {
+            PackedMatrix::pack_lhs_transposed(weight.value())
+        });
+        let dcols = packed_t.matmul(&g);
         let dx = col2im(&dcols, &spec);
         dcols.recycle();
         dx
@@ -189,9 +232,7 @@ impl Layer for Conv2d {
     }
 
     fn infer(&mut self, input: &Tensor) -> Tensor {
-        let (y, cols, _) = self.run(input);
-        cols.recycle();
-        y
+        self.run(input).0
     }
 }
 

@@ -154,10 +154,9 @@ impl Layer for Linear {
             &[x.shape().dim(0), self.out_features],
             "grad_out shape mismatch in Linear::backward"
         );
-        // dW = gᵀ·x ; db = column sums of g ; dx = g·W
-        let g_t = g.transpose();
-        let dw = g_t.matmul(&x);
-        g_t.recycle();
+        // dW = gᵀ·x ; db = column sums of g ; dx = g·W — no explicit
+        // transpose: matmul_ta packs gᵀ panels straight from g's rows.
+        let dw = g.matmul_ta(&x);
         self.weight.accumulate(&dw);
         dw.recycle();
         let n = g.shape().dim(0);

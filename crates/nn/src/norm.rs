@@ -71,10 +71,15 @@ impl LayerNorm {
         let d = self.dim;
         let g = self.gamma.value().as_slice();
         let b = self.beta.value().as_slice();
-        let mut out = normalized.as_slice().to_vec();
+        let xn = normalized.as_slice();
+        let mut out = exec::take_buf(rows * d);
         for r in 0..rows {
-            for (j, v) in out[r * d..(r + 1) * d].iter_mut().enumerate() {
-                *v = *v * g[j] + b[j];
+            for (j, (v, &x)) in out[r * d..(r + 1) * d]
+                .iter_mut()
+                .zip(&xn[r * d..(r + 1) * d])
+                .enumerate()
+            {
+                *v = x * g[j] + b[j];
             }
         }
         Tensor::from_vec(out, &[rows, d])
@@ -149,7 +154,9 @@ impl Layer for LayerNorm {
 
     fn infer(&mut self, input: &Tensor) -> Tensor {
         let (normalized, _) = self.stats(input);
-        self.affine(&normalized)
+        let y = self.affine(&normalized);
+        normalized.recycle();
+        y
     }
 }
 
@@ -220,10 +227,11 @@ impl ChannelNorm {
         let hw = normalized.shape().dim(1) * normalized.shape().dim(2);
         let g = self.gamma.value().as_slice();
         let b = self.beta.value().as_slice();
-        let mut out = normalized.as_slice().to_vec();
+        let xn = normalized.as_slice();
+        let mut out = exec::take_buf(self.channels * hw);
         for c in 0..self.channels {
-            for v in &mut out[c * hw..(c + 1) * hw] {
-                *v = *v * g[c] + b[c];
+            for (v, &x) in out[c * hw..(c + 1) * hw].iter_mut().zip(&xn[c * hw..]) {
+                *v = x * g[c] + b[c];
             }
         }
         Tensor::from_vec(out, normalized.shape().dims())
@@ -296,7 +304,9 @@ impl Layer for ChannelNorm {
 
     fn infer(&mut self, input: &Tensor) -> Tensor {
         let (normalized, _) = self.stats(input);
-        self.affine(&normalized)
+        let y = self.affine(&normalized);
+        normalized.recycle();
+        y
     }
 }
 

@@ -1,7 +1,7 @@
 //! Recurrent cells for the saccade detector.
 
 use rand::Rng;
-use solo_tensor::{xavier_uniform, Tensor};
+use solo_tensor::{exec, xavier_uniform, Tensor};
 
 use crate::{Layer, Param};
 
@@ -135,7 +135,7 @@ impl Layer for Rnn {
         let mut dw = Tensor::zeros(&[hd, id]);
         let mut du = Tensor::zeros(&[hd, hd]);
         let mut db = Tensor::zeros(&[hd]);
-        let mut dxs = vec![0.0f32; t * id];
+        let mut dxs = exec::take_buf(t * id);
         let mut dh_next = Tensor::zeros(&[hd]); // gradient flowing from step t+1
         for i in (0..t).rev() {
             let h = &hs[i + 1];
@@ -156,10 +156,12 @@ impl Layer for Rnn {
                 }
                 db.as_mut_slice()[r] += dp;
             }
-            // dx = Wᵀ·dpre ; dh_prev = Uᵀ·dpre
-            let dx = self.cell.w.value().transpose().matvec(&dpre);
+            // dx = Wᵀ·dpre ; dh_prev = Uᵀ·dpre — matvec_t gathers columns
+            // directly, so BPTT materializes no per-timestep transposes.
+            let dx = self.cell.w.value().matvec_t(&dpre);
             dxs[i * id..(i + 1) * id].copy_from_slice(dx.as_slice());
-            dh_next = self.cell.u.value().transpose().matvec(&dpre);
+            dx.recycle();
+            dh_next = self.cell.u.value().matvec_t(&dpre);
         }
         self.cell.w.accumulate(&dw);
         self.cell.u.accumulate(&du);

@@ -40,7 +40,7 @@
 //! bit-identity claim inside one process.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Hard cap on the pool width, whatever `SOLO_THREADS` says.
@@ -99,7 +99,15 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
 /// scratch pool, reusing a previously recycled allocation when one is
 /// large enough.
 pub fn take_buf(len: usize) -> Vec<f32> {
-    pool().buffers.take(len)
+    pool().buffers.take("untagged", len)
+}
+
+/// Like [`take_buf`], but attributes the handout to `site` in the per-site
+/// scratch accounting (see [`site_stats`]). Hot kernels tag their scratch so
+/// the bench bin and the memory-regression tests can pin down exactly which
+/// call site allocated what.
+pub fn take_buf_at(site: &'static str, len: usize) -> Vec<f32> {
+    pool().buffers.take(site, len)
 }
 
 /// Returns a buffer to the global scratch pool so a later [`take_buf`] can
@@ -107,6 +115,91 @@ pub fn take_buf(len: usize) -> Vec<f32> {
 /// [`MAX_POOLED_ELEMS`] and [`MAX_POOLED_BUFFERS`].
 pub fn recycle_buf(buf: Vec<f32>) {
     pool().buffers.give(buf);
+}
+
+/// Snapshot of the execution layer's instrumentation counters.
+///
+/// All counters are process-wide and monotonic except `live_bytes`; take a
+/// snapshot before and after a region and subtract to measure it. Obtained
+/// via [`stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Buffers handed out by [`take_buf`] / [`take_buf_at`].
+    pub takes: u64,
+    /// Handouts that reused a pooled allocation instead of hitting the
+    /// system allocator.
+    pub reuse_hits: u64,
+    /// Total bytes handed out (4 × requested elements per take, whether or
+    /// not the allocation was reused).
+    pub taken_bytes: u64,
+    /// Bytes currently outstanding: taken and not yet recycled. Buffers
+    /// that leave the pool's custody for good (e.g. a result `Vec` moved
+    /// into a tensor the caller keeps) stay counted until recycled, so this
+    /// is an upper bound on pooled-scratch residency.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since process start.
+    pub peak_live_bytes: u64,
+    /// Explicit `Tensor::transpose()` materializations. The transpose-free
+    /// training-step guarantee is asserted as a zero delta of this counter.
+    pub transposes: u64,
+}
+
+/// Per-site scratch accounting for one `site` tag passed to
+/// [`take_buf_at`]. Obtained via [`site_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteStats {
+    /// The tag passed to [`take_buf_at`] (`"untagged"` for plain
+    /// [`take_buf`]).
+    pub site: &'static str,
+    /// Buffers handed out at this site.
+    pub takes: u64,
+    /// Total bytes handed out at this site.
+    pub total_bytes: u64,
+    /// Largest single request at this site, in bytes (the per-site peak).
+    pub peak_bytes: u64,
+}
+
+/// Explicit-transpose materializations, incremented by `Tensor::transpose`.
+static TRANSPOSES: AtomicU64 = AtomicU64::new(0);
+
+/// Records one explicit transpose materialization (called by
+/// `Tensor::transpose`); visible in [`ExecStats::transposes`].
+pub(crate) fn note_transpose() {
+    TRANSPOSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Returns a snapshot of the process-wide execution-layer counters.
+pub fn stats() -> ExecStats {
+    let mut snap = {
+        let inner = lock(&pool().buffers.stats);
+        inner.snapshot()
+    };
+    snap.transposes = TRANSPOSES.load(Ordering::Relaxed);
+    snap
+}
+
+/// Returns the per-site scratch accounting, in first-use order.
+pub fn site_stats() -> Vec<SiteStats> {
+    let inner = lock(&pool().buffers.stats);
+    inner
+        .sites
+        .iter()
+        .map(|(site, c)| SiteStats {
+            site,
+            takes: c.takes,
+            total_bytes: c.total_bytes,
+            peak_bytes: c.peak_bytes,
+        })
+        .collect()
+}
+
+/// Total bytes handed out so far at one site (0 if the site never
+/// allocated). Convenience over [`site_stats`] for test assertions.
+pub fn site_total_bytes(site: &str) -> u64 {
+    site_stats()
+        .iter()
+        .find(|s| s.site == site)
+        .map_or(0, |s| s.total_bytes)
 }
 
 impl Pool {
@@ -370,10 +463,68 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 #[derive(Default)]
 struct BufferPool {
     free: Mutex<Vec<Vec<f32>>>,
+    stats: Mutex<StatsInner>,
+}
+
+/// Mutable half of [`ExecStats`] plus the per-site table; guarded by
+/// `BufferPool::stats` so take/give keep the counters coherent.
+#[derive(Default)]
+struct StatsInner {
+    takes: u64,
+    reuse_hits: u64,
+    taken_bytes: u64,
+    live_bytes: u64,
+    peak_live_bytes: u64,
+    sites: Vec<(&'static str, SiteCounters)>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct SiteCounters {
+    takes: u64,
+    total_bytes: u64,
+    peak_bytes: u64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            takes: self.takes,
+            reuse_hits: self.reuse_hits,
+            taken_bytes: self.taken_bytes,
+            live_bytes: self.live_bytes,
+            peak_live_bytes: self.peak_live_bytes,
+            transposes: 0,
+        }
+    }
+
+    fn record_take(&mut self, site: &'static str, bytes: u64, reused: bool) {
+        self.takes += 1;
+        self.reuse_hits += u64::from(reused);
+        self.taken_bytes += bytes;
+        self.live_bytes += bytes;
+        self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
+        let counters = match self.sites.iter_mut().find(|(s, _)| *s == site) {
+            Some((_, c)) => c,
+            None => {
+                self.sites.push((site, SiteCounters::default()));
+                // lint:allow(P1): just pushed, the vector is non-empty.
+                &mut self.sites.last_mut().expect("just pushed").1
+            }
+        };
+        counters.takes += 1;
+        counters.total_bytes += bytes;
+        counters.peak_bytes = counters.peak_bytes.max(bytes);
+    }
+
+    fn record_give(&mut self, bytes: u64) {
+        // Buffers constructed outside the pool may be recycled into it;
+        // saturate rather than double-book them as negative residency.
+        self.live_bytes = self.live_bytes.saturating_sub(bytes);
+    }
 }
 
 impl BufferPool {
-    fn take(&self, len: usize) -> Vec<f32> {
+    fn take(&self, site: &'static str, len: usize) -> Vec<f32> {
         let mut free = lock(&self.free);
         let mut best: Option<usize> = None;
         for (i, buf) in free.iter().enumerate() {
@@ -381,22 +532,21 @@ impl BufferPool {
                 best = Some(i);
             }
         }
-        match best {
-            Some(i) => {
-                let mut buf = free.swap_remove(i);
-                drop(free);
+        let found = best.map(|i| free.swap_remove(i));
+        drop(free);
+        lock(&self.stats).record_take(site, 4 * len as u64, found.is_some());
+        match found {
+            Some(mut buf) => {
                 buf.clear();
                 buf.resize(len, 0.0);
                 buf
             }
-            None => {
-                drop(free);
-                vec![0.0; len]
-            }
+            None => vec![0.0; len],
         }
     }
 
     fn give(&self, buf: Vec<f32>) {
+        lock(&self.stats).record_give(4 * buf.len() as u64);
         if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_ELEMS {
             return;
         }
@@ -563,6 +713,27 @@ mod tests {
         assert_eq!(again.len(), 128);
         assert!(again.iter().all(|&v| v == 0.0));
         let _ = (ptr, cap);
+    }
+
+    #[test]
+    fn stats_track_takes_and_site_peaks() {
+        let before = stats();
+        let buf = take_buf_at("exec.test_site", 64);
+        let mid = stats();
+        // Other tests in the binary share the counters, so assert deltas
+        // as lower bounds only.
+        assert!(mid.takes >= before.takes + 1);
+        assert!(mid.taken_bytes >= before.taken_bytes + 256);
+        assert!(mid.peak_live_bytes >= 256);
+        recycle_buf(buf);
+        let site = site_stats()
+            .into_iter()
+            .find(|s| s.site == "exec.test_site")
+            .expect("tagged site recorded");
+        assert!(site.takes >= 1);
+        assert!(site.peak_bytes >= 256);
+        assert!(site_total_bytes("exec.test_site") >= 256);
+        assert_eq!(site_total_bytes("exec.never_used"), 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod shape;
 mod tensor;
 
 pub use image::{avg_pool2d, bilinear_resize, max_pool2d};
-pub use linalg::{col2im, im2col, Im2ColSpec};
+pub use linalg::{col2im, im2col, Im2ColSpec, BLOCKED_MIN_MULADDS};
 pub use packed::{PackedCache, PackedMatrix, PanelKind};
 pub use random::{kaiming_uniform, normal, seeded_rng, uniform, xavier_uniform};
 pub use shape::Shape;

@@ -6,14 +6,17 @@
 //! bit-identical at any pool width.
 
 use crate::{exec, packed, Tensor};
-use packed::NR;
+use packed::{MR, NR};
 
-/// Multiply–add volume (`m·k·n`) below which [`Tensor::matmul`] runs the
-/// naive reference kernel instead of packing panels. Packing costs two
-/// passes over the operands, which only pays for itself once the product
-/// re-reads them a few times over; both paths are bit-identical, so the
-/// threshold is purely a performance knob.
-const BLOCKED_MIN_MULADDS: usize = 16 * 16 * 16;
+/// Multiply–add volume (`m·k·n`) below which [`Tensor::matmul`] (and the
+/// transposed-operand variants) runs the naive reference kernel instead of
+/// packing panels. Packing costs two passes over the operands, which only
+/// pays for itself once the product re-reads them a few times over; both
+/// paths are bit-identical, so the threshold is purely a performance knob.
+///
+/// Public so layers built on top (e.g. `Conv2d`) can gate their own
+/// pack-heavy fast paths on the same volume.
+pub const BLOCKED_MIN_MULADDS: usize = 16 * 16 * 16;
 
 impl Tensor {
     /// Matrix multiplication of two rank-2 tensors: `[m,k] × [k,n] → [m,n]`.
@@ -43,10 +46,115 @@ impl Tensor {
         if m * k * n < BLOCKED_MIN_MULADDS {
             return self.matmul_reference(other);
         }
-        let mut b_panels = exec::take_buf(n.div_ceil(NR).max(1) * k * NR);
+        let mut b_panels = exec::take_buf_at("gemm.pack_rhs", n.div_ceil(NR).max(1) * k * NR);
         packed::pack_rhs_into(&mut b_panels, other.as_slice(), k, n);
         let out = packed::gemm_pack_lhs(self.as_slice(), &b_panels, m, k, n);
         exec::recycle_buf(b_panels);
+        out
+    }
+
+    /// Matrix product with the *right* operand transposed — `self · otherᵀ`,
+    /// `[m,k] × [n,k] → [m,n]` — without materializing the transpose.
+    ///
+    /// Above the [`BLOCKED_MIN_MULADDS`] volume this packs `otherᵀ` into
+    /// column panels straight from `other`'s rows (the layout
+    /// `PackedMatrix::pack_rhs_transposed` already uses for `Linear`
+    /// weights); below it, a reference loop reads `other` row-wise. Both
+    /// paths accumulate each output element over ascending `k` with the
+    /// zero-skip on `self`, exactly the chains `self.matmul(&other.transpose())`
+    /// produces, so the result is bit-identical to that expression at any
+    /// pool width — with zero transpose traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank-2 or the `k` extents differ.
+    pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul_at lhs must be rank-2");
+        assert_eq!(other.shape().ndim(), 2, "matmul_at rhs must be rank-2");
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        let (n, k2) = (other.shape().dim(0), other.shape().dim(1));
+        assert_eq!(
+            k,
+            k2,
+            "matmul_at inner dimension mismatch: {} vs {}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        if m * k * n < BLOCKED_MIN_MULADDS {
+            let a = self.as_slice();
+            let b = other.as_slice();
+            let mut out = exec::take_buf_at("gemm.out", m * n);
+            exec::pool().par_rows(&mut out, n.max(1), 2 * k * n, |i, orow| {
+                let arow = &a[i * k..(i + 1) * k];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o += av * b[j * k + p];
+                    }
+                }
+            });
+            return Tensor::from_vec(out, &[m, n]);
+        }
+        let mut b_panels = exec::take_buf_at("gemm.pack_rhs", n.div_ceil(NR).max(1) * k * NR);
+        packed::pack_rhs_transposed_into(&mut b_panels, other.as_slice(), n, k);
+        let out = packed::gemm_pack_lhs(self.as_slice(), &b_panels, m, k, n);
+        exec::recycle_buf(b_panels);
+        out
+    }
+
+    /// Matrix product with the *left* operand transposed — `selfᵀ · other`,
+    /// `[k,m] × [k,n] → [m,n]` — without materializing the transpose.
+    ///
+    /// Above the [`BLOCKED_MIN_MULADDS`] volume this packs `selfᵀ` into row
+    /// panels straight from `self`'s rows (each panel row is a contiguous
+    /// slice of a source row, so the pack is a strided memcpy); below it, a
+    /// reference loop gathers `self` columns. Both paths accumulate over
+    /// ascending `k` with the zero-skip on the (logical) left operand, so
+    /// the result is bit-identical to `self.transpose().matmul(other)` at
+    /// any pool width — with zero transpose traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank-2 or the `k` extents differ.
+    pub fn matmul_ta(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul_ta lhs must be rank-2");
+        assert_eq!(other.shape().ndim(), 2, "matmul_ta rhs must be rank-2");
+        let (k, m) = (self.shape().dim(0), self.shape().dim(1));
+        let (k2, n) = (other.shape().dim(0), other.shape().dim(1));
+        assert_eq!(
+            k,
+            k2,
+            "matmul_ta inner dimension mismatch: {}ᵀ vs {}",
+            self.shape(),
+            other.shape()
+        );
+        if m * k * n < BLOCKED_MIN_MULADDS {
+            let a = self.as_slice();
+            let b = other.as_slice();
+            let mut out = exec::take_buf_at("gemm.out", m * n);
+            exec::pool().par_rows(&mut out, n.max(1), 2 * k * n, |i, orow| {
+                for p in 0..k {
+                    let av = a[p * m + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            });
+            return Tensor::from_vec(out, &[m, n]);
+        }
+        let mut a_panels = exec::take_buf_at("gemm.pack_lhs", m.div_ceil(MR).max(1) * k * MR);
+        packed::pack_lhs_transposed_into(&mut a_panels, self.as_slice(), k, m);
+        let mut b_panels = exec::take_buf_at("gemm.pack_rhs", n.div_ceil(NR).max(1) * k * NR);
+        packed::pack_rhs_into(&mut b_panels, other.as_slice(), k, n);
+        let out = packed::gemm_packed(&a_panels, &b_panels, m, k, n);
+        exec::recycle_buf(b_panels);
+        exec::recycle_buf(a_panels);
         out
     }
 
@@ -74,7 +182,7 @@ impl Tensor {
         );
         let a = self.as_slice();
         let b = other.as_slice();
-        let mut out = exec::take_buf(m * n);
+        let mut out = exec::take_buf_at("gemm.out", m * n);
         exec::pool().par_rows(&mut out, n.max(1), 2 * k * n, |i, orow| {
             let arow = &a[i * k..(i + 1) * k];
             for (p, &av) in arow.iter().enumerate() {
@@ -92,14 +200,20 @@ impl Tensor {
 
     /// Transpose of a rank-2 tensor.
     ///
+    /// Every call increments [`exec::ExecStats::transposes`]; the training
+    /// hot path is expected to keep that counter flat (use the
+    /// `matmul_at`/`matmul_ta`/`matvec_t` entry points instead of
+    /// transpose-then-multiply).
+    ///
     /// # Panics
     ///
     /// Panics if the tensor is not rank-2.
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.shape().ndim(), 2, "transpose requires rank-2");
+        exec::note_transpose();
         let (r, c) = (self.shape().dim(0), self.shape().dim(1));
         let src = self.as_slice();
-        let mut out = exec::take_buf(r * c);
+        let mut out = exec::take_buf_at("linalg.transpose", r * c);
         // Row j of the output gathers column j of the input with stride c:
         // once the stride exceeds a cache line (16 f32), every gather touches
         // a fresh line, so the per-row cost scales with the line-miss count,
@@ -132,6 +246,32 @@ impl Tensor {
                 .zip(x)
                 .map(|(&av, &xv)| av * xv)
                 .sum();
+        });
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Transposed matrix–vector product: `selfᵀ · v`, `[k,m] × [k] → [m]`,
+    /// without materializing the transpose.
+    ///
+    /// Output element `i` is the ascending-`k` dot of `self`'s column `i`
+    /// with `v` — the exact chain `self.transpose().matvec(v)` produces —
+    /// so the result is bit-identical to that expression at any pool width.
+    /// This is the shape the RNN backward pass wants per timestep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank-2, `v` is not rank-1, or dimensions
+    /// disagree.
+    pub fn matvec_t(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matvec_t lhs must be rank-2");
+        assert_eq!(v.shape().ndim(), 1, "matvec_t rhs must be rank-1");
+        let (k, m) = (self.shape().dim(0), self.shape().dim(1));
+        assert_eq!(k, v.len(), "matvec_t dimension mismatch");
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = exec::take_buf(m);
+        exec::pool().par_rows(&mut out, 1, 2 * k, |i, orow| {
+            orow[0] = x.iter().enumerate().map(|(p, &xv)| a[p * m + i] * xv).sum();
         });
         Tensor::from_vec(out, &[m])
     }
@@ -213,6 +353,47 @@ impl Im2ColSpec {
             self.dilation,
         )
     }
+
+    /// Rows of the patch matrix this spec lowers to: `C·k·k`, one row per
+    /// kernel tap.
+    pub fn patch_rows(&self) -> usize {
+        self.channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the patch matrix: `outH·outW`, one column per output
+    /// position.
+    pub fn patch_cols(&self) -> usize {
+        self.out_height() * self.out_width()
+    }
+
+    /// Decomposes a patch-matrix row index into its `(channel, ki, kj)`
+    /// kernel tap — the inverse of `row = (c·k + ki)·k + kj`.
+    #[inline]
+    pub fn tap(&self, row: usize) -> (usize, usize, usize) {
+        let k = self.kernel;
+        (row / (k * k), (row / k) % k, row % k)
+    }
+
+    /// The (zero-padded) input pixel that kernel tap `(c, ki, kj)` reads at
+    /// output position `(oi, oj)` — the single geometry rule shared by
+    /// [`im2col`], [`col2im`] and the implicit-GEMM panel packers, which is
+    /// why packing panels straight from the image yields exactly the values
+    /// a materialized patch matrix would hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is shorter than the `[C, H, W]` volume the spec
+    /// describes and the tap lands in bounds.
+    #[inline]
+    pub fn pixel(&self, src: &[f32], c: usize, ki: usize, kj: usize, oi: usize, oj: usize) -> f32 {
+        let ii = (oi * self.stride + ki * self.dilation) as isize - self.padding as isize;
+        let jj = (oj * self.stride + kj * self.dilation) as isize - self.padding as isize;
+        if ii < 0 || ii >= self.height as isize || jj < 0 || jj >= self.width as isize {
+            0.0
+        } else {
+            src[(c * self.height + ii as usize) * self.width + jj as usize]
+        }
+    }
 }
 
 fn conv_out(dim: usize, kernel: usize, stride: usize, padding: usize, dilation: usize) -> usize {
@@ -234,16 +415,13 @@ pub fn im2col(input: &Tensor, spec: &Im2ColSpec) -> Tensor {
         "im2col input does not match spec"
     );
     let (oh, ow) = (spec.out_height(), spec.out_width());
-    let k = spec.kernel;
-    let rows = spec.channels * k * k;
+    let rows = spec.patch_rows();
     let cols = oh * ow;
     let src = input.as_slice();
-    let mut out = exec::take_buf(rows * cols);
+    let mut out = exec::take_buf_at("linalg.im2col", rows * cols);
     // One patch row per (channel, ki, kj) kernel tap; rows are independent.
     exec::pool().par_rows(&mut out, cols.max(1), 4 * cols, |row, orow| {
-        let c = row / (k * k);
-        let ki = (row / k) % k;
-        let kj = row % k;
+        let (c, ki, kj) = spec.tap(row);
         for oi in 0..oh {
             let ii = (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
             if ii < 0 || ii >= spec.height as isize {
@@ -281,7 +459,7 @@ pub fn col2im(cols: &Tensor, spec: &Im2ColSpec) -> Tensor {
     let src = cols.as_slice();
     let ncols = oh * ow;
     let plane = spec.height * spec.width;
-    let mut out = exec::take_buf(spec.channels * plane);
+    let mut out = exec::take_buf_at("linalg.col2im", spec.channels * plane);
     // Kernel taps of the same channel scatter-add into overlapping pixels,
     // so the finest safe partition is one whole channel plane per task; the
     // per-channel accumulation order is the same as the serial kernel's.
@@ -342,6 +520,86 @@ mod tests {
         assert_eq!(t.shape().dims(), &[3, 2]);
         assert_eq!(t.transpose(), a);
         assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+    }
+
+    #[test]
+    fn matmul_at_ta_bit_identical_to_transpose_path() {
+        use crate::{normal, seeded_rng};
+        // Shapes below and above BLOCKED_MIN_MULADDS so both the reference
+        // loops and the transposed-packing paths are exercised, with ragged
+        // tile boundaries in each dimension.
+        let shapes = [
+            (2, 3, 4),
+            (5, 7, 9),
+            (13, 17, 19),
+            (24, 40, 33),
+            (33, 64, 48),
+        ];
+        for (i, &(m, k, n)) in shapes.iter().enumerate() {
+            let mut rng = seeded_rng(300 + i as u64);
+            let a =
+                normal(&mut rng, &[m, k], 0.0, 1.0).map(|v| if v.abs() < 0.3 { 0.0 } else { v });
+            let bt = normal(&mut rng, &[n, k], 0.0, 1.0);
+            let want_at = a.matmul(&bt.transpose());
+            assert_eq!(
+                a.matmul_at(&bt).as_slice(),
+                want_at.as_slice(),
+                "matmul_at {m}x{k}x{n} diverged"
+            );
+            let at =
+                normal(&mut rng, &[k, m], 0.0, 1.0).map(|v| if v.abs() < 0.3 { 0.0 } else { v });
+            let b = normal(&mut rng, &[k, n], 0.0, 1.0);
+            let want_ta = at.transpose().matmul(&b);
+            assert_eq!(
+                at.matmul_ta(&b).as_slice(),
+                want_ta.as_slice(),
+                "matmul_ta {m}x{k}x{n} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_t_matches_transposed_matvec() {
+        use crate::{normal, seeded_rng};
+        let mut rng = seeded_rng(42);
+        let a = normal(&mut rng, &[7, 5], 0.0, 1.0);
+        let v = normal(&mut rng, &[7], 0.0, 1.0);
+        assert_eq!(
+            a.matvec_t(&v).as_slice(),
+            a.transpose().matvec(&v).as_slice()
+        );
+    }
+
+    #[test]
+    fn transpose_increments_the_stats_counter() {
+        let before = exec::stats().transposes;
+        let _ = Tensor::arange(6).reshape(&[2, 3]).transpose();
+        assert!(exec::stats().transposes > before);
+    }
+
+    #[test]
+    fn patch_geometry_matches_materialized_im2col() {
+        let spec = Im2ColSpec {
+            channels: 2,
+            height: 5,
+            width: 4,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+        };
+        let img = Tensor::arange((2 * 5 * 4) as usize).reshape(&[2, 5, 4]);
+        let cols = im2col(&img, &spec);
+        assert_eq!(cols.shape().dims(), &[spec.patch_rows(), spec.patch_cols()]);
+        let ow = spec.out_width();
+        for row in 0..spec.patch_rows() {
+            let (c, ki, kj) = spec.tap(row);
+            for col in 0..spec.patch_cols() {
+                let want = cols.at(&[row, col]);
+                let got = spec.pixel(img.as_slice(), c, ki, kj, col / ow, col % ow);
+                assert_eq!(got, want, "pixel mismatch at ({row}, {col})");
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ impl Tensor {
     /// result is bit-identical at any width.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Send + Sync) -> Tensor {
         let src = self.as_slice();
-        let mut out = exec::take_buf(src.len());
+        let mut out = exec::take_buf_at("ops.map", src.len());
         exec::pool().par_row_spans(&mut out, 1, 1, MAP_COST, |start, span| {
             let end = start + span.len();
             for (o, &v) in span.iter_mut().zip(&src[start..end]) {
@@ -55,7 +55,7 @@ impl Tensor {
             other.shape()
         );
         let (a, b) = (self.as_slice(), other.as_slice());
-        let mut out = exec::take_buf(a.len());
+        let mut out = exec::take_buf_at("ops.zip", a.len());
         exec::pool().par_row_spans(&mut out, 1, 1, MAP_COST, |start, span| {
             let end = start + span.len();
             for ((o, &x), &y) in span.iter_mut().zip(&a[start..end]).zip(&b[start..end]) {
@@ -253,7 +253,7 @@ impl Tensor {
         assert_eq!(self.shape().ndim(), 2, "softmax_rows requires rank-2");
         let (rows, cols) = (self.shape().dim(0), self.shape().dim(1));
         let src = self.as_slice();
-        let mut out = exec::take_buf(rows * cols);
+        let mut out = exec::take_buf_at("ops.softmax", rows * cols);
         exec::pool().par_rows(&mut out, cols.max(1), 6 * cols, |r, orow| {
             let row = &src[r * cols..(r + 1) * cols];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -283,7 +283,7 @@ impl Tensor {
         assert_eq!(self.shape().ndim(), 2, "layernorm_rows requires rank-2");
         let (rows, cols) = (self.shape().dim(0), self.shape().dim(1));
         let src = self.as_slice();
-        let mut out = exec::take_buf(rows * cols);
+        let mut out = exec::take_buf_at("ops.layernorm", rows * cols);
         exec::pool().par_rows(&mut out, cols.max(1), 6 * cols, |r, orow| {
             let row = &src[r * cols..(r + 1) * cols];
             let mean = row.iter().sum::<f32>() / cols as f32;

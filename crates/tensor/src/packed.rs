@@ -27,7 +27,7 @@
 //! once per parameter version through [`PackedCache`], which repacks only
 //! when the owner reports a new version (invalidation-on-write).
 
-use crate::{exec, Tensor};
+use crate::{exec, Im2ColSpec, Tensor};
 
 /// Register-tile rows of the micro-kernel (rows of A per panel).
 pub const MR: usize = 4;
@@ -90,20 +90,8 @@ impl PackedMatrix {
     pub fn pack_rhs_transposed(w: &Tensor) -> Self {
         assert_eq!(w.shape().ndim(), 2, "pack_rhs_transposed requires rank-2");
         let (n, k) = (w.shape().dim(0), w.shape().dim(1));
-        let src = w.as_slice();
-        let panels = n.div_ceil(NR).max(1);
-        let mut data = vec![0.0f32; panels * k * NR];
-        for jp in 0..panels {
-            let j0 = jp * NR;
-            let width = NR.min(n - j0);
-            let panel = &mut data[jp * k * NR..(jp + 1) * k * NR];
-            for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
-                // Column j of Wᵀ is row j of W: dst[s] = w[j0+s][p].
-                for (s, v) in dst[..width].iter_mut().enumerate() {
-                    *v = src[(j0 + s) * k + p];
-                }
-            }
-        }
+        let mut data = vec![0.0f32; n.div_ceil(NR).max(1) * k * NR];
+        pack_rhs_transposed_into(&mut data, w.as_slice(), n, k);
         Self {
             data,
             rows: k,
@@ -122,6 +110,28 @@ impl PackedMatrix {
         let (m, k) = (a.shape().dim(0), a.shape().dim(1));
         let mut data = vec![0.0f32; m.div_ceil(MR).max(1) * k * MR];
         pack_lhs_into(&mut data, a.as_slice(), m, k);
+        Self {
+            data,
+            rows: m,
+            cols: k,
+            kind: PanelKind::Lhs,
+        }
+    }
+
+    /// Packs the *transpose* of a `[k, m]` matrix into row panels —
+    /// equivalent to `pack_lhs(&w.transpose())` without materializing the
+    /// transpose. This is the shape the convolution backward pass wants:
+    /// `dcols = Wᵀ · g` with the `[outC, C·k·k]` weight as the constant
+    /// left operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank-2.
+    pub fn pack_lhs_transposed(w: &Tensor) -> Self {
+        assert_eq!(w.shape().ndim(), 2, "pack_lhs_transposed requires rank-2");
+        let (k, m) = (w.shape().dim(0), w.shape().dim(1));
+        let mut data = vec![0.0f32; m.div_ceil(MR).max(1) * k * MR];
+        pack_lhs_transposed_into(&mut data, w.as_slice(), k, m);
         Self {
             data,
             rows: m,
@@ -231,6 +241,152 @@ fn pack_lhs_into(data: &mut [f32], src: &[f32], m: usize, k: usize) {
             }
         }
     }
+}
+
+/// Packs the transpose of row-major `w` (`n × k`) into `⌈n/NR⌉` p-major
+/// column panels — exactly the panels [`pack_rhs_into`] would produce for
+/// the materialized `wᵀ` (`k × n`). Column `j` of `wᵀ` is row `j` of `w`,
+/// so the pack reads `w` row-wise with stride `k`. `data` must be zeroed
+/// and sized `⌈n/NR⌉·k·NR`.
+pub(crate) fn pack_rhs_transposed_into(data: &mut [f32], src: &[f32], n: usize, k: usize) {
+    for jp in 0..n.div_ceil(NR) {
+        let j0 = jp * NR;
+        let width = NR.min(n - j0);
+        let panel = &mut data[jp * k * NR..(jp + 1) * k * NR];
+        for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+            // Column j of wᵀ is row j of w: dst[s] = w[j0+s][p].
+            for (s, v) in dst[..width].iter_mut().enumerate() {
+                *v = src[(j0 + s) * k + p];
+            }
+        }
+    }
+}
+
+/// Packs the transpose of row-major `w` (`k × m`) into `⌈m/MR⌉` p-major
+/// row panels — exactly the panels [`pack_lhs_into`] would produce for the
+/// materialized `wᵀ` (`m × k`). Row `i0+r` of `wᵀ` at depth `p` is
+/// `w[p][i0+r]`, so each panel row is a *contiguous* slice of a source
+/// row: this pack is a strided memcpy, cheaper than transposing. `data`
+/// must be zeroed and sized `⌈m/MR⌉·k·MR`.
+pub(crate) fn pack_lhs_transposed_into(data: &mut [f32], src: &[f32], k: usize, m: usize) {
+    for ip in 0..m.div_ceil(MR) {
+        let i0 = ip * MR;
+        let height = MR.min(m - i0);
+        let panel = &mut data[ip * k * MR..(ip + 1) * k * MR];
+        for (p, dst) in panel.chunks_exact_mut(MR).enumerate() {
+            dst[..height].copy_from_slice(&src[p * m + i0..p * m + i0 + height]);
+        }
+    }
+}
+
+/// Packs the im2col patch matrix of a `[C, H, W]` image into p-major column
+/// panels, straight from the image — exactly the panels [`pack_rhs_into`]
+/// would produce for the materialized `[C·k·k, outH·outW]` matrix, which
+/// therefore never has to exist. Lane `s` of panel `jp` at depth `p` is the
+/// zero-padded pixel kernel tap `p` reads at output position `jp·NR + s`
+/// ([`Im2ColSpec::pixel`] — the same geometry rule [`crate::im2col`]
+/// applies), so every packed value is a pure copy of the materialized one
+/// and the downstream GEMM is bit-identical. `data` must be zeroed and
+/// sized `⌈outH·outW/NR⌉·C·k²·NR`.
+pub(crate) fn pack_rhs_im2col_into(data: &mut [f32], src: &[f32], spec: &Im2ColSpec) {
+    let rows = spec.patch_rows();
+    let cols = spec.patch_cols();
+    let ow = spec.out_width();
+    let (h, w) = (spec.height, spec.width);
+    let stride = spec.stride;
+    let panel_len = rows * NR;
+    // One task per column panel: panels are disjoint chunks of `data`, and
+    // every lane is a pure function of (panel, p, lane), so the dispatch is
+    // bit-identical at any pool width.
+    exec::pool().par_rows(data, panel_len, 2 * panel_len, |jp, panel| {
+        let j0 = jp * NR;
+        let width = NR.min(cols - j0);
+        for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+            let (c, ki, kj) = spec.tap(p);
+            let ib = (ki * spec.dilation) as isize - spec.padding as isize;
+            let jb = (kj * spec.dilation) as isize - spec.padding as isize;
+            let plane = &src[c * h * w..(c + 1) * h * w];
+            // Lanes sharing an output row form a run whose input reads
+            // advance by `stride`; out-of-bounds taps keep the buffer's
+            // pre-zeroed lanes, which is exactly the zero padding.
+            let mut s = 0;
+            while s < width {
+                let (oi, oj) = ((j0 + s) / ow, (j0 + s) % ow);
+                let run = (ow - oj).min(width - s);
+                let ii = (oi * stride) as isize + ib;
+                if 0 <= ii && ii < h as isize {
+                    let row = &plane[ii as usize * w..(ii as usize + 1) * w];
+                    let jj = (oj * stride) as isize + jb;
+                    if stride == 1 {
+                        // Unit stride: the in-bounds middle of the run is one
+                        // contiguous copy from the input row.
+                        let lo = (-jj).clamp(0, run as isize) as usize;
+                        let hi = (w as isize - jj).clamp(0, run as isize) as usize;
+                        if hi > lo {
+                            dst[s + lo..s + hi].copy_from_slice(
+                                &row[(jj + lo as isize) as usize..(jj + hi as isize) as usize],
+                            );
+                        }
+                    } else {
+                        let mut jj = jj;
+                        for v in &mut dst[s..s + run] {
+                            if 0 <= jj && jj < w as isize {
+                                *v = row[jj as usize];
+                            }
+                            jj += stride as isize;
+                        }
+                    }
+                }
+                s += run;
+            }
+        }
+    });
+}
+
+/// Packs the *transpose* of the im2col patch matrix (`[outH·outW, C·k·k]`)
+/// into p-major column panels, straight from the image — the right-hand
+/// operand of `dW = g · colsᵀ` in the convolution backward pass. Panels
+/// run over the kernel taps; the p-extent runs over output positions. Same
+/// geometry rule, same bit-identity argument as [`pack_rhs_im2col_into`].
+/// `data` must be zeroed and sized `⌈C·k²/NR⌉·outH·outW·NR`.
+pub(crate) fn pack_rhs_im2col_t_into(data: &mut [f32], src: &[f32], spec: &Im2ColSpec) {
+    let rows = spec.patch_rows();
+    let cols = spec.patch_cols();
+    let (oh, ow) = (spec.out_height(), spec.out_width());
+    let (h, w) = (spec.height, spec.width);
+    let stride = spec.stride;
+    let panel_len = cols * NR;
+    // One task per panel (disjoint `data` chunks, pure lane values: same
+    // width-invariance argument as `pack_rhs_im2col_into`).
+    exec::pool().par_rows(data, panel_len, 2 * panel_len, |jp, panel| {
+        let j0 = jp * NR;
+        let width = NR.min(rows - j0);
+        // Hoist each lane's tap geometry out of the output-position sweep.
+        let (mut ib, mut jb, mut base) = ([0isize; NR], [0isize; NR], [0usize; NR]);
+        for s in 0..width {
+            let (c, ki, kj) = spec.tap(j0 + s);
+            ib[s] = (ki * spec.dilation) as isize - spec.padding as isize;
+            jb[s] = (kj * spec.dilation) as isize - spec.padding as isize;
+            base[s] = c * h * w;
+        }
+        let mut chunks = panel.chunks_exact_mut(NR);
+        for oi in 0..oh {
+            let i0 = (oi * stride) as isize;
+            for oj in 0..ow {
+                // The panel holds exactly outH·outW depth chunks, one per
+                // (oi, oj) in row-major order.
+                // lint:allow(P1): panel.len() == cols·NR with cols == oh·ow
+                let dst = chunks.next().expect("panel depth matches outH*outW");
+                let jpos = (oj * stride) as isize;
+                for s in 0..width {
+                    let (ii, jj) = (i0 + ib[s], jpos + jb[s]);
+                    if 0 <= ii && ii < h as isize && 0 <= jj && jj < w as isize {
+                        dst[s] = src[base[s] + ii as usize * w + jj as usize];
+                    }
+                }
+            }
+        }
+    });
 }
 
 /// Lane-parallel AVX2 variant of the scalar micro-kernel.
@@ -410,7 +566,7 @@ pub(crate) fn gemm_packed(
     k: usize,
     n: usize,
 ) -> Tensor {
-    let mut out = exec::take_buf(m * n);
+    let mut out = exec::take_buf_at("gemm.out", m * n);
     exec::pool().par_row_spans(&mut out, n.max(1), MR, 2 * k * n, |row0, span| {
         gemm_span(span, row0, a_panels, b_panels, m, k, n);
     });
@@ -420,7 +576,7 @@ pub(crate) fn gemm_packed(
 /// Packs `a` on the fly (recycling the scratch through the buffer pool)
 /// and runs the blocked GEMM against pre-packed B panels.
 pub(crate) fn gemm_pack_lhs(a: &[f32], b_panels: &[f32], m: usize, k: usize, n: usize) -> Tensor {
-    let mut a_panels = exec::take_buf(m.div_ceil(MR).max(1) * k * MR);
+    let mut a_panels = exec::take_buf_at("gemm.pack_lhs", m.div_ceil(MR).max(1) * k * MR);
     pack_lhs_into(&mut a_panels, a, m, k);
     let out = gemm_packed(&a_panels, b_panels, m, k, n);
     exec::recycle_buf(a_panels);
@@ -489,9 +645,92 @@ impl PackedMatrix {
             self.cols(),
             rhs.shape()
         );
-        let mut b_panels = exec::take_buf(n.div_ceil(NR).max(1) * k * NR);
+        let mut b_panels = exec::take_buf_at("gemm.pack_rhs", n.div_ceil(NR).max(1) * k * NR);
         pack_rhs_into(&mut b_panels, rhs.as_slice(), k, n);
         let out = gemm_packed(self.panels(), &b_panels, self.rows(), k, n);
+        exec::recycle_buf(b_panels);
+        out
+    }
+
+    /// Implicit-GEMM convolution forward: `self · im2col(input, spec)` with
+    /// `self` a pre-packed `[outC, C·k·k]` left operand, producing the
+    /// `[outC, outH·outW]` response matrix — without ever materializing the
+    /// im2col patch matrix. The column panels are filled straight from the
+    /// image by [`pack_rhs_im2col_into`]; since packing is a pure value
+    /// copy, the result is bit-identical to
+    /// `self.matmul(&im2col(input, spec))` at any pool width, while the
+    /// peak scratch drops by the whole patch-matrix footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` was not packed with a `pack_lhs*` constructor, if
+    /// `input` is not the `[C, H, W]` tensor `spec` describes, or if the
+    /// packed `k` extent differs from `spec.patch_rows()`.
+    pub fn matmul_im2col(&self, input: &Tensor, spec: &Im2ColSpec) -> Tensor {
+        assert_eq!(
+            self.kind(),
+            PanelKind::Lhs,
+            "matmul_im2col needs Lhs panels (got {:?})",
+            self.kind()
+        );
+        assert_eq!(
+            input.shape().dims(),
+            &[spec.channels, spec.height, spec.width],
+            "matmul_im2col input does not match spec"
+        );
+        let (k, n) = (spec.patch_rows(), spec.patch_cols());
+        assert_eq!(
+            self.cols(),
+            k,
+            "matmul_im2col inner dimension mismatch: packed {}×{} vs {} patch rows",
+            self.rows(),
+            self.cols(),
+            k
+        );
+        let mut b_panels = exec::take_buf_at("gemm.pack_im2col", n.div_ceil(NR).max(1) * k * NR);
+        pack_rhs_im2col_into(&mut b_panels, input.as_slice(), spec);
+        let out = gemm_packed(self.panels(), &b_panels, self.rows(), k, n);
+        exec::recycle_buf(b_panels);
+        out
+    }
+}
+
+impl Tensor {
+    /// Implicit-GEMM weight gradient: `self · im2col(input, spec)ᵀ`,
+    /// `[m, outH·outW] × [outH·outW, C·k·k] → [m, C·k·k]` — the
+    /// `dW = g · colsᵀ` product of the convolution backward pass, computed
+    /// without materializing either the patch matrix or its transpose. The
+    /// transposed column panels are filled straight from the image by
+    /// [`pack_rhs_im2col_t_into`], so the result is bit-identical to
+    /// `self.matmul(&im2col(input, spec).transpose())` at any pool width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank-2 with `spec.patch_cols()` columns, or
+    /// if `input` is not the `[C, H, W]` tensor `spec` describes.
+    pub fn matmul_at_im2col(&self, input: &Tensor, spec: &Im2ColSpec) -> Tensor {
+        assert_eq!(
+            self.shape().ndim(),
+            2,
+            "matmul_at_im2col lhs must be rank-2"
+        );
+        assert_eq!(
+            input.shape().dims(),
+            &[spec.channels, spec.height, spec.width],
+            "matmul_at_im2col input does not match spec"
+        );
+        let (m, l) = (self.shape().dim(0), self.shape().dim(1));
+        assert_eq!(
+            l,
+            spec.patch_cols(),
+            "matmul_at_im2col inner dimension mismatch: {} vs {} patch cols",
+            self.shape(),
+            spec.patch_cols()
+        );
+        let n = spec.patch_rows();
+        let mut b_panels = exec::take_buf_at("gemm.pack_im2col_t", n.div_ceil(NR).max(1) * l * NR);
+        pack_rhs_im2col_t_into(&mut b_panels, input.as_slice(), spec);
+        let out = gemm_pack_lhs(self.as_slice(), &b_panels, m, l, n);
         exec::recycle_buf(b_panels);
         out
     }
@@ -519,6 +758,64 @@ mod tests {
         let direct = PackedMatrix::pack_rhs_transposed(&w);
         let via_transpose = PackedMatrix::pack_rhs(&w.transpose());
         assert_eq!(direct, via_transpose);
+    }
+
+    #[test]
+    fn pack_lhs_transposed_matches_pack_of_transpose() {
+        let w = Tensor::arange(12).reshape(&[3, 4]);
+        let direct = PackedMatrix::pack_lhs_transposed(&w);
+        let via_transpose = PackedMatrix::pack_lhs(&w.transpose());
+        assert_eq!(direct, via_transpose);
+    }
+
+    fn test_spec() -> Im2ColSpec {
+        Im2ColSpec {
+            channels: 2,
+            height: 6,
+            width: 5,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+        }
+    }
+
+    #[test]
+    fn pack_rhs_im2col_matches_pack_of_materialized_matrix() {
+        let spec = test_spec();
+        let img = Tensor::arange(2 * 6 * 5).reshape(&[2, 6, 5]);
+        let cols = crate::im2col(&img, &spec);
+        let (k, n) = (spec.patch_rows(), spec.patch_cols());
+        let mut want = vec![0.0f32; n.div_ceil(NR).max(1) * k * NR];
+        pack_rhs_into(&mut want, cols.as_slice(), k, n);
+        let mut got = vec![0.0f32; want.len()];
+        pack_rhs_im2col_into(&mut got, img.as_slice(), &spec);
+        assert_eq!(got, want);
+        // And the transposed packing against the materialized transpose.
+        let cols_t = cols.transpose();
+        let mut want_t = vec![0.0f32; k.div_ceil(NR).max(1) * n * NR];
+        pack_rhs_into(&mut want_t, cols_t.as_slice(), n, k);
+        let mut got_t = vec![0.0f32; want_t.len()];
+        pack_rhs_im2col_t_into(&mut got_t, img.as_slice(), &spec);
+        assert_eq!(got_t, want_t);
+    }
+
+    #[test]
+    fn implicit_gemm_bit_identical_to_materialized_path() {
+        use crate::{normal, seeded_rng};
+        let spec = test_spec();
+        let mut rng = seeded_rng(77);
+        let img = normal(&mut rng, &[2, 6, 5], 0.0, 1.0);
+        let w = normal(&mut rng, &[4, spec.patch_rows()], 0.0, 1.0);
+        let cols = crate::im2col(&img, &spec);
+        let packed = PackedMatrix::pack_lhs(&w);
+        let want_fwd = packed.matmul(&cols);
+        let got_fwd = packed.matmul_im2col(&img, &spec);
+        assert_eq!(got_fwd.as_slice(), want_fwd.as_slice());
+        let g = normal(&mut rng, &[4, spec.patch_cols()], 0.0, 1.0);
+        let want_dw = g.matmul(&cols.transpose());
+        let got_dw = g.matmul_at_im2col(&img, &spec);
+        assert_eq!(got_dw.as_slice(), want_dw.as_slice());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use solo_core::solonet::{FoveatedPipeline, PipelineConfig};
 use solo_nn::{Conv2d, Layer, MultiHeadAttention};
 use solo_sampler::{gaze_saliency, IndexMap, SamplerSpec};
 use solo_scene::{DatasetConfig, SceneDataset};
-use solo_tensor::{exec, normal, seeded_rng, Tensor};
+use solo_tensor::{exec, im2col, normal, seeded_rng, Im2ColSpec, PackedMatrix, Tensor};
 
 #[test]
 fn dataset_generation_is_deterministic() {
@@ -44,6 +44,51 @@ fn matmul_is_bit_identical_across_pool_widths() {
     let a = normal(&mut seeded_rng(21), &[96, 128], 0.0, 1.0);
     let b = normal(&mut seeded_rng(22), &[128, 160], 0.0, 1.0);
     assert_width_invariant(|| a.matmul(&b).into_vec());
+}
+
+#[test]
+fn transposed_gemm_entry_points_are_bit_identical_across_pool_widths() {
+    let a = normal(&mut seeded_rng(23), &[96, 128], 0.0, 1.0);
+    let bt = normal(&mut seeded_rng(24), &[160, 128], 0.0, 1.0);
+    assert_width_invariant(|| a.matmul_at(&bt).into_vec());
+    let at = normal(&mut seeded_rng(25), &[128, 96], 0.0, 1.0);
+    let b = normal(&mut seeded_rng(26), &[128, 160], 0.0, 1.0);
+    assert_width_invariant(|| at.matmul_ta(&b).into_vec());
+}
+
+#[test]
+fn implicit_gemm_conv_matches_materialized_yardstick_at_any_width() {
+    // Backbone shape: [16, 72] weight against im2col([8, 48, 48]) — well
+    // above the blocked threshold, so Conv2d takes the implicit path. The
+    // yardstick is the retained materialized-im2col + reference-GEMM path.
+    let spec = Im2ColSpec {
+        channels: 8,
+        height: 48,
+        width: 48,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+        dilation: 1,
+    };
+    let x = normal(&mut seeded_rng(33), &[8, 48, 48], 0.0, 1.0);
+    let w = normal(&mut seeded_rng(34), &[16, spec.patch_rows()], 0.0, 1.0);
+    let g = normal(&mut seeded_rng(35), &[16, spec.patch_cols()], 0.0, 1.0);
+    let (yard_fwd, yard_dw) = {
+        let cols = im2col(&x, &spec);
+        (
+            w.matmul_reference(&cols).into_vec(),
+            g.matmul_reference(&cols.transpose()).into_vec(),
+        )
+    };
+    assert_width_invariant(|| {
+        let fwd = PackedMatrix::pack_lhs(&w)
+            .matmul_im2col(&x, &spec)
+            .into_vec();
+        assert_eq!(fwd, yard_fwd, "implicit forward diverged from yardstick");
+        let dw = g.matmul_at_im2col(&x, &spec).into_vec();
+        assert_eq!(dw, yard_dw, "implicit dW diverged from yardstick");
+        (fwd, dw)
+    });
 }
 
 #[test]

@@ -1,0 +1,78 @@
+//! Exec/buffer-pool statistics assertions pinning the implicit-GEMM wins:
+//! the training step performs zero explicit transposes, and a `Conv2d`
+//! forward at backbone shapes never allocates an im2col-sized scratch
+//! buffer. These guard the memory/traffic claims in DESIGN.md so they
+//! cannot silently regress.
+//!
+//! The exec counters are process-wide, so this file holds a single test
+//! (integration tests run one process per file) and every assertion is a
+//! delta across the measured region.
+
+use solo_nn::{Conv2d, Layer, Linear};
+use solo_tensor::{exec, im2col, normal, seeded_rng, Im2ColSpec, PackedMatrix, Tensor};
+
+#[test]
+fn training_step_is_transpose_free_and_conv_skips_im2col_scratch() {
+    // Backbone conv shape: Conv2d(8→16, k=3) on [8, 48, 48] — the GEMM is
+    // [16, 72] × [72, 2304], far above the blocked threshold, so the
+    // implicit path is active.
+    let spec = Im2ColSpec {
+        channels: 8,
+        height: 48,
+        width: 48,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+        dilation: 1,
+    };
+    let x = normal(&mut seeded_rng(1), &[8, 48, 48], 0.0, 1.0);
+    let mut conv = Conv2d::new(&mut seeded_rng(2), 8, 16, 3);
+    let xl = normal(&mut seeded_rng(3), &[16, 64], 0.0, 1.0);
+    let mut lin = Linear::new(&mut seeded_rng(4), 64, 32);
+
+    // Warm the packed-weight caches so the measured region is the
+    // steady-state training step, not first-call packing.
+    conv.infer(&x);
+    lin.infer(&xl);
+
+    // --- Transpose-free training step (conv + linear fwd/bwd). ---
+    let before = exec::stats();
+    let im2col_before = exec::site_total_bytes("linalg.im2col");
+    let y = conv.forward(&x);
+    let dy = Tensor::ones(y.shape().dims());
+    conv.backward(&dy);
+    let yl = lin.forward(&xl);
+    let dyl = Tensor::ones(yl.shape().dims());
+    lin.backward(&dyl);
+    let after = exec::stats();
+    assert_eq!(
+        after.transposes, before.transposes,
+        "Conv2d/Linear training step materialized an explicit transpose"
+    );
+    assert_eq!(
+        exec::site_total_bytes("linalg.im2col"),
+        im2col_before,
+        "Conv2d took an im2col-sized scratch buffer at a backbone shape"
+    );
+
+    // --- Memory win: the implicit forward takes at least one im2col
+    // matrix less pooled scratch than the materialized path. ---
+    let im2col_bytes = 4 * (spec.patch_rows() * spec.patch_cols()) as u64;
+    let t0 = exec::stats().taken_bytes;
+    conv.infer(&x);
+    let implicit_taken = exec::stats().taken_bytes - t0;
+
+    let w = normal(&mut seeded_rng(5), &[16, spec.patch_rows()], 0.0, 1.0);
+    let packed = PackedMatrix::pack_lhs(&w); // packs outside the pool, like the warm cache
+    let t1 = exec::stats().taken_bytes;
+    let cols = im2col(&x, &spec);
+    let y2 = packed.matmul(&cols);
+    let materialized_taken = exec::stats().taken_bytes - t1;
+    cols.recycle();
+    y2.recycle();
+    assert!(
+        implicit_taken + im2col_bytes <= materialized_taken,
+        "implicit forward took {implicit_taken} B of scratch, materialized took \
+         {materialized_taken} B: expected a drop of at least {im2col_bytes} B"
+    );
+}
