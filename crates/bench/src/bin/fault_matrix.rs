@@ -1,0 +1,47 @@
+//! The fault-matrix robustness sweep: gaze-dropout rate x frame deadline
+//! over the four scene presets, with per-rung oracle accuracy.
+
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::fault_matrix;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let frames = if quick { 120 } else { 600 };
+    let rates: &[f64] = if quick {
+        &[0.0, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 1.0]
+    };
+    let deadlines: &[f64] = if quick { &[60.0] } else { &[30.0, 60.0, 120.0] };
+    let points = match fault_matrix(frames, 4, rates, deadlines) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("fault_matrix failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if maybe_json(&points) {
+        return;
+    }
+    header("Fault matrix — dropout rate x deadline, degradation ladder");
+    println!(
+        "{:>6} {:>5} {:>6} {:>6} {:>7} {:>7} {:>7}  {:<18} {:<30}",
+        "preset", "rate", "dl ms", "skip", "degr", "ovrun", "lat ms", "rung frames", "rung b-IoU"
+    );
+    for p in &points {
+        let frames: Vec<String> = p.rung_frames.iter().map(|f| f.to_string()).collect();
+        let bious: Vec<String> = p.rung_b_iou.iter().map(|b| format!("{b:.2}")).collect();
+        println!(
+            "{:>6} {:>5.2} {:>6.0} {:>5.1}% {:>6.1}% {:>6.1}% {:>7.2}  {:<18} {:<30}",
+            p.preset,
+            p.dropout_rate,
+            p.deadline_ms,
+            p.skip_fraction * 100.0,
+            p.degraded_fraction * 100.0,
+            p.overrun_fraction * 100.0,
+            p.mean_latency_ms,
+            frames.join("/"),
+            bious.join("/")
+        );
+    }
+}

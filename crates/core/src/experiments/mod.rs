@@ -8,6 +8,7 @@
 
 pub mod accuracy;
 pub mod hardware;
+pub mod resilience;
 pub mod streaming;
 pub mod study;
 
@@ -16,6 +17,7 @@ pub use hardware::{
     area_report, fig13b, fig14a, fig15, table1, table3, table4, Fig13bRow, Fig14aRow, Fig15Row,
     Table1Row, Table3Row, Table4Row,
 };
+pub use resilience::{fault_matrix, FaultMatrixPoint};
 pub use streaming::{
     davis_eval, fig12b, fig14b, fig3, DavisReport, Fig12bPoint, Fig14bPoint, Fig3Stats,
 };

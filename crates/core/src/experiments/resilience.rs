@@ -1,0 +1,143 @@
+//! The fault-matrix robustness sweep: gaze-dropout rate x frame deadline
+//! across the four scene presets, streamed through the degradation ladder.
+
+use serde::{Deserialize, Serialize};
+use solo_hw::soc::{Backbone as HwBackbone, Dataset as HwDataset};
+use solo_hw::Latency;
+use solo_scene::{VideoConfig, VideoSequence};
+use solo_tensor::seeded_rng;
+
+use crate::resilience::{DegradeAction, FaultPlan, FrameOutcome, ResilienceConfig};
+use crate::ssa::SsaConfig;
+use crate::system::StreamingEvaluator;
+
+/// One cell of the fault matrix: a (preset, dropout rate, deadline) triple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultMatrixPoint {
+    /// Scene preset the video was generated from.
+    pub preset: String,
+    /// Dropout severity handed to [`FaultPlan::dropout`].
+    pub dropout_rate: f64,
+    /// Per-frame deadline in ms.
+    pub deadline_ms: f64,
+    /// Frames streamed.
+    pub frames: usize,
+    /// SSA skip fraction under faults.
+    pub skip_fraction: f32,
+    /// Fraction of frames decided below the nominal rung.
+    pub degraded_fraction: f64,
+    /// Fraction of frames that overran (or escaped by escalating).
+    pub overrun_fraction: f64,
+    /// Mean degraded-episode length in frames.
+    pub mean_recovery_frames: f64,
+    /// Mean per-frame latency in ms.
+    pub mean_latency_ms: f64,
+    /// Frames decided at each ladder rung (nominal first).
+    pub rung_frames: [usize; DegradeAction::RUNGS],
+    /// Oracle round-trip b-IoU at each rung (0 where unscored).
+    pub rung_b_iou: [f32; DegradeAction::RUNGS],
+    /// Oracle round-trip c-IoU at each rung (0 where unscored).
+    pub rung_c_iou: [f32; DegradeAction::RUNGS],
+}
+
+/// The four scene presets swept by the matrix, with the paper resolution
+/// each SSA config is calibrated against.
+fn presets(frames: usize) -> Vec<(&'static str, VideoConfig, HwDataset, usize)> {
+    vec![
+        ("lvis", VideoConfig::lvis_like(frames), HwDataset::Lvis, 640),
+        ("ade", VideoConfig::ade_like(frames), HwDataset::Ade, 512),
+        ("aria", VideoConfig::aria_like(frames), HwDataset::Aria, 960),
+        (
+            "davis",
+            VideoConfig::davis_like(frames),
+            HwDataset::Davis,
+            480,
+        ),
+    ]
+}
+
+/// Sweeps dropout rate x deadline over the four scene presets with an
+/// oracle-scored, cost-only streaming evaluator. Every cell replays the
+/// same preset video, so columns differ only in the injected faults.
+pub fn fault_matrix(
+    frames: usize,
+    seed: u64,
+    dropout_rates: &[f64],
+    deadlines_ms: &[f64],
+) -> FrameOutcome<Vec<FaultMatrixPoint>> {
+    let mut out = Vec::new();
+    for (name, mut video_cfg, hw, paper_side) in presets(frames) {
+        video_cfg.dataset.resolution = 48;
+        let video = VideoSequence::generate(video_cfg, &mut seeded_rng(seed));
+        for &rate in dropout_rates {
+            for &deadline in deadlines_ms {
+                let ssa = SsaConfig::paper_default(paper_side);
+                let mut ev = StreamingEvaluator::new(ssa, HwBackbone::Hr, hw, None);
+                let plan = FaultPlan::dropout(seed ^ 0x5eed, rate);
+                let config = ResilienceConfig {
+                    deadline: Latency::from_ms(deadline),
+                    score_round_trip: true,
+                    ..ResilienceConfig::paper_default()
+                };
+                let report = ev.run_with_faults(&video, &plan, &config)?;
+                let rb = &report.robustness;
+                let mut rung_frames = [0usize; DegradeAction::RUNGS];
+                let mut rung_b = [0.0f32; DegradeAction::RUNGS];
+                let mut rung_c = [0.0f32; DegradeAction::RUNGS];
+                for (i, score) in rb.by_rung.iter().enumerate() {
+                    rung_frames[i] = score.frames;
+                    rung_b[i] = score.b_iou;
+                    rung_c[i] = score.c_iou;
+                }
+                out.push(FaultMatrixPoint {
+                    preset: name.to_string(),
+                    dropout_rate: rate,
+                    deadline_ms: deadline,
+                    frames: report.base.frames,
+                    skip_fraction: report.base.skip_fraction(),
+                    degraded_fraction: rb.degraded_fraction(report.base.frames),
+                    overrun_fraction: if report.base.frames == 0 {
+                        0.0
+                    } else {
+                        rb.deadline_overruns as f64 / report.base.frames as f64
+                    },
+                    mean_recovery_frames: rb.mean_recovery_frames,
+                    mean_latency_ms: report.base.mean_latency_ms,
+                    rung_frames,
+                    rung_b_iou: rung_b,
+                    rung_c_iou: rung_c,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_every_cell() {
+        let points = fault_matrix(40, 11, &[0.0, 1.0], &[60.0]).expect("valid sweep");
+        assert_eq!(points.len(), 4 * 2);
+        for p in &points {
+            assert_eq!(p.frames, 40);
+            assert!(p.mean_latency_ms > 0.0);
+            assert_eq!(p.rung_frames.iter().sum::<usize>(), 40);
+        }
+        // Zero-rate cells never degrade; full-rate cells degrade somewhere.
+        let calm: usize = points
+            .iter()
+            .filter(|p| p.dropout_rate == 0.0)
+            .map(|p| p.rung_frames[1..].iter().sum::<usize>())
+            .sum();
+        let stormy: usize = points
+            .iter()
+            .filter(|p| p.dropout_rate == 1.0)
+            .map(|p| p.rung_frames[1..].iter().sum::<usize>())
+            .sum();
+        assert_eq!(calm, 0);
+        assert!(stormy > 0);
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`metrics`] — b-IoU and c-IoU;
 //! * [`ssa`] — the SOLO Streaming Algorithm (Fig. 6 (c)) and the Eq. 5/6
 //!   analytic skip model;
+//! * [`resilience`] — the fault injector, typed `SoloError`/`FrameOutcome`
+//!   error layer, and the graceful-degradation ladder for the streaming
+//!   loop;
 //! * [`system`] — streaming evaluation over synthetic videos, combining
 //!   SSA decisions with the `solo-hw` pipeline costs;
 //! * [`user_study`] — the simulated 2IFC preference study of Section 6.6;
@@ -31,6 +34,7 @@ pub mod esnet;
 pub mod experiments;
 pub mod extensions;
 pub mod metrics;
+pub mod resilience;
 pub mod segnet;
 pub mod solonet;
 pub mod ssa;

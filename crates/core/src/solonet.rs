@@ -171,6 +171,23 @@ impl FoveatedPipeline {
         IndexMap::from_saliency(&self.cfg.spec(), &s)
     }
 
+    /// [`Self::index_map_at`] with the sampling Gaussian widened by an
+    /// area factor `widen` (≥ 1; σ grows by `√widen`) — the resilience
+    /// ladder's hedge when the gaze prior has gone stale.
+    pub fn index_map_widened(&mut self, image: &Tensor, gaze: GazePoint, widen: f32) -> IndexMap {
+        let d = self.cfg.down_res;
+        let preview = uniform_subsample(image, d, d);
+        let s = self.saliency.saliency(&preview, gaze);
+        let spec = SamplerSpec::new(
+            self.cfg.full_res,
+            self.cfg.full_res,
+            d,
+            d,
+            self.cfg.sigma * widen.max(1.0).sqrt(),
+        );
+        IndexMap::from_saliency(&spec, &s)
+    }
+
     /// One Eq.-4 training step; returns `(dice, ce, saliency_mse)`.
     pub fn train_step(&mut self, sample: &Sample) -> (f32, f32, f32) {
         let d = self.cfg.down_res;

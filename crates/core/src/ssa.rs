@@ -11,8 +11,10 @@
 //!    at a different IOI: re-run; otherwise reuse.
 
 use serde::{Deserialize, Serialize};
-use solo_gaze::{view_diff, GazePoint};
+use solo_gaze::{view_diff, GazeObservation, GazePoint};
 use solo_tensor::Tensor;
+
+use crate::resilience::{FrameOutcome, SoloError};
 
 /// SSA thresholds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -134,6 +136,25 @@ impl Ssa {
             self.last_gaze = Some(gaze);
         }
         decision
+    }
+
+    /// The fallible streaming entry point: decides for one frame given a
+    /// tracker observation that may not carry a usable gaze. A dropout is
+    /// not a decision the SSA can make — it surfaces as
+    /// [`SoloError::GazeUnavailable`] for the resilience ladder to handle.
+    pub fn observe(
+        &mut self,
+        preview: &Tensor,
+        obs: &GazeObservation,
+        saccade: bool,
+    ) -> FrameOutcome<SsaDecision> {
+        if self.config.is_none() {
+            return Err(SoloError::NotConfigured("Ssa"));
+        }
+        if !obs.is_usable() {
+            return Err(SoloError::GazeUnavailable { status: obs.status });
+        }
+        Ok(self.step(preview, obs.sample.point, saccade))
     }
 
     /// Resets the streaming state.
@@ -259,6 +280,66 @@ mod tests {
                 "unexpected {d:?}"
             );
         }
+    }
+
+    #[test]
+    fn observe_matches_step_on_usable_gaze() {
+        use solo_gaze::{EyePhase, GazeSample};
+        let sample = |x: f32| GazeSample {
+            t_ms: 0.0,
+            point: GazePoint::new(x, 0.5),
+            phase: EyePhase::Fixation,
+        };
+        let mut a = Ssa::new(SsaConfig::paper_default(960));
+        let mut b = Ssa::new(SsaConfig::paper_default(960));
+        for (i, x) in [0.5, 0.5, 0.9, 0.9].iter().enumerate() {
+            let obs = GazeObservation::valid(sample(*x));
+            let via_observe = a.observe(&preview(0.5), &obs, false);
+            let via_step = b.step(&preview(0.5), sample(*x).point, false);
+            assert_eq!(via_observe, Ok(via_step), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn observe_surfaces_dropouts_without_touching_state() {
+        use crate::resilience::SoloError;
+        use solo_gaze::{EyePhase, GazeSample, TrackerStatus};
+        let mut ssa = Ssa::new(SsaConfig::paper_default(960));
+        ssa.step(&preview(0.5), GazePoint::center(), false);
+        let lost = GazeObservation {
+            sample: GazeSample {
+                t_ms: 33.0,
+                point: GazePoint::new(0.9, 0.9),
+                phase: EyePhase::Fixation,
+            },
+            status: TrackerStatus::Lost,
+            confidence: 0.0,
+        };
+        assert_eq!(
+            ssa.observe(&preview(0.5), &lost, false),
+            Err(SoloError::GazeUnavailable {
+                status: TrackerStatus::Lost
+            })
+        );
+        // The reference frame is untouched: a stable follow-up reuses.
+        let d = ssa.step(&preview(0.5), GazePoint::center(), false);
+        assert_eq!(d, SsaDecision::ReuseStable);
+    }
+
+    #[test]
+    fn observe_without_config_is_a_typed_error() {
+        use crate::resilience::SoloError;
+        use solo_gaze::{EyePhase, GazeSample};
+        let mut ssa = Ssa::default();
+        let obs = GazeObservation::valid(GazeSample {
+            t_ms: 0.0,
+            point: GazePoint::center(),
+            phase: EyePhase::Fixation,
+        });
+        assert_eq!(
+            ssa.observe(&preview(0.5), &obs, false),
+            Err(SoloError::NotConfigured("Ssa"))
+        );
     }
 
     #[test]

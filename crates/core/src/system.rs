@@ -2,13 +2,22 @@
 //! scored for accuracy (reused masks vs moving ground truth) and priced by
 //! the `solo-hw` pipeline models (Sections 5.3, 6.3, 6.6).
 
-use solo_hw::soc::{Backbone as HwBackbone, Dataset as HwDataset, Pipeline, SocModel};
-use solo_sampler::uniform_subsample;
-use solo_scene::VideoSequence;
+use solo_gaze::GazePoint;
+use solo_hw::calib::sensor::ADC_GROUPS_PER_COL;
+use solo_hw::soc::{
+    Backbone as HwBackbone, CostBreakdown, Dataset as HwDataset, Pipeline, SocModel,
+};
+use solo_hw::timing::FrameBudget;
+use solo_sampler::{gaze_saliency, uniform_subsample, IndexMap, SamplerSpec};
+use solo_scene::{Frame, VideoSequence};
 use solo_tensor::Tensor;
 
 use crate::metrics::{binary_iou, classified_iou};
-use crate::solonet::FoveatedPipeline;
+use crate::resilience::{
+    DegradeAction, FaultInjector, FaultPlan, FrameOutcome, ResilienceConfig, ResilientReport,
+    RobustnessReport, RungScore, SoloError,
+};
+use crate::solonet::{FoveatedPipeline, PipelineConfig};
 use crate::ssa::{Ssa, SsaConfig};
 
 /// Aggregate results of streaming a video through SOLO with the SSA.
@@ -127,6 +136,324 @@ impl StreamingEvaluator {
             mean_latency_ms: latency_total / video.len().max(1) as f64,
         }
     }
+
+    /// Streams the whole video under a fault plan, degrading gracefully.
+    ///
+    /// The fallible sibling of [`Self::run`]: each frame's gaze arrives
+    /// through the seeded [`FaultInjector`], gaze dropouts walk the
+    /// degradation ladder (hold fixation → widen crop → uniform fallback →
+    /// reuse mask), and every stage's modeled latency is charged against
+    /// `config.deadline` — a prospective overrun escalates the frame to a
+    /// cheaper rung before it happens. With [`FaultPlan::none`] and
+    /// [`ResilienceConfig::unlimited`] the produced base report is
+    /// bit-identical to [`Self::run`] (asserted by the integration tests).
+    ///
+    /// Without a trained pipeline, setting `config.score_round_trip` scores
+    /// each rung by round-tripping the ground-truth mask through that
+    /// rung's sampling geometry — an oracle segmenter that isolates the
+    /// sampling loss per rung.
+    pub fn run_with_faults(
+        &mut self,
+        video: &VideoSequence,
+        plan: &FaultPlan,
+        config: &ResilienceConfig,
+    ) -> FrameOutcome<ResilientReport> {
+        plan.validate()?;
+        config.validate()?;
+        self.ssa.reset();
+        let n = video.config().dataset.resolution;
+        let down = n / 4;
+        let widen = config.widen_factor;
+        let oracle_sigma = PipelineConfig::for_dataset(&video.config().dataset, n, down).sigma;
+        // Pre-priced cost breakdowns per rung; SBS-running rungs also get a
+        // per-dead-group variant (a dead sub-group skips its readout rows).
+        let run_bd = self
+            .soc
+            .evaluate(Pipeline::Solo, self.hw_backbone, self.hw_dataset);
+        let skip_bd = self.soc.skip_path(self.hw_dataset);
+        let uniform_bd = self
+            .soc
+            .uniform_fallback_path(self.hw_backbone, self.hw_dataset);
+        let widen_bd =
+            self.soc
+                .degraded_solo_path(self.hw_backbone, self.hw_dataset, widen as f64, &[]);
+        let run_dead: Vec<CostBreakdown> = (0..ADC_GROUPS_PER_COL)
+            .map(|g| {
+                self.soc
+                    .degraded_solo_path(self.hw_backbone, self.hw_dataset, 1.0, &[g])
+            })
+            .collect();
+        let widen_dead: Vec<CostBreakdown> = (0..ADC_GROUPS_PER_COL)
+            .map(|g| {
+                self.soc
+                    .degraded_solo_path(self.hw_backbone, self.hw_dataset, widen as f64, &[g])
+            })
+            .collect();
+
+        let mut injector = FaultInjector::new(*plan);
+        let mut ladder = crate::resilience::DegradeLadder::new();
+        let mut budget = FrameBudget::new(config.deadline);
+        let mut held: Option<(Tensor, usize)> = None;
+        let mut held_gaze: Option<GazePoint> = None;
+        let mut actions = Vec::with_capacity(video.len());
+        let mut skipped = 0usize;
+        let mut latency_total = 0.0f64;
+        let mut b_sum = 0.0f64;
+        let mut c_sum = 0.0f64;
+        let mut scored = 0usize;
+        let mut injected = 0usize;
+        let mut degraded = 0usize;
+        let mut overruns = 0usize;
+        let mut episode = 0usize;
+        let mut recoveries = 0usize;
+        let mut recovery_total = 0usize;
+        let mut rung_b = [0.0f64; DegradeAction::RUNGS];
+        let mut rung_c = [0.0f64; DegradeAction::RUNGS];
+        let mut rung_scored = [0usize; DegradeAction::RUNGS];
+        let mut rung_frames = [0usize; DegradeAction::RUNGS];
+
+        for i in 0..video.len() {
+            let frame = video.frame(i);
+            budget.start_frame();
+            let (obs, faults) = injector.observe(&frame.gaze);
+            if faults.any() {
+                injected += 1;
+            }
+            let mut preview = uniform_subsample(&frame.image, down, down);
+            injector.corrupt_preview(&mut preview, &faults);
+
+            // Decide the rung and the work it implies.
+            let (mut action, mut work) =
+                match self
+                    .ssa
+                    .observe(&preview, &obs, obs.sample.phase.is_suppressed())
+                {
+                    Ok(decision) => {
+                        ladder.reset();
+                        held_gaze = Some(obs.sample.point);
+                        let work = if decision.must_run() {
+                            Work::Run(RunKind::Focused(obs.sample.point))
+                        } else {
+                            Work::Skip
+                        };
+                        (DegradeAction::Nominal, work)
+                    }
+                    Err(SoloError::GazeUnavailable { .. }) => {
+                        let action = ladder.decide(config);
+                        let gaze = held_gaze.unwrap_or_else(GazePoint::center);
+                        let work = match action {
+                            DegradeAction::HoldFixation { .. } => {
+                                // The held fixation drives the SSA like a
+                                // static gaze: a view change still reruns,
+                                // a stable view still reuses.
+                                if self.ssa.step(&preview, gaze, false).must_run() {
+                                    Work::Run(RunKind::Focused(gaze))
+                                } else {
+                                    Work::Skip
+                                }
+                            }
+                            DegradeAction::WidenCrop { .. } => Work::Run(RunKind::Widened(gaze)),
+                            DegradeAction::UniformFallback => Work::Run(RunKind::Uniform),
+                            DegradeAction::Nominal | DegradeAction::ReuseMask => Work::Skip,
+                        };
+                        (action, work)
+                    }
+                    Err(e) => return Err(e),
+                };
+
+            // Charge the frame against the deadline, escalating to cheaper
+            // rungs while the prospective total would overrun.
+            let spike = faults.latency_spike.unwrap_or(1.0);
+            let mut frame_overrun = false;
+            let total = loop {
+                let bd = match (&work, faults.dead_group) {
+                    (Work::Skip, _) => &skip_bd,
+                    (Work::Run(RunKind::Uniform), _) => &uniform_bd,
+                    (Work::Run(RunKind::Widened(_)), Some(g)) => &widen_dead[g % widen_dead.len()],
+                    (Work::Run(RunKind::Widened(_)), None) => &widen_bd,
+                    (Work::Run(RunKind::Focused(_)), Some(g)) => &run_dead[g % run_dead.len()],
+                    (Work::Run(RunKind::Focused(_)), None) => &run_bd,
+                };
+                // The spike hits the segmentation stage only; the addition
+                // is exact for spike == 1, keeping fault-free runs
+                // bit-identical to `run`.
+                let total = bd.latency() + bd.segmentation.0 * (spike - 1.0);
+                if !budget.would_overrun(total) {
+                    break total;
+                }
+                match action {
+                    DegradeAction::Nominal
+                    | DegradeAction::HoldFixation { .. }
+                    | DegradeAction::WidenCrop { .. }
+                        if matches!(work, Work::Run(_)) =>
+                    {
+                        action = DegradeAction::UniformFallback;
+                        work = Work::Run(RunKind::Uniform);
+                    }
+                    DegradeAction::UniformFallback => {
+                        action = DegradeAction::ReuseMask;
+                        work = Work::Skip;
+                    }
+                    _ => {
+                        // Already on the floor: charge it and record the
+                        // overrun.
+                        break total;
+                    }
+                }
+                frame_overrun = true;
+            };
+            if !budget.charge(total) {
+                frame_overrun = true;
+            }
+            if frame_overrun {
+                overruns += 1;
+            }
+            latency_total += total.ms();
+
+            // Execute the work.
+            match &work {
+                Work::Skip => skipped += 1,
+                Work::Run(kind) => {
+                    if let Some(p) = self.pipeline.as_mut() {
+                        held = Some(match kind {
+                            RunKind::Focused(g) => segment_frame(p, &frame.image, *g),
+                            RunKind::Widened(g) => {
+                                let map = p.index_map_widened(&frame.image, *g, widen);
+                                finish_segment(p, &map, &frame.image, *g)
+                            }
+                            RunKind::Uniform => {
+                                let map = IndexMap::uniform(&p.config().spec());
+                                finish_segment(p, &map, &frame.image, GazePoint::center())
+                            }
+                        });
+                    } else if config.score_round_trip {
+                        held = Some(oracle_round_trip(
+                            &frame,
+                            n,
+                            down,
+                            oracle_sigma,
+                            kind,
+                            widen,
+                        ));
+                    }
+                }
+            }
+
+            // Score the currently-displayed mask, overall and per rung.
+            if let (Some((mask, class)), Some(gt_class)) = (&held, frame.ioi_class) {
+                let b = binary_iou(mask, &frame.ioi_mask) as f64;
+                let c = classified_iou(mask, *class, &frame.ioi_mask, gt_class.id()) as f64;
+                b_sum += b;
+                c_sum += c;
+                scored += 1;
+                let r = action.rung();
+                rung_b[r] += b;
+                rung_c[r] += c;
+                rung_scored[r] += 1;
+            }
+            rung_frames[action.rung()] += 1;
+            if action.is_degraded() {
+                degraded += 1;
+                episode += 1;
+            } else if episode > 0 {
+                recoveries += 1;
+                recovery_total += episode;
+                episode = 0;
+            }
+            actions.push(action);
+        }
+
+        let mut by_rung = [RungScore::default(); DegradeAction::RUNGS];
+        for r in 0..DegradeAction::RUNGS {
+            by_rung[r] = RungScore {
+                frames: rung_frames[r],
+                b_iou: mean(rung_b[r], rung_scored[r]),
+                c_iou: mean(rung_c[r], rung_scored[r]),
+            };
+        }
+        Ok(ResilientReport {
+            base: StreamingReport {
+                frames: video.len(),
+                skipped,
+                b_iou: mean(b_sum, scored),
+                c_iou: mean(c_sum, scored),
+                mean_latency_ms: latency_total / video.len().max(1) as f64,
+            },
+            robustness: RobustnessReport {
+                injected_frames: injected,
+                degraded_frames: degraded,
+                deadline_overruns: overruns,
+                recoveries,
+                mean_recovery_frames: if recoveries == 0 {
+                    0.0
+                } else {
+                    recovery_total as f64 / recoveries as f64
+                },
+                by_rung,
+            },
+            actions,
+        })
+    }
+}
+
+/// What a frame actually does once its rung is decided.
+enum Work {
+    Run(RunKind),
+    Skip,
+}
+
+/// How a run frame samples the image.
+enum RunKind {
+    /// Saliency-focused crop at this gaze (nominal or held fixation).
+    Focused(GazePoint),
+    /// Saliency crop with the widened Gaussian at this gaze.
+    Widened(GazePoint),
+    /// Uniform index map, no gaze prior.
+    Uniform,
+}
+
+fn mean(sum: f64, count: usize) -> f32 {
+    if count == 0 {
+        0.0
+    } else {
+        (sum / count as f64) as f32
+    }
+}
+
+/// Oracle scoring for cost-only runs: round-trip the ground-truth mask
+/// through the rung's sampling geometry. A perfect segmenter would score
+/// exactly this — what remains is the sampling loss of the rung itself.
+fn oracle_round_trip(
+    frame: &Frame,
+    n: usize,
+    d: usize,
+    sigma: f32,
+    kind: &RunKind,
+    widen: f32,
+) -> (Tensor, usize) {
+    let spec = |s: f32| SamplerSpec::new(n, n, d, d, s);
+    let map = match kind {
+        RunKind::Focused(g) => {
+            IndexMap::from_saliency(&spec(sigma), &gaze_saliency(d, d, (g.x, g.y), 0.15, 0.02))
+        }
+        RunKind::Widened(g) => {
+            let k = widen.max(1.0).sqrt();
+            IndexMap::from_saliency(
+                &spec(sigma * k),
+                &gaze_saliency(d, d, (g.x, g.y), 0.15 * k, 0.02),
+            )
+        }
+        RunKind::Uniform => IndexMap::uniform(&spec(sigma)),
+    };
+    let gt = frame.ioi_mask.reshape(&[1, n, n]);
+    let up = map
+        .upsample(&map.sample_nearest(&gt))
+        .into_reshaped(&[n, n])
+        .map(|v| if v > 0.5 { 1.0 } else { 0.0 });
+    // The oracle's class is correct whenever the frame has an IOI; the
+    // sentinel never matches a real class id.
+    let class = frame.ioi_class.map(|c| c.id()).unwrap_or(usize::MAX);
+    (up, class)
 }
 
 /// Runs the foveated pipeline on a raw frame, returning the full-resolution
@@ -136,10 +463,21 @@ fn segment_frame(
     image: &Tensor,
     gaze: solo_gaze::GazePoint,
 ) -> (Tensor, usize) {
+    let map = p.index_map_at(image, gaze);
+    finish_segment(p, &map, image, gaze)
+}
+
+/// Samples with a prepared index map, infers, and reverse-samples the mask
+/// to full resolution — the tail every run rung shares.
+fn finish_segment(
+    p: &mut FoveatedPipeline,
+    map: &IndexMap,
+    image: &Tensor,
+    gaze: solo_gaze::GazePoint,
+) -> (Tensor, usize) {
     let full = p.config().full_res;
     let d = p.config().down_res;
-    let map = p.index_map_at(image, gaze);
-    let sampled = p.pack_sampled_at(&map, image, gaze);
+    let sampled = p.pack_sampled_at(map, image, gaze);
     let (mask, logits) = p.seg.infer(&sampled);
     let up = map
         .upsample(&mask.reshape(&[1, d, d]))

@@ -39,4 +39,4 @@ pub use detector::{RnnSaccadeDetector, ThresholdSaccadeDetector};
 pub use eye_image::{render_eye, EyeImageConfig};
 pub use fixation::{detect_fixations, Fixation, IdtConfig};
 pub use study::{gaze_distances_px, segment_video, view_diff, GazeStudyStats, VideoSegment};
-pub use types::{EyePhase, GazePoint, GazeSample};
+pub use types::{EyePhase, GazeObservation, GazePoint, GazeSample, TrackerStatus};

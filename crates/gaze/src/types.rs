@@ -85,6 +85,74 @@ pub struct GazeSample {
     pub phase: EyePhase,
 }
 
+/// How the eye tracker delivered (or failed to deliver) one sample — the
+/// vocabulary the resilience layer degrades on. Real trackers lose the
+/// pupil during blinks and fast saccades and can repeat stale samples when
+/// the estimation pipeline falls behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrackerStatus {
+    /// A fresh, trustworthy estimate.
+    Valid,
+    /// A fresh estimate with an injected noise spike (still usable).
+    Noisy,
+    /// The tracker repeated an old sample (pipeline stall / frozen output).
+    Stale,
+    /// Eyelid closed: no pupil to track for the blink window.
+    Blink,
+    /// Tracker lost the pupil (off-axis glint, headset slip, dropout).
+    Lost,
+}
+
+impl TrackerStatus {
+    /// Whether the sample carries a *current* gaze estimate the streaming
+    /// pipeline may act on. `Stale` is not usable: the value is old even
+    /// though the transport delivered something.
+    pub fn is_usable(&self) -> bool {
+        matches!(self, TrackerStatus::Valid | TrackerStatus::Noisy)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrackerStatus::Valid => "valid",
+            TrackerStatus::Noisy => "noisy",
+            TrackerStatus::Stale => "stale",
+            TrackerStatus::Blink => "blink",
+            TrackerStatus::Lost => "lost",
+        }
+    }
+}
+
+/// A gaze sample as delivered by a fallible tracker: the raw
+/// [`GazeSample`] plus delivery status and a confidence in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GazeObservation {
+    /// The delivered sample (for `Stale`, the repeated old sample; for
+    /// `Blink`/`Lost`, the tracker's last output, not to be trusted).
+    pub sample: GazeSample,
+    /// Delivery status.
+    pub status: TrackerStatus,
+    /// Tracker confidence in `[0, 1]` (1 for a clean estimate, 0 when the
+    /// pupil is lost).
+    pub confidence: f32,
+}
+
+impl GazeObservation {
+    /// Wraps a trustworthy sample.
+    pub fn valid(sample: GazeSample) -> Self {
+        Self {
+            sample,
+            status: TrackerStatus::Valid,
+            confidence: 1.0,
+        }
+    }
+
+    /// Whether the observation carries a current, actionable estimate.
+    pub fn is_usable(&self) -> bool {
+        self.status.is_usable()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +185,27 @@ mod tests {
         assert!(EyePhase::Recovery.is_suppressed());
         assert!(!EyePhase::Fixation.is_suppressed());
         assert!(!EyePhase::SmoothPursuit.is_suppressed());
+    }
+
+    #[test]
+    fn only_fresh_statuses_are_usable() {
+        assert!(TrackerStatus::Valid.is_usable());
+        assert!(TrackerStatus::Noisy.is_usable());
+        assert!(!TrackerStatus::Stale.is_usable());
+        assert!(!TrackerStatus::Blink.is_usable());
+        assert!(!TrackerStatus::Lost.is_usable());
+    }
+
+    #[test]
+    fn valid_observation_has_full_confidence() {
+        let s = GazeSample {
+            t_ms: 0.0,
+            point: GazePoint::center(),
+            phase: EyePhase::Fixation,
+        };
+        let obs = GazeObservation::valid(s);
+        assert!(obs.is_usable());
+        assert_eq!(obs.confidence, 1.0);
+        assert_eq!(obs.sample, s);
     }
 }

@@ -128,6 +128,11 @@ impl Sensor {
         self.groups * self.width / cal::PS_SIDE
     }
 
+    /// Interleaved ADC sub-groups per PS column.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
     /// Conventional full-frame capture: every pixel converted.
     pub fn full_readout(&self, lighting: Lighting) -> SensorCost {
         // Every PS row needs PS_SIDE² = 4 serialized conversions; the four
@@ -193,6 +198,34 @@ impl Sensor {
         }
         let rounds = group_rounds.into_iter().max().unwrap_or(0);
         self.cost(rounds, unique.len(), lighting)
+    }
+
+    /// [`Sensor::sbs_readout`] under an ADC sub-group fault: PS rows served
+    /// by a sub-group listed in `dead_groups` are never converted (their
+    /// pixels come back as garbage — the functional corruption is modeled
+    /// by the resilience layer in `solo-core`), while the surviving
+    /// sub-groups keep their own disjoint row sets, so the round count is
+    /// the maximum over *alive* groups only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pixel is out of bounds or every sub-group is dead.
+    pub fn sbs_readout_with_dead_groups(
+        &self,
+        pixels: &[(usize, usize)],
+        lighting: Lighting,
+        dead_groups: &[usize],
+    ) -> SensorCost {
+        assert!(
+            (0..self.groups).any(|g| !dead_groups.contains(&g)),
+            "every ADC sub-group is dead"
+        );
+        let alive: Vec<(usize, usize)> = pixels
+            .iter()
+            .copied()
+            .filter(|&(r, _)| !dead_groups.contains(&((r / cal::PS_SIDE) % self.groups)))
+            .collect();
+        self.sbs_readout(&alive, lighting)
     }
 
     fn cost(&self, rounds: usize, pixels_read: usize, lighting: Lighting) -> SensorCost {
@@ -279,7 +312,7 @@ pub fn staggered_grid_for(
 /// produce for a centered gaze.
 pub fn synthetic_foveated_selection(src: usize, out: usize) -> Vec<(usize, usize)> {
     assert!(out <= src, "selection larger than array");
-    let fovea_out = (out as f32 / 2f32.sqrt()) as usize; // half the samples
+    let fovea_out = (out as f32 / 2f32.sqrt()).floor() as usize; // half the samples
     let fovea_src = (src / 3).max(fovea_out.min(src));
     let origin = (src - fovea_src) / 2;
     let mut px = Vec::new();
@@ -288,8 +321,8 @@ pub fn synthetic_foveated_selection(src: usize, out: usize) -> Vec<(usize, usize
         px.push((origin + r, origin + c));
     }
     // Peripheral even grid with the remaining budget.
-    let peri_out = ((out * out - fovea_out * fovea_out) as f32).sqrt() as usize;
-    px.extend(even_grid(src, src, peri_out.max(1), peri_out.max(1)));
+    let peri_out = (((out * out - fovea_out * fovea_out) as f32).sqrt().floor() as usize).max(1);
+    px.extend(even_grid(src, src, peri_out, peri_out));
     px.sort_unstable();
     px.dedup();
     px
@@ -391,6 +424,27 @@ mod tests {
             s.sbs_readout(&all, Lighting::High).rounds,
             s.full_readout(Lighting::High).rounds
         );
+    }
+
+    #[test]
+    fn dead_groups_drop_rows_but_never_add_rounds() {
+        let s = Sensor::new(32, 32);
+        let sel = even_grid(32, 32, 16, 16);
+        let full = s.sbs_readout(&sel, Lighting::High);
+        let degraded = s.sbs_readout_with_dead_groups(&sel, Lighting::High, &[0]);
+        assert!(degraded.pixels_read < full.pixels_read);
+        assert!(degraded.rounds <= full.rounds);
+        // No dead groups: identical to the plain SBS readout.
+        assert_eq!(
+            s.sbs_readout_with_dead_groups(&sel, Lighting::High, &[]),
+            full
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "every ADC sub-group is dead")]
+    fn rejects_all_groups_dead() {
+        Sensor::new(16, 16).sbs_readout_with_dead_groups(&[(0, 0)], Lighting::High, &[0, 1, 2, 3]);
     }
 
     #[test]

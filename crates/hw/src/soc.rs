@@ -459,9 +459,92 @@ impl SocModel {
         let et = Sensor::new(128, 128).full_readout(self.lighting);
         cost.sensing.1 += et.energy();
         let mut gaze = Workload::gaze_only(self.keep_ratio);
-        gaze.preproc_pixels = (down * down) as u64;
+        gaze.preproc_pixels = (down as u64) * (down as u64);
         let c = self.accelerator.run(&gaze);
         cost.esnet = (c.latency, c.energy);
+        cost.platform = (
+            Latency::ZERO,
+            Energy::from_power(crate::calib::PLATFORM_POWER_W, cost.latency()),
+        );
+        cost
+    }
+
+    /// The cost of one SOLO frame run on a *degraded* rung of the
+    /// resilience ladder: the saliency crop widened by an area factor
+    /// `widen` (≥ 1; the phase-2 SBS selection side grows by `√widen`),
+    /// optionally with dead ADC sub-groups excluded from the re-read.
+    /// With `widen == 1.0` and no dead groups this is bit-identical to
+    /// `evaluate(Pipeline::Solo, ..)` — the nominal path priced through
+    /// the same stages.
+    pub fn degraded_solo_path(
+        &self,
+        backbone: Backbone,
+        dataset: Dataset,
+        widen: f64,
+        dead_groups: &[usize],
+    ) -> CostBreakdown {
+        let full = dataset.full_side();
+        let down = dataset.down_side();
+        let sensor = Sensor::new(full, full);
+        let mut cost = CostBreakdown::default();
+
+        // Phase 1: preview, unchanged.
+        let preview = sensor.subsampled_readout(down, down, self.lighting);
+        add_sensor(&mut cost, &preview);
+        let m1 = self.mipi.transfer_frame(down, down, 3);
+        cost.mipi.0 += m1.latency;
+        cost.mipi.1 += m1.energy;
+        // Phase 2: the widened SBS selection re-read. The warp output stays
+        // at down², so MIPI/DRAM traffic is unchanged; only the ADC rounds
+        // grow with the wider selection footprint.
+        let side = ((down as f64 * widen.max(1.0).sqrt()).round() as usize).min(full);
+        let selection = synthetic_foveated_selection(full, side);
+        let resense = sensor.sbs_readout_with_dead_groups(&selection, self.lighting, dead_groups);
+        cost.sensing.0 += resense.adc_readout;
+        cost.sensing.1 += resense.adc_energy;
+        let m2 = self.mipi.transfer_frame(down, down, 3);
+        cost.mipi.0 += m2.latency;
+        cost.mipi.1 += m2.energy;
+        stage_dram(&mut cost, &self.dram, 2 * down * down * 3);
+        let et = Sensor::new(128, 128).full_readout(self.lighting);
+        cost.sensing.1 += et.energy();
+
+        // ESNet still runs on the accelerator (SOLO engine).
+        let esnet = Workload::esnet(down, down, self.keep_ratio);
+        let c = self.accelerator.run(&esnet);
+        cost.esnet = (c.latency, c.energy);
+
+        let seg_t = self.gpu.latency(backbone.gflops(down));
+        cost.segmentation = (seg_t, self.gpu.energy(seg_t));
+        cost.display = (self.display.latency(), self.display.energy());
+        cost.platform = (
+            Latency::ZERO,
+            Energy::from_power(crate::calib::PLATFORM_POWER_W, cost.latency()),
+        );
+        cost
+    }
+
+    /// The cost of the uniform-fallback rung: with no usable gaze there is
+    /// no saliency to steer the SBS re-read, so the frame is the preview
+    /// alone, segmented uniformly at the downsampled resolution. Drops the
+    /// phase-2 re-sense, second MIPI transfer and ESNet — strictly cheaper
+    /// than the nominal SOLO frame.
+    pub fn uniform_fallback_path(&self, backbone: Backbone, dataset: Dataset) -> CostBreakdown {
+        let full = dataset.full_side();
+        let down = dataset.down_side();
+        let sensor = Sensor::new(full, full);
+        let mut cost = CostBreakdown::default();
+        let preview = sensor.subsampled_readout(down, down, self.lighting);
+        add_sensor(&mut cost, &preview);
+        let m = self.mipi.transfer_frame(down, down, 3);
+        cost.mipi.0 += m.latency;
+        cost.mipi.1 += m.energy;
+        stage_dram(&mut cost, &self.dram, down * down * 3);
+        let et = Sensor::new(128, 128).full_readout(self.lighting);
+        cost.sensing.1 += et.energy();
+        let seg_t = self.gpu.latency(backbone.gflops(down));
+        cost.segmentation = (seg_t, self.gpu.energy(seg_t));
+        cost.display = (self.display.latency(), self.display.energy());
         cost.platform = (
             Latency::ZERO,
             Energy::from_power(crate::calib::PLATFORM_POWER_W, cost.latency()),
@@ -618,6 +701,52 @@ mod tests {
         assert!(high > low, "high {high} vs low {low}");
         assert!(high > 2.0, "high-light sensing gain {high}");
         assert!(low > 1.2, "low-light sensing gain {low}");
+    }
+
+    #[test]
+    fn nominal_degraded_path_matches_solo_exactly() {
+        let b = Backbone::Hr;
+        for d in Dataset::MAIN {
+            assert_eq!(
+                soc().degraded_solo_path(b, d, 1.0, &[]),
+                soc().evaluate(Pipeline::Solo, b, d),
+                "{}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn widening_the_crop_costs_sensing_time() {
+        let b = Backbone::Hr;
+        let d = Dataset::Lvis;
+        let nominal = soc().degraded_solo_path(b, d, 1.0, &[]);
+        let widened = soc().degraded_solo_path(b, d, 2.0, &[]);
+        assert!(widened.sensing.0 > nominal.sensing.0);
+        // Warp output is unchanged, so downstream stages are too.
+        assert_eq!(widened.segmentation, nominal.segmentation);
+        assert_eq!(widened.mipi, nominal.mipi);
+    }
+
+    #[test]
+    fn dead_groups_cannot_make_readout_slower() {
+        let b = Backbone::Sf;
+        let d = Dataset::Ade;
+        let healthy = soc().degraded_solo_path(b, d, 1.0, &[]);
+        let faulty = soc().degraded_solo_path(b, d, 1.0, &[1]);
+        assert!(faulty.sensing.0 <= healthy.sensing.0);
+    }
+
+    #[test]
+    fn uniform_fallback_is_cheaper_than_solo_but_dearer_than_skip() {
+        let b = Backbone::Hr;
+        for d in Dataset::MAIN {
+            let uniform = soc().uniform_fallback_path(b, d).latency();
+            let solo = soc().evaluate(Pipeline::Solo, b, d).latency();
+            let skip = soc().skip_path(d).latency();
+            assert!(uniform < solo, "{}: {uniform} vs solo {solo}", d.name());
+            assert!(uniform > skip, "{}: {uniform} vs skip {skip}", d.name());
+        }
     }
 
     #[test]

@@ -1,7 +1,77 @@
 //! ASCII timing diagrams from pipeline traces — the Fig. 11 view of a
-//! frame's life through the SoC.
+//! frame's life through the SoC — and the per-frame deadline budget the
+//! resilience layer charges stage latencies against.
 
 use crate::soc::StageEvent;
+use crate::Latency;
+
+/// A per-frame latency budget. The streaming loop charges each stage's
+/// modeled latency against a fixed deadline; when a prospective stage
+/// would overrun, the degradation ladder escalates to a cheaper rung
+/// instead of silently missing the frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameBudget {
+    deadline: Latency,
+    spent: Latency,
+}
+
+impl FrameBudget {
+    /// A budget with the given per-frame deadline.
+    pub fn new(deadline: Latency) -> Self {
+        Self {
+            deadline,
+            spent: Latency::ZERO,
+        }
+    }
+
+    /// A budget that never overruns (infinite deadline) — the configuration
+    /// under which fault-free runs must match the unbudgeted path exactly.
+    pub fn unlimited() -> Self {
+        Self::new(Latency::from_ms(f64::INFINITY))
+    }
+
+    /// Whether the deadline is infinite.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.us().is_infinite()
+    }
+
+    /// Resets the spent counter at the top of a frame.
+    pub fn start_frame(&mut self) {
+        self.spent = Latency::ZERO;
+    }
+
+    /// Charges a stage and reports whether the frame is still within its
+    /// deadline afterwards.
+    pub fn charge(&mut self, stage: Latency) -> bool {
+        self.spent += stage;
+        !self.overrun()
+    }
+
+    /// Whether charging `stage` now would push the frame past its deadline.
+    pub fn would_overrun(&self, stage: Latency) -> bool {
+        self.spent + stage > self.deadline
+    }
+
+    /// Latency charged so far this frame.
+    pub fn spent(&self) -> Latency {
+        self.spent
+    }
+
+    /// The configured deadline.
+    pub fn deadline(&self) -> Latency {
+        self.deadline
+    }
+
+    /// Whether the frame has already overrun its deadline.
+    pub fn overrun(&self) -> bool {
+        self.spent > self.deadline
+    }
+
+    /// Budget left before the deadline (zero once overrun).
+    pub fn remaining(&self) -> Latency {
+        (self.deadline - self.spent).max(Latency::ZERO)
+    }
+}
 
 /// Renders trace events as an ASCII Gantt chart, one row per stage, with a
 /// time axis in milliseconds. `width` is the chart width in characters.
@@ -96,5 +166,29 @@ mod tests {
     #[test]
     fn empty_trace_renders_placeholder() {
         assert_eq!(render_gantt(&[], 40), "(no events)\n");
+    }
+
+    #[test]
+    fn budget_charges_against_deadline() {
+        let mut b = FrameBudget::new(Latency::from_ms(10.0));
+        assert!(b.charge(Latency::from_ms(6.0)));
+        assert!(!b.would_overrun(Latency::from_ms(3.0)));
+        assert!(b.would_overrun(Latency::from_ms(5.0)));
+        assert!(!b.charge(Latency::from_ms(5.0)));
+        assert!(b.overrun());
+        assert_eq!(b.remaining(), Latency::ZERO);
+        b.start_frame();
+        assert!(!b.overrun());
+        assert_eq!(b.spent(), Latency::ZERO);
+        assert!((b.remaining().ms() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlimited_budget_never_overruns() {
+        let mut b = FrameBudget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(b.charge(Latency::from_s(1e9)));
+        assert!(!b.would_overrun(Latency::from_s(1e12)));
+        assert!(!b.overrun());
     }
 }

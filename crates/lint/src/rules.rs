@@ -7,6 +7,7 @@
 //! | `U1` | `crates/hw`                     | no raw-`f64` unit-suffixed params; no unwrap-rewrap |
 //! | `P1` | library code (non-bench)        | panics need an inline waiver |
 //! | `C1` | `crates/hw`, sampler `index_map`| no truncating casts on arithmetic |
+//! | `E1` | library + bench code            | fallible resilience fns must not unwrap |
 //! | `W1` | every `Cargo.toml`              | declared deps must be referenced |
 //!
 //! `D1`/`U1`/`P1`/`C1` are line/token rules over [`SourceFile`]s; `W1` is a
@@ -82,6 +83,7 @@ pub fn check_file(file: &SourceFile, kind: FileKind) -> Vec<Violation> {
     }
     if matches!(kind, FileKind::Library | FileKind::Bench) {
         thread_discipline(file, &mut violations);
+        error_path_hygiene(file, &mut violations);
     }
     if file.rel.starts_with("crates/hw/src/") {
         unit_safety(file, &mut violations);
@@ -320,6 +322,112 @@ fn cast_safety(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// E1 — error-path hygiene: a function whose signature mentions
+/// `FrameOutcome` or `SoloError` is on the typed fault-propagation path,
+/// so its body (closures and nested items included) must not call
+/// `.unwrap()` or `.expect(` — faults travel as values, not panics.
+fn error_path_hygiene(file: &SourceFile, out: &mut Vec<Violation>) {
+    /// How many lines a signature may span before we give up on finding
+    /// its opening brace (guards against pathological formatting).
+    const SIG_SPAN: usize = 16;
+    const NEEDLES: &[&str] = &[".unwrap()", ".expect("];
+    let lines = &file.lines;
+    let mut i = 0usize;
+    while i < lines.len() {
+        let Some(fn_col) = fn_token(&lines[i].code) else {
+            i += 1;
+            continue;
+        };
+        // Accumulate the signature from the `fn` token to its opening brace.
+        let mut sig = String::new();
+        let mut open = None; // (line index, byte offset just past '{')
+        let mut col = fn_col;
+        'sig: for j in i..lines.len().min(i + SIG_SPAN) {
+            let code = &lines[j].code;
+            let tail = &code[col.min(code.len())..];
+            for (k, ch) in tail.char_indices() {
+                if ch == '{' {
+                    sig.push_str(&tail[..k]);
+                    open = Some((j, col + k + 1));
+                    break 'sig;
+                }
+                if ch == ';' {
+                    sig.push_str(&tail[..k]);
+                    break 'sig; // trait method or extern declaration
+                }
+            }
+            sig.push_str(tail);
+            sig.push(' ');
+            col = 0;
+        }
+        let fallible = sig
+            .split("->")
+            .nth(1)
+            .is_some_and(|ret| ret.contains("FrameOutcome") || ret.contains("SoloError"));
+        let Some((open_line, open_col)) = open else {
+            i += 1;
+            continue;
+        };
+        if !fallible {
+            i += 1;
+            continue;
+        }
+        // Walk the body to its closing brace, flagging panicking calls.
+        let mut depth = 1i32;
+        let mut bl = open_line;
+        let mut bc = open_col;
+        while bl < lines.len() && depth > 0 {
+            let code = &lines[bl].code;
+            let tail = &code[bc.min(code.len())..];
+            if !lines[bl].in_test {
+                for needle in NEEDLES {
+                    if tail.contains(needle) {
+                        out.push(Violation {
+                            file: file.rel.clone(),
+                            line: bl + 1,
+                            rule: "E1",
+                            message: format!(
+                                "`{}` inside a `FrameOutcome`/`SoloError` function: propagate \
+                                 with `?` or map to a `SoloError`",
+                                needle.trim_start_matches('.')
+                            ),
+                        });
+                    }
+                }
+            }
+            for ch in tail.chars() {
+                match ch {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+                if depth == 0 {
+                    break;
+                }
+            }
+            bl += 1;
+            bc = 0;
+        }
+        i = bl.max(i + 1);
+    }
+}
+
+/// Finds a `fn` keyword token in a code line, returning the byte offset of
+/// the signature start (the `fn` itself), or `None`.
+fn fn_token(code: &str) -> Option<usize> {
+    for (pos, _) in code.match_indices("fn ") {
+        let preceded_ok = pos == 0
+            || code[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+        if preceded_ok {
+            return Some(pos);
+        }
+    }
+    None
+}
+
 /// Whether the cast operand already ends in an explicit rounding/clamping
 /// call — `(a * b).round() as u64` is the sanctioned form C1 asks for.
 fn operand_is_sanctioned(before: &str) -> bool {
@@ -459,6 +567,79 @@ mod tests {
             "// lint:allow(D2): bounded one-off helper thread, joined below\nlet h = std::thread::spawn(work);",
         );
         assert!(check_file(&f, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn e1_flags_unwrap_in_fallible_fns_only() {
+        let f = lib_file(
+            "pub fn fragile(x: Option<u32>) -> FrameOutcome<u32> {\n\
+             \x20   let v = x.unwrap();\n\
+             \x20   helper().expect(\"boom\");\n\
+             \x20   Ok(v)\n\
+             }\n\
+             pub fn infallible(x: Option<u32>) -> u32 {\n\
+             \x20   x.unwrap()\n\
+             }\n",
+        );
+        let v = check_file(&f, FileKind::Library);
+        let e1: Vec<_> = v.iter().filter(|v| v.rule == "E1").collect();
+        assert_eq!(e1.len(), 2, "{v:?}");
+        assert_eq!(e1[0].line, 2);
+        assert_eq!(e1[1].line, 3);
+    }
+
+    #[test]
+    fn e1_reads_multiline_signatures_and_error_returns() {
+        let f = lib_file(
+            "pub fn long(\n\
+             \x20   a: usize,\n\
+             ) -> Result<(), SoloError> {\n\
+             \x20   a.checked_add(1).unwrap();\n\
+             \x20   Ok(())\n\
+             }\n",
+        );
+        let v = check_file(&f, FileKind::Library);
+        assert_eq!(v.iter().filter(|v| v.rule == "E1").count(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn e1_stops_at_the_body_end_and_honors_waivers() {
+        // The unwrap after the fallible fn's body is not E1 (it is P1).
+        let f = lib_file(
+            "fn ok() -> FrameOutcome<()> {\n\
+             \x20   Ok(())\n\
+             }\n\
+             fn plain() { x.unwrap(); }\n",
+        );
+        assert!(check_file(&f, FileKind::Library)
+            .iter()
+            .all(|v| v.rule != "E1"));
+        let f = lib_file(
+            "fn w() -> FrameOutcome<()> {\n\
+             \x20   // lint:allow(E1): startup-only invariant\n\
+             \x20   x.unwrap();\n\
+             \x20   Ok(())\n\
+             }\n",
+        );
+        assert!(check_file(&f, FileKind::Library)
+            .iter()
+            .all(|v| v.rule != "E1"));
+    }
+
+    #[test]
+    fn e1_ignores_trait_declarations_and_test_code() {
+        let f = lib_file(
+            "trait T {\n\
+             \x20   fn try_it(&self) -> FrameOutcome<()>;\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn t() -> FrameOutcome<()> { x.unwrap(); Ok(()) }\n\
+             }\n",
+        );
+        assert!(check_file(&f, FileKind::Library)
+            .iter()
+            .all(|v| v.rule != "E1"));
     }
 
     #[test]

@@ -153,6 +153,47 @@ fn p1_flags_panics_unless_waived_or_in_tests() {
 }
 
 #[test]
+fn e1_keeps_fallible_resilience_fns_panic_free() {
+    let repo = FixtureRepo::new("e1");
+    // An unwrap inside a FrameOutcome-returning fn is both a P1 and an E1;
+    // the same unwrap in an infallible fn is P1 only.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "pub fn step(x: Option<u32>) -> FrameOutcome<u32> {\n\
+         \x20   Ok(x.unwrap())\n\
+         }\n\
+         pub fn plain(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert_eq!(repo.rules_at("crates/demo/src/lib.rs"), ["E1", "P1", "P1"]);
+
+    // Propagating with `?` is the sanctioned style; bench code is in scope.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "pub fn step(x: FrameOutcome<u32>) -> FrameOutcome<u32> {\n\
+         \x20   let v = x?;\n\
+         \x20   Ok(v + 1)\n\
+         }\n",
+    );
+    assert!(repo.rules_at("crates/demo/src/lib.rs").is_empty());
+    repo.write(
+        "crates/bench/src/lib.rs",
+        "pub fn drive() -> Result<(), SoloError> { run().expect(\"boom\"); Ok(()) }\n",
+    );
+    assert_eq!(repo.rules_at("crates/bench/src/lib.rs"), ["E1"]);
+
+    // A waiver with a reason silences the rule.
+    repo.write(
+        "crates/bench/src/lib.rs",
+        "pub fn drive() -> Result<(), SoloError> {\n\
+         \x20   // lint:allow(E1): bench harness aborts on setup failure by design\n\
+         \x20   run().expect(\"boom\");\n\
+         \x20   Ok(())\n\
+         }\n",
+    );
+    assert!(repo.rules_at("crates/bench/src/lib.rs").is_empty());
+}
+
+#[test]
 fn u1_flags_raw_unit_params_and_rewraps_in_hw_only() {
     let repo = FixtureRepo::new("u1");
     let src = "pub fn run(latency_us: f64) {}\n\

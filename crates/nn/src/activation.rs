@@ -31,10 +31,7 @@ macro_rules! activation {
             }
 
             fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-                let input = self
-                    .cache
-                    .take()
-                    .expect(concat!(stringify!($name), "::backward called before forward"));
+                let input = crate::layer::take_cache(&mut self.cache, stringify!($name));
                 grad_out.zip(&input, |g, x| g * ($deriv)(x))
             }
 

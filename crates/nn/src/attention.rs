@@ -180,10 +180,7 @@ impl Layer for MultiHeadAttention {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .take()
-            .expect("MultiHeadAttention::backward called before forward");
+        let cache = crate::layer::take_cache(&mut self.cache, "MultiHeadAttention");
         let t = cache.tokens;
         let hd = self.head_dim;
         let scale = 1.0 / (hd as f32).sqrt();

@@ -184,10 +184,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (x, spec) = self
-            .cached_input
-            .take()
-            .expect("Conv2d::backward called before forward");
+        let (x, spec) = crate::layer::take_cache(&mut self.cached_input, "Conv2d");
         let (oh, ow) = (spec.out_height(), spec.out_width());
         assert_eq!(
             grad_out.shape().dims(),

@@ -52,6 +52,19 @@ pub trait Layer {
     }
 }
 
+/// Consumes a layer's forward cache at the top of `backward`.
+///
+/// Every [`Layer`] implementation funnels its cache access through this
+/// helper so the backward-before-forward protocol violation panics with one
+/// uniform `<layer>::backward called before forward` message.
+pub(crate) fn take_cache<T>(cache: &mut Option<T>, layer: &str) -> T {
+    match cache.take() {
+        Some(state) => state,
+        // lint:allow(P1): the Layer protocol documents backward-before-forward as a programmer error
+        None => panic!("{layer}::backward called before forward"),
+    }
+}
+
 /// A chain of layers applied in order.
 ///
 /// ```

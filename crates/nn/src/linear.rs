@@ -140,10 +140,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .take()
-            .expect("Linear::backward called before forward");
+        let x = crate::layer::take_cache(&mut self.cached_input, "Linear");
         let g = if self.input_was_vec {
             grad_out.reshape(&[1, self.out_features])
         } else {

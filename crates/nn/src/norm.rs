@@ -101,10 +101,7 @@ impl Layer for LayerNorm {
         let NormCache {
             normalized,
             inv_std,
-        } = self
-            .cache
-            .take()
-            .expect("LayerNorm::backward called before forward");
+        } = crate::layer::take_cache(&mut self.cache, "LayerNorm");
         let rows = normalized.shape().dim(0);
         let d = self.dim;
         assert_eq!(
@@ -253,10 +250,7 @@ impl Layer for ChannelNorm {
         let ChannelCache {
             normalized,
             inv_std,
-        } = self
-            .cache
-            .take()
-            .expect("ChannelNorm::backward called before forward");
+        } = crate::layer::take_cache(&mut self.cache, "ChannelNorm");
         assert_eq!(
             grad_out.shape(),
             normalized.shape(),

@@ -29,10 +29,7 @@ impl Layer for AvgPool2 {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self
-            .cache_shape
-            .take()
-            .expect("AvgPool2::backward called before forward");
+        let dims = crate::layer::take_cache(&mut self.cache_shape, "AvgPool2");
         let (c, h, w) = (dims[0], dims[1], dims[2]);
         assert_eq!(
             grad_out.shape().dims(),
@@ -99,10 +96,7 @@ impl Layer for Upsample2 {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self
-            .cache_shape
-            .take()
-            .expect("Upsample2::backward called before forward");
+        let dims = crate::layer::take_cache(&mut self.cache_shape, "Upsample2");
         let (c, h, w) = (dims[0], dims[1], dims[2]);
         assert_eq!(
             grad_out.shape().dims(),

@@ -108,7 +108,7 @@ impl Layer for Rnn {
         hs.push(Tensor::zeros(&[self.cell.hidden_dim]));
         for i in 0..t {
             let x = input.row(i);
-            let h = self.cell.step(&x, hs.last().expect("nonempty"));
+            let h = self.cell.step(&x, &hs[i]);
             hs.push(h);
         }
         let out = Tensor::stack(&hs[1..]);
@@ -120,10 +120,7 @@ impl Layer for Rnn {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let RnnCache { xs, hs } = self
-            .cache
-            .take()
-            .expect("Rnn::backward called before forward");
+        let RnnCache { xs, hs } = crate::layer::take_cache(&mut self.cache, "Rnn");
         let t = xs.shape().dim(0);
         let hd = self.cell.hidden_dim;
         let id = self.cell.input_dim;

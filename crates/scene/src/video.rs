@@ -44,6 +44,32 @@ impl VideoConfig {
         }
     }
 
+    /// An LVIS-like video: cluttered static scenes, frequent refixations
+    /// between the many small instances.
+    pub fn lvis_like(frames: usize) -> Self {
+        Self {
+            dataset: DatasetConfig::lvis_like(),
+            frames,
+            fps: 30.0,
+            dwell_s: (1.0, 3.0),
+            turn_s: (0.4, 0.8),
+            refixation_rate: 0.6,
+        }
+    }
+
+    /// An ADE20K-like video: scene parsing with moderate density and
+    /// unhurried viewing.
+    pub fn ade_like(frames: usize) -> Self {
+        Self {
+            dataset: DatasetConfig::ade_like(),
+            frames,
+            fps: 30.0,
+            dwell_s: (1.2, 3.5),
+            turn_s: (0.4, 0.9),
+            refixation_rate: 0.4,
+        }
+    }
+
     /// A DAVIS-2016-like video (moving objects, shorter dwells).
     pub fn davis_like(frames: usize) -> Self {
         Self {
@@ -471,6 +497,22 @@ mod tests {
         // move.
         let d = view_diff(&v.frame(0).image, &v.frame(10).image);
         assert!(d > 1e-4, "DAVIS-like frames should change: {d}");
+    }
+
+    #[test]
+    fn all_four_presets_generate() {
+        for cfg in [
+            VideoConfig::lvis_like(30),
+            VideoConfig::ade_like(30),
+            VideoConfig::aria_like(30),
+            VideoConfig::davis_like(30),
+        ] {
+            let mut cfg = cfg;
+            cfg.dataset.resolution = 48;
+            let v = VideoSequence::generate(cfg, &mut seeded_rng(9));
+            assert_eq!(v.len(), 30);
+            assert_eq!(v.frame(0).image.shape().dims(), &[3, 48, 48]);
+        }
     }
 
     #[test]

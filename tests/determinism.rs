@@ -157,6 +157,43 @@ fn samplers_are_bit_identical_across_pool_widths() {
 }
 
 #[test]
+fn fault_injection_replays_identically_from_its_seed() {
+    use solo_core::resilience::{FaultPlan, ResilienceConfig};
+    use solo_core::ssa::SsaConfig;
+    use solo_core::system::StreamingEvaluator;
+    use solo_hw::soc::{Backbone, Dataset};
+    use solo_scene::VideoConfig;
+
+    let mut cfg = VideoConfig::davis_like(120);
+    cfg.dataset.resolution = 48;
+    let video = solo_scene::VideoSequence::generate(cfg, &mut seeded_rng(4));
+    let run = |plan: &FaultPlan| {
+        let mut ev = StreamingEvaluator::new(
+            SsaConfig::paper_default(480),
+            Backbone::Hr,
+            Dataset::Davis,
+            None,
+        );
+        ev.run_with_faults(&video, plan, &ResilienceConfig::paper_default())
+            .expect("valid plan")
+    };
+    // Same seed and plan: the whole report — including the per-frame
+    // DegradeAction sequence — is bit-identical.
+    let a = run(&FaultPlan::dropout(17, 0.8));
+    let b = run(&FaultPlan::dropout(17, 0.8));
+    assert_eq!(a.actions, b.actions);
+    assert_eq!(a.base, b.base);
+    assert_eq!(a.robustness, b.robustness);
+    assert!(
+        a.actions.iter().any(|x| x.is_degraded()),
+        "the replay check must exercise a degraded trace"
+    );
+    // A different injector seed draws a different fault schedule.
+    let c = run(&FaultPlan::dropout(18, 0.8));
+    assert_ne!(a.actions, c.actions);
+}
+
+#[test]
 fn training_step_is_bit_identical_across_pool_widths() {
     let ds_cfg = DatasetConfig::lvis_like().with_resolution(48);
     let cfg = PipelineConfig::for_dataset(&ds_cfg, 48, 16);

@@ -1,0 +1,185 @@
+//! Robustness gate for the fault-injection layer: disabled injection is a
+//! bit-exact no-op at every pool width, enabled injection degrades
+//! gracefully, and the `fault_matrix` sweep stays under its deadline with
+//! accuracy falling monotonically down the ladder.
+
+use proptest::prelude::*;
+use solo_core::backbones::BackboneKind;
+use solo_core::experiments::fault_matrix;
+use solo_core::resilience::{DegradeAction, FaultPlan, ResilienceConfig};
+use solo_core::solonet::{FoveatedPipeline, PipelineConfig};
+use solo_core::ssa::SsaConfig;
+use solo_core::system::StreamingEvaluator;
+use solo_hw::soc::{Backbone, Dataset};
+use solo_tensor::{exec, seeded_rng};
+
+fn small_video(frames: usize, seed: u64) -> solo_scene::VideoSequence {
+    let mut cfg = solo_scene::VideoConfig::davis_like(frames);
+    cfg.dataset.resolution = 48;
+    solo_scene::VideoSequence::generate(cfg, &mut seeded_rng(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// An all-zero-rate `FaultPlan` — whatever its other knobs say — must
+    /// leave the streaming report bit-identical to the uninstrumented
+    /// path, under both a serial and a width-8 execution pool.
+    #[test]
+    fn zero_rate_injection_is_bit_identical_to_the_plain_path(
+        fault_seed in 0u64..1_000,
+        noise_sigma in 0.0f32..1.0,
+        spike_factor in 1.0f64..8.0,
+        blink_hi in 1usize..20,
+        video_seed in 0u64..4,
+    ) {
+        let video = small_video(40, video_seed);
+        let plan = FaultPlan {
+            seed: fault_seed,
+            noise_sigma,
+            latency_spike_factor: spike_factor,
+            blink_frames: (1, blink_hi),
+            ..FaultPlan::none()
+        };
+        prop_assert!(plan.is_disabled());
+        for width in [1usize, 8] {
+            exec::with_threads(width, || {
+                let mut ev = StreamingEvaluator::new(
+                    SsaConfig::paper_default(480),
+                    Backbone::Hr,
+                    Dataset::Davis,
+                    None,
+                );
+                let plain = ev.run(&video);
+                let resilient = ev
+                    .run_with_faults(&video, &plan, &ResilienceConfig::unlimited())
+                    .expect("a zero-rate plan is valid");
+                prop_assert_eq!(&resilient.base, &plain, "width {}", width);
+                prop_assert_eq!(resilient.robustness.injected_frames, 0);
+                prop_assert_eq!(resilient.robustness.degraded_frames, 0);
+                prop_assert_eq!(resilient.robustness.deadline_overruns, 0);
+                prop_assert!(resilient
+                    .actions
+                    .iter()
+                    .all(|a| *a == DegradeAction::Nominal));
+            });
+        }
+    }
+}
+
+/// The no-op identity also holds on the trained-pipeline path, where run
+/// frames do real saliency + segmentation inference.
+#[test]
+fn zero_rate_injection_matches_the_pipeline_path_at_both_widths() {
+    let video = small_video(24, 1);
+    let cfg = PipelineConfig::for_dataset(&video.config().dataset, 48, 12);
+    let run = |width: usize| {
+        exec::with_threads(width, || {
+            let pipeline =
+                FoveatedPipeline::new(&mut seeded_rng(33), BackboneKind::Hr, cfg, true, 1e-3);
+            let mut ev = StreamingEvaluator::new(
+                SsaConfig::paper_default(480),
+                Backbone::Hr,
+                Dataset::Davis,
+                Some(pipeline),
+            );
+            let plain = ev.run(&video);
+            let resilient = ev
+                .run_with_faults(&video, &FaultPlan::none(), &ResilienceConfig::unlimited())
+                .expect("a disabled plan is valid");
+            assert_eq!(resilient.base, plain, "width {width}");
+            (plain, resilient.actions)
+        })
+    };
+    let serial = run(1);
+    let wide = run(8);
+    assert_eq!(serial, wide);
+}
+
+/// Sustained dropout walks the ladder and recovers when gaze returns.
+#[test]
+fn dropout_degrades_and_recovers() {
+    let video = small_video(150, 4);
+    let mut ev = StreamingEvaluator::new(
+        SsaConfig::paper_default(480),
+        Backbone::Hr,
+        Dataset::Davis,
+        None,
+    );
+    let plan = FaultPlan::dropout(9, 1.0);
+    // An unlimited deadline keeps latency-spike escalations out of the
+    // action trace, so every degradation below is gaze-loss driven.
+    let report = ev
+        .run_with_faults(&video, &plan, &ResilienceConfig::unlimited())
+        .expect("valid plan");
+    let rb = &report.robustness;
+    assert_eq!(report.actions.len(), video.len());
+    assert!(rb.injected_frames > 0, "full-rate plan injected nothing");
+    assert!(rb.degraded_frames > 0, "dropout never degraded");
+    assert!(
+        rb.recoveries > 0 && rb.mean_recovery_frames >= 1.0,
+        "no recovery episodes: {rb:?}"
+    );
+    // The ladder is entered at the hold rung, never by jumping straight
+    // from nominal to a deeper rung (only deadline escalations may do
+    // that, and this run has no deadline).
+    for w in report.actions.windows(2) {
+        if w[0] == DegradeAction::Nominal && w[1].is_degraded() {
+            assert_eq!(w[1].rung(), 1, "ladder skipped the hold rung: {w:?}");
+        }
+    }
+}
+
+/// The tier-1 `fault_matrix` smoke: all four presets stay under the frame
+/// deadline, degrade more at higher dropout rates, and the oracle b-IoU
+/// falls monotonically through the ladder rungs.
+#[test]
+fn fault_matrix_smoke_degrades_gracefully() {
+    let points = fault_matrix(120, 4, &[0.0, 1.0], &[60.0]).expect("valid sweep");
+    assert_eq!(points.len(), 8);
+    for p in &points {
+        assert!(
+            p.mean_latency_ms <= p.deadline_ms,
+            "{} rate {} missed its deadline: {} ms",
+            p.preset,
+            p.dropout_rate,
+            p.mean_latency_ms
+        );
+    }
+    for preset in ["lvis", "ade", "aria", "davis"] {
+        let calm = points
+            .iter()
+            .find(|p| p.preset == preset && p.dropout_rate == 0.0)
+            .expect("calm cell");
+        let stormy = points
+            .iter()
+            .find(|p| p.preset == preset && p.dropout_rate == 1.0)
+            .expect("stormy cell");
+        assert_eq!(calm.degraded_fraction, 0.0, "{preset} degraded at rate 0");
+        assert!(
+            stormy.degraded_fraction > calm.degraded_fraction,
+            "{preset} did not degrade more under faults"
+        );
+    }
+    // The degradation curve: on the ade preset every deeper rung scores
+    // no better than the one above it (small tolerance for frame-mix
+    // noise), and the floor is clearly below nominal.
+    let ade = points
+        .iter()
+        .find(|p| p.preset == "ade" && p.dropout_rate == 1.0)
+        .expect("ade stormy cell");
+    for r in 1..DegradeAction::RUNGS {
+        assert!(
+            ade.rung_b_iou[r] <= ade.rung_b_iou[r - 1] + 0.02,
+            "b-IoU rose from rung {} to {}: {:?}",
+            r - 1,
+            r,
+            ade.rung_b_iou
+        );
+    }
+    assert!(
+        ade.rung_b_iou[DegradeAction::RUNGS - 1] < ade.rung_b_iou[0] - 0.1,
+        "mask reuse should score clearly below nominal: {:?}",
+        ade.rung_b_iou
+    );
+}
