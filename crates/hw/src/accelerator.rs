@@ -42,18 +42,21 @@ impl SystolicArray {
             return 0;
         }
         let s = self.size as u64;
-        let tiles = (k.div_ceil(self.size) * n.div_ceil(self.size)) as u64;
-        tiles * (m as u64 + 2 * s)
+        let (m, k, n) = (m as u64, k as u64, n as u64);
+        let tiles = k.div_ceil(s) * n.div_ceil(s);
+        tiles * (m + 2 * s)
     }
 
     /// Multiply–accumulate count of a GEMM (for energy).
     pub fn gemm_macs(&self, m: usize, k: usize, n: usize) -> u64 {
-        (m * k * n) as u64
+        let (m, k, n) = (m as u64, k as u64, n as u64);
+        m * k * n
     }
 
     /// Peak MACs per cycle.
     pub fn peak_macs_per_cycle(&self) -> u64 {
-        (self.size * self.size) as u64
+        let s = self.size as u64;
+        s * s
     }
 }
 
@@ -147,11 +150,12 @@ impl Workload {
                 k: 4 * dim,
                 n: dim,
             }); // mlp down
-                // SFU: 2 layernorms + softmax + GELU per block.
-            sfu += (2 * tk * dim + heads * tk * tk + tk * 4 * dim) as u64;
+            let (tk64, dim64, heads64) = (tk as u64, dim as u64, heads as u64);
+            // SFU: 2 layernorms + softmax + GELU per block.
+            sfu += 2 * tk64 * dim64 + heads64 * tk64 * tk64 + tk64 * 4 * dim64;
             // Token selector: sum the attention received per token.
-            selector += (heads * tk * tk) as u64;
-            sram += (tk * dim * 4) as u64;
+            selector += heads64 * tk64 * tk64;
+            sram += tk64 * dim64 * 4;
             t *= per_block_keep;
         }
         // Gaze head + saccade RNN (hidden 32 over the gaze stream step).
@@ -185,8 +189,10 @@ impl Workload {
             k: kernel_support,
             n: 2,
         });
-        sfu += (out_side * out_side) as u64; // normalization divides
-        let dram = (tokens0 * dim + pv * 3 + out_side * out_side * 4) as u64;
+        let (pv64, out64) = (pv as u64, out_side as u64);
+        let (tokens064, dim64) = (tokens0 as u64, dim as u64);
+        sfu += out64 * out64; // normalization divides
+        let dram = tokens064 * dim64 + pv64 * 3 + out64 * out64 * 4;
         Self {
             gemms,
             sfu_elems: sfu,
@@ -212,9 +218,10 @@ impl Workload {
     /// The input pre-processor workload for one SSA reuse check over an
     /// `side × side` preview pair (Condition 1–3 of Fig. 6 (c)).
     pub fn ssa_check(side: usize) -> Self {
+        let side = side as u64;
         Self {
-            preproc_pixels: (side * side) as u64,
-            sram_bytes: (side * side * 2) as u64,
+            preproc_pixels: side * side,
+            sram_bytes: side * side * 2,
             ..Self::default()
         }
     }

@@ -1,0 +1,307 @@
+//! The item model: functions and the impl/trait blocks that own them.
+//!
+//! Built from the [`crate::lexer`] token stream, one file at a time. The
+//! parser is deliberately shallow — it tracks brace nesting and three item
+//! forms (`impl … {`, `trait … {`, `fn name(…) {`) and records, for each
+//! function, its name, the type it is implemented on (if any), and its
+//! line span. That is exactly what the call graph needs for name
+//! resolution; bodies stay as line ranges so the flow rules can reuse the
+//! per-line [`crate::source::SourceFile`] views (waivers, test regions)
+//! they already understand.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::source::SourceFile;
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Repo-relative file path.
+    pub file: String,
+    /// The function's name.
+    pub name: String,
+    /// The first path segment of the enclosing `impl` target (or the
+    /// trait name for trait-default bodies); `None` for free functions.
+    pub self_ty: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// 1-indexed line of the body's closing brace (== `line` for bodyless
+    /// trait/extern declarations).
+    pub end_line: usize,
+    /// Token range of the body in the file's token stream (empty for
+    /// bodyless declarations).
+    pub body: (usize, usize),
+    /// Whether the `fn` keyword sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, plain `name` for free functions.
+    pub fn path(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One file's parsed items plus its token stream.
+#[derive(Debug)]
+pub struct FileItems {
+    /// Repo-relative file path.
+    pub file: String,
+    /// The full token stream (bodies index into it).
+    pub tokens: Vec<Token>,
+    /// Every function found, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+/// Parses `text` (with `source` supplying the `#[cfg(test)]` line map)
+/// into the file's functions.
+pub fn parse_file(rel: &str, text: &str, source: &SourceFile) -> FileItems {
+    let tokens = lex(text);
+    let mut fns = Vec::new();
+    // Stack of (brace depth the block opened at, owning type name) for
+    // impl/trait blocks; the innermost entry owns `fn` items found inside.
+    let mut owners: Vec<(usize, String)> = Vec::new();
+    // An `impl`/`trait` header seen but its `{` not yet: the pending owner.
+    let mut pending_owner: Option<String> = None;
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Punct if t.is_punct('{') => {
+                depth += 1;
+                if let Some(ty) = pending_owner.take() {
+                    owners.push((depth, ty));
+                }
+                i += 1;
+            }
+            TokenKind::Punct if t.is_punct('}') => {
+                if owners.last().is_some_and(|(d, _)| *d == depth) {
+                    owners.pop();
+                }
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            TokenKind::Punct if t.is_punct(';') => {
+                // `impl Trait for Type;` does not exist, but a stray `;`
+                // before the `{` cancels a pending owner (e.g. a macro).
+                pending_owner = None;
+                i += 1;
+            }
+            TokenKind::Ident if t.text == "impl" || t.text == "trait" => {
+                pending_owner = impl_target(&tokens, i);
+                i += 1;
+            }
+            TokenKind::Ident if t.text == "fn" => {
+                let (item, next) = parse_fn(rel, &tokens, i, owners.last(), source);
+                if let Some(mut item) = item {
+                    // Track nesting for the body we are about to skip:
+                    // nested `fn`s inside it still get their own items.
+                    if item.body.0 < item.body.1 {
+                        // The main loop resumes *inside* the body (so nested
+                        // fns get their own items), but `parse_fn` consumed
+                        // the opening `{` — account for it here or the
+                        // body's `}` would pop the enclosing impl owner.
+                        depth += 1;
+                        item.is_test = item.is_test
+                            || source.lines.get(item.line - 1).is_some_and(|l| l.in_test);
+                        fns.push(item);
+                        i = next; // next == index just after the opening `{`
+                        continue;
+                    }
+                    fns.push(item);
+                }
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    FileItems {
+        file: rel.to_string(),
+        tokens,
+        fns,
+    }
+}
+
+/// Reads the owning type of an `impl`/`trait` header starting at its
+/// keyword: skips generics, returns the first path segment of the target
+/// type (for `impl Trait for Type`, the segment after `for`).
+fn impl_target(tokens: &[Token], kw: usize) -> Option<String> {
+    let mut i = kw + 1;
+    let mut angle = 0i32;
+    let mut first: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') && angle == 0 {
+            break;
+        }
+        if t.is_punct(';') && angle == 0 {
+            break;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = (angle - 1).max(0);
+        } else if angle == 0 && t.kind == TokenKind::Ident {
+            if t.text == "for" {
+                saw_for = true;
+            } else if t.text == "where" {
+                break;
+            } else if saw_for {
+                if after_for.is_none() {
+                    after_for = Some(t.text.clone());
+                }
+            } else if first.is_none() {
+                first = Some(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    // `impl Trait for Type` → Type; `impl Type` / `trait Name` → first.
+    after_for.or(first)
+}
+
+/// Parses one `fn` starting at its keyword. Returns the item (if the name
+/// parses) and the token index to resume scanning at — just *after* the
+/// opening `{` so the main loop still walks the body (nested fns, braces).
+fn parse_fn(
+    rel: &str,
+    tokens: &[Token],
+    kw: usize,
+    owner: Option<&(usize, String)>,
+    source: &SourceFile,
+) -> (Option<FnItem>, usize) {
+    let name = match tokens.get(kw + 1) {
+        Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+        _ => return (None, kw + 1),
+    };
+    // Scan the signature for its opening `{` or terminating `;`,
+    // paren-balanced so `fn f(g: fn() -> u32)` does not confuse it.
+    let mut i = kw + 2;
+    let mut paren = 0i32;
+    let mut open = None;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if paren == 0 && t.is_punct('{') {
+            open = Some(i);
+            break;
+        } else if paren == 0 && t.is_punct(';') {
+            break;
+        }
+        i += 1;
+    }
+    let line = tokens[kw].line;
+    let is_test = source.lines.get(line - 1).is_some_and(|l| l.in_test);
+    let Some(open) = open else {
+        // Bodyless declaration (trait method, extern).
+        let item = FnItem {
+            file: rel.to_string(),
+            name,
+            self_ty: owner.map(|(_, ty)| ty.clone()),
+            line,
+            end_line: tokens.get(i).map_or(line, |t| t.line),
+            body: (0, 0),
+            is_test,
+        };
+        return (Some(item), i + 1);
+    };
+    // Find the matching close brace for the span bookkeeping; the caller
+    // resumes just after `open` so nesting is handled by the main loop.
+    let mut depth = 0i32;
+    let mut close = open;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                close = j;
+                break;
+            }
+        }
+    }
+    let item = FnItem {
+        file: rel.to_string(),
+        name,
+        self_ty: owner.map(|(_, ty)| ty.clone()),
+        line,
+        end_line: tokens[close].line,
+        body: (open + 1, close),
+        is_test,
+    };
+    (Some(item), open + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> FileItems {
+        parse_file(
+            "crates/demo/src/lib.rs",
+            src,
+            &SourceFile::parse("crates/demo/src/lib.rs", src),
+        )
+    }
+
+    #[test]
+    fn free_and_method_fns_are_found() {
+        let items = parse(
+            "fn free() { helper(); }\n\
+             impl Widget {\n    pub fn method(&self) -> u32 { 1 }\n}\n\
+             impl Render for Widget {\n    fn draw(&self) {}\n}\n\
+             trait Render {\n    fn draw(&self);\n    fn area(&self) -> u32 { 0 }\n}\n",
+        );
+        let paths: Vec<String> = items.fns.iter().map(|f| f.path()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "free",
+                "Widget::method",
+                "Widget::draw",
+                "Render::draw",
+                "Render::area"
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impls_resolve_their_target() {
+        let items = parse("impl<T: Clone> Stack<T> {\n    fn push(&mut self, t: T) {}\n}\n");
+        assert_eq!(items.fns[0].self_ty.as_deref(), Some("Stack"));
+    }
+
+    #[test]
+    fn nested_fns_get_their_own_items_and_spans() {
+        let items =
+            parse("fn outer() {\n    fn inner() { x(); }\n    inner();\n}\nfn after() {}\n");
+        let names: Vec<&str> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "after"]);
+        assert_eq!(items.fns[0].line, 1);
+        assert_eq!(items.fns[0].end_line, 4);
+        assert_eq!(items.fns[1].line, 2);
+        assert_eq!(items.fns[1].end_line, 2);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let items = parse("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { lib(); }\n}\n");
+        assert!(!items.fns[0].is_test);
+        assert!(items.fns[1].is_test);
+    }
+
+    #[test]
+    fn signature_types_with_parens_do_not_confuse_body_detection() {
+        let items = parse("fn hof(g: fn(u32) -> u32, h: impl Fn() -> bool) -> u32 { g(1) }\n");
+        assert_eq!(items.fns.len(), 1);
+        assert!(items.fns[0].body.0 < items.fns[0].body.1);
+    }
+}

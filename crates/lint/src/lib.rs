@@ -1,11 +1,21 @@
 //! # solo-lint
 //!
-//! In-repo static analysis for invariants the compiler can't check:
+//! In-repo static analysis for invariants the compiler can't check.
+//!
+//! The analyzer is a pipeline of plain data structures: a line-oriented
+//! comment/string strip ([`source`]) for the line-scoped rules, a token
+//! [`lexer`] over the raw text, an item model ([`items`]) recovering
+//! functions and their `impl` self-types, and an over-approximate
+//! workspace call graph ([`callgraph`]) the cross-procedural rules walk.
+//!
+//! Line-scoped rules ([`rules`]):
 //!
 //! * **D1 — determinism**: library code takes no ambient entropy, wall
 //!   clocks, or environment reads; all RNG flows through explicit seeds.
 //!   The figures this repo regenerates (Fig. 12–17, Tables 1–4) are only
 //!   trustworthy if every run is bit-reproducible from its seed.
+//! * **D2 — thread discipline**: all parallelism funnels through
+//!   `exec::pool()`; no raw `thread::spawn`.
 //! * **U1 — unit safety** (`crates/hw`): public APIs move time/energy in
 //!   the `Latency`/`Energy` newtypes, never raw unit-suffixed `f64`s, and
 //!   never unwrap-then-rewrap a quantity.
@@ -13,18 +23,39 @@
 //!   `unimplemented!` in library code needs an inline waiver with a reason.
 //! * **C1 — cast safety**: no truncating casts on arithmetic expressions
 //!   in the hardware models or the sampler's index-map hot path.
+//! * **E1 — error-path hygiene**: functions returning `FrameOutcome`/
+//!   `SoloError` propagate faults as values, never unwrap.
 //! * **W1 — workspace hygiene**: manifests declare only dependencies the
 //!   crate actually references.
+//!
+//! Cross-procedural rules ([`flows`], on the call graph):
+//!
+//! * **P2 — panic reachability**: no unwaived panic source (P1 needles
+//!   plus message-less asserts) in any function reachable from the
+//!   hot-path roots (streaming evaluator, SSA observe, packed GEMM, exec
+//!   dispatch).
+//! * **X1 — scratch lifecycle**: every `take_buf`/`take_buf_at` handout
+//!   is recycled or transferred before its enclosing function returns.
+//! * **S1 — unsafe audit**: `unsafe` only in allow-listed modules, with a
+//!   SAFETY comment.
+//! * **A1 — stale waivers**: a `lint:allow` that no longer suppresses
+//!   anything is itself flagged, so waivers can't outlive their code.
 //!
 //! Violations are diffed against a committed [`Baseline`] ratchet
 //! (`lint-baseline.json`): grandfathered debt passes, new debt fails, and
 //! the baseline can only shrink. Waive a true positive inline with
-//! `// lint:allow(RULE): reason` (`# lint:allow(W1): reason` in TOML).
+//! `// lint:allow(RULE): reason` (`# lint:allow(W1): reason` in TOML);
+//! the reason is the justification and A1 deletes it when it goes stale.
 //!
-//! Run as `cargo run -p solo-lint -- check`; the same scan runs in tier-1
-//! via `tests/lint.rs`.
+//! Run as `cargo run -p solo-lint -- check` (`--graph` for call-graph
+//! statistics, `explain RULE` for the rule registry); the same scan runs
+//! in tier-1 via `tests/lint.rs`.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod flows;
+pub mod items;
+pub mod lexer;
 pub mod manifests;
 pub mod rules;
 pub mod source;
@@ -33,11 +64,22 @@ pub use baseline::Baseline;
 pub use rules::{classify, Violation};
 pub use source::SourceFile;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 
+use callgraph::CallGraph;
+use rules::FileKind;
+
 /// Source roots scanned for the token rules, relative to the repo root.
 const SCAN_ROOTS: &[&str] = &["crates", "src", "tests"];
+
+/// Rule ids whose waivers the rust-side stale audit (A1) tracks. W1 is
+/// deliberately absent: its waivers live in `Cargo.toml` comments and are
+/// audited by [`manifests::stale_waivers`]; rust comments mentioning W1
+/// are documentation. Unknown ids (doc placeholders like `RULE`) are
+/// skipped too.
+const AUDITED_RULES: &[&str] = &["D1", "D2", "U1", "P1", "P2", "C1", "E1", "S1", "X1"];
 
 /// The outcome of diffing a scan against the baseline.
 #[derive(Debug, Default)]
@@ -86,6 +128,68 @@ impl Report {
     }
 }
 
+/// Call-graph statistics for the `--graph` report and the resolved-edge
+/// coverage gate.
+#[derive(Debug)]
+pub struct GraphSummary {
+    /// Non-test library functions in the graph.
+    pub functions: usize,
+    /// Deduplicated call edges.
+    pub edges: usize,
+    /// Edge-classification counters (resolution coverage lives here).
+    pub stats: callgraph::EdgeStats,
+    /// `Type::name` paths of the hot-path roots found.
+    pub roots: Vec<String>,
+    /// Functions reachable from the roots (roots included).
+    pub reachable: usize,
+    /// Every unresolved workspace-qualified call site.
+    pub unresolved: Vec<callgraph::UnresolvedCall>,
+}
+
+impl GraphSummary {
+    /// Human-readable dump for `solo-lint check --graph`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "call graph: {} functions, {} edges\n\
+             edge resolution: {} resolved, {} fallback, {} external, {} unresolved \
+             ({:.1}% workspace coverage)\n",
+            self.functions,
+            self.edges,
+            self.stats.resolved,
+            self.stats.fallback,
+            self.stats.external,
+            self.stats.unresolved,
+            self.stats.coverage() * 100.0,
+        ));
+        out.push_str(&format!(
+            "hot-path roots ({}): {}\n{} of {} functions reachable from the roots\n",
+            self.roots.len(),
+            self.roots.join(", "),
+            self.reachable,
+            self.functions,
+        ));
+        if !self.unresolved.is_empty() {
+            out.push_str("unresolved call sites:\n");
+            for u in &self.unresolved {
+                out.push_str(&format!("  {}:{} {}\n", u.file, u.line, u.path));
+            }
+        }
+        out
+    }
+}
+
+/// A whole-repo scan: the (waiver-filtered) violations plus the call-graph
+/// summary backing them.
+#[derive(Debug)]
+pub struct Scan {
+    /// Every violation found (waivers applied, stale-waiver audit
+    /// appended), sorted by file, line, and rule.
+    pub violations: Vec<Violation>,
+    /// Call-graph statistics for `--graph`.
+    pub graph: GraphSummary,
+}
+
 /// Scans the repository at `root` and returns every violation, sorted by
 /// file, line, and rule. Waivers are already applied; the baseline is not.
 ///
@@ -93,9 +197,24 @@ impl Report {
 ///
 /// Fails only on I/O errors walking the tree; unreadable UTF-8 is skipped.
 pub fn scan_repo(root: &Path) -> io::Result<Vec<Violation>> {
-    let mut violations = Vec::new();
+    Ok(scan_repo_full(root)?.violations)
+}
 
-    // Token rules over the Rust sources.
+/// The full scan: per-file token rules, the flow rules over the workspace
+/// call graph, manifest hygiene, central waiver filtering, and the
+/// stale-waiver audit.
+///
+/// # Errors
+///
+/// Fails only on I/O errors walking the tree; unreadable UTF-8 is skipped.
+pub fn scan_repo_full(root: &Path) -> io::Result<Scan> {
+    let mut raw = Vec::new();
+    let mut sources: BTreeMap<String, SourceFile> = BTreeMap::new();
+    let mut kinds: BTreeMap<String, FileKind> = BTreeMap::new();
+    let mut parsed: Vec<items::FileItems> = Vec::new();
+
+    // Per-file token + flow rules over the Rust sources (raw: waivers are
+    // applied centrally below so their usage can be tracked).
     for rel in rust_sources(root)? {
         let Some(kind) = rules::classify(&rel) else {
             continue;
@@ -104,10 +223,80 @@ pub fn scan_repo(root: &Path) -> io::Result<Vec<Violation>> {
             continue;
         };
         let file = SourceFile::parse(&rel, &text);
-        violations.extend(rules::check_file(&file, kind));
+        raw.extend(rules::check_file_raw(&file, kind));
+        if matches!(kind, FileKind::Library | FileKind::Bench) {
+            let file_items = items::parse_file(&rel, &text, &file);
+            raw.extend(flows::scratch_lifecycle(&file, &file_items));
+            raw.extend(flows::unsafe_audit(&file));
+            if kind == FileKind::Library {
+                parsed.push(file_items);
+            }
+        }
+        kinds.insert(rel.clone(), kind);
+        sources.insert(rel, file);
     }
 
-    // W1 over the manifests.
+    // P2 over the workspace call graph (library functions only).
+    let graph = CallGraph::build(&parsed);
+    let roots = graph.roots(flows::is_hot_root);
+    let reach = graph.reachable_from(&roots);
+    raw.extend(flows::panic_reachability(&graph, &reach, &sources));
+    let summary = GraphSummary {
+        functions: graph.fns.iter().filter(|f| !f.is_test).count(),
+        edges: graph.edge_count(),
+        stats: graph.stats,
+        roots: roots.iter().map(|&r| graph.fns[r].path()).collect(),
+        reachable: reach.iter().filter(|r| r.is_some()).count(),
+        unresolved: graph.unresolved.clone(),
+    };
+
+    // Central waiver filtering, tracking which declared waivers fired.
+    let mut used: BTreeSet<(String, usize, &'static str)> = BTreeSet::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    for v in raw {
+        match sources
+            .get(&v.file)
+            .and_then(|f| f.waiver_line(v.rule, v.line))
+        {
+            Some(waiver_line) => {
+                used.insert((v.file.clone(), waiver_line, v.rule));
+            }
+            None => violations.push(v),
+        }
+    }
+    // P2 accepts P1/E1 waivers as its unreachability argument (the flow
+    // rule skips those lines), so a P1/E1 waiver used by its own rule is
+    // doing double duty — nothing extra to track here.
+
+    // Stale-waiver audit: every declared waiver for an audited rule must
+    // still suppress something.
+    for (rel, file) in &sources {
+        if !matches!(kinds.get(rel), Some(FileKind::Library | FileKind::Bench)) {
+            continue;
+        }
+        for (line, rule) in file.declared_waivers() {
+            let Some(&rule) = AUDITED_RULES.iter().find(|r| **r == rule) else {
+                continue;
+            };
+            if file.lines[line - 1].in_test {
+                continue;
+            }
+            if !used.contains(&(rel.clone(), line, rule)) {
+                violations.push(Violation {
+                    file: rel.clone(),
+                    line,
+                    rule: "A1",
+                    message: format!(
+                        "stale waiver: `lint:allow({rule})` here no longer suppresses any \
+                         {rule} violation — delete it so the ratchet stays honest"
+                    ),
+                });
+            }
+        }
+    }
+
+    // W1 over the manifests (waivers are TOML comments, applied inside),
+    // plus the manifest side of the stale audit.
     for manifest_rel in manifests::manifest_paths(root) {
         let Ok(text) = std::fs::read_to_string(root.join(&manifest_rel)) else {
             continue;
@@ -116,12 +305,20 @@ pub fn scan_repo(root: &Path) -> io::Result<Vec<Violation>> {
             .parent()
             .unwrap_or(Path::new(""))
             .to_path_buf();
-        let sources = crate_sources(root, &crate_dir)?;
-        violations.extend(manifests::check_manifest(&manifest_rel, &text, &sources));
+        let crate_files = crate_sources(root, &crate_dir)?;
+        violations.extend(manifests::check_manifest(
+            &manifest_rel,
+            &text,
+            &crate_files,
+        ));
+        violations.extend(manifests::stale_waivers(&manifest_rel, &text, &crate_files));
     }
 
     violations.sort();
-    Ok(violations)
+    Ok(Scan {
+        violations,
+        graph: summary,
+    })
 }
 
 /// Diffs `violations` against `baseline` into a [`Report`].
@@ -180,7 +377,8 @@ pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
 }
 
 /// All `.rs` files under the scan roots, repo-relative with `/` separators.
-fn rust_sources(root: &Path) -> io::Result<Vec<String>> {
+/// Public so integration tests can sweep the same file set the scan sees.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<String>> {
     let mut files = Vec::new();
     for scan_root in SCAN_ROOTS {
         let dir = root.join(scan_root);

@@ -6,15 +6,19 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use solo_lint::{check_against, load_baseline, scan_repo, Baseline};
+use solo_lint::{check_against, load_baseline, rules, scan_repo_full, Baseline};
 
 const USAGE: &str = "\
-usage: solo-lint check [--baseline <path>] [--update-baseline] [--root <path>]
+usage: solo-lint check [--baseline <path>] [--update-baseline] [--root <path>] [--graph]
+       solo-lint explain [RULE]
 
   check              scan the repo and diff violations against the baseline
   --baseline <path>  baseline file (default: <root>/lint-baseline.json)
   --update-baseline  rewrite the baseline to current counts (shrink-only)
   --root <path>      repository root (default: the workspace root)
+  --graph            also dump call-graph / root-reachability statistics
+  explain [RULE]     print a rule's invariant and waiver form (all rules
+                     when RULE is omitted)
 ";
 
 /// How a run can fail: bad invocation (print usage) vs. a failure while
@@ -51,7 +55,9 @@ fn run() -> Result<bool, Failure> {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut update = false;
+    let mut graph = false;
     let mut command: Option<String> = None;
+    let mut explain_rule: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -68,20 +74,34 @@ fn run() -> Result<bool, Failure> {
                 root = Some(PathBuf::from(path));
             }
             "--update-baseline" => update = true,
-            "check" if command.is_none() => command = Some(arg),
+            "--graph" => graph = true,
+            "check" | "explain" if command.is_none() => command = Some(arg),
+            // `--explain RULE` is accepted as a flag-spelled alias.
+            "--explain" if command.is_none() => command = Some("explain".to_string()),
+            _ if command.as_deref() == Some("explain") && explain_rule.is_none() => {
+                explain_rule = Some(arg);
+            }
             _ => return Err(Failure::Usage(format!("unrecognized argument `{arg}`"))),
         }
     }
-    if command.as_deref() != Some("check") {
-        return Err(Failure::Usage(
-            "expected the `check` subcommand".to_string(),
-        ));
+    match command.as_deref() {
+        Some("explain") => return explain(explain_rule.as_deref()),
+        Some("check") => {}
+        _ => {
+            return Err(Failure::Usage(
+                "expected the `check` or `explain` subcommand".to_string(),
+            ))
+        }
     }
 
     let root = root.unwrap_or_else(default_root);
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
 
-    let violations = scan_repo(&root).map_err(|e| Failure::Op(format!("scan failed: {e}")))?;
+    let scan = scan_repo_full(&root).map_err(|e| Failure::Op(format!("scan failed: {e}")))?;
+    if graph {
+        print!("{}", scan.graph.render());
+    }
+    let violations = scan.violations;
     let bootstrap = !baseline_path.exists();
     let baseline = load_baseline(&baseline_path).map_err(Failure::Op)?;
 
@@ -107,6 +127,29 @@ fn run() -> Result<bool, Failure> {
     let report = check_against(violations, &baseline);
     print!("{}", report.render());
     Ok(report.is_clean())
+}
+
+/// `solo-lint explain [RULE]`: prints the registry entry (or all of them).
+fn explain(rule: Option<&str>) -> Result<bool, Failure> {
+    let selected: Vec<&rules::RuleInfo> = match rule {
+        Some(id) => {
+            let Some(info) = rules::rule_info(&id.to_ascii_uppercase()) else {
+                let known: Vec<&str> = rules::RULES.iter().map(|r| r.id).collect();
+                return Err(Failure::Usage(format!(
+                    "unknown rule `{id}` (known: {})",
+                    known.join(", ")
+                )));
+            };
+            vec![info]
+        }
+        None => rules::RULES.iter().collect(),
+    };
+    for info in selected {
+        println!("{} — scope: {}", info.id, info.scope);
+        println!("  invariant: {}", info.invariant);
+        println!("  waiver:    {}", info.waiver);
+    }
+    Ok(true)
 }
 
 /// The workspace root: `CARGO_MANIFEST_DIR` is `crates/lint`, so two up.

@@ -155,6 +155,29 @@ pub fn check_manifest(
     violations
 }
 
+/// The manifest side of the stale-waiver audit (A1): a dependency carrying
+/// a W1 waiver that the crate's sources *do* reference no longer needs the
+/// waiver — the declaration would pass W1 on its own.
+pub fn stale_waivers(manifest_rel: &str, manifest: &str, sources: &[SourceFile]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for dep in parse_deps(manifest) {
+        let ident = dep.name.replace('-', "_");
+        if dep.waived && references_crate(sources, &ident) {
+            violations.push(Violation {
+                file: manifest_rel.to_string(),
+                line: dep.line,
+                rule: "A1",
+                message: format!(
+                    "stale W1 waiver: `{}` is referenced in this crate's sources, so the \
+                     waiver suppresses nothing — delete it",
+                    dep.name
+                ),
+            });
+        }
+    }
+    violations
+}
+
 /// Lists the repo-relative manifest paths W1 checks under `root`.
 pub fn manifest_paths(root: &Path) -> Vec<String> {
     let mut paths = vec!["Cargo.toml".to_string()];

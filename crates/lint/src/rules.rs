@@ -6,12 +6,19 @@
 //! | `D2` | library + bench code            | no raw thread spawns/scopes outside `solo-tensor::exec` |
 //! | `U1` | `crates/hw`                     | no raw-`f64` unit-suffixed params; no unwrap-rewrap |
 //! | `P1` | library code (non-bench)        | panics need an inline waiver |
+//! | `P2` | whole workspace (call graph)    | no panic source reachable from the hot-path roots |
 //! | `C1` | `crates/hw`, sampler `index_map`| no truncating casts on arithmetic |
 //! | `E1` | library + bench code            | fallible resilience fns must not unwrap |
+//! | `S1` | whole workspace                 | `unsafe` needs a SAFETY comment in an allow-listed module |
+//! | `X1` | library + bench code            | every `take_buf` scratch handout comes home |
 //! | `W1` | every `Cargo.toml`              | declared deps must be referenced |
+//! | `A1` | library + bench code            | declared waivers must still suppress something |
 //!
-//! `D1`/`U1`/`P1`/`C1` are line/token rules over [`SourceFile`]s; `W1` is a
-//! manifest cross-check handled in [`crate::manifests`]. Every rule honors
+//! `D1`/`U1`/`P1`/`C1` are line/token rules over [`SourceFile`]s, defined
+//! here; `P2`/`X1`/`S1` are the flow rules in [`crate::flows`], built on
+//! the lexer → items → call-graph pipeline; `W1` is a manifest cross-check
+//! handled in [`crate::manifests`]; `A1` is the stale-waiver audit run by
+//! the whole-repo scan in the crate root. Every rule honors
 //! `// lint:allow(RULE): reason` waivers (checked by the caller via
 //! [`SourceFile::waived`]).
 
@@ -76,6 +83,15 @@ pub fn classify(rel: &str) -> Option<FileKind> {
 
 /// Runs every token rule applicable to `file`, waivers already applied.
 pub fn check_file(file: &SourceFile, kind: FileKind) -> Vec<Violation> {
+    let mut violations = check_file_raw(file, kind);
+    violations.retain(|v| !file.waived(v.rule, v.line));
+    violations
+}
+
+/// Like [`check_file`], but *without* applying waivers — the whole-repo
+/// scan filters centrally so it can track which waivers still fire (the
+/// stale-waiver audit needs the pre-filter view).
+pub fn check_file_raw(file: &SourceFile, kind: FileKind) -> Vec<Violation> {
     let mut violations = Vec::new();
     if kind == FileKind::Library {
         determinism(file, &mut violations);
@@ -91,8 +107,108 @@ pub fn check_file(file: &SourceFile, kind: FileKind) -> Vec<Violation> {
     if file.rel.starts_with("crates/hw/src/") || file.rel == "crates/sampler/src/index_map.rs" {
         cast_safety(file, &mut violations);
     }
-    violations.retain(|v| !file.waived(v.rule, v.line));
     violations
+}
+
+/// One entry in the rule registry, consumed by `solo-lint explain` and the
+/// DESIGN.md rule table.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id (`D1`, `P2`, …).
+    pub id: &'static str,
+    /// Where the rule applies.
+    pub scope: &'static str,
+    /// The invariant the rule enforces.
+    pub invariant: &'static str,
+    /// The waiver form that suppresses it, with the reason contract.
+    pub waiver: &'static str,
+}
+
+/// The full rule registry, in catalog order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D1",
+        scope: "library code (non-bench)",
+        invariant: "no ambient entropy, wall clocks, or environment reads; all randomness \
+                    flows through explicit seeds so every figure is bit-reproducible",
+        waiver: "// lint:allow(D1): <justification — why this ambient read cannot affect results>",
+    },
+    RuleInfo {
+        id: "D2",
+        scope: "library + bench code",
+        invariant: "no raw thread spawns or scopes outside solo-tensor::exec — all \
+                    parallelism funnels through the shared pool so width is one knob",
+        waiver: "// lint:allow(D2): <justification — why this thread bypasses the pool>",
+    },
+    RuleInfo {
+        id: "U1",
+        scope: "crates/hw",
+        invariant: "public APIs move time/energy in the Latency/Energy newtypes, never raw \
+                    unit-suffixed f64s, and never unwrap a quantity just to rewrap it",
+        waiver: "// lint:allow(U1): <justification — why the raw f64 is safe here>",
+    },
+    RuleInfo {
+        id: "P1",
+        scope: "library code (non-bench)",
+        invariant: "panic!/unwrap()/expect(/todo!/unimplemented! in library code needs an \
+                    inline waiver stating why the panic is unreachable or intended",
+        waiver: "// lint:allow(P1): <justification — the invariant making this unreachable>",
+    },
+    RuleInfo {
+        id: "P2",
+        scope: "whole workspace (call graph)",
+        invariant: "no unwaived panic source (P1's set plus message-less asserts) is \
+                    reachable from the streaming hot-path roots: StreamingEvaluator::run*, \
+                    Ssa::observe, PackedMatrix::matmul*, and the exec dispatch surface",
+        waiver: "// lint:allow(P2): <justification> (a P1/E1 waiver on the line also satisfies P2)",
+    },
+    RuleInfo {
+        id: "C1",
+        scope: "crates/hw + sampler index_map",
+        invariant: "no truncating as-casts directly on arithmetic expressions — round, \
+                    floor, or clamp explicitly first",
+        waiver: "// lint:allow(C1): <justification — why truncation is the intended rounding>",
+    },
+    RuleInfo {
+        id: "E1",
+        scope: "library + bench code",
+        invariant: "functions returning FrameOutcome/SoloError must not unwrap or expect — \
+                    faults travel as values on the typed error path, not as panics",
+        waiver: "// lint:allow(E1): <justification — why this cannot fault at runtime>",
+    },
+    RuleInfo {
+        id: "S1",
+        scope: "whole workspace",
+        invariant: "every `unsafe` carries a SAFETY comment justifying its proof obligations \
+                    and lives in an allow-listed module (currently tensor::packed only)",
+        waiver: "// lint:allow(S1): <justification — the proof the comment cannot express>",
+    },
+    RuleInfo {
+        id: "X1",
+        scope: "library + bench code",
+        invariant: "every scratch buffer from take_buf/take_buf_at returns to the pool: the \
+                    binding must reach recycle_buf or transfer custody via Tensor::from_vec",
+        waiver: "// lint:allow(X1): escapes — <where custody goes and who recycles it>",
+    },
+    RuleInfo {
+        id: "W1",
+        scope: "every Cargo.toml",
+        invariant: "manifests declare only dependencies the crate's sources actually \
+                    reference",
+        waiver: "# lint:allow(W1): <justification — why the unused declaration stays>",
+    },
+    RuleInfo {
+        id: "A1",
+        scope: "library + bench code",
+        invariant: "every declared waiver still suppresses a live violation — a waiver whose \
+                    line no longer trips its rule is deleted, keeping the ratchet honest",
+        waiver: "not waivable: delete the stale waiver instead",
+    },
+];
+
+/// Looks up a rule in the registry by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
 }
 
 /// D1 — determinism: library code must not read ambient entropy, wall

@@ -57,9 +57,16 @@ impl SourceFile {
     /// line (trailing comment) and, when the line holds nothing else, to
     /// the next code line.
     pub fn waived(&self, rule: &str, lineno: usize) -> bool {
+        self.waiver_line(rule, lineno).is_some()
+    }
+
+    /// Like [`SourceFile::waived`], but returns the 1-indexed line of the
+    /// waiver comment that fired — the hook the stale-waiver audit uses to
+    /// track which declared waivers still suppress something.
+    pub fn waiver_line(&self, rule: &str, lineno: usize) -> Option<usize> {
         let idx = lineno - 1;
         if line_waives(&self.lines[idx], rule) {
-            return true;
+            return Some(lineno);
         }
         // Walk upward over pure-comment/blank lines.
         let mut i = idx;
@@ -68,38 +75,46 @@ impl SourceFile {
             let line = &self.lines[i];
             let code_empty = line.code.trim().is_empty();
             if !code_empty {
-                return false;
+                return None;
             }
             if line_waives(line, rule) {
-                return true;
+                return Some(i + 1);
             }
             if line.comment.trim().is_empty() {
                 // A truly blank line breaks the attachment.
-                return false;
+                return None;
             }
         }
-        false
+        None
     }
+
+    /// Every well-formed waiver declared in this file, as
+    /// `(1-indexed line, rule id)` pairs, in line order.
+    pub fn declared_waivers(&self) -> Vec<(usize, String)> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter_map(|(i, line)| waiver_rule(&line.comment).map(|rule| (i + 1, rule)))
+            .collect()
+    }
+}
+
+/// The rule id of a well-formed waiver (`lint:allow(RULE): reason`, with a
+/// non-empty reason) in `comment`, if any.
+fn waiver_rule(comment: &str) -> Option<String> {
+    let comment = comment.trim();
+    let rest = &comment[comment.find("lint:allow(")? + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim();
+    // Require a non-empty reason after "): ".
+    let tail = rest[close + 1..].trim_start();
+    (tail.starts_with(':') && !tail[1..].trim().is_empty() && !rule.is_empty())
+        .then(|| rule.to_string())
 }
 
 /// Whether `line`'s comment carries a well-formed waiver for `rule`.
 fn line_waives(line: &Line, rule: &str) -> bool {
-    let comment = line.comment.trim();
-    let Some(rest) = comment
-        .find("lint:allow(")
-        .map(|i| &comment[i + "lint:allow(".len()..])
-    else {
-        return false;
-    };
-    let Some(close) = rest.find(')') else {
-        return false;
-    };
-    if rest[..close].trim() != rule {
-        return false;
-    }
-    // Require a non-empty reason after "): ".
-    let tail = rest[close + 1..].trim_start();
-    tail.starts_with(':') && !tail[1..].trim().is_empty()
+    waiver_rule(&line.comment).is_some_and(|r| r == rule)
 }
 
 /// Strips comments and blanks literal contents, line by line.
@@ -180,19 +195,20 @@ fn strip(text: &str) -> Vec<(String, String)> {
                         code.push('"');
                         state = State::Str;
                         i += 1;
-                    } else if c == 'r'
-                        && !prev_is_ident(&code)
-                        && matches!(chars.get(i + 1), Some('"' | '#'))
-                    {
-                        // Raw string: count hashes, find the opening quote.
+                    } else if let Some(prefix) = raw_string_prefix(&chars, i, &code) {
+                        // Raw (byte) string `r"…"`/`r#"…"#`/`br#"…"#`:
+                        // count hashes, find the opening quote. Backslashes
+                        // are NOT escapes inside, so this must not fall into
+                        // the cooked-string state (`br#"a\"#` would swallow
+                        // the closing quote and blank real code after it).
                         let mut hashes = 0;
-                        let mut j = i + 1;
+                        let mut j = i + prefix;
                         while chars.get(j) == Some(&'#') {
                             hashes += 1;
                             j += 1;
                         }
                         if chars.get(j) == Some(&'"') {
-                            code.push('r');
+                            code.extend(chars[i..i + prefix].iter());
                             code.push('"');
                             state = State::RawStr(hashes);
                             i = j + 1;
@@ -204,8 +220,10 @@ fn strip(text: &str) -> Vec<(String, String)> {
                         // Char literal vs lifetime: a literal closes with a
                         // quote one or two (escaped) chars later.
                         if chars.get(i + 1) == Some(&'\\') {
-                            // Escaped char literal: find the closing quote.
-                            let mut j = i + 2;
+                            // Escaped char literal: find the closing quote,
+                            // skipping the escaped character itself so
+                            // `'\''` does not close on its own payload.
+                            let mut j = i + 3;
                             while j < chars.len() && chars[j] != '\'' {
                                 j += 1;
                             }
@@ -235,6 +253,23 @@ fn prev_is_ident(code: &str) -> bool {
     code.chars()
         .last()
         .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If a raw-string literal opens at `chars[i]`, the prefix length before
+/// the hashes/quote: 1 for `r"`/`r#"`, 2 for `br"`/`br#"`. The previous
+/// output character must not be part of an identifier (so `abr"` is the
+/// identifier `abr` followed by a string, not a raw byte string).
+fn raw_string_prefix(chars: &[char], i: usize, code: &str) -> Option<usize> {
+    if prev_is_ident(code) {
+        return None;
+    }
+    match chars[i] {
+        'r' if matches!(chars.get(i + 1), Some('"' | '#')) => Some(1),
+        'b' if chars.get(i + 1) == Some(&'r') && matches!(chars.get(i + 2), Some('"' | '#')) => {
+            Some(2)
+        }
+        _ => None,
+    }
 }
 
 /// Marks lines inside `#[cfg(test)]` items by brace tracking on the
@@ -313,6 +348,41 @@ mod tests {
         let f = SourceFile::parse("x.rs", "let s = r#\"unwrap() \"inner\" panic!\"#; done();");
         assert!(!f.lines[0].code.contains("unwrap"));
         assert!(f.lines[0].code.contains("done();"));
+    }
+
+    #[test]
+    fn byte_raw_strings_do_not_treat_backslash_as_escape() {
+        // Regression: `br#"…\"#` used to fall into the cooked-string state,
+        // read `\"` as an escaped quote, miss the real closing `"#`, and
+        // blank the code that follows.
+        let f = SourceFile::parse("x.rs", "let s = br#\"tail\\\"#; x.unwrap();");
+        assert!(
+            f.lines[0].code.contains("unwrap"),
+            "code after the literal must survive: {:?}",
+            f.lines[0].code
+        );
+        let f = SourceFile::parse("x.rs", "let s = br\"panic!\"; done();");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[0].code.contains("done();"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_blank_every_line() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let s = r#\"first unwrap()\nsecond panic!\ndone\"#; after();",
+        );
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[1].code.is_empty());
+        assert!(f.lines[2].code.contains("after();"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_closes_after_its_payload() {
+        // Regression: `'\''` used to close on the escaped quote itself,
+        // leaving the real closing tick to open a bogus literal state.
+        let f = SourceFile::parse("x.rs", "let q = '\\''; x.unwrap();");
+        assert!(f.lines[0].code.contains("unwrap"), "{:?}", f.lines[0].code);
     }
 
     #[test]

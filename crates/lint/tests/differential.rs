@@ -1,0 +1,118 @@
+//! Differential test: the token lexer and the line-oriented strip in
+//! `source.rs` are two independent models of Rust surface syntax. They
+//! must agree on which identifiers each line of the workspace contains —
+//! a divergence means one of them mis-lexed a string, comment, char
+//! literal, or raw-string edge and later passes would silently match (or
+//! miss) text inside it.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use solo_lint::lexer::{self, TokenKind};
+use solo_lint::{rust_sources, SourceFile};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Identifiers per line according to the lexer.
+fn idents_from_lexer(text: &str) -> BTreeMap<usize, Vec<String>> {
+    let mut map: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for t in lexer::lex(text) {
+        if t.kind == TokenKind::Ident {
+            map.entry(t.line).or_default().push(t.text);
+        }
+    }
+    for v in map.values_mut() {
+        v.sort();
+    }
+    map
+}
+
+/// Identifiers per line according to the comment/string strip: maximal
+/// ident-character runs in the code view, minus the spans the strip keeps
+/// verbatim but the lexer classifies as non-identifiers:
+///
+/// - digit-initial runs (number literals, tuple indices, suffixes),
+/// - runs preceded by `'` (lifetimes and the `'c'` char placeholder),
+/// - `r` / `b` / `br` immediately before `"`, `'`, or `#` (literal
+///   prefixes and the raw-identifier sigil — the lexer folds the prefix
+///   into the literal, or drops `r#` and keeps only the name).
+fn idents_from_strip(file: &SourceFile) -> BTreeMap<usize, Vec<String>> {
+    let mut map: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut idents = Vec::new();
+        let mut j = 0;
+        while j < chars.len() {
+            if !is_ident_char(chars[j]) {
+                j += 1;
+                continue;
+            }
+            let start = j;
+            while j < chars.len() && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            let run: String = chars[start..j].iter().collect();
+            let before = start.checked_sub(1).map(|k| chars[k]);
+            let after = chars.get(j).copied();
+            if run.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if before == Some('\'') {
+                continue;
+            }
+            if matches!(run.as_str(), "r" | "b" | "br")
+                && matches!(after, Some('"') | Some('\'') | Some('#'))
+            {
+                continue;
+            }
+            idents.push(run);
+        }
+        if !idents.is_empty() {
+            idents.sort();
+            map.insert(i + 1, idents);
+        }
+    }
+    map
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[test]
+fn lexer_agrees_with_the_strip_on_every_workspace_file() {
+    let root = workspace_root();
+    let files = rust_sources(&root).expect("walk workspace sources");
+    assert!(
+        files.len() > 40,
+        "expected a real workspace sweep, found only {} files",
+        files.len()
+    );
+    let mut checked = 0usize;
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel)).expect("read source");
+        let source = SourceFile::parse(rel, &text);
+        let from_lexer = idents_from_lexer(&text);
+        let from_strip = idents_from_strip(&source);
+        if from_lexer != from_strip {
+            let lines: std::collections::BTreeSet<usize> = from_lexer
+                .keys()
+                .chain(from_strip.keys())
+                .copied()
+                .collect();
+            for line in lines {
+                let a = from_lexer.get(&line);
+                let b = from_strip.get(&line);
+                assert_eq!(a, b, "{rel}:{line}: lexer saw {a:?}, strip saw {b:?}");
+            }
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, files.len(), "every file must be swept");
+}

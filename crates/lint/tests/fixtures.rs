@@ -4,10 +4,10 @@
 //! CLI runs proving the exit-code contract and the shrink-only ratchet.
 
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::Command;
 
-use solo_lint::{check_against, scan_repo, Baseline};
+use solo_lint::{check_against, scan_repo, scan_repo_full, Baseline};
 
 /// A scratch repository tree, deleted on drop.
 struct FixtureRepo {
@@ -300,6 +300,220 @@ fn baseline_can_only_shrink() {
     assert!(one.shrunk_to(&two).is_err(), "growing must be refused");
 }
 
+#[test]
+fn p2_walks_the_call_graph_from_hot_roots() {
+    let repo = FixtureRepo::new("p2");
+    // A hot root (StreamingEvaluator::run*) calls into a helper two hops
+    // away that holds a message-less assert: P2 flags the helper's line.
+    repo.write(
+        "crates/core/src/system.rs",
+        "impl StreamingEvaluator {\n\
+         \x20   pub fn run(&self) { step(); }\n\
+         }\n\
+         fn step() { kernel(3); }\n\
+         fn kernel(n: usize) {\n\
+         \x20   assert!(n > 0);\n\
+         }\n",
+    );
+    // The same assert in a function no root reaches is NOT a P2.
+    repo.write(
+        "crates/core/src/offline.rs",
+        "pub fn island(n: usize) {\n\
+         \x20   assert!(n > 0);\n\
+         }\n",
+    );
+    assert_eq!(repo.rules_at("crates/core/src/system.rs"), ["P2"]);
+    assert!(repo.rules_at("crates/core/src/offline.rs").is_empty());
+
+    // A messaged assert is a documented precondition — sanctioned.
+    repo.write(
+        "crates/core/src/system.rs",
+        "impl StreamingEvaluator {\n\
+         \x20   pub fn run(&self) { kernel(3); }\n\
+         }\n\
+         fn kernel(n: usize) {\n\
+         \x20   assert!(n > 0, \"kernel needs at least one lane\");\n\
+         }\n",
+    );
+    assert!(repo.rules_at("crates/core/src/system.rs").is_empty());
+
+    // A P2 waiver (or a P1 waiver doing double duty) silences it.
+    repo.write(
+        "crates/core/src/system.rs",
+        "impl StreamingEvaluator {\n\
+         \x20   pub fn run(&self, x: Option<u32>) -> u32 {\n\
+         \x20       // lint:allow(P1): the frame loop seeds x before the first run\n\
+         \x20       x.unwrap()\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert!(repo.rules_at("crates/core/src/system.rs").is_empty());
+    repo.write(
+        "crates/core/src/system.rs",
+        "impl StreamingEvaluator {\n\
+         \x20   pub fn run(&self, n: usize) {\n\
+         \x20       // lint:allow(P2): width is validated at construction\n\
+         \x20       assert!(n > 0);\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert!(repo.rules_at("crates/core/src/system.rs").is_empty());
+}
+
+#[test]
+fn x1_pairs_every_scratch_handout_with_its_return_path() {
+    let repo = FixtureRepo::new("x1");
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn leak(n: usize) {\n\
+         \x20   let mut buf = exec::take_buf(n);\n\
+         \x20   buf[0] = 1.0;\n\
+         }\n",
+    );
+    assert_eq!(repo.rules_at("crates/demo/src/lib.rs"), ["X1"]);
+
+    // Recycling or transferring custody into a tensor satisfies the rule.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn recycled(n: usize) {\n\
+         \x20   let mut buf = exec::take_buf(n);\n\
+         \x20   exec::recycle_buf(buf);\n\
+         }\n\
+         fn transferred(n: usize) -> Tensor {\n\
+         \x20   let mut out = exec::take_buf_at(\"demo.site\", n);\n\
+         \x20   Tensor::from_vec(vec![n], out)\n\
+         }\n",
+    );
+    assert!(repo.rules_at("crates/demo/src/lib.rs").is_empty());
+
+    // An escape waiver names who recycles; without it the escape fails.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn escapes(n: usize) -> Vec<f32> {\n\
+         \x20   // lint:allow(X1): escapes — caller recycles via Frame::drop\n\
+         \x20   let buf = exec::take_buf(n);\n\
+         \x20   buf\n\
+         }\n",
+    );
+    assert!(repo.rules_at("crates/demo/src/lib.rs").is_empty());
+}
+
+#[test]
+fn s1_audits_unsafe_against_the_allow_list_and_safety_comments() {
+    let repo = FixtureRepo::new("s1");
+    // Outside the allow-list: flagged regardless of comments.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "fn f() {\n\
+         \x20   // SAFETY: still not allowed here\n\
+         \x20   unsafe { danger() }\n\
+         }\n",
+    );
+    assert_eq!(repo.rules_at("crates/demo/src/lib.rs"), ["S1"]);
+
+    // In the allow-listed module: fine with a SAFETY comment, flagged bare.
+    repo.write(
+        "crates/tensor/src/packed.rs",
+        "fn documented() {\n\
+         \x20   // SAFETY: indices bounded by the pack loop above.\n\
+         \x20   unsafe { danger() }\n\
+         }\n",
+    );
+    assert!(repo.rules_at("crates/tensor/src/packed.rs").is_empty());
+    repo.write(
+        "crates/tensor/src/packed.rs",
+        "fn bare() { unsafe { danger() } }\n",
+    );
+    assert_eq!(repo.rules_at("crates/tensor/src/packed.rs"), ["S1"]);
+
+    // An S1 waiver with a justification is the escape hatch.
+    repo.write(
+        "crates/tensor/src/packed.rs",
+        "fn waived() {\n\
+         \x20   // lint:allow(S1): proof lives on the module-level invariant doc\n\
+         \x20   unsafe { danger() }\n\
+         }\n",
+    );
+    assert!(repo.rules_at("crates/tensor/src/packed.rs").is_empty());
+}
+
+#[test]
+fn a1_flags_waivers_that_no_longer_suppress_anything() {
+    let repo = FixtureRepo::new("a1");
+    // The waived line stopped tripping D1: the waiver itself is now debt.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "// lint:allow(D1): wall-clock only feeds a log line\n\
+         fn quiet() {}\n",
+    );
+    assert_eq!(repo.rules_at("crates/demo/src/lib.rs"), ["A1"]);
+
+    // A firing waiver is not stale; unknown rule ids (doc placeholders)
+    // and waivers inside #[cfg(test)] are ignored.
+    repo.write(
+        "crates/demo/src/lib.rs",
+        "// lint:allow(D1): wall-clock only feeds a log line\n\
+         fn logged() { let t = std::time::Instant::now(); }\n\
+         // lint:allow(RULE): doc placeholder, not a real waiver\n\
+         fn documented() {}\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+         \x20   // lint:allow(P1): test-only note\n\
+         \x20   fn t() {}\n\
+         }\n",
+    );
+    assert!(repo.rules_at("crates/demo/src/lib.rs").is_empty());
+
+    // Manifest side: a W1 waiver on a dependency the sources DO reference
+    // is stale too.
+    repo.write("Cargo.toml", "[workspace]\nmembers = [\"crates/demo\"]\n");
+    repo.write(
+        "crates/demo/Cargo.toml",
+        "[package]\nname = \"demo\"\n\n[dependencies]\n\
+         serde.workspace = true # lint:allow(W1): kept for downstream re-export\n",
+    );
+    repo.write("crates/demo/src/lib.rs", "pub use serde::Serialize;\n");
+    assert_eq!(repo.rules_at("crates/demo/Cargo.toml"), ["A1"]);
+}
+
+#[test]
+fn call_graph_edge_counts_are_pinned_on_a_fixture_tree() {
+    let repo = FixtureRepo::new("graph");
+    repo.write(
+        "crates/core/src/system.rs",
+        "impl StreamingEvaluator {\n\
+         \x20   pub fn run(&self) { helper(); self.stage(); exec::dispatch(); }\n\
+         \x20   fn stage(&self) { Pool::submit(); }\n\
+         }\n\
+         fn helper() { Pool::missing(); std::mem::drop(1); }\n",
+    );
+    repo.write(
+        "crates/tensor/src/exec.rs",
+        "pub fn dispatch() {}\n\
+         impl Pool {\n\
+         \x20   pub fn submit() {}\n\
+         }\n",
+    );
+    let scan = scan_repo_full(&repo.root).expect("scan fixture repo");
+    let g = &scan.graph;
+    assert_eq!(g.functions, 5, "run, stage, helper, dispatch, submit");
+    // helper() binds same-file, exec::dispatch() and Pool::submit() by
+    // path (3 resolved); self.stage() is a method-name fallback;
+    // Pool::missing() is unresolved (workspace type, no such item);
+    // std::mem::drop() is external.
+    assert_eq!(g.stats.resolved, 3, "{:?}", g.stats);
+    assert_eq!(g.stats.fallback, 1, "{:?}", g.stats);
+    assert_eq!(g.stats.external, 1, "{:?}", g.stats);
+    assert_eq!(g.stats.unresolved, 1, "{:?}", g.stats);
+    assert_eq!(g.unresolved.len(), 1);
+    assert_eq!(g.unresolved[0].path, "Pool::missing");
+    // Coverage counts workspace-directed sites only: 4 bound of 5.
+    assert!((g.stats.coverage() - 4.0 / 5.0).abs() < 1e-9);
+    // StreamingEvaluator::run is a root; everything it reaches is counted.
+    assert_eq!(g.roots, ["StreamingEvaluator::run"]);
+    assert_eq!(g.reachable, 5);
+}
+
 /// End-to-end exit-code contract, driving the real binary.
 #[test]
 fn cli_exits_nonzero_on_injected_violation() {
@@ -348,4 +562,56 @@ fn cli_exits_nonzero_on_injected_violation() {
 
     // Usage errors exit 2.
     assert_eq!(run(&["frobnicate"]).status.code(), Some(2));
+}
+
+/// `explain` prints the registry; `--graph` dumps call-graph statistics.
+#[test]
+fn cli_explain_and_graph_surfaces() {
+    let repo = FixtureRepo::new("cli-explain");
+    repo.write(
+        "crates/core/src/system.rs",
+        "impl StreamingEvaluator {\n    pub fn run(&self) { helper(); }\n}\nfn helper() {}\n",
+    );
+
+    let bin = env!("CARGO_BIN_EXE_solo-lint");
+    let run = |args: &[&str]| {
+        Command::new(bin)
+            .args(args)
+            .output()
+            .expect("run solo-lint")
+    };
+
+    // One rule, all rules, and an unknown rule.
+    let out = run(&["explain", "P2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("P2"), "{text}");
+    assert!(text.contains("invariant:"), "{text}");
+    assert!(text.contains("waiver:"), "{text}");
+
+    let out = run(&["explain"]);
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for rule in [
+        "D1", "D2", "U1", "P1", "P2", "C1", "E1", "S1", "X1", "W1", "A1",
+    ] {
+        assert!(
+            text.contains(&format!("{rule} — scope")),
+            "{rule} missing:\n{text}"
+        );
+    }
+    assert_eq!(run(&["explain", "Z9"]).status.code(), Some(2));
+
+    // --graph prints resolution statistics alongside the check.
+    let out = Command::new(bin)
+        .args(["check", "--graph", "--root"])
+        .arg(&repo.root)
+        .arg("--baseline")
+        .arg(repo.root.join("lint-baseline.json"))
+        .output()
+        .expect("run solo-lint");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(out.status.success(), "{out:?}");
+    assert!(text.contains("call graph:"), "{text}");
+    assert!(text.contains("workspace coverage"), "{text}");
+    assert!(text.contains("StreamingEvaluator::run"), "{text}");
 }

@@ -401,13 +401,14 @@ impl IndexMap {
                         if j < 0 || j >= ow as isize {
                             continue;
                         }
-                        let off = i as usize * ow + j as usize;
+                        let (iu, ju) = (i as usize, j as usize);
+                        let off = iu * ow + ju;
                         let dy = ys[off] - y as f32;
                         let dx = xs[off] - x as f32;
                         let d = dy * dy + dx * dx;
                         if d < best_d {
                             best_d = d;
-                            best = (i as usize, j as usize);
+                            best = (iu, ju);
                         }
                     }
                 }

@@ -15,3 +15,43 @@ fn repo_is_lint_clean_against_baseline() {
         report.render()
     );
 }
+
+/// Cross-procedural acceptance gates: the hot paths must be free of
+/// reachable panic sources (P2) and scratch-buffer leaks (X1) with no
+/// grandfathering — these two rules are never allowed into the baseline —
+/// and the call graph the gates ride on must actually resolve the
+/// workspace (≥ 95% of non-external call edges land on a known function).
+#[test]
+fn hot_paths_are_panic_free_and_leak_free_with_a_resolved_call_graph() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let scan = solo_lint::scan_repo_full(root).expect("lint scan must succeed");
+
+    let gated: Vec<_> = scan
+        .violations
+        .iter()
+        .filter(|v| v.rule == "P2" || v.rule == "X1")
+        .collect();
+    assert!(
+        gated.is_empty(),
+        "unwaived P2/X1 findings (never baselined):\n{}",
+        gated
+            .iter()
+            .map(|v| format!("  {}:{} [{}] {}", v.file, v.line, v.rule, v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let stats = &scan.graph.stats;
+    assert!(
+        stats.coverage() >= 0.95,
+        "call-graph edge resolution fell to {:.1}% (resolved {} + fallback {} vs unresolved {})",
+        stats.coverage() * 100.0,
+        stats.resolved,
+        stats.fallback,
+        stats.unresolved
+    );
+    assert!(
+        !scan.graph.roots.is_empty(),
+        "no hot-path roots found — P2 would be vacuously clean"
+    );
+}
