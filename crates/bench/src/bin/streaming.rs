@@ -1,0 +1,134 @@
+//! Records the speculation sweep archived in `BENCH_streaming.json`: the
+//! speculate→commit frame protocol over K (candidates) × saccade-rate
+//! preset × frame deadline with the oracle forecaster, plus the
+//! learned-predictor rows, each reporting modeled sensor-to-display
+//! latency with and without prediction. Regenerate with
+//! `cargo run --release -p solo-bench --bin streaming -- --json`.
+//!
+//! With `--check <path>` the binary instead parses an archived record and
+//! asserts its invariants: the grid is complete, K = 0 rows never save
+//! latency, pre-warm is always charged when candidates were pre-warmed,
+//! and on the saccade-heavy preset committed hits display strictly faster
+//! than the reactive frame.
+
+use serde::{Deserialize, Serialize};
+use solo_bench::{header, maybe_json};
+use solo_core::experiments::speculation::{DEADLINES_MS, KS, PRESETS};
+use solo_core::experiments::{speculation_learned, speculation_sweep, SpeculationRow};
+
+/// The archived record: sweep provenance plus every row.
+#[derive(Serialize, Deserialize)]
+struct Record {
+    frames: usize,
+    seed: u64,
+    rows: Vec<SpeculationRow>,
+}
+
+/// Parses `path` and asserts the archived sweep's invariants, returning
+/// the number of violations.
+fn check(path: &str) -> usize {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read record {path}: {e}"));
+    let record: Record =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse record {path}: {e}"));
+    let mut bad = 0usize;
+    let oracle_grid = PRESETS.len() * KS.len() * DEADLINES_MS.len();
+    let oracle_rows = record
+        .rows
+        .iter()
+        .filter(|r| r.speculator == "oracle")
+        .count();
+    if oracle_rows != oracle_grid {
+        println!("incomplete oracle grid: {oracle_rows} rows, expected {oracle_grid}");
+        bad += 1;
+    }
+    for r in &record.rows {
+        if r.k == 0 && (r.speculated_frames != 0 || r.latency_saved_ms != 0.0) {
+            println!("{}/k=0: speculated or saved latency", r.preset);
+            bad += 1;
+        }
+        if r.speculated_frames > 0 && r.prewarm_latency_ms <= 0.0 {
+            println!("{}/k={}: pre-warm went uncharged", r.preset, r.k);
+            bad += 1;
+        }
+        if r.committed > 0 && r.hit_latency_ms >= r.reactive_run_latency_ms {
+            println!(
+                "{}/k={}: hit latency {} ms not below reactive {} ms",
+                r.preset, r.k, r.hit_latency_ms, r.reactive_run_latency_ms
+            );
+            bad += 1;
+        }
+    }
+    let hot_saves = record.rows.iter().any(|r| {
+        r.preset == "saccade-heavy"
+            && r.speculator == "oracle"
+            && r.k >= 1
+            && r.deadline_ms == 0.0
+            && r.committed > 0
+            && r.latency_saved_ms > 0.0
+    });
+    if !hot_saves {
+        println!("no saccade-heavy oracle row with committed hits and saved latency");
+        bad += 1;
+    }
+    println!("{}: {} rows, {} violation(s)", path, record.rows.len(), bad);
+    bad
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args.get(i + 1).expect("--check requires a path").clone();
+        if check(&path) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let frames = if quick { 240 } else { 900 };
+    let seed = 11;
+    let mut rows = speculation_sweep(frames, seed);
+    rows.extend(speculation_learned(frames, 3, seed));
+    let record = Record { frames, seed, rows };
+    if maybe_json(&record) {
+        return;
+    }
+
+    header("Speculation sweep — K × saccade rate × deadline");
+    println!(
+        "{:<14} {:<8} {:>2} {:>9} {:>6} {:>5} {:>5} {:>8} {:>10} {:>10} {:>9}",
+        "preset",
+        "forecast",
+        "K",
+        "deadline",
+        "spec",
+        "hit",
+        "miss",
+        "hit-rate",
+        "with (ms)",
+        "w/o (ms)",
+        "saved"
+    );
+    for r in &record.rows {
+        let deadline = if r.deadline_ms == 0.0 {
+            "inf".to_string()
+        } else {
+            format!("{:.0} ms", r.deadline_ms)
+        };
+        println!(
+            "{:<14} {:<8} {:>2} {:>9} {:>6} {:>5} {:>5} {:>7.0}% {:>10.2} {:>10.2} {:>8.2}",
+            r.preset,
+            r.speculator,
+            r.k,
+            deadline,
+            r.speculated_frames,
+            r.committed,
+            r.missed,
+            r.hit_rate * 100.0,
+            r.latency_with_prediction_ms,
+            r.latency_without_prediction_ms,
+            r.latency_saved_ms
+        );
+    }
+}

@@ -21,6 +21,7 @@
 //! | `fig15`  | Fig. 15 — sensor latency/energy split |
 //! | `fig17`  | Fig. 17 — simulated user study |
 //! | `davis`  | Section 6.6 — DAVIS robustness |
+//! | `streaming` | Speculation sweep (K × saccade rate × deadline), archived in `BENCH_streaming.json` |
 //! | `area`   | Section 6.1 — accelerator area breakdown |
 //! | `ablations` | DESIGN.md ablations (pruning, quant, ADC groups, σ, λ) |
 //!

@@ -9,6 +9,7 @@
 pub mod accuracy;
 pub mod hardware;
 pub mod resilience;
+pub mod speculation;
 pub mod streaming;
 pub mod study;
 
@@ -18,6 +19,7 @@ pub use hardware::{
     Table1Row, Table3Row, Table4Row,
 };
 pub use resilience::{fault_matrix, FaultMatrixPoint};
+pub use speculation::{speculation_learned, speculation_sweep, SpeculationRow};
 pub use streaming::{
     davis_eval, fig12b, fig14b, fig3, DavisReport, Fig12bPoint, Fig14bPoint, Fig3Stats,
 };

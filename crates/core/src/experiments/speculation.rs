@@ -1,0 +1,238 @@
+//! Speculation experiments: the speculate→commit frame protocol swept
+//! over K (candidates), saccade rate (video preset), and frame deadline,
+//! reporting modeled sensor-to-display latency with and without gaze
+//! prediction.
+
+use serde::{Deserialize, Serialize};
+use solo_gaze::GazePredictor;
+use solo_hw::soc::{Backbone as HwBackbone, Dataset as HwDataset};
+use solo_hw::Latency;
+use solo_scene::{VideoConfig, VideoSequence};
+use solo_tensor::seeded_rng;
+
+use crate::ssa::SsaConfig;
+use crate::system::{SpeculationConfig, SpeculativeReport, StreamingEvaluator};
+
+/// One point of the speculation sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeculationRow {
+    /// Saccade-rate preset ("calm", "active", "saccade-heavy").
+    pub preset: String,
+    /// Landing-point forecaster ("oracle" or "learned").
+    pub speculator: String,
+    /// Candidates pre-warmed per in-flight saccade.
+    pub k: usize,
+    /// Frame deadline in ms (0 = unlimited).
+    pub deadline_ms: f64,
+    /// Frames streamed.
+    pub frames: usize,
+    /// Fraction of frames the SSA skipped.
+    pub skip_fraction: f32,
+    /// Frames that pre-warmed candidates.
+    pub speculated_frames: usize,
+    /// Run frames that committed a pre-warmed candidate.
+    pub committed: usize,
+    /// Run frames where every candidate missed.
+    pub missed: usize,
+    /// Pre-warmed sets recycled on SSA reuse.
+    pub aborted_sets: usize,
+    /// Frames whose pre-warm was dropped to protect the deadline.
+    pub dropped_for_budget: usize,
+    /// Frames whose charged total overran the deadline.
+    pub budget_overruns: usize,
+    /// committed / (committed + missed).
+    pub hit_rate: f32,
+    /// Mean pixel error of committed candidates vs the measured landing.
+    pub mean_commit_error_px: f32,
+    /// Total pre-warm latency charged, ms.
+    pub prewarm_latency_ms: f64,
+    /// Mean sensor-to-display latency with speculation, ms.
+    pub latency_with_prediction_ms: f64,
+    /// Mean latency the reactive path would charge on the same decisions, ms.
+    pub latency_without_prediction_ms: f64,
+    /// Mean sensor-to-display latency over committed-hit frames, ms.
+    pub hit_latency_ms: f64,
+    /// The reactive full-path frame latency hits are measured against, ms.
+    pub reactive_run_latency_ms: f64,
+    /// Mean latency saved per frame by speculation, ms.
+    pub latency_saved_ms: f64,
+}
+
+impl SpeculationRow {
+    fn from_report(
+        preset: &str,
+        speculator: &str,
+        k: usize,
+        deadline_ms: f64,
+        r: &SpeculativeReport,
+    ) -> Self {
+        Self {
+            preset: preset.to_string(),
+            speculator: speculator.to_string(),
+            k,
+            deadline_ms,
+            frames: r.base.frames,
+            skip_fraction: r.base.skip_fraction(),
+            speculated_frames: r.spec.speculated_frames,
+            committed: r.spec.committed,
+            missed: r.spec.missed,
+            aborted_sets: r.spec.aborted_sets,
+            dropped_for_budget: r.spec.dropped_for_budget,
+            budget_overruns: r.spec.budget_overruns,
+            hit_rate: r.spec.hit_rate(),
+            mean_commit_error_px: r.spec.mean_commit_error_px,
+            prewarm_latency_ms: r.spec.prewarm_latency_ms,
+            latency_with_prediction_ms: r.base.mean_latency_ms,
+            latency_without_prediction_ms: r.reactive_latency_ms,
+            hit_latency_ms: r.spec.mean_hit_latency_ms,
+            reactive_run_latency_ms: r.spec.reactive_run_latency_ms,
+            latency_saved_ms: r.latency_saved_ms(),
+        }
+    }
+}
+
+/// Saccade-rate presets: dwell length and refixation rate scale the
+/// fraction of frames spent with a saccade in flight.
+pub const PRESETS: [&str; 3] = ["calm", "active", "saccade-heavy"];
+
+/// Builds the named preset's video config at a small cost-only resolution.
+pub fn preset_config(name: &str, frames: usize) -> VideoConfig {
+    let mut cfg = VideoConfig::aria_like(frames);
+    cfg.dataset.resolution = 64;
+    match name {
+        "active" => {
+            cfg.dwell_s = (0.8, 1.6);
+            cfg.refixation_rate = 0.8;
+        }
+        "saccade-heavy" => {
+            cfg.dwell_s = (0.4, 0.9);
+            cfg.turn_s = (0.3, 0.6);
+            cfg.refixation_rate = 1.5;
+        }
+        _ => {}
+    }
+    cfg
+}
+
+/// The deadline settings swept (ms; 0 = unlimited).
+pub const DEADLINES_MS: [f64; 3] = [0.0, 60.0, 30.0];
+
+/// The candidate counts swept.
+pub const KS: [usize; 4] = [0, 1, 2, 4];
+
+fn deadline_of(ms: f64) -> Latency {
+    if ms <= 0.0 {
+        Latency::from_ms(f64::INFINITY)
+    } else {
+        Latency::from_ms(ms)
+    }
+}
+
+fn run_row(video: &VideoSequence, cfg: &mut SpeculationConfig) -> Option<SpeculativeReport> {
+    let mut ev = StreamingEvaluator::new(
+        SsaConfig::paper_default(960),
+        HwBackbone::Hr,
+        HwDataset::Aria,
+        None,
+    );
+    ev.run_speculative(video, cfg).ok()
+}
+
+/// The oracle sweep: K × saccade-rate × deadline, cost-only (no training).
+/// The oracle isolates the protocol's mechanics — hit latency, pre-warm
+/// charging, budget drops — from prediction error.
+pub fn speculation_sweep(frames: usize, seed: u64) -> Vec<SpeculationRow> {
+    let mut out = Vec::new();
+    for preset in PRESETS {
+        let video = VideoSequence::generate(preset_config(preset, frames), &mut seeded_rng(seed));
+        for k in KS {
+            for deadline_ms in DEADLINES_MS {
+                let mut cfg = SpeculationConfig::oracle(k);
+                cfg.deadline = deadline_of(deadline_ms);
+                if let Some(r) = run_row(&video, &mut cfg) {
+                    out.push(SpeculationRow::from_report(
+                        preset,
+                        "oracle",
+                        k,
+                        deadline_ms,
+                        &r,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The learned-predictor rows: one trained [`GazePredictor`] per preset,
+/// K fixed, unlimited deadline — the realistic "with prediction" column
+/// next to the oracle upper bound.
+pub fn speculation_learned(frames: usize, k: usize, seed: u64) -> Vec<SpeculationRow> {
+    let mut out = Vec::new();
+    for preset in PRESETS {
+        let video = VideoSequence::generate(preset_config(preset, frames), &mut seeded_rng(seed));
+        let predictor = GazePredictor::trained(&mut seeded_rng(seed ^ 0x5bec));
+        let mut cfg = SpeculationConfig::learned(predictor, k);
+        if let Some(r) = run_row(&video, &mut cfg) {
+            out.push(SpeculationRow::from_report(preset, "learned", k, 0.0, &r));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_sweep_covers_the_grid_and_saves_latency_when_hot() {
+        let rows = speculation_sweep(240, 11);
+        assert_eq!(rows.len(), PRESETS.len() * KS.len() * DEADLINES_MS.len());
+        // K = 0 rows never speculate and never save.
+        for r in rows.iter().filter(|r| r.k == 0) {
+            assert_eq!(r.speculated_frames, 0);
+            assert_eq!(r.latency_saved_ms, 0.0);
+            assert_eq!(
+                r.latency_with_prediction_ms, r.latency_without_prediction_ms,
+                "{}: k=0 must match the reactive path",
+                r.preset
+            );
+        }
+        // On the saccade-heavy preset with unlimited budget, committed hits
+        // display faster than the reactive frame.
+        let hot: Vec<&SpeculationRow> = rows
+            .iter()
+            .filter(|r| r.preset == "saccade-heavy" && r.k >= 1 && r.deadline_ms == 0.0)
+            .collect();
+        assert!(!hot.is_empty());
+        for r in hot {
+            assert!(r.committed > 0, "k={} never committed", r.k);
+            assert!(
+                r.hit_latency_ms < r.reactive_run_latency_ms,
+                "k={}: hit {} ms vs reactive {} ms",
+                r.k,
+                r.hit_latency_ms,
+                r.reactive_run_latency_ms
+            );
+            assert!(r.latency_saved_ms > 0.0);
+            assert!(r.prewarm_latency_ms > 0.0, "speculation must be charged");
+        }
+    }
+
+    #[test]
+    fn saccade_heavy_preset_speculates_more_than_calm() {
+        let rows = speculation_sweep(240, 12);
+        let spec_of = |preset: &str| {
+            rows.iter()
+                .filter(|r| r.preset == preset && r.k == 1 && r.deadline_ms == 0.0)
+                .map(|r| r.speculated_frames)
+                .sum::<usize>()
+        };
+        assert!(
+            spec_of("saccade-heavy") > spec_of("calm"),
+            "heavy {} vs calm {}",
+            spec_of("saccade-heavy"),
+            spec_of("calm")
+        );
+    }
+}

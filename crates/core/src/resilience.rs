@@ -27,7 +27,7 @@ use std::fmt;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use solo_gaze::{GazeObservation, GazePoint, GazeSample, TrackerStatus};
+use solo_gaze::{GazeObservation, GazePoint, GazeSample, GazeSource, TrackerStatus};
 use solo_hw::Latency;
 use solo_tensor::{seeded_rng, Tensor};
 
@@ -279,14 +279,24 @@ impl FaultInjector {
                 self.frozen = Some(*truth);
             }
         }
-        let (sample, status, confidence) = if self.outage_left > 0 {
+        let (sample, status, source, confidence) = if self.outage_left > 0 {
             self.outage_left -= 1;
             // The tracker's output is untrusted during an outage; the
-            // sample field is whatever it last produced.
-            (self.frozen.unwrap_or(*truth), self.outage_status, 0.0)
+            // sample field is whatever it last produced (a held repeat).
+            (
+                self.frozen.unwrap_or(*truth),
+                self.outage_status,
+                GazeSource::Held,
+                0.0,
+            )
         } else if self.freeze_left > 0 {
             self.freeze_left -= 1;
-            (self.frozen.unwrap_or(*truth), TrackerStatus::Stale, 0.3)
+            (
+                self.frozen.unwrap_or(*truth),
+                TrackerStatus::Stale,
+                GazeSource::Held,
+                0.3,
+            )
         } else if self.gate(self.plan.noise_rate) {
             let (dx, dy) = self.gauss2(self.plan.noise_sigma);
             let noisy = GazeSample {
@@ -294,10 +304,10 @@ impl FaultInjector {
                 ..*truth
             };
             self.frozen = Some(*truth);
-            (noisy, TrackerStatus::Noisy, 0.7)
+            (noisy, TrackerStatus::Noisy, GazeSource::Measured, 0.7)
         } else {
             self.frozen = Some(*truth);
-            (*truth, TrackerStatus::Valid, 1.0)
+            (*truth, TrackerStatus::Valid, GazeSource::Measured, 1.0)
         };
         // Sensor- and timing-side faults, also in fixed draw order.
         let dead = self.gate(self.plan.dead_group_rate);
@@ -326,6 +336,7 @@ impl FaultInjector {
             GazeObservation {
                 sample,
                 status,
+                source,
                 confidence,
             },
             FrameFaults {

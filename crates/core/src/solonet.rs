@@ -12,7 +12,7 @@ use rand::Rng;
 use solo_nn::Adam;
 use solo_sampler::{average_downsample, uniform_subsample, IndexMap, SamplerSpec};
 use solo_scene::{DatasetConfig, Sample};
-use solo_tensor::{avg_pool2d, bilinear_resize, Tensor};
+use solo_tensor::{avg_pool2d, bilinear_resize, exec, Tensor};
 
 use crate::backbones::BackboneKind;
 use crate::esnet::SaliencyNet;
@@ -111,6 +111,88 @@ impl PipelineConfig {
     }
 }
 
+/// One pre-warmed speculative candidate: a forecast landing point with the
+/// saliency crop's SBS index map already prepared for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeculativeCandidate {
+    /// The candidate landing gaze.
+    pub gaze: GazePoint,
+    /// The predictor's confidence in this candidate.
+    pub confidence: f32,
+    /// The prepared index map (bit-identical to what
+    /// [`FoveatedPipeline::index_map_at`] would build at `gaze`).
+    pub map: IndexMap,
+}
+
+/// The K candidates pre-warmed for one in-flight saccade, awaiting the
+/// measured landing. Exactly one of [`SpeculationSet::commit`] or
+/// [`SpeculationSet::abort`] should consume the set so every uncommitted
+/// candidate's scratch returns to the buffer pool.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpeculationSet {
+    candidates: Vec<SpeculativeCandidate>,
+}
+
+impl SpeculationSet {
+    /// Number of pre-warmed candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether no candidates were pre-warmed.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The candidates, in predictor order (candidate 0 is the point
+    /// forecast itself).
+    pub fn candidates(&self) -> &[SpeculativeCandidate] {
+        &self.candidates
+    }
+
+    /// Index and normalized distance of the candidate nearest `measured`.
+    pub fn nearest(&self, measured: GazePoint) -> Option<(usize, f32)> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, c) in self.candidates.iter().enumerate() {
+            let d = c.gaze.distance(&measured);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best
+    }
+
+    /// Commits the candidate nearest the measured landing if it lies within
+    /// `radius` (normalized units), recycling every other candidate's map
+    /// back into the buffer pool. On a total miss — no candidate within
+    /// `radius` — the whole set is recycled and `None` is returned, and the
+    /// caller falls through to the reactive path.
+    pub fn commit(self, measured: GazePoint, radius: f32) -> Option<SpeculativeCandidate> {
+        let hit = match self.nearest(measured) {
+            Some((i, d)) if d <= radius => Some(i),
+            _ => None,
+        };
+        let mut winner = None;
+        for (i, c) in self.candidates.into_iter().enumerate() {
+            if Some(i) == hit {
+                winner = Some(c);
+            } else {
+                c.map.recycle();
+            }
+        }
+        winner
+    }
+
+    /// The abort path: recycles every candidate's map scratch. Used when
+    /// the landing frame turns out not to run (SSA reuse) or the protocol
+    /// is cancelled (e.g. the frame budget would overrun).
+    pub fn abort(self) {
+        for c in self.candidates {
+            c.map.recycle();
+        }
+    }
+}
+
 /// Per-sample evaluation scores.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalScores {
@@ -186,6 +268,47 @@ impl FoveatedPipeline {
             self.cfg.sigma * widen.max(1.0).sqrt(),
         );
         IndexMap::from_saliency(&spec, &s)
+    }
+
+    /// Speculation pre-warm: prepares saliency crops and SBS index maps for
+    /// `candidates` — the K forecast landing points of an in-flight saccade —
+    /// from one shared preview of the landing frame. Saliency runs once per
+    /// candidate (it is gaze-conditioned), then the K `IndexMap` builds fan
+    /// out over the exec pool; each map draws its scratch from the buffer
+    /// pool and is recycled by [`SpeculationSet::commit`] /
+    /// [`SpeculationSet::abort`]. Per candidate the map is bit-identical to
+    /// [`Self::index_map_at`] at the same gaze, which is what makes an
+    /// oracle commit indistinguishable from the reactive path.
+    pub fn speculate_maps(
+        &mut self,
+        image: &Tensor,
+        candidates: &[(GazePoint, f32)],
+    ) -> SpeculationSet {
+        if candidates.is_empty() {
+            return SpeculationSet::default();
+        }
+        let d = self.cfg.down_res;
+        let preview = uniform_subsample(image, d, d);
+        let mut sals = Vec::with_capacity(candidates.len());
+        for &(gaze, _) in candidates {
+            sals.push(self.saliency.saliency(&preview, gaze));
+        }
+        let spec = self.cfg.spec();
+        // `from_saliency` is internally serial, so fanning the K builds out
+        // as one task each keeps the result independent of pool width.
+        let maps = exec::pool().par_tasks(sals.len(), |i: usize| {
+            IndexMap::from_saliency(&spec, &sals[i])
+        });
+        let candidates = candidates
+            .iter()
+            .zip(maps)
+            .map(|(&(gaze, confidence), map)| SpeculativeCandidate {
+                gaze,
+                confidence,
+                map,
+            })
+            .collect();
+        SpeculationSet { candidates }
     }
 
     /// One Eq.-4 training step; returns `(dice, ce, saliency_mse)`.
@@ -575,5 +698,72 @@ mod tests {
         assert_eq!(pool_mask(&m, 16).shape().dims(), &[16, 16]);
         assert_eq!(pool_mask(&m, 20).shape().dims(), &[20, 20]);
         assert!((pool_mask(&m, 16).mean() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speculated_map_matches_the_reactive_map_per_candidate() {
+        let (ds, cfg) = tiny_cfg();
+        let mut rng = seeded_rng(113);
+        let data = SceneDataset::new(ds);
+        let sample = data.sample(&mut rng);
+        let mut p = FoveatedPipeline::new(&mut rng, BackboneKind::Sf, cfg, true, 1e-3);
+        let candidates = [
+            (GazePoint::new(0.3, 0.4), 1.0),
+            (GazePoint::new(0.7, 0.6), 0.5),
+            (GazePoint::new(0.5, 0.9), 0.5),
+        ];
+        let set = p.speculate_maps(&sample.image, &candidates);
+        assert_eq!(set.len(), 3);
+        for (c, &(gaze, conf)) in set.candidates().iter().zip(candidates.iter()) {
+            let reactive = p.index_map_at(&sample.image, gaze);
+            assert_eq!(c.map, reactive, "speculated map diverged at {gaze:?}");
+            assert_eq!(c.confidence, conf);
+            reactive.recycle();
+        }
+        set.abort();
+    }
+
+    #[test]
+    fn speculation_fanout_is_pool_width_invariant() {
+        let (ds, cfg) = tiny_cfg();
+        let mut rng = seeded_rng(114);
+        let data = SceneDataset::new(ds);
+        let sample = data.sample(&mut rng);
+        let mut p = FoveatedPipeline::new(&mut rng, BackboneKind::Sf, cfg, true, 1e-3);
+        let candidates: Vec<(GazePoint, f32)> = (0..4)
+            .map(|i| (GazePoint::new(0.2 + 0.15 * i as f32, 0.5), 1.0))
+            .collect();
+        let narrow = exec::with_threads(1, || p.speculate_maps(&sample.image, &candidates));
+        let wide = exec::with_threads(8, || p.speculate_maps(&sample.image, &candidates));
+        assert_eq!(narrow.candidates(), wide.candidates());
+        narrow.abort();
+        wide.abort();
+    }
+
+    #[test]
+    fn commit_picks_the_nearest_candidate_within_radius() {
+        let (ds, cfg) = tiny_cfg();
+        let mut rng = seeded_rng(115);
+        let data = SceneDataset::new(ds);
+        let sample = data.sample(&mut rng);
+        let mut p = FoveatedPipeline::new(&mut rng, BackboneKind::Sf, cfg, true, 1e-3);
+        let candidates = [
+            (GazePoint::new(0.25, 0.25), 1.0),
+            (GazePoint::new(0.75, 0.75), 0.5),
+        ];
+        let set = p.speculate_maps(&sample.image, &candidates);
+        let hit = set.commit(GazePoint::new(0.72, 0.77), 0.1);
+        let c = match hit {
+            Some(c) => c,
+            None => panic!("expected a commit within radius"),
+        };
+        assert_eq!(c.gaze, GazePoint::new(0.75, 0.75));
+        c.map.recycle();
+
+        let set = p.speculate_maps(&sample.image, &candidates);
+        assert!(
+            set.commit(GazePoint::new(0.5, 0.02), 0.1).is_none(),
+            "a landing far from every candidate must miss"
+        );
     }
 }

@@ -313,6 +313,7 @@ mod tests {
                 phase: EyePhase::Fixation,
             },
             status: TrackerStatus::Lost,
+            source: solo_gaze::GazeSource::Held,
             confidence: 0.0,
         };
         assert_eq!(

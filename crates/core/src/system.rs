@@ -2,12 +2,13 @@
 //! scored for accuracy (reused masks vs moving ground truth) and priced by
 //! the `solo-hw` pipeline models (Sections 5.3, 6.3, 6.6).
 
-use solo_gaze::GazePoint;
+use solo_gaze::{EyePhase, GazePoint, GazePredictor, GazeSample};
 use solo_hw::calib::sensor::ADC_GROUPS_PER_COL;
 use solo_hw::soc::{
     Backbone as HwBackbone, CostBreakdown, Dataset as HwDataset, Pipeline, SocModel,
 };
 use solo_hw::timing::FrameBudget;
+use solo_hw::Latency;
 use solo_sampler::{gaze_saliency, uniform_subsample, IndexMap, SamplerSpec};
 use solo_scene::{Frame, VideoSequence};
 use solo_tensor::Tensor;
@@ -19,6 +20,10 @@ use crate::resilience::{
 };
 use crate::solonet::{FoveatedPipeline, PipelineConfig};
 use crate::ssa::{Ssa, SsaConfig};
+
+/// Measured gaze samples kept as context for the ladder's predicted
+/// HoldFixation rung (the predictor windows further internally).
+const PREDICTOR_HISTORY: usize = 32;
 
 /// Aggregate results of streaming a video through SOLO with the SSA.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +49,141 @@ impl StreamingReport {
         } else {
             self.skipped as f32 / self.frames as f32
         }
+    }
+}
+
+/// Which forecaster supplies candidate landing points while a saccade is
+/// in flight.
+#[derive(Debug)]
+pub enum Speculator {
+    /// Ground-truth landing points (a zero-error predictor — the upper
+    /// bound of the protocol, and the identity anchor for the tests).
+    Oracle,
+    /// The trained recurrent predictor from `solo-gaze`.
+    Learned(GazePredictor),
+}
+
+/// Configuration of the speculate→commit frame protocol.
+#[derive(Debug)]
+pub struct SpeculationConfig {
+    /// Candidate landing points pre-warmed per in-flight saccade. Zero
+    /// disables speculation entirely (bit-identical to [`StreamingEvaluator::run`]).
+    pub k: usize,
+    /// Normalized gaze distance within which the nearest candidate commits;
+    /// a measured landing farther than this from every candidate is a total
+    /// miss and falls through to the reactive path.
+    pub commit_radius: f32,
+    /// Per-frame latency deadline the speculative work is charged against.
+    /// When pre-warming would prospectively overrun it, speculation is
+    /// dropped for that frame (the reactive path still runs).
+    pub deadline: Latency,
+    /// Measured gaze samples retained as predictor history.
+    pub history: usize,
+    /// The landing-point forecaster.
+    pub speculator: Speculator,
+}
+
+impl SpeculationConfig {
+    /// No speculation: the protocol runs but never pre-warms.
+    pub fn reactive() -> Self {
+        Self::oracle(0)
+    }
+
+    /// Oracle speculation with `k` candidates and an unlimited deadline.
+    pub fn oracle(k: usize) -> Self {
+        Self {
+            k,
+            commit_radius: 0.042,
+            deadline: Latency::from_ms(f64::INFINITY),
+            history: 32,
+            speculator: Speculator::Oracle,
+        }
+    }
+
+    /// Learned speculation with `k` candidates from a trained predictor.
+    pub fn learned(predictor: GazePredictor, k: usize) -> Self {
+        Self {
+            speculator: Speculator::Learned(predictor),
+            ..Self::oracle(k)
+        }
+    }
+
+    /// Checks the configured ranges.
+    pub fn validate(&self) -> FrameOutcome<()> {
+        if !(self.commit_radius > 0.0) || !self.commit_radius.is_finite() {
+            return Err(SoloError::InvalidConfig(
+                "commit_radius must be finite and > 0",
+            ));
+        }
+        if self.history < 2 && matches!(self.speculator, Speculator::Learned(_)) {
+            return Err(SoloError::InvalidConfig(
+                "a learned speculator needs history >= 2",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Counters describing what the speculation protocol did over one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpeculationStats {
+    /// Frames whose start overlapped an in-flight saccade and pre-warmed.
+    pub speculated_frames: usize,
+    /// Candidate index maps pre-warmed in total.
+    pub prewarmed_candidates: usize,
+    /// Run frames that committed a pre-warmed candidate.
+    pub committed: usize,
+    /// Run frames where every candidate missed (reactive fallback).
+    pub missed: usize,
+    /// Pre-warmed sets recycled because the SSA reused the frame anyway.
+    pub aborted_sets: usize,
+    /// Frames where pre-warming was dropped to protect the deadline.
+    pub dropped_for_budget: usize,
+    /// Frames whose charged total (speculation included) overran the deadline.
+    pub budget_overruns: usize,
+    /// Mean pixel error between the committed candidate and the measured
+    /// landing (0 if nothing committed).
+    pub mean_commit_error_px: f32,
+    /// Total pre-warm latency charged against frame budgets, in ms.
+    pub prewarm_latency_ms: f64,
+    /// Mean modeled sensor-to-display latency over committed-hit frames.
+    pub mean_hit_latency_ms: f64,
+    /// The reactive full-path frame latency the hits are measured against.
+    pub reactive_run_latency_ms: f64,
+}
+
+impl SpeculationStats {
+    /// Fraction of speculated run frames that committed.
+    pub fn hit_rate(&self) -> f32 {
+        let tried = self.committed + self.missed;
+        if tried == 0 {
+            0.0
+        } else {
+            self.committed as f32 / tried as f32
+        }
+    }
+}
+
+/// A [`StreamingReport`] extended with the speculation ledger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculativeReport {
+    /// The streaming report; `mean_latency_ms` is the modeled
+    /// sensor-to-display latency *with* speculation (pre-warm overlaps the
+    /// tracker's measurement window, so hits display after the shortened
+    /// commit path).
+    pub base: StreamingReport,
+    /// Mean per-frame latency the reactive [`StreamingEvaluator::run`] path
+    /// would have charged on the same decisions — the "without prediction"
+    /// column.
+    pub reactive_latency_ms: f64,
+    /// What speculation did.
+    pub spec: SpeculationStats,
+}
+
+impl SpeculativeReport {
+    /// Mean sensor-to-display latency saved per frame by speculation.
+    pub fn latency_saved_ms(&self) -> f64 {
+        self.reactive_latency_ms - self.base.mean_latency_ms
     }
 }
 
@@ -137,6 +277,200 @@ impl StreamingEvaluator {
         }
     }
 
+    /// Streams the whole video under the speculate→commit frame protocol.
+    ///
+    /// While a saccade is in flight (the previous frame's phase was
+    /// suppressed — [`EyePhase::Saccade`] or its recovery window), the
+    /// start of the next frame — which overlaps the eye tracker's
+    /// measurement latency window — pre-warms
+    /// saliency crops and SBS index maps for up to `cfg.k` candidate
+    /// landing points via [`FoveatedPipeline::speculate_maps`]. Once the
+    /// measured landing arrives, the nearest candidate within
+    /// `cfg.commit_radius` commits (its ESNet stage already ran, shortening
+    /// the displayed frame by exactly that stage); a total miss falls
+    /// through to the reactive path, and an SSA reuse aborts the set. All
+    /// pre-warm work is charged against `cfg.deadline` — speculation is
+    /// priced, never free — and is dropped for a frame whose budget it
+    /// would prospectively overrun.
+    ///
+    /// With `cfg.k == 0` the produced base report is bit-identical to
+    /// [`Self::run`], and with an [`Speculator::Oracle`] at `k = 1` the
+    /// segmentation outputs are too (asserted by the integration tests);
+    /// `reactive_latency_ms` always equals the [`Self::run`] mean exactly.
+    pub fn run_speculative(
+        &mut self,
+        video: &VideoSequence,
+        cfg: &mut SpeculationConfig,
+    ) -> FrameOutcome<SpeculativeReport> {
+        cfg.validate()?;
+        self.ssa.reset();
+        let down = video.config().dataset.resolution / 4;
+        let n = video.config().dataset.resolution;
+        let run_cost = self
+            .soc
+            .evaluate(Pipeline::Solo, self.hw_backbone, self.hw_dataset)
+            .latency()
+            .ms();
+        let skip_cost = self.soc.skip_path(self.hw_dataset).latency().ms();
+        let commit_cost = self
+            .soc
+            .speculative_commit_path(self.hw_backbone, self.hw_dataset)
+            .latency()
+            .ms();
+        let prewarm_ms: Vec<f64> = (0..=cfg.k)
+            .map(|k| {
+                self.soc
+                    .speculative_prewarm_path(self.hw_dataset, k)
+                    .latency()
+                    .ms()
+            })
+            .collect();
+        let mut budget = FrameBudget::new(cfg.deadline);
+        let mut stats = SpeculationStats {
+            reactive_run_latency_ms: run_cost,
+            ..SpeculationStats::default()
+        };
+        let mut commit_err_px = 0.0f64;
+        let mut hit_ms = 0.0f64;
+        let mut skipped = 0usize;
+        let mut latency_total = 0.0f64;
+        let mut reactive_total = 0.0f64;
+        let mut b_sum = 0.0f64;
+        let mut c_sum = 0.0f64;
+        let mut scored = 0usize;
+        let mut held: Option<(Tensor, usize)> = None;
+        let mut history: Vec<GazeSample> = Vec::new();
+        let mut prev_phase: Option<EyePhase> = None;
+        for i in 0..video.len() {
+            let frame = video.frame(i);
+            budget.start_frame();
+
+            // Pre-warm phase: runs at the top of the frame, before the
+            // measured landing is available.
+            let in_flight = prev_phase.is_some_and(|p| p.is_suppressed());
+            let mut cands: Vec<(GazePoint, f32)> = Vec::new();
+            if cfg.k > 0 && in_flight {
+                if budget.would_overrun(Latency::from_ms(prewarm_ms[cfg.k] + run_cost)) {
+                    stats.dropped_for_budget += 1;
+                } else {
+                    cands = match &mut cfg.speculator {
+                        Speculator::Oracle => vec![(frame.gaze.point, 1.0)],
+                        Speculator::Learned(p) => {
+                            if history.len() >= 2 {
+                                p.predict(&history).candidates(cfg.k)
+                            } else {
+                                Vec::new()
+                            }
+                        }
+                    };
+                }
+            }
+            let prewarm = prewarm_ms[cands.len().min(cfg.k)];
+            let mut set = match (self.pipeline.as_mut(), cands.is_empty()) {
+                (Some(p), false) => Some(p.speculate_maps(&frame.image, &cands)),
+                _ => None,
+            };
+            if !cands.is_empty() {
+                stats.speculated_frames += 1;
+                stats.prewarmed_candidates += cands.len();
+                stats.prewarm_latency_ms += prewarm;
+            }
+
+            // Measurement arrives; the SSA decision is exactly `run`'s.
+            let preview = uniform_subsample(&frame.image, down, down);
+            let decision =
+                self.ssa
+                    .step(&preview, frame.gaze.point, frame.gaze.phase.is_suppressed());
+            reactive_total += if decision.must_run() {
+                run_cost
+            } else {
+                skip_cost
+            };
+
+            let display_ms;
+            if decision.must_run() {
+                let measured = frame.gaze.point;
+                let mut nearest: Option<(usize, f32)> = None;
+                for (idx, (g, _)) in cands.iter().enumerate() {
+                    let d = g.distance(&measured);
+                    if nearest.is_none_or(|(_, bd)| d < bd) {
+                        nearest = Some((idx, d));
+                    }
+                }
+                let hit = nearest.filter(|&(_, d)| d <= cfg.commit_radius);
+                if let Some(p) = self.pipeline.as_mut() {
+                    let committed = set
+                        .take()
+                        .and_then(|s| s.commit(measured, cfg.commit_radius));
+                    held = Some(match committed {
+                        Some(c) => {
+                            let out = finish_segment(p, &c.map, &frame.image, measured);
+                            c.map.recycle();
+                            out
+                        }
+                        None => segment_frame(p, &frame.image, measured),
+                    });
+                }
+                match hit {
+                    Some((idx, _)) => {
+                        stats.committed += 1;
+                        commit_err_px += cands[idx].0.distance_px(&measured, n, n) as f64;
+                        hit_ms += commit_cost;
+                        display_ms = commit_cost;
+                    }
+                    None => {
+                        if !cands.is_empty() {
+                            stats.missed += 1;
+                        }
+                        display_ms = run_cost;
+                    }
+                }
+            } else {
+                if !cands.is_empty() {
+                    stats.aborted_sets += 1;
+                }
+                skipped += 1;
+                display_ms = skip_cost;
+            }
+            if let Some(s) = set.take() {
+                s.abort();
+            }
+            latency_total += display_ms;
+            if !budget.charge(Latency::from_ms(prewarm + display_ms)) {
+                stats.budget_overruns += 1;
+            }
+
+            if let (Some((mask, class)), Some(gt_class)) = (&held, frame.ioi_class) {
+                b_sum += binary_iou(mask, &frame.ioi_mask) as f64;
+                c_sum += classified_iou(mask, *class, &frame.ioi_mask, gt_class.id()) as f64;
+                scored += 1;
+            }
+
+            history.push(frame.gaze);
+            if history.len() > cfg.history {
+                history.remove(0);
+            }
+            prev_phase = Some(frame.gaze.phase);
+        }
+        stats.mean_commit_error_px = mean(commit_err_px, stats.committed);
+        stats.mean_hit_latency_ms = if stats.committed == 0 {
+            0.0
+        } else {
+            hit_ms / stats.committed as f64
+        };
+        Ok(SpeculativeReport {
+            base: StreamingReport {
+                frames: video.len(),
+                skipped,
+                b_iou: mean(b_sum, scored),
+                c_iou: mean(c_sum, scored),
+                mean_latency_ms: latency_total / video.len().max(1) as f64,
+            },
+            reactive_latency_ms: reactive_total / video.len().max(1) as f64,
+            spec: stats,
+        })
+    }
+
     /// Streams the whole video under a fault plan, degrading gracefully.
     ///
     /// The fallible sibling of [`Self::run`]: each frame's gaze arrives
@@ -157,6 +491,22 @@ impl StreamingEvaluator {
         video: &VideoSequence,
         plan: &FaultPlan,
         config: &ResilienceConfig,
+    ) -> FrameOutcome<ResilientReport> {
+        self.run_with_faults_predicting(video, plan, config, None)
+    }
+
+    /// [`Self::run_with_faults`] with a gaze predictor wired into the
+    /// degradation ladder: during a blink or dropout the `HoldFixation`
+    /// rung consumes a *predicted* fixation (forecast from the measured
+    /// gaze history) instead of the decayed held one. With `predictor:
+    /// None` the behavior — and, under a zero-rate plan, the report — is
+    /// bit-identical to [`Self::run_with_faults`].
+    pub fn run_with_faults_predicting(
+        &mut self,
+        video: &VideoSequence,
+        plan: &FaultPlan,
+        config: &ResilienceConfig,
+        mut predictor: Option<&mut GazePredictor>,
     ) -> FrameOutcome<ResilientReport> {
         plan.validate()?;
         config.validate()?;
@@ -211,6 +561,7 @@ impl StreamingEvaluator {
         let mut rung_c = [0.0f64; DegradeAction::RUNGS];
         let mut rung_scored = [0usize; DegradeAction::RUNGS];
         let mut rung_frames = [0usize; DegradeAction::RUNGS];
+        let mut history: Vec<GazeSample> = Vec::new();
 
         for i in 0..video.len() {
             let frame = video.frame(i);
@@ -231,6 +582,10 @@ impl StreamingEvaluator {
                     Ok(decision) => {
                         ladder.reset();
                         held_gaze = Some(obs.sample.point);
+                        history.push(obs.sample);
+                        if history.len() > PREDICTOR_HISTORY {
+                            history.remove(0);
+                        }
                         let work = if decision.must_run() {
                             Work::Run(RunKind::Focused(obs.sample.point))
                         } else {
@@ -245,7 +600,14 @@ impl StreamingEvaluator {
                             DegradeAction::HoldFixation { .. } => {
                                 // The held fixation drives the SSA like a
                                 // static gaze: a view change still reruns,
-                                // a stable view still reuses.
+                                // a stable view still reuses. With a
+                                // predictor attached, the rung consumes a
+                                // forecast fixation instead of the decayed
+                                // held one.
+                                let gaze = match predictor.as_deref_mut() {
+                                    Some(p) if history.len() >= 2 => p.predict(&history).point,
+                                    _ => gaze,
+                                };
                                 if self.ssa.step(&preview, gaze, false).must_run() {
                                     Work::Run(RunKind::Focused(gaze))
                                 } else {
@@ -552,6 +914,111 @@ mod tests {
             with < without * 0.9,
             "reuse {with} ms vs no-reuse {without} ms"
         );
+    }
+
+    #[test]
+    fn zero_speculation_matches_run_exactly() {
+        let v = video(250, 5);
+        let mut ev = StreamingEvaluator::new(
+            SsaConfig::paper_default(960),
+            HwBackbone::Hr,
+            HwDataset::Aria,
+            None,
+        );
+        let reactive = ev.run(&v);
+        let mut cfg = SpeculationConfig::reactive();
+        let spec = match ev.run_speculative(&v, &mut cfg) {
+            Ok(r) => r,
+            Err(e) => panic!("reactive speculation config rejected: {e}"),
+        };
+        assert_eq!(spec.base, reactive);
+        assert_eq!(spec.reactive_latency_ms, reactive.mean_latency_ms);
+        assert_eq!(spec.spec.speculated_frames, 0);
+        assert_eq!(spec.spec.prewarm_latency_ms, 0.0);
+    }
+
+    #[test]
+    fn oracle_speculation_commits_and_lowers_display_latency() {
+        let v = video(300, 6);
+        let mut ev = StreamingEvaluator::new(
+            SsaConfig::paper_default(960),
+            HwBackbone::Hr,
+            HwDataset::Aria,
+            None,
+        );
+        let reactive = ev.run(&v);
+        let mut cfg = SpeculationConfig::oracle(2);
+        let spec = match ev.run_speculative(&v, &mut cfg) {
+            Ok(r) => r,
+            Err(e) => panic!("oracle speculation config rejected: {e}"),
+        };
+        // Same decisions, same skips — speculation only changes latency.
+        assert_eq!(spec.base.frames, reactive.frames);
+        assert_eq!(spec.base.skipped, reactive.skipped);
+        assert_eq!(spec.reactive_latency_ms, reactive.mean_latency_ms);
+        assert!(spec.spec.committed > 0, "oracle never committed");
+        assert_eq!(spec.spec.missed, 0, "oracle candidates cannot miss");
+        assert_eq!(spec.spec.mean_commit_error_px, 0.0);
+        assert!(
+            spec.spec.mean_hit_latency_ms < spec.spec.reactive_run_latency_ms,
+            "hit {} ms vs reactive run {} ms",
+            spec.spec.mean_hit_latency_ms,
+            spec.spec.reactive_run_latency_ms
+        );
+        assert!(
+            spec.base.mean_latency_ms < spec.reactive_latency_ms,
+            "speculation did not lower display latency: {} vs {}",
+            spec.base.mean_latency_ms,
+            spec.reactive_latency_ms
+        );
+        assert!(
+            spec.spec.prewarm_latency_ms > 0.0,
+            "pre-warm went uncharged"
+        );
+    }
+
+    #[test]
+    fn tight_deadline_drops_speculation_not_frames() {
+        let v = video(200, 7);
+        let mut ev = StreamingEvaluator::new(
+            SsaConfig::paper_default(960),
+            HwBackbone::Hr,
+            HwDataset::Aria,
+            None,
+        );
+        let reactive = ev.run(&v);
+        let mut cfg = SpeculationConfig::oracle(4);
+        cfg.deadline = Latency::from_ms(reactive.mean_latency_ms * 0.1);
+        let spec = match ev.run_speculative(&v, &mut cfg) {
+            Ok(r) => r,
+            Err(e) => panic!("tight-deadline config rejected: {e}"),
+        };
+        assert!(
+            spec.spec.dropped_for_budget > 0,
+            "an unattainable deadline must drop pre-warms"
+        );
+        assert_eq!(spec.spec.speculated_frames, 0);
+        // The reactive work itself still runs — and still overruns.
+        assert_eq!(spec.base.frames, reactive.frames);
+        assert_eq!(spec.base.skipped, reactive.skipped);
+        assert!(spec.spec.budget_overruns > 0);
+    }
+
+    #[test]
+    fn speculation_config_validation_rejects_bad_ranges() {
+        let mut bad = SpeculationConfig::oracle(1);
+        bad.commit_radius = 0.0;
+        assert!(bad.validate().is_err());
+        bad.commit_radius = f32::NAN;
+        assert!(bad.validate().is_err());
+        let mut learned = SpeculationConfig::learned(
+            GazePredictor::new(&mut seeded_rng(8), solo_gaze::PredictorConfig::default()),
+            2,
+        );
+        learned.history = 1;
+        assert!(learned.validate().is_err());
+        learned.history = 8;
+        assert!(learned.validate().is_ok());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! paper's Figure 3 (a) visualizes as stable gaze clusters inside a video
 //! segment.
 
-use crate::{GazePoint, GazeSample};
+use crate::{EyePhase, GazeObservation, GazePoint, GazeSample, TrackerStatus};
 
 /// One detected fixation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +32,23 @@ impl Fixation {
     /// Whether the fixation covers no samples.
     pub fn is_empty(&self) -> bool {
         self.end == self.start
+    }
+
+    /// Re-issues this fixation's centroid as a *held* observation at time
+    /// `t_ms` — what the degradation ladder consumes when the tracker drops
+    /// out mid-fixation and no predicted landing is available. The status
+    /// is `Stale` (the point is a repeat, not a fresh estimate) and the
+    /// provenance is [`crate::GazeSource::Held`].
+    pub fn held_observation(&self, t_ms: f64, confidence: f32) -> GazeObservation {
+        GazeObservation::held(
+            GazeSample {
+                t_ms,
+                point: self.centroid,
+                phase: EyePhase::Fixation,
+            },
+            TrackerStatus::Stale,
+            confidence,
+        )
     }
 }
 
@@ -171,6 +188,17 @@ mod tests {
         // Mean duration in the physiological range.
         let mean = mean_fixation_duration_ms(&trace, &IdtConfig::default());
         assert!(mean > 100.0 && mean < 5000.0, "mean duration {mean} ms");
+    }
+
+    #[test]
+    fn held_observation_repeats_the_centroid_as_stale() {
+        let f = detect_fixations(&synthetic_trace(), &IdtConfig::default());
+        let obs = f[0].held_observation(999.0, 0.6);
+        assert_eq!(obs.sample.point, f[0].centroid);
+        assert_eq!(obs.sample.t_ms, 999.0);
+        assert_eq!(obs.source, crate::GazeSource::Held);
+        assert!(!obs.is_usable(), "a held repeat is not a fresh estimate");
+        assert_eq!(obs.confidence, 0.6);
     }
 
     #[test]

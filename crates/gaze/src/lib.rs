@@ -4,8 +4,9 @@
 //! (fixation / saccade / smooth pursuit, Section 2.1 of the paper), saccade
 //! detectors (both a velocity-threshold baseline and the paper's single-layer
 //! RNN), a synthetic eye-image renderer standing in for the OpenEDS2020
-//! dataset, and the video-segment / gaze statistics behind the paper's
-//! Figure 3 user study.
+//! dataset, the video-segment / gaze statistics behind the paper's
+//! Figure 3 user study, and a recurrent saccade landing-point predictor
+//! ([`GazePredictor`]) that turns the pipeline speculative.
 //!
 //! Physiological constants follow the paper's citations: saccade durations
 //! span 30–250 ms depending on amplitude (Baloh et al.), visual sensitivity
@@ -31,6 +32,7 @@ mod behavior;
 mod detector;
 mod eye_image;
 pub mod fixation;
+pub mod predictor;
 mod study;
 mod types;
 
@@ -38,5 +40,6 @@ pub use behavior::{EyeBehaviorConfig, EyeBehaviorModel};
 pub use detector::{RnnSaccadeDetector, ThresholdSaccadeDetector};
 pub use eye_image::{render_eye, EyeImageConfig};
 pub use fixation::{detect_fixations, Fixation, IdtConfig};
+pub use predictor::{GazePrediction, GazePredictor, PredictorConfig};
 pub use study::{gaze_distances_px, segment_video, view_diff, GazeStudyStats, VideoSegment};
-pub use types::{EyePhase, GazeObservation, GazePoint, GazeSample, TrackerStatus};
+pub use types::{EyePhase, GazeObservation, GazePoint, GazeSample, GazeSource, TrackerStatus};

@@ -1,0 +1,416 @@
+//! Recurrent saccade-landing prediction.
+//!
+//! The speculation layer's forecaster: while a saccade is in flight the
+//! streaming pipeline cannot act on the measured gaze (it has not landed
+//! yet), but it *can* pre-warm saliency crops and SBS index maps for
+//! predicted landing points (GazeProphet-style software gaze forecasting).
+//! [`GazePredictor`] is a single-layer Elman RNN over the gaze displacement
+//! stream — the same feature encoding as [`crate::RnnSaccadeDetector`] —
+//! with a three-channel linear readout per step: the displacement from the
+//! current gaze to the movement's landing point, plus a self-calibrated
+//! error spread that becomes the per-prediction confidence.
+//!
+//! Training data comes from the oculomotor statistics of
+//! [`crate::EyeBehaviorModel`]: ground-truth landing points are the next
+//! fixation-phase sample after each step, so mid-saccade steps learn the
+//! ballistic extrapolation and fixation steps learn to stay put.
+
+use rand::Rng;
+use solo_nn::{Layer, Linear, Optimizer, Rnn, Sgd};
+use solo_tensor::Tensor;
+
+use crate::{EyeBehaviorModel, EyePhase, GazeObservation, GazePoint, GazeSample, TrackerStatus};
+
+/// Displacement features are scaled by this factor so saccade steps are
+/// O(1) — shared with the saccade detector's encoding.
+const FEATURE_SCALE: f32 = 20.0;
+
+/// Normalized spread at which confidence halves (≈20 px on a 960² frame,
+/// the paper's β).
+const CONFIDENCE_BETA: f32 = 0.02;
+
+/// Hyperparameters of the landing predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorConfig {
+    /// RNN hidden width.
+    pub hidden: usize,
+    /// Gaze samples of history fed per prediction.
+    pub history: usize,
+    /// Training traces generated from the behaviour model.
+    pub traces: usize,
+    /// Samples per training trace.
+    pub trace_len: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 12,
+            history: 10,
+            traces: 10,
+            trace_len: 300,
+            epochs: 6,
+            lr: 0.03,
+        }
+    }
+}
+
+/// One landing forecast: the predicted gaze point, the predictor's own
+/// error estimate, and the confidence derived from it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GazePrediction {
+    /// Predicted landing point.
+    pub point: GazePoint,
+    /// Self-calibrated landing error estimate in normalized view units
+    /// (trained against the model's own validation error).
+    pub spread: f32,
+    /// Confidence in `(0, 1]`: 1 for zero predicted spread, halving at the
+    /// β-equivalent spread.
+    pub confidence: f32,
+}
+
+impl GazePrediction {
+    /// Fans the forecast out into `k` candidate landing points for the
+    /// speculate→commit protocol: candidate 0 is the prediction itself at
+    /// full confidence; the rest sit on a deterministic ring of radius
+    /// `spread` around it at reduced confidence, hedging the predicted
+    /// error. Returns `(point, confidence)` pairs.
+    pub fn candidates(&self, k: usize) -> Vec<(GazePoint, f32)> {
+        let mut out = Vec::with_capacity(k);
+        if k == 0 {
+            return out;
+        }
+        out.push((self.point, self.confidence));
+        let ring = k - 1;
+        for i in 0..ring {
+            let angle = std::f32::consts::TAU * i as f32 / ring as f32;
+            let p = GazePoint::new(
+                self.point.x + self.spread * angle.cos(),
+                self.point.y + self.spread * angle.sin(),
+            );
+            out.push((p, self.confidence * 0.5));
+        }
+        out
+    }
+
+    /// Packages the forecast as a provenance-tagged observation at `t_ms`;
+    /// `status` records what the tracker actually delivered that frame.
+    pub fn observation(&self, t_ms: f64, status: TrackerStatus) -> GazeObservation {
+        GazeObservation::predicted(
+            GazeSample {
+                t_ms,
+                point: self.point,
+                phase: EyePhase::Saccade,
+            },
+            status,
+            self.confidence,
+        )
+    }
+}
+
+/// The recurrent saccade-landing predictor.
+#[derive(Debug)]
+pub struct GazePredictor {
+    rnn: Rnn,
+    head: Linear,
+    cfg: PredictorConfig,
+}
+
+impl GazePredictor {
+    /// Creates an untrained predictor.
+    pub fn new(rng: &mut impl Rng, cfg: PredictorConfig) -> Self {
+        Self {
+            rnn: Rnn::new(rng, 2, cfg.hidden),
+            head: Linear::new(rng, cfg.hidden, 3),
+            cfg,
+        }
+    }
+
+    /// Builds and trains a predictor on the default oculomotor statistics —
+    /// the one-call constructor the streaming layer uses.
+    pub fn trained(rng: &mut impl Rng) -> Self {
+        let cfg = PredictorConfig::default();
+        let mut p = Self::new(rng, cfg);
+        let model = EyeBehaviorModel::default();
+        p.train(&model, rng);
+        p
+    }
+
+    /// The hyperparameters.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+
+    /// Encodes a trace as per-step displacement features `[T, 2]` — the
+    /// same encoding as the saccade detector.
+    pub fn features(trace: &[GazeSample]) -> Tensor {
+        let t = trace.len();
+        let mut data = vec![0.0f32; t * 2];
+        for i in 1..t {
+            data[i * 2] = (trace[i].point.x - trace[i - 1].point.x) * FEATURE_SCALE;
+            data[i * 2 + 1] = (trace[i].point.y - trace[i - 1].point.y) * FEATURE_SCALE;
+        }
+        Tensor::from_vec(data, &[t, 2])
+    }
+
+    /// Ground-truth landing point per step: the step's own point while
+    /// fixating or pursuing (the prediction should stay put / track), the
+    /// next fixation-phase point while a saccade or recovery is in flight.
+    pub fn landing_targets(trace: &[GazeSample]) -> Vec<GazePoint> {
+        let mut out = vec![GazePoint::center(); trace.len()];
+        let mut next_fix = match trace.last() {
+            Some(s) => s.point,
+            None => return out,
+        };
+        for t in (0..trace.len()).rev() {
+            out[t] = match trace[t].phase {
+                EyePhase::Fixation | EyePhase::SmoothPursuit => trace[t].point,
+                EyePhase::Saccade | EyePhase::Recovery => next_fix,
+            };
+            if trace[t].phase.is_fixation() {
+                next_fix = trace[t].point;
+            }
+        }
+        out
+    }
+
+    /// Forecasts the landing point from a window of recent gaze samples
+    /// (the last [`PredictorConfig::history`] are used). With fewer than
+    /// two samples there is no displacement signal: the forecast holds the
+    /// last point (or the frame center) at floor confidence.
+    pub fn predict(&mut self, history: &[GazeSample]) -> GazePrediction {
+        let start = history.len().saturating_sub(self.cfg.history);
+        let window = &history[start..];
+        if window.len() < 2 {
+            let point = match window.last() {
+                Some(s) => s.point,
+                None => GazePoint::center(),
+            };
+            return GazePrediction {
+                point,
+                spread: CONFIDENCE_BETA * 4.0,
+                confidence: confidence_of(CONFIDENCE_BETA * 4.0),
+            };
+        }
+        let x = Self::features(window);
+        let h = self.rnn.infer(&x);
+        let o = self.head.infer(&h);
+        let ov = o.as_slice();
+        let t = window.len() - 1;
+        let last = window[t].point;
+        let dx = ov[t * 3] / FEATURE_SCALE;
+        let dy = ov[t * 3 + 1] / FEATURE_SCALE;
+        let spread = (ov[t * 3 + 2].max(0.0) / FEATURE_SCALE).max(1e-4);
+        GazePrediction {
+            point: GazePoint::new(last.x + dx, last.y + dy),
+            spread,
+            confidence: confidence_of(spread),
+        }
+    }
+
+    /// Trains on traces generated from `model`'s oculomotor statistics with
+    /// BPTT + SGD; returns the mean loss of the final epoch.
+    ///
+    /// The landing heads regress the displacement to
+    /// [`Self::landing_targets`]; the spread head regresses the model's
+    /// *own* per-step landing error (recomputed every step, so the
+    /// confidence stays calibrated as the landing heads improve).
+    pub fn train(&mut self, model: &EyeBehaviorModel, rng: &mut impl Rng) -> f32 {
+        let traces: Vec<Vec<GazeSample>> = (0..self.cfg.traces)
+            .map(|_| model.generate(self.cfg.trace_len, rng))
+            .collect();
+        self.train_on(&traces)
+    }
+
+    /// [`Self::train`] on explicit traces (labels come from the traces'
+    /// ground-truth phases).
+    pub fn train_on(&mut self, traces: &[Vec<GazeSample>]) -> f32 {
+        let mut opt_rnn = Sgd::new(self.cfg.lr).with_momentum(0.9).with_grad_clip(5.0);
+        let mut opt_head = Sgd::new(self.cfg.lr).with_momentum(0.9).with_grad_clip(5.0);
+        let mut last_epoch_loss = f32::INFINITY;
+        for _ in 0..self.cfg.epochs {
+            let mut epoch_loss = 0.0f32;
+            for trace in traces {
+                if trace.len() < 2 {
+                    continue;
+                }
+                let x = Self::features(trace);
+                let landings = Self::landing_targets(trace);
+                let h = self.rnn.forward(&x);
+                let o = self.head.forward(&h);
+                let ov = o.as_slice();
+                let t_len = trace.len();
+                let inv_n = 1.0 / t_len as f32;
+                let mut g = vec![0.0f32; t_len * 3];
+                let mut loss = 0.0f32;
+                for t in 0..t_len {
+                    let tx = (landings[t].x - trace[t].point.x) * FEATURE_SCALE;
+                    let ty = (landings[t].y - trace[t].point.y) * FEATURE_SCALE;
+                    let ex = ov[t * 3] - tx;
+                    let ey = ov[t * 3 + 1] - ty;
+                    // The spread target is the landing heads' current
+                    // error, treated as a constant for the gradient.
+                    let err = (ex * ex + ey * ey).sqrt();
+                    let es = ov[t * 3 + 2] - err;
+                    loss += (ex * ex + ey * ey + 0.5 * es * es) * inv_n;
+                    g[t * 3] = 2.0 * ex * inv_n;
+                    g[t * 3 + 1] = 2.0 * ey * inv_n;
+                    g[t * 3 + 2] = es * inv_n;
+                }
+                epoch_loss += loss;
+                let g = self.head.backward(&Tensor::from_vec(g, &[t_len, 3]));
+                self.rnn.backward(&g);
+                opt_rnn.step(&mut self.rnn);
+                opt_head.step(&mut self.head);
+            }
+            last_epoch_loss = epoch_loss / traces.len().max(1) as f32;
+        }
+        last_epoch_loss
+    }
+
+    /// Mean landing error (normalized units) over the in-flight (saccade /
+    /// recovery) steps of `traces`, alongside the hold-last-point baseline
+    /// error on the same steps — the margin speculation lives on.
+    pub fn landing_error(&mut self, traces: &[Vec<GazeSample>]) -> (f32, f32) {
+        let mut pred_err = 0.0f64;
+        let mut hold_err = 0.0f64;
+        let mut steps = 0usize;
+        for trace in traces {
+            let landings = Self::landing_targets(trace);
+            for t in 1..trace.len() {
+                if !trace[t].phase.is_suppressed() {
+                    continue;
+                }
+                let start = (t + 1).saturating_sub(self.cfg.history);
+                let pred = self.predict(&trace[start..=t]);
+                pred_err += pred.point.distance(&landings[t]) as f64;
+                hold_err += trace[t].point.distance(&landings[t]) as f64;
+                steps += 1;
+            }
+        }
+        let n = steps.max(1) as f64;
+        ((pred_err / n) as f32, (hold_err / n) as f32)
+    }
+}
+
+/// Maps a predicted spread to a confidence in `(0, 1]`.
+fn confidence_of(spread: f32) -> f32 {
+    1.0 / (1.0 + spread.max(0.0) / CONFIDENCE_BETA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EyeBehaviorConfig;
+    use solo_tensor::seeded_rng;
+
+    fn traces(n: usize, len: usize, seed: u64) -> Vec<Vec<GazeSample>> {
+        let model = EyeBehaviorModel::new(EyeBehaviorConfig::default());
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| model.generate(len, &mut rng)).collect()
+    }
+
+    #[test]
+    fn landing_targets_point_at_the_next_fixation() {
+        let mk = |x: f32, phase| GazeSample {
+            t_ms: 0.0,
+            point: GazePoint::new(x, 0.5),
+            phase,
+        };
+        let trace = vec![
+            mk(0.2, EyePhase::Fixation),
+            mk(0.3, EyePhase::Saccade),
+            mk(0.5, EyePhase::Saccade),
+            mk(0.6, EyePhase::Recovery),
+            mk(0.6, EyePhase::Fixation),
+        ];
+        let l = GazePredictor::landing_targets(&trace);
+        assert_eq!(l[0], trace[0].point, "fixation lands on itself");
+        assert_eq!(l[1], trace[4].point, "saccade lands on the next fixation");
+        assert_eq!(l[2], trace[4].point);
+        assert_eq!(l[3], trace[4].point, "recovery shares the landing");
+        assert_eq!(l[4], trace[4].point);
+    }
+
+    #[test]
+    fn training_beats_the_hold_baseline_on_in_flight_steps() {
+        let train = traces(10, 300, 21);
+        let test = traces(3, 300, 22);
+        let mut rng = seeded_rng(23);
+        let mut p = GazePredictor::new(&mut rng, PredictorConfig::default());
+        let loss = p.train_on(&train);
+        assert!(loss.is_finite(), "final loss {loss}");
+        let (pred, hold) = p.landing_error(&test);
+        assert!(
+            pred < hold,
+            "predictor {pred} should beat hold-last-point {hold} mid-flight"
+        );
+    }
+
+    #[test]
+    fn predictions_are_deterministic_and_confident_in_range() {
+        let test = &traces(1, 120, 31)[0];
+        let mut rng = seeded_rng(32);
+        let mut p = GazePredictor::new(&mut rng, PredictorConfig::default());
+        let a = p.predict(&test[..40]);
+        let b = p.predict(&test[..40]);
+        assert_eq!(a, b, "same history must give bit-identical forecasts");
+        assert!(a.confidence > 0.0 && a.confidence <= 1.0);
+        assert!(a.spread > 0.0);
+    }
+
+    #[test]
+    fn short_history_degrades_to_hold_at_low_confidence() {
+        let mut rng = seeded_rng(33);
+        let mut p = GazePredictor::new(&mut rng, PredictorConfig::default());
+        let empty = p.predict(&[]);
+        assert_eq!(empty.point, GazePoint::center());
+        let one = GazeSample {
+            t_ms: 0.0,
+            point: GazePoint::new(0.3, 0.7),
+            phase: EyePhase::Fixation,
+        };
+        let held = p.predict(&[one]);
+        assert_eq!(held.point, one.point);
+        assert!(held.confidence < 0.5, "confidence {}", held.confidence);
+    }
+
+    #[test]
+    fn candidate_fan_is_deterministic_and_centered_on_the_forecast() {
+        let pred = GazePrediction {
+            point: GazePoint::new(0.4, 0.6),
+            spread: 0.05,
+            confidence: 0.9,
+        };
+        assert!(pred.candidates(0).is_empty());
+        let c1 = pred.candidates(1);
+        assert_eq!(c1.len(), 1);
+        assert_eq!(c1[0].0, pred.point);
+        let c4 = pred.candidates(4);
+        assert_eq!(c4.len(), 4);
+        assert_eq!(c4, pred.candidates(4), "fan must be deterministic");
+        for (p, conf) in &c4[1..] {
+            let d = p.distance(&pred.point);
+            assert!((d - pred.spread).abs() < 1e-4, "ring radius {d}");
+            assert!(*conf < pred.confidence);
+        }
+    }
+
+    #[test]
+    fn prediction_observation_carries_provenance() {
+        let pred = GazePrediction {
+            point: GazePoint::center(),
+            spread: 0.01,
+            confidence: 0.7,
+        };
+        let obs = pred.observation(42.0, TrackerStatus::Blink);
+        assert_eq!(obs.source, crate::GazeSource::Predicted);
+        assert_eq!(obs.status, TrackerStatus::Blink);
+        assert_eq!(obs.sample.t_ms, 42.0);
+        assert!((obs.confidence - 0.7).abs() < 1e-6);
+    }
+}

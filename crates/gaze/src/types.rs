@@ -123,8 +123,35 @@ impl TrackerStatus {
     }
 }
 
+/// Where an observation's gaze *point* came from — the speculation layer's
+/// provenance vocabulary, orthogonal to [`TrackerStatus`] (which describes
+/// the delivery). A measured point was estimated by the tracker this frame;
+/// a predicted point was forecast by the gaze predictor (e.g. a saccade
+/// landing); a held point is an earlier measurement carried forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GazeSource {
+    /// Estimated by the eye tracker from this frame's eye image.
+    Measured,
+    /// Forecast by the recurrent gaze predictor ahead of measurement.
+    Predicted,
+    /// Carried over from an earlier frame (held fixation, stale repeat).
+    Held,
+}
+
+impl GazeSource {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GazeSource::Measured => "measured",
+            GazeSource::Predicted => "predicted",
+            GazeSource::Held => "held",
+        }
+    }
+}
+
 /// A gaze sample as delivered by a fallible tracker: the raw
-/// [`GazeSample`] plus delivery status and a confidence in `[0, 1]`.
+/// [`GazeSample`] plus delivery status, point provenance, and a confidence
+/// in `[0, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GazeObservation {
     /// The delivered sample (for `Stale`, the repeated old sample; for
@@ -132,18 +159,43 @@ pub struct GazeObservation {
     pub sample: GazeSample,
     /// Delivery status.
     pub status: TrackerStatus,
-    /// Tracker confidence in `[0, 1]` (1 for a clean estimate, 0 when the
-    /// pupil is lost).
+    /// Provenance of the sample's gaze point.
+    pub source: GazeSource,
+    /// Confidence in `[0, 1]` (1 for a clean tracker estimate, the
+    /// predictor's own confidence for a predicted point, 0 when the pupil
+    /// is lost).
     pub confidence: f32,
 }
 
 impl GazeObservation {
-    /// Wraps a trustworthy sample.
+    /// Wraps a trustworthy measured sample.
     pub fn valid(sample: GazeSample) -> Self {
         Self {
             sample,
             status: TrackerStatus::Valid,
+            source: GazeSource::Measured,
             confidence: 1.0,
+        }
+    }
+
+    /// Wraps a predictor forecast: the tracker did not deliver this point
+    /// (`status` records what it *did* deliver), the predictor did.
+    pub fn predicted(sample: GazeSample, status: TrackerStatus, confidence: f32) -> Self {
+        Self {
+            sample,
+            status,
+            source: GazeSource::Predicted,
+            confidence: confidence.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Wraps an earlier measurement carried forward at decayed confidence.
+    pub fn held(sample: GazeSample, status: TrackerStatus, confidence: f32) -> Self {
+        Self {
+            sample,
+            status,
+            source: GazeSource::Held,
+            confidence: confidence.clamp(0.0, 1.0),
         }
     }
 
@@ -207,5 +259,26 @@ mod tests {
         assert!(obs.is_usable());
         assert_eq!(obs.confidence, 1.0);
         assert_eq!(obs.sample, s);
+        assert_eq!(obs.source, GazeSource::Measured);
+    }
+
+    #[test]
+    fn provenance_is_orthogonal_to_delivery_status() {
+        let s = GazeSample {
+            t_ms: 10.0,
+            point: GazePoint::center(),
+            phase: EyePhase::Saccade,
+        };
+        // A predicted landing during a blink: the tracker delivered
+        // nothing usable, yet the point itself is actionable speculation.
+        let p = GazeObservation::predicted(s, TrackerStatus::Blink, 0.8);
+        assert_eq!(p.source, GazeSource::Predicted);
+        assert!(!p.is_usable(), "usability still follows delivery status");
+        assert_eq!(p.confidence, 0.8);
+        // A held fixation repeated over a dropout.
+        let h = GazeObservation::held(s, TrackerStatus::Lost, 1.7);
+        assert_eq!(h.source, GazeSource::Held);
+        assert_eq!(h.confidence, 1.0, "confidence clamps into [0, 1]");
+        assert_eq!(GazeSource::Predicted.name(), "predicted");
     }
 }

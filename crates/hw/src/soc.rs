@@ -552,6 +552,49 @@ impl SocModel {
         cost
     }
 
+    /// The cost of pre-warming `k` speculative candidates while a saccade
+    /// is in flight: `k` ESNet passes on the accelerator (saliency + Eq. 2/3
+    /// index-map construction at a predicted landing point each). No
+    /// sensing, MIPI or DRAM stages — the pre-warm reads the preview the
+    /// frame's own skip/run path already captured. Charged in full against
+    /// the frame budget on the speculating frame: speculation is priced,
+    /// never free, whether or not a candidate later commits.
+    pub fn speculative_prewarm_path(&self, dataset: Dataset, k: usize) -> CostBreakdown {
+        let down = dataset.down_side();
+        let mut cost = CostBreakdown::default();
+        if k == 0 {
+            return cost;
+        }
+        let esnet = Workload::esnet(down, down, self.keep_ratio);
+        let c = self.accelerator.run(&esnet);
+        cost.esnet = (c.latency * k as f64, c.energy * k as f64);
+        cost.platform = (
+            Latency::ZERO,
+            Energy::from_power(crate::calib::PLATFORM_POWER_W, cost.latency()),
+        );
+        cost
+    }
+
+    /// The cost of a frame that *commits* a pre-warmed speculative
+    /// candidate: identical to `evaluate(Pipeline::Solo, ..)` except that
+    /// the ESNet stage ran during the saccade (charged by
+    /// [`Self::speculative_prewarm_path`]) and is off the sensor-to-display
+    /// critical path — the SBS re-read starts from the committed index map
+    /// as soon as the landing is measured. Strictly cheaper than the
+    /// reactive SOLO frame; the saving is exactly the ESNet latency.
+    pub fn speculative_commit_path(&self, backbone: Backbone, dataset: Dataset) -> CostBreakdown {
+        let mut cost = self.evaluate(Pipeline::Solo, backbone, dataset);
+        // Platform base power integrates over the shortened frame; the
+        // ESNet compute itself was already charged at pre-warm time.
+        let shortened = cost.latency() - cost.esnet.0;
+        cost.esnet = (Latency::ZERO, Energy::ZERO);
+        cost.platform = (
+            Latency::ZERO,
+            Energy::from_power(crate::calib::PLATFORM_POWER_W, shortened),
+        );
+        cost
+    }
+
     /// Speedup of `pipeline` over the FR+GPU reference (Fig. 13 (b) top).
     pub fn speedup(&self, pipeline: Pipeline, backbone: Backbone, dataset: Dataset) -> f64 {
         let reference = self.evaluate(Pipeline::FrGpu, backbone, dataset).latency();
@@ -622,6 +665,55 @@ mod tests {
         // SBS beats its Sub counterpart (sensing+MIPI savings).
         assert!(t(Pipeline::SbsGpu) < t(Pipeline::SubGpu));
         assert!(t(Pipeline::Solo) < t(Pipeline::SubAcc));
+    }
+
+    #[test]
+    fn committed_speculation_beats_the_reactive_solo_frame() {
+        for backbone in Backbone::ALL {
+            for dataset in Dataset::MAIN {
+                let reactive = soc().evaluate(Pipeline::Solo, backbone, dataset);
+                let commit = soc().speculative_commit_path(backbone, dataset);
+                // The saving is exactly the ESNet stage latency.
+                assert!(
+                    commit.latency() < reactive.latency(),
+                    "{} {}: commit {} vs reactive {}",
+                    backbone.name(),
+                    dataset.name(),
+                    commit.latency(),
+                    reactive.latency()
+                );
+                let saved = reactive.latency() - commit.latency();
+                let esnet_plus_platform = reactive.esnet.0;
+                assert!(
+                    (saved.us() - esnet_plus_platform.us()).abs() < 1e-6,
+                    "saved {} vs esnet {}",
+                    saved,
+                    esnet_plus_platform
+                );
+                assert_eq!(commit.esnet.0, Latency::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn prewarm_is_charged_linearly_in_k() {
+        let d = Dataset::Aria;
+        let zero = soc().speculative_prewarm_path(d, 0);
+        assert_eq!(zero.latency(), Latency::ZERO);
+        assert_eq!(zero.energy(), Energy::ZERO);
+        let one = soc().speculative_prewarm_path(d, 1);
+        let four = soc().speculative_prewarm_path(d, 4);
+        assert!(one.esnet.0 > Latency::ZERO);
+        assert!(
+            (four.esnet.0.us() - 4.0 * one.esnet.0.us()).abs() < 1e-6,
+            "prewarm must scale linearly: {} vs 4×{}",
+            four.esnet.0,
+            one.esnet.0
+        );
+        // The pre-warm matches the ESNet stage of the nominal SOLO frame:
+        // the same work, just charged on the speculating frame.
+        let solo = soc().evaluate(Pipeline::Solo, Backbone::Hr, d);
+        assert_eq!(one.esnet.0, solo.esnet.0);
     }
 
     #[test]

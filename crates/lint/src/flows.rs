@@ -22,12 +22,15 @@ use crate::source::SourceFile;
 pub const UNSAFE_ALLOWED: &[&str] = &["crates/tensor/src/packed.rs"];
 
 /// Whether `f` is a P2 hot-path root: the streaming frame loop, the gaze
-/// observation path, the GEMM kernels, and the exec dispatch surface —
-/// the call chains a per-frame deadline rides on.
+/// observation path, the speculation pre-warm/predict surface, the GEMM
+/// kernels, and the exec dispatch surface — the call chains a per-frame
+/// deadline rides on.
 pub fn is_hot_root(f: &FnItem) -> bool {
     match f.self_ty.as_deref() {
         Some("StreamingEvaluator") if f.name.starts_with("run") => return true,
         Some("Ssa") if f.name == "observe" => return true,
+        Some("FoveatedPipeline") if f.name.starts_with("speculate") => return true,
+        Some("GazePredictor") if f.name == "predict" => return true,
         Some("PackedMatrix") if f.name.starts_with("matmul") => return true,
         _ => {}
     }

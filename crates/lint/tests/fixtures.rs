@@ -361,6 +361,50 @@ fn p2_walks_the_call_graph_from_hot_roots() {
 }
 
 #[test]
+fn p2_reaches_from_the_speculation_roots() {
+    let repo = FixtureRepo::new("p2-spec");
+    // `FoveatedPipeline::speculate*` is a hot root: a panic source in a
+    // helper it reaches is a P2.
+    repo.write(
+        "crates/core/src/solonet.rs",
+        "impl FoveatedPipeline {\n\
+         \x20   pub fn speculate_maps(&mut self) { warm(2); }\n\
+         }\n\
+         fn warm(k: usize) {\n\
+         \x20   assert!(k > 0);\n\
+         }\n",
+    );
+    assert_eq!(repo.rules_at("crates/core/src/solonet.rs"), ["P2"]);
+
+    // `GazePredictor::predict` is too.
+    repo.write(
+        "crates/gaze/src/predictor.rs",
+        "impl GazePredictor {\n\
+         \x20   pub fn predict(&mut self, n: usize) -> usize {\n\
+         \x20       assert!(n > 1);\n\
+         \x20       n\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert_eq!(repo.rules_at("crates/gaze/src/predictor.rs"), ["P2"]);
+
+    // A same-named method on an unrelated type is NOT a root.
+    repo.write(
+        "crates/gaze/src/predictor.rs",
+        "impl WeatherOracle {\n\
+         \x20   pub fn predict(&mut self, n: usize) -> usize {\n\
+         \x20       assert!(n > 1);\n\
+         \x20       n\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert!(
+        repo.rules_at("crates/gaze/src/predictor.rs").is_empty(),
+        "WeatherOracle::predict must not be a root"
+    );
+}
+
+#[test]
 fn x1_pairs_every_scratch_handout_with_its_return_path() {
     let repo = FixtureRepo::new("x1");
     repo.write(

@@ -86,8 +86,14 @@ impl IndexMap {
         let sig_x = spec.sigma / spec.src_w as f32;
         let total: f32 = saliency.sum();
         let (out_h, out_w) = (spec.out_h, spec.out_w);
-        let mut ys = vec![0.0f32; out_h * out_w];
-        let mut xs = vec![0.0f32; out_h * out_w];
+        // Coordinate storage comes from the exec scratch pool: the
+        // speculation layer builds K candidate maps per saccade and
+        // recycles the aborted ones via `IndexMap::recycle`, so candidate
+        // churn reuses the same allocations.
+        // lint:allow(X1): custody transfers into the returned IndexMap; `IndexMap::recycle` returns it
+        let mut ys = exec::take_buf_at("sampler::index_map", out_h * out_w);
+        // lint:allow(X1): custody transfers into the returned IndexMap; `IndexMap::recycle` returns it
+        let mut xs = exec::take_buf_at("sampler::index_map", out_h * out_w);
         // Precompute grid coordinates (normalized pixel centers).
         let gy: Vec<f32> = (0..gh).map(|i| (i as f32 + 0.5) / gh as f32).collect();
         let gx: Vec<f32> = (0..gw).map(|j| (j as f32 + 0.5) / gw as f32).collect();
@@ -141,8 +147,10 @@ impl IndexMap {
     /// the preview frame `I_f^d`.
     pub fn uniform(spec: &SamplerSpec) -> Self {
         let (out_h, out_w) = (spec.out_h, spec.out_w);
-        let mut ys = vec![0.0f32; out_h * out_w];
-        let mut xs = vec![0.0f32; out_h * out_w];
+        // lint:allow(X1): custody transfers into the returned IndexMap; `IndexMap::recycle` returns it
+        let mut ys = exec::take_buf_at("sampler::index_map", out_h * out_w);
+        // lint:allow(X1): custody transfers into the returned IndexMap; `IndexMap::recycle` returns it
+        let mut xs = exec::take_buf_at("sampler::index_map", out_h * out_w);
         for oi in 0..out_h {
             let y = ((oi as f32 + 0.5) / out_h as f32 * spec.src_h as f32 - 0.5)
                 .clamp(0.0, (spec.src_h - 1) as f32);
@@ -163,6 +171,15 @@ impl IndexMap {
     /// The spec this map was built for.
     pub fn spec(&self) -> &SamplerSpec {
         &self.spec
+    }
+
+    /// Returns the map's coordinate buffers to the exec scratch pool — the
+    /// abort path of a speculative candidate that was never committed.
+    /// Dropping a map is also correct (nothing leaks); recycling lets the
+    /// next candidate reuse the allocations instead of growing the heap.
+    pub fn recycle(self) {
+        exec::recycle_buf(self.ys);
+        exec::recycle_buf(self.xs);
     }
 
     /// The fractional source coordinate `(row, col)` for output pixel
@@ -598,6 +615,22 @@ mod tests {
         let m = IndexMap::from_saliency(&spec(), &s);
         let sum: usize = m.pixels_per_row().iter().sum();
         assert_eq!(sum, m.unique_pixel_count());
+    }
+
+    #[test]
+    fn recycled_buffers_do_not_leak_into_later_maps() {
+        // The speculation abort path: building a map after recycling one
+        // must give bit-identical coordinates (pooled buffers are re-zeroed
+        // on handout).
+        let s = gaze_saliency(16, 16, (0.3, 0.7), 0.1, 0.02);
+        let fresh = IndexMap::from_saliency(&spec(), &s);
+        let copy = fresh.clone();
+        fresh.recycle();
+        let rebuilt = IndexMap::from_saliency(&spec(), &s);
+        assert_eq!(copy, rebuilt);
+        let u = IndexMap::uniform(&spec());
+        u.recycle();
+        assert_eq!(IndexMap::uniform(&spec()), IndexMap::uniform(&spec()));
     }
 
     #[test]

@@ -328,12 +328,27 @@ pub(crate) fn pack_rhs_im2col_into(data: &mut [f32], src: &[f32], spec: &Im2ColS
                             );
                         }
                     } else {
-                        let mut jj = jj;
-                        for v in &mut dst[s..s + run] {
-                            if 0 <= jj && jj < w as isize {
-                                *v = row[jj as usize];
+                        // Strided gather: precompute the in-bounds lane
+                        // range so the inner loop is a branch-free strided
+                        // read. Lane `t` reads column `jj + t·stride`,
+                        // in-bounds for `lo ≤ t < hi`; the lanes outside
+                        // keep the buffer's pre-zeroed padding.
+                        let lo = if jj >= 0 {
+                            0
+                        } else {
+                            ((-jj) as usize).div_ceil(stride).min(run)
+                        };
+                        let hi = if (w as isize) > jj {
+                            ((w as isize - jj) as usize).div_ceil(stride).min(run)
+                        } else {
+                            0
+                        };
+                        if hi > lo {
+                            let mut src_j = (jj + (lo * stride) as isize) as usize;
+                            for v in &mut dst[s + lo..s + hi] {
+                                *v = row[src_j];
+                                src_j += stride;
                             }
-                            jj += stride as isize;
                         }
                     }
                 }
@@ -798,6 +813,41 @@ mod tests {
         let mut got_t = vec![0.0f32; want_t.len()];
         pack_rhs_im2col_t_into(&mut got_t, img.as_slice(), &spec);
         assert_eq!(got_t, want_t);
+    }
+
+    #[test]
+    fn strided_gather_fast_path_matches_materialized_pack() {
+        // Sweep stride/dilation/padding combinations so the precomputed
+        // in-bounds lane range is exercised at both edges of every run.
+        for (stride, dilation, padding) in [
+            (2, 1, 0),
+            (2, 2, 1),
+            (3, 1, 2),
+            (3, 2, 3),
+            (2, 3, 2),
+            (4, 1, 1),
+        ] {
+            let spec = Im2ColSpec {
+                channels: 2,
+                height: 9,
+                width: 7,
+                kernel: 3,
+                stride,
+                padding,
+                dilation,
+            };
+            let img = Tensor::arange(2 * 9 * 7).reshape(&[2, 9, 7]);
+            let cols = crate::im2col(&img, &spec);
+            let (k, n) = (spec.patch_rows(), spec.patch_cols());
+            let mut want = vec![0.0f32; n.div_ceil(NR).max(1) * k * NR];
+            pack_rhs_into(&mut want, cols.as_slice(), k, n);
+            let mut got = vec![0.0f32; want.len()];
+            pack_rhs_im2col_into(&mut got, img.as_slice(), &spec);
+            assert_eq!(
+                got, want,
+                "stride {stride} dilation {dilation} padding {padding}"
+            );
+        }
     }
 
     #[test]

@@ -194,6 +194,44 @@ fn fault_injection_replays_identically_from_its_seed() {
 }
 
 #[test]
+fn speculative_streaming_is_bit_identical_across_pool_widths() {
+    use solo_core::ssa::SsaConfig;
+    use solo_core::system::{SpeculationConfig, StreamingEvaluator};
+    use solo_hw::soc::{Backbone, Dataset};
+    use solo_scene::VideoConfig;
+
+    let mut cfg = VideoConfig::aria_like(120);
+    cfg.dataset.resolution = 48;
+    cfg.dwell_s = (0.5, 1.2);
+    cfg.refixation_rate = 1.0;
+    let video = solo_scene::VideoSequence::generate(cfg, &mut seeded_rng(61));
+    let ds_cfg = DatasetConfig::aria_like().with_resolution(48);
+    let pipe_cfg = PipelineConfig::for_dataset(&ds_cfg, 48, 16);
+    // The K-candidate fan-out and the committed segmentation must not
+    // depend on how many workers the exec pool runs.
+    for k in [0usize, 1, 3] {
+        assert_width_invariant(|| {
+            let p = FoveatedPipeline::new(
+                &mut seeded_rng(62),
+                solo_core::backbones::BackboneKind::Sf,
+                pipe_cfg,
+                true,
+                1e-3,
+            );
+            let mut ev = StreamingEvaluator::new(
+                SsaConfig::paper_default(960),
+                Backbone::Hr,
+                Dataset::Aria,
+                Some(p),
+            );
+            let mut cfg = SpeculationConfig::oracle(k);
+            ev.run_speculative(&video, &mut cfg)
+                .expect("oracle speculation config is valid")
+        });
+    }
+}
+
+#[test]
 fn training_step_is_bit_identical_across_pool_widths() {
     let ds_cfg = DatasetConfig::lvis_like().with_resolution(48);
     let cfg = PipelineConfig::for_dataset(&ds_cfg, 48, 16);

@@ -1,10 +1,14 @@
-//! Integration: SSA streaming decisions against the hardware cost models.
+//! Integration: SSA streaming decisions against the hardware cost models,
+//! and the speculate→commit protocol's identity anchors.
 
+use proptest::prelude::*;
+use solo_core::backbones::BackboneKind;
+use solo_core::solonet::{FoveatedPipeline, PipelineConfig};
 use solo_core::ssa::{skip_probability, SsaConfig};
-use solo_core::system::StreamingEvaluator;
+use solo_core::system::{SpeculationConfig, StreamingEvaluator};
 use solo_hw::soc::{Backbone, Dataset};
-use solo_scene::{VideoConfig, VideoSequence};
-use solo_tensor::seeded_rng;
+use solo_scene::{DatasetConfig, VideoConfig, VideoSequence};
+use solo_tensor::{exec, seeded_rng};
 
 #[test]
 fn measured_skip_rate_is_consistent_with_eq5() {
@@ -57,4 +61,78 @@ fn davis_like_video_skips_less_than_aria_like() {
         davis_skip < aria_skip,
         "davis {davis_skip} should skip less than aria {aria_skip}"
     );
+}
+
+/// A saccade-rich little video for the speculation identity checks.
+fn spec_video(frames: usize, refixation_rate: f32, seed: u64) -> VideoSequence {
+    let mut cfg = VideoConfig::aria_like(frames);
+    cfg.dataset.resolution = 48;
+    cfg.dwell_s = (0.5, 1.2);
+    cfg.refixation_rate = refixation_rate;
+    VideoSequence::generate(cfg, &mut seeded_rng(seed))
+}
+
+/// An evaluator with an (untrained but deterministic) segmenting pipeline,
+/// rebuilt identically from `seed` for every run under comparison.
+fn spec_evaluator(seed: u64) -> StreamingEvaluator {
+    let ds = DatasetConfig::aria_like().with_resolution(48);
+    let cfg = PipelineConfig::for_dataset(&ds, 48, 16);
+    let p = FoveatedPipeline::new(&mut seeded_rng(seed), BackboneKind::Sf, cfg, true, 1e-3);
+    StreamingEvaluator::new(
+        SsaConfig::paper_default(960),
+        Backbone::Hr,
+        Dataset::Aria,
+        Some(p),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The protocol's two identity anchors, at pool widths 1 and 8:
+    /// zero-speculation runs are bit-identical to the reactive `run()`
+    /// (latency included), and oracle K=1 speculation — whose committed
+    /// maps are bit-identical to the reactive ones — reproduces `run()`'s
+    /// masks, skips, and reactive latency exactly while never missing.
+    #[test]
+    fn speculation_identities_hold_at_both_pool_widths(
+        seed in 0u64..1_000,
+        refixation_rate in 0.2f32..1.5,
+    ) {
+        let video = spec_video(90, refixation_rate, seed);
+        for width in [1usize, 8] {
+            let (reactive, zero, oracle) = exec::with_threads(width, || {
+                let reactive = spec_evaluator(seed).run(&video);
+                let mut c0 = SpeculationConfig::reactive();
+                let zero = spec_evaluator(seed)
+                    .run_speculative(&video, &mut c0)
+                    .expect("reactive speculation config is valid");
+                let mut c1 = SpeculationConfig::oracle(1);
+                let oracle = spec_evaluator(seed)
+                    .run_speculative(&video, &mut c1)
+                    .expect("oracle speculation config is valid");
+                (reactive, zero, oracle)
+            });
+            // k = 0: the whole base report matches, latency included.
+            prop_assert_eq!(zero.base, reactive, "width {}", width);
+            prop_assert_eq!(zero.reactive_latency_ms, reactive.mean_latency_ms);
+            prop_assert_eq!(zero.spec.speculated_frames, 0);
+            // Oracle k = 1: identical decisions and segmentation outputs.
+            prop_assert_eq!(oracle.base.frames, reactive.frames);
+            prop_assert_eq!(oracle.base.skipped, reactive.skipped);
+            prop_assert_eq!(
+                oracle.base.b_iou.to_bits(),
+                reactive.b_iou.to_bits(),
+                "width {}: committed maps must be bit-identical to reactive ones",
+                width
+            );
+            prop_assert_eq!(oracle.base.c_iou.to_bits(), reactive.c_iou.to_bits());
+            prop_assert_eq!(oracle.reactive_latency_ms, reactive.mean_latency_ms);
+            prop_assert_eq!(oracle.spec.missed, 0, "an oracle candidate cannot miss");
+            prop_assert!(
+                oracle.base.mean_latency_ms <= reactive.mean_latency_ms,
+                "speculation must never lengthen the displayed frame"
+            );
+        }
+    }
 }
