@@ -26,7 +26,9 @@ use serde::{Deserialize, Serialize};
 use solo_bench::{header, maybe_json};
 use solo_nn::{Conv2d, Layer, MultiHeadAttention};
 use solo_sampler::{gaze_saliency, IndexMap, SamplerSpec};
-use solo_tensor::{exec, im2col, normal, seeded_rng, Im2ColSpec, PackedMatrix, Tensor};
+use solo_tensor::{
+    exec, im2col, normal, seeded_rng, Im2ColSpec, PackedMatrix, QPackedMatrix, Tensor,
+};
 
 const WIDTHS: [usize; 3] = [1, 2, 4];
 const ITERS: usize = 12;
@@ -297,9 +299,275 @@ fn diff(old: &Baseline, fresh: &Baseline) -> usize {
     regressions
 }
 
+/// One f32-vs-i8 kernel pair timed at one pool width, archived in
+/// `BENCH_quant.json`.
+#[derive(Serialize, Deserialize)]
+struct QuantMeasurement {
+    kernel: String,
+    width: usize,
+    f32_us: f64,
+    i8_us: f64,
+    speedup_i8_vs_f32: f64,
+}
+
+/// The quantized-kernel record: host context plus every f32-vs-i8 pair.
+#[derive(Serialize, Deserialize)]
+struct QuantBaseline {
+    host_threads: usize,
+    /// Same meaning as [`Baseline::degraded_host`]: on a one-thread host,
+    /// widths above 1 measure dispatch overhead, not speedup.
+    degraded_host: bool,
+    pool_width_default: usize,
+    iterations: usize,
+    measurements: Vec<QuantMeasurement>,
+}
+
+/// The backbone-GEMM row the acceptance gate pins: width-1 i8 must beat
+/// f32 by at least this factor in the archived record.
+const QUANT_GEMM_KERNEL: &str = "gemm_backbone_64x288x576";
+const QUANT_CONV_KERNEL: &str = "conv_im2col_8x16_k3_48";
+const QUANT_MIN_GEMM_SPEEDUP: f64 = 1.5;
+
+/// Times an f32/i8 kernel pair at each width in [`WIDTHS`].
+fn quant_sweep(
+    kernel: &str,
+    out: &mut Vec<QuantMeasurement>,
+    mut f32_f: impl FnMut(),
+    mut i8_f: impl FnMut(),
+) {
+    for w in WIDTHS {
+        let f32_us = median_us(|| exec::with_threads(w, &mut f32_f));
+        let i8_us = median_us(|| exec::with_threads(w, &mut i8_f));
+        out.push(QuantMeasurement {
+            kernel: kernel.to_string(),
+            width: w,
+            f32_us,
+            i8_us,
+            speedup_i8_vs_f32: if i8_us > 0.0 { f32_us / i8_us } else { 0.0 },
+        });
+    }
+}
+
+/// Runs the i8-vs-f32 sweeps on the backbone GEMM and implicit-conv
+/// shapes. Both sides run the packed-weight inference call shape: weights
+/// pre-packed (the `PackedCache` steady state), activations packed —
+/// and, on the i8 side, quantized — on the fly per call.
+fn measure_quant() -> QuantBaseline {
+    let mut measurements = Vec::new();
+
+    // Backbone-shaped Linear GEMM: x [64,288] · Wᵀ with W [576,288].
+    let x = normal(&mut seeded_rng(1), &[64, 288], 0.0, 1.0);
+    let w = normal(&mut seeded_rng(2), &[576, 288], 0.0, 1.0);
+    let pf = PackedMatrix::pack_rhs_transposed(&w);
+    let pq = QPackedMatrix::pack_rhs_transposed(&w);
+    quant_sweep(
+        QUANT_GEMM_KERNEL,
+        &mut measurements,
+        || x.matmul_packed(&pf).recycle(),
+        || x.qmatmul_packed(&pq).recycle(),
+    );
+
+    // Implicit-GEMM conv forward, 8→16 k3 on a [8,48,48] activation.
+    let img = normal(&mut seeded_rng(3), &[8, 48, 48], 0.0, 1.0);
+    let spec = Im2ColSpec {
+        channels: 8,
+        height: 48,
+        width: 48,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+        dilation: 1,
+    };
+    let wc = normal(&mut seeded_rng(4), &[16, spec.patch_rows()], 0.0, 1.0);
+    let cf = PackedMatrix::pack_lhs(&wc);
+    let cq = QPackedMatrix::pack_lhs(&wc);
+    quant_sweep(
+        QUANT_CONV_KERNEL,
+        &mut measurements,
+        || cf.matmul_im2col(&img, &spec).recycle(),
+        || cq.qmatmul_im2col(&img, &spec).recycle(),
+    );
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    QuantBaseline {
+        host_threads,
+        degraded_host: host_threads == 1,
+        pool_width_default: exec::pool().width(),
+        iterations: ITERS,
+        measurements,
+    }
+}
+
+/// Diffs a fresh quant run against the archived record: a fresh `i8_us`
+/// more than [`REGRESSION_PCT`] slower is a regression (width-1 only on a
+/// degraded host, exactly like [`diff`]).
+fn diff_quant(old: &QuantBaseline, fresh: &QuantBaseline) -> usize {
+    header("Quantized kernel diff (fresh vs archived)");
+    let degraded = old.degraded_host || fresh.degraded_host;
+    if degraded {
+        println!(
+            "note: degraded host in at least one record — widths > 1 measure \
+             dispatch overhead, so only width-1 rows count as regressions"
+        );
+    }
+    println!(
+        "{:<28}{:>7}{:>12}{:>12}{:>9}  {}",
+        "kernel", "width", "old i8(µs)", "new i8(µs)", "delta", "verdict"
+    );
+    let mut regressions = 0;
+    for m in &fresh.measurements {
+        let Some(prev) = old
+            .measurements
+            .iter()
+            .find(|p| p.kernel == m.kernel && p.width == m.width)
+        else {
+            println!(
+                "{:<28}{:>7}{:>12}{:>12.1}{:>9}  new kernel",
+                m.kernel, m.width, "-", m.i8_us, "-"
+            );
+            continue;
+        };
+        let pct = if prev.i8_us > 0.0 {
+            (m.i8_us - prev.i8_us) / prev.i8_us * 100.0
+        } else {
+            0.0
+        };
+        let authoritative = !degraded || m.width == 1;
+        let verdict = if pct > REGRESSION_PCT && authoritative {
+            regressions += 1;
+            "REGRESSION"
+        } else if pct > REGRESSION_PCT {
+            "slower (informational)"
+        } else if pct < -REGRESSION_PCT {
+            "faster"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<28}{:>7}{:>12.1}{:>12.1}{:>+8.1}%  {}",
+            m.kernel, m.width, prev.i8_us, m.i8_us, pct, verdict
+        );
+    }
+    println!(
+        "{} authoritative regression{} (> {REGRESSION_PCT:.0}% slower)",
+        regressions,
+        if regressions == 1 { "" } else { "s" }
+    );
+    regressions
+}
+
+/// Structural validation of an archived `BENCH_quant.json` — no
+/// re-measurement, so it is timing-flake-free for CI: the record must
+/// parse, carry both sweep kernels at every width, and its archived
+/// width-1 backbone-GEMM speedup must clear the acceptance bar.
+fn check_quant(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let rec: QuantBaseline =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    for kernel in [QUANT_GEMM_KERNEL, QUANT_CONV_KERNEL] {
+        for width in WIDTHS {
+            let m = rec
+                .measurements
+                .iter()
+                .find(|m| m.kernel == kernel && m.width == width)
+                .ok_or_else(|| format!("{path}: missing {kernel} at width {width}"))?;
+            if !(m.f32_us.is_finite() && m.i8_us.is_finite() && m.i8_us > 0.0) {
+                return Err(format!("{path}: non-finite timing for {kernel} w{width}"));
+            }
+            let derived = m.f32_us / m.i8_us;
+            if (m.speedup_i8_vs_f32 - derived).abs() > 1e-6 * derived.max(1.0) {
+                return Err(format!(
+                    "{path}: {kernel} w{width} speedup column disagrees with timings"
+                ));
+            }
+        }
+    }
+    let gemm1 = rec
+        .measurements
+        .iter()
+        .find(|m| m.kernel == QUANT_GEMM_KERNEL && m.width == 1)
+        .ok_or_else(|| format!("{path}: missing width-1 GEMM row"))?;
+    if gemm1.speedup_i8_vs_f32 < QUANT_MIN_GEMM_SPEEDUP {
+        return Err(format!(
+            "{path}: archived width-1 i8 GEMM speedup {:.2}× is below the {:.1}× bar",
+            gemm1.speedup_i8_vs_f32, QUANT_MIN_GEMM_SPEEDUP
+        ));
+    }
+    if rec.host_threads == 1 && !rec.degraded_host {
+        return Err(format!(
+            "{path}: one-thread host must be recorded with degraded_host=true"
+        ));
+    }
+    println!(
+        "{path}: ok — {} rows, width-1 i8 GEMM speedup {:.2}× (bar {:.1}×), degraded_host={}",
+        rec.measurements.len(),
+        gemm1.speedup_i8_vs_f32,
+        QUANT_MIN_GEMM_SPEEDUP,
+        rec.degraded_host
+    );
+    Ok(())
+}
+
+/// Entry point for `--quant`: record, diff (`--baseline`) or validate
+/// (`--check`) the i8-vs-f32 sweeps.
+fn quant_main(args: &[String]) {
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args.get(i + 1).expect("--check requires a path");
+        if let Err(e) = check_quant(path) {
+            eprintln!("BENCH_quant check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .map(|i| args.get(i + 1).expect("--baseline requires a path").clone());
+    let fresh = measure_quant();
+    if fresh.degraded_host {
+        eprintln!(
+            "WARNING: single-threaded host ({} hardware thread) — widths > 1 measure \
+             dispatch overhead, not parallel speedup (degraded_host=true in the JSON).",
+            fresh.host_threads
+        );
+    }
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let old: QuantBaseline = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        if diff_quant(&old, &fresh) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if maybe_json(&fresh) {
+        return;
+    }
+    header("Quantized (i8) vs f32 kernel sweeps");
+    println!(
+        "host threads: {}   pool width: {}   degraded host: {}",
+        fresh.host_threads, fresh.pool_width_default, fresh.degraded_host
+    );
+    println!(
+        "{:<28}{:>7}{:>12}{:>12}{:>10}",
+        "kernel", "width", "f32 (µs)", "i8 (µs)", "speedup"
+    );
+    for m in &fresh.measurements {
+        println!(
+            "{:<28}{:>7}{:>12.1}{:>12.1}{:>10.2}",
+            m.kernel, m.width, m.f32_us, m.i8_us, m.speedup_i8_vs_f32
+        );
+    }
+}
+
 fn main() {
     // `--baseline <path>` switches to diff mode against an archived record.
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quant") {
+        quant_main(&args);
+        return;
+    }
     let baseline_path = args
         .iter()
         .position(|a| a == "--baseline")

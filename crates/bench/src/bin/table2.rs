@@ -18,17 +18,18 @@ fn main() {
     }
     header("Table 2 — b-IoU / c-IoU per method (trained from scratch)");
     println!(
-        "{:<5} {:<6} {:>13} {:>13} {:>13} {:>13} {:>9} {:>10}",
-        "model", "data", "AD", "LTD", "SOLO", "FR", "GFLOPs", "FR GFLOPs"
+        "{:<5} {:<6} {:>13} {:>13} {:>13} {:>13} {:>13} {:>9} {:>10}",
+        "model", "data", "AD", "LTD", "SOLO", "SOLO-i8", "FR", "GFLOPs", "FR GFLOPs"
     );
     for c in &cells {
         println!(
-            "{:<5} {:<6} {:>13} {:>13} {:>13} {:>13} {:>9.0} {:>10.0}",
+            "{:<5} {:<6} {:>13} {:>13} {:>13} {:>13} {:>13} {:>9.0} {:>10.0}",
             c.backbone,
             c.dataset,
             fmt_pair(c.ad),
             fmt_pair(c.ltd),
             fmt_pair(c.solo),
+            fmt_pair(c.solo_quant),
             fmt_pair(c.fr),
             c.gflops,
             c.fr_gflops,

@@ -190,6 +190,22 @@ impl Layer for HrBackbone {
         self.fuse_act
             .infer(&self.fuse.infer(&concat_channels(&hi, &lo)))
     }
+
+    fn infer_quant(&mut self, input: &Tensor) -> Tensor {
+        // Convolutions run on the i8 GEMM; norm/activation/resampling
+        // layers have no quantized form and run as in float inference.
+        let x = self
+            .stem_act
+            .infer(&self.stem_norm.infer(&self.stem.infer_quant(input)));
+        let hi = self.hi_act.infer(&self.hi.infer_quant(&x));
+        let lo = self.up.infer(
+            &self
+                .lo_act
+                .infer(&self.lo.infer_quant(&self.pool.infer(&x))),
+        );
+        self.fuse_act
+            .infer(&self.fuse.infer_quant(&concat_channels(&hi, &lo)))
+    }
 }
 
 impl std::fmt::Debug for HrBackbone {
@@ -316,6 +332,21 @@ impl Layer for SfBackbone {
         let y = x.add(&up);
         self.refine_act.infer(&self.refine.infer(&y))
     }
+
+    fn infer_quant(&mut self, input: &Tensor) -> Tensor {
+        // Convolutions quantize; the attention mixer stays f32 — its
+        // softmax/layer-norm chain is the paper's GT-ViT precision-
+        // sensitive path and contributes little of the total GEMM volume.
+        let x = self
+            .stem_act
+            .infer(&self.stem_norm.infer(&self.stem.infer_quant(input)));
+        let down = self.pool2.infer(&self.pool1.infer(&x));
+        let (h, w) = (down.shape().dim(1), down.shape().dim(2));
+        let mixed = Self::from_tokens(&self.mixer.infer(&Self::to_tokens(&down)), h, w);
+        let up = self.up2.infer(&self.up1.infer(&mixed));
+        let y = x.add(&up);
+        self.refine_act.infer(&self.refine.infer_quant(&y))
+    }
 }
 
 impl std::fmt::Debug for SfBackbone {
@@ -411,6 +442,20 @@ impl Layer for DlBackbone {
             &self
                 .fuse
                 .infer(&concat_channels(&concat_channels(&a, &b), &c)),
+        )
+    }
+
+    fn infer_quant(&mut self, input: &Tensor) -> Tensor {
+        let x = self
+            .stem_act
+            .infer(&self.stem_norm.infer(&self.stem.infer_quant(input)));
+        let a = self.act1.infer(&self.branch1.infer_quant(&x));
+        let b = self.act2.infer(&self.branch2.infer_quant(&x));
+        let c = self.act3.infer(&self.branch3.infer_quant(&x));
+        self.fuse_act.infer(
+            &self
+                .fuse
+                .infer_quant(&concat_channels(&concat_channels(&a, &b), &c)),
         )
     }
 }

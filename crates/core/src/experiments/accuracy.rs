@@ -66,6 +66,9 @@ pub struct Table2Cell {
     pub ltd: (f32, f32),
     /// (b-IoU, c-IoU) for SOLO.
     pub solo: (f32, f32),
+    /// (b-IoU, c-IoU) for the same trained SOLO pipeline evaluated in
+    /// int8 quantized inference mode (Section 3.2's 8-bit datapath).
+    pub solo_quant: (f32, f32),
     /// (b-IoU, c-IoU) for the FR baseline.
     pub fr: (f32, f32),
     /// Paper-scale GFLOPs of the downsampled pipelines.
@@ -110,10 +113,24 @@ fn run_method(
     epochs: usize,
     rng: &mut impl Rng,
 ) -> (f32, f32) {
-    let mut p = MethodPipeline::new(rng, method, kind, cfg, 5e-3);
-    p.train(train, epochs);
+    let mut p = trained_method(method, kind, cfg, train, epochs, rng);
     let scores = p.evaluate_all(test);
     (scores.b_iou, scores.c_iou)
+}
+
+/// Builds and trains a method pipeline (shared by the f32 and quantized
+/// evaluations, so both score the exact same weights).
+fn trained_method(
+    method: Method,
+    kind: BackboneKind,
+    cfg: PipelineConfig,
+    train: &[Sample],
+    epochs: usize,
+    rng: &mut impl Rng,
+) -> MethodPipeline {
+    let mut p = MethodPipeline::new(rng, method, kind, cfg, 5e-3);
+    p.train(train, epochs);
+    p
 }
 
 /// Regenerates Table 2: every (backbone × dataset) cell with all four
@@ -158,7 +175,12 @@ fn table2_cell(
     };
     let ad = run(Method::Ad, &mut rng);
     let ltd = run(Method::Ltd, &mut rng);
-    let solo = run(Method::Solo, &mut rng);
+    // SOLO trains once; the f32 and int8 rows score the same weights.
+    let mut solo_p = trained_method(Method::Solo, kind, cfg, &train, budget.epochs, &mut rng);
+    let solo_scores = solo_p.evaluate_all(&test);
+    let quant_scores = solo_p.evaluate_all_quant(&test);
+    let solo = (solo_scores.b_iou, solo_scores.c_iou);
+    let solo_quant = (quant_scores.b_iou, quant_scores.c_iou);
     let fr = run(Method::Fr, &mut rng);
     let hw_kind = hw_backbone(kind);
     Table2Cell {
@@ -167,6 +189,7 @@ fn table2_cell(
         ad,
         ltd,
         solo,
+        solo_quant,
         fr,
         gflops: hw_kind.gflops(hw_ds.down_side())
             + solo_hw::accelerator::Workload::esnet(hw_ds.down_side(), hw_ds.down_side(), 0.7)
@@ -373,12 +396,51 @@ mod tests {
             &budget,
             42,
         );
-        for (b, c) in [cell.ad, cell.ltd, cell.solo, cell.fr] {
+        for (b, c) in [cell.ad, cell.ltd, cell.solo, cell.solo_quant, cell.fr] {
             assert!((0.0..=1.0).contains(&b));
             assert!((0.0..=1.0).contains(&c));
             assert!(c <= b + 1e-6);
         }
         assert!(cell.fr_gflops > cell.gflops * 10.0);
+    }
+
+    /// The acceptance gate for the int8 inference path: a trained SOLO
+    /// pipeline evaluated in quantized mode must stay within 1.0 IoU point
+    /// (0.01 on the 0..1 scale) of its own f32 b-IoU, and the classified
+    /// IoU must not collapse either.
+    #[test]
+    fn quantized_solo_biou_stays_within_one_point_of_f32() {
+        let budget = Budget::quick();
+        let ds = DatasetConfig::lvis_like().with_resolution(budget.full_res);
+        let cfg = PipelineConfig::for_dataset(&ds, budget.full_res, budget.down_res);
+        let data = SceneDataset::new(ds);
+        let mut rng = seeded_rng(43);
+        let train = data.samples(budget.train_samples, &mut rng);
+        let test = data.samples(budget.test_samples, &mut rng);
+        let mut p = trained_method(
+            Method::Solo,
+            BackboneKind::Sf,
+            cfg,
+            &train,
+            budget.epochs,
+            &mut rng,
+        );
+        let f32_scores = p.evaluate_all(&test);
+        let q_scores = p.evaluate_all_quant(&test);
+        let b_drift = (f32_scores.b_iou - q_scores.b_iou).abs();
+        let c_drift = (f32_scores.c_iou - q_scores.c_iou).abs();
+        assert!(
+            b_drift <= 0.01,
+            "quantized b-IoU drifted {b_drift} (f32 {}, i8 {})",
+            f32_scores.b_iou,
+            q_scores.b_iou
+        );
+        assert!(
+            c_drift <= 0.05,
+            "quantized c-IoU drifted {c_drift} (f32 {}, i8 {})",
+            f32_scores.c_iou,
+            q_scores.c_iou
+        );
     }
 
     #[test]

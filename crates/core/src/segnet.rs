@@ -84,6 +84,32 @@ impl GazeAwareSegNet {
         (mask, logits)
     }
 
+    /// Int8 quantized inference: same contract as [`GazeAwareSegNet::infer`]
+    /// — IOI probability mask `[h, w]` and class logits `[C+1]` — with every
+    /// convolution and the classifier's fully-connected layer running on the
+    /// i8×i8→i32 GEMM (per-channel weight scales, activations quantized
+    /// per-tensor on the fly). Sigmoid/Relu/pooling stay f32.
+    pub fn infer_quant(&mut self, img: &Tensor) -> (Tensor, Tensor) {
+        let feat = self.backbone.infer_quant(img);
+        let (h, w) = (feat.shape().dim(1), feat.shape().dim(2));
+        let mask = self
+            .seg_sig
+            .infer(
+                &self.seg3.infer_quant(
+                    &self.seg_r2.infer(
+                        &self
+                            .seg2
+                            .infer_quant(&self.seg_r1.infer(&self.seg1.infer_quant(&feat))),
+                    ),
+                ),
+            )
+            .into_reshaped(&[h, w]);
+        let cls_feat = self.cls_r.infer(&self.cls_conv.infer_quant(&feat));
+        let pooled = masked_avg_pool(&cls_feat, &mask);
+        let logits = self.cls_fc.infer_quant(&pooled);
+        (mask, logits)
+    }
+
     /// Predicted class id (argmax over `C+1`).
     pub fn predict_class(&mut self, img: &Tensor) -> usize {
         self.infer(img).1.argmax()

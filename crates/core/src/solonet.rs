@@ -366,9 +366,25 @@ impl FoveatedPipeline {
     /// Evaluates one sample at full resolution (reverse-sampled mask vs the
     /// full-resolution ground truth).
     pub fn evaluate(&mut self, sample: &Sample) -> EvalScores {
+        self.evaluate_with(sample, false)
+    }
+
+    /// Same as [`FoveatedPipeline::evaluate`], but the segmentation network
+    /// runs in int8 quantized inference mode (the paper's 8-bit systolic
+    /// datapath). Saliency, index-map construction and reverse sampling are
+    /// unaffected — only the network's GEMMs change precision.
+    pub fn evaluate_quant(&mut self, sample: &Sample) -> EvalScores {
+        self.evaluate_with(sample, true)
+    }
+
+    fn evaluate_with(&mut self, sample: &Sample, quantized: bool) -> EvalScores {
         let map = self.index_map(sample);
         let sampled = self.pack_sampled(&map, sample);
-        let (mask, logits) = self.seg.infer(&sampled);
+        let (mask, logits) = if quantized {
+            self.seg.infer_quant(&sampled)
+        } else {
+            self.seg.infer(&sampled)
+        };
         let d = self.cfg.down_res;
         let up = map
             .upsample(&mask.reshape(&[1, d, d]))
@@ -566,12 +582,32 @@ impl MethodPipeline {
         }
     }
 
+    /// Evaluates one sample with the segmentation network in int8
+    /// quantized inference mode. Only the foveated (LTD/SOLO) pipelines
+    /// carry the quantized path; AD/FR fall back to f32 evaluation.
+    pub fn evaluate_quant(&mut self, sample: &Sample) -> EvalScores {
+        match self {
+            MethodPipeline::Ltd(p) | MethodPipeline::Solo(p) => p.evaluate_quant(sample),
+            other => other.evaluate(sample),
+        }
+    }
+
     /// Mean scores over a test set.
     pub fn evaluate_all(&mut self, samples: &[Sample]) -> EvalScores {
+        Self::mean_scores(samples, |s| self.evaluate(s))
+    }
+
+    /// Mean quantized-inference scores over a test set (see
+    /// [`MethodPipeline::evaluate_quant`]).
+    pub fn evaluate_all_quant(&mut self, samples: &[Sample]) -> EvalScores {
+        Self::mean_scores(samples, |s| self.evaluate_quant(s))
+    }
+
+    fn mean_scores(samples: &[Sample], mut eval: impl FnMut(&Sample) -> EvalScores) -> EvalScores {
         let mut b = 0.0;
         let mut c = 0.0;
         for s in samples {
-            let e = self.evaluate(s);
+            let e = eval(s);
             b += e.b_iou;
             c += e.c_iou;
         }

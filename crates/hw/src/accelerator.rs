@@ -58,6 +58,21 @@ impl SystolicArray {
         let s = self.size as u64;
         s * s
     }
+
+    /// Functional model of the array's datapath: the exact i8×i8→i32 GEMM
+    /// the 8-bit MACs compute, `a (m×k) · b (k×n) → [m·n]` row-major.
+    ///
+    /// Delegates to `solo-tensor`'s blocked int8 GEMM, which is
+    /// bit-identical to a naive accumulation because integer products are
+    /// exact — so the host kernels double as the golden model for the
+    /// array. `gemm_cycles`/`gemm_macs` price the same operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths do not match `m·k` / `k·n`.
+    pub fn gemm_functional(&self, a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+        solo_tensor::qgemm_i8(a, b, m, k, n)
+    }
 }
 
 /// One GEMM in a workload.
@@ -376,5 +391,33 @@ mod tests {
     #[should_panic(expected = "keep_ratio")]
     fn rejects_zero_keep_ratio() {
         Workload::esnet(64, 80, 0.0);
+    }
+
+    #[test]
+    fn functional_gemm_matches_naive_mac_grid() {
+        // Ragged dims exercise partial tiles in the delegated blocked GEMM.
+        let (m, k, n) = (7, 19, 21);
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next_i8 = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as i8
+        };
+        let a: Vec<i8> = (0..m * k).map(|_| next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| next_i8()).collect();
+        let array = SystolicArray::default();
+        let got = array.gemm_functional(&a, &b, m, k, n);
+        let mut want = vec![0i32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = i32::from(a[i * k + p]);
+                for j in 0..n {
+                    want[i * n + j] += av * i32::from(b[p * n + j]);
+                }
+            }
+        }
+        assert_eq!(got, want);
+        assert_eq!(array.gemm_macs(m, k, n), (m * k * n) as u64);
     }
 }

@@ -19,7 +19,10 @@ use crate::source::SourceFile;
 
 /// Files allowed to contain `unsafe` (S1). Everything else needs the code
 /// rewritten in safe Rust or the allow-list grown deliberately in review.
-pub const UNSAFE_ALLOWED: &[&str] = &["crates/tensor/src/packed.rs"];
+pub const UNSAFE_ALLOWED: &[&str] = &[
+    "crates/tensor/src/packed.rs",
+    "crates/tensor/src/packed/simd_i8.rs",
+];
 
 /// Whether `f` is a P2 hot-path root: the streaming frame loop, the gaze
 /// observation path, the speculation pre-warm/predict surface, the GEMM
@@ -32,7 +35,12 @@ pub fn is_hot_root(f: &FnItem) -> bool {
         Some("FoveatedPipeline") if f.name.starts_with("speculate") => return true,
         Some("GazePredictor") if f.name == "predict" => return true,
         Some("PackedMatrix") if f.name.starts_with("matmul") => return true,
+        Some("QPackedMatrix") if f.name.starts_with("qmatmul") => return true,
+        Some("Tensor") if f.name == "qmatmul_packed" => return true,
         _ => {}
+    }
+    if f.name == "infer_quant" {
+        return true;
     }
     f.file == "crates/tensor/src/exec.rs"
         && (f.name.starts_with("par_")
@@ -419,6 +427,25 @@ mod tests {
              }\n",
         );
         assert!(unsafe_audit(&documented).is_empty());
+
+        // The int8 micro-kernel module is on the allow-list too — same
+        // SAFETY-comment discipline applies.
+        let (simd_i8, _) = file(
+            "crates/tensor/src/packed/simd_i8.rs",
+            "fn f() {\n\
+             \x20   // SAFETY: caller checked avx2 via level().\n\
+             \x20   #[allow(unsafe_code)]\n\
+             \x20   unsafe { danger() }\n\
+             }\n",
+        );
+        assert!(unsafe_audit(&simd_i8).is_empty());
+        let (simd_i8_bare, _) = file(
+            "crates/tensor/src/packed/simd_i8.rs",
+            "fn f() {\n    unsafe { danger() }\n}\n",
+        );
+        let v = unsafe_audit(&simd_i8_bare);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("SAFETY"));
     }
 
     #[test]
@@ -464,6 +491,21 @@ mod tests {
             "crates/tensor/src/packed.rs",
             Some("PackedMatrix"),
             "matmul_im2col"
+        )));
+        assert!(is_hot_root(&root(
+            "crates/tensor/src/packed.rs",
+            Some("QPackedMatrix"),
+            "qmatmul_im2col"
+        )));
+        assert!(is_hot_root(&root(
+            "crates/tensor/src/packed.rs",
+            Some("Tensor"),
+            "qmatmul_packed"
+        )));
+        assert!(is_hot_root(&root(
+            "crates/nn/src/linear.rs",
+            Some("Linear"),
+            "infer_quant"
         )));
         assert!(is_hot_root(&root(
             "crates/tensor/src/exec.rs",

@@ -2,8 +2,8 @@
 
 use rand::Rng;
 use solo_tensor::{
-    col2im, exec, im2col, kaiming_uniform, Im2ColSpec, PackedCache, PackedMatrix, Tensor,
-    BLOCKED_MIN_MULADDS,
+    col2im, exec, im2col, kaiming_uniform, Im2ColSpec, PackedCache, PackedMatrix, QPackedMatrix,
+    Tensor, BLOCKED_MIN_MULADDS,
 };
 
 use crate::{Layer, Param};
@@ -19,7 +19,9 @@ use crate::{Layer, Param};
 /// The im2col GEMM's constant left operand — the `[outC, inC·k·k]` weight —
 /// is served from a [`PackedCache`] keyed on the weight's
 /// [`Param::version`], so the panels are packed once per weight update; a
-/// second cache holds the `Wᵀ` row panels the backward pass multiplies by.
+/// second cache holds the `Wᵀ` row panels the backward pass multiplies by,
+/// and a third (lazily-filled) cache holds the int8 twin with one symmetric
+/// scale per output channel for [`Layer::infer_quant`].
 ///
 /// Above the [`BLOCKED_MIN_MULADDS`] GEMM volume the forward and the weight
 /// gradient run *implicit-GEMM*: the im2col column panels are packed
@@ -35,6 +37,7 @@ pub struct Conv2d {
     bias: Param,   // [out_c]
     packed_weight: PackedCache,
     packed_weight_t: PackedCache,
+    packed_qweight: PackedCache<QPackedMatrix>,
     in_channels: usize,
     out_channels: usize,
     kernel: usize,
@@ -81,6 +84,7 @@ impl Conv2d {
             bias: Param::new(Tensor::zeros(&[out_channels])),
             packed_weight: PackedCache::new(),
             packed_weight_t: PackedCache::new(),
+            packed_qweight: PackedCache::new(),
             in_channels,
             out_channels,
             kernel,
@@ -128,7 +132,8 @@ impl Conv2d {
         self.out_channels * spec.patch_rows() * spec.patch_cols() >= BLOCKED_MIN_MULADDS
     }
 
-    fn run(&mut self, input: &Tensor) -> (Tensor, Im2ColSpec) {
+    /// Validates the `[C,H,W]` input and derives the im2col spec.
+    fn checked_spec(&self, input: &Tensor) -> Im2ColSpec {
         assert_eq!(input.shape().ndim(), 3, "conv input must be [C,H,W]");
         assert_eq!(
             input.shape().dim(0),
@@ -138,18 +143,37 @@ impl Conv2d {
             input.shape().dim(0)
         );
         let spec = self.spec(input.shape().dim(1), input.shape().dim(2));
-        let (oh, ow) = (spec.out_height(), spec.out_width());
         assert!(
-            oh > 0 && ow > 0,
+            spec.out_height() > 0 && spec.out_width() > 0,
             "conv output collapsed to zero for input {}",
             input.shape()
         );
+        spec
+    }
+
+    /// Adds the bias to a `[outC, outH·outW]` GEMM result and reshapes it
+    /// into the `[outC, outH, outW]` output image.
+    fn add_bias(&self, mut y: Tensor, spec: &Im2ColSpec) -> Tensor {
+        let (oh, ow) = (spec.out_height(), spec.out_width());
+        let b = self.bias.value().as_slice();
+        let data = y.as_mut_slice();
+        let l = oh * ow;
+        for (oc, &bv) in b.iter().enumerate() {
+            for v in &mut data[oc * l..(oc + 1) * l] {
+                *v += bv;
+            }
+        }
+        y.into_reshaped(&[self.out_channels, oh, ow])
+    }
+
+    fn run(&mut self, input: &Tensor) -> (Tensor, Im2ColSpec) {
+        let spec = self.checked_spec(input);
         let implicit = self.use_implicit(&spec);
         let weight = &self.weight;
         let packed = self
             .packed_weight
             .get_or_pack(weight.version(), || PackedMatrix::pack_lhs(weight.value()));
-        let mut y = if implicit {
+        let y = if implicit {
             // Implicit GEMM: the column panels are packed straight from
             // the image, so no im2col-sized scratch is ever taken.
             packed.matmul_im2col(input, &spec)
@@ -161,15 +185,23 @@ impl Conv2d {
             cols.recycle();
             y
         };
-        let b = self.bias.value().as_slice();
-        let data = y.as_mut_slice();
-        let l = oh * ow;
-        for (oc, &bv) in b.iter().enumerate() {
-            for v in &mut data[oc * l..(oc + 1) * l] {
-                *v += bv;
-            }
-        }
-        (y.into_reshaped(&[self.out_channels, oh, ow]), spec)
+        (self.add_bias(y, &spec), spec)
+    }
+
+    /// Quantized inference body: the weight is quantized per output channel
+    /// and packed once per version; the image is quantized per-tensor on
+    /// the fly and its column panels packed straight from the `[C,H,W]`
+    /// data (the quantized path is always implicit — the int8 im2col packer
+    /// handles every stride/padding/dilation, so no materialized fallback
+    /// is needed).
+    fn run_quant(&mut self, input: &Tensor) -> Tensor {
+        let spec = self.checked_spec(input);
+        let weight = &self.weight;
+        let packed = self
+            .packed_qweight
+            .get_or_pack(weight.version(), || QPackedMatrix::pack_lhs(weight.value()));
+        let y = packed.qmatmul_im2col(input, &spec);
+        self.add_bias(y, &spec)
     }
 }
 
@@ -230,6 +262,10 @@ impl Layer for Conv2d {
 
     fn infer(&mut self, input: &Tensor) -> Tensor {
         self.run(input).0
+    }
+
+    fn infer_quant(&mut self, input: &Tensor) -> Tensor {
+        self.run_quant(input)
     }
 }
 
@@ -319,6 +355,38 @@ mod tests {
         let mut b = Conv2d::new(&mut seeded_rng(8), 2, 3, 3);
         step(&mut b);
         assert_eq!(a.infer(&x).as_slice(), b.infer(&x).as_slice());
+    }
+
+    #[test]
+    fn quantized_weight_repacks_after_training_step() {
+        let step = |c: &mut Conv2d| {
+            c.visit_params(&mut |p| {
+                let n = p.len() as f32;
+                p.value_mut()
+                    .map_inplace(move |v| v * 0.9 + 0.01 * n.recip());
+            });
+        };
+        let x = normal(&mut seeded_rng(11), &[2, 5, 5], 0.0, 1.0);
+        // `a` quantizes and packs at the initial version, then trains.
+        let mut a = Conv2d::new(&mut seeded_rng(10), 2, 3, 3);
+        a.infer_quant(&x);
+        step(&mut a);
+        // `b` is identical (same seed) but receives the update before ever
+        // quantizing, so it can never serve stale int8 panels.
+        let mut b = Conv2d::new(&mut seeded_rng(10), 2, 3, 3);
+        step(&mut b);
+        assert_eq!(a.infer_quant(&x).as_slice(), b.infer_quant(&x).as_slice());
+    }
+
+    #[test]
+    fn infer_quant_tracks_infer_within_quantization_accuracy() {
+        let mut rng = seeded_rng(12);
+        let mut c = Conv2d::new(&mut rng, 3, 8, 3);
+        let x = normal(&mut rng, &[3, 12, 12], 0.0, 1.0);
+        let exact = c.infer(&x);
+        let quant = c.infer_quant(&x);
+        let rel = exact.sub(&quant).norm_sq().sqrt() / exact.norm_sq().sqrt();
+        assert!(rel < 0.03, "relative error {rel}");
     }
 
     #[test]

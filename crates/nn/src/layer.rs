@@ -39,6 +39,18 @@ pub trait Layer {
         self.forward(input)
     }
 
+    /// Runs the layer in int8 quantized inference mode.
+    ///
+    /// GEMM-backed layers ([`crate::Linear`], [`crate::Conv2d`]) override
+    /// this to run their product on the i8×i8→i32 kernel with per-channel
+    /// weight scales; containers chain it through their children. The
+    /// default delegates to [`Layer::infer`], so layers without a meaningful
+    /// quantization (activations, pooling, normalization) run exactly as in
+    /// float inference.
+    fn infer_quant(&mut self, input: &Tensor) -> Tensor {
+        self.infer(input)
+    }
+
     /// Total scalar parameter count.
     fn param_count(&mut self) -> usize {
         let mut n = 0;
@@ -139,6 +151,14 @@ impl Layer for Sequential {
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.infer(&x);
+        }
+        x
+    }
+
+    fn infer_quant(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.infer_quant(&x);
         }
         x
     }

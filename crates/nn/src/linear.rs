@@ -1,7 +1,7 @@
 //! Fully-connected layer.
 
 use rand::Rng;
-use solo_tensor::{exec, xavier_uniform, PackedCache, PackedMatrix, Tensor};
+use solo_tensor::{exec, xavier_uniform, PackedCache, PackedMatrix, QPackedMatrix, Tensor};
 
 use crate::{Layer, Param};
 
@@ -13,12 +13,16 @@ use crate::{Layer, Param};
 /// The forward/inference GEMM runs against a [`PackedCache`] of `Wᵀ`
 /// panels keyed on the weight's [`Param::version`]: the transpose-and-pack
 /// happens once per weight update instead of once per call, and inference
-/// between updates reuses the packing outright.
+/// between updates reuses the packing outright. A second, lazily-filled
+/// cache holds the int8 twin — per-output-channel quantized `Wᵀ` panels —
+/// so [`Layer::infer_quant`] quantizes and packs the weight once per
+/// update too.
 #[derive(Debug)]
 pub struct Linear {
     weight: Param,
     bias: Param,
     packed_weight: PackedCache,
+    packed_qweight: PackedCache<QPackedMatrix>,
     in_features: usize,
     out_features: usize,
     cached_input: Option<Tensor>,
@@ -33,6 +37,7 @@ impl Linear {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_features])),
             packed_weight: PackedCache::new(),
+            packed_qweight: PackedCache::new(),
             in_features,
             out_features,
             cached_input: None,
@@ -53,6 +58,7 @@ impl Linear {
             weight: Param::new(weight),
             bias: Param::new(bias),
             packed_weight: PackedCache::new(),
+            packed_qweight: PackedCache::new(),
             in_features,
             out_features,
             cached_input: None,
@@ -110,7 +116,20 @@ impl Linear {
         let packed = self.packed_weight.get_or_pack(weight.version(), || {
             PackedMatrix::pack_rhs_transposed(weight.value())
         });
-        let mut y = x.matmul_packed(packed);
+        let y = x.matmul_packed(packed);
+        self.add_bias(y)
+    }
+
+    fn apply_quant(&mut self, x: &Tensor) -> Tensor {
+        let weight = &self.weight;
+        let packed = self.packed_qweight.get_or_pack(weight.version(), || {
+            QPackedMatrix::pack_rhs_transposed(weight.value())
+        });
+        let y = x.qmatmul_packed(packed);
+        self.add_bias(y)
+    }
+
+    fn add_bias(&self, mut y: Tensor) -> Tensor {
         let n = y.shape().dim(0);
         let b = self.bias.value().as_slice();
         let data = y.as_mut_slice();
@@ -193,6 +212,16 @@ impl Layer for Linear {
             y
         }
     }
+
+    fn infer_quant(&mut self, input: &Tensor) -> Tensor {
+        let (x, was_vec) = self.as_matrix(input);
+        let y = self.apply_quant(&x);
+        if was_vec {
+            y.into_reshaped(&[self.out_features])
+        } else {
+            y
+        }
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +295,40 @@ mod tests {
         l.visit_params(&mut |p| params.push(p.value().clone()));
         let mut fresh = Linear::from_parts(params[0].clone(), params[1].clone());
         assert_eq!(y.as_slice(), fresh.infer(&x).as_slice());
+    }
+
+    #[test]
+    fn quantized_weight_repacks_after_training_step() {
+        let mut rng = seeded_rng(10);
+        let mut l = Linear::new(&mut rng, 6, 4);
+        let x = normal(&mut rng, &[3, 6], 0.0, 1.0);
+        // Populate the quantized packed-weight cache at the initial version.
+        l.forward(&x);
+        l.infer_quant(&x);
+        // A training step through value_mut bumps the weight version.
+        l.backward(&Tensor::ones(&[3, 4]));
+        l.visit_params(&mut |p| {
+            let g = p.grad().clone();
+            p.value_mut().add_scaled_inplace(&g, -0.1);
+        });
+        let y = l.infer_quant(&x);
+        // A fresh layer with the post-step parameters has never quantized
+        // the stale weights; any cache staleness would show up here.
+        let mut params = Vec::new();
+        l.visit_params(&mut |p| params.push(p.value().clone()));
+        let mut fresh = Linear::from_parts(params[0].clone(), params[1].clone());
+        assert_eq!(y.as_slice(), fresh.infer_quant(&x).as_slice());
+    }
+
+    #[test]
+    fn infer_quant_tracks_infer_within_quantization_accuracy() {
+        let mut rng = seeded_rng(11);
+        let mut l = Linear::new(&mut rng, 24, 12);
+        let x = normal(&mut rng, &[5, 24], 0.0, 1.0);
+        let exact = l.infer(&x);
+        let quant = l.infer_quant(&x);
+        let rel = exact.sub(&quant).norm_sq().sqrt() / exact.norm_sq().sqrt();
+        assert!(rel < 0.02, "relative error {rel}");
     }
 
     #[test]

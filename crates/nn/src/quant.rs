@@ -5,46 +5,139 @@
 //! of the SOLO accelerator's systolic array. This module provides the
 //! numerical counterpart used both to validate the accuracy impact and to
 //! drive the accelerator's functional model.
+//!
+//! Two scale granularities are supported. [`QTensor::quantize`] uses one
+//! symmetric scale for the whole tensor; [`QTensor::quantize_per_row`] gives
+//! every row of a rank-2 tensor its own scale — the *per-channel* scheme the
+//! inference path uses for `[out, in]` weight matrices, where each output
+//! channel's dynamic range is captured independently (an outlier channel no
+//! longer inflates the quantization step of every other channel).
+//!
+//! [`qmatmul`] runs the product on `solo-tensor`'s blocked i8×i8→i32 GEMM
+//! ([`solo_tensor::qgemm_i8`]) — the same exact integer datapath the modeled
+//! systolic array executes — and rescales the i32 accumulators to f32 once
+//! at the output.
 
-use solo_tensor::Tensor;
+use solo_tensor::{qgemm_i8, Tensor};
 
-/// An int8 tensor with a single symmetric scale: `value ≈ scale · q`.
+/// An int8 tensor with symmetric scales: `value[i] ≈ scale(row) · q[i]`.
+///
+/// Holds either one scale for the whole tensor or (rank-2 only) one scale
+/// per row; see [`QTensor::quantize`] and [`QTensor::quantize_per_row`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct QTensor {
     data: Vec<i8>,
-    scale: f32,
+    /// One entry (per-tensor) or one per row of a rank-2 tensor (per-row).
+    scales: Vec<f32>,
     shape: Vec<usize>,
+}
+
+/// Symmetric scale for a slice: `max|x| / 127`, or 1.0 if all-zero.
+fn symmetric_scale(xs: &[f32]) -> f32 {
+    let max_abs = xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        1.0
+    } else {
+        max_abs / 127.0
+    }
+}
+
+/// Quantizes one value: round-to-nearest (half away from zero) and clamp
+/// to the symmetric i8 range.
+fn quantize_value(v: f32, scale: f32) -> i8 {
+    (v / scale).round().clamp(-127.0, 127.0) as i8
 }
 
 impl QTensor {
     /// Quantizes a float tensor with a symmetric per-tensor scale
     /// `max|x| / 127` (scale 1.0 for an all-zero tensor).
     pub fn quantize(t: &Tensor) -> Self {
-        let max_abs = t.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let scale = symmetric_scale(t.as_slice());
         let data = t
             .as_slice()
             .iter()
-            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .map(|&v| quantize_value(v, scale))
             .collect();
         Self {
             data,
-            scale,
+            scales: vec![scale],
             shape: t.shape().dims().to_vec(),
         }
     }
 
-    /// Reconstructs the float tensor.
-    pub fn dequantize(&self) -> Tensor {
-        Tensor::from_vec(
-            self.data.iter().map(|&q| q as f32 * self.scale).collect(),
-            &self.shape,
-        )
+    /// Quantizes a rank-2 float tensor with one symmetric scale per row —
+    /// the per-channel scheme for `[out, in]` weight matrices, where the
+    /// rows are output channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not rank-2.
+    pub fn quantize_per_row(t: &Tensor) -> Self {
+        assert_eq!(
+            t.shape().ndim(),
+            2,
+            "quantize_per_row needs a rank-2 tensor"
+        );
+        let (rows, cols) = (t.shape().dim(0), t.shape().dim(1));
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut scales = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &t.as_slice()[r * cols..(r + 1) * cols];
+            let scale = symmetric_scale(row);
+            scales.push(scale);
+            data.extend(row.iter().map(|&v| quantize_value(v, scale)));
+        }
+        Self {
+            data,
+            scales,
+            shape: vec![rows, cols],
+        }
     }
 
-    /// The quantization scale.
+    /// Whether every row carries its own scale (vs one tensor-wide scale).
+    pub fn is_per_row(&self) -> bool {
+        self.scales.len() > 1
+    }
+
+    /// Reconstructs the float tensor.
+    pub fn dequantize(&self) -> Tensor {
+        if self.is_per_row() {
+            let cols = self.shape[1];
+            let data = self
+                .data
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| q as f32 * self.scales[i / cols])
+                .collect();
+            Tensor::from_vec(data, &self.shape)
+        } else {
+            Tensor::from_vec(
+                self.data
+                    .iter()
+                    .map(|&q| q as f32 * self.scales[0])
+                    .collect(),
+                &self.shape,
+            )
+        }
+    }
+
+    /// The per-tensor quantization scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a per-row tensor — use [`QTensor::scales`] there.
     pub fn scale(&self) -> f32 {
-        self.scale
+        assert!(
+            !self.is_per_row(),
+            "scale() on a per-row QTensor; use scales()"
+        );
+        self.scales[0]
+    }
+
+    /// All scales: one entry for a per-tensor quantization, one per row
+    /// for [`QTensor::quantize_per_row`].
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
     }
 
     /// The raw int8 values.
@@ -68,42 +161,45 @@ impl QTensor {
     }
 }
 
-/// Int8 GEMM with i32 accumulation, dequantized through the product of the
-/// two scales: `[m,k] × [k,n] → [m,n]` in f32.
+/// Int8 GEMM with i32 accumulation, rescaled through the product of the
+/// operand scales: `[m,k] × [k,n] → [m,n]` in f32.
 ///
-/// This mirrors the accelerator datapath: 8-bit multipliers feeding a wide
-/// accumulator, with a single rescale at the output.
+/// The integer product runs on [`solo_tensor::qgemm_i8`] — the blocked,
+/// SIMD-dispatched kernel that also serves the packed inference entry
+/// points and the accelerator's functional model — so this function sees
+/// the exact same accumulators the modeled hardware produces. `a` may be
+/// per-row quantized (its rows are the output rows, so row `i` of the
+/// output rescales by `a.scales()[i] · b.scale()`); `b` must be per-tensor,
+/// because per-row scales on `b` would sit on the contracted dimension.
 ///
 /// # Panics
 ///
-/// Panics if either operand is not rank-2 or the inner dimensions differ.
+/// Panics if either operand is not rank-2, the inner dimensions differ, or
+/// `b` is per-row quantized.
 pub fn qmatmul(a: &QTensor, b: &QTensor) -> Tensor {
     assert_eq!(a.shape.len(), 2, "qmatmul lhs must be rank-2");
     assert_eq!(b.shape.len(), 2, "qmatmul rhs must be rank-2");
+    assert!(
+        !b.is_per_row(),
+        "qmatmul rhs must be per-tensor quantized: per-row scales would sit on the contracted dimension"
+    );
     let (m, k) = (a.shape[0], a.shape[1]);
     let (k2, n) = (b.shape[0], b.shape[1]);
     assert_eq!(k, k2, "qmatmul inner dimension mismatch: {k} vs {k2}");
-    let rescale = a.scale * b.scale;
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let av = a.data[i * k + p] as i32;
-            if av == 0 {
-                continue;
-            }
-            for j in 0..n {
-                // i32 accumulation; converted at the end of the k loop
-                // iteration to keep the inner loop simple. Max |a·b| per
-                // term is 127² = 16129, and k ≤ ~4096 in our models, so an
-                // f32 accumulator of the i32 products is exact enough; we
-                // still do the multiply in integer domain as hardware does.
-                out[i * n + j] += (av * b.data[p * n + j] as i32) as f32;
-            }
-        }
-    }
-    for v in &mut out {
-        *v *= rescale;
-    }
+    let acc = qgemm_i8(&a.data, &b.data, m, k, n);
+    let bs = b.scales[0];
+    let out = acc
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let row_scale = if a.is_per_row() {
+                a.scales[i / n.max(1)]
+            } else {
+                a.scales[0]
+            };
+            v as f32 * (row_scale * bs)
+        })
+        .collect();
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -123,6 +219,7 @@ pub fn quantization_error(t: &Tensor) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use solo_tensor::{normal, seeded_rng};
 
     #[test]
@@ -143,6 +240,37 @@ mod tests {
     fn extremes_map_to_plus_minus_127() {
         let q = QTensor::quantize(&Tensor::from_vec(vec![-2.0, 2.0, 1.0], &[3]));
         assert_eq!(q.as_i8(), &[-127, 127, 64]);
+    }
+
+    #[test]
+    fn per_row_scales_isolate_outlier_rows() {
+        // Row 0 has a 100× outlier; per-tensor quantization would crush
+        // row 1 to a handful of levels, per-row keeps it at full precision.
+        let t = Tensor::from_vec(vec![100.0, 50.0, 0.5, 0.25], &[2, 2]);
+        let q = QTensor::quantize_per_row(&t);
+        assert!(q.is_per_row());
+        assert_eq!(q.scales().len(), 2);
+        let dq = q.dequantize();
+        for (got, want) in dq.as_slice().iter().zip(t.as_slice()) {
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.01, "{got} vs {want}");
+        }
+        // The same data per-tensor quantized loses row 1 almost entirely.
+        let coarse = QTensor::quantize(&t).dequantize();
+        assert!((coarse.as_slice()[3] - 0.25).abs() > 0.1);
+    }
+
+    #[test]
+    fn per_row_dequantize_matches_rowwise_per_tensor() {
+        let mut rng = seeded_rng(62);
+        let t = normal(&mut rng, &[3, 8], 0.0, 1.0);
+        let q = QTensor::quantize_per_row(&t);
+        for r in 0..3 {
+            let row = Tensor::from_vec(t.as_slice()[r * 8..(r + 1) * 8].to_vec(), &[8]);
+            let qrow = QTensor::quantize(&row);
+            assert_eq!(&q.as_i8()[r * 8..(r + 1) * 8], qrow.as_i8());
+            assert_eq!(q.scales()[r], qrow.scale());
+        }
     }
 
     #[test]
@@ -168,10 +296,114 @@ mod tests {
     }
 
     #[test]
+    fn per_row_lhs_qmatmul_beats_per_tensor_on_outlier_rows() {
+        // An outlier row in the lhs: per-row scales keep the small rows'
+        // products accurate where a shared scale cannot.
+        let mut rng = seeded_rng(63);
+        let mut a = normal(&mut rng, &[4, 12], 0.0, 0.1);
+        a.as_mut_slice()[0] = 50.0;
+        let b = normal(&mut rng, &[12, 6], 0.0, 1.0);
+        let exact = a.matmul(&b);
+        let qb = QTensor::quantize(&b);
+        let per_row = qmatmul(&QTensor::quantize_per_row(&a), &qb);
+        let per_tensor = qmatmul(&QTensor::quantize(&a), &qb);
+        // Measure on the non-outlier rows (1..), where the shared scale —
+        // inflated to 50/127 by row 0 — crushes the small activations.
+        let err = |got: &Tensor| {
+            let d = exact.sub(got);
+            let (dn, en) = (d.as_slice()[6..].to_vec(), &exact.as_slice()[6..]);
+            (dn.iter().map(|v| v * v).sum::<f32>() / en.iter().map(|v| v * v).sum::<f32>()).sqrt()
+        };
+        assert!(
+            err(&per_row) < err(&per_tensor) * 0.5,
+            "per-row {} vs per-tensor {}",
+            err(&per_row),
+            err(&per_tensor)
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "inner dimension mismatch")]
     fn qmatmul_rejects_bad_dims() {
         let a = QTensor::quantize(&Tensor::zeros(&[2, 3]));
         let b = QTensor::quantize(&Tensor::zeros(&[2, 3]));
         qmatmul(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "contracted dimension")]
+    fn qmatmul_rejects_per_row_rhs() {
+        let a = QTensor::quantize(&Tensor::zeros(&[2, 3]));
+        let b = QTensor::quantize_per_row(&Tensor::ones(&[3, 2]));
+        qmatmul(&a, &b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Round-trip bound: symmetric quantization has step `scale`, so
+        /// every element reconstructs within `scale / 2`.
+        #[test]
+        fn prop_round_trip_error_bounded_by_half_step(
+            (len, seed) in (1usize..64, 0u64..1000)
+        ) {
+            let mut rng = seeded_rng(seed);
+            let t = normal(&mut rng, &[len], 0.0, 2.0);
+            let q = QTensor::quantize(&t);
+            let dq = q.dequantize();
+            for (orig, rec) in t.as_slice().iter().zip(dq.as_slice()) {
+                prop_assert!((orig - rec).abs() <= q.scale() * 0.5 + 1e-6);
+            }
+        }
+
+        /// Per-row round trip: each row reconstructs within its own half
+        /// step, which is never larger than the tensor-wide half step.
+        #[test]
+        fn prop_per_row_round_trip_tighter_than_per_tensor(
+            (rows, cols, seed) in (1usize..8, 1usize..16, 0u64..1000)
+        ) {
+            let mut rng = seeded_rng(seed);
+            let t = normal(&mut rng, &[rows, cols], 0.0, 1.5);
+            let q = QTensor::quantize_per_row(&t);
+            let tensor_scale = QTensor::quantize(&t).scale();
+            let dq = q.dequantize();
+            for r in 0..rows {
+                let step = q.scales()[r];
+                prop_assert!(step <= tensor_scale + 1e-6);
+                for c in 0..cols {
+                    let (orig, rec) = (t.as_slice()[r * cols + c], dq.as_slice()[r * cols + c]);
+                    prop_assert!((orig - rec).abs() <= step * 0.5 + 1e-6);
+                }
+            }
+        }
+
+        /// qmatmul tracks the f32 product within the analytic bound
+        /// `Σ_p (sa/2·|b| + sb/2·|a| + sa·sb/4)` per element — the
+        /// worst-case rounding error of both operands.
+        #[test]
+        fn prop_qmatmul_tracks_f32_within_analytic_bound(
+            (m, k, n, seed) in (1usize..10, 1usize..24, 1usize..12, 0u64..1000)
+        ) {
+            let mut rng = seeded_rng(seed);
+            let a = normal(&mut rng, &[m, k], 0.0, 1.0);
+            let b = normal(&mut rng, &[k, n], 0.0, 1.0);
+            let qa = QTensor::quantize(&a);
+            let qb = QTensor::quantize(&b);
+            let got = qmatmul(&qa, &qb);
+            let exact = a.matmul(&b);
+            let (sa, sb) = (qa.scale(), qb.scale());
+            for i in 0..m {
+                for j in 0..n {
+                    let mut bound = 1e-5f32;
+                    for p in 0..k {
+                        let av = a.as_slice()[i * k + p].abs();
+                        let bv = b.as_slice()[p * n + j].abs();
+                        bound += 0.5 * sa * bv + 0.5 * sb * av + 0.25 * sa * sb;
+                    }
+                    let (g, e) = (got.as_slice()[i * n + j], exact.as_slice()[i * n + j]);
+                    prop_assert!((g - e).abs() <= bound, "({i},{j}): {g} vs {e}, bound {bound}");
+                }
+            }
+        }
     }
 }

@@ -257,9 +257,10 @@ impl Pool {
     ///
     /// Panics if `out` is non-empty and `out.len()` is not a multiple of
     /// `row_len`, or if a row task panics (the panic is propagated).
-    pub fn par_rows<F>(&self, out: &mut [f32], row_len: usize, work_per_row: usize, f: F)
+    pub fn par_rows<T, F>(&self, out: &mut [T], row_len: usize, work_per_row: usize, f: F)
     where
-        F: Fn(usize, &mut [f32]) + Send + Sync,
+        T: Send,
+        F: Fn(usize, &mut [T]) + Send + Sync,
     {
         self.par_row_spans(out, row_len, 1, work_per_row, |start, span| {
             for (i, row) in span.chunks_mut(row_len).enumerate() {
@@ -287,15 +288,16 @@ impl Pool {
     /// Panics if `out` is non-empty and `out.len()` is not a multiple of
     /// `row_len`, if `block_rows` is zero, or if a span task panics (the
     /// panic is propagated).
-    pub fn par_row_spans<F>(
+    pub fn par_row_spans<T, F>(
         &self,
-        out: &mut [f32],
+        out: &mut [T],
         row_len: usize,
         block_rows: usize,
         work_per_row: usize,
         f: F,
     ) where
-        F: Fn(usize, &mut [f32]) + Send + Sync,
+        T: Send,
+        F: Fn(usize, &mut [T]) + Send + Sync,
     {
         if out.is_empty() {
             return;

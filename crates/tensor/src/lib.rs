@@ -35,7 +35,7 @@ mod tensor;
 
 pub use image::{avg_pool2d, bilinear_resize, max_pool2d};
 pub use linalg::{col2im, im2col, Im2ColSpec, BLOCKED_MIN_MULADDS};
-pub use packed::{PackedCache, PackedMatrix, PanelKind};
+pub use packed::{qgemm_i8, PackedCache, PackedMatrix, PanelKind, QPackedMatrix};
 pub use random::{kaiming_uniform, normal, seeded_rng, uniform, xavier_uniform};
 pub use shape::Shape;
 pub use tensor::Tensor;

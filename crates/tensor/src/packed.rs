@@ -168,12 +168,23 @@ impl PackedMatrix {
 /// the version it sees differs from the one it cached — so inference-time
 /// constants are packed once per training step instead of once per frame,
 /// and a weight update can never be served from a stale packing.
-#[derive(Debug, Clone, Default)]
-pub struct PackedCache {
-    slot: Option<(u64, PackedMatrix)>,
+///
+/// The slot is generic over the packed representation: the f32 path caches
+/// a [`PackedMatrix`] (the default), the quantized path a
+/// [`QPackedMatrix`] whose per-channel scales requantize under exactly the
+/// same version key.
+#[derive(Debug, Clone)]
+pub struct PackedCache<T = PackedMatrix> {
+    slot: Option<(u64, T)>,
 }
 
-impl PackedCache {
+impl<T> Default for PackedCache<T> {
+    fn default() -> Self {
+        Self { slot: None }
+    }
+}
+
+impl<T> PackedCache<T> {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
@@ -182,11 +193,7 @@ impl PackedCache {
     /// Returns the cached packing for `version`, invoking `pack` to build
     /// (or rebuild) it when the cache is empty or holds a different
     /// version.
-    pub fn get_or_pack(
-        &mut self,
-        version: u64,
-        pack: impl FnOnce() -> PackedMatrix,
-    ) -> &PackedMatrix {
+    pub fn get_or_pack(&mut self, version: u64, pack: impl FnOnce() -> T) -> &T {
         if !matches!(&self.slot, Some((v, _)) if *v == version) {
             self.slot = Some((version, pack()));
         }
@@ -751,6 +758,661 @@ impl Tensor {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Int8 inference path: i8×i8→i32 panels, kernels and per-channel rescale.
+// ---------------------------------------------------------------------------
+//
+// The quantized GEMM mirrors the f32 path one-for-one — same MR×NR register
+// tiles, same panel-per-worker dispatch — but stores panels as `i8` with the
+// k extent padded to an *even* length (the kernels consume depth *pairs*,
+// two multiply-accumulates per `_mm256_madd_epi16` lane):
+//
+// * a B column panel keeps the f32 path's plain p-major layout (`b[p][j]`
+//   at `p·NR + j`), so the RHS and im2col packers stay contiguous copies;
+//   the AVX2 kernel interleaves the two depth rows of a pair in-register
+//   (`punpcklbw`/`punpckhbw`) into the pair-of-i16 shape `madd` wants;
+// * an A row panel stores, per pair `pp`, the 8 bytes
+//   `[a[r][2pp], a[r][2pp+1]]` for ascending row `r`, so one 64-bit load
+//   plus a sign-extension yields all four rows' pairs and a `vpermd`
+//   broadcast feeds each row's `madd`.
+//
+// Bit-identity here is *stronger* than in the f32 path: i8×i8 products and
+// their i32 sums are exact (no rounding exists to reorder), so the scalar
+// reference kernel, the AVX2 kernel and any pool width agree bit-for-bit by
+// construction. The padding pairs multiply as zero and add nothing. The i32
+// accumulator cannot overflow below k ≈ 1.3·10⁵ (k·127² ≤ i32::MAX), far
+// beyond any reduction in this workspace; `_mm256_madd_epi16`'s only
+// saturating case (both pair operands −32768) is unreachable from i8 inputs.
+//
+// Scales are symmetric: activations quantize per-tensor on the fly, weights
+// per output channel at pack time (the channel axis is never the contracted
+// axis, so the scale factors out of the integer sum exactly). The i32
+// accumulator rescales to f32 once at write-back.
+
+/// The k extent padded to an even number of depths (the pair layout).
+#[inline]
+fn kpad(k: usize) -> usize {
+    k + (k & 1)
+}
+
+/// Symmetric per-tensor quantization to i8: `scale = max|x| / 127`
+/// (1.0 for an all-zero slice), values rounded to nearest and clamped to
+/// `[-127, 127]`.
+pub(crate) fn quantize_slice(src: &[f32]) -> (Vec<i8>, f32) {
+    let max = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+    let inv = 1.0 / scale;
+    let q = src.iter().map(|&v| quantize_one(v, inv)).collect();
+    (q, scale)
+}
+
+/// Rounds `v · inv` to the nearest integer (half away from zero — the
+/// same rule as `f32::round`, but via a truncating cast, which
+/// vectorizes) and clamps to the symmetric i8 range.
+#[inline]
+fn quantize_one(v: f32, inv: f32) -> i8 {
+    let r = v * inv;
+    let rounded = if r >= 0.0 {
+        (r + 0.5) as i32
+    } else {
+        (r - 0.5) as i32
+    };
+    rounded.clamp(-127, 127) as i8
+}
+
+/// Symmetric per-row quantization of a row-major `rows × cols` matrix: one
+/// scale per row (the per-output-channel weight scheme).
+fn quantize_rows(src: &[f32], rows: usize, cols: usize) -> (Vec<i8>, Vec<f32>) {
+    let mut q = vec![0i8; rows * cols];
+    let mut scales = vec![1.0f32; rows];
+    for r in 0..rows {
+        let row = &src[r * cols..(r + 1) * cols];
+        let max = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if max > 0.0 {
+            let scale = max / 127.0;
+            scales[r] = scale;
+            let inv = 1.0 / scale;
+            for (o, &v) in q[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+                *o = (v * inv).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+    }
+    (q, scales)
+}
+
+/// A weight matrix quantized to i8 and repacked into pair-interleaved
+/// micro-kernel panels, with one symmetric scale per output channel
+/// (per column for Rhs panels, per row for Lhs panels).
+///
+/// This is the quantized sibling of [`PackedMatrix`]: `Linear` and `Conv2d`
+/// build one per parameter version through [`PackedCache`], so weights are
+/// quantized and packed once per update, never per frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QPackedMatrix {
+    data: Vec<i8>,
+    /// Logical row count of the packed matrix (`m` for Lhs, `k` for Rhs).
+    rows: usize,
+    /// Logical column count (`k` for Lhs, `n` for Rhs).
+    cols: usize,
+    kind: PanelKind,
+    /// One scale per output channel: `cols` entries for Rhs panels, `rows`
+    /// entries for Lhs panels.
+    scales: Vec<f32>,
+}
+
+impl QPackedMatrix {
+    /// Quantizes an `[n, k]` weight per row and packs its *transpose* into
+    /// column panels — the `Linear` shape (`x · Wᵀ`), with the row scales
+    /// becoming per-column output scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank-2.
+    pub fn pack_rhs_transposed(w: &Tensor) -> Self {
+        assert_eq!(w.shape().ndim(), 2, "pack_rhs_transposed requires rank-2");
+        let (n, k) = (w.shape().dim(0), w.shape().dim(1));
+        let (q, scales) = quantize_rows(w.as_slice(), n, k);
+        let mut data = vec![0i8; n.div_ceil(NR).max(1) * kpad(k) * NR];
+        pack_rhs_transposed_q_into(&mut data, &q, n, k);
+        Self {
+            data,
+            rows: k,
+            cols: n,
+            kind: PanelKind::Rhs,
+            scales,
+        }
+    }
+
+    /// Quantizes an `[m, k]` weight per row and packs it into row panels —
+    /// the convolution shape (`W · im2col`), with the row scales staying
+    /// per-row output scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank-2.
+    pub fn pack_lhs(w: &Tensor) -> Self {
+        assert_eq!(w.shape().ndim(), 2, "pack_lhs requires rank-2");
+        let (m, k) = (w.shape().dim(0), w.shape().dim(1));
+        let (q, scales) = quantize_rows(w.as_slice(), m, k);
+        let mut data = vec![0i8; m.div_ceil(MR).max(1) * kpad(k) * MR];
+        pack_lhs_q_into(&mut data, &q, m, k);
+        Self {
+            data,
+            rows: m,
+            cols: k,
+            kind: PanelKind::Lhs,
+            scales,
+        }
+    }
+
+    /// Logical row count (`m` for Lhs panels, `k` for Rhs panels).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count (`k` for Lhs panels, `n` for Rhs panels).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Which GEMM operand the panels were laid out for.
+    pub fn kind(&self) -> PanelKind {
+        self.kind
+    }
+
+    /// The per-output-channel weight scales packed with the panels.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The packed i8 panel storage (pair-interleaved; see above).
+    pub(crate) fn panels(&self) -> &[i8] {
+        &self.data
+    }
+}
+
+/// Packs row-major i8 `b` (`k × n`) into p-major column panels — the same
+/// copy pattern as [`pack_rhs_into`], with the depth extent padded to
+/// `kpad(k)`. `data` must be zeroed and sized `⌈n/NR⌉·kpad(k)·NR`.
+pub(crate) fn pack_rhs_q_into(data: &mut [i8], src: &[i8], k: usize, n: usize) {
+    let kp = kpad(k);
+    for jp in 0..n.div_ceil(NR) {
+        let j0 = jp * NR;
+        let width = NR.min(n - j0);
+        let panel = &mut data[jp * kp * NR..(jp + 1) * kp * NR];
+        for (p, dst) in panel.chunks_exact_mut(NR).take(k).enumerate() {
+            dst[..width].copy_from_slice(&src[p * n + j0..p * n + j0 + width]);
+        }
+    }
+}
+
+/// Packs the transpose of row-major i8 `w` (`n × k`) into p-major column
+/// panels — the quantized sibling of [`pack_rhs_transposed_into`], with
+/// the depth extent padded to `kpad(k)`. `data` must be zeroed and sized
+/// `⌈n/NR⌉·kpad(k)·NR`.
+pub(crate) fn pack_rhs_transposed_q_into(data: &mut [i8], src: &[i8], n: usize, k: usize) {
+    let kp = kpad(k);
+    for jp in 0..n.div_ceil(NR) {
+        let j0 = jp * NR;
+        let width = NR.min(n - j0);
+        let panel = &mut data[jp * kp * NR..(jp + 1) * kp * NR];
+        for (p, dst) in panel.chunks_exact_mut(NR).take(k).enumerate() {
+            // Column j of wᵀ is row j of w: lane s reads w[j0+s][p].
+            for (s, v) in dst[..width].iter_mut().enumerate() {
+                *v = src[(j0 + s) * k + p];
+            }
+        }
+    }
+}
+
+/// Packs row-major i8 `a` (`m × k`) into pair-interleaved row panels.
+/// `data` must be zeroed and sized `⌈m/MR⌉·kpad(k)·MR`.
+pub(crate) fn pack_lhs_q_into(data: &mut [i8], src: &[i8], m: usize, k: usize) {
+    let kp = kpad(k);
+    for ip in 0..m.div_ceil(MR) {
+        let i0 = ip * MR;
+        let height = MR.min(m - i0);
+        let panel = &mut data[ip * kp * MR..(ip + 1) * kp * MR];
+        for p in 0..k {
+            let base = (p / 2) * (2 * MR) + (p & 1);
+            for r in 0..height {
+                panel[base + 2 * r] = src[(i0 + r) * k + p];
+            }
+        }
+    }
+}
+
+/// Packs the im2col patch matrix of a quantized `[C, H, W]` image into
+/// p-major column panels, straight from the i8 image — the quantized twin
+/// of [`pack_rhs_im2col_into`], reusing the same precomputed in-bounds
+/// run bounds for the strided gather (only the element type and the
+/// even-padded depth extent differ). Out-of-bounds taps keep the buffer's
+/// pre-zeroed lanes, which is exactly the zero padding: 0 maps to 0 under
+/// symmetric quantization. `data` must be zeroed and sized
+/// `⌈outH·outW/NR⌉·kpad(C·k²)·NR`.
+pub(crate) fn pack_rhs_im2col_q_into(data: &mut [i8], src: &[i8], spec: &Im2ColSpec) {
+    let rows = spec.patch_rows();
+    let cols = spec.patch_cols();
+    let ow = spec.out_width();
+    let (h, w) = (spec.height, spec.width);
+    let stride = spec.stride;
+    let panel_len = kpad(rows) * NR;
+    // One task per column panel, same width-invariance argument as the f32
+    // twin: panels are disjoint chunks and every lane is a pure function of
+    // (panel, p, lane).
+    exec::pool().par_rows(data, panel_len, 2 * panel_len, |jp, panel| {
+        let j0 = jp * NR;
+        let width = NR.min(cols - j0);
+        for (p, dst) in panel.chunks_exact_mut(NR).take(rows).enumerate() {
+            let (c, ki, kj) = spec.tap(p);
+            let ib = (ki * spec.dilation) as isize - spec.padding as isize;
+            let jb = (kj * spec.dilation) as isize - spec.padding as isize;
+            let plane = &src[c * h * w..(c + 1) * h * w];
+            // Lanes sharing an output row form a run whose input reads
+            // advance by `stride`.
+            let mut s = 0;
+            while s < width {
+                let (oi, oj) = ((j0 + s) / ow, (j0 + s) % ow);
+                let run = (ow - oj).min(width - s);
+                let ii = (oi * stride) as isize + ib;
+                if 0 <= ii && ii < h as isize {
+                    let row = &plane[ii as usize * w..(ii as usize + 1) * w];
+                    let jj = (oj * stride) as isize + jb;
+                    if stride == 1 {
+                        // Unit stride: the in-bounds middle of the run is one
+                        // contiguous copy from the input row.
+                        let lo = (-jj).clamp(0, run as isize) as usize;
+                        let hi = (w as isize - jj).clamp(0, run as isize) as usize;
+                        if hi > lo {
+                            dst[s + lo..s + hi].copy_from_slice(
+                                &row[(jj + lo as isize) as usize..(jj + hi as isize) as usize],
+                            );
+                        }
+                    } else {
+                        // Strided gather through the precomputed in-bounds
+                        // lane range [lo, hi): lane t reads column
+                        // jj + t·stride (the PR-7 run-bounds trick).
+                        let lo = if jj >= 0 {
+                            0
+                        } else {
+                            ((-jj) as usize).div_ceil(stride).min(run)
+                        };
+                        let hi = if (w as isize) > jj {
+                            ((w as isize - jj) as usize).div_ceil(stride).min(run)
+                        } else {
+                            0
+                        };
+                        if hi > lo {
+                            let mut src_j = (jj + (lo * stride) as isize) as usize;
+                            for v in &mut dst[s + lo..s + hi] {
+                                *v = row[src_j];
+                                src_j += stride;
+                            }
+                        }
+                    }
+                }
+                s += run;
+            }
+        }
+    });
+}
+
+/// The scalar i8 reference micro-kernel: accumulates the full-`k` product
+/// of one pair-interleaved A panel and one pair-interleaved B panel into
+/// the `i32` tile. Integer arithmetic is exact, so this kernel defines the
+/// bit pattern every other i8 kernel (and every pool width) must reproduce.
+#[inline]
+fn microkernel_i8(a_panel: &[i8], b_panel: &[i8], acc: &mut [[i32; NR]; MR]) {
+    for (ap, bp) in a_panel
+        .chunks_exact(2 * MR)
+        .zip(b_panel.chunks_exact(2 * NR))
+    {
+        // The two p-major depth rows of this pair.
+        let (b0, b1) = bp.split_at(NR);
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let a0 = ap[2 * r] as i32;
+            let a1 = ap[2 * r + 1] as i32;
+            // Skipping an all-zero pair is a pure speed heuristic: unlike
+            // the f32 kernel's zero-skip, it cannot change the (exact)
+            // integer result.
+            if a0 == 0 && a1 == 0 {
+                continue;
+            }
+            for (j, o) in accr.iter_mut().enumerate() {
+                *o += a0 * b0[j] as i32 + a1 * b1[j] as i32;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod simd_i8;
+
+/// Computes one MR×NR i32 tile from the packed panels, dispatching to
+/// the best i8 kernel tier the caller witnessed (`simd_i8::level()`):
+/// 2 = VNNI, 1 = AVX2, else the scalar reference. Every tier computes
+/// the same exact integers, so dispatch can never change an output.
+#[inline]
+fn qgemm_tile(a_panel: &[i8], b_panel: &[i8], simd_level: u8) -> [[i32; NR]; MR] {
+    let mut acc = [[0i32; NR]; MR];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_level >= 2 {
+            // SAFETY: level ≥ 2 witnessed avx512vnni+avx512vl (and avx2)
+            // via `simd_i8::level`; the panel slices carry exactly kp·MR /
+            // kp·NR elements by construction and the kernel only uses
+            // unaligned loads/stores.
+            #[allow(unsafe_code)]
+            unsafe {
+                simd_i8::microkernel_i8_vnni(a_panel, b_panel, &mut acc)
+            };
+            return acc;
+        } else if simd_level == 1 {
+            // SAFETY: level 1 witnessed AVX2 via `simd_i8::level`; the
+            // panel slices carry exactly kp·MR / kp·NR elements by
+            // construction and the kernel only uses unaligned
+            // loads/stores.
+            #[allow(unsafe_code)]
+            unsafe {
+                simd_i8::microkernel_i8(a_panel, b_panel, &mut acc)
+            };
+            return acc;
+        }
+    }
+    let _ = simd_level;
+    microkernel_i8(a_panel, b_panel, &mut acc);
+    acc
+}
+
+/// How the quantized GEMM rescales its i32 accumulators to f32 at
+/// write-back: `acc · act_scale · w_scale[channel]`, with the weight's
+/// channel axis being either the output columns (Rhs-packed weights) or
+/// the output rows (Lhs-packed weights).
+enum QRescale<'a> {
+    /// Weight scales indexed by output column (`Linear`: `x · Wᵀ`).
+    PerCol { act: f32, w: &'a [f32] },
+    /// Weight scales indexed by output row (`Conv2d`: `W · im2col`).
+    PerRow { act: f32, w: &'a [f32] },
+}
+
+/// Runs the quantized blocked GEMM over one span of output rows,
+/// rescaling each i32 accumulator to f32 at write-back. Same span
+/// geometry as [`gemm_span`]; `kp` is the pair-padded depth.
+fn qgemm_span(
+    span: &mut [f32],
+    row0: usize,
+    a_panels: &[i8],
+    b_panels: &[i8],
+    m: usize,
+    kp: usize,
+    n: usize,
+    rescale: &QRescale,
+) {
+    let span_rows = if n == 0 { 0 } else { span.len() / n };
+    if span_rows == 0 {
+        return;
+    }
+    debug_assert_eq!(row0 % MR, 0, "span must start on an MR boundary");
+    #[cfg(target_arch = "x86_64")]
+    let simd_level = simd_i8::level();
+    #[cfg(not(target_arch = "x86_64"))]
+    let simd_level = 0u8;
+    let panel_b_len = kp * NR;
+    let panel_a_len = kp * MR;
+    for jp in 0..n.div_ceil(NR) {
+        let b_panel = &b_panels[jp * panel_b_len..(jp + 1) * panel_b_len];
+        let j0 = jp * NR;
+        let width = NR.min(n - j0);
+        let mut i0 = 0usize;
+        while i0 < span_rows {
+            let ip = (row0 + i0) / MR;
+            let a_panel = &a_panels[ip * panel_a_len..(ip + 1) * panel_a_len];
+            let height = MR.min(span_rows - i0).min(m - (row0 + i0));
+            let acc = qgemm_tile(a_panel, b_panel, simd_level);
+            for (r, accr) in acc.iter().take(height).enumerate() {
+                let orow = &mut span[(i0 + r) * n + j0..(i0 + r) * n + j0 + width];
+                match rescale {
+                    QRescale::PerCol { act, w } => {
+                        for (s, o) in orow.iter_mut().enumerate() {
+                            *o = accr[s] as f32 * (act * w[j0 + s]);
+                        }
+                    }
+                    QRescale::PerRow { act, w } => {
+                        let factor = act * w[row0 + i0 + r];
+                        for (s, o) in orow.iter_mut().enumerate() {
+                            *o = accr[s] as f32 * factor;
+                        }
+                    }
+                }
+            }
+            i0 += MR;
+        }
+    }
+}
+
+/// Quantized blocked GEMM into a fresh f32 tensor, row-span partitioned
+/// across the execution pool exactly like [`gemm_packed`].
+fn qgemm_packed(
+    a_panels: &[i8],
+    b_panels: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    rescale: QRescale<'_>,
+) -> Tensor {
+    let kp = kpad(k);
+    let rescale = &rescale;
+    let mut out = exec::take_buf_at("qgemm.out", m * n);
+    exec::pool().par_row_spans(&mut out, n.max(1), MR, k * n, |row0, span| {
+        qgemm_span(span, row0, a_panels, b_panels, m, kp, n, rescale);
+    });
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Blocked i8×i8→i32 GEMM over row-major operands, returning the raw
+/// integer accumulators: `a (m×k) · b (k×n) → [m·n]` in row-major order.
+///
+/// This is the exact integer product the modeled systolic array executes
+/// (`solo-hw` delegates its functional model here) and the backend behind
+/// `solo-nn`'s `qmatmul`; the f32 entry points rescale the same
+/// accumulators at write-back instead of materializing them.
+///
+/// # Panics
+///
+/// Panics if the operand lengths do not match `m·k` / `k·n`.
+pub fn qgemm_i8(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "qgemm_i8 lhs length mismatch");
+    assert_eq!(b.len(), k * n, "qgemm_i8 rhs length mismatch");
+    let kp = kpad(k);
+    let mut a_panels = vec![0i8; m.div_ceil(MR).max(1) * kp * MR];
+    pack_lhs_q_into(&mut a_panels, a, m, k);
+    let mut b_panels = vec![0i8; n.div_ceil(NR).max(1) * kp * NR];
+    pack_rhs_q_into(&mut b_panels, b, k, n);
+    let mut out = vec![0i32; m * n];
+    exec::pool().par_row_spans(&mut out, n.max(1), MR, k * n, |row0, span| {
+        qgemm_span_i32(span, row0, &a_panels, &b_panels, m, kp, n);
+    });
+    out
+}
+
+/// Integer-output sibling of [`qgemm_span`]: writes the raw i32 tile.
+fn qgemm_span_i32(
+    span: &mut [i32],
+    row0: usize,
+    a_panels: &[i8],
+    b_panels: &[i8],
+    m: usize,
+    kp: usize,
+    n: usize,
+) {
+    let span_rows = if n == 0 { 0 } else { span.len() / n };
+    if span_rows == 0 {
+        return;
+    }
+    debug_assert_eq!(row0 % MR, 0, "span must start on an MR boundary");
+    #[cfg(target_arch = "x86_64")]
+    let simd_level = simd_i8::level();
+    #[cfg(not(target_arch = "x86_64"))]
+    let simd_level = 0u8;
+    let panel_b_len = kp * NR;
+    let panel_a_len = kp * MR;
+    for jp in 0..n.div_ceil(NR) {
+        let b_panel = &b_panels[jp * panel_b_len..(jp + 1) * panel_b_len];
+        let j0 = jp * NR;
+        let width = NR.min(n - j0);
+        let mut i0 = 0usize;
+        while i0 < span_rows {
+            let ip = (row0 + i0) / MR;
+            let a_panel = &a_panels[ip * panel_a_len..(ip + 1) * panel_a_len];
+            let height = MR.min(span_rows - i0).min(m - (row0 + i0));
+            let acc = qgemm_tile(a_panel, b_panel, simd_level);
+            for (r, accr) in acc.iter().take(height).enumerate() {
+                let orow = &mut span[(i0 + r) * n + j0..(i0 + r) * n + j0 + width];
+                orow.copy_from_slice(&accr[..width]);
+            }
+            i0 += MR;
+        }
+    }
+}
+
+impl Tensor {
+    /// Quantized matrix product against pre-quantized, pre-packed weight
+    /// panels: `[m,k] × qpacked([k,n]) → [m,n]` in f32.
+    ///
+    /// `self` is quantized symmetrically per-tensor on the fly; the weight
+    /// was quantized per output column at pack time. The i32 accumulators
+    /// rescale to f32 at write-back, so the result approximates
+    /// `self.matmul_packed(..)` to quantization accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank-2, `rhs` was not packed with
+    /// [`QPackedMatrix::pack_rhs_transposed`], or the inner dimensions
+    /// differ.
+    pub fn qmatmul_packed(&self, rhs: &QPackedMatrix) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "qmatmul_packed lhs must be rank-2");
+        assert_eq!(
+            rhs.kind(),
+            PanelKind::Rhs,
+            "qmatmul_packed needs Rhs panels (got {:?})",
+            rhs.kind()
+        );
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        assert_eq!(
+            k,
+            rhs.rows(),
+            "qmatmul_packed inner dimension mismatch: {} vs packed {}×{}",
+            self.shape(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let (qa, act) = quantize_slice(self.as_slice());
+        let mut a_panels = vec![0i8; m.div_ceil(MR).max(1) * kpad(k) * MR];
+        pack_lhs_q_into(&mut a_panels, &qa, m, k);
+        qgemm_packed(
+            &a_panels,
+            rhs.panels(),
+            m,
+            k,
+            rhs.cols(),
+            QRescale::PerCol {
+                act,
+                w: rhs.scales(),
+            },
+        )
+    }
+}
+
+impl QPackedMatrix {
+    /// Quantized matrix product with `self` as a pre-packed *left*
+    /// operand: `qpacked([m,k]) × [k,n] → [m,n]` in f32. The convolution
+    /// shape; `rhs` quantizes per-tensor on the fly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` was not packed with [`QPackedMatrix::pack_lhs`],
+    /// `rhs` is not rank-2, or the inner dimensions differ.
+    pub fn qmatmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.kind(),
+            PanelKind::Lhs,
+            "QPackedMatrix::qmatmul needs Lhs panels (got {:?})",
+            self.kind()
+        );
+        assert_eq!(rhs.shape().ndim(), 2, "qmatmul rhs must be rank-2");
+        let (k, n) = (rhs.shape().dim(0), rhs.shape().dim(1));
+        assert_eq!(
+            self.cols(),
+            k,
+            "qmatmul inner dimension mismatch: packed {}×{} vs {}",
+            self.rows(),
+            self.cols(),
+            rhs.shape()
+        );
+        let (qb, act) = quantize_slice(rhs.as_slice());
+        let mut b_panels = vec![0i8; n.div_ceil(NR).max(1) * kpad(k) * NR];
+        pack_rhs_q_into(&mut b_panels, &qb, k, n);
+        qgemm_packed(
+            self.panels(),
+            &b_panels,
+            self.rows(),
+            k,
+            n,
+            QRescale::PerRow {
+                act,
+                w: self.scales(),
+            },
+        )
+    }
+
+    /// Quantized implicit-GEMM convolution forward:
+    /// `self · im2col(input, spec)` with the patch matrix packed straight
+    /// from the quantized image by [`pack_rhs_im2col_q_into`] — the
+    /// quantized twin of [`PackedMatrix::matmul_im2col`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` was not packed with [`QPackedMatrix::pack_lhs`],
+    /// if `input` is not the `[C, H, W]` tensor `spec` describes, or if
+    /// the packed `k` extent differs from `spec.patch_rows()`.
+    pub fn qmatmul_im2col(&self, input: &Tensor, spec: &Im2ColSpec) -> Tensor {
+        assert_eq!(
+            self.kind(),
+            PanelKind::Lhs,
+            "qmatmul_im2col needs Lhs panels (got {:?})",
+            self.kind()
+        );
+        assert_eq!(
+            input.shape().dims(),
+            &[spec.channels, spec.height, spec.width],
+            "qmatmul_im2col input does not match spec"
+        );
+        let (k, n) = (spec.patch_rows(), spec.patch_cols());
+        assert_eq!(
+            self.cols(),
+            k,
+            "qmatmul_im2col inner dimension mismatch: packed {}×{} vs {} patch rows",
+            self.rows(),
+            self.cols(),
+            k
+        );
+        let (qimg, act) = quantize_slice(input.as_slice());
+        let mut b_panels = vec![0i8; n.div_ceil(NR).max(1) * kpad(k) * NR];
+        pack_rhs_im2col_q_into(&mut b_panels, &qimg, spec);
+        qgemm_packed(
+            self.panels(),
+            &b_panels,
+            self.rows(),
+            k,
+            n,
+            QRescale::PerRow {
+                act,
+                w: self.scales(),
+            },
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -942,5 +1604,205 @@ mod tests {
         assert_eq!(cache.cached_version(), Some(2));
         cache.invalidate();
         assert_eq!(cache.cached_version(), None);
+    }
+
+    // --- int8 path ---
+
+    use proptest::prelude::*;
+
+    /// The naive i-p-j integer GEMM every i8 kernel must reproduce exactly.
+    fn qgemm_reference(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+        let mut out = vec![0i32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p] as i32;
+                for j in 0..n {
+                    out[i * n + j] += av * b[p * n + j] as i32;
+                }
+            }
+        }
+        out
+    }
+
+    fn random_i8(rng: &mut impl rand::Rng, len: usize) -> Vec<i8> {
+        (0..len)
+            .map(|_| (rng.gen_range(-127i32..=127)) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn quantized_gemm_bit_identical_to_integer_reference_on_ragged_shapes() {
+        use crate::seeded_rng;
+        let shapes = [
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 8, 8),
+            (5, 7, 9),
+            (7, 3, 17),
+            (13, 29, 31),
+            (64, 1, 1),
+            (1, 64, 1),
+            (5, 0, 7),
+            (33, 17, 40),
+        ];
+        for (i, &(m, k, n)) in shapes.iter().enumerate() {
+            let mut rng = seeded_rng(300 + i as u64);
+            let a = random_i8(&mut rng, m * k);
+            let b = random_i8(&mut rng, k * n);
+            let want = qgemm_reference(&a, &b, m, k, n);
+            for width in [1usize, 8] {
+                let got = exec::with_threads(width, || qgemm_i8(&a, &b, m, k, n));
+                assert_eq!(got, want, "{m}x{k}x{n} diverged at pool width {width}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The blocked/SIMD i8 GEMM is pinned bit-identical to the scalar
+        /// integer reference at pool widths 1 and 8 on arbitrary ragged
+        /// shapes (integer arithmetic is exact, so equality is bitwise).
+        #[test]
+        fn prop_quantized_gemm_matches_reference_at_widths_1_and_8(
+            (m, k, n, seed) in (1usize..24, 0usize..40, 1usize..40, 0u64..1000)
+        ) {
+            use crate::seeded_rng;
+            let mut rng = seeded_rng(seed);
+            let a = random_i8(&mut rng, m * k);
+            let b = random_i8(&mut rng, k * n);
+            let want = qgemm_reference(&a, &b, m, k, n);
+            for width in [1usize, 8] {
+                let got = exec::with_threads(width, || qgemm_i8(&a, &b, m, k, n));
+                prop_assert_eq!(&got, &want, "{}x{}x{} width {}", m, k, n, width);
+            }
+        }
+
+        /// The quantized implicit-conv path is pinned bit-identical across
+        /// pool widths, and — for specs where every pixel reaches a patch —
+        /// to the plain quantized GEMM over the materialized patch matrix.
+        #[test]
+        fn prop_quantized_im2col_matches_materialized_at_widths_1_and_8(
+            (oc, stride, padding, seed) in (1usize..7, 1usize..3, 0usize..2, 0u64..1000)
+        ) {
+            use crate::{normal, seeded_rng};
+            let spec = Im2ColSpec {
+                channels: 2,
+                height: 7,
+                width: 6,
+                kernel: 3,
+                stride,
+                padding,
+                dilation: 1,
+            };
+            let mut rng = seeded_rng(seed);
+            let img = normal(&mut rng, &[2, 7, 6], 0.0, 1.0);
+            let w = normal(&mut rng, &[oc, spec.patch_rows()], 0.0, 1.0);
+            let packed = QPackedMatrix::pack_lhs(&w);
+            let serial = exec::with_threads(1, || packed.qmatmul_im2col(&img, &spec));
+            let wide = exec::with_threads(8, || packed.qmatmul_im2col(&img, &spec));
+            prop_assert_eq!(serial.as_slice(), wide.as_slice());
+            if stride == 1 && padding == 1 {
+                // Every pixel appears in some patch, so quantizing the
+                // image commutes with materializing im2col and the two
+                // paths agree bitwise.
+                let cols = crate::im2col(&img, &spec);
+                let via_cols = packed.qmatmul(&cols);
+                prop_assert_eq!(serial.as_slice(), via_cols.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_im2col_pack_matches_materialized_q_pack() {
+        use crate::{normal, seeded_rng};
+        // Sweep the same stride/dilation/padding grid as the f32 gather
+        // test so the run-bounds reuse is exercised at every edge.
+        for (i, &(stride, dilation, padding)) in [
+            (1, 1, 1),
+            (2, 1, 0),
+            (2, 2, 1),
+            (3, 1, 2),
+            (3, 2, 3),
+            (2, 3, 2),
+            (4, 1, 1),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let spec = Im2ColSpec {
+                channels: 2,
+                height: 9,
+                width: 7,
+                kernel: 3,
+                stride,
+                padding,
+                dilation,
+            };
+            let mut rng = seeded_rng(500 + i as u64);
+            let img = normal(&mut rng, &[2, 9, 7], 0.0, 1.0);
+            let (qimg, _) = quantize_slice(img.as_slice());
+            // Materialize im2col over the quantized values (exact small
+            // integers survive the f32 round trip) and pack that.
+            let qimg_f: Vec<f32> = qimg.iter().map(|&v| v as f32).collect();
+            let cols = crate::im2col(&Tensor::from_vec(qimg_f, &[2, 9, 7]), &spec);
+            let qcols: Vec<i8> = cols.as_slice().iter().map(|&v| v as i8).collect();
+            let (k, n) = (spec.patch_rows(), spec.patch_cols());
+            let mut want = vec![0i8; n.div_ceil(NR).max(1) * kpad(k) * NR];
+            pack_rhs_q_into(&mut want, &qcols, k, n);
+            let mut got = vec![0i8; want.len()];
+            pack_rhs_im2col_q_into(&mut got, &qimg, &spec);
+            assert_eq!(
+                got, want,
+                "stride {stride} dilation {dilation} padding {padding}"
+            );
+        }
+    }
+
+    #[test]
+    fn qmatmul_packed_tracks_f32_within_the_analytic_quant_bound() {
+        use crate::{normal, seeded_rng};
+        let mut rng = seeded_rng(42);
+        let (m, k, n) = (9, 23, 18);
+        let x = normal(&mut rng, &[m, k], 0.0, 1.0);
+        let w = normal(&mut rng, &[n, k], 0.0, 1.0);
+        let packed = QPackedMatrix::pack_rhs_transposed(&w);
+        let got = x.qmatmul_packed(&packed);
+        let want = x.matmul(&w.transpose());
+        // out_ij = Σ_p x_ip·w_jp with x = sa·qx + ex (|ex| ≤ sa/2) and
+        // w = sw_j·qw + ew (|ew| ≤ sw_j/2), so the per-element error is
+        // bounded by Σ_p (sa/2·|w_jp| + sw_j/2·|x_ip| + sa·sw_j/4).
+        let (_, sa) = quantize_slice(x.as_slice());
+        for i in 0..m {
+            for j in 0..n {
+                let swj = packed.scales()[j];
+                let mut bound = 0.0f32;
+                for p in 0..k {
+                    bound += 0.5 * sa * w.as_slice()[j * k + p].abs()
+                        + 0.5 * swj * x.as_slice()[i * k + p].abs()
+                        + 0.25 * sa * swj;
+                }
+                let err = (got.as_slice()[i * n + j] - want.as_slice()[i * n + j]).abs();
+                assert!(
+                    err <= bound,
+                    "({i},{j}): err {err} exceeds analytic bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_cache_requantizes_on_version_bump() {
+        let w = Tensor::arange(8).reshape(&[2, 4]);
+        let mut cache: PackedCache<QPackedMatrix> = PackedCache::new();
+        let mut packs = 0;
+        for version in [3u64, 3, 4, 4, 5] {
+            cache.get_or_pack(version, || {
+                packs += 1;
+                QPackedMatrix::pack_rhs_transposed(&w)
+            });
+        }
+        assert_eq!(packs, 3, "one quantize+pack per distinct version");
+        assert_eq!(cache.cached_version(), Some(5));
     }
 }
