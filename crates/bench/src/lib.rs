@@ -22,6 +22,7 @@
 //! | `fig17`  | Fig. 17 — simulated user study |
 //! | `davis`  | Section 6.6 — DAVIS robustness |
 //! | `streaming` | Speculation sweep (K × saccade rate × deadline), archived in `BENCH_streaming.json` |
+//! | `serving` | Multi-session serving: cross-session batched inference core + sessions × deadline × batch sweep, archived in `BENCH_serving.json` |
 //! | `area`   | Section 6.1 — accelerator area breakdown |
 //! | `ablations` | DESIGN.md ablations (pruning, quant, ADC groups, σ, λ) |
 //!

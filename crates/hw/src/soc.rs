@@ -524,6 +524,48 @@ impl SocModel {
         cost
     }
 
+    /// The *marginal* per-session cost of one SOLO frame served inside a
+    /// batch of `batch` concurrent sessions — the price the serving
+    /// layer's admission control charges per user per tick.
+    ///
+    /// Per-user stages (sensing, MIPI, DRAM, ESNet crop indexing, display)
+    /// are unchanged: every user owns their own sensor stream and display.
+    /// The segmentation stage, however, runs as **one batched dispatch**
+    /// over the shared weights: the GPU executes `batch ×` the FLOPs in a
+    /// single launch and each session pays `latency(batch · flops) /
+    /// batch`. Because the mobile-GPU model is dispatch-bound at small
+    /// workloads (sub-linear latency in FLOPs), the marginal segmentation
+    /// cost *falls* with batch size — the amortization the cross-session
+    /// batched GEMM realizes in software. With `batch == 1` this is
+    /// bit-identical to `evaluate(Pipeline::Solo, ..)`.
+    pub fn batched_solo_path(
+        &self,
+        backbone: Backbone,
+        dataset: Dataset,
+        batch: usize,
+    ) -> CostBreakdown {
+        let mut cost = self.evaluate(Pipeline::Solo, backbone, dataset);
+        let b = batch.max(1);
+        if b > 1 {
+            let down = dataset.down_side();
+            // Capped at the solo segmentation cost: the scheduler can
+            // always fall back to serial dispatch, so batching never makes
+            // a session's marginal price *worse* (the log-log GPU curve is
+            // only sub-linear inside its dispatch-bound anchored regime).
+            let seg_t = Latency::from_ms(
+                (self.gpu.latency(b as f64 * backbone.gflops(down)).ms() / b as f64)
+                    .min(cost.segmentation.0.ms()),
+            );
+            cost.segmentation = (seg_t, self.gpu.energy(seg_t));
+            // Platform base power integrates over the (shorter) frame.
+            cost.platform = (
+                Latency::ZERO,
+                Energy::from_power(crate::calib::PLATFORM_POWER_W, cost.latency()),
+            );
+        }
+        cost
+    }
+
     /// The cost of the uniform-fallback rung: with no usable gaze there is
     /// no saliency to steer the SBS re-read, so the frame is the preview
     /// alone, segmented uniformly at the downsampled resolution. Drops the
@@ -838,6 +880,45 @@ mod tests {
             let skip = soc().skip_path(d).latency();
             assert!(uniform < solo, "{}: {uniform} vs solo {solo}", d.name());
             assert!(uniform > skip, "{}: {uniform} vs skip {skip}", d.name());
+        }
+    }
+
+    #[test]
+    fn batched_solo_marginal_cost_falls_monotonically_with_batch() {
+        let b = Backbone::Hr;
+        for d in Dataset::MAIN {
+            let solo = soc().evaluate(Pipeline::Solo, b, d);
+            assert_eq!(
+                soc().batched_solo_path(b, d, 1),
+                solo,
+                "{}: batch of one must price exactly like the solo frame",
+                d.name()
+            );
+            // Strictly cheaper in the dispatch-bound small-batch regime…
+            let mut prev = solo.latency();
+            for batch in [2usize, 4] {
+                let marginal = soc().batched_solo_path(b, d, batch).latency();
+                assert!(
+                    marginal < prev,
+                    "{}: batch {batch} marginal {marginal} not below {prev}",
+                    d.name()
+                );
+                prev = marginal;
+            }
+            // …and never *worse* than serial dispatch at any batch size.
+            for batch in [8usize, 16, 64] {
+                let marginal = soc().batched_solo_path(b, d, batch).latency();
+                assert!(
+                    marginal <= solo.latency(),
+                    "{}: batch {batch} marginal {marginal} above solo {}",
+                    d.name(),
+                    solo.latency()
+                );
+            }
+            // Amortization only touches segmentation: per-user sensing is
+            // a floor the batch can never amortize away.
+            let floor = soc().batched_solo_path(b, d, 1 << 20);
+            assert!(floor.latency() > solo.sensing_mipi().0);
         }
     }
 

@@ -37,6 +37,9 @@ pub fn is_hot_root(f: &FnItem) -> bool {
         Some("PackedMatrix") if f.name.starts_with("matmul") => return true,
         Some("QPackedMatrix") if f.name.starts_with("qmatmul") => return true,
         Some("Tensor") if f.name == "qmatmul_packed" => return true,
+        // The serving frame loop: every admitted user's deadline rides on
+        // one tick, and admission prices the marginal session against it.
+        Some("Server") if f.name == "tick" || f.name == "admit" => return true,
         _ => {}
     }
     if f.name == "infer_quant" {
@@ -506,6 +509,21 @@ mod tests {
             "crates/nn/src/linear.rs",
             Some("Linear"),
             "infer_quant"
+        )));
+        assert!(is_hot_root(&root(
+            "crates/serve/src/server.rs",
+            Some("Server"),
+            "tick"
+        )));
+        assert!(is_hot_root(&root(
+            "crates/serve/src/server.rs",
+            Some("Server"),
+            "admit"
+        )));
+        assert!(!is_hot_root(&root(
+            "crates/serve/src/server.rs",
+            Some("Server"),
+            "mask_digest"
         )));
         assert!(is_hot_root(&root(
             "crates/tensor/src/exec.rs",

@@ -405,6 +405,50 @@ fn p2_reaches_from_the_speculation_roots() {
 }
 
 #[test]
+fn p2_reaches_from_the_serving_roots() {
+    let repo = FixtureRepo::new("p2-serve");
+    // `Server::tick` is a hot root: every admitted user's frame deadline
+    // rides on it, so a panic source in a helper it reaches is a P2.
+    repo.write(
+        "crates/serve/src/server.rs",
+        "impl Server {\n\
+         \x20   pub fn tick(&mut self) { stack(4); }\n\
+         }\n\
+         fn stack(s: usize) {\n\
+         \x20   assert!(s > 0);\n\
+         }\n",
+    );
+    assert_eq!(repo.rules_at("crates/serve/src/server.rs"), ["P2"]);
+
+    // `Server::admit` prices the marginal session on the same deadline.
+    repo.write(
+        "crates/serve/src/server.rs",
+        "impl Server {\n\
+         \x20   pub fn admit(&mut self, s: usize) -> usize {\n\
+         \x20       assert!(s > 0);\n\
+         \x20       s\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert_eq!(repo.rules_at("crates/serve/src/server.rs"), ["P2"]);
+
+    // Off-path reporting on the same type is NOT a root.
+    repo.write(
+        "crates/serve/src/server.rs",
+        "impl Server {\n\
+         \x20   pub fn mask_digest(&self, s: usize) -> usize {\n\
+         \x20       assert!(s > 0);\n\
+         \x20       s\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert!(
+        repo.rules_at("crates/serve/src/server.rs").is_empty(),
+        "Server::mask_digest must not be a root"
+    );
+}
+
+#[test]
 fn x1_pairs_every_scratch_handout_with_its_return_path() {
     let repo = FixtureRepo::new("x1");
     repo.write(

@@ -67,7 +67,7 @@ pub use norm::{ChannelNorm, LayerNorm};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use pool::{AvgPool2, Upsample2};
-pub use rnn::{Rnn, RnnCell};
+pub use rnn::{Rnn, RnnCell, RnnCellPacked};
 pub use serialize::Checkpoint;
 pub use transformer::{Mlp, PositionalEmbedding, TransformerBlock, TransformerConfig};
 

@@ -1,7 +1,7 @@
 //! Recurrent cells for the saccade detector.
 
 use rand::Rng;
-use solo_tensor::{exec, xavier_uniform, Tensor};
+use solo_tensor::{exec, xavier_uniform, PackedMatrix, Tensor};
 
 use crate::{Layer, Param};
 
@@ -67,6 +67,74 @@ impl RnnCell {
             .add(self.b.value());
         pre.map(f32::tanh)
     }
+
+    /// Packs both weight matrices into blocked-GEMM panels for
+    /// [`RnnCell::step_batch`]. Pack once per parameter version (the
+    /// serving layer keys this on the model version through its shared
+    /// cache) and reuse across every tick.
+    pub fn pack(&self) -> RnnCellPacked {
+        RnnCellPacked {
+            w: PackedMatrix::pack_rhs_transposed(self.w.value()),
+            u: PackedMatrix::pack_rhs_transposed(self.u.value()),
+        }
+    }
+
+    /// One step for `S` independent streams at once: `xs` is `[S, input]`,
+    /// `hs` is `[S, hidden]`, and the result stacks the next hidden state
+    /// of every stream, `[S, hidden]`.
+    ///
+    /// This batches the RNN time-step loop across the *session* dimension
+    /// instead of within one sequence: the serial dependency is between a
+    /// stream's own consecutive steps, so independent streams multiply the
+    /// same resident weight panels in one fused GEMM per gate. Each output
+    /// row's value depends only on that stream's `xs`/`hs` rows, so the
+    /// result is bit-identical at any batch size and pool width — serving
+    /// `S` users batched equals serving them one at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree with the cell dimensions or with each
+    /// other, or if `packs` was not built from this cell's current weights
+    /// (detected only by shape).
+    pub fn step_batch(&self, xs: &Tensor, hs: &Tensor, packs: &RnnCellPacked) -> Tensor {
+        assert_eq!(xs.shape().ndim(), 2, "step_batch xs must be [S, input]");
+        assert_eq!(hs.shape().ndim(), 2, "step_batch hs must be [S, hidden]");
+        let s = xs.shape().dim(0);
+        assert_eq!(hs.shape().dim(0), s, "step_batch stream-count mismatch");
+        assert_eq!(
+            xs.shape().dim(1),
+            self.input_dim,
+            "rnn input width mismatch"
+        );
+        assert_eq!(
+            hs.shape().dim(1),
+            self.hidden_dim,
+            "rnn hidden width mismatch"
+        );
+        // One fused dispatch per gate across all streams (S = 1 runs the
+        // same kernel, so the sequential baseline is not a different code
+        // path).
+        let pre_x = xs.matmul_packed(&packs.w);
+        let pre_h = hs.matmul_packed(&packs.u);
+        let mut out = pre_x.add(&pre_h);
+        let b = self.b.value().as_slice();
+        for row in out.as_mut_slice().chunks_exact_mut(self.hidden_dim) {
+            for (o, &bv) in row.iter_mut().zip(b) {
+                *o = (*o + bv).tanh();
+            }
+        }
+        pre_x.recycle();
+        pre_h.recycle();
+        out
+    }
+}
+
+/// The pre-packed weight panels of an [`RnnCell`], shared across every
+/// serving session so the cell's weights pack once per version.
+#[derive(Debug)]
+pub struct RnnCellPacked {
+    w: PackedMatrix,
+    u: PackedMatrix,
 }
 
 /// An [`RnnCell`] unrolled over a `[T, input_dim]` sequence.
@@ -221,6 +289,51 @@ mod tests {
         let x = normal(&mut rng, &[3, 2], 0.0, 1.0);
         let worst = gradcheck::check_param_grad(&mut rnn, &x, 1e-2);
         assert!(worst < 2e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn step_batch_is_invariant_to_batch_composition() {
+        let mut rng = seeded_rng(45);
+        let cell = RnnCell::new(&mut rng, 3, 5);
+        let packs = cell.pack();
+        let xs = normal(&mut rng, &[8, 3], 0.0, 1.0);
+        let hs = normal(&mut rng, &[8, 5], 0.0, 0.5);
+        for width in [1usize, 8] {
+            exec::with_threads(width, || {
+                let all = cell.step_batch(&xs, &hs, &packs);
+                assert_eq!(all.shape().dims(), &[8, 5]);
+                for i in 0..8 {
+                    let solo = cell.step_batch(
+                        &xs.row(i).reshape(&[1, 3]),
+                        &hs.row(i).reshape(&[1, 5]),
+                        &packs,
+                    );
+                    assert_eq!(
+                        all.row(i).as_slice(),
+                        solo.as_slice(),
+                        "stream {i} at width {width} differs between batch sizes 8 and 1"
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn step_batch_tracks_the_scalar_step() {
+        let mut rng = seeded_rng(46);
+        let cell = RnnCell::new(&mut rng, 2, 4);
+        let packs = cell.pack();
+        let xs = normal(&mut rng, &[4, 2], 0.0, 1.0);
+        let hs = normal(&mut rng, &[4, 4], 0.0, 0.5);
+        let batched = cell.step_batch(&xs, &hs, &packs);
+        for i in 0..4 {
+            let want = cell.step(&xs.row(i), &hs.row(i));
+            for (g, w) in batched.row(i).as_slice().iter().zip(want.as_slice()) {
+                // matvec and the blocked GEMM may associate differently;
+                // the values must still agree to float tolerance.
+                assert!((g - w).abs() <= 1e-6, "stream {i}: {g} vs {w}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! # solo-serve
+//!
+//! Multi-session serving for the SOLO pipeline: N concurrent users, each
+//! with their own gaze trace, scene, SSA state and degradation ladder,
+//! multiplexed over **one** shared model and **one** per-tick compute
+//! budget.
+//!
+//! The perf core is *cross-session batched inference*: every tick, all
+//! running sessions' warped crops stack into fused GEMM dispatches against
+//! panels that were packed **once per process** (a [`SharedPackedCache`]
+//! keyed on the model version), and the gaze-predictor RNN's time-step
+//! loop is batched across the session dimension. Both batched paths are
+//! bit-identical to serving each session alone — the invariant the tier-1
+//! proptests pin — so batching is purely a throughput lever:
+//!
+//! * [`ServeModel`] — shared weights, version-keyed shared panel caches
+//!   (f32 and int8 twins), the batched segmentation head and predictor;
+//! * [`Session`] — per-user trace, SSA, ladder and predictor hidden row;
+//! * [`Server`] — admission control priced by the batched marginal cost,
+//!   the frame-tick scheduler, and per-session overload degradation.
+//!
+//! ```
+//! use solo_serve::{Admission, ServeModel, ServeModelConfig, Server, ServerConfig, SessionSpec};
+//! use solo_tensor::seeded_rng;
+//! use std::sync::Arc;
+//!
+//! let mut rng = seeded_rng(0);
+//! let model = Arc::new(ServeModel::new(&mut rng, ServeModelConfig::paper_default()).unwrap());
+//! let mut server = Server::new(model, ServerConfig::paper_default()).unwrap();
+//! assert_eq!(server.admit(SessionSpec::nth(0, 0)), Admission::Admitted(0));
+//! let report = server.tick();
+//! assert_eq!(report.sessions, 1);
+//! assert_eq!(report.ran, 1); // first frame always segments
+//! ```
+//!
+//! [`SharedPackedCache`]: solo_tensor::SharedPackedCache
+
+mod model;
+mod server;
+mod session;
+
+pub use model::{Precision, ServeModel, ServeModelConfig};
+pub use server::{Admission, Server, ServerConfig, TickReport};
+pub use session::{ScenePreset, Session, SessionSpec, SessionStats};

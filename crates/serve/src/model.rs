@@ -1,0 +1,466 @@
+//! The process-wide serving model: one set of weights, one set of packed
+//! panels, any number of sessions.
+//!
+//! A [`ServeModel`] owns the segmentation head (a patch-tokenized two-layer
+//! MLP over the warped crop) and the shared gaze-predictor RNN cell. Every
+//! weight matrix is packed into blocked-GEMM panels through a
+//! [`SharedPackedCache`] keyed on the model *version*: N sessions serving
+//! concurrently fetch the same `Arc`'d panels, so a weight push (version
+//! bump) repacks each matrix exactly once per process — never once per
+//! session. Inference runs through the cross-session batched entry points
+//! ([`matmul_packed_batched`] / [`qmatmul_packed_batched`]), which are
+//! bit-identical to per-session calls by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::Rng;
+use solo_core::resilience::{FrameOutcome, SoloError};
+use solo_nn::{RnnCell, RnnCellPacked};
+use solo_tensor::{
+    matmul_packed_batched, qmatmul_packed_batched, xavier_uniform, PackedMatrix, QPackedMatrix,
+    SharedPackedCache, Tensor,
+};
+
+/// Numeric path the segmentation head runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Precision {
+    /// f32 blocked GEMM against the shared f32 panel twins.
+    F32,
+    /// int8 blocked GEMM against the shared int8 panel twins, with
+    /// per-session activation scales.
+    Int8,
+}
+
+impl Precision {
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "i8",
+        }
+    }
+}
+
+/// Dimensions of the serving segmentation head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeModelConfig {
+    /// Channels of the warped crop (3 for the RGB scenes).
+    pub channels: usize,
+    /// Side of the square warped crop the head segments.
+    pub crop_side: usize,
+    /// Side of the square patch one token covers; must divide `crop_side`.
+    pub patch: usize,
+    /// Hidden width of the per-token MLP.
+    pub hidden: usize,
+    /// Hidden width of the gaze-predictor RNN cell.
+    pub predictor_hidden: usize,
+}
+
+impl ServeModelConfig {
+    /// Defaults matched to the synthetic scenes: 96² frames previewed and
+    /// cropped at 24², 4×4-pixel tokens, a 32-wide MLP and an 8-wide
+    /// predictor.
+    pub fn paper_default() -> Self {
+        Self {
+            channels: 3,
+            crop_side: 24,
+            patch: 4,
+            hidden: 32,
+            predictor_hidden: 8,
+        }
+    }
+
+    /// Tokens per crop.
+    pub fn tokens(&self) -> usize {
+        let t = self.crop_side / self.patch;
+        t * t
+    }
+
+    /// Features per token (`channels · patch²`).
+    pub fn token_features(&self) -> usize {
+        self.channels * self.patch * self.patch
+    }
+
+    /// Validates every knob's documented range.
+    pub fn validate(&self) -> FrameOutcome<()> {
+        if self.channels == 0
+            || self.crop_side == 0
+            || self.patch == 0
+            || self.hidden == 0
+            || self.predictor_hidden == 0
+        {
+            return Err(SoloError::InvalidConfig(
+                "serve model dimensions must be nonzero",
+            ));
+        }
+        if self.crop_side % self.patch != 0 {
+            return Err(SoloError::InvalidConfig(
+                "patch must divide the crop side exactly",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The shared serving model (see the module docs).
+#[derive(Debug)]
+pub struct ServeModel {
+    cfg: ServeModelConfig,
+    /// First MLP layer, `[hidden, channels·patch²]`.
+    w1: Tensor,
+    b1: Tensor,
+    /// Second MLP layer, `[patch², hidden]` — per-pixel mask logits.
+    w2: Tensor,
+    b2: Tensor,
+    /// Gaze-predictor cell: `[gx, gy] → hidden`.
+    predictor: RnnCell,
+    /// Linear readout of the predictor hidden state to a gaze delta,
+    /// `[2, predictor_hidden]`.
+    readout: Tensor,
+    /// Parameter version; a bump (weight push) invalidates every shared
+    /// panel cache at its next fetch.
+    version: AtomicU64,
+    packed_w1: SharedPackedCache<PackedMatrix>,
+    packed_w2: SharedPackedCache<PackedMatrix>,
+    qpacked_w1: SharedPackedCache<QPackedMatrix>,
+    qpacked_w2: SharedPackedCache<QPackedMatrix>,
+    packed_cell: SharedPackedCache<RnnCellPacked>,
+    packed_readout: SharedPackedCache<PackedMatrix>,
+}
+
+impl ServeModel {
+    /// Creates a model with Xavier-uniform weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoloError::InvalidConfig`] when `cfg` fails validation.
+    pub fn new(rng: &mut impl Rng, cfg: ServeModelConfig) -> FrameOutcome<Self> {
+        cfg.validate()?;
+        let feat = cfg.token_features();
+        let p2 = cfg.patch * cfg.patch;
+        Ok(Self {
+            cfg,
+            w1: xavier_uniform(rng, &[cfg.hidden, feat], feat, cfg.hidden),
+            b1: Tensor::zeros(&[cfg.hidden]),
+            w2: xavier_uniform(rng, &[p2, cfg.hidden], cfg.hidden, p2),
+            b2: Tensor::zeros(&[p2]),
+            predictor: RnnCell::new(rng, 2, cfg.predictor_hidden),
+            readout: xavier_uniform(rng, &[2, cfg.predictor_hidden], cfg.predictor_hidden, 2),
+            version: AtomicU64::new(0),
+            packed_w1: SharedPackedCache::new(),
+            packed_w2: SharedPackedCache::new(),
+            qpacked_w1: SharedPackedCache::new(),
+            qpacked_w2: SharedPackedCache::new(),
+            packed_cell: SharedPackedCache::new(),
+            packed_readout: SharedPackedCache::new(),
+        })
+    }
+
+    /// The head dimensions.
+    pub fn config(&self) -> &ServeModelConfig {
+        &self.cfg
+    }
+
+    /// Current parameter version.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// Simulates a weight push: bumps the version so every shared panel
+    /// cache repacks (once per process) at its next fetch. The weights
+    /// themselves are unchanged, which keeps serving output comparable
+    /// across pushes while still exercising the repack path.
+    pub fn bump_version(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Total number of pack-closure runs across every shared cache — the
+    /// repack bill the whole process has paid. The staleness tests pin
+    /// this to "one per matrix per version", independent of session count.
+    pub fn pack_events(&self) -> u64 {
+        self.packed_w1.pack_count()
+            + self.packed_w2.pack_count()
+            + self.qpacked_w1.pack_count()
+            + self.qpacked_w2.pack_count()
+            + self.packed_cell.pack_count()
+            + self.packed_readout.pack_count()
+    }
+
+    /// Rearranges a `[C, d, d]` crop into the `[tokens, C·patch²]` matrix
+    /// the head's first GEMM consumes. Pure data movement, identical for
+    /// the batched and sequential paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crop` is not `[channels, crop_side, crop_side]`.
+    pub fn tokenize(&self, crop: &Tensor) -> Tensor {
+        let (c, d, p) = (self.cfg.channels, self.cfg.crop_side, self.cfg.patch);
+        assert_eq!(
+            crop.shape().dims(),
+            &[c, d, d],
+            "crop shape mismatch: {} vs [{c}, {d}, {d}]",
+            crop.shape()
+        );
+        let tn = d / p;
+        let src = crop.as_slice();
+        let len = self.cfg.tokens() * c * p * p;
+        let mut out = solo_tensor::exec::take_buf_at("serve.tokenize", len);
+        for ty in 0..tn {
+            for tx in 0..tn {
+                let t = ty * tn + tx;
+                let dst = &mut out[t * c * p * p..(t + 1) * c * p * p];
+                for ch in 0..c {
+                    for dy in 0..p {
+                        let row = ch * d * d + (ty * p + dy) * d + tx * p;
+                        dst[ch * p * p + dy * p..ch * p * p + dy * p + p]
+                            .copy_from_slice(&src[row..row + p]);
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[self.cfg.tokens(), c * p * p])
+    }
+
+    /// Reassembles per-token mask logits `[tokens, patch²]` into the
+    /// `[d, d]` crop-space logit map.
+    fn untokenize(&self, logits: &Tensor) -> Tensor {
+        let (d, p) = (self.cfg.crop_side, self.cfg.patch);
+        let tn = d / p;
+        let src = logits.as_slice();
+        let mut out = solo_tensor::exec::take_buf_at("serve.untokenize", d * d);
+        for ty in 0..tn {
+            for tx in 0..tn {
+                let t = ty * tn + tx;
+                for dy in 0..p {
+                    let dst = (ty * p + dy) * d + tx * p;
+                    out[dst..dst + p]
+                        .copy_from_slice(&src[t * p * p + dy * p..t * p * p + dy * p + p]);
+                }
+            }
+        }
+        Tensor::from_vec(out, &[d, d])
+    }
+
+    /// Adds the layer bias and applies tanh in place, row-wise — the same
+    /// elementwise chain whether the GEMM before it was batched or solo.
+    fn bias_tanh(&self, mut x: Tensor, b: &Tensor) -> Tensor {
+        let bs = b.as_slice();
+        for row in x.as_mut_slice().chunks_exact_mut(bs.len()) {
+            for (o, &bv) in row.iter_mut().zip(bs) {
+                *o = (*o + bv).tanh();
+            }
+        }
+        x
+    }
+
+    /// Adds the layer bias in place, row-wise.
+    fn bias(&self, mut x: Tensor, b: &Tensor) -> Tensor {
+        let bs = b.as_slice();
+        for row in x.as_mut_slice().chunks_exact_mut(bs.len()) {
+            for (o, &bv) in row.iter_mut().zip(bs) {
+                *o += bv;
+            }
+        }
+        x
+    }
+
+    /// Segments every crop in one pass of cross-session batched GEMMs:
+    /// all crops' token matrices stack into a single fused dispatch per
+    /// layer against the resident shared panels. Returns one `[d, d]`
+    /// mask-logit map per crop.
+    ///
+    /// Bit-identical to calling it once per crop (the sequential serving
+    /// baseline): the batched entry points pin per-member identity, and
+    /// the bias/tanh stages are per-member elementwise. The int8 path
+    /// quantizes each crop's activations with its own per-tensor scale,
+    /// exactly as the solo call would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any crop is not `[channels, crop_side, crop_side]`.
+    pub fn infer_batch(&self, crops: &[Tensor], precision: Precision) -> Vec<Tensor> {
+        if crops.is_empty() {
+            return Vec::new();
+        }
+        let v = self.version();
+        let tokens: Vec<Tensor> = crops.iter().map(|c| self.tokenize(c)).collect();
+        let token_refs: Vec<&Tensor> = tokens.iter().collect();
+        let hidden = match precision {
+            Precision::F32 => {
+                let p1 = self
+                    .packed_w1
+                    .get_or_pack(v, || PackedMatrix::pack_rhs_transposed(&self.w1));
+                matmul_packed_batched(&token_refs, &p1)
+            }
+            Precision::Int8 => {
+                let q1 = self
+                    .qpacked_w1
+                    .get_or_pack(v, || QPackedMatrix::pack_rhs_transposed(&self.w1));
+                qmatmul_packed_batched(&token_refs, &q1)
+            }
+        };
+        for t in tokens {
+            t.recycle();
+        }
+        let act: Vec<Tensor> = hidden
+            .into_iter()
+            .map(|h| self.bias_tanh(h, &self.b1))
+            .collect();
+        let act_refs: Vec<&Tensor> = act.iter().collect();
+        let logits = match precision {
+            Precision::F32 => {
+                let p2 = self
+                    .packed_w2
+                    .get_or_pack(v, || PackedMatrix::pack_rhs_transposed(&self.w2));
+                matmul_packed_batched(&act_refs, &p2)
+            }
+            Precision::Int8 => {
+                let q2 = self
+                    .qpacked_w2
+                    .get_or_pack(v, || QPackedMatrix::pack_rhs_transposed(&self.w2));
+                qmatmul_packed_batched(&act_refs, &q2)
+            }
+        };
+        for a in act {
+            a.recycle();
+        }
+        logits
+            .into_iter()
+            .map(|l| {
+                let l = self.bias(l, &self.b2);
+                let mask = self.untokenize(&l);
+                l.recycle();
+                mask
+            })
+            .collect()
+    }
+
+    /// One predictor step for `S` sessions at once: `gazes` is `[S, 2]`
+    /// (the tracker's current normalized gaze per session), `hidden` is
+    /// `[S, predictor_hidden]`. Returns the next hidden states `[S,
+    /// predictor_hidden]` and the predicted gaze deltas `[S, 2]`.
+    ///
+    /// Batches the RNN time-step loop across the *session* dimension —
+    /// each session's sequence stays serial in time, but all sessions'
+    /// step-`t` GEMMs fuse into one dispatch. Row-independent, so results
+    /// are bit-identical at any batch size.
+    pub fn predict_batch(&self, gazes: &Tensor, hidden: &Tensor) -> (Tensor, Tensor) {
+        let v = self.version();
+        let cell = self.packed_cell.get_or_pack(v, || self.predictor.pack());
+        let ro = self
+            .packed_readout
+            .get_or_pack(v, || PackedMatrix::pack_rhs_transposed(&self.readout));
+        let next = self.predictor.step_batch(gazes, hidden, &cell);
+        let delta = next.matmul_packed(&ro);
+        (next, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solo_tensor::{exec, normal, seeded_rng};
+
+    fn model(seed: u64) -> ServeModel {
+        let mut rng = seeded_rng(seed);
+        match ServeModel::new(&mut rng, ServeModelConfig::paper_default()) {
+            Ok(m) => m,
+            Err(e) => panic!("paper_default must validate: {e}"),
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_unaligned_patches() {
+        let mut cfg = ServeModelConfig::paper_default();
+        cfg.patch = 5; // 24 % 5 != 0
+        assert!(cfg.validate().is_err());
+        cfg.patch = 0;
+        assert!(cfg.validate().is_err());
+        assert!(ServeModelConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn tokenize_untokenize_round_trips_single_channel() {
+        let mut cfg = ServeModelConfig::paper_default();
+        cfg.channels = 1;
+        let mut rng = seeded_rng(9);
+        let m = match ServeModel::new(&mut rng, cfg) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        };
+        let crop = normal(&mut rng, &[1, 24, 24], 0.0, 1.0);
+        let toks = m.tokenize(&crop);
+        assert_eq!(toks.shape().dims(), &[36, 16]);
+        // With C = 1 a token row *is* a patch, so untokenize inverts it.
+        let back = m.untokenize(&toks);
+        assert_eq!(back.as_slice(), crop.as_slice());
+    }
+
+    #[test]
+    fn batched_inference_is_bit_identical_to_sequential_per_crop() {
+        let m = model(11);
+        let mut rng = seeded_rng(12);
+        let crops: Vec<Tensor> = (0..5)
+            .map(|i| normal(&mut rng, &[3, 24, 24], 0.0, 0.3 + 0.4 * i as f32))
+            .collect();
+        for precision in [Precision::F32, Precision::Int8] {
+            for width in [1usize, 8] {
+                exec::with_threads(width, || {
+                    let batched = m.infer_batch(&crops, precision);
+                    for (i, crop) in crops.iter().enumerate() {
+                        let solo = m.infer_batch(std::slice::from_ref(crop), precision);
+                        assert_eq!(
+                            batched[i].as_slice(),
+                            solo[0].as_slice(),
+                            "{} width {width} crop {i}",
+                            precision.name()
+                        );
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn version_bump_repacks_each_matrix_once_for_all_sessions() {
+        let m = std::sync::Arc::new(model(13));
+        let mut rng = seeded_rng(14);
+        let crops: Vec<Tensor> = (0..4)
+            .map(|_| normal(&mut rng, &[3, 24, 24], 0.0, 1.0))
+            .collect();
+        let gazes = normal(&mut rng, &[4, 2], 0.5, 0.1);
+        let hidden = Tensor::zeros(&[4, 8]);
+        // Many "sessions" (calls) at version 0: w1+w2 pack once each per
+        // precision, the predictor cell + readout once.
+        for _ in 0..6 {
+            m.infer_batch(&crops, Precision::F32);
+            m.infer_batch(&crops, Precision::Int8);
+            m.predict_batch(&gazes, &hidden);
+        }
+        assert_eq!(m.pack_events(), 6, "one pack per matrix, not per session");
+        m.bump_version();
+        for _ in 0..6 {
+            m.infer_batch(&crops, Precision::F32);
+            m.infer_batch(&crops, Precision::Int8);
+            m.predict_batch(&gazes, &hidden);
+        }
+        assert_eq!(m.pack_events(), 12, "a weight push repacks exactly once");
+    }
+
+    #[test]
+    fn predictor_is_batch_size_invariant() {
+        let m = model(15);
+        let mut rng = seeded_rng(16);
+        let gazes = normal(&mut rng, &[6, 2], 0.5, 0.2);
+        let hidden = normal(&mut rng, &[6, 8], 0.0, 0.5);
+        let (next, delta) = m.predict_batch(&gazes, &hidden);
+        for i in 0..6 {
+            let (n1, d1) = m.predict_batch(
+                &gazes.row(i).reshape(&[1, 2]),
+                &hidden.row(i).reshape(&[1, 8]),
+            );
+            assert_eq!(next.row(i).as_slice(), n1.as_slice(), "session {i}");
+            assert_eq!(delta.row(i).as_slice(), d1.as_slice(), "session {i}");
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! The multi-session server: a frame-tick scheduler multiplexing N
+//! sessions over one shared model and one shared compute budget.
+//!
+//! Each tick the server advances every live session one frame, runs the
+//! gaze predictor **once** for all sessions (the RNN time-step loop batched
+//! across the session dimension), lets each session's SSA decide run vs
+//! reuse, prices the tick's shared compute against a
+//! [`FrameBudget`], and finally segments every running session's warped
+//! crop through **one** cross-session batched inference pass.
+//!
+//! Two invariants the tests pin:
+//!
+//! * **Batch size never changes outputs.** `cfg.batch` only chunks the
+//!   fused GEMM dispatches, which are bit-identical to per-session calls
+//!   by construction; all *modeled pricing* is keyed to the live session
+//!   count, never to `cfg.batch`.
+//! * **Degradation is per-session.** Under overload, each session walks
+//!   its own [`DegradeLadder`] — sessions early in the tick order keep
+//!   running while later ones degrade, and a session's ladder resets as
+//!   soon as the budget re-admits it.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use solo_core::resilience::{DegradeAction, FrameOutcome, ResilienceConfig, SoloError};
+use solo_gaze::GazePoint;
+use solo_hw::soc::{Backbone, CostBreakdown, SocModel};
+use solo_hw::timing::FrameBudget;
+use solo_hw::Latency;
+use solo_sampler::{gaze_saliency, uniform_subsample, IndexMap};
+use solo_tensor::Tensor;
+
+use crate::model::{Precision, ServeModel};
+use crate::session::{Session, SessionSpec, SessionStats};
+
+/// Gaussian width (as a grid fraction) of the gaze saliency prior.
+const SALIENCY_SIGMA_FRAC: f32 = 0.15;
+/// Peripheral saliency pedestal.
+const SALIENCY_FLOOR: f32 = 0.02;
+
+/// Server knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Hard cap on concurrently live sessions.
+    pub max_sessions: usize,
+    /// Waiting-room capacity; arrivals beyond it are rejected.
+    pub queue_cap: usize,
+    /// GEMM fusion chunk: how many sessions' crops stack into one batched
+    /// dispatch. Purely a scheduling knob — outputs are bit-identical at
+    /// any value (see the module docs).
+    pub batch: usize,
+    /// Per-tick shared-compute deadline.
+    pub deadline: Latency,
+    /// Fraction of the deadline admission control may fill with modeled
+    /// steady-state cost, in `(0, 1]`. The reserve absorbs SSA run-rate
+    /// jitter before the per-tick ladder has to.
+    pub admission_fill: f64,
+    /// Numeric path of the segmentation head.
+    pub precision: Precision,
+    /// Frames per generated session video (sessions loop their trace).
+    pub frames_per_video: usize,
+    /// Ladder thresholds driving per-session overload degradation.
+    pub resilience: ResilienceConfig,
+    /// Cost-model backbone sessions are priced as.
+    pub backbone: Backbone,
+}
+
+impl ServerConfig {
+    /// Defaults: up to 64 sessions, a 16-deep queue, a 60 ms tick (the
+    /// paper's SOLO latency envelope, matching
+    /// [`ResilienceConfig::paper_default`]), f32 inference, 90 % admission
+    /// fill.
+    pub fn paper_default() -> Self {
+        Self {
+            max_sessions: 64,
+            queue_cap: 16,
+            batch: 8,
+            deadline: Latency::from_ms(60.0),
+            admission_fill: 0.9,
+            precision: Precision::F32,
+            frames_per_video: 64,
+            resilience: ResilienceConfig::paper_default(),
+            backbone: Backbone::Sf,
+        }
+    }
+
+    /// Validates every knob's documented range.
+    pub fn validate(&self) -> FrameOutcome<()> {
+        if self.max_sessions == 0 || self.batch == 0 || self.frames_per_video == 0 {
+            return Err(SoloError::InvalidConfig(
+                "max_sessions, batch and frames_per_video must be nonzero",
+            ));
+        }
+        if !(self.deadline > Latency::ZERO) {
+            return Err(SoloError::InvalidConfig("deadline must be positive"));
+        }
+        if !(0.0 < self.admission_fill && self.admission_fill <= 1.0) {
+            return Err(SoloError::InvalidConfig("admission_fill must be in (0, 1]"));
+        }
+        self.resilience.validate()
+    }
+}
+
+/// Admission control's verdict on one arriving session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Live immediately; carries the session's index.
+    Admitted(usize),
+    /// Parked in the waiting room; promoted when capacity frees up.
+    Queued,
+    /// Waiting room full (or the session cap reached): turned away.
+    Rejected,
+}
+
+/// What one tick did, session counts first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TickReport {
+    /// Live sessions this tick.
+    pub sessions: usize,
+    /// Sessions whose crop was segmented this tick.
+    pub ran: usize,
+    /// Sessions served from their previous mask (SSA reuse or degraded).
+    pub reused: usize,
+    /// Sessions decided at a below-nominal ladder rung.
+    pub degraded: usize,
+    /// Whether the modeled shared compute overran the tick deadline even
+    /// after every session degraded as far as its ladder allows.
+    pub overrun: bool,
+    /// Modeled shared compute charged this tick, in ms.
+    pub spent_ms: f64,
+    /// Sessions promoted from the queue at the top of the tick.
+    pub promoted: usize,
+    /// Sessions at each ladder rung this tick (nominal first).
+    pub rung_sessions: [usize; DegradeAction::RUNGS],
+}
+
+/// What a session is asked to do this tick, after SSA + ladder + budget.
+enum Work {
+    /// Segment the crop at this gaze with this widen area factor.
+    Run { gaze: GazePoint, widen: f32 },
+    /// Segment a uniform full-frame subsample.
+    RunUniform,
+    /// Present the previous mask.
+    Reuse,
+}
+
+/// The multi-session server (see the module docs).
+pub struct Server {
+    model: Arc<ServeModel>,
+    cfg: ServerConfig,
+    soc: SocModel,
+    sessions: Vec<Session>,
+    queue: VecDeque<SessionSpec>,
+    ticks: usize,
+    overruns: usize,
+    frames_served: usize,
+    frames_ran: usize,
+}
+
+impl Server {
+    /// Creates a server over a shared model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoloError::InvalidConfig`] when `cfg` fails validation.
+    pub fn new(model: Arc<ServeModel>, cfg: ServerConfig) -> FrameOutcome<Self> {
+        cfg.validate()?;
+        Ok(Self {
+            model,
+            cfg,
+            soc: SocModel::default(),
+            sessions: Vec::new(),
+            queue: VecDeque::new(),
+            ticks: 0,
+            overruns: 0,
+            frames_served: 0,
+            frames_ran: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Live sessions.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Sessions parked in the waiting room.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Ticks served so far.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Ticks whose shared compute overran the deadline after maximal
+    /// degradation.
+    pub fn overruns(&self) -> usize {
+        self.overruns
+    }
+
+    /// Total session-frames served (sessions × ticks they were live).
+    pub fn frames_served(&self) -> usize {
+        self.frames_served
+    }
+
+    /// Total session-frames that ran segmentation.
+    pub fn frames_ran(&self) -> usize {
+        self.frames_ran
+    }
+
+    /// Modeled per-session shared compute (ESNet + segmentation) at a live
+    /// session count of `s` — the marginal price admission charges and the
+    /// per-run cost the tick budget charges. Batching amortizes the
+    /// accelerator dispatch across sessions, so this falls as `s` grows.
+    ///
+    /// Priced worst-case across the live presets (the costliest dataset
+    /// among the sessions), so admission never under-prices a mixed fleet.
+    fn shared_cost_per_run(&self, s: usize, extra: Option<&SessionSpec>) -> Latency {
+        let mut worst = Latency::ZERO;
+        for ds in self
+            .sessions
+            .iter()
+            .map(|ses| ses.spec().scene)
+            .chain(extra.map(|e| e.scene))
+        {
+            let bd = self
+                .soc
+                .batched_solo_path(self.cfg.backbone, ds.hw_dataset(), s.max(1));
+            let run = bd.esnet.0 + bd.segmentation.0;
+            if run > worst {
+                worst = run;
+            }
+        }
+        worst
+    }
+
+    /// Shared cost of a reuse tick for one session: ESNet still runs (the
+    /// SSA needs gaze + preview every frame), segmentation does not.
+    fn shared_cost_skip(&self, spec: &SessionSpec) -> Latency {
+        self.soc.skip_path(spec.scene.hw_dataset()).esnet.0
+    }
+
+    /// Shared cost of a uniform-fallback run for one session.
+    fn shared_cost_uniform(&self, spec: &SessionSpec) -> Latency {
+        let bd: CostBreakdown = self
+            .soc
+            .uniform_fallback_path(self.cfg.backbone, spec.scene.hw_dataset());
+        bd.esnet.0 + bd.segmentation.0
+    }
+
+    /// Whether a fleet of `s` sessions (optionally including the arriving
+    /// `extra`) fits the steady-state admission envelope: every session
+    /// running every tick at the batched marginal price must fit inside
+    /// `admission_fill · deadline`.
+    fn fits(&self, s: usize, extra: Option<&SessionSpec>) -> bool {
+        if s == 0 {
+            return true;
+        }
+        let per_run = self.shared_cost_per_run(s, extra);
+        let total_ms = per_run.ms() * s as f64;
+        total_ms <= self.cfg.deadline.ms() * self.cfg.admission_fill
+    }
+
+    /// Admission control: admits the session if the post-admission fleet
+    /// still fits the steady-state envelope, queues it if the waiting room
+    /// has space, rejects it otherwise.
+    pub fn admit(&mut self, spec: SessionSpec) -> Admission {
+        let s = self.sessions.len();
+        if s < self.cfg.max_sessions && self.fits(s + 1, Some(&spec)) {
+            self.sessions.push(Session::new(
+                spec,
+                self.cfg.frames_per_video,
+                self.model.config().predictor_hidden,
+            ));
+            Admission::Admitted(s)
+        } else if self.queue.len() < self.cfg.queue_cap {
+            self.queue.push_back(spec);
+            Admission::Queued
+        } else {
+            Admission::Rejected
+        }
+    }
+
+    /// Promotes queued sessions while the envelope admits them.
+    fn promote(&mut self) -> usize {
+        let mut promoted = 0;
+        while let Some(spec) = self.queue.front().copied() {
+            let s = self.sessions.len();
+            if s >= self.cfg.max_sessions || !self.fits(s + 1, Some(&spec)) {
+                break;
+            }
+            self.queue.pop_front();
+            self.sessions.push(Session::new(
+                spec,
+                self.cfg.frames_per_video,
+                self.model.config().predictor_hidden,
+            ));
+            promoted += 1;
+        }
+        promoted
+    }
+
+    /// Serves one frame tick to every live session (see the module docs
+    /// for the phase order).
+    pub fn tick(&mut self) -> TickReport {
+        let mut report = TickReport {
+            promoted: self.promote(),
+            ..TickReport::default()
+        };
+        let s = self.sessions.len();
+        report.sessions = s;
+        self.ticks += 1;
+        if s == 0 {
+            return report;
+        }
+        let crop = self.model.config().crop_side;
+
+        // Phase 1: advance every session one frame.
+        let frames: Vec<_> = self.sessions.iter_mut().map(Session::next_frame).collect();
+
+        // Phase 2: one batched predictor step across the session dimension.
+        // Input is each session's last *measured* gaze; the output forecast
+        // substitutes for the live sample while its phase is suppressed.
+        let mut gaze_rows = Vec::with_capacity(s * 2);
+        let mut hidden_rows = Vec::with_capacity(s * self.model.config().predictor_hidden);
+        for ses in &self.sessions {
+            let g = ses.last_gaze();
+            gaze_rows.extend_from_slice(&[g.x, g.y]);
+            hidden_rows.extend_from_slice(ses.hidden().as_slice());
+        }
+        let gazes = Tensor::from_vec(gaze_rows, &[s, 2]);
+        let hidden = Tensor::from_vec(hidden_rows, &[s, self.model.config().predictor_hidden]);
+        let (next_hidden, deltas) = self.model.predict_batch(&gazes, &hidden);
+        let dh = self.model.config().predictor_hidden;
+        for (i, ses) in self.sessions.iter_mut().enumerate() {
+            ses.set_hidden(Tensor::from_vec(
+                next_hidden.as_slice()[i * dh..(i + 1) * dh].to_vec(),
+                &[dh],
+            ));
+        }
+
+        // Phase 3: per-session SSA decision, then budget-gated degradation
+        // in session order. All pricing is keyed to the live session count
+        // `s` — never to `cfg.batch`. Costs are priced up front so the
+        // per-session loop holds only the session borrow.
+        let run_cost = self.shared_cost_per_run(s, None);
+        let skip_costs: Vec<Latency> = self
+            .sessions
+            .iter()
+            .map(|ses| self.shared_cost_skip(ses.spec()))
+            .collect();
+        let uniform_costs: Vec<Latency> = self
+            .sessions
+            .iter()
+            .map(|ses| self.shared_cost_uniform(ses.spec()))
+            .collect();
+        let widen_costs: Vec<Latency> = self
+            .sessions
+            .iter()
+            .map(|ses| {
+                let bd = self.soc.degraded_solo_path(
+                    self.cfg.backbone,
+                    ses.spec().scene.hw_dataset(),
+                    f64::from(self.cfg.resilience.widen_factor),
+                    &[],
+                );
+                bd.esnet.0 + bd.segmentation.0
+            })
+            .collect();
+        let mut budget = FrameBudget::new(self.cfg.deadline);
+        budget.start_frame();
+        let mut work = Vec::with_capacity(s);
+        for (i, frame) in frames.iter().enumerate() {
+            let ses = &mut self.sessions[i];
+            let suppressed = frame.gaze.phase.is_suppressed();
+            let gaze = if suppressed {
+                // Saccadic suppression: steer the crop by the forecast
+                // landing point instead of the mid-flight sample.
+                let d = &deltas.as_slice()[i * 2..(i + 1) * 2];
+                let g = ses.last_gaze();
+                GazePoint::new(g.x + d[0], g.y + d[1])
+            } else {
+                ses.set_last_gaze(frame.gaze.point);
+                frame.gaze.point
+            };
+            let preview = uniform_subsample(&frame.image, crop, crop);
+            let wants_run = ses.ssa_mut().step(&preview, gaze, suppressed).must_run()
+                || ses.last_mask().is_none();
+            preview.recycle();
+
+            let (action, w) = if !wants_run {
+                ses.ladder_mut().reset();
+                (DegradeAction::Nominal, Work::Reuse)
+            } else if !budget.would_overrun(run_cost) {
+                ses.ladder_mut().reset();
+                (DegradeAction::Nominal, Work::Run { gaze, widen: 1.0 })
+            } else {
+                // Overload: this session walks its ladder. Hold presents
+                // the last mask; widen retries a degraded (widened) run;
+                // uniform retries the gaze-free fallback; reuse is the
+                // floor. A rung whose retry still overruns falls through
+                // to mask reuse for this tick.
+                let action = ses.ladder_mut().decide(&self.cfg.resilience);
+                let w = match action {
+                    DegradeAction::WidenCrop { factor } => {
+                        if !budget.would_overrun(widen_costs[i]) {
+                            Work::Run {
+                                gaze,
+                                widen: factor,
+                            }
+                        } else {
+                            Work::Reuse
+                        }
+                    }
+                    DegradeAction::UniformFallback => {
+                        if !budget.would_overrun(uniform_costs[i]) {
+                            Work::RunUniform
+                        } else {
+                            Work::Reuse
+                        }
+                    }
+                    _ => Work::Reuse,
+                };
+                (action, w)
+            };
+
+            let charge = match &w {
+                Work::Run { widen, .. } if *widen > 1.0 => widen_costs[i],
+                Work::Run { .. } => run_cost,
+                Work::RunUniform => uniform_costs[i],
+                Work::Reuse => skip_costs[i],
+            };
+            if !budget.charge(charge) {
+                report.overrun = true;
+            }
+
+            let st = ses.stats_mut();
+            st.frames += 1;
+            st.rung_frames[action.rung()] += 1;
+            report.rung_sessions[action.rung()] += 1;
+            if action.is_degraded() {
+                st.degraded += 1;
+                report.degraded += 1;
+            }
+            work.push(w);
+        }
+        report.spent_ms = budget.spent().ms();
+        if report.overrun {
+            self.overruns += 1;
+        }
+
+        // Phase 4: build every running session's warped crop, then segment
+        // them all through the batched head in `cfg.batch`-sized chunks.
+        let mut run_idx = Vec::new();
+        let mut crops = Vec::new();
+        for (i, w) in work.iter().enumerate() {
+            let ses = &self.sessions[i];
+            let map = match w {
+                Work::Run { gaze, widen } => {
+                    let sal = gaze_saliency(
+                        crop,
+                        crop,
+                        (gaze.x, gaze.y),
+                        SALIENCY_SIGMA_FRAC,
+                        SALIENCY_FLOOR,
+                    );
+                    let map = IndexMap::from_saliency(&ses.sampler_spec(crop, *widen), &sal);
+                    sal.recycle();
+                    map
+                }
+                Work::RunUniform => IndexMap::uniform(&ses.sampler_spec(crop, 1.0)),
+                Work::Reuse => continue,
+            };
+            crops.push(map.sample_bilinear(&frames[i].image));
+            run_idx.push(i);
+        }
+        for chunk_start in (0..crops.len()).step_by(self.cfg.batch) {
+            let chunk_end = (chunk_start + self.cfg.batch).min(crops.len());
+            let masks = self
+                .model
+                .infer_batch(&crops[chunk_start..chunk_end], self.cfg.precision);
+            for (off, mask) in masks.into_iter().enumerate() {
+                self.sessions[run_idx[chunk_start + off]].set_last_mask(mask);
+            }
+        }
+        for c in crops {
+            c.recycle();
+        }
+        report.ran = run_idx.len();
+        report.reused = s - run_idx.len();
+        self.frames_served += s;
+        self.frames_ran += report.ran;
+        for (i, ses) in self.sessions.iter_mut().enumerate() {
+            let st = ses.stats_mut();
+            if run_idx.contains(&i) {
+                st.runs += 1;
+            } else {
+                st.reuses += 1;
+            }
+        }
+        report
+    }
+
+    /// Aggregated per-session stats, cloned out for reporting.
+    pub fn session_stats(&self) -> Vec<SessionStats> {
+        self.sessions.iter().map(|s| *s.stats()).collect()
+    }
+
+    /// A digest of every session's displayed mask — equal digests mean
+    /// bit-identical serving outcomes (used by the determinism tests).
+    pub fn mask_digest(&self) -> Vec<Option<Vec<f32>>> {
+        self.sessions
+            .iter()
+            .map(|s| s.last_mask().map(|m| m.as_slice().to_vec()))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("sessions", &self.sessions.len())
+            .field("queued", &self.queue.len())
+            .field("ticks", &self.ticks)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ServeModelConfig;
+    use solo_tensor::seeded_rng;
+
+    fn server(deadline_ms: f64, batch: usize) -> Server {
+        let mut rng = seeded_rng(40);
+        let model = match ServeModel::new(&mut rng, ServeModelConfig::paper_default()) {
+            Ok(m) => Arc::new(m),
+            Err(e) => panic!("{e}"),
+        };
+        let cfg = ServerConfig {
+            deadline: Latency::from_ms(deadline_ms),
+            batch,
+            frames_per_video: 8,
+            ..ServerConfig::paper_default()
+        };
+        match Server::new(model, cfg) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_knobs() {
+        let mut cfg = ServerConfig::paper_default();
+        cfg.admission_fill = 0.0;
+        assert!(cfg.validate().is_err());
+        cfg = ServerConfig::paper_default();
+        cfg.batch = 0;
+        assert!(cfg.validate().is_err());
+        assert!(ServerConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn admission_admits_queues_then_rejects() {
+        // A deadline so tight a single session's run cost cannot fit.
+        let mut srv = server(0.001, 4);
+        srv.cfg.queue_cap = 2;
+        assert_eq!(srv.admit(SessionSpec::nth(1, 0)), Admission::Queued);
+        assert_eq!(srv.admit(SessionSpec::nth(1, 1)), Admission::Queued);
+        assert_eq!(srv.admit(SessionSpec::nth(1, 2)), Admission::Rejected);
+        assert_eq!(srv.sessions().len(), 0);
+        assert_eq!(srv.queued(), 2);
+    }
+
+    #[test]
+    fn generous_deadline_admits_and_serves() {
+        let mut srv = server(1000.0, 4);
+        for i in 0..3 {
+            assert_eq!(srv.admit(SessionSpec::nth(2, i)), Admission::Admitted(i));
+        }
+        let r = srv.tick();
+        assert_eq!(r.sessions, 3);
+        // First tick: every session must run (no mask to reuse yet).
+        assert_eq!(r.ran, 3);
+        assert!(!r.overrun);
+        assert_eq!(r.rung_sessions[0], 3, "no degradation with headroom");
+        for s in srv.sessions() {
+            assert!(s.last_mask().is_some());
+        }
+    }
+
+    #[test]
+    fn overload_degrades_later_sessions_first_and_recovers() {
+        let mut srv = server(1000.0, 4);
+        for i in 0..4 {
+            assert_eq!(srv.admit(SessionSpec::nth(3, i)), Admission::Admitted(i));
+        }
+        // Squeeze the live fleet: a deadline that fits roughly one run.
+        let one_run = srv.shared_cost_per_run(4, None).ms();
+        srv.cfg.deadline = Latency::from_ms(one_run * 1.5);
+        let r = srv.tick();
+        assert!(r.degraded > 0, "tight deadline must degrade someone");
+        assert!(r.ran >= 1, "the first session in tick order keeps running");
+        // Relax again: ladders reset, everyone recovers to nominal.
+        srv.cfg.deadline = Latency::from_ms(1000.0);
+        let mut saw_nominal_for_all = false;
+        for _ in 0..4 {
+            let r = srv.tick();
+            if r.degraded == 0 {
+                saw_nominal_for_all = true;
+            }
+        }
+        assert!(saw_nominal_for_all, "recovery after overload clears");
+    }
+
+    #[test]
+    fn batch_size_does_not_change_served_masks() {
+        let mut a = server(1000.0, 1);
+        let mut b = server(1000.0, 8);
+        for i in 0..5 {
+            a.admit(SessionSpec::nth(4, i));
+            b.admit(SessionSpec::nth(4, i));
+        }
+        for _ in 0..6 {
+            a.tick();
+            b.tick();
+        }
+        assert_eq!(a.mask_digest(), b.mask_digest());
+    }
+}

@@ -1,0 +1,269 @@
+//! Per-user serving state: one session owns a gaze trace + scene, its SSA
+//! state machine, its degradation ladder, and its slice of the batched
+//! predictor's hidden state. Everything *model*-sized is shared (see
+//! [`crate::ServeModel`]); everything *user*-sized lives here.
+
+use solo_core::resilience::{DegradeAction, DegradeLadder};
+use solo_core::solonet::PipelineConfig;
+use solo_core::ssa::{Ssa, SsaConfig};
+use solo_gaze::GazePoint;
+use solo_hw::soc::Dataset as HwDataset;
+use solo_sampler::SamplerSpec;
+use solo_scene::{Frame, VideoConfig, VideoSequence};
+use solo_tensor::{seeded_rng, Tensor};
+
+/// Scene preset a session streams, mirroring the resilience experiments'
+/// four calibrated (video, SoC-dataset, paper-resolution) triples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ScenePreset {
+    /// Egocentric AR viewing (Aria-like), 960 px paper frames.
+    Aria,
+    /// Cluttered static scenes (LVIS-like), 640 px paper frames.
+    Lvis,
+    /// Scene parsing (ADE20K-like), 512 px paper frames.
+    Ade,
+    /// Single moving object (DAVIS-like), 480 px paper frames.
+    Davis,
+}
+
+impl ScenePreset {
+    /// The video generator for this preset.
+    pub fn video_config(&self, frames: usize) -> VideoConfig {
+        match self {
+            ScenePreset::Aria => VideoConfig::aria_like(frames),
+            ScenePreset::Lvis => VideoConfig::lvis_like(frames),
+            ScenePreset::Ade => VideoConfig::ade_like(frames),
+            ScenePreset::Davis => VideoConfig::davis_like(frames),
+        }
+    }
+
+    /// The SoC cost-model dataset this preset is priced as.
+    pub fn hw_dataset(&self) -> HwDataset {
+        match self {
+            ScenePreset::Aria => HwDataset::Aria,
+            ScenePreset::Lvis => HwDataset::Lvis,
+            ScenePreset::Ade => HwDataset::Ade,
+            ScenePreset::Davis => HwDataset::Davis,
+        }
+    }
+
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenePreset::Aria => "aria",
+            ScenePreset::Lvis => "lvis",
+            ScenePreset::Ade => "ade",
+            ScenePreset::Davis => "davis",
+        }
+    }
+}
+
+/// Everything needed to (re)create a session deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SessionSpec {
+    /// Seed for the session's scene + gaze trace.
+    pub seed: u64,
+    /// Scene preset the session streams.
+    pub scene: ScenePreset,
+}
+
+impl SessionSpec {
+    /// A spec for session `i` of a sweep: presets round-robin and seeds
+    /// derive from the sweep seed so any subset regenerates identically.
+    pub fn nth(sweep_seed: u64, i: usize) -> Self {
+        const PRESETS: [ScenePreset; 4] = [
+            ScenePreset::Aria,
+            ScenePreset::Lvis,
+            ScenePreset::Ade,
+            ScenePreset::Davis,
+        ];
+        Self {
+            seed: sweep_seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+            scene: PRESETS[i % PRESETS.len()],
+        }
+    }
+}
+
+/// Counters one session accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SessionStats {
+    /// Frames served (every tick the session was live).
+    pub frames: usize,
+    /// Frames where SOLONet ran (SSA decided run, budget admitted it).
+    pub runs: usize,
+    /// Frames served by SSA reuse or a degraded mask reuse.
+    pub reuses: usize,
+    /// Frames decided at a below-nominal ladder rung.
+    pub degraded: usize,
+    /// Frames at each ladder rung (nominal first).
+    pub rung_frames: [usize; DegradeAction::RUNGS],
+}
+
+/// One live serving session (see the module docs).
+#[derive(Debug)]
+pub struct Session {
+    spec: SessionSpec,
+    video: VideoSequence,
+    cursor: usize,
+    ssa: Ssa,
+    ladder: DegradeLadder,
+    /// This session's row of the batched predictor hidden state,
+    /// `[predictor_hidden]`.
+    hidden: Tensor,
+    /// Last measured gaze (the predictor input and the hold-fixation
+    /// anchor).
+    last_gaze: GazePoint,
+    /// The mask currently displayed to this user, `[crop, crop]` logits.
+    last_mask: Option<Tensor>,
+    /// Sampler geometry at nominal crop width.
+    pipeline: PipelineConfig,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// Materializes a session: generates its video from the spec's seed and
+    /// calibrates SSA at the preset's paper resolution.
+    pub fn new(spec: SessionSpec, frames_per_video: usize, predictor_hidden: usize) -> Self {
+        let cfg = spec.scene.video_config(frames_per_video.max(1));
+        let paper_side = cfg.dataset.paper_resolution;
+        let pipeline = PipelineConfig::for_dataset(
+            &cfg.dataset,
+            cfg.dataset.resolution,
+            cfg.dataset.resolution / 4,
+        );
+        let video = VideoSequence::generate(cfg, &mut seeded_rng(spec.seed));
+        Self {
+            spec,
+            video,
+            cursor: 0,
+            ssa: Ssa::new(SsaConfig::paper_default(paper_side)),
+            ladder: DegradeLadder::new(),
+            hidden: Tensor::zeros(&[predictor_hidden]),
+            last_gaze: GazePoint::center(),
+            last_mask: None,
+            pipeline,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The spec this session was created from.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// Rendered frame side of this session's video.
+    pub fn resolution(&self) -> usize {
+        self.video.config().dataset.resolution
+    }
+
+    /// Sampler σ in rendered-frame pixels (the paper's per-dataset σ scaled
+    /// down to the functional resolution).
+    pub fn sigma(&self) -> f32 {
+        self.pipeline.sigma
+    }
+
+    /// Sampler spec warping this session's frame onto a `crop²` grid, with
+    /// the σ widened by `√widen` on the widened rung (area factor `widen`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crop` exceeds the rendered resolution or `widen < 0`.
+    pub fn sampler_spec(&self, crop: usize, widen: f32) -> SamplerSpec {
+        let n = self.resolution();
+        SamplerSpec::new(n, n, crop, crop, self.sigma() * widen.max(1.0).sqrt())
+    }
+
+    /// Renders the next frame of the trace, looping when the video ends.
+    pub fn next_frame(&mut self) -> Frame {
+        let i = self.cursor % self.video.len();
+        self.cursor += 1;
+        self.video.frame(i)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Mutable lifetime counters (the server records per-tick outcomes).
+    pub(crate) fn stats_mut(&mut self) -> &mut SessionStats {
+        &mut self.stats
+    }
+
+    /// The SSA state machine.
+    pub(crate) fn ssa_mut(&mut self) -> &mut Ssa {
+        &mut self.ssa
+    }
+
+    /// The degradation ladder.
+    pub(crate) fn ladder_mut(&mut self) -> &mut DegradeLadder {
+        &mut self.ladder
+    }
+
+    /// This session's predictor hidden row.
+    pub fn hidden(&self) -> &Tensor {
+        &self.hidden
+    }
+
+    /// Replaces the predictor hidden row after a batched step.
+    pub(crate) fn set_hidden(&mut self, h: Tensor) {
+        self.hidden = h;
+    }
+
+    /// Last measured gaze.
+    pub fn last_gaze(&self) -> GazePoint {
+        self.last_gaze
+    }
+
+    /// Records a fresh measured gaze.
+    pub(crate) fn set_last_gaze(&mut self, g: GazePoint) {
+        self.last_gaze = g;
+    }
+
+    /// The currently displayed mask, if any frame has run yet.
+    pub fn last_mask(&self) -> Option<&Tensor> {
+        self.last_mask.as_ref()
+    }
+
+    /// Presents a freshly segmented mask.
+    pub(crate) fn set_last_mask(&mut self, m: Tensor) {
+        self.last_mask = Some(m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_specs_are_deterministic_and_distinct() {
+        let a = SessionSpec::nth(7, 0);
+        let b = SessionSpec::nth(7, 1);
+        assert_eq!(a, SessionSpec::nth(7, 0));
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.scene, ScenePreset::Aria);
+        assert_eq!(b.scene, ScenePreset::Lvis);
+        assert_eq!(SessionSpec::nth(7, 4).scene, ScenePreset::Aria);
+    }
+
+    #[test]
+    fn session_loops_its_video() {
+        let mut s = Session::new(SessionSpec::nth(3, 1), 4, 8);
+        let first = s.next_frame();
+        for _ in 0..3 {
+            s.next_frame();
+        }
+        let looped = s.next_frame();
+        assert_eq!(first.image.as_slice(), looped.image.as_slice());
+        assert_eq!(s.resolution(), 96);
+        assert!(s.sigma() > 0.0);
+    }
+
+    #[test]
+    fn widened_spec_scales_sigma_by_sqrt_area() {
+        let s = Session::new(SessionSpec::nth(3, 0), 2, 8);
+        let base = s.sampler_spec(24, 1.0);
+        let wide = s.sampler_spec(24, 4.0);
+        assert!((wide.sigma - 2.0 * base.sigma).abs() < 1e-6);
+    }
+}

@@ -35,7 +35,10 @@ mod tensor;
 
 pub use image::{avg_pool2d, bilinear_resize, max_pool2d};
 pub use linalg::{col2im, im2col, Im2ColSpec, BLOCKED_MIN_MULADDS};
-pub use packed::{qgemm_i8, PackedCache, PackedMatrix, PanelKind, QPackedMatrix};
+pub use packed::{
+    matmul_packed_batched, qgemm_i8, qmatmul_packed_batched, PackedCache, PackedMatrix, PanelKind,
+    QPackedMatrix, SharedPackedCache,
+};
 pub use random::{kaiming_uniform, normal, seeded_rng, uniform, xavier_uniform};
 pub use shape::Shape;
 pub use tensor::Tensor;

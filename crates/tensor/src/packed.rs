@@ -216,6 +216,92 @@ impl<T> PackedCache<T> {
     }
 }
 
+/// A process-wide, thread-safe [`PackedCache`]: every serving session holds
+/// a clone of one `SharedPackedCache`, so a weight matrix packs exactly
+/// once per parameter *version* per process — never once per session.
+///
+/// The cached packing is handed out behind an [`Arc`], so sessions keep
+/// using the panels they fetched even while another session triggers a
+/// repack for a newer version; the old panels drop when the last holder
+/// releases them. [`SharedPackedCache::pack_count`] counts how many times
+/// the pack closure actually ran, which is what the staleness tests pin:
+/// a version bump repacks once, not once per session.
+#[derive(Debug)]
+pub struct SharedPackedCache<T = PackedMatrix> {
+    inner: std::sync::Arc<std::sync::Mutex<SharedSlot<T>>>,
+}
+
+#[derive(Debug)]
+struct SharedSlot<T> {
+    cache: PackedCache<std::sync::Arc<T>>,
+    packs: u64,
+}
+
+impl<T> Clone for SharedPackedCache<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: std::sync::Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for SharedPackedCache<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SharedPackedCache<T> {
+    /// An empty shared cache.
+    pub fn new() -> Self {
+        Self {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(SharedSlot {
+                cache: PackedCache::new(),
+                packs: 0,
+            })),
+        }
+    }
+
+    /// Returns the shared packing for `version`, invoking `pack` at most
+    /// once per version change across every clone of this cache.
+    pub fn get_or_pack(&self, version: u64, pack: impl FnOnce() -> T) -> std::sync::Arc<T> {
+        let mut slot = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut packed = false;
+        let panels = std::sync::Arc::clone(slot.cache.get_or_pack(version, || {
+            packed = true;
+            std::sync::Arc::new(pack())
+        }));
+        if packed {
+            slot.packs += 1;
+        }
+        panels
+    }
+
+    /// Drops the cached packing (the next `get_or_pack` repacks).
+    pub fn invalidate(&self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .cache
+            .invalidate();
+    }
+
+    /// The version currently cached, if any.
+    pub fn cached_version(&self) -> Option<u64> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .cache
+            .cached_version()
+    }
+
+    /// How many times the pack closure has actually run — the number of
+    /// repacks the whole process paid, across all clones.
+    pub fn pack_count(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).packs
+    }
+}
+
 /// Packs row-major `b` (`k × n`) into `⌈n/NR⌉` p-major column panels.
 /// `data` must be zeroed and sized `⌈n/NR⌉·k·NR` (padding lanes stay zero).
 pub(crate) fn pack_rhs_into(data: &mut [f32], src: &[f32], k: usize, n: usize) {
@@ -636,6 +722,109 @@ impl Tensor {
         );
         gemm_pack_lhs(self.as_slice(), rhs.panels(), m, k, rhs.cols())
     }
+}
+
+/// Computes the MR-aligned panel offset of every batch member and the
+/// total panel count: member `i`'s rows start at `offsets[i] · MR` in the
+/// fused output, so each member occupies exactly the row panels its solo
+/// pack would produce. Shared by the f32 and i8 batched entry points.
+///
+/// # Panics
+///
+/// Panics if any member is not rank-2 or its inner dimension is not `k`.
+fn batch_panel_offsets(lhs: &[&Tensor], k: usize) -> (Vec<usize>, usize) {
+    let mut offsets = Vec::with_capacity(lhs.len());
+    let mut total = 0usize;
+    for a in lhs {
+        assert_eq!(
+            a.shape().ndim(),
+            2,
+            "batched matmul lhs members must be rank-2"
+        );
+        assert_eq!(
+            a.shape().dim(1),
+            k,
+            "batched matmul inner dimension mismatch: {} vs packed k={k}",
+            a.shape()
+        );
+        offsets.push(total);
+        total += a.shape().dim(0).div_ceil(MR);
+    }
+    (offsets, total)
+}
+
+/// Splits the fused `[panels·MR, n]` output back into one tensor per batch
+/// member, dropping the zero padding rows between members.
+fn split_batch_out(out: Tensor, lhs: &[&Tensor], offsets: &[usize], n: usize) -> Vec<Tensor> {
+    let src = out.as_slice();
+    let parts = lhs
+        .iter()
+        .zip(offsets)
+        .map(|(a, &off)| {
+            let m = a.shape().dim(0);
+            let row0 = off * MR;
+            let mut o = exec::take_buf_at("gemm.batch_split", m * n);
+            o.copy_from_slice(&src[row0 * n..row0 * n + m * n]);
+            Tensor::from_vec(o, &[m, n])
+        })
+        .collect();
+    out.recycle();
+    parts
+}
+
+/// Cross-session batched matrix product: every `lhs[i]` (`[m_i, k]`)
+/// multiplies the *same* resident pre-packed right-hand panels in one
+/// fused blocked-GEMM dispatch, instead of `lhs.len()` separate calls.
+///
+/// Each member's rows are packed at an MR-aligned offset of one shared
+/// panel buffer, so its panels are byte-identical to the panels its solo
+/// [`Tensor::matmul_packed`] call would build; the inter-member padding
+/// rows pack as zero and are dropped when the fused output is split. An
+/// output row's accumulation chain depends only on its own lhs row and the
+/// B panels (ascending `k`, like the reference kernel), so every returned
+/// tensor is **bit-identical** to the corresponding sequential
+/// `lhs[i].matmul_packed(rhs)` — batching can change throughput, never
+/// results. This is the serving layer's perf core: one dispatch, one
+/// scratch round-trip and one resident B panel set amortized over all
+/// sessions.
+///
+/// # Panics
+///
+/// Panics if `rhs` was not packed with a `pack_rhs*` constructor, or any
+/// member is not rank-2 with inner dimension `rhs.rows()`.
+pub fn matmul_packed_batched(lhs: &[&Tensor], rhs: &PackedMatrix) -> Vec<Tensor> {
+    assert_eq!(
+        rhs.kind(),
+        PanelKind::Rhs,
+        "matmul_packed_batched needs Rhs panels (got {:?})",
+        rhs.kind()
+    );
+    let (k, n) = (rhs.rows(), rhs.cols());
+    let (offsets, total_panels) = batch_panel_offsets(lhs, k);
+    if total_panels == 0 {
+        return lhs
+            .iter()
+            .map(|a| Tensor::zeros(&[a.shape().dim(0), n]))
+            .collect();
+    }
+    let m_pad = total_panels * MR;
+    let mut a_panels = exec::take_buf_at("gemm.batch_lhs", total_panels * k * MR);
+    for (a, &off) in lhs.iter().zip(&offsets) {
+        let m = a.shape().dim(0);
+        if m == 0 {
+            continue;
+        }
+        let panels = m.div_ceil(MR);
+        pack_lhs_into(
+            &mut a_panels[off * k * MR..(off + panels) * k * MR],
+            a.as_slice(),
+            m,
+            k,
+        );
+    }
+    let out = gemm_packed(&a_panels, rhs.panels(), m_pad, k, n);
+    exec::recycle_buf(a_panels);
+    split_batch_out(out, lhs, &offsets, n)
 }
 
 impl PackedMatrix {
@@ -1133,6 +1322,13 @@ enum QRescale<'a> {
     PerCol { act: f32, w: &'a [f32] },
     /// Weight scales indexed by output row (`Conv2d`: `W · im2col`).
     PerRow { act: f32, w: &'a [f32] },
+    /// Weight scales indexed by output column, activation scale indexed by
+    /// output *row* — the cross-session batched `Linear` shape, where each
+    /// session's activations were quantized with their own per-tensor
+    /// scale. Write-back evaluates `acc · (acts[row] · w[col])`, the exact
+    /// float expression [`QRescale::PerCol`] uses, so a batched row is
+    /// bit-identical to the same row rescaled solo.
+    PerColRowAct { acts: &'a [f32], w: &'a [f32] },
 }
 
 /// Runs the quantized blocked GEMM over one span of output rows,
@@ -1181,6 +1377,12 @@ fn qgemm_span(
                         let factor = act * w[row0 + i0 + r];
                         for (s, o) in orow.iter_mut().enumerate() {
                             *o = accr[s] as f32 * factor;
+                        }
+                    }
+                    QRescale::PerColRowAct { acts, w } => {
+                        let act = acts[row0 + i0 + r];
+                        for (s, o) in orow.iter_mut().enumerate() {
+                            *o = accr[s] as f32 * (act * w[j0 + s]);
                         }
                     }
                 }
@@ -1321,6 +1523,71 @@ impl Tensor {
             },
         )
     }
+}
+
+/// Cross-session batched quantized matrix product: the i8 twin of
+/// [`matmul_packed_batched`]. Every member's activations quantize with
+/// their **own** per-tensor scale — exactly the scale the sequential
+/// [`Tensor::qmatmul_packed`] call computes — and the fused write-back
+/// rescales each output row by its member's activation scale
+/// ([`QRescale::PerColRowAct`]). Integer accumulation is exact and the
+/// rescale expression matches the solo path term-for-term, so every
+/// returned tensor is bit-identical to the corresponding sequential call,
+/// at any pool width and kernel tier.
+///
+/// # Panics
+///
+/// Panics if `rhs` was not packed with
+/// [`QPackedMatrix::pack_rhs_transposed`], or any member is not rank-2
+/// with inner dimension `rhs.rows()`.
+pub fn qmatmul_packed_batched(lhs: &[&Tensor], rhs: &QPackedMatrix) -> Vec<Tensor> {
+    assert_eq!(
+        rhs.kind(),
+        PanelKind::Rhs,
+        "qmatmul_packed_batched needs Rhs panels (got {:?})",
+        rhs.kind()
+    );
+    let (k, n) = (rhs.rows(), rhs.cols());
+    let (offsets, total_panels) = batch_panel_offsets(lhs, k);
+    if total_panels == 0 {
+        return lhs
+            .iter()
+            .map(|a| Tensor::zeros(&[a.shape().dim(0), n]))
+            .collect();
+    }
+    let m_pad = total_panels * MR;
+    let kp = kpad(k);
+    let mut a_panels = vec![0i8; total_panels * kp * MR];
+    // Padding rows rescale by 1.0 · w, but their exact-zero accumulators
+    // make the product 0.0 regardless; the rows are dropped at the split.
+    let mut row_acts = vec![1.0f32; m_pad];
+    for (a, &off) in lhs.iter().zip(&offsets) {
+        let m = a.shape().dim(0);
+        if m == 0 {
+            continue;
+        }
+        let panels = m.div_ceil(MR);
+        let (qa, act) = quantize_slice(a.as_slice());
+        pack_lhs_q_into(
+            &mut a_panels[off * kp * MR..(off + panels) * kp * MR],
+            &qa,
+            m,
+            k,
+        );
+        row_acts[off * MR..off * MR + m].fill(act);
+    }
+    let out = qgemm_packed(
+        &a_panels,
+        rhs.panels(),
+        m_pad,
+        k,
+        n,
+        QRescale::PerColRowAct {
+            acts: &row_acts,
+            w: rhs.scales(),
+        },
+    );
+    split_batch_out(out, lhs, &offsets, n)
 }
 
 impl QPackedMatrix {
@@ -1804,5 +2071,119 @@ mod tests {
         }
         assert_eq!(packs, 3, "one quantize+pack per distinct version");
         assert_eq!(cache.cached_version(), Some(5));
+    }
+
+    #[test]
+    fn batched_matmul_is_bit_identical_to_sequential_calls() {
+        use crate::{normal, seeded_rng};
+        let mut rng = seeded_rng(77);
+        let (k, n) = (21, 19);
+        let w = normal(&mut rng, &[n, k], 0.0, 1.0);
+        let packed = PackedMatrix::pack_rhs_transposed(&w);
+        // Ragged session shapes around the MR boundary, including m = 0.
+        let sessions: Vec<Tensor> = [1usize, 4, 7, 0, 3, 12]
+            .iter()
+            .map(|&m| normal(&mut rng, &[m, k], 0.0, 1.0))
+            .collect();
+        let refs: Vec<&Tensor> = sessions.iter().collect();
+        for width in [1usize, 8] {
+            exec::with_threads(width, || {
+                let batched = matmul_packed_batched(&refs, &packed);
+                for (a, got) in sessions.iter().zip(&batched) {
+                    let want = a.matmul_packed(&packed);
+                    assert_eq!(got.shape(), want.shape());
+                    assert_eq!(
+                        got.as_slice(),
+                        want.as_slice(),
+                        "width {width}, m={}",
+                        a.shape().dim(0)
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn batched_qmatmul_is_bit_identical_to_sequential_calls() {
+        use crate::{normal, seeded_rng};
+        let mut rng = seeded_rng(78);
+        let (k, n) = (23, 18);
+        let w = normal(&mut rng, &[n, k], 0.0, 1.0);
+        let packed = QPackedMatrix::pack_rhs_transposed(&w);
+        // Different value ranges per session force *different* per-tensor
+        // activation scales, so the per-row rescale is genuinely exercised.
+        let sessions: Vec<Tensor> = [(1usize, 0.5f32), (5, 2.0), (8, 0.1), (3, 7.0)]
+            .iter()
+            .map(|&(m, sd)| normal(&mut rng, &[m, k], 0.0, sd))
+            .collect();
+        let refs: Vec<&Tensor> = sessions.iter().collect();
+        for width in [1usize, 8] {
+            exec::with_threads(width, || {
+                let batched = qmatmul_packed_batched(&refs, &packed);
+                for (a, got) in sessions.iter().zip(&batched) {
+                    let want = a.qmatmul_packed(&packed);
+                    assert_eq!(
+                        got.as_slice(),
+                        want.as_slice(),
+                        "width {width}, m={}",
+                        a.shape().dim(0)
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn batched_matmul_handles_empty_batches() {
+        let w = Tensor::arange(8).reshape(&[2, 4]);
+        let f = PackedMatrix::pack_rhs_transposed(&w);
+        let q = QPackedMatrix::pack_rhs_transposed(&w);
+        assert!(matmul_packed_batched(&[], &f).is_empty());
+        assert!(qmatmul_packed_batched(&[], &q).is_empty());
+        let empty = Tensor::zeros(&[0, 4]);
+        let out = matmul_packed_batched(&[&empty], &f);
+        assert_eq!(out[0].shape().dims(), &[0, 2]);
+        let qout = qmatmul_packed_batched(&[&empty], &q);
+        assert_eq!(qout[0].shape().dims(), &[0, 2]);
+    }
+
+    #[test]
+    fn shared_cache_version_bump_repacks_once_not_once_per_session() {
+        let w = Tensor::arange(8).reshape(&[2, 4]);
+        let shared: SharedPackedCache = SharedPackedCache::new();
+        // Every session holds a clone of the same process-wide cache.
+        let sessions: Vec<SharedPackedCache> = (0..6).map(|_| shared.clone()).collect();
+        for s in &sessions {
+            s.get_or_pack(1, || PackedMatrix::pack_rhs_transposed(&w));
+        }
+        assert_eq!(shared.pack_count(), 1, "first version packs once");
+        // A weight push bumps the version: the first session to notice
+        // repacks; the other five reuse the new panels.
+        for s in &sessions {
+            s.get_or_pack(2, || PackedMatrix::pack_rhs_transposed(&w));
+        }
+        assert_eq!(shared.pack_count(), 2, "version bump repacks exactly once");
+        assert_eq!(shared.cached_version(), Some(2));
+        shared.invalidate();
+        assert_eq!(shared.cached_version(), None);
+        sessions[0].get_or_pack(2, || PackedMatrix::pack_rhs_transposed(&w));
+        assert_eq!(shared.pack_count(), 3, "invalidation forces one repack");
+    }
+
+    #[test]
+    fn shared_cache_handout_survives_a_concurrent_repack() {
+        let w1 = Tensor::arange(8).reshape(&[2, 4]);
+        let w2 = w1.map(|v| v + 1.0);
+        let shared: SharedPackedCache = SharedPackedCache::new();
+        let old = shared.get_or_pack(1, || PackedMatrix::pack_rhs_transposed(&w1));
+        // Another session races ahead to version 2; the old handout's
+        // panels must stay valid (Arc keeps them alive).
+        let new = shared.get_or_pack(2, || PackedMatrix::pack_rhs_transposed(&w2));
+        assert_ne!(old.panels(), new.panels());
+        let x = Tensor::arange(4).reshape(&[1, 4]);
+        assert_eq!(
+            x.matmul_packed(&old).as_slice(),
+            x.matmul(&w1.transpose()).as_slice()
+        );
     }
 }
