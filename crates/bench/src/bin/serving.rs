@@ -36,7 +36,7 @@ use solo_bench::{header, maybe_json};
 use solo_hw::Latency;
 use solo_nn::{RnnCell, RnnCellPacked};
 use solo_serve::{
-    Admission, Precision, ServeModel, ServeModelConfig, Server, ServerConfig, SessionSpec,
+    AdmitOutcome, Precision, ServeModel, ServeModelConfig, Server, ServerConfig, SessionSpec,
 };
 use solo_tensor::{
     exec, matmul_packed_batched, normal, qmatmul_packed_batched, seeded_rng, xavier_uniform,
@@ -427,9 +427,9 @@ fn measure_sweep(quick: bool) -> Vec<SweepRow> {
                 let (mut admitted, mut queued, mut rejected) = (0usize, 0usize, 0usize);
                 for i in 0..offered {
                     match server.admit(SessionSpec::nth(77, i)) {
-                        Admission::Admitted(_) => admitted += 1,
-                        Admission::Queued => queued += 1,
-                        Admission::Rejected => rejected += 1,
+                        AdmitOutcome::Admitted(_) => admitted += 1,
+                        AdmitOutcome::Queued => queued += 1,
+                        AdmitOutcome::Rejected { .. } => rejected += 1,
                     }
                 }
                 let mut degraded_frames = 0usize;

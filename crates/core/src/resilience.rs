@@ -542,6 +542,7 @@ impl ResilienceConfig {
 pub struct DegradeLadder {
     lost_streak: usize,
     confidence: f32,
+    floor_dwell: usize,
 }
 
 impl Default for DegradeLadder {
@@ -556,6 +557,7 @@ impl DegradeLadder {
         Self {
             lost_streak: 0,
             confidence: 1.0,
+            floor_dwell: 0,
         }
     }
 
@@ -567,6 +569,20 @@ impl DegradeLadder {
     /// Consecutive gaze-lost frames so far.
     pub fn lost_streak(&self) -> usize {
         self.lost_streak
+    }
+
+    /// Whether the ladder sits on its floor rung (mask reuse) — the
+    /// supervision signal for quarantine: a session pinned to the floor
+    /// is paying for ticks that serve a stale mask.
+    pub fn at_floor(&self) -> bool {
+        self.floor_dwell > 0
+    }
+
+    /// Consecutive decisions spent on the floor rung. The rung sequence
+    /// is monotone in the lost streak, so this only grows until
+    /// [`Self::reset`].
+    pub fn floor_dwell(&self) -> usize {
+        self.floor_dwell
     }
 
     /// Called on a gaze-lost frame: advances the streak and returns the
@@ -585,6 +601,7 @@ impl DegradeLadder {
         } else if self.lost_streak <= cfg.hold_frames + cfg.widen_frames + cfg.uniform_frames {
             DegradeAction::UniformFallback
         } else {
+            self.floor_dwell += 1;
             DegradeAction::ReuseMask
         }
     }
@@ -751,6 +768,26 @@ mod tests {
         ladder.reset();
         assert_eq!(ladder.lost_streak(), 0);
         assert_eq!(ladder.decide(&cfg).rung(), 1);
+    }
+
+    #[test]
+    fn floor_dwell_counts_reuse_decisions_and_resets() {
+        let cfg = ResilienceConfig::paper_default();
+        let mut ladder = DegradeLadder::new();
+        assert!(!ladder.at_floor());
+        let above_floor = cfg.hold_frames + cfg.widen_frames + cfg.uniform_frames;
+        for _ in 0..above_floor {
+            ladder.decide(&cfg);
+            assert!(!ladder.at_floor(), "floor before the uniform window ends");
+        }
+        for dwell in 1..=3usize {
+            assert_eq!(ladder.decide(&cfg).rung(), 4);
+            assert!(ladder.at_floor());
+            assert_eq!(ladder.floor_dwell(), dwell);
+        }
+        ladder.reset();
+        assert!(!ladder.at_floor());
+        assert_eq!(ladder.floor_dwell(), 0);
     }
 
     #[test]

@@ -637,6 +637,33 @@ impl SocModel {
         cost
     }
 
+    /// The cost of one tick of a *quarantined* session: the serving
+    /// layer's supervisor has pulled the session out of batched dispatch
+    /// and it serves its held mask from state — no sensing, no MIPI, no
+    /// compute; just the display refresh and platform base power over it.
+    /// Strictly cheaper than [`Self::skip_path`], which still senses and
+    /// transfers the preview; quarantine frees that envelope budget for
+    /// the admission queue.
+    pub fn quarantined_stub_path(&self, _dataset: Dataset) -> CostBreakdown {
+        let mut cost = CostBreakdown::default();
+        cost.display = (self.display.latency(), self.display.energy());
+        cost.platform = (
+            Latency::ZERO,
+            Energy::from_power(crate::calib::PLATFORM_POWER_W, cost.latency()),
+        );
+        cost
+    }
+
+    /// The cost of a re-admission *probe* tick: the supervisor runs the
+    /// quarantined session one full SOLO frame *outside* the shared batch
+    /// (it must not perturb batch-mates), so the segmentation dispatch is
+    /// solo and unamortized — bit-identical to
+    /// `evaluate(Pipeline::Solo, ..)` and never cheaper than the marginal
+    /// batched price [`Self::batched_solo_path`] charges live sessions.
+    pub fn probe_path(&self, backbone: Backbone, dataset: Dataset) -> CostBreakdown {
+        self.evaluate(Pipeline::Solo, backbone, dataset)
+    }
+
     /// Speedup of `pipeline` over the FR+GPU reference (Fig. 13 (b) top).
     pub fn speedup(&self, pipeline: Pipeline, backbone: Backbone, dataset: Dataset) -> f64 {
         let reference = self.evaluate(Pipeline::FrGpu, backbone, dataset).latency();
@@ -880,6 +907,47 @@ mod tests {
             let skip = soc().skip_path(d).latency();
             assert!(uniform < solo, "{}: {uniform} vs solo {solo}", d.name());
             assert!(uniform > skip, "{}: {uniform} vs skip {skip}", d.name());
+        }
+    }
+
+    #[test]
+    fn quarantined_stub_is_the_cheapest_tick_of_all() {
+        for d in Dataset::MAIN {
+            let stub = soc().quarantined_stub_path(d);
+            let skip = soc().skip_path(d);
+            assert!(
+                stub.latency() < skip.latency(),
+                "{}: stub {} vs skip {}",
+                d.name(),
+                stub.latency(),
+                skip.latency()
+            );
+            assert!(stub.energy() < skip.energy());
+            // Held state only: no sensing, transfer or compute stages.
+            assert_eq!(stub.sensing.0, Latency::ZERO);
+            assert_eq!(stub.mipi.0, Latency::ZERO);
+            assert_eq!(stub.esnet.0, Latency::ZERO);
+            assert_eq!(stub.segmentation.0, Latency::ZERO);
+            assert!(stub.display.0 > Latency::ZERO);
+        }
+    }
+
+    #[test]
+    fn probe_prices_an_unamortized_solo_frame() {
+        let b = Backbone::Hr;
+        for d in Dataset::MAIN {
+            let probe = soc().probe_path(b, d);
+            assert_eq!(
+                probe,
+                soc().evaluate(Pipeline::Solo, b, d),
+                "{}: a probe is the solo frame, run outside the batch",
+                d.name()
+            );
+            // The probe never undercuts the amortized batched price.
+            for batch in [2usize, 8, 64] {
+                let marginal = soc().batched_solo_path(b, d, batch).latency();
+                assert!(probe.latency() >= marginal);
+            }
         }
     }
 

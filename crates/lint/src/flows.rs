@@ -38,8 +38,16 @@ pub fn is_hot_root(f: &FnItem) -> bool {
         Some("QPackedMatrix") if f.name.starts_with("qmatmul") => return true,
         Some("Tensor") if f.name == "qmatmul_packed" => return true,
         // The serving frame loop: every admitted user's deadline rides on
-        // one tick, and admission prices the marginal session against it.
-        Some("Server") if f.name == "tick" || f.name == "admit" => return true,
+        // one tick (plain or supervised), and admission prices the
+        // marginal session against it.
+        Some("Server") if matches!(f.name.as_str(), "tick" | "tick_supervised" | "admit") => {
+            return true
+        }
+        // The recovery surface rides inside the same tick deadline: the
+        // supervisor's health verdicts and checkpoint restore must never
+        // panic mid-frame.
+        Some("Supervisor") if f.name == "tick" => return true,
+        Some("Session") if f.name == "restore" => return true,
         _ => {}
     }
     if f.name == "infer_quant" {
@@ -520,10 +528,35 @@ mod tests {
             Some("Server"),
             "admit"
         )));
+        assert!(is_hot_root(&root(
+            "crates/serve/src/server.rs",
+            Some("Server"),
+            "tick_supervised"
+        )));
+        assert!(is_hot_root(&root(
+            "crates/serve/src/supervisor.rs",
+            Some("Supervisor"),
+            "tick"
+        )));
+        assert!(is_hot_root(&root(
+            "crates/serve/src/session.rs",
+            Some("Session"),
+            "restore"
+        )));
         assert!(!is_hot_root(&root(
             "crates/serve/src/server.rs",
             Some("Server"),
             "mask_digest"
+        )));
+        assert!(!is_hot_root(&root(
+            "crates/serve/src/supervisor.rs",
+            Some("Supervisor"),
+            "config"
+        )));
+        assert!(!is_hot_root(&root(
+            "crates/serve/src/session.rs",
+            Some("Session"),
+            "checkpoint"
         )));
         assert!(is_hot_root(&root(
             "crates/tensor/src/exec.rs",

@@ -91,6 +91,41 @@ impl DatasetConfig {
         }
     }
 
+    /// Crowded small-object scenes: the adversarial preset the fault-grid
+    /// sweeps need — twice LVIS density at half the object size, so the
+    /// gaze prior has many near-ties and a widened crop catches several
+    /// instances at once. Priced as LVIS by the hardware models (same
+    /// paper resolution).
+    pub fn crowded_like() -> Self {
+        Self {
+            name: "crowded-like".into(),
+            resolution: 96,
+            paper_resolution: 640,
+            paper_downsample: 80,
+            objects: (12, 18),
+            object_size: (0.03, 0.08),
+            moving: false,
+            view_span: 1.0,
+        }
+    }
+
+    /// Rapid-IOI-switching scenes: DAVIS-sized frames but static objects
+    /// and short dwells — the viewing pressure comes from the gaze
+    /// hopping between instances, not from object motion. Priced as
+    /// DAVIS by the hardware models.
+    pub fn switching_like() -> Self {
+        Self {
+            name: "switching-like".into(),
+            resolution: 96,
+            paper_resolution: 480,
+            paper_downsample: 60,
+            objects: (5, 9),
+            object_size: (0.07, 0.16),
+            moving: false,
+            view_span: 0.8,
+        }
+    }
+
     /// Overrides the rendered resolution (builder-style).
     pub fn with_resolution(mut self, resolution: usize) -> Self {
         self.resolution = resolution;

@@ -70,6 +70,36 @@ impl VideoConfig {
         }
     }
 
+    /// A crowded small-object video (ROADMAP adversarial preset): LVIS
+    /// pacing over [`DatasetConfig::crowded_like`] scenes, with the
+    /// refixation rate pushed up because every dwell offers many nearby
+    /// candidate instances.
+    pub fn crowded_like(frames: usize) -> Self {
+        Self {
+            dataset: DatasetConfig::crowded_like(),
+            frames,
+            fps: 30.0,
+            dwell_s: (0.8, 2.5),
+            turn_s: (0.4, 0.8),
+            refixation_rate: 1.0,
+        }
+    }
+
+    /// A rapid-IOI-switching video (ROADMAP adversarial preset): very
+    /// short dwells and a refixation rate high enough that the gaze hops
+    /// to a new instance every second or two — the worst case for
+    /// fixation-keyed mask reuse and for saccade-window fault outages.
+    pub fn switching_like(frames: usize) -> Self {
+        Self {
+            dataset: DatasetConfig::switching_like(),
+            frames,
+            fps: 30.0,
+            dwell_s: (0.4, 1.2),
+            turn_s: (0.3, 0.6),
+            refixation_rate: 2.5,
+        }
+    }
+
     /// A DAVIS-2016-like video (moving objects, shorter dwells).
     pub fn davis_like(frames: usize) -> Self {
         Self {
@@ -500,12 +530,48 @@ mod tests {
     }
 
     #[test]
+    fn crowded_preset_is_denser_and_smaller_than_lvis() {
+        let crowded = DatasetConfig::crowded_like();
+        let lvis = DatasetConfig::lvis_like();
+        assert!(crowded.objects.0 > lvis.objects.1);
+        assert!(crowded.object_size.1 < lvis.object_size.1);
+        let mut cfg = VideoConfig::crowded_like(60);
+        cfg.dataset.resolution = 48;
+        let v = VideoSequence::generate(cfg, &mut seeded_rng(11));
+        assert_eq!(v.len(), 60);
+    }
+
+    #[test]
+    fn switching_preset_refixates_more_than_aria() {
+        // Count saccade onsets (fixation → saccade transitions) over the
+        // same horizon: the switching preset must hop IOIs much more.
+        let count = |mk: fn(usize) -> VideoConfig, seed: u64| {
+            let mut cfg = mk(600);
+            cfg.dataset.resolution = 48;
+            let v = VideoSequence::generate(cfg, &mut seeded_rng(seed));
+            let trace = v.gaze_trace();
+            trace
+                .windows(2)
+                .filter(|w| w[0].phase != EyePhase::Saccade && w[1].phase == EyePhase::Saccade)
+                .count()
+        };
+        let switching = count(VideoConfig::switching_like, 3);
+        let aria = count(VideoConfig::aria_like, 3);
+        assert!(
+            switching > aria,
+            "switching preset should saccade more: {switching} vs {aria}"
+        );
+    }
+
+    #[test]
     fn all_four_presets_generate() {
         for cfg in [
             VideoConfig::lvis_like(30),
             VideoConfig::ade_like(30),
             VideoConfig::aria_like(30),
             VideoConfig::davis_like(30),
+            VideoConfig::crowded_like(30),
+            VideoConfig::switching_like(30),
         ] {
             let mut cfg = cfg;
             cfg.dataset.resolution = 48;

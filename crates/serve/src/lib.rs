@@ -19,18 +19,25 @@
 //! * [`Server`] — admission control priced by the batched marginal cost,
 //!   the frame-tick scheduler, and per-session overload degradation.
 //!
+//! The resilience layer rides on top: each session carries its own seeded
+//! fault plan, a [`Supervisor`] scores per-session health during
+//! [`Server::tick_supervised`], and chronically unhealthy sessions
+//! quarantine into a held-state stub until an exponential-backoff probe
+//! re-admits them from a [`SessionCheckpoint`] — all without perturbing a
+//! single bit of a healthy batch-mate's output.
+//!
 //! ```
-//! use solo_serve::{Admission, ServeModel, ServeModelConfig, Server, ServerConfig, SessionSpec};
+//! use solo_serve::{AdmitOutcome, ServeModel, ServeModelConfig, Server, ServerConfig, SessionSpec};
 //! use solo_tensor::seeded_rng;
 //! use std::sync::Arc;
 //!
 //! let mut rng = seeded_rng(0);
 //! let model = Arc::new(ServeModel::new(&mut rng, ServeModelConfig::paper_default()).unwrap());
 //! let mut server = Server::new(model, ServerConfig::paper_default()).unwrap();
-//! assert_eq!(server.admit(SessionSpec::nth(0, 0)), Admission::Admitted(0));
-//! let report = server.tick();
-//! assert_eq!(report.sessions, 1);
-//! assert_eq!(report.ran, 1); // first frame always segments
+//! assert_eq!(server.admit(SessionSpec::nth(0, 0)), AdmitOutcome::Admitted(0));
+//! let report = server.tick_supervised();
+//! assert_eq!(report.base.sessions, 1);
+//! assert_eq!(report.base.ran, 1); // first frame always segments
 //! ```
 //!
 //! [`SharedPackedCache`]: solo_tensor::SharedPackedCache
@@ -38,7 +45,13 @@
 mod model;
 mod server;
 mod session;
+mod supervisor;
 
-pub use model::{Precision, ServeModel, ServeModelConfig};
-pub use server::{Admission, Server, ServerConfig, TickReport};
-pub use session::{ScenePreset, Session, SessionSpec, SessionStats};
+pub use model::{
+    Precision, PushError, PushPolicy, PushReceipt, ServeModel, ServeModelConfig, WeightPush,
+};
+pub use server::{
+    AdmitOutcome, RejectReason, Server, ServerConfig, SupervisedTickReport, TickReport,
+};
+pub use session::{ScenePreset, Session, SessionCheckpoint, SessionSpec, SessionStats};
+pub use supervisor::{HealthSignal, Supervisor, SupervisorConfig};

@@ -12,6 +12,7 @@
 //! bit-identical to per-session calls by construction.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use rand::Rng;
 use solo_core::resilience::{FrameOutcome, SoloError};
@@ -102,23 +103,184 @@ impl ServeModelConfig {
     }
 }
 
-/// The shared serving model (see the module docs).
-#[derive(Debug)]
-pub struct ServeModel {
-    cfg: ServeModelConfig,
+/// The pushable parameters, swapped as one unit under the write lock so a
+/// push is atomic: readers either see the old set or the new set, never a
+/// torn mixture.
+#[derive(Debug, Clone)]
+struct HeadWeights {
     /// First MLP layer, `[hidden, channels·patch²]`.
     w1: Tensor,
     b1: Tensor,
     /// Second MLP layer, `[patch², hidden]` — per-pixel mask logits.
     w2: Tensor,
     b2: Tensor,
-    /// Gaze-predictor cell: `[gx, gy] → hidden`.
-    predictor: RnnCell,
     /// Linear readout of the predictor hidden state to a gaze delta,
     /// `[2, predictor_hidden]`.
     readout: Tensor,
+}
+
+/// Why a staged weight push was refused. Nothing is mutated when any of
+/// these fire: the model keeps serving the prior version in full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The push was staged against a version the model no longer serves
+    /// (a competing push landed first). Transient: re-stage and retry.
+    VersionFence {
+        /// Version the push was built against.
+        staged: u64,
+        /// Version the model currently serves.
+        current: u64,
+    },
+    /// The declared checksum does not match the staged tensors — a torn
+    /// or corrupted transfer. Transient if re-staging re-reads the source.
+    ChecksumMismatch {
+        /// Checksum the push declared.
+        declared: u64,
+        /// Checksum recomputed over the staged tensors.
+        computed: u64,
+    },
+    /// A staged tensor's shape disagrees with the model configuration.
+    /// Permanent: retrying the same stage cannot succeed.
+    ShapeMismatch(&'static str),
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::VersionFence { staged, current } => write!(
+                f,
+                "push staged against version {staged} but the model serves {current}"
+            ),
+            PushError::ChecksumMismatch { declared, computed } => write!(
+                f,
+                "push checksum mismatch: declared {declared:#018x}, computed {computed:#018x}"
+            ),
+            PushError::ShapeMismatch(what) => write!(f, "push shape mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// A staged weight push: full replacement tensors for the head plus the
+/// integrity fence they were built against. Build one with
+/// [`WeightPush::stage`], which seals the checksum; transport corruption
+/// is then detectable at apply time.
+#[derive(Debug, Clone)]
+pub struct WeightPush {
+    /// Version the replacement was trained/diffed against. The push only
+    /// applies while the model still serves this version.
+    pub base_version: u64,
+    /// FNV-1a over the staged tensors' shapes and f32 bit patterns.
+    pub checksum: u64,
+    /// Replacement `[hidden, channels·patch²]` first layer.
+    pub w1: Tensor,
+    /// Replacement first-layer bias.
+    pub b1: Tensor,
+    /// Replacement `[patch², hidden]` second layer.
+    pub w2: Tensor,
+    /// Replacement second-layer bias.
+    pub b2: Tensor,
+    /// Replacement `[2, predictor_hidden]` gaze readout.
+    pub readout: Tensor,
+}
+
+/// FNV-1a (64-bit) over each tensor's shape then element bit patterns, in
+/// argument order. Deterministic across platforms — it reads the exact
+/// f32 bits, never the float values.
+fn fnv1a_tensors(tensors: &[&Tensor]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for t in tensors {
+        for &d in t.shape().dims() {
+            eat(d as u64);
+        }
+        for &v in t.as_slice() {
+            eat(u64::from(v.to_bits()));
+        }
+    }
+    h
+}
+
+impl WeightPush {
+    /// Stages a push and seals its checksum over the given tensors.
+    pub fn stage(
+        base_version: u64,
+        w1: Tensor,
+        b1: Tensor,
+        w2: Tensor,
+        b2: Tensor,
+        readout: Tensor,
+    ) -> Self {
+        let checksum = fnv1a_tensors(&[&w1, &b1, &w2, &b2, &readout]);
+        Self {
+            base_version,
+            checksum,
+            w1,
+            b1,
+            w2,
+            b2,
+            readout,
+        }
+    }
+
+    /// Recomputes the checksum over the staged tensors as they are *now*.
+    pub fn computed_checksum(&self) -> u64 {
+        fnv1a_tensors(&[&self.w1, &self.b1, &self.w2, &self.b2, &self.readout])
+    }
+}
+
+/// Retry/backoff policy for [`ServeModel::push_with_retry`]. Backoff is
+/// accounted in abstract ticks (doubled per retry), not slept — the
+/// serving loop is simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushPolicy {
+    /// Attempts before giving up (≥ 1).
+    pub max_attempts: usize,
+    /// Backoff charged after the first failed attempt, doubling per retry.
+    pub backoff_base_ticks: u64,
+}
+
+impl PushPolicy {
+    /// Three attempts, starting at a 1-tick backoff.
+    pub fn paper_default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_base_ticks: 1,
+        }
+    }
+}
+
+/// What a successful (possibly retried) push cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushReceipt {
+    /// Version now being served.
+    pub version: u64,
+    /// Attempts consumed (1 = first try landed).
+    pub attempts: usize,
+    /// Total backoff ticks charged across retries.
+    pub backoff_ticks: u64,
+}
+
+/// The shared serving model (see the module docs).
+#[derive(Debug)]
+pub struct ServeModel {
+    cfg: ServeModelConfig,
+    /// Pushable parameters, swapped atomically by [`Self::push`].
+    weights: RwLock<HeadWeights>,
+    /// Gaze-predictor cell: `[gx, gy] → hidden`. Not covered by pushes
+    /// (its weights live outside the push protocol), so it sits outside
+    /// the lock.
+    predictor: RnnCell,
     /// Parameter version; a bump (weight push) invalidates every shared
-    /// panel cache at its next fetch.
+    /// panel cache at its next fetch. Only written while the weights
+    /// write lock is held, so (weights, version) pairs read under the
+    /// read lock are always consistent.
     version: AtomicU64,
     packed_w1: SharedPackedCache<PackedMatrix>,
     packed_w2: SharedPackedCache<PackedMatrix>,
@@ -140,12 +302,14 @@ impl ServeModel {
         let p2 = cfg.patch * cfg.patch;
         Ok(Self {
             cfg,
-            w1: xavier_uniform(rng, &[cfg.hidden, feat], feat, cfg.hidden),
-            b1: Tensor::zeros(&[cfg.hidden]),
-            w2: xavier_uniform(rng, &[p2, cfg.hidden], cfg.hidden, p2),
-            b2: Tensor::zeros(&[p2]),
+            weights: RwLock::new(HeadWeights {
+                w1: xavier_uniform(rng, &[cfg.hidden, feat], feat, cfg.hidden),
+                b1: Tensor::zeros(&[cfg.hidden]),
+                w2: xavier_uniform(rng, &[p2, cfg.hidden], cfg.hidden, p2),
+                b2: Tensor::zeros(&[p2]),
+                readout: xavier_uniform(rng, &[2, cfg.predictor_hidden], cfg.predictor_hidden, 2),
+            }),
             predictor: RnnCell::new(rng, 2, cfg.predictor_hidden),
-            readout: xavier_uniform(rng, &[2, cfg.predictor_hidden], cfg.predictor_hidden, 2),
             version: AtomicU64::new(0),
             packed_w1: SharedPackedCache::new(),
             packed_w2: SharedPackedCache::new(),
@@ -166,12 +330,124 @@ impl ServeModel {
         self.version.load(Ordering::Relaxed)
     }
 
+    /// Poison-tolerant read of the pushable weights: a panicked writer
+    /// can only have poisoned the lock *after* its swap completed or
+    /// before it started (the swap is a handful of moves), so the data is
+    /// always a consistent version.
+    fn read_weights(&self) -> RwLockReadGuard<'_, HeadWeights> {
+        self.weights.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_weights(&self) -> RwLockWriteGuard<'_, HeadWeights> {
+        self.weights.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Simulates a weight push: bumps the version so every shared panel
     /// cache repacks (once per process) at its next fetch. The weights
     /// themselves are unchanged, which keeps serving output comparable
-    /// across pushes while still exercising the repack path.
+    /// across pushes while still exercising the repack path. Takes the
+    /// write lock so the bump fences against in-flight inference exactly
+    /// like a real [`Self::push`].
     pub fn bump_version(&self) -> u64 {
+        let _guard = self.write_weights();
         self.version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Applies a staged weight push atomically, or refuses it leaving the
+    /// model untouched.
+    ///
+    /// The apply order is all-checks-then-swap under the write lock:
+    /// version fence first (the push must target the version currently
+    /// served), then shape validation against the model config, then the
+    /// checksum recomputed over the staged tensors. Nothing mutates until
+    /// every check has passed, so *any* failure is a complete rollback by
+    /// construction — every session keeps serving the prior version and
+    /// the shared panel caches stay valid for it. On success the swap and
+    /// the version bump happen under the same lock; the bumped version
+    /// then repacks each shared panel cache exactly once, process-wide.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::VersionFence`], [`PushError::ShapeMismatch`] or
+    /// [`PushError::ChecksumMismatch`]; see each variant for whether a
+    /// retry can help.
+    pub fn push(&self, push: &WeightPush) -> Result<u64, PushError> {
+        let mut guard = self.write_weights();
+        let current = self.version.load(Ordering::Relaxed);
+        if push.base_version != current {
+            return Err(PushError::VersionFence {
+                staged: push.base_version,
+                current,
+            });
+        }
+        let feat = self.cfg.token_features();
+        let p2 = self.cfg.patch * self.cfg.patch;
+        let shape_checks: [(&Tensor, &[usize], &'static str); 5] = [
+            (&push.w1, &[self.cfg.hidden, feat], "w1"),
+            (&push.b1, &[self.cfg.hidden], "b1"),
+            (&push.w2, &[p2, self.cfg.hidden], "w2"),
+            (&push.b2, &[p2], "b2"),
+            (&push.readout, &[2, self.cfg.predictor_hidden], "readout"),
+        ];
+        for (t, want, name) in shape_checks {
+            if t.shape().dims() != want {
+                return Err(PushError::ShapeMismatch(name));
+            }
+        }
+        let computed = push.computed_checksum();
+        if computed != push.checksum {
+            return Err(PushError::ChecksumMismatch {
+                declared: push.checksum,
+                computed,
+            });
+        }
+        guard.w1 = push.w1.clone();
+        guard.b1 = push.b1.clone();
+        guard.w2 = push.w2.clone();
+        guard.b2 = push.b2.clone();
+        guard.readout = push.readout.clone();
+        Ok(self.version.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Pushes with retry and exponential backoff: `stage` is called with
+    /// the version the model currently serves and must return a push
+    /// staged against it, so a [`PushError::VersionFence`] loss (or a
+    /// transient transfer corruption) is healed by re-staging. Backoff
+    /// doubles per retry and is accounted in the receipt, not slept.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's [`PushError`] once `policy.max_attempts` is
+    /// exhausted (a [`PushError::ShapeMismatch`] fails fast — no retry
+    /// can fix it).
+    pub fn push_with_retry(
+        &self,
+        policy: PushPolicy,
+        mut stage: impl FnMut(u64) -> WeightPush,
+    ) -> Result<PushReceipt, PushError> {
+        let attempts_allowed = policy.max_attempts.max(1);
+        let mut backoff_ticks = 0u64;
+        let mut next_backoff = policy.backoff_base_ticks;
+        let mut last = PushError::ShapeMismatch("unreachable: no attempt ran");
+        for attempt in 1..=attempts_allowed {
+            let push = stage(self.version());
+            match self.push(&push) {
+                Ok(version) => {
+                    return Ok(PushReceipt {
+                        version,
+                        attempts: attempt,
+                        backoff_ticks,
+                    });
+                }
+                Err(e @ PushError::ShapeMismatch(_)) => return Err(e),
+                Err(e) => last = e,
+            }
+            if attempt < attempts_allowed {
+                backoff_ticks += next_backoff;
+                next_backoff = next_backoff.saturating_mul(2);
+            }
+        }
+        Err(last)
     }
 
     /// Total number of pack-closure runs across every shared cache — the
@@ -282,20 +558,24 @@ impl ServeModel {
         if crops.is_empty() {
             return Vec::new();
         }
-        let v = self.version();
+        // Hold the read lock across both GEMMs so a concurrent push can
+        // never tear the layer pair; the version is loaded under it, so
+        // (weights, version) is a consistent snapshot.
+        let w = self.read_weights();
+        let v = self.version.load(Ordering::Relaxed);
         let tokens: Vec<Tensor> = crops.iter().map(|c| self.tokenize(c)).collect();
         let token_refs: Vec<&Tensor> = tokens.iter().collect();
         let hidden = match precision {
             Precision::F32 => {
                 let p1 = self
                     .packed_w1
-                    .get_or_pack(v, || PackedMatrix::pack_rhs_transposed(&self.w1));
+                    .get_or_pack(v, || PackedMatrix::pack_rhs_transposed(&w.w1));
                 matmul_packed_batched(&token_refs, &p1)
             }
             Precision::Int8 => {
                 let q1 = self
                     .qpacked_w1
-                    .get_or_pack(v, || QPackedMatrix::pack_rhs_transposed(&self.w1));
+                    .get_or_pack(v, || QPackedMatrix::pack_rhs_transposed(&w.w1));
                 qmatmul_packed_batched(&token_refs, &q1)
             }
         };
@@ -304,20 +584,20 @@ impl ServeModel {
         }
         let act: Vec<Tensor> = hidden
             .into_iter()
-            .map(|h| self.bias_tanh(h, &self.b1))
+            .map(|h| self.bias_tanh(h, &w.b1))
             .collect();
         let act_refs: Vec<&Tensor> = act.iter().collect();
         let logits = match precision {
             Precision::F32 => {
                 let p2 = self
                     .packed_w2
-                    .get_or_pack(v, || PackedMatrix::pack_rhs_transposed(&self.w2));
+                    .get_or_pack(v, || PackedMatrix::pack_rhs_transposed(&w.w2));
                 matmul_packed_batched(&act_refs, &p2)
             }
             Precision::Int8 => {
                 let q2 = self
                     .qpacked_w2
-                    .get_or_pack(v, || QPackedMatrix::pack_rhs_transposed(&self.w2));
+                    .get_or_pack(v, || QPackedMatrix::pack_rhs_transposed(&w.w2));
                 qmatmul_packed_batched(&act_refs, &q2)
             }
         };
@@ -327,7 +607,7 @@ impl ServeModel {
         logits
             .into_iter()
             .map(|l| {
-                let l = self.bias(l, &self.b2);
+                let l = self.bias(l, &w.b2);
                 let mask = self.untokenize(&l);
                 l.recycle();
                 mask
@@ -345,11 +625,12 @@ impl ServeModel {
     /// step-`t` GEMMs fuse into one dispatch. Row-independent, so results
     /// are bit-identical at any batch size.
     pub fn predict_batch(&self, gazes: &Tensor, hidden: &Tensor) -> (Tensor, Tensor) {
-        let v = self.version();
+        let w = self.read_weights();
+        let v = self.version.load(Ordering::Relaxed);
         let cell = self.packed_cell.get_or_pack(v, || self.predictor.pack());
         let ro = self
             .packed_readout
-            .get_or_pack(v, || PackedMatrix::pack_rhs_transposed(&self.readout));
+            .get_or_pack(v, || PackedMatrix::pack_rhs_transposed(&w.readout));
         let next = self.predictor.step_batch(gazes, hidden, &cell);
         let delta = next.matmul_packed(&ro);
         (next, delta)
@@ -445,6 +726,141 @@ mod tests {
             m.predict_batch(&gazes, &hidden);
         }
         assert_eq!(m.pack_events(), 12, "a weight push repacks exactly once");
+    }
+
+    fn staged_push(m: &ServeModel, seed: u64) -> WeightPush {
+        let cfg = *m.config();
+        let mut rng = seeded_rng(seed);
+        let feat = cfg.token_features();
+        let p2 = cfg.patch * cfg.patch;
+        WeightPush::stage(
+            m.version(),
+            xavier_uniform(&mut rng, &[cfg.hidden, feat], feat, cfg.hidden),
+            normal(&mut rng, &[cfg.hidden], 0.0, 0.01),
+            xavier_uniform(&mut rng, &[p2, cfg.hidden], cfg.hidden, p2),
+            normal(&mut rng, &[p2], 0.0, 0.01),
+            xavier_uniform(
+                &mut rng,
+                &[2, cfg.predictor_hidden],
+                cfg.predictor_hidden,
+                2,
+            ),
+        )
+    }
+
+    #[test]
+    fn push_applies_atomically_and_repacks_once() {
+        let m = model(21);
+        let mut rng = seeded_rng(22);
+        let crops = [normal(&mut rng, &[3, 24, 24], 0.0, 1.0)];
+        let before = m.infer_batch(&crops, Precision::F32);
+        let push = staged_push(&m, 23);
+        let v = match m.push(&push) {
+            Ok(v) => v,
+            Err(e) => panic!("valid push must apply: {e}"),
+        };
+        assert_eq!(v, 1);
+        assert_eq!(m.version(), 1);
+        let after = m.infer_batch(&crops, Precision::F32);
+        assert_ne!(
+            before[0].as_slice(),
+            after[0].as_slice(),
+            "new weights must change the served masks"
+        );
+        // A second fetch at the new version reuses the repacked panels.
+        let packs = m.pack_events();
+        m.infer_batch(&crops, Precision::F32);
+        assert_eq!(m.pack_events(), packs, "push repacks once, not per call");
+    }
+
+    #[test]
+    fn corrupted_push_rolls_back_completely() {
+        let m = model(31);
+        let mut rng = seeded_rng(32);
+        let crops = [normal(&mut rng, &[3, 24, 24], 0.0, 1.0)];
+        let before = m.infer_batch(&crops, Precision::F32);
+        let packs = m.pack_events();
+
+        // Corruption after sealing: flip one weight bit in transit.
+        let mut torn = staged_push(&m, 33);
+        let mut v = torn.w1.as_slice().to_vec();
+        v[0] = f32::from_bits(v[0].to_bits() ^ 1);
+        torn.w1 = Tensor::from_vec(v, &[m.config().hidden, m.config().token_features()]);
+        match m.push(&torn) {
+            Err(PushError::ChecksumMismatch { declared, computed }) => {
+                assert_ne!(declared, computed);
+            }
+            other => panic!("torn push must be refused, got {other:?}"),
+        }
+
+        // Wrong-shaped readout.
+        let mut bad = staged_push(&m, 34);
+        bad.readout = Tensor::zeros(&[3, m.config().predictor_hidden]);
+        bad.checksum = bad.computed_checksum();
+        assert_eq!(m.push(&bad), Err(PushError::ShapeMismatch("readout")));
+
+        // Stale fence.
+        let stale = staged_push(&m, 35);
+        m.bump_version();
+        assert_eq!(
+            m.push(&stale),
+            Err(PushError::VersionFence {
+                staged: 0,
+                current: 1
+            })
+        );
+
+        // All sessions keep serving the prior weights: output bits are as
+        // before the failed pushes, and the only new pack events are the
+        // fence bump's per-matrix repacks of the same bits (w1 + w2 on
+        // this f32 path) — the refused pushes themselves packed nothing.
+        let after = m.infer_batch(&crops, Precision::F32);
+        assert_eq!(before[0].as_slice(), after[0].as_slice());
+        assert_eq!(m.pack_events(), packs + 2, "only the bump's repacks");
+    }
+
+    #[test]
+    fn push_with_retry_heals_a_lost_fence_race() {
+        let m = model(41);
+        let mut first = true;
+        let receipt = m.push_with_retry(PushPolicy::paper_default(), |current| {
+            // First attempt races a competing push and stages stale.
+            let base = if first {
+                first = false;
+                current.wrapping_add(7)
+            } else {
+                current
+            };
+            let mut p = staged_push(&m, 42);
+            p.base_version = base;
+            p
+        });
+        match receipt {
+            Ok(r) => {
+                assert_eq!(r.attempts, 2, "fence loss then success");
+                assert_eq!(r.backoff_ticks, 1, "one base backoff charged");
+                assert_eq!(r.version, m.version());
+            }
+            Err(e) => panic!("retry must heal a fence race: {e}"),
+        }
+
+        // A permanently malformed push fails fast, no retries.
+        let res = m.push_with_retry(PushPolicy::paper_default(), |current| {
+            let mut p = staged_push(&m, 43);
+            p.w2 = Tensor::zeros(&[1, 1]);
+            p.checksum = p.computed_checksum();
+            p.base_version = current;
+            p
+        });
+        assert_eq!(res, Err(PushError::ShapeMismatch("w2")));
+
+        // Exhausted attempts surface the last transient error.
+        let res = m.push_with_retry(PushPolicy::paper_default(), |_| {
+            let mut p = staged_push(&m, 44);
+            p.checksum ^= 0xdead_beef;
+            p
+        });
+        assert!(matches!(res, Err(PushError::ChecksumMismatch { .. })));
     }
 
     #[test]

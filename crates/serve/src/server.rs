@@ -18,10 +18,36 @@
 //!   its own [`DegradeLadder`] — sessions early in the tick order keep
 //!   running while later ones degrade, and a session's ladder resets as
 //!   soon as the budget re-admits it.
+//!
+//! # Supervised serving
+//!
+//! [`Server::tick_supervised`] is the resilient variant: every gaze
+//! observation filters through the session's own seeded
+//! [`FaultInjector`](solo_core::resilience::FaultInjector), a
+//! [`Supervisor`] scores per-session health, and chronically unhealthy
+//! sessions quarantine into a held-state stub (freeing envelope budget
+//! for the queue) until an exponential-backoff probe re-admits them from
+//! a [`SessionCheckpoint`]. Three more invariants the chaos tests pin:
+//!
+//! * **Fault isolation.** A session's faults are drawn from its own
+//!   injector and its tick is gated against its own slice of the
+//!   envelope, priced at the *total* slot count — so a neighbor's faults,
+//!   quarantine or re-admission never changes a healthy session's served
+//!   masks (bit-identical, batched GEMM rows are row-local).
+//! * **Supervision is pay-as-faulted.** With every plan disabled,
+//!   supervised serving is bit-identical to [`Server::tick`] (reports
+//!   included) whenever the fleet fits the admission envelope.
+//! * **Deterministic restore.** checkpoint → park → probe → restore
+//!   replays the exact frame and fault sequence an uninterrupted session
+//!   would have seen (the probe fast-forwards the injector through every
+//!   skipped frame).
+//!
+//! [`DegradeLadder`]: solo_core::resilience::DegradeLadder
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use solo_core::metrics::{binary_iou, IouAccumulator};
 use solo_core::resilience::{DegradeAction, FrameOutcome, ResilienceConfig, SoloError};
 use solo_gaze::GazePoint;
 use solo_hw::soc::{Backbone, CostBreakdown, SocModel};
@@ -31,7 +57,8 @@ use solo_sampler::{gaze_saliency, uniform_subsample, IndexMap};
 use solo_tensor::Tensor;
 
 use crate::model::{Precision, ServeModel};
-use crate::session::{Session, SessionSpec, SessionStats};
+use crate::session::{Session, SessionCheckpoint, SessionSpec, SessionStats};
+use crate::supervisor::{HealthSignal, Supervisor, SupervisorConfig};
 
 /// Gaussian width (as a grid fraction) of the gaze saliency prior.
 const SALIENCY_SIGMA_FRAC: f32 = 0.15;
@@ -61,6 +88,9 @@ pub struct ServerConfig {
     pub frames_per_video: usize,
     /// Ladder thresholds driving per-session overload degradation.
     pub resilience: ResilienceConfig,
+    /// Supervision thresholds (quarantine + probe backoff) for
+    /// [`Server::tick_supervised`].
+    pub supervisor: SupervisorConfig,
     /// Cost-model backbone sessions are priced as.
     pub backbone: Backbone,
 }
@@ -80,6 +110,7 @@ impl ServerConfig {
             precision: Precision::F32,
             frames_per_video: 64,
             resilience: ResilienceConfig::paper_default(),
+            supervisor: SupervisorConfig::paper_default(),
             backbone: Backbone::Sf,
         }
     }
@@ -97,19 +128,32 @@ impl ServerConfig {
         if !(0.0 < self.admission_fill && self.admission_fill <= 1.0) {
             return Err(SoloError::InvalidConfig("admission_fill must be in (0, 1]"));
         }
+        self.supervisor.validate()?;
         self.resilience.validate()
     }
 }
 
+/// Why admission control turned a session away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The spec's fault plan failed validation (malformed rates/windows).
+    InvalidFaultPlan,
+    /// Waiting room full (or the session cap reached).
+    QueueFull,
+}
+
 /// Admission control's verdict on one arriving session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Admission {
+pub enum AdmitOutcome {
     /// Live immediately; carries the session's index.
     Admitted(usize),
     /// Parked in the waiting room; promoted when capacity frees up.
     Queued,
-    /// Waiting room full (or the session cap reached): turned away.
-    Rejected,
+    /// Turned away, with the reason.
+    Rejected {
+        /// Why the session was turned away.
+        reason: RejectReason,
+    },
 }
 
 /// What one tick did, session counts first.
@@ -134,6 +178,25 @@ pub struct TickReport {
     pub rung_sessions: [usize; DegradeAction::RUNGS],
 }
 
+/// What one supervised tick did: the plain tick counters plus the
+/// supervision outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SupervisedTickReport {
+    /// The plain serving counters (quarantined stubs count as reuses at
+    /// the mask-reuse rung; successful probes count as nominal runs).
+    pub base: TickReport,
+    /// Sessions that spent this tick quarantined (stub or probed).
+    pub quarantined: usize,
+    /// Sessions newly quarantined at the end of this tick.
+    pub newly_quarantined: usize,
+    /// Re-admission probes run this tick.
+    pub probes: usize,
+    /// Sessions re-admitted by a successful probe this tick.
+    pub readmitted: usize,
+    /// Live sessions whose injector fired at least one fault this tick.
+    pub injected: usize,
+}
+
 /// What a session is asked to do this tick, after SSA + ladder + budget.
 enum Work {
     /// Segment the crop at this gaze with this widen area factor.
@@ -151,10 +214,15 @@ pub struct Server {
     soc: SocModel,
     sessions: Vec<Session>,
     queue: VecDeque<SessionSpec>,
+    supervisor: Supervisor,
     ticks: usize,
     overruns: usize,
     frames_served: usize,
     frames_ran: usize,
+    rejects: usize,
+    /// Oracle round-trip b-IoU per ladder rung, accumulated by supervised
+    /// ticks when `cfg.resilience.score_round_trip` is set.
+    rung_scores: [IouAccumulator; DegradeAction::RUNGS],
 }
 
 impl Server {
@@ -165,16 +233,20 @@ impl Server {
     /// Returns [`SoloError::InvalidConfig`] when `cfg` fails validation.
     pub fn new(model: Arc<ServeModel>, cfg: ServerConfig) -> FrameOutcome<Self> {
         cfg.validate()?;
+        let supervisor = Supervisor::new(cfg.supervisor)?;
         Ok(Self {
             model,
             cfg,
             soc: SocModel::default(),
             sessions: Vec::new(),
             queue: VecDeque::new(),
+            supervisor,
             ticks: 0,
             overruns: 0,
             frames_served: 0,
             frames_ran: 0,
+            rejects: 0,
+            rung_scores: Default::default(),
         })
     }
 
@@ -212,6 +284,23 @@ impl Server {
     /// Total session-frames that ran segmentation.
     pub fn frames_ran(&self) -> usize {
         self.frames_ran
+    }
+
+    /// Sessions turned away by admission control so far.
+    pub fn rejects(&self) -> usize {
+        self.rejects
+    }
+
+    /// The supervision state machine (quarantine + probe counters).
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// Per-rung oracle round-trip scores from supervised ticks:
+    /// `(frames scored, mean b-IoU)` per ladder rung, nominal first.
+    /// Empty unless `cfg.resilience.score_round_trip` is set.
+    pub fn rung_scores(&self) -> [(usize, f32); DegradeAction::RUNGS] {
+        std::array::from_fn(|r| (self.rung_scores[r].len(), self.rung_scores[r].b_iou()))
     }
 
     /// Modeled per-session shared compute (ESNet + segmentation) at a live
@@ -254,36 +343,69 @@ impl Server {
         bd.esnet.0 + bd.segmentation.0
     }
 
-    /// Whether a fleet of `s` sessions (optionally including the arriving
-    /// `extra`) fits the steady-state admission envelope: every session
-    /// running every tick at the batched marginal price must fit inside
-    /// `admission_fill · deadline`.
-    fn fits(&self, s: usize, extra: Option<&SessionSpec>) -> bool {
-        if s == 0 {
+    /// Whether a fleet of `live` non-quarantined sessions (optionally
+    /// including the arriving `extra`) fits the steady-state admission
+    /// envelope: every live session running every tick at the batched
+    /// marginal price must fit inside `admission_fill · deadline`.
+    /// Quarantined sessions are excluded on both axes — their stub serves
+    /// zero shared compute, so quarantine frees envelope for the queue.
+    fn fits(&self, live: usize, extra: Option<&SessionSpec>) -> bool {
+        if live == 0 {
             return true;
         }
-        let per_run = self.shared_cost_per_run(s, extra);
-        let total_ms = per_run.ms() * s as f64;
-        total_ms <= self.cfg.deadline.ms() * self.cfg.admission_fill
+        let mut worst = Latency::ZERO;
+        for ds in self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.supervisor.is_quarantined(*i))
+            .map(|(_, ses)| ses.spec().scene)
+            .chain(extra.map(|e| e.scene))
+        {
+            let bd = self
+                .soc
+                .batched_solo_path(self.cfg.backbone, ds.hw_dataset(), live.max(1));
+            let run = bd.esnet.0 + bd.segmentation.0;
+            if run > worst {
+                worst = run;
+            }
+        }
+        worst.ms() * live as f64 <= self.cfg.deadline.ms() * self.cfg.admission_fill
     }
 
-    /// Admission control: admits the session if the post-admission fleet
-    /// still fits the steady-state envelope, queues it if the waiting room
-    /// has space, rejects it otherwise.
-    pub fn admit(&mut self, spec: SessionSpec) -> Admission {
+    /// Live (non-quarantined) session count.
+    fn live_count(&self) -> usize {
+        self.sessions.len() - self.supervisor.quarantined_count()
+    }
+
+    /// Admission control: rejects a malformed fault plan outright, admits
+    /// the session if the post-admission fleet still fits the steady-state
+    /// envelope, queues it if the waiting room has space, rejects it
+    /// otherwise.
+    pub fn admit(&mut self, spec: SessionSpec) -> AdmitOutcome {
+        if spec.plan.validate().is_err() {
+            self.rejects += 1;
+            return AdmitOutcome::Rejected {
+                reason: RejectReason::InvalidFaultPlan,
+            };
+        }
         let s = self.sessions.len();
-        if s < self.cfg.max_sessions && self.fits(s + 1, Some(&spec)) {
+        if s < self.cfg.max_sessions && self.fits(self.live_count() + 1, Some(&spec)) {
             self.sessions.push(Session::new(
                 spec,
                 self.cfg.frames_per_video,
                 self.model.config().predictor_hidden,
             ));
-            Admission::Admitted(s)
+            self.supervisor.on_admit();
+            AdmitOutcome::Admitted(s)
         } else if self.queue.len() < self.cfg.queue_cap {
             self.queue.push_back(spec);
-            Admission::Queued
+            AdmitOutcome::Queued
         } else {
-            Admission::Rejected
+            self.rejects += 1;
+            AdmitOutcome::Rejected {
+                reason: RejectReason::QueueFull,
+            }
         }
     }
 
@@ -291,8 +413,9 @@ impl Server {
     fn promote(&mut self) -> usize {
         let mut promoted = 0;
         while let Some(spec) = self.queue.front().copied() {
-            let s = self.sessions.len();
-            if s >= self.cfg.max_sessions || !self.fits(s + 1, Some(&spec)) {
+            if self.sessions.len() >= self.cfg.max_sessions
+                || !self.fits(self.live_count() + 1, Some(&spec))
+            {
                 break;
             }
             self.queue.pop_front();
@@ -301,13 +424,15 @@ impl Server {
                 self.cfg.frames_per_video,
                 self.model.config().predictor_hidden,
             ));
+            self.supervisor.on_admit();
             promoted += 1;
         }
         promoted
     }
 
     /// Serves one frame tick to every live session (see the module docs
-    /// for the phase order).
+    /// for the phase order). Sessions' fault plans are ignored — this is
+    /// the unsupervised fast path; see [`Self::tick_supervised`].
     pub fn tick(&mut self) -> TickReport {
         let mut report = TickReport {
             promoted: self.promote(),
@@ -507,6 +632,431 @@ impl Server {
         report
     }
 
+    /// Serves one supervised frame tick (see the module docs): fault
+    /// injection per session, per-slice budget gating, health scoring,
+    /// quarantine and re-admission probes. With every session's plan
+    /// disabled this is bit-identical to [`Self::tick`] whenever the
+    /// fleet fits the admission envelope. Do not interleave with
+    /// [`Self::tick`] on a server that has quarantined sessions.
+    pub fn tick_supervised(&mut self) -> SupervisedTickReport {
+        let mut rep = SupervisedTickReport {
+            base: TickReport {
+                promoted: self.promote(),
+                ..TickReport::default()
+            },
+            ..SupervisedTickReport::default()
+        };
+        let total = self.sessions.len();
+        rep.base.sessions = total;
+        self.ticks += 1;
+        let now = self.ticks;
+        if total == 0 {
+            return rep;
+        }
+        let crop = self.model.config().crop_side;
+        let mut budget = FrameBudget::new(self.cfg.deadline);
+        budget.start_frame();
+        let floor = DegradeAction::ReuseMask.rung();
+
+        // Phase 0: quarantined slots serve a held-state stub (zero shared
+        // compute — the stub path is display-only) or, when due, run a
+        // re-admission probe outside the batch.
+        let mut live: Vec<usize> = Vec::with_capacity(total);
+        for i in 0..total {
+            if !self.supervisor.is_quarantined(i) {
+                live.push(i);
+                continue;
+            }
+            rep.quarantined += 1;
+            if self.supervisor.probe_due(i, now) {
+                rep.probes += 1;
+                let (healthy, charge) = self.run_probe(i, now, crop);
+                if !budget.charge(charge) {
+                    rep.base.overrun = true;
+                }
+                if healthy {
+                    rep.readmitted += 1;
+                    rep.base.ran += 1;
+                    rep.base.rung_sessions[0] += 1;
+                } else {
+                    rep.base.reused += 1;
+                    rep.base.degraded += 1;
+                    rep.base.rung_sessions[floor] += 1;
+                }
+            } else {
+                let ses = &mut self.sessions[i];
+                ses.skip_frame();
+                let st = ses.stats_mut();
+                st.frames += 1;
+                st.reuses += 1;
+                st.degraded += 1;
+                st.rung_frames[floor] += 1;
+                rep.base.reused += 1;
+                rep.base.degraded += 1;
+                rep.base.rung_sessions[floor] += 1;
+            }
+        }
+        let l = live.len();
+        self.frames_served += total;
+        if l == 0 {
+            rep.base.spent_ms = budget.spent().ms();
+            if rep.base.overrun {
+                self.overruns += 1;
+            }
+            self.frames_ran += rep.base.ran;
+            return rep;
+        }
+
+        // Phase 1: advance live sessions one frame, filtering each gaze
+        // through the session's own seeded injector. The injector is
+        // strictly session-local — a disabled plan draws no entropy.
+        let mut frames = Vec::with_capacity(l);
+        let mut obses = Vec::with_capacity(l);
+        let mut faultses = Vec::with_capacity(l);
+        for &i in &live {
+            let ses = &mut self.sessions[i];
+            let frame = ses.next_frame();
+            let (obs, faults) = ses.injector_mut().observe(&frame.gaze);
+            if faults.any() {
+                rep.injected += 1;
+            }
+            frames.push(frame);
+            obses.push(obs);
+            faultses.push(faults);
+        }
+
+        // Phase 2: one batched predictor step across the live sessions.
+        let dh = self.model.config().predictor_hidden;
+        let mut gaze_rows = Vec::with_capacity(l * 2);
+        let mut hidden_rows = Vec::with_capacity(l * dh);
+        for &i in &live {
+            let g = self.sessions[i].last_gaze();
+            gaze_rows.extend_from_slice(&[g.x, g.y]);
+            hidden_rows.extend_from_slice(self.sessions[i].hidden().as_slice());
+        }
+        let gazes = Tensor::from_vec(gaze_rows, &[l, 2]);
+        let hidden = Tensor::from_vec(hidden_rows, &[l, dh]);
+        let (next_hidden, deltas) = self.model.predict_batch(&gazes, &hidden);
+        for (p, &i) in live.iter().enumerate() {
+            self.sessions[i].set_hidden(Tensor::from_vec(
+                next_hidden.as_slice()[p * dh..(p + 1) * dh].to_vec(),
+                &[dh],
+            ));
+        }
+
+        // Phase 3: per-session decision, gated against the session's own
+        // slice of the envelope. Pricing is keyed to the *total* slot
+        // count (stable under quarantine), so a neighbor faulting or
+        // quarantining can never flip a healthy session's gate — the
+        // isolation invariant. A latency spike charges extra against the
+        // spiker's own slice (building its overrun streak) but never
+        // changes the mask decision.
+        let run_cost = self.shared_cost_per_run(total, None);
+        let slice =
+            Latency::from_ms(self.cfg.deadline.ms() * self.cfg.admission_fill / total as f64);
+        let skip_costs: Vec<Latency> = live
+            .iter()
+            .map(|&i| self.shared_cost_skip(self.sessions[i].spec()))
+            .collect();
+        let uniform_costs: Vec<Latency> = live
+            .iter()
+            .map(|&i| self.shared_cost_uniform(self.sessions[i].spec()))
+            .collect();
+        let widen_costs: Vec<Latency> = live
+            .iter()
+            .map(|&i| {
+                let bd = self.soc.degraded_solo_path(
+                    self.cfg.backbone,
+                    self.sessions[i].spec().scene.hw_dataset(),
+                    f64::from(self.cfg.resilience.widen_factor),
+                    &[],
+                );
+                bd.esnet.0 + bd.segmentation.0
+            })
+            .collect();
+        let seg_costs: Vec<Latency> = live
+            .iter()
+            .map(|&i| {
+                self.soc
+                    .batched_solo_path(
+                        self.cfg.backbone,
+                        self.sessions[i].spec().scene.hw_dataset(),
+                        total,
+                    )
+                    .segmentation
+                    .0
+            })
+            .collect();
+        let mut work = Vec::with_capacity(l);
+        let mut rungs = Vec::with_capacity(l);
+        let mut signals: Vec<Option<HealthSignal>> = vec![None; total];
+        for (p, &i) in live.iter().enumerate() {
+            let frame = &frames[p];
+            let obs = &obses[p];
+            let faults = &faultses[p];
+            let ses = &mut self.sessions[i];
+            let mut preview = uniform_subsample(&frame.image, crop, crop);
+            ses.injector_mut().corrupt_preview(&mut preview, faults);
+
+            let (action, w) = if obs.is_usable() {
+                // Usable gaze: the plain-tick path, gated per slice.
+                let suppressed = obs.sample.phase.is_suppressed();
+                let gaze = if suppressed {
+                    let d = &deltas.as_slice()[p * 2..(p + 1) * 2];
+                    let g = ses.last_gaze();
+                    GazePoint::new(g.x + d[0], g.y + d[1])
+                } else {
+                    ses.set_last_gaze(obs.sample.point);
+                    obs.sample.point
+                };
+                let wants_run = ses.ssa_mut().step(&preview, gaze, suppressed).must_run()
+                    || ses.last_mask().is_none();
+                if !wants_run {
+                    ses.ladder_mut().reset();
+                    (DegradeAction::Nominal, Work::Reuse)
+                } else if run_cost <= slice {
+                    ses.ladder_mut().reset();
+                    (DegradeAction::Nominal, Work::Run { gaze, widen: 1.0 })
+                } else {
+                    let action = ses.ladder_mut().decide(&self.cfg.resilience);
+                    let w = match action {
+                        DegradeAction::WidenCrop { factor } if widen_costs[p] <= slice => {
+                            Work::Run {
+                                gaze,
+                                widen: factor,
+                            }
+                        }
+                        DegradeAction::UniformFallback if uniform_costs[p] <= slice => {
+                            Work::RunUniform
+                        }
+                        _ => Work::Reuse,
+                    };
+                    (action, w)
+                }
+            } else {
+                // Tracker dark: walk the ladder anchored on the held
+                // fixation, mirroring the streaming evaluator's rungs.
+                let action = ses.ladder_mut().decide(&self.cfg.resilience);
+                match action {
+                    DegradeAction::HoldFixation { .. } => {
+                        // Steer by the forecast from the held fixation.
+                        let d = &deltas.as_slice()[p * 2..(p + 1) * 2];
+                        let g = ses.last_gaze();
+                        let gaze = GazePoint::new(g.x + d[0], g.y + d[1]);
+                        let wants_run = ses.ssa_mut().step(&preview, gaze, false).must_run()
+                            || ses.last_mask().is_none();
+                        let w = if wants_run && run_cost <= slice {
+                            Work::Run { gaze, widen: 1.0 }
+                        } else {
+                            Work::Reuse
+                        };
+                        (action, w)
+                    }
+                    DegradeAction::WidenCrop { factor } if widen_costs[p] <= slice => {
+                        let g = ses.last_gaze();
+                        (
+                            action,
+                            Work::Run {
+                                gaze: g,
+                                widen: factor,
+                            },
+                        )
+                    }
+                    DegradeAction::UniformFallback if uniform_costs[p] <= slice => {
+                        (action, Work::RunUniform)
+                    }
+                    _ => (action, Work::Reuse),
+                }
+            };
+            preview.recycle();
+
+            let base = match &w {
+                Work::Run { widen, .. } if *widen > 1.0 => widen_costs[p],
+                Work::Run { .. } => run_cost,
+                Work::RunUniform => uniform_costs[p],
+                Work::Reuse => skip_costs[p],
+            };
+            let spike_extra = match (&w, faults.latency_spike) {
+                (Work::Reuse, _) | (_, None) => Latency::ZERO,
+                (_, Some(k)) => Latency::from_ms(seg_costs[p].ms() * (k - 1.0)),
+            };
+            let charge = base + spike_extra;
+            if !budget.charge(charge) {
+                rep.base.overrun = true;
+            }
+
+            let st = ses.stats_mut();
+            st.frames += 1;
+            st.rung_frames[action.rung()] += 1;
+            rep.base.rung_sessions[action.rung()] += 1;
+            if action.is_degraded() {
+                st.degraded += 1;
+                rep.base.degraded += 1;
+            }
+            signals[i] = Some(HealthSignal {
+                tracker_usable: obs.is_usable(),
+                slice_overrun: charge > slice,
+                floor_dwell: ses.ladder().floor_dwell(),
+            });
+            rungs.push(action.rung());
+            work.push(w);
+        }
+        rep.base.spent_ms = budget.spent().ms();
+        if rep.base.overrun {
+            self.overruns += 1;
+        }
+
+        // Phase 4: crops + batched inference for the running live
+        // sessions, plus (when configured) the oracle round-trip score of
+        // each served rung's sampling geometry.
+        let score = self.cfg.resilience.score_round_trip;
+        let mut run_pos = Vec::new();
+        let mut crops = Vec::new();
+        for (p, w) in work.iter().enumerate() {
+            let ses = &self.sessions[live[p]];
+            let map = match w {
+                Work::Run { gaze, widen } => {
+                    let sal = gaze_saliency(
+                        crop,
+                        crop,
+                        (gaze.x, gaze.y),
+                        SALIENCY_SIGMA_FRAC,
+                        SALIENCY_FLOOR,
+                    );
+                    let map = IndexMap::from_saliency(&ses.sampler_spec(crop, *widen), &sal);
+                    sal.recycle();
+                    map
+                }
+                Work::RunUniform => IndexMap::uniform(&ses.sampler_spec(crop, 1.0)),
+                Work::Reuse => continue,
+            };
+            if score {
+                let n = ses.resolution();
+                let gt = frames[p].ioi_mask.reshape(&[1, n, n]);
+                let up = map
+                    .upsample(&map.sample_nearest(&gt))
+                    .into_reshaped(&[n, n])
+                    .map(|v| if v > 0.5 { 1.0 } else { 0.0 });
+                let b = binary_iou(&up, &frames[p].ioi_mask);
+                self.rung_scores[rungs[p]].push(b, 0.0);
+            }
+            crops.push(map.sample_bilinear(&frames[p].image));
+            run_pos.push(p);
+        }
+        for chunk_start in (0..crops.len()).step_by(self.cfg.batch) {
+            let chunk_end = (chunk_start + self.cfg.batch).min(crops.len());
+            let masks = self
+                .model
+                .infer_batch(&crops[chunk_start..chunk_end], self.cfg.precision);
+            for (off, mask) in masks.into_iter().enumerate() {
+                self.sessions[live[run_pos[chunk_start + off]]].set_last_mask(mask);
+            }
+        }
+        for c in crops {
+            c.recycle();
+        }
+        rep.base.ran += run_pos.len();
+        rep.base.reused += l - run_pos.len();
+        self.frames_ran += rep.base.ran;
+        for p in 0..l {
+            let st = self.sessions[live[p]].stats_mut();
+            if run_pos.contains(&p) {
+                st.runs += 1;
+            } else {
+                st.reuses += 1;
+            }
+        }
+
+        // Phase 5: supervision. Streaks update from this tick's signals;
+        // sessions crossing a threshold checkpoint, park, and drop out of
+        // the batched dispatch starting next tick.
+        for i in self.supervisor.tick(&signals) {
+            if let Some(ses) = self.sessions.get_mut(i) {
+                let cp = ses.checkpoint();
+                ses.park();
+                self.supervisor.quarantine(i, cp, now);
+                rep.newly_quarantined += 1;
+            }
+        }
+        rep
+    }
+
+    /// Runs one re-admission probe for quarantined slot `i`: restores a
+    /// candidate from the held checkpoint, fast-forwards it through every
+    /// frame the stub skipped (advancing frame cursor and fault injector
+    /// in lockstep, so the replay is exactly what an uninterrupted session
+    /// would have seen), then serves one frame. A usable gaze re-admits
+    /// the candidate with a freshly segmented solo frame; a dark one parks
+    /// it again with the advanced checkpoint and doubles the backoff.
+    /// Returns whether the probe succeeded and its shared-compute charge.
+    fn run_probe(&mut self, i: usize, now: usize, crop: usize) -> (bool, Latency) {
+        let mut cand = match self.supervisor.checkpoint(i) {
+            Some(cp) => Session::restore(cp),
+            None => return (false, Latency::ZERO),
+        };
+        let target = match self.sessions.get(i) {
+            Some(parked) => parked.cursor(),
+            None => return (false, Latency::ZERO),
+        };
+        while cand.cursor() < target {
+            let f = cand.next_frame();
+            cand.injector_mut().observe(&f.gaze);
+        }
+        *cand.stats_mut() = *self.sessions[i].stats();
+        let frame = cand.next_frame();
+        let (obs, _faults) = cand.injector_mut().observe(&frame.gaze);
+        if obs.is_usable() {
+            // Healthy again: serve one unamortized solo frame (outside the
+            // batch — probes never stack with healthy sessions' dispatch)
+            // and re-admit.
+            let bd = self
+                .soc
+                .probe_path(self.cfg.backbone, cand.spec().scene.hw_dataset());
+            let charge = bd.esnet.0 + bd.segmentation.0;
+            let gaze = obs.sample.point;
+            cand.set_last_gaze(gaze);
+            let sal = gaze_saliency(
+                crop,
+                crop,
+                (gaze.x, gaze.y),
+                SALIENCY_SIGMA_FRAC,
+                SALIENCY_FLOOR,
+            );
+            let map = IndexMap::from_saliency(&cand.sampler_spec(crop, 1.0), &sal);
+            sal.recycle();
+            let c = map.sample_bilinear(&frame.image);
+            let masks = self
+                .model
+                .infer_batch(std::slice::from_ref(&c), self.cfg.precision);
+            c.recycle();
+            if let Some(m) = masks.into_iter().next() {
+                cand.set_last_mask(m);
+            }
+            cand.ladder_mut().reset();
+            let st = cand.stats_mut();
+            st.frames += 1;
+            st.runs += 1;
+            st.rung_frames[0] += 1;
+            self.sessions[i] = cand;
+            self.supervisor.record_probe(i, now, true, None);
+            (true, charge)
+        } else {
+            // Still dark: persist the advanced injector/cursor so the
+            // outage keeps draining across probes, and back off.
+            let charge = self.shared_cost_skip(cand.spec());
+            let st = cand.stats_mut();
+            st.frames += 1;
+            st.reuses += 1;
+            st.degraded += 1;
+            st.rung_frames[DegradeAction::ReuseMask.rung()] += 1;
+            cand.park();
+            let advanced = cand.checkpoint();
+            self.sessions[i] = cand;
+            self.supervisor.record_probe(i, now, false, Some(advanced));
+            (false, charge)
+        }
+    }
+
     /// Aggregated per-session stats, cloned out for reporting.
     pub fn session_stats(&self) -> Vec<SessionStats> {
         self.sessions.iter().map(|s| *s.stats()).collect()
@@ -520,6 +1070,11 @@ impl Server {
             .map(|s| s.last_mask().map(|m| m.as_slice().to_vec()))
             .collect()
     }
+
+    /// Checkpoints every live session (diagnostics / external restore).
+    pub fn checkpoints(&self) -> Vec<SessionCheckpoint> {
+        self.sessions.iter().map(Session::checkpoint).collect()
+    }
 }
 
 impl std::fmt::Debug for Server {
@@ -528,6 +1083,11 @@ impl std::fmt::Debug for Server {
             .field("sessions", &self.sessions.len())
             .field("queued", &self.queue.len())
             .field("ticks", &self.ticks)
+            .field("rejects", &self.rejects)
+            .field("quarantined", &self.supervisor.quarantined_count())
+            .field("quarantines", &self.supervisor.quarantines())
+            .field("probes", &self.supervisor.probes())
+            .field("readmissions", &self.supervisor.readmissions())
             .finish_non_exhaustive()
     }
 }
@@ -536,6 +1096,7 @@ impl std::fmt::Debug for Server {
 mod tests {
     use super::*;
     use crate::model::ServeModelConfig;
+    use solo_core::resilience::FaultPlan;
     use solo_tensor::seeded_rng;
 
     fn server(deadline_ms: f64, batch: usize) -> Server {
@@ -564,6 +1125,9 @@ mod tests {
         cfg = ServerConfig::paper_default();
         cfg.batch = 0;
         assert!(cfg.validate().is_err());
+        cfg = ServerConfig::paper_default();
+        cfg.supervisor.overrun_limit = 0;
+        assert!(cfg.validate().is_err(), "supervisor knobs validate too");
         assert!(ServerConfig::paper_default().validate().is_ok());
     }
 
@@ -572,18 +1136,39 @@ mod tests {
         // A deadline so tight a single session's run cost cannot fit.
         let mut srv = server(0.001, 4);
         srv.cfg.queue_cap = 2;
-        assert_eq!(srv.admit(SessionSpec::nth(1, 0)), Admission::Queued);
-        assert_eq!(srv.admit(SessionSpec::nth(1, 1)), Admission::Queued);
-        assert_eq!(srv.admit(SessionSpec::nth(1, 2)), Admission::Rejected);
+        assert_eq!(srv.admit(SessionSpec::nth(1, 0)), AdmitOutcome::Queued);
+        assert_eq!(srv.admit(SessionSpec::nth(1, 1)), AdmitOutcome::Queued);
+        assert_eq!(
+            srv.admit(SessionSpec::nth(1, 2)),
+            AdmitOutcome::Rejected {
+                reason: RejectReason::QueueFull
+            }
+        );
         assert_eq!(srv.sessions().len(), 0);
         assert_eq!(srv.queued(), 2);
+        assert_eq!(srv.rejects(), 1);
+    }
+
+    #[test]
+    fn malformed_fault_plan_is_rejected_with_reason() {
+        let mut srv = server(1000.0, 4);
+        let mut plan = FaultPlan::dropout(1, 0.5);
+        plan.blink_rate = 2.0;
+        assert_eq!(
+            srv.admit(SessionSpec::nth(1, 0).with_plan(plan)),
+            AdmitOutcome::Rejected {
+                reason: RejectReason::InvalidFaultPlan
+            }
+        );
+        assert_eq!(srv.rejects(), 1);
+        assert_eq!(srv.queued(), 0, "bad plans never enter the queue");
     }
 
     #[test]
     fn generous_deadline_admits_and_serves() {
         let mut srv = server(1000.0, 4);
         for i in 0..3 {
-            assert_eq!(srv.admit(SessionSpec::nth(2, i)), Admission::Admitted(i));
+            assert_eq!(srv.admit(SessionSpec::nth(2, i)), AdmitOutcome::Admitted(i));
         }
         let r = srv.tick();
         assert_eq!(r.sessions, 3);
@@ -600,7 +1185,7 @@ mod tests {
     fn overload_degrades_later_sessions_first_and_recovers() {
         let mut srv = server(1000.0, 4);
         for i in 0..4 {
-            assert_eq!(srv.admit(SessionSpec::nth(3, i)), Admission::Admitted(i));
+            assert_eq!(srv.admit(SessionSpec::nth(3, i)), AdmitOutcome::Admitted(i));
         }
         // Squeeze the live fleet: a deadline that fits roughly one run.
         let one_run = srv.shared_cost_per_run(4, None).ms();
@@ -633,5 +1218,84 @@ mod tests {
             b.tick();
         }
         assert_eq!(a.mask_digest(), b.mask_digest());
+    }
+
+    #[test]
+    fn zero_fault_supervised_tick_matches_plain_tick() {
+        let mut plain = server(1000.0, 4);
+        let mut sup = server(1000.0, 4);
+        for i in 0..4 {
+            assert_eq!(
+                plain.admit(SessionSpec::nth(5, i)),
+                AdmitOutcome::Admitted(i)
+            );
+            assert_eq!(sup.admit(SessionSpec::nth(5, i)), AdmitOutcome::Admitted(i));
+        }
+        for t in 0..6 {
+            let a = plain.tick();
+            let b = sup.tick_supervised();
+            assert_eq!(a, b.base, "tick {t}: reports must match exactly");
+            assert_eq!(b.quarantined + b.probes + b.injected, 0);
+        }
+        assert_eq!(plain.mask_digest(), sup.mask_digest());
+        assert_eq!(plain.session_stats(), sup.session_stats());
+    }
+
+    #[test]
+    fn faulting_neighbor_cannot_perturb_healthy_masks() {
+        let mut healthy = server(1000.0, 4);
+        let mut chaotic = server(1000.0, 4);
+        for i in 0..4 {
+            let spec = SessionSpec::chaos_nth(6, i, 0.0);
+            // Same fleet, but session 2 of the chaotic server faults hard.
+            let spec_b = if i == 2 {
+                spec.with_plan(FaultPlan::dropout(99, 1.0))
+            } else {
+                spec
+            };
+            assert_eq!(healthy.admit(spec), AdmitOutcome::Admitted(i));
+            assert_eq!(chaotic.admit(spec_b), AdmitOutcome::Admitted(i));
+        }
+        let mut injected = 0;
+        for _ in 0..30 {
+            healthy.tick_supervised();
+            injected += chaotic.tick_supervised().injected;
+        }
+        assert!(injected > 0, "the chaos plan must actually fire");
+        let hd = healthy.mask_digest();
+        let cd = chaotic.mask_digest();
+        for i in [0usize, 1, 3] {
+            assert_eq!(hd[i], cd[i], "healthy session {i} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn deep_outage_quarantines_probes_and_readmits() {
+        let mut srv = server(1000.0, 4);
+        let spec = SessionSpec::nth(7, 0).with_plan(FaultPlan::dropout(21, 1.0));
+        assert_eq!(srv.admit(spec), AdmitOutcome::Admitted(0));
+        let mut saw_stub = false;
+        for _ in 0..600 {
+            let r = srv.tick_supervised();
+            saw_stub |= r.quarantined > 0 && r.probes == 0;
+            if srv.supervisor().readmissions() >= 1 {
+                break;
+            }
+        }
+        assert!(
+            srv.supervisor().quarantines() >= 1,
+            "a 100%-dropout plan must quarantine: {srv:?}"
+        );
+        assert!(saw_stub, "quarantine must serve held-state stub ticks");
+        assert!(
+            srv.supervisor().probes() >= 1,
+            "quarantine must be probed: {srv:?}"
+        );
+        assert!(
+            srv.supervisor().readmissions() >= 1,
+            "the outage must eventually clear and re-admit: {srv:?}"
+        );
+        assert!(!srv.supervisor().is_quarantined(0));
+        assert!(!srv.sessions()[0].is_parked());
     }
 }

@@ -3,7 +3,7 @@
 //! predictor's hidden state. Everything *model*-sized is shared (see
 //! [`crate::ServeModel`]); everything *user*-sized lives here.
 
-use solo_core::resilience::{DegradeAction, DegradeLadder};
+use solo_core::resilience::{DegradeAction, DegradeLadder, FaultInjector, FaultPlan};
 use solo_core::solonet::PipelineConfig;
 use solo_core::ssa::{Ssa, SsaConfig};
 use solo_gaze::GazePoint;
@@ -13,7 +13,8 @@ use solo_scene::{Frame, VideoConfig, VideoSequence};
 use solo_tensor::{seeded_rng, Tensor};
 
 /// Scene preset a session streams, mirroring the resilience experiments'
-/// four calibrated (video, SoC-dataset, paper-resolution) triples.
+/// four calibrated (video, SoC-dataset, paper-resolution) triples plus the
+/// ROADMAP's two adversarial presets the chaos sweeps exercise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ScenePreset {
     /// Egocentric AR viewing (Aria-like), 960 px paper frames.
@@ -24,6 +25,12 @@ pub enum ScenePreset {
     Ade,
     /// Single moving object (DAVIS-like), 480 px paper frames.
     Davis,
+    /// Adversarial: crowded small-object scenes (2× LVIS density at half
+    /// the size); priced as LVIS by the SoC models.
+    Crowded,
+    /// Adversarial: rapid IOI switching (DAVIS-sized static scenes, short
+    /// dwells); priced as DAVIS by the SoC models.
+    Switching,
 }
 
 impl ScenePreset {
@@ -34,6 +41,8 @@ impl ScenePreset {
             ScenePreset::Lvis => VideoConfig::lvis_like(frames),
             ScenePreset::Ade => VideoConfig::ade_like(frames),
             ScenePreset::Davis => VideoConfig::davis_like(frames),
+            ScenePreset::Crowded => VideoConfig::crowded_like(frames),
+            ScenePreset::Switching => VideoConfig::switching_like(frames),
         }
     }
 
@@ -41,9 +50,9 @@ impl ScenePreset {
     pub fn hw_dataset(&self) -> HwDataset {
         match self {
             ScenePreset::Aria => HwDataset::Aria,
-            ScenePreset::Lvis => HwDataset::Lvis,
+            ScenePreset::Lvis | ScenePreset::Crowded => HwDataset::Lvis,
             ScenePreset::Ade => HwDataset::Ade,
-            ScenePreset::Davis => HwDataset::Davis,
+            ScenePreset::Davis | ScenePreset::Switching => HwDataset::Davis,
         }
     }
 
@@ -54,22 +63,30 @@ impl ScenePreset {
             ScenePreset::Lvis => "lvis",
             ScenePreset::Ade => "ade",
             ScenePreset::Davis => "davis",
+            ScenePreset::Crowded => "crowded",
+            ScenePreset::Switching => "switching",
         }
     }
 }
 
 /// Everything needed to (re)create a session deterministically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SessionSpec {
     /// Seed for the session's scene + gaze trace.
     pub seed: u64,
     /// Scene preset the session streams.
     pub scene: ScenePreset,
+    /// This session's seeded fault plan ([`FaultPlan::none`] for a healthy
+    /// sensor/tracker). Entirely session-local: the injector it seeds
+    /// draws no shared entropy, so one session's faults can never perturb
+    /// a batch-mate.
+    pub plan: FaultPlan,
 }
 
 impl SessionSpec {
     /// A spec for session `i` of a sweep: presets round-robin and seeds
     /// derive from the sweep seed so any subset regenerates identically.
+    /// Healthy by construction — no fault plan.
     pub fn nth(sweep_seed: u64, i: usize) -> Self {
         const PRESETS: [ScenePreset; 4] = [
             ScenePreset::Aria,
@@ -80,7 +97,40 @@ impl SessionSpec {
         Self {
             seed: sweep_seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
             scene: PRESETS[i % PRESETS.len()],
+            plan: FaultPlan::none(),
         }
+    }
+
+    /// A spec for chaos-sweep session `i`: rotates all six presets
+    /// (including the adversarial pair) and, when `dropout > 0`, arms a
+    /// seeded gaze-dropout fault plan derived from the session seed so
+    /// replays are deterministic.
+    pub fn chaos_nth(sweep_seed: u64, i: usize, dropout: f64) -> Self {
+        const PRESETS: [ScenePreset; 6] = [
+            ScenePreset::Aria,
+            ScenePreset::Lvis,
+            ScenePreset::Ade,
+            ScenePreset::Davis,
+            ScenePreset::Crowded,
+            ScenePreset::Switching,
+        ];
+        let seed = sweep_seed ^ (0x517c_c1b7_2722_0a95u64.wrapping_mul(i as u64 + 1));
+        let plan = if dropout > 0.0 {
+            FaultPlan::dropout(seed ^ 0xfa57, dropout)
+        } else {
+            FaultPlan::none()
+        };
+        Self {
+            seed,
+            scene: PRESETS[i % PRESETS.len()],
+            plan,
+        }
+    }
+
+    /// Replaces the fault plan (builder-style).
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
     }
 }
 
@@ -99,14 +149,53 @@ pub struct SessionStats {
     pub rung_frames: [usize; DegradeAction::RUNGS],
 }
 
+/// A restorable snapshot of one session's full serving state: SSA
+/// calibration, ladder rung, predictor hidden row, held mask, fault
+/// injector and frame cursor. Everything *except* the video frames, which
+/// regenerate deterministically from the spec's seed — a restored session
+/// resumes bit-identically from its seed + frame index.
+#[derive(Debug, Clone)]
+pub struct SessionCheckpoint {
+    spec: SessionSpec,
+    frames_per_video: usize,
+    cursor: usize,
+    ssa: Ssa,
+    ladder: DegradeLadder,
+    injector: FaultInjector,
+    hidden: Tensor,
+    last_gaze: GazePoint,
+    last_mask: Option<Tensor>,
+    stats: SessionStats,
+}
+
+impl SessionCheckpoint {
+    /// The spec the checkpointed session was created from.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// Frame index the checkpointed session had reached.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+}
+
 /// One live serving session (see the module docs).
 #[derive(Debug)]
 pub struct Session {
     spec: SessionSpec,
-    video: VideoSequence,
+    /// Rendered frames. `None` while parked (quarantined): the frames are
+    /// the one piece of state that regenerates from the seed, so parking
+    /// drops them to free memory and the next rendered frame lazily
+    /// regenerates the identical sequence.
+    video: Option<VideoSequence>,
+    video_cfg: VideoConfig,
+    frames_per_video: usize,
     cursor: usize,
     ssa: Ssa,
     ladder: DegradeLadder,
+    /// This session's seeded fault injector (a no-op for a healthy plan).
+    injector: FaultInjector,
     /// This session's row of the batched predictor hidden state,
     /// `[predictor_hidden]`.
     hidden: Tensor,
@@ -124,20 +213,24 @@ impl Session {
     /// Materializes a session: generates its video from the spec's seed and
     /// calibrates SSA at the preset's paper resolution.
     pub fn new(spec: SessionSpec, frames_per_video: usize, predictor_hidden: usize) -> Self {
-        let cfg = spec.scene.video_config(frames_per_video.max(1));
+        let frames_per_video = frames_per_video.max(1);
+        let cfg = spec.scene.video_config(frames_per_video);
         let paper_side = cfg.dataset.paper_resolution;
         let pipeline = PipelineConfig::for_dataset(
             &cfg.dataset,
             cfg.dataset.resolution,
             cfg.dataset.resolution / 4,
         );
-        let video = VideoSequence::generate(cfg, &mut seeded_rng(spec.seed));
+        let video = VideoSequence::generate(cfg.clone(), &mut seeded_rng(spec.seed));
         Self {
             spec,
-            video,
+            video: Some(video),
+            video_cfg: cfg,
+            frames_per_video,
             cursor: 0,
             ssa: Ssa::new(SsaConfig::paper_default(paper_side)),
             ladder: DegradeLadder::new(),
+            injector: FaultInjector::new(spec.plan),
             hidden: Tensor::zeros(&[predictor_hidden]),
             last_gaze: GazePoint::center(),
             last_mask: None,
@@ -153,7 +246,77 @@ impl Session {
 
     /// Rendered frame side of this session's video.
     pub fn resolution(&self) -> usize {
-        self.video.config().dataset.resolution
+        self.video_cfg.dataset.resolution
+    }
+
+    /// Snapshots the session's full restorable state. The video frames are
+    /// deliberately excluded — they regenerate from `spec.seed`.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            spec: self.spec,
+            frames_per_video: self.frames_per_video,
+            cursor: self.cursor,
+            ssa: self.ssa.clone(),
+            ladder: self.ladder.clone(),
+            injector: self.injector.clone(),
+            hidden: self.hidden.clone(),
+            last_gaze: self.last_gaze,
+            last_mask: self.last_mask.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a session from a checkpoint. The video regenerates lazily
+    /// (and deterministically) at the next rendered frame, so
+    /// checkpoint → restore → tick is bit-identical to never having been
+    /// interrupted.
+    pub fn restore(cp: &SessionCheckpoint) -> Self {
+        let cfg = cp.spec.scene.video_config(cp.frames_per_video);
+        let pipeline = PipelineConfig::for_dataset(
+            &cfg.dataset,
+            cfg.dataset.resolution,
+            cfg.dataset.resolution / 4,
+        );
+        Self {
+            spec: cp.spec,
+            video: None,
+            video_cfg: cfg,
+            frames_per_video: cp.frames_per_video,
+            cursor: cp.cursor,
+            ssa: cp.ssa.clone(),
+            ladder: cp.ladder.clone(),
+            injector: cp.injector.clone(),
+            hidden: cp.hidden.clone(),
+            last_gaze: cp.last_gaze,
+            last_mask: cp.last_mask.clone(),
+            pipeline,
+            stats: cp.stats,
+        }
+    }
+
+    /// Parks the session (quarantine): drops the rendered video to free
+    /// memory. The session keeps serving its held mask through
+    /// [`Self::skip_frame`]; the next rendered frame regenerates the
+    /// identical sequence from the seed.
+    pub fn park(&mut self) {
+        self.video = None;
+    }
+
+    /// Whether the session is parked (video dropped).
+    pub fn is_parked(&self) -> bool {
+        self.video.is_none()
+    }
+
+    /// Advances the frame cursor without rendering — the quarantined
+    /// stub's tick: the user keeps their held mask while the stream moves
+    /// on underneath.
+    pub fn skip_frame(&mut self) {
+        self.cursor += 1;
+    }
+
+    /// Frame index of the *next* frame this session will serve.
+    pub fn cursor(&self) -> usize {
+        self.cursor
     }
 
     /// Sampler σ in rendered-frame pixels (the paper's per-dataset σ scaled
@@ -174,10 +337,23 @@ impl Session {
     }
 
     /// Renders the next frame of the trace, looping when the video ends.
+    /// On a parked or freshly restored session this first regenerates the
+    /// video from the spec's seed — the same bits [`Self::new`] produced.
     pub fn next_frame(&mut self) -> Frame {
-        let i = self.cursor % self.video.len();
+        let cfg = self.video_cfg.clone();
+        let seed = self.spec.seed;
+        let video = self
+            .video
+            .get_or_insert_with(|| VideoSequence::generate(cfg, &mut seeded_rng(seed)));
+        let i = self.cursor % video.len();
         self.cursor += 1;
-        self.video.frame(i)
+        video.frame(i)
+    }
+
+    /// This session's fault injector (the supervised tick filters every
+    /// gaze observation through it).
+    pub(crate) fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
     }
 
     /// Lifetime counters.
@@ -198,6 +374,11 @@ impl Session {
     /// The degradation ladder.
     pub(crate) fn ladder_mut(&mut self) -> &mut DegradeLadder {
         &mut self.ladder
+    }
+
+    /// Read-only ladder view (the supervisor's floor-dwell health signal).
+    pub(crate) fn ladder(&self) -> &DegradeLadder {
+        &self.ladder
     }
 
     /// This session's predictor hidden row.
@@ -257,6 +438,86 @@ mod tests {
         assert_eq!(first.image.as_slice(), looped.image.as_slice());
         assert_eq!(s.resolution(), 96);
         assert!(s.sigma() > 0.0);
+    }
+
+    #[test]
+    fn chaos_specs_rotate_all_six_presets_and_seed_their_plans() {
+        let scenes: Vec<_> = (0..6)
+            .map(|i| SessionSpec::chaos_nth(5, i, 0.3).scene)
+            .collect();
+        assert_eq!(
+            scenes,
+            vec![
+                ScenePreset::Aria,
+                ScenePreset::Lvis,
+                ScenePreset::Ade,
+                ScenePreset::Davis,
+                ScenePreset::Crowded,
+                ScenePreset::Switching,
+            ]
+        );
+        let a = SessionSpec::chaos_nth(5, 2, 0.3);
+        assert_eq!(a, SessionSpec::chaos_nth(5, 2, 0.3), "deterministic");
+        assert!(!a.plan.is_disabled());
+        assert_ne!(a.plan.seed, SessionSpec::chaos_nth(5, 3, 0.3).plan.seed);
+        assert!(SessionSpec::chaos_nth(5, 2, 0.0).plan.is_disabled());
+        assert!(SessionSpec::nth(5, 2).plan.is_disabled());
+    }
+
+    #[test]
+    fn adversarial_presets_materialize_and_price_like_their_bases() {
+        for (preset, hw) in [
+            (ScenePreset::Crowded, HwDataset::Lvis),
+            (ScenePreset::Switching, HwDataset::Davis),
+        ] {
+            assert_eq!(preset.hw_dataset(), hw);
+            let spec = SessionSpec {
+                seed: 9,
+                scene: preset,
+                plan: FaultPlan::none(),
+            };
+            let mut s = Session::new(spec, 4, 8);
+            assert_eq!(s.next_frame().image.shape().dim(1), 96);
+        }
+    }
+
+    #[test]
+    fn restore_resumes_the_exact_frame_sequence() {
+        let mut live = Session::new(SessionSpec::chaos_nth(13, 4, 0.5), 6, 8);
+        for _ in 0..3 {
+            live.next_frame();
+        }
+        let cp = live.checkpoint();
+        assert_eq!(cp.cursor(), 3);
+        let mut restored = Session::restore(&cp);
+        assert!(restored.is_parked(), "restore regenerates lazily");
+        for _ in 0..5 {
+            let a = live.next_frame();
+            let b = restored.next_frame();
+            assert_eq!(a.image.as_slice(), b.image.as_slice());
+            assert_eq!(a.gaze.point.x.to_bits(), b.gaze.point.x.to_bits());
+        }
+    }
+
+    #[test]
+    fn park_skip_and_regenerate_keep_the_cursor_honest() {
+        let mut s = Session::new(SessionSpec::nth(17, 2), 5, 8);
+        let mut twin = Session::new(SessionSpec::nth(17, 2), 5, 8);
+        s.next_frame();
+        twin.next_frame();
+        s.park();
+        assert!(s.is_parked());
+        // Quarantined ticks advance the stream without rendering.
+        s.skip_frame();
+        s.skip_frame();
+        twin.next_frame();
+        twin.next_frame();
+        assert_eq!(s.cursor(), twin.cursor());
+        // Un-parking resumes on the same frame the healthy twin sees.
+        let a = s.next_frame();
+        let b = twin.next_frame();
+        assert!(!s.is_parked());
+        assert_eq!(a.image.as_slice(), b.image.as_slice());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use solo_serve::{
-    Admission, Precision, ServeModel, ServeModelConfig, Server, ServerConfig, SessionSpec,
+    AdmitOutcome, Precision, ServeModel, ServeModelConfig, Server, ServerConfig, SessionSpec,
 };
 use solo_tensor::{exec, normal, seeded_rng, Tensor};
 
@@ -117,7 +117,10 @@ fn server_batch_size_never_changes_what_users_see() {
         };
         let mut server = Server::new(Arc::clone(&model), cfg).expect("valid config");
         for i in 0..4 {
-            assert_ne!(server.admit(SessionSpec::nth(11, i)), Admission::Rejected);
+            assert!(!matches!(
+                server.admit(SessionSpec::nth(11, i)),
+                AdmitOutcome::Rejected { .. }
+            ));
         }
         let reports: Vec<_> = (0..6).map(|_| server.tick()).collect();
         (reports, server.mask_digest())
